@@ -1,0 +1,22 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one table/figure of the paper at a reduced
+but representative size, prints the same rows the paper reports, and
+asserts the figure's qualitative claim.  ``benchmark.pedantic`` with a
+single round keeps pytest-benchmark from re-running multi-second
+simulations dozens of times.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Measure one execution of ``fn`` and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def print_rows(title, result):
+    """Emit a figure's rows under a banner (visible with pytest -s)."""
+    print(f"\n=== {title} ===")
+    for row in result.rows():
+        print(row)

@@ -1,0 +1,13 @@
+"""Fig. 3 — random phase offsets across 16 reader RF ports."""
+
+from conftest import print_rows, run_once
+
+from repro.experiments import run_fig03
+
+
+def test_fig03_phase_offsets(benchmark):
+    result = run_once(benchmark, run_fig03, rng=101)
+    print_rows("Fig. 3: per-port phase offsets (deg)", result)
+    # Paper: offsets range from -85.9 to +176 degrees — wildly random.
+    assert len(result.offsets_deg) == 16
+    assert result.spread_deg > 90.0

@@ -1,0 +1,22 @@
+"""Fig. 9 — wireless calibration error vs number of reference tags."""
+
+from conftest import print_rows, run_once
+
+from repro.experiments import run_fig09
+
+
+def test_fig09_calibration_error(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig09,
+        tag_counts=(1, 2, 4, 6, 8, 10),
+        trials=3,
+        rng=103,
+    )
+    print_rows("Fig. 9: phase calibration error (rad)", result)
+    # Paper: D-Watch below 0.05 rad with >= 4 tags (we allow slack for
+    # the reduced trial count); Phaser flat — extra tags don't help it.
+    assert min(result.dwatch_error_rad[3:]) < 0.08
+    assert result.dwatch_error_rad[0] > min(result.dwatch_error_rad[3:])
+    assert result.phaser_error_rad[0] == result.phaser_error_rad[-1]
+    assert min(result.dwatch_error_rad[3:]) < result.phaser_error_rad[-1]

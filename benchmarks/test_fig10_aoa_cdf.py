@@ -1,0 +1,16 @@
+"""Fig. 10 — LoS AoA error CDF for the three calibration modes."""
+
+from conftest import print_rows, run_once
+
+from repro.experiments import run_fig10
+
+
+def test_fig10_aoa_cdf(benchmark):
+    result = run_once(benchmark, run_fig10, trials=4, rng=104)
+    print_rows("Fig. 10: LoS AoA error medians (deg)", result)
+    medians = result.medians()
+    # Paper: D-Watch median ~2 deg, better than Phaser; uncalibrated
+    # estimation is hopeless.
+    assert medians["dwatch"] < 5.0
+    assert medians["dwatch"] <= medians["phaser"] + 0.5
+    assert medians["none"] > 15.0

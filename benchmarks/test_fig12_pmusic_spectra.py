@@ -1,0 +1,21 @@
+"""Fig. 12 — P-MUSIC spectrum changes track blocking faithfully."""
+
+from conftest import print_rows, run_once
+
+from repro.experiments import run_fig12
+
+
+def test_fig12_pmusic_spectra(benchmark):
+    result = run_once(benchmark, run_fig12, rng=105)
+    print_rows("Fig. 12: P-MUSIC per-path power drops", result)
+    blocked = result.one_blocked_drop[result.blocked_index]
+    others = [
+        drop
+        for index, drop in enumerate(result.one_blocked_drop)
+        if index != result.blocked_index
+    ]
+    # Paper: the blocked peak collapses, unblocked peaks barely move;
+    # with all paths blocked every peak collapses.
+    assert blocked > 0.8
+    assert all(drop < 0.5 for drop in others)
+    assert sum(1 for drop in result.all_blocked_drop if drop > 0.5) >= 2

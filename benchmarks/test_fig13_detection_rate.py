@@ -1,0 +1,23 @@
+"""Fig. 13 — detection rate of P-MUSIC vs classic MUSIC."""
+
+import numpy as np
+
+from conftest import print_rows, run_once
+
+from repro.experiments import run_fig13
+
+
+def test_fig13_detection_rate(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig13,
+        distances_m=(2.0, 4.0, 6.0, 8.0),
+        trials=8,
+        rng=106,
+    )
+    print_rows("Fig. 13: detection rates", result)
+    # Paper: P-MUSIC near 100% for single blocks; classic MUSIC never
+    # detects the all-blocked case.
+    assert np.mean(result.pmusic_one) > 0.85
+    assert np.mean(result.music_all) <= 0.15
+    assert np.mean(result.pmusic_all) > np.mean(result.music_all)

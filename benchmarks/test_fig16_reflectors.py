@@ -1,0 +1,20 @@
+"""Fig. 16 — planted reflectors raise coverage in the empty hall."""
+
+from conftest import print_rows, run_once
+
+from repro.experiments import run_fig16
+
+
+def test_fig16_reflectors(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig16,
+        reflector_counts=(0, 4, 8, 12),
+        num_locations=14,
+        repeats=1,
+        rng=109,
+    )
+    print_rows("Fig. 16: reflector sweep (hall)", result)
+    # Paper: coverage rises significantly with reflectors as more
+    # propagation paths cross the monitoring area.
+    assert result.coverage[-1] > result.coverage[0]

@@ -1,0 +1,19 @@
+"""Fig. 17 — more tags raise coverage in the library."""
+
+from conftest import print_rows, run_once
+
+from repro.experiments import run_fig17
+
+
+def test_fig17_tags(benchmark):
+    result = run_once(
+        benchmark,
+        run_fig17,
+        tag_counts=(7, 17, 27, 37, 47),
+        num_locations=12,
+        repeats=1,
+        rng=110,
+    )
+    print_rows("Fig. 17: tag sweep (library)", result)
+    # Paper: more tags -> more trip-wire paths -> higher coverage.
+    assert result.coverage[-1] > result.coverage[0]

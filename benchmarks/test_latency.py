@@ -1,0 +1,14 @@
+"""Section 8 — per-fix processing latency."""
+
+from conftest import print_rows, run_once
+
+from repro.experiments import run_latency
+
+
+def test_latency(benchmark):
+    result = run_once(benchmark, run_latency, fixes=8, rng=114)
+    print_rows("Latency: one localization fix", result)
+    # Paper: 57 ms processing per fix on an i7-4790 (C#/Matlab); the
+    # end-to-end budget is 0.5 s.  Our pure-Python pipeline must at
+    # least fit the end-to-end budget.
+    assert result.mean_ms < 500.0

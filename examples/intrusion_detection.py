@@ -1,0 +1,69 @@
+"""Intrusion detection: continuous monitoring of an empty hall.
+
+The motivating application from the paper's introduction: an intruder
+carries no tag and deliberately discards any trackable device, yet
+blocking a single backscatter path betrays them.  The script simulates
+a patrol loop — repeated fixes as an intruder crosses the monitored
+hall — and raises an alarm with a position estimate whenever blocking
+evidence appears, demonstrating deadzone gaps and re-acquisition.
+
+Run:  python examples/intrusion_detection.py
+"""
+
+from __future__ import annotations
+
+from repro import DWatch, MeasurementSession, hall_scene, human_target
+from repro.core.tracker import KalmanTracker
+from repro.geometry import Point
+
+
+def intruder_path(scene, steps: int = 24):
+    """A straight walk across the hall at ~1 m/s, fix every 0.4 m."""
+    start = Point(scene.room.min_x + 1.0, scene.room.min_y + 1.5)
+    end = Point(scene.room.max_x - 1.0, scene.room.max_y - 1.5)
+    return [start + (end - start) * (i / (steps - 1)) for i in range(steps)]
+
+
+def main() -> None:
+    scene = hall_scene(rng=7)
+    dwatch = DWatch(scene)
+    dwatch.calibrate(rng=8)
+    session = MeasurementSession(scene, rng=9)
+    dwatch.collect_baseline([session.capture() for _ in range(3)])
+
+    tracker = KalmanTracker(process_noise=1.5, measurement_noise=0.15)
+    print("monitoring... (x = alarm with fix, ~ = prediction, . = quiet)")
+    detections = 0
+    trace = []
+    for step, true_position in enumerate(intruder_path(scene)):
+        intruder = human_target(true_position)
+        estimates = dwatch.localize(session.capture([intruder]))
+        time_s = step * 0.4
+        if estimates:
+            detections += 1
+            fix = estimates[0].position
+            point = tracker.update(time_s, fix)
+            error = intruder.localization_error(point.position)
+            trace.append("x")
+            print(
+                f"  t={time_s:4.1f}s ALARM at ({point.position.x:5.2f}, "
+                f"{point.position.y:5.2f})  true ({true_position.x:5.2f}, "
+                f"{true_position.y:5.2f})  err {error * 100:5.1f} cm"
+            )
+        elif tracker.initialized:
+            # Deadzone: no path blocked right now; coast on the motion
+            # model (the paper's Section 8 mobility mitigation).
+            point = tracker.update(time_s, None)
+            trace.append("~")
+            print(
+                f"  t={time_s:4.1f}s deadzone, predicted "
+                f"({point.position.x:5.2f}, {point.position.y:5.2f})"
+            )
+        else:
+            trace.append(".")
+    print(f"\ntimeline: {''.join(trace)}")
+    print(f"detected {detections}/{len(trace)} fixes while crossing")
+
+
+if __name__ == "__main__":
+    main()

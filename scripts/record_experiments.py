@@ -1,0 +1,81 @@
+"""Regenerate every table/figure of the paper at evaluation scale.
+
+Runs each experiment with a fuller budget than the quick benchmarks and
+prints the rows EXPERIMENTS.md records.  Takes tens of minutes.
+
+Run:  python scripts/record_experiments.py [output.txt]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+import repro.experiments as experiments
+
+
+RUNS = [
+    ("Fig. 3  (phase offsets)", lambda: experiments.run_fig03(rng=201)),
+    ("Fig. 4  (MUSIC limitation)", lambda: experiments.run_fig04(rng=202)),
+    (
+        "Fig. 9  (calibration vs tags)",
+        lambda: experiments.run_fig09(
+            tag_counts=(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), trials=4, rng=203
+        ),
+    ),
+    ("Fig. 10 (AoA error CDF)", lambda: experiments.run_fig10(trials=6, rng=204)),
+    ("Fig. 12 (P-MUSIC spectra)", lambda: experiments.run_fig12(rng=205)),
+    (
+        "Fig. 13 (detection rate)",
+        lambda: experiments.run_fig13(trials=12, rng=206),
+    ),
+    (
+        "Fig. 14 (overall localization)",
+        lambda: experiments.run_fig14(num_locations=40, repeats=2, rng=207),
+    ),
+    (
+        "Fig. 15 (antenna count)",
+        lambda: experiments.run_fig15(num_locations=16, repeats=2, rng=208),
+    ),
+    (
+        "Fig. 16 (reflector sweep)",
+        lambda: experiments.run_fig16(num_locations=16, repeats=2, rng=209),
+    ),
+    (
+        "Fig. 17 (tag sweep)",
+        lambda: experiments.run_fig17(num_locations=14, repeats=2, rng=210),
+    ),
+    (
+        "Fig. 18 (height difference)",
+        lambda: experiments.run_fig18(num_locations=12, repeats=2, rng=211),
+    ),
+    (
+        "Fig. 19 (multi-target table)",
+        lambda: experiments.run_fig19(snapshots=8, rng=212),
+    ),
+    ("Fig. 21/22 (fist tracking)", lambda: experiments.run_fig21(rng=213)),
+    ("Latency  (Section 8)", lambda: experiments.run_latency(fixes=20, rng=214)),
+]
+
+
+def main() -> None:
+    sink = open(sys.argv[1], "w") if len(sys.argv) > 1 else sys.stdout
+
+    def emit(line: str) -> None:
+        print(line, file=sink, flush=True)
+
+    total_start = time.time()
+    for title, runner in RUNS:
+        start = time.time()
+        result = runner()
+        elapsed = time.time() - start
+        emit(f"\n=== {title}  [{elapsed:.0f}s] ===")
+        for row in result.rows():
+            emit(row)
+    emit(f"\ntotal: {time.time() - total_start:.0f}s")
+    if sink is not sys.stdout:
+        sink.close()
+
+
+if __name__ == "__main__":
+    main()

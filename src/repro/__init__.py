@@ -1,0 +1,60 @@
+"""D-Watch reproduction: device-free RFID localization that embraces
+"bad" multipaths (Wang et al., CoNEXT 2016).
+
+Quick start::
+
+    from repro import DWatch, library_scene, MeasurementSession, human_target
+    from repro.geometry import Point
+
+    scene = library_scene(rng=1)
+    dwatch = DWatch(scene)
+    dwatch.calibrate(rng=2)
+
+    session = MeasurementSession(scene, rng=3)
+    dwatch.collect_baseline(session.capture())
+
+    target = human_target(Point(3.0, 5.0))
+    estimates = dwatch.localize(session.capture([target]))
+    print(estimates[0].position)
+
+The subpackages are usable on their own: :mod:`repro.dsp` for
+MUSIC/P-MUSIC, :mod:`repro.calibration` for over-the-air phase
+calibration, :mod:`repro.rfid` for the Gen2/LLRP substrate, and
+:mod:`repro.sim` for scene simulation.
+"""
+
+from repro.core.pipeline import DWatch, calibrate_readers
+from repro.core.likelihood import LocationEstimate
+from repro.dsp.music import MusicEstimator
+from repro.dsp.pmusic import PMusicEstimator
+from repro.sim.environments import (
+    library_scene,
+    laboratory_scene,
+    hall_scene,
+    table_scene,
+    calibration_scene,
+)
+from repro.sim.measurement import MeasurementConfig, MeasurementSession
+from repro.sim.target import human_target, bottle_target, fist_target, Target
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DWatch",
+    "calibrate_readers",
+    "LocationEstimate",
+    "MusicEstimator",
+    "PMusicEstimator",
+    "library_scene",
+    "laboratory_scene",
+    "hall_scene",
+    "table_scene",
+    "calibration_scene",
+    "MeasurementConfig",
+    "MeasurementSession",
+    "Target",
+    "human_target",
+    "bottle_target",
+    "fist_target",
+    "__version__",
+]

@@ -1,0 +1,20 @@
+"""Device-free localization baselines from the paper's related work.
+
+Two representative competitor families (Section 7):
+
+* **RSSI fingerprinting** — translate localization into signature
+  matching against a labour-intensive offline training database; breaks
+  when the environment changes.
+* **Radio tomographic imaging (RTI)** — model-based attenuation imaging
+  over the link mesh; coarse and dependent on dense line-of-sight
+  links.
+
+Both are implemented against the same measurement interface D-Watch
+consumes, so the benchmarks compare them head-to-head on identical
+captures.
+"""
+
+from repro.baselines.fingerprint import FingerprintLocalizer
+from repro.baselines.rti import RtiLocalizer
+
+__all__ = ["FingerprintLocalizer", "RtiLocalizer"]

@@ -1,0 +1,145 @@
+"""RSSI fingerprinting baseline (the related-work family of [41-43, 49]).
+
+The fingerprint approach walks a trainer to every grid location, records
+the per-(reader, tag) received power vector as that location's
+signature, and later matches online captures against the database with
+weighted k-nearest-neighbours.  It achieves usable accuracy — at the
+cost of hours of offline training that must be *redone whenever the
+environment changes*, which is exactly the deployment burden D-Watch
+eliminates (Section 1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, LocalizationError
+from repro.geometry.point import Point
+from repro.sim.measurement import Measurement, MeasurementSession
+from repro.sim.scene import Scene
+from repro.sim.target import Target, human_target
+
+
+def rssi_features(
+    measurement: Measurement, keys: Optional[List[Tuple[str, str]]] = None
+) -> Tuple[np.ndarray, List[Tuple[str, str]]]:
+    """Per-(reader, tag) mean received power in dB, as a flat vector.
+
+    Parameters
+    ----------
+    measurement:
+        The capture to featurize.
+    keys:
+        Optional fixed key order (from training); missing pairs read as
+        the -100 dB silence floor so train/online vectors stay aligned.
+    """
+    powers: Dict[Tuple[str, str], float] = {}
+    for reader_name in measurement.readers():
+        for epc in measurement.tags_for(reader_name):
+            snapshots = measurement.matrix(reader_name, epc)
+            mean_power = float(np.mean(np.abs(snapshots) ** 2))
+            powers[(reader_name, epc)] = 10.0 * math.log10(
+                max(mean_power, 1e-18)
+            )
+    if keys is None:
+        keys = sorted(powers)
+    vector = np.array([powers.get(key, -100.0) for key in keys])
+    return vector, list(keys)
+
+
+@dataclass
+class FingerprintLocalizer:
+    """Weighted k-NN localization over an offline signature database.
+
+    Parameters
+    ----------
+    k:
+        Neighbours in the match.
+    training_spacing:
+        Grid pitch of training locations (metres).  The paper's
+        complaint about this family is precisely that the training walk
+        covers *every* such location.
+    samples_per_location:
+        Captures averaged per training location.
+    """
+
+    k: int = 3
+    training_spacing: float = 0.5
+    samples_per_location: int = 2
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ConfigurationError("k must be at least 1")
+        if self.training_spacing <= 0.0:
+            raise ConfigurationError("training spacing must be positive")
+        self._locations: List[Point] = []
+        self._signatures: Optional[np.ndarray] = None
+        self._keys: Optional[List[Tuple[str, str]]] = None
+
+    @property
+    def trained(self) -> bool:
+        """Whether a database has been collected."""
+        return self._signatures is not None
+
+    @property
+    def training_captures(self) -> int:
+        """Size of the offline effort: captures in the database."""
+        return len(self._locations) * self.samples_per_location
+
+    def train(
+        self,
+        scene: Scene,
+        session: MeasurementSession,
+        locations: Optional[Sequence[Point]] = None,
+        target_factory=human_target,
+    ) -> int:
+        """Walk the training grid and record signatures.
+
+        Returns the number of training captures taken (the labour the
+        paper's Table-less comparison argues about).
+        """
+        from repro.sim.deployment import test_location_grid
+
+        if locations is None:
+            locations = test_location_grid(
+                scene.room, spacing=self.training_spacing
+            )
+        if not locations:
+            raise ConfigurationError("no training locations")
+        signatures = []
+        keys = None
+        for location in locations:
+            target = target_factory(location)
+            vectors = []
+            for _ in range(self.samples_per_location):
+                capture = session.capture([target])
+                vector, keys = rssi_features(capture, keys)
+                vectors.append(vector)
+            signatures.append(np.mean(vectors, axis=0))
+        self._locations = list(locations)
+        self._signatures = np.stack(signatures)
+        self._keys = keys
+        return self.training_captures
+
+    def localize(self, measurement: Measurement) -> Point:
+        """Weighted k-NN match of an online capture.
+
+        Raises
+        ------
+        LocalizationError
+            If called before training.
+        """
+        if not self.trained:
+            raise LocalizationError("fingerprint database has not been trained")
+        vector, _ = rssi_features(measurement, self._keys)
+        distances = np.linalg.norm(self._signatures - vector, axis=1)
+        order = np.argsort(distances)[: self.k]
+        weights = 1.0 / np.clip(distances[order], 1e-6, None)
+        weights = weights / weights.sum()
+        x = sum(w * self._locations[i].x for w, i in zip(weights, order))
+        y = sum(w * self._locations[i].y for w, i in zip(weights, order))
+        return Point(float(x), float(y))

@@ -1,0 +1,26 @@
+"""Phase calibration: D-Watch's wireless scheme plus baselines."""
+
+from repro.calibration.offsets import PhaseOffsets, offset_error
+from repro.calibration.ga import GeneticMinimizer, GaResult
+from repro.calibration.annealing import SimulatedAnnealing, AnnealingResult
+from repro.calibration.wireless import (
+    WirelessCalibrator,
+    CalibrationObservation,
+    subspace_cost,
+)
+from repro.calibration.phaser import PhaserCalibrator
+from repro.calibration.wired import WiredCalibrator
+
+__all__ = [
+    "PhaseOffsets",
+    "offset_error",
+    "GeneticMinimizer",
+    "GaResult",
+    "SimulatedAnnealing",
+    "AnnealingResult",
+    "WirelessCalibrator",
+    "CalibrationObservation",
+    "subspace_cost",
+    "PhaserCalibrator",
+    "WiredCalibrator",
+]

@@ -1,0 +1,115 @@
+"""Simulated annealing: a second global solver for Eq. 11.
+
+The calibration objective is multi-modal in the offset phases; the
+paper picks GA + gradient descent.  Annealing is the classic
+alternative global strategy — worth having both to (a) cross-check
+calibration results with an independent solver and (b) quantify the
+paper's choice in the solver ablation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import RngLike, ensure_rng
+
+Objective = Callable[[np.ndarray], float]
+
+
+@dataclass(frozen=True)
+class AnnealingResult:
+    """Outcome of an annealing run."""
+
+    best: np.ndarray
+    best_cost: float
+    iterations: int
+    acceptance_rate: float
+
+
+@dataclass
+class SimulatedAnnealing:
+    """Metropolis annealing over a bounded box.
+
+    Parameters
+    ----------
+    bounds:
+        Per-dimension ``(low, high)`` box constraints.
+    iterations:
+        Total proposal count.
+    initial_temperature:
+        Starting temperature, in objective units.  Scale it to a
+        typical cost difference between random candidates.
+    cooling:
+        Geometric cooling factor per iteration.
+    step_scale:
+        Proposal standard deviation as a fraction of each dimension's
+        width; shrinks with the temperature.
+    """
+
+    bounds: Sequence[Tuple[float, float]]
+    iterations: int = 4000
+    initial_temperature: float = 1.0
+    cooling: float = 0.999
+    step_scale: float = 0.15
+
+    def __post_init__(self) -> None:
+        if not self.bounds:
+            raise ConfigurationError("at least one dimension is required")
+        for low, high in self.bounds:
+            if low >= high:
+                raise ConfigurationError(f"invalid bound ({low}, {high})")
+        if self.iterations < 1:
+            raise ConfigurationError("need at least one iteration")
+        if not 0.0 < self.cooling <= 1.0:
+            raise ConfigurationError("cooling must be in (0, 1]")
+
+    def minimize(
+        self,
+        objective: Objective,
+        rng: RngLike = None,
+        initial: Optional[np.ndarray] = None,
+    ) -> AnnealingResult:
+        """Minimize ``objective`` over the box."""
+        generator = ensure_rng(rng)
+        lows = np.array([b[0] for b in self.bounds])
+        highs = np.array([b[1] for b in self.bounds])
+        widths = highs - lows
+
+        if initial is not None:
+            current = np.clip(np.asarray(initial, dtype=float), lows, highs)
+        else:
+            current = generator.uniform(lows, highs)
+        current_cost = objective(current)
+        best, best_cost = current.copy(), current_cost
+
+        temperature = self.initial_temperature
+        accepted = 0
+        for _ in range(self.iterations):
+            scale = self.step_scale * max(
+                temperature / self.initial_temperature, 0.05
+            )
+            proposal = current + generator.normal(
+                0.0, scale, size=current.size
+            ) * widths
+            proposal = np.clip(proposal, lows, highs)
+            proposal_cost = objective(proposal)
+            delta = proposal_cost - current_cost
+            if delta <= 0.0 or generator.random() < math.exp(
+                -delta / max(temperature, 1e-12)
+            ):
+                current, current_cost = proposal, proposal_cost
+                accepted += 1
+                if current_cost < best_cost:
+                    best, best_cost = current.copy(), current_cost
+            temperature *= self.cooling
+        return AnnealingResult(
+            best=best,
+            best_cost=float(best_cost),
+            iterations=self.iterations,
+            acceptance_rate=accepted / self.iterations,
+        )

@@ -1,0 +1,73 @@
+"""Phase-offset containers and error metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CalibrationError
+from repro.utils.angles import wrap_to_pi
+
+
+@dataclass(frozen=True)
+class PhaseOffsets:
+    """Per-antenna-chain phase offsets relative to chain 1.
+
+    ``values[0]`` is always 0: chain 1 is the reference, matching the
+    paper's ``Gamma = diag(1, exp(j*dbeta_2,1), ...)`` convention.
+    """
+
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.values, dtype=float)
+        if arr.ndim != 1 or arr.size < 2:
+            raise CalibrationError("offsets must be a 1-D vector of length >= 2")
+        object.__setattr__(self, "values", arr)
+
+    @classmethod
+    def referenced(cls, raw: np.ndarray) -> "PhaseOffsets":
+        """Build offsets re-referenced so the first entry is zero."""
+        arr = np.asarray(raw, dtype=float)
+        return cls(np.asarray(wrap_to_pi(arr - arr[0]), dtype=float))
+
+    @property
+    def num_antennas(self) -> int:
+        """Number of antenna chains covered."""
+        return int(self.values.size)
+
+    def gamma(self) -> np.ndarray:
+        """The diagonal offset matrix ``Gamma``."""
+        return np.diag(np.exp(1j * self.values))
+
+    def correction(self) -> np.ndarray:
+        """Per-antenna complex factors that *undo* the offsets.
+
+        Multiply measured snapshots by this column vector to recover the
+        offset-free array signal: ``X_clean = correction[:, None] * X``.
+        """
+        return np.exp(-1j * self.values)
+
+    def apply_correction(self, snapshots: np.ndarray) -> np.ndarray:
+        """Snapshots with the offsets removed."""
+        x = np.asarray(snapshots, dtype=complex)
+        if x.shape[0] != self.num_antennas:
+            raise CalibrationError(
+                f"snapshot rows ({x.shape[0]}) != offset entries ({self.num_antennas})"
+            )
+        return self.correction()[:, None] * x
+
+
+def offset_error(estimate: PhaseOffsets, truth: PhaseOffsets) -> float:
+    """Mean absolute wrapped phase error between two offset vectors.
+
+    Both vectors are re-referenced to antenna 1 before comparison, since
+    a common phase shift across the whole array is unobservable and
+    harmless to AoA estimation.
+    """
+    if estimate.num_antennas != truth.num_antennas:
+        raise CalibrationError("offset vectors cover different array sizes")
+    a = wrap_to_pi(estimate.values - estimate.values[0])
+    b = wrap_to_pi(truth.values - truth.values[0])
+    return float(np.mean(np.abs(wrap_to_pi(np.asarray(a) - np.asarray(b)))))

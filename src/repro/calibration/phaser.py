@@ -1,0 +1,79 @@
+"""Phaser-style wireless calibration baseline (Gjengset et al. 2014).
+
+Phaser self-calibrates a Wi-Fi AP by transmitting from one auxiliary
+antenna and chaining *pairwise* phase comparisons along the array: the
+offset of antenna ``m`` is the offset of antenna ``m-1`` plus the
+measured-minus-expected phase difference of the pair.  Two properties
+make it coarse in a multipath room, and both are reproduced here:
+
+* it has exactly **one** reference source with fixed geometry, so the
+  multipath bias of that single vantage point cannot be averaged away —
+  deploying more reference tags does not help it (the flat Phaser curve
+  in the paper's Fig. 9);
+* pairwise chaining accumulates each pair's residual multipath error as
+  a random walk along the array, growing with element index.
+
+D-Watch instead jointly optimizes all offsets over many tags at diverse
+angles, which is what buys its order-of-magnitude better accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.calibration.offsets import PhaseOffsets
+from repro.errors import CalibrationError
+from repro.rf.array import steering_vector
+from repro.utils.angles import wrap_to_pi
+
+
+@dataclass
+class PhaserCalibrator:
+    """The coarse single-reference, pairwise-chained baseline.
+
+    Parameters
+    ----------
+    spacing_m, wavelength_m:
+        Array geometry (same conventions as the D-Watch calibrator).
+    """
+
+    spacing_m: float
+    wavelength_m: float
+
+    def estimate(
+        self,
+        observations: Sequence[Tuple[np.ndarray, float]],
+    ) -> PhaseOffsets:
+        """Estimate offsets from ``(snapshots, los_angle)`` pairs.
+
+        Only the first observation is used: Phaser's design transmits
+        from one fixed auxiliary antenna, so additional reference
+        sources are accepted for API symmetry with
+        :class:`~repro.calibration.wireless.WirelessCalibrator` but
+        carry no information the scheme can exploit.
+        """
+        if not observations:
+            raise CalibrationError("cannot calibrate without observations")
+        snapshots, los_angle = observations[0]
+        x = np.asarray(snapshots, dtype=complex)
+        if x.ndim != 2 or x.shape[0] < 2:
+            raise CalibrationError("snapshots must be (M >= 2, N)")
+        m = x.shape[0]
+
+        expected = steering_vector(los_angle, m, self.spacing_m, self.wavelength_m)
+        offsets = np.zeros(m)
+        for antenna in range(1, m):
+            # Pairwise comparison against the previous element: average
+            # x_m / x_{m-1} over time to cancel the source modulation,
+            # then subtract the geometric LoS phase step of the pair.
+            previous = x[antenna - 1, :]
+            safe_previous = np.where(np.abs(previous) < 1e-15, 1e-15, previous)
+            ratio = (x[antenna, :] / safe_previous).mean()
+            measured_step = float(np.angle(ratio))
+            expected_step = float(np.angle(expected[antenna] / expected[antenna - 1]))
+            pair_offset = wrap_to_pi(measured_step - expected_step)
+            offsets[antenna] = offsets[antenna - 1] + pair_offset
+        return PhaseOffsets.referenced(offsets)

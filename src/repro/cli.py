@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands cover the tasks a user reaches for first:
+
+* ``demo``      — calibrate, baseline and localize one target in a
+  chosen environment, printing the likelihood heat map.
+* ``coverage``  — print the deployment's coverage/deadzone map.
+* ``experiment``— run one figure reproduction by name.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.constants import TABLE_GRID_CELL_M
+
+
+ENVIRONMENTS = ("library", "laboratory", "hall", "table", "wifi-office")
+
+
+def _build_scene(name: str, seed: int):
+    from repro.sim.environments import (
+        hall_scene,
+        laboratory_scene,
+        library_scene,
+        table_scene,
+    )
+    from repro.wifi import wifi_office_scene
+
+    makers = {
+        "library": library_scene,
+        "laboratory": laboratory_scene,
+        "hall": hall_scene,
+        "table": table_scene,
+        "wifi-office": wifi_office_scene,
+    }
+    if name not in makers:
+        raise SystemExit(f"unknown environment {name!r}; pick from {ENVIRONMENTS}")
+    return makers[name](rng=seed)
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """Localize one target and show the evidence surface."""
+    from repro.core.pipeline import DWatch
+    from repro.geometry.point import Point
+    from repro.sim.measurement import MeasurementSession
+    from repro.sim.target import human_target
+    from repro.viz import render_likelihood, render_scene
+
+    scene = _build_scene(args.environment, args.seed)
+    print("\n".join(render_scene(scene)))
+    cell = TABLE_GRID_CELL_M if args.environment == "table" else 0.05
+    dwatch = DWatch(scene, cell_size=cell)
+    print("calibrating readers over the air...")
+    dwatch.calibrate(rng=args.seed + 1)
+    session = MeasurementSession(scene, rng=args.seed + 2)
+    dwatch.collect_baseline([session.capture() for _ in range(3)])
+
+    if args.x is not None and args.y is not None:
+        position = Point(args.x, args.y)
+    else:
+        position = scene.room.center
+    target = human_target(position)
+    measurement = session.capture([target])
+    evidence = dwatch.evidence(measurement)
+    estimates = dwatch.localize(measurement)
+    print("\nlikelihood surface (X = true position):")
+    print(
+        "\n".join(
+            render_likelihood(dwatch.likelihood_map, evidence, truth=position)
+        )
+    )
+    if estimates:
+        estimate = estimates[0]
+        error = target.localization_error(estimate.position)
+        print(
+            f"\nestimate ({estimate.position.x:.2f}, {estimate.position.y:.2f})"
+            f"  true ({position.x:.2f}, {position.y:.2f})"
+            f"  error {error * 100:.1f} cm"
+        )
+    else:
+        print("\ntarget not localizable from here (deadzone)")
+    return 0
+
+
+def cmd_coverage(args: argparse.Namespace) -> int:
+    """Print the coverage/deadzone map of a deployment."""
+    from repro.sim.coverage import analyze_coverage
+
+    scene = _build_scene(args.environment, args.seed)
+    coverage = analyze_coverage(scene, grid_spacing=args.spacing)
+    print("\n".join(coverage.ascii_map()))
+    print(
+        f"\ncoverage {coverage.coverage_rate:.0%}  "
+        f"deadzone {coverage.deadzone_rate:.0%}  "
+        f"('#' localizable, '+' one reader, '.' deadzone)"
+    )
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    """Run one figure reproduction by its short name."""
+    import repro.experiments as experiments
+
+    runners: Dict[str, Callable] = {
+        "fig03": lambda: experiments.run_fig03(rng=args.seed),
+        "fig04": lambda: experiments.run_fig04(rng=args.seed),
+        "fig09": lambda: experiments.run_fig09(trials=2, rng=args.seed),
+        "fig10": lambda: experiments.run_fig10(trials=3, rng=args.seed),
+        "fig12": lambda: experiments.run_fig12(rng=args.seed),
+        "fig13": lambda: experiments.run_fig13(trials=6, rng=args.seed),
+        "fig14": lambda: experiments.run_fig14(num_locations=12, rng=args.seed),
+        "fig15": lambda: experiments.run_fig15(num_locations=8, rng=args.seed),
+        "fig16": lambda: experiments.run_fig16(num_locations=10, rng=args.seed),
+        "fig17": lambda: experiments.run_fig17(num_locations=10, rng=args.seed),
+        "fig18": lambda: experiments.run_fig18(num_locations=8, rng=args.seed),
+        "fig19": lambda: experiments.run_fig19(snapshots=4, rng=args.seed),
+        "fig21": lambda: experiments.run_fig21(rng=args.seed),
+        "latency": lambda: experiments.run_latency(fixes=8, rng=args.seed),
+    }
+    if args.figure not in runners:
+        raise SystemExit(
+            f"unknown figure {args.figure!r}; pick from {sorted(runners)}"
+        )
+    result = runners[args.figure]()
+    print("\n".join(result.rows()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="D-Watch reproduction: demos, coverage maps, experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="localize one target end to end")
+    demo.add_argument("--environment", default="hall", choices=ENVIRONMENTS)
+    demo.add_argument("--seed", type=int, default=1)
+    demo.add_argument("--x", type=float, default=None)
+    demo.add_argument("--y", type=float, default=None)
+    demo.set_defaults(handler=cmd_demo)
+
+    coverage = sub.add_parser("coverage", help="print the coverage map")
+    coverage.add_argument("--environment", default="hall", choices=ENVIRONMENTS)
+    coverage.add_argument("--seed", type=int, default=1)
+    coverage.add_argument("--spacing", type=float, default=0.4)
+    coverage.set_defaults(handler=cmd_coverage)
+
+    experiment = sub.add_parser("experiment", help="run a figure reproduction")
+    experiment.add_argument("figure")
+    experiment.add_argument("--seed", type=int, default=1)
+    experiment.set_defaults(handler=cmd_experiment)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

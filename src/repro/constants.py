@@ -1,0 +1,63 @@
+"""Physical and system constants used throughout the D-Watch reproduction.
+
+The defaults mirror the hardware configuration of the paper's prototype:
+Impinj Speedway R420 readers operating in the Chinese UHF band
+(920.5-924.5 MHz) driving 8-element uniform linear arrays with
+half-wavelength (16.25 cm) element spacing.
+"""
+
+from __future__ import annotations
+
+#: Speed of light in vacuum (m/s).
+SPEED_OF_LIGHT = 299_792_458.0
+
+#: Lower edge of the Chinese UHF RFID band used by the paper (Hz).
+UHF_BAND_LOW_HZ = 920.5e6
+
+#: Upper edge of the Chinese UHF RFID band used by the paper (Hz).
+UHF_BAND_HIGH_HZ = 924.5e6
+
+#: Centre frequency used for all default simulations (Hz).
+DEFAULT_FREQUENCY_HZ = (UHF_BAND_LOW_HZ + UHF_BAND_HIGH_HZ) / 2.0
+
+#: Wavelength at the default centre frequency (m), approximately 0.325 m.
+DEFAULT_WAVELENGTH_M = SPEED_OF_LIGHT / DEFAULT_FREQUENCY_HZ
+
+#: Default number of antennas per array (the paper uses 8).
+DEFAULT_NUM_ANTENNAS = 8
+
+#: Default inter-element spacing: half a wavelength (~16.25 cm).
+DEFAULT_ELEMENT_SPACING_M = DEFAULT_WAVELENGTH_M / 2.0
+
+#: Number of RF ports on one Impinj Speedway R420 reader.
+RF_PORTS_PER_READER = 4
+
+#: Time-division slot per antenna on the Impinj antenna hub (seconds).
+ANTENNA_TDM_SLOT_S = 200e-6
+
+#: Reader transmission interval used in the paper's deployment (seconds).
+READER_TX_INTERVAL_S = 0.1
+
+#: Number of backscatter packets collected per tag per fix in the paper.
+PACKETS_PER_FIX = 10
+
+#: Grid cell edge used for room-scale localization (metres, 5 cm).
+ROOM_GRID_CELL_M = 0.05
+
+#: Grid cell edge used for the 2 m x 2 m table area (metres, 2 cm).
+TABLE_GRID_CELL_M = 0.02
+
+#: Effective radius of a human torso target (metres).  The paper treats a
+#: human as a 32-40 cm wide extended target and scores any estimate within
+#: an (approximately) 36 cm span as exact.
+HUMAN_TARGET_RADIUS_M = 0.18
+
+#: Bottom radius of the glass-bottle object targets (metres, 7.8 cm dia).
+BOTTLE_TARGET_RADIUS_M = 0.039
+
+#: Effective radius of a human fist (metres).
+FIST_TARGET_RADIUS_M = 0.05
+
+#: Maximum number of dominant indoor propagation paths assumed by the
+#: calibration equation counting argument (Section 4.1 cites [51]: P <= 5).
+MAX_DOMINANT_PATHS = 5

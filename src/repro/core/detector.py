@@ -1,0 +1,280 @@
+"""Blocked-path detection by comparing P-MUSIC spectra.
+
+For every baseline peak (one per propagation path) the detector reads
+the online power at the same angle; a relative power drop beyond the
+threshold means a target is shadowing that path.  Per reader, the
+detected ``(angle, strength)`` events are folded into a smooth angular
+evidence function ``delta Omega_i(theta)`` — the quantity the
+likelihood combiner (Eq. 15) consumes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.baseline import SpectrumSet
+from repro.dsp.peaks import find_spectrum_peaks
+from repro.dsp.spectrum import AngularSpectrum, default_angle_grid
+from repro.errors import LocalizationError
+
+
+@dataclass(frozen=True)
+class BlockedPath:
+    """One detected blocking event on one (reader, tag) pair.
+
+    ``confidence`` reflects the spectral stability of the underlying
+    baseline peak: 1.0 for a peak that held its power across every
+    empty-area confirmation capture, linearly down to 0.0 for one that
+    "dropped" on its own (an unresolved multi-path lobe whose apparent
+    power wanders between captures).
+    """
+
+    reader_name: str
+    epc: str
+    angle: float
+    relative_drop: float
+    baseline_power: float
+    online_power: float
+    confidence: float = 1.0
+
+    @property
+    def weight(self) -> float:
+        """Evidence weight: drop magnitude discounted by stability."""
+        return self.relative_drop * self.confidence
+
+
+@dataclass
+class AngleEvidence:
+    """Aggregated angular evidence of one reader.
+
+    ``drop`` is the smooth ``delta Omega_i(theta)`` built from all of
+    the reader's blocking events; ``events`` keeps the underlying
+    detections for outlier analysis.
+    """
+
+    reader_name: str
+    drop: AngularSpectrum
+    events: List[BlockedPath] = field(default_factory=list)
+
+    @property
+    def has_detection(self) -> bool:
+        """Whether this reader saw at least one blocked path."""
+        return bool(self.events)
+
+    def blocked_angles(self) -> List[float]:
+        """Angles of all blocking events (radians)."""
+        return [event.angle for event in self.events]
+
+    def without_events_near(self, angle: float, tolerance: float) -> "AngleEvidence":
+        """Evidence with events within ``tolerance`` of ``angle`` removed.
+
+        Used by the multi-target splitter: once a target explains some
+        events, the remaining evidence should re-localize without them.
+        """
+        kept = [e for e in self.events if abs(e.angle - angle) > tolerance]
+        return _evidence_from_events(self.reader_name, kept, self.drop.angles)
+
+
+@dataclass
+class DropDetector:
+    """Turns baseline/online spectrum sets into per-reader evidence.
+
+    Parameters
+    ----------
+    relative_threshold:
+        Minimum fractional power drop ``(P_base - P_online) / P_base``
+        at a baseline peak to declare the path blocked.  With ~ -17 dB
+        body shadowing, genuine blocks have drops near 0.98, so 0.5 is
+        conservative but robust to noise.
+    min_peak_relative_height:
+        Baseline peaks weaker than this fraction of the tag's strongest
+        peak are ignored (too noisy to judge a drop reliably).
+    kernel_width:
+        Standard deviation (radians) of the Gaussian kernel that turns
+        discrete blocking events into a smooth evidence function; on
+        the order of the array's angular resolution.
+    comparison_window:
+        Half-width (radians) of the angular window around a baseline
+        peak searched for the matching online peak.  P-MUSIC lobes are
+        sharp, so finite-snapshot jitter moves peaks by a fraction of a
+        degree between captures; comparing the baseline peak against
+        the *windowed maximum* of the online spectrum measures the true
+        per-path power change instead of that jitter.
+    """
+
+    relative_threshold: float = 0.5
+    min_peak_relative_height: float = 0.12
+    kernel_width: float = math.radians(2.0)
+    comparison_window: float = math.radians(2.5)
+    #: Peaks this close (radians) to endfire (0 or pi) are discarded: a
+    #: ULA's resolution collapses at endfire (d theta / d cos theta
+    #: diverges) and its spectra spike there spuriously.
+    endfire_margin: float = math.radians(4.0)
+
+    def detect_pair(
+        self,
+        reader_name: str,
+        epc: str,
+        baseline: AngularSpectrum,
+        online: AngularSpectrum,
+        confirmations: Sequence[AngularSpectrum] = (),
+    ) -> List[BlockedPath]:
+        """Blocking events on one (reader, tag) pair.
+
+        ``confirmations`` are additional *empty-area* captures of the
+        same pair; a baseline peak that already "drops" in one of them
+        is spectrally unstable (typically several unresolved paths
+        merged into one wandering lobe) and is excluded from
+        monitoring, killing its false-positive events.
+        """
+        events: List[BlockedPath] = []
+        for peak in find_spectrum_peaks(
+            baseline, min_relative_height=self.min_peak_relative_height
+        ):
+            if (
+                peak.angle < self.endfire_margin
+                or peak.angle > math.pi - self.endfire_margin
+            ):
+                continue
+            if peak.value <= 0.0:
+                continue
+            confidence = self._peak_confidence(peak, confirmations)
+            if confidence <= 0.0:
+                continue
+            online_power = _windowed_max(online, peak.angle, self.comparison_window)
+            drop = (peak.value - online_power) / peak.value
+            if drop >= self.relative_threshold:
+                events.append(
+                    BlockedPath(
+                        reader_name=reader_name,
+                        epc=epc,
+                        angle=peak.angle,
+                        relative_drop=float(drop),
+                        baseline_power=float(peak.value),
+                        online_power=float(online_power),
+                        confidence=confidence,
+                    )
+                )
+        return events
+
+    def evidence(
+        self,
+        baseline: "SpectrumSet | Sequence[SpectrumSet]",
+        online: SpectrumSet,
+    ) -> List[AngleEvidence]:
+        """Per-reader aggregated evidence.
+
+        ``baseline`` may be a single spectrum set or several captured
+        in succession; extra captures feed the peak-stability screen of
+        :meth:`detect_pair`.
+        """
+        baselines = (
+            [baseline] if isinstance(baseline, SpectrumSet) else list(baseline)
+        )
+        if not baselines:
+            raise LocalizationError("at least one baseline capture is required")
+        reference = baselines[0]
+        result: List[AngleEvidence] = []
+        for reader_name in reference.readers():
+            if reader_name not in online.spectra:
+                raise LocalizationError(
+                    f"online capture is missing reader {reader_name!r}"
+                )
+            events: List[BlockedPath] = []
+            grid: Optional[np.ndarray] = None
+            for epc, base_spec in reference.spectra[reader_name].items():
+                if epc not in online.spectra[reader_name]:
+                    # Tag fell silent (deep shadowing can do that); treat
+                    # every baseline peak of this tag as fully blocked.
+                    for peak in find_spectrum_peaks(
+                        base_spec,
+                        min_relative_height=self.min_peak_relative_height,
+                    ):
+                        if (
+                            peak.angle < self.endfire_margin
+                            or peak.angle > math.pi - self.endfire_margin
+                        ):
+                            continue
+                        events.append(
+                            BlockedPath(
+                                reader_name=reader_name,
+                                epc=epc,
+                                angle=peak.angle,
+                                relative_drop=1.0,
+                                baseline_power=float(peak.value),
+                                online_power=0.0,
+                            )
+                        )
+                    continue
+                online_spec = online.spectra[reader_name][epc]
+                confirmations = [
+                    extra.spectra[reader_name][epc]
+                    for extra in baselines[1:]
+                    if epc in extra.spectra.get(reader_name, {})
+                ]
+                events.extend(
+                    self.detect_pair(
+                        reader_name, epc, base_spec, online_spec, confirmations
+                    )
+                )
+                grid = base_spec.angles
+            if grid is None:
+                grid = default_angle_grid()
+            result.append(
+                _evidence_from_events(
+                    reader_name, events, grid, self.kernel_width
+                )
+            )
+        return result
+
+
+    def _peak_confidence(
+        self, peak, confirmations: Sequence[AngularSpectrum]
+    ) -> float:
+        """Stability confidence of a baseline peak in [0, 1].
+
+        The peak's worst apparent drop across empty-area confirmation
+        captures, scaled against the detection threshold: no drift
+        yields 1.0; a self-inflicted drop at the detection threshold
+        yields 0.0.
+        """
+        worst = 0.0
+        for spectrum in confirmations:
+            power = _windowed_max(spectrum, peak.angle, self.comparison_window)
+            worst = max(worst, (peak.value - power) / peak.value)
+        return max(0.0, 1.0 - worst / self.relative_threshold)
+
+
+def _windowed_max(spectrum: AngularSpectrum, angle: float, window: float) -> float:
+    """Maximum spectrum value within ``angle +/- window``."""
+    return spectrum.max_in_window(angle, window)
+
+
+def _evidence_from_events(
+    reader_name: str,
+    events: List[BlockedPath],
+    grid: np.ndarray,
+    kernel_width: float = math.radians(1.5),
+) -> AngleEvidence:
+    """Fold events into a smooth evidence spectrum via Gaussian kernels.
+
+    Each event contributes a kernel centred on its angle with amplitude
+    equal to its stability-weighted drop; overlapping kernels take the
+    pointwise maximum so several tags confirming the same angle do not
+    inflate the evidence beyond 1.
+    """
+    values = np.zeros_like(np.asarray(grid, dtype=float))
+    for event in events:
+        kernel = event.weight * np.exp(
+            -0.5 * ((grid - event.angle) / kernel_width) ** 2
+        )
+        values = np.maximum(values, kernel)
+    return AngleEvidence(
+        reader_name=reader_name,
+        drop=AngularSpectrum(np.asarray(grid, dtype=float), values),
+        events=list(events),
+    )

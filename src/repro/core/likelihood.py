@@ -1,0 +1,330 @@
+"""Likelihood-grid localization (Eq. 15) with hill-climbing refinement.
+
+For a candidate position ``O``, each reader contributes the evidence at
+the angle under which it would see ``O``; the paper combines readers
+multiplicatively: ``L(O) = prod_i delta Omega_i(theta_i(O))``.  The
+monitoring area is scanned on a grid (5 cm for rooms, 2 cm for the
+table) and the best cell is refined by hill climbing.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.constants import ROOM_GRID_CELL_M
+from repro.core.detector import AngleEvidence
+from repro.errors import LocalizationError
+from repro.geometry.point import Point
+from repro.geometry.shapes import Rectangle
+from repro.rfid.reader import Reader
+
+
+@dataclass(frozen=True)
+class LocationEstimate:
+    """A localization result with its supporting evidence."""
+
+    position: Point
+    likelihood: float
+    per_reader_angles: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class LikelihoodMap:
+    """Grid evaluation of the Eq. 15 likelihood over a room.
+
+    Parameters
+    ----------
+    room:
+        The monitoring-area footprint to scan.
+    readers:
+        Reader objects by name; their arrays define ``theta_i(O)``.
+    cell_size:
+        Grid cell edge (metres).
+    floor:
+        Small evidence floor ``epsilon`` added to every factor so a
+        reader that saw nothing (deadzone for that vantage point) does
+        not zero out the whole product; it merely contributes no
+        discrimination.
+    """
+
+    room: Rectangle
+    readers: Mapping[str, Reader]
+    cell_size: float = ROOM_GRID_CELL_M
+    floor: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.cell_size <= 0.0:
+            raise LocalizationError("grid cell size must be positive")
+        if not self.readers:
+            raise LocalizationError("likelihood map needs at least one reader")
+        # The grid and each reader's angle-to-cell map are static for
+        # the map's lifetime; caching them keeps the per-fix cost at
+        # "one interp per active reader" instead of recomputing
+        # trigonometry over tens of thousands of cells.
+        self._grid_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._angle_cache: Dict[str, np.ndarray] = {}
+
+    def grid_points(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The ``(xs, ys)`` axes of the evaluation grid."""
+        if self._grid_cache is None:
+            xs = np.arange(
+                self.room.min_x, self.room.max_x + 1e-9, self.cell_size
+            )
+            ys = np.arange(
+                self.room.min_y, self.room.max_y + 1e-9, self.cell_size
+            )
+            self._grid_cache = (xs, ys)
+        return self._grid_cache
+
+    def _angles_for(self, reader_name: str) -> np.ndarray:
+        """Cached ``theta_i(O)`` over the whole grid for one reader."""
+        if reader_name not in self._angle_cache:
+            xs, ys = self.grid_points()
+            grid_x, grid_y = np.meshgrid(xs, ys)
+            self._angle_cache[reader_name] = _angles_to_grid(
+                self._reader_for(reader_name), grid_x, grid_y
+            )
+        return self._angle_cache[reader_name]
+
+    def evaluate(
+        self, evidence: Sequence[AngleEvidence]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Likelihood over the grid: ``(xs, ys, L)`` with L shaped (len(ys), len(xs)).
+
+        Readers without any detection are skipped entirely — they carry
+        no angle information, and multiplying their flat floor in would
+        only rescale the surface.
+        """
+        active = [e for e in evidence if e.has_detection]
+        xs, ys = self.grid_points()
+        likelihood = np.ones((ys.size, xs.size), dtype=float)
+        if not active:
+            return xs, ys, np.zeros_like(likelihood)
+        for item in active:
+            theta = self._angles_for(item.reader_name)
+            factor = np.interp(theta.ravel(), item.drop.angles, item.drop.values)
+            likelihood *= self.floor + factor.reshape(theta.shape)
+        return xs, ys, likelihood
+
+    def best_estimate(
+        self, evidence: Sequence[AngleEvidence], refine: bool = True
+    ) -> LocationEstimate:
+        """The maximum-likelihood position, hill-climbed off the grid.
+
+        Raises
+        ------
+        LocalizationError
+            If no reader produced any detection (target in a global
+            deadzone or no target present).
+        """
+        active = [e for e in evidence if e.has_detection]
+        if not active:
+            raise LocalizationError("no blocking evidence: nothing to localize")
+        xs, ys, likelihood = self.evaluate(evidence)
+        flat_index = int(np.argmax(likelihood))
+        iy, ix = np.unravel_index(flat_index, likelihood.shape)
+        best = Point(float(xs[ix]), float(ys[iy]))
+        best_value = float(likelihood[iy, ix])
+        if refine:
+            best, best_value = self._hill_climb(best, best_value, active)
+        angles = {
+            item.reader_name: self._reader_for(item.reader_name).array.angle_to(best)
+            for item in active
+        }
+        return LocationEstimate(
+            position=best, likelihood=best_value, per_reader_angles=angles
+        )
+
+    def top_modes(
+        self,
+        evidence: Sequence[AngleEvidence],
+        max_modes: int = 5,
+        min_separation: float = 0.5,
+        refine: bool = True,
+    ) -> List[LocationEstimate]:
+        """The strongest local maxima of the likelihood surface.
+
+        Candidate target positions for consensus scoring: the grid is
+        scanned once, maxima are peeled off greedily with a spatial
+        exclusion radius, and each survivor is hill-climbed.
+        """
+        active = [e for e in evidence if e.has_detection]
+        if not active:
+            return []
+        xs, ys, likelihood = self.evaluate(evidence)
+        working = likelihood.copy()
+        grid_x, grid_y = np.meshgrid(xs, ys)
+        modes: List[LocationEstimate] = []
+        for _ in range(max_modes):
+            flat_index = int(np.argmax(working))
+            iy, ix = np.unravel_index(flat_index, working.shape)
+            value = float(working[iy, ix])
+            if value <= 0.0:
+                break
+            candidate = Point(float(xs[ix]), float(ys[iy]))
+            if refine:
+                candidate, value = self._hill_climb(candidate, value, active)
+            angles = {
+                item.reader_name: self._reader_for(item.reader_name).array.angle_to(
+                    candidate
+                )
+                for item in active
+            }
+            modes.append(
+                LocationEstimate(
+                    position=candidate, likelihood=value, per_reader_angles=angles
+                )
+            )
+            suppress = (
+                (grid_x - candidate.x) ** 2 + (grid_y - candidate.y) ** 2
+            ) < min_separation**2
+            working[suppress] = 0.0
+        return modes
+
+    def estimate_at(
+        self,
+        position: Point,
+        evidence: Sequence[AngleEvidence],
+        refine: bool = False,
+    ) -> LocationEstimate:
+        """Build a :class:`LocationEstimate` for an explicit candidate.
+
+        Used by the consensus localizer to score candidate positions
+        that do not come from the grid scan (e.g. event-ray
+        intersections).
+        """
+        active = [e for e in evidence if e.has_detection]
+        value = self.likelihood_at(position, evidence)
+        if refine and active:
+            position, value = self._hill_climb(position, value, active)
+        angles = {
+            item.reader_name: self._reader_for(item.reader_name).array.angle_to(
+                position
+            )
+            for item in active
+        }
+        return LocationEstimate(
+            position=position, likelihood=value, per_reader_angles=angles
+        )
+
+    def ray_intersections(
+        self, evidence: Sequence[AngleEvidence], min_range: float = 0.3
+    ) -> List[Point]:
+        """In-room intersections of blocked-angle rays across readers.
+
+        Every pair of events from two different readers defines (up to
+        four) ray crossings — a ULA angle maps to two mirror bearings
+        about the array axis, and only crossings inside the room at a
+        sensible range survive.  These are exactly the triangulation
+        candidates of the paper's Section 4.3, and they guarantee the
+        true position enters the consensus scoring even when ghost
+        modes dominate the likelihood surface.
+        """
+        rays: List[Tuple[str, Point, Point]] = []  # (reader, origin, direction)
+        for item in evidence:
+            if not item.has_detection:
+                continue
+            reader = self._reader_for(item.reader_name)
+            origin = reader.array.centroid
+            for event in item.events:
+                for sign in (1.0, -1.0):
+                    bearing = reader.array.orientation + sign * event.angle
+                    direction = Point(math.cos(bearing), math.sin(bearing))
+                    probe = origin + direction * min_range
+                    if self.room.contains(probe):
+                        rays.append((item.reader_name, origin, direction))
+        intersections: List[Point] = []
+        for i, (name_a, origin_a, dir_a) in enumerate(rays):
+            for name_b, origin_b, dir_b in rays[i + 1 :]:
+                if name_a == name_b:
+                    continue
+                crossing = _ray_crossing(
+                    origin_a, dir_a, origin_b, dir_b, min_range
+                )
+                if crossing is not None and self.room.contains(crossing):
+                    intersections.append(crossing)
+        return intersections
+
+    def likelihood_at(
+        self, position: Point, evidence: Sequence[AngleEvidence]
+    ) -> float:
+        """Point evaluation of the Eq. 15 product."""
+        value = 1.0
+        used_any = False
+        for item in evidence:
+            if not item.has_detection:
+                continue
+            used_any = True
+            reader = self._reader_for(item.reader_name)
+            theta = reader.array.angle_to(position)
+            value *= self.floor + item.drop.value_at(theta)
+        return value if used_any else 0.0
+
+    def _hill_climb(
+        self,
+        start: Point,
+        start_value: float,
+        evidence: Sequence[AngleEvidence],
+        max_iterations: int = 64,
+    ) -> Tuple[Point, float]:
+        """Greedy coordinate refinement with a shrinking step."""
+        current, current_value = start, start_value
+        step = self.cell_size
+        for _ in range(max_iterations):
+            improved = False
+            for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1), (1, 1), (-1, -1), (1, -1), (-1, 1)):
+                candidate = self.room.clamp(
+                    Point(current.x + dx * step, current.y + dy * step)
+                )
+                value = self.likelihood_at(candidate, evidence)
+                if value > current_value:
+                    current, current_value = candidate, value
+                    improved = True
+            if not improved:
+                step /= 2.0
+                if step < self.cell_size / 8.0:
+                    break
+        return current, current_value
+
+    def _reader_for(self, name: str) -> Reader:
+        try:
+            return self.readers[name]
+        except KeyError as exc:
+            raise LocalizationError(f"evidence references unknown reader {name!r}") from exc
+
+
+def _ray_crossing(
+    origin_a: Point,
+    dir_a: Point,
+    origin_b: Point,
+    dir_b: Point,
+    min_range: float,
+) -> Optional[Point]:
+    """Intersection of two forward rays, or ``None``.
+
+    Crossings closer than ``min_range`` to either origin are rejected:
+    they correspond to near-degenerate geometry where a small angle
+    error moves the fix by metres.
+    """
+    denom = dir_a.cross(dir_b)
+    if abs(denom) < 1e-9:
+        return None
+    delta = origin_b - origin_a
+    t = delta.cross(dir_b) / denom
+    s = delta.cross(dir_a) / denom
+    if t < min_range or s < min_range:
+        return None
+    return origin_a + dir_a * t
+
+
+def _angles_to_grid(reader: Reader, grid_x: np.ndarray, grid_y: np.ndarray) -> np.ndarray:
+    """Vectorized ``theta_i(O)`` for every grid point."""
+    centroid = reader.array.centroid
+    bearing = np.arctan2(grid_y - centroid.y, grid_x - centroid.x)
+    relative = bearing - reader.array.orientation
+    wrapped = np.mod(relative + math.pi, 2.0 * math.pi) - math.pi
+    return np.abs(wrapped)

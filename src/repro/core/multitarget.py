@@ -1,0 +1,183 @@
+"""Multi-target localization (Section 6.7).
+
+Sparsely placed targets block *disjoint* subsets of paths, so each
+target owns a cluster of blocking events no other target explains.
+With only two readers, per-target consensus alone is not enough: two
+true targets at (a, b) and (c, d) also produce phantom intersections at
+(a, d) and (c, b) — the classic two-sensor ghost problem — and a ghost
+can hoard both targets' event clusters.  What kills ghosts is *joint*
+explanation: the target set that explains the largest total event
+weight, counting every event once, is the real one, because a ghost
+consumes two targets' clusters while leaving their remaining events
+orphaned.
+
+The solver therefore builds one candidate pool (likelihood modes plus
+cross-reader ray intersections), then searches small candidate subsets
+for the maximum-coverage assignment under a per-target parsimony
+penalty and a pairwise separation constraint.  Targets closer than the
+separation limit share their clusters and merge — the paper's 20 cm
+failure mode.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Sequence, Tuple
+
+from repro.core.detector import AngleEvidence
+from repro.core.likelihood import LikelihoodMap, LocationEstimate
+from repro.core.localizer import DWatchLocalizer
+from repro.geometry.point import Point
+
+
+@dataclass
+class MultiTargetLocalizer:
+    """Joint maximum-coverage multi-target localizer.
+
+    Parameters
+    ----------
+    localizer:
+        Supplies the likelihood map, consistency tolerance and
+        minimum-reader rule (shared with single-target operation).
+    max_targets:
+        Upper bound on reported targets.
+    explain_tolerance:
+        Events within this angle (radians) of a target's per-reader
+        angle count as explained by it.
+    min_separation:
+        Reported targets must be at least this far apart (metres); the
+        merge distance for close targets.
+    min_marginal_weight:
+        Parsimony penalty: a target enters the solution only if it
+        adds at least this much uniquely explained event weight.
+    pool_size:
+        Number of strongest candidates entering the subset search.
+    """
+
+    localizer: DWatchLocalizer
+    max_targets: int = 3
+    explain_tolerance: float = math.radians(8.0)
+    min_separation: float = 0.2
+    min_marginal_weight: float = 0.8
+    pool_size: int = 14
+
+    def localize(self, evidence: Sequence[AngleEvidence]) -> List[LocationEstimate]:
+        """Locate up to ``max_targets`` targets, strongest first."""
+        active = [item for item in evidence if item.has_detection]
+        if not active:
+            return []
+        candidates = self._candidate_pool(evidence)
+        if not candidates:
+            return []
+
+        explains = [
+            self._explained_events(candidate, evidence) for candidate in candidates
+        ]
+        event_weights = self._event_weights(evidence)
+
+        order = sorted(
+            range(len(candidates)),
+            key=lambda i: sum(event_weights[e] for e in explains[i]),
+            reverse=True,
+        )[: self.pool_size]
+
+        best_subset: Tuple[int, ...] = ()
+        best_score = 0.0
+        for size in range(1, self.max_targets + 1):
+            for subset in itertools.combinations(order, size):
+                if not self._well_separated(subset, candidates):
+                    continue
+                union: set = set()
+                feasible = True
+                score = 0.0
+                for index in subset:
+                    marginal = sum(
+                        event_weights[e]
+                        for e in explains[index]
+                        if e not in union
+                    )
+                    if marginal < self.min_marginal_weight:
+                        feasible = False
+                        break
+                    union |= explains[index]
+                    # As in single-target consensus, the kernel
+                    # likelihood separates exact intersections from
+                    # ghosts that merely collect heavy events.
+                    score += marginal * (0.05 + candidates[index].likelihood)
+                if not feasible:
+                    continue
+                score -= self.min_marginal_weight * 0.05 * size
+                if score > best_score:
+                    best_subset, best_score = subset, score
+
+        lmap = self.localizer.likelihood_map
+        results = [
+            lmap.estimate_at(candidates[index].position, evidence, refine=True)
+            for index in best_subset
+        ]
+        results.sort(key=lambda estimate: estimate.likelihood, reverse=True)
+        return results
+
+    def _candidate_pool(
+        self, evidence: Sequence[AngleEvidence]
+    ) -> List[LocationEstimate]:
+        """Likelihood modes plus every cross-reader ray intersection,
+        screened by the single-target consensus rule."""
+        lmap = self.localizer.likelihood_map
+        pool = lmap.top_modes(
+            evidence, max_modes=4 * self.max_targets, min_separation=0.25
+        )
+        covered = [candidate.position for candidate in pool]
+        for crossing in lmap.ray_intersections(evidence):
+            if any(crossing.distance_to(p) < 0.1 for p in covered):
+                continue
+            covered.append(crossing)
+            pool.append(lmap.estimate_at(crossing, evidence))
+        screened = []
+        for candidate in pool:
+            readers, _ = self.localizer._support(candidate, evidence)
+            if readers >= self.localizer.min_readers:
+                screened.append(candidate)
+        return screened
+
+    def _event_weights(
+        self, evidence: Sequence[AngleEvidence]
+    ) -> Dict[Tuple[str, int], float]:
+        """Weight of every event, keyed by (reader, event index)."""
+        weights: Dict[Tuple[str, int], float] = {}
+        for item in evidence:
+            for index, event in enumerate(item.events):
+                weights[(item.reader_name, index)] = event.weight
+        return weights
+
+    def _explained_events(
+        self,
+        candidate: LocationEstimate,
+        evidence: Sequence[AngleEvidence],
+    ) -> FrozenSet[Tuple[str, int]]:
+        """Event ids within the explain tolerance of the candidate."""
+        explained = set()
+        for item in evidence:
+            angle = candidate.per_reader_angles.get(item.reader_name)
+            if angle is None:
+                continue
+            for index, event in enumerate(item.events):
+                if abs(event.angle - angle) <= self.explain_tolerance:
+                    explained.add((item.reader_name, index))
+        return frozenset(explained)
+
+    def _well_separated(
+        self,
+        subset: Sequence[int],
+        candidates: List[LocationEstimate],
+    ) -> bool:
+        for i, a in enumerate(subset):
+            for b in subset[i + 1 :]:
+                distance = candidates[a].position.distance_to(
+                    candidates[b].position
+                )
+                if distance < self.min_separation:
+                    return False
+        return True

@@ -1,0 +1,230 @@
+"""Particle-filter tracking: the non-linear alternative to the Kalman
+tracker.
+
+Human motion through a cluttered room is not well served by a single
+Gaussian: walls constrain the state space, deadzones leave long gaps,
+and multi-modal likelihoods (a fix near two aisles) are common.  The
+particle filter represents the posterior with a weighted sample cloud,
+constrains particles to the room, and optionally fuses the Doppler
+speed estimate of Section 8 as a velocity-magnitude observation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.tracker import TrackPoint
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.geometry.shapes import Rectangle
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class ParticleTracker:
+    """Bootstrap particle filter over ``[x, y, vx, vy]``.
+
+    Parameters
+    ----------
+    room:
+        The monitoring area; particles are confined to it.
+    num_particles:
+        Sample-cloud size.
+    process_noise:
+        Acceleration noise (m/s^2).
+    measurement_noise:
+        Standard deviation (metres) of a localization fix.
+    speed_noise:
+        Standard deviation (m/s) of a fused Doppler speed observation.
+    max_speed:
+        Hard cap on particle speed (humans indoors: ~2 m/s).
+    rng:
+        Randomness for sampling and resampling.
+    """
+
+    room: Rectangle
+    num_particles: int = 400
+    process_noise: float = 1.0
+    measurement_noise: float = 0.15
+    speed_noise: float = 0.3
+    max_speed: float = 2.5
+    rng: RngLike = None
+
+    def __post_init__(self) -> None:
+        if self.num_particles < 10:
+            raise ConfigurationError("particle filter needs >= 10 particles")
+        if min(
+            self.process_noise, self.measurement_noise, self.speed_noise
+        ) <= 0.0:
+            raise ConfigurationError("noise parameters must be positive")
+        self._generator = ensure_rng(self.rng)
+        self._states: Optional[np.ndarray] = None  # (N, 4)
+        self._weights: Optional[np.ndarray] = None
+        self._last_time: Optional[float] = None
+
+    @property
+    def initialized(self) -> bool:
+        """Whether the cloud has been seeded by a first fix."""
+        return self._states is not None
+
+    def reset(self) -> None:
+        """Forget the current track."""
+        self._states = None
+        self._weights = None
+        self._last_time = None
+
+    def update(
+        self,
+        time_s: float,
+        fix: Optional[Point],
+        speed_mps: Optional[float] = None,
+    ) -> TrackPoint:
+        """Advance to ``time_s``, fusing a position fix and/or a speed.
+
+        ``fix=None`` with ``speed_mps=None`` is a pure prediction step
+        (deadzone).  The returned position is the weighted cloud mean.
+        """
+        if not self.initialized:
+            if fix is None:
+                raise ConfigurationError("first update needs a position fix")
+            self._seed(fix)
+            self._last_time = time_s
+            return TrackPoint(time_s=time_s, position=fix, predicted_only=False)
+
+        dt = time_s - self._last_time
+        if dt < 0.0:
+            raise ConfigurationError("updates must move forward in time")
+        self._predict(dt)
+        self._last_time = time_s
+
+        observed = False
+        if fix is not None:
+            self._weight_position(fix)
+            observed = True
+        if speed_mps is not None:
+            self._weight_speed(abs(speed_mps))
+            observed = True
+        if observed:
+            self._resample_if_needed()
+
+        mean = np.average(self._states[:, :2], axis=0, weights=self._weights)
+        position = self.room.clamp(Point(float(mean[0]), float(mean[1])))
+        return TrackPoint(
+            time_s=time_s, position=position, predicted_only=fix is None
+        )
+
+    def track(
+        self,
+        times: Sequence[float],
+        fixes: Sequence[Optional[Point]],
+        speeds: Optional[Sequence[Optional[float]]] = None,
+    ) -> List[TrackPoint]:
+        """Run the filter over a whole fix sequence."""
+        if len(times) != len(fixes):
+            raise ConfigurationError("times and fixes must align")
+        if speeds is not None and len(speeds) != len(times):
+            raise ConfigurationError("speeds must align with times")
+        self.reset()
+        output: List[TrackPoint] = []
+        for index, (time_s, fix) in enumerate(zip(times, fixes)):
+            speed = speeds[index] if speeds is not None else None
+            if not self.initialized and fix is None:
+                continue
+            output.append(self.update(time_s, fix, speed))
+        return output
+
+    def spread(self) -> float:
+        """RMS particle distance from the cloud mean (track confidence)."""
+        if not self.initialized:
+            raise ConfigurationError("tracker not initialized")
+        mean = np.average(self._states[:, :2], axis=0, weights=self._weights)
+        deltas = self._states[:, :2] - mean
+        return float(
+            math.sqrt(
+                np.average(np.sum(deltas**2, axis=1), weights=self._weights)
+            )
+        )
+
+    def _seed(self, fix: Point) -> None:
+        positions = self._generator.normal(
+            loc=(fix.x, fix.y),
+            scale=self.measurement_noise,
+            size=(self.num_particles, 2),
+        )
+        velocities = self._generator.normal(
+            0.0, 0.5, size=(self.num_particles, 2)
+        )
+        self._states = np.hstack([positions, velocities])
+        self._clamp_states()
+        self._weights = np.full(self.num_particles, 1.0 / self.num_particles)
+
+    def _predict(self, dt: float) -> None:
+        acceleration = self._generator.normal(
+            0.0, self.process_noise, size=(self.num_particles, 2)
+        )
+        self._states[:, :2] += self._states[:, 2:] * dt + 0.5 * acceleration * dt**2
+        self._states[:, 2:] += acceleration * dt
+        self._clamp_states()
+
+    def _weight_position(self, fix: Point) -> None:
+        deltas = self._states[:, :2] - np.array([fix.x, fix.y])
+        squared = np.sum(deltas**2, axis=1)
+        self._weights = self._weights * np.exp(
+            -0.5 * squared / self.measurement_noise**2
+        )
+        self._normalize_weights()
+
+    def _weight_speed(self, speed: float) -> None:
+        magnitudes = np.linalg.norm(self._states[:, 2:], axis=1)
+        self._weights = self._weights * np.exp(
+            -0.5 * ((magnitudes - speed) / self.speed_noise) ** 2
+        )
+        self._normalize_weights()
+
+    def _normalize_weights(self) -> None:
+        total = self._weights.sum()
+        if total <= 1e-300:
+            # Degenerate update (fix far outside the cloud): restart
+            # weights uniformly rather than dividing by ~zero.
+            self._weights = np.full(
+                self.num_particles, 1.0 / self.num_particles
+            )
+            return
+        self._weights = self._weights / total
+
+    def _resample_if_needed(self) -> None:
+        effective = 1.0 / np.sum(self._weights**2)
+        if effective > self.num_particles / 2.0:
+            return
+        # Systematic resampling.
+        positions = (
+            np.arange(self.num_particles) + self._generator.random()
+        ) / self.num_particles
+        cumulative = np.cumsum(self._weights)
+        cumulative[-1] = 1.0
+        indices = np.searchsorted(cumulative, positions)
+        self._states = self._states[indices]
+        # Roughening keeps the cloud from collapsing to clones.
+        self._states[:, :2] += self._generator.normal(
+            0.0, self.measurement_noise / 4.0, size=(self.num_particles, 2)
+        )
+        self._clamp_states()
+        self._weights = np.full(self.num_particles, 1.0 / self.num_particles)
+
+    def _clamp_states(self) -> None:
+        self._states[:, 0] = np.clip(
+            self._states[:, 0], self.room.min_x, self.room.max_x
+        )
+        self._states[:, 1] = np.clip(
+            self._states[:, 1], self.room.min_y, self.room.max_y
+        )
+        speeds = np.linalg.norm(self._states[:, 2:], axis=1)
+        too_fast = speeds > self.max_speed
+        if np.any(too_fast):
+            self._states[too_fast, 2:] *= (
+                self.max_speed / speeds[too_fast]
+            )[:, None]

@@ -1,0 +1,125 @@
+"""Presence detection: the binary alarm behind intrusion detection.
+
+The paper's motivating application (Section 1) needs a yes/no before a
+position: *is anyone in the monitored area?*  The natural statistic is
+already computed by the drop detector — the total stability-weighted
+evidence across readers; this module wraps it with a threshold, and the
+evaluation helpers sweep that threshold into an ROC curve so an
+installer can pick an operating point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.detector import AngleEvidence
+from repro.errors import ConfigurationError
+
+
+def presence_score(evidence: Sequence[AngleEvidence]) -> float:
+    """Total blocking evidence across readers.
+
+    The sum of stability-weighted event drops: zero for a quiet area,
+    roughly one per cleanly shadowed path.
+    """
+    return float(
+        sum(event.weight for item in evidence for event in item.events)
+    )
+
+
+@dataclass
+class PresenceDetector:
+    """Thresholded presence alarm.
+
+    Parameters
+    ----------
+    threshold:
+        Minimum :func:`presence_score` to declare presence.  0.75
+        roughly means "one confident blocked path".
+    min_readers:
+        Optionally require events on at least this many readers; 1
+        maximizes sensitivity (a single blocked path is already
+        evidence someone is there — position can wait for more).
+    """
+
+    threshold: float = 0.75
+    min_readers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0.0:
+            raise ConfigurationError("threshold must be positive")
+        if self.min_readers < 1:
+            raise ConfigurationError("min_readers must be at least 1")
+
+    def detect(self, evidence: Sequence[AngleEvidence]) -> bool:
+        """Whether anything is present."""
+        readers_with_events = sum(
+            1 for item in evidence if item.has_detection
+        )
+        if readers_with_events < self.min_readers:
+            return False
+        return presence_score(evidence) >= self.threshold
+
+
+@dataclass(frozen=True)
+class RocPoint:
+    """One operating point of the detector."""
+
+    threshold: float
+    true_positive_rate: float
+    false_positive_rate: float
+
+
+def roc_curve(
+    positive_scores: Sequence[float],
+    negative_scores: Sequence[float],
+    num_thresholds: int = 50,
+) -> List[RocPoint]:
+    """ROC points from presence scores of occupied/empty captures.
+
+    Raises
+    ------
+    ConfigurationError
+        If either class is empty.
+    """
+    if not positive_scores or not negative_scores:
+        raise ConfigurationError("need scores for both classes")
+    everything = np.concatenate(
+        [np.asarray(positive_scores), np.asarray(negative_scores)]
+    )
+    low = float(everything.min())
+    high = float(everything.max())
+    if high <= low:
+        thresholds = np.array([low])
+    else:
+        thresholds = np.linspace(low, high + 1e-9, num_thresholds)
+    points = []
+    positives = np.asarray(positive_scores)
+    negatives = np.asarray(negative_scores)
+    for threshold in thresholds:
+        tpr = float(np.mean(positives >= threshold))
+        fpr = float(np.mean(negatives >= threshold))
+        points.append(
+            RocPoint(
+                threshold=float(threshold),
+                true_positive_rate=tpr,
+                false_positive_rate=fpr,
+            )
+        )
+    return points
+
+
+def auc(points: Sequence[RocPoint]) -> float:
+    """Area under the ROC curve (trapezoidal, sorted by FPR)."""
+    if not points:
+        raise ConfigurationError("cannot integrate an empty curve")
+    ordered = sorted(
+        points, key=lambda p: (p.false_positive_rate, p.true_positive_rate)
+    )
+    fpr = np.array([0.0] + [p.false_positive_rate for p in ordered] + [1.0])
+    tpr = np.array([0.0] + [p.true_positive_rate for p in ordered] + [1.0])
+    integrate = getattr(np, "trapezoid", None) or np.trapz
+    return float(integrate(tpr, fpr))

@@ -1,0 +1,61 @@
+"""Array covariance estimation (the ``R`` of the paper's Eq. 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EstimationError
+
+
+def sample_covariance(snapshots: np.ndarray) -> np.ndarray:
+    """Sample covariance ``R = X X^H / N`` of array snapshots.
+
+    Parameters
+    ----------
+    snapshots:
+        Complex array of shape ``(M, N)``: ``M`` antennas, ``N``
+        temporal snapshots.
+
+    Returns
+    -------
+    numpy.ndarray
+        Hermitian ``(M, M)`` covariance estimate.
+    """
+    x = np.asarray(snapshots, dtype=complex)
+    if x.ndim != 2:
+        raise EstimationError(f"snapshots must be 2-D (M, N), got shape {x.shape}")
+    m, n = x.shape
+    if n < 1:
+        raise EstimationError("need at least one snapshot")
+    r = x @ x.conj().T / n
+    # Enforce exact Hermitian symmetry despite floating-point drift; the
+    # eigendecomposition downstream assumes it.
+    return (r + r.conj().T) / 2.0
+
+
+def is_hermitian(matrix: np.ndarray, tolerance: float = 1e-10) -> bool:
+    """Whether ``matrix`` is Hermitian within ``tolerance``."""
+    arr = np.asarray(matrix)
+    if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
+        return False
+    return bool(np.allclose(arr, arr.conj().T, atol=tolerance))
+
+
+def exchange_matrix(size: int) -> np.ndarray:
+    """The anti-identity ``J`` used by forward-backward averaging."""
+    if size < 1:
+        raise EstimationError("exchange matrix size must be positive")
+    return np.fliplr(np.eye(size))
+
+
+def forward_backward_average(covariance: np.ndarray) -> np.ndarray:
+    """Forward-backward averaged covariance ``(R + J R* J) / 2``.
+
+    Decorrelates one pair of coherent arrivals for free and is applied
+    inside spatial smoothing.
+    """
+    r = np.asarray(covariance, dtype=complex)
+    if r.ndim != 2 or r.shape[0] != r.shape[1]:
+        raise EstimationError("covariance must be square")
+    j = exchange_matrix(r.shape[0])
+    return (r + j @ r.conj() @ j) / 2.0

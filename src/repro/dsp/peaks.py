@@ -1,0 +1,84 @@
+"""Peak detection and peak-region segmentation for angular spectra."""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+from scipy.signal import find_peaks as _scipy_find_peaks
+
+from repro.dsp.spectrum import AngularSpectrum, SpectrumPeak
+from repro.errors import EstimationError
+
+
+def find_spectrum_peaks(
+    spectrum: AngularSpectrum,
+    min_relative_height: float = 0.05,
+    min_separation: float = 0.05,
+) -> List[SpectrumPeak]:
+    """Detect local maxima of an angular spectrum.
+
+    Parameters
+    ----------
+    spectrum:
+        The spectrum to analyse.
+    min_relative_height:
+        Minimum peak height as a fraction of the global maximum.
+    min_separation:
+        Minimum angular separation between reported peaks (radians).
+
+    Returns
+    -------
+    list of SpectrumPeak
+        Peaks sorted by descending value.
+    """
+    values = spectrum.values
+    peak_value = float(values.max())
+    if peak_value <= 0.0:
+        return []
+    grid_step = float(np.mean(np.diff(spectrum.angles)))
+    distance = max(1, int(round(min_separation / grid_step)))
+    indices, _ = _scipy_find_peaks(
+        values, height=min_relative_height * peak_value, distance=distance
+    )
+    # Grid endpoints can hold genuine maxima (a path arriving near 0 or
+    # pi); scipy never reports them, so check the boundaries explicitly.
+    boundary_candidates = []
+    if values[0] > values[1] and values[0] >= min_relative_height * peak_value:
+        boundary_candidates.append(0)
+    if values[-1] > values[-2] and values[-1] >= min_relative_height * peak_value:
+        boundary_candidates.append(len(values) - 1)
+    all_indices = sorted(set(indices.tolist()) | set(boundary_candidates))
+    peaks = [
+        SpectrumPeak(
+            angle=float(spectrum.angles[i]), value=float(values[i]), index=int(i)
+        )
+        for i in all_indices
+    ]
+    return sorted(peaks, key=lambda p: p.value, reverse=True)
+
+
+def peak_regions(
+    spectrum: AngularSpectrum, peaks: List[SpectrumPeak]
+) -> List[Tuple[int, int]]:
+    """Partition the grid into one half-open region per peak.
+
+    Region boundaries sit at the minima between adjacent peaks, so each
+    grid point is attributed to the peak whose lobe it belongs to.  Used
+    by P-MUSIC's normalization function to scale every lobe to unit
+    height.
+    """
+    if not peaks:
+        return []
+    ordered = sorted(peaks, key=lambda p: p.index)
+    boundaries = [0]
+    for left, right in zip(ordered, ordered[1:]):
+        between = spectrum.values[left.index : right.index + 1]
+        boundaries.append(left.index + int(np.argmin(between)))
+    boundaries.append(len(spectrum.values))
+    regions = []
+    for start, end in zip(boundaries, boundaries[1:]):
+        if end <= start:
+            raise EstimationError("degenerate peak region")
+        regions.append((start, end))
+    return regions

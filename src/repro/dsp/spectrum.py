@@ -1,0 +1,105 @@
+"""Angular spectra: the shared result type of every AoA estimator."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import EstimationError
+
+
+def default_angle_grid(num_points: int = 361) -> np.ndarray:
+    """The scan grid ``[0, pi]`` used by MUSIC and P-MUSIC searches."""
+    if num_points < 2:
+        raise EstimationError("an angle grid needs at least two points")
+    return np.linspace(0.0, math.pi, num_points)
+
+
+@dataclass(frozen=True)
+class SpectrumPeak:
+    """One detected peak of an angular spectrum."""
+
+    angle: float
+    value: float
+    index: int
+
+
+@dataclass
+class AngularSpectrum:
+    """A sampled function of arrival angle over ``[0, pi]``.
+
+    Wraps the ``(angles, values)`` pair produced by MUSIC, Bartlett and
+    P-MUSIC, with interpolation and comparison helpers used by the
+    change detector.
+    """
+
+    angles: np.ndarray
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.angles = np.asarray(self.angles, dtype=float)
+        self.values = np.asarray(self.values, dtype=float)
+        if self.angles.ndim != 1 or self.angles.shape != self.values.shape:
+            raise EstimationError("angles and values must be equal-length 1-D arrays")
+        if self.angles.size < 2:
+            raise EstimationError("a spectrum needs at least two samples")
+        if np.any(np.diff(self.angles) <= 0):
+            raise EstimationError("spectrum angles must be strictly increasing")
+
+    def value_at(self, angle: float) -> float:
+        """Linearly-interpolated spectrum value at ``angle``."""
+        return float(np.interp(angle, self.angles, self.values))
+
+    def max_in_window(self, angle: float, window: float) -> float:
+        """Maximum value within ``angle +/- window``.
+
+        The robust way to read a peak's power: sharp lobes jitter by a
+        fraction of a degree between finite-snapshot captures, so a
+        point read at the nominal angle measures the jitter, not the
+        power.
+        """
+        mask = np.abs(self.angles - angle) <= window
+        if not np.any(mask):
+            return self.value_at(angle)
+        return float(self.values[mask].max())
+
+    def normalized(self) -> "AngularSpectrum":
+        """The spectrum scaled so its maximum is 1 (for plotting/compare)."""
+        peak = self.values.max()
+        if peak <= 0.0:
+            raise EstimationError("cannot normalize an all-zero spectrum")
+        return AngularSpectrum(self.angles.copy(), self.values / peak)
+
+    def dominant_angle(self) -> float:
+        """Angle of the global maximum."""
+        return float(self.angles[int(np.argmax(self.values))])
+
+    def subtract(self, other: "AngularSpectrum") -> "AngularSpectrum":
+        """Pointwise difference ``self - other`` (other is resampled).
+
+        This is the raw ingredient of the paper's ``delta Omega`` drop
+        spectra; the change detector clips it to positive drops.
+        """
+        resampled = np.interp(self.angles, other.angles, other.values)
+        return AngularSpectrum(self.angles.copy(), self.values - resampled)
+
+    def drop_relative_to(self, baseline: "AngularSpectrum") -> "AngularSpectrum":
+        """Positive power drop of ``self`` below ``baseline``.
+
+        Values are ``max(baseline - self, 0)`` so a peak that *rose* is
+        not treated as a blocking event.
+        """
+        resampled = np.interp(self.angles, baseline.angles, baseline.values)
+        return AngularSpectrum(
+            self.angles.copy(), np.clip(resampled - self.values, 0.0, None)
+        )
+
+
+def spectrum_from_samples(
+    angles: Sequence[float], values: Sequence[float]
+) -> AngularSpectrum:
+    """Convenience constructor from plain sequences."""
+    return AngularSpectrum(np.asarray(angles, float), np.asarray(values, float))

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the D-Watch reproduction library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish configuration mistakes from runtime
+estimation failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or configured with invalid parameters."""
+
+
+class GeometryError(ReproError):
+    """A geometric operation received degenerate or inconsistent input."""
+
+
+class ProtocolError(ReproError):
+    """The simulated EPC Gen2 / LLRP layer encountered an invalid exchange."""
+
+
+class EstimationError(ReproError):
+    """A signal-processing estimator could not produce a valid result."""
+
+
+class CalibrationError(ReproError):
+    """Phase calibration failed or was applied before being computed."""
+
+
+class LocalizationError(ReproError):
+    """The localization pipeline could not produce a position estimate."""

@@ -1,0 +1,68 @@
+"""Experiment runners: one module per table/figure of the paper.
+
+Every runner is a plain function taking size knobs (trial counts,
+sweep ranges) and an rng seed, returning a small result dataclass with
+a ``rows()`` method that prints the same rows/series the paper reports.
+Benchmarks call the runners with reduced sizes; the examples and
+EXPERIMENTS.md use fuller ones.
+"""
+
+from repro.experiments.metrics import (
+    coverage_rate,
+    detection_rate,
+    LocalizationResult,
+)
+from repro.experiments.harness import (
+    DeploymentHarness,
+    localization_trial_errors,
+)
+from repro.experiments.fig03_phase_offsets import run_fig03, Fig03Result
+from repro.experiments.fig04_music_limitation import run_fig04, Fig04Result
+from repro.experiments.fig09_calibration import run_fig09, Fig09Result
+from repro.experiments.fig10_aoa_cdf import run_fig10, Fig10Result
+from repro.experiments.fig12_pmusic_spectra import run_fig12, Fig12Result
+from repro.experiments.fig13_detection_rate import run_fig13, Fig13Result
+from repro.experiments.fig14_overall import run_fig14, Fig14Result
+from repro.experiments.fig15_antennas import run_fig15, Fig15Result
+from repro.experiments.fig16_reflectors import run_fig16, Fig16Result
+from repro.experiments.fig17_tags import run_fig17, Fig17Result
+from repro.experiments.fig18_height import run_fig18, Fig18Result
+from repro.experiments.fig19_multitarget import run_fig19, Fig19Result
+from repro.experiments.fig21_fist import run_fig21, Fig21Result
+from repro.experiments.latency import run_latency, LatencyResult
+
+__all__ = [
+    "coverage_rate",
+    "detection_rate",
+    "LocalizationResult",
+    "DeploymentHarness",
+    "localization_trial_errors",
+    "run_fig03",
+    "Fig03Result",
+    "run_fig04",
+    "Fig04Result",
+    "run_fig09",
+    "Fig09Result",
+    "run_fig10",
+    "Fig10Result",
+    "run_fig12",
+    "Fig12Result",
+    "run_fig13",
+    "Fig13Result",
+    "run_fig14",
+    "Fig14Result",
+    "run_fig15",
+    "Fig15Result",
+    "run_fig16",
+    "Fig16Result",
+    "run_fig17",
+    "Fig17Result",
+    "run_fig18",
+    "Fig18Result",
+    "run_fig19",
+    "Fig19Result",
+    "run_fig21",
+    "Fig21Result",
+    "run_latency",
+    "LatencyResult",
+]

@@ -1,0 +1,126 @@
+"""Fig. 13 — target detection rate: P-MUSIC vs classic MUSIC.
+
+In the controlled deployment the tag-array distance sweeps 2-8 m.  For
+each distance, trials block (a) one path and (b) all three paths; a
+trial counts as *detected* when every truly blocked path shows a
+spectral drop beyond the detection threshold at its angle and no
+unblocked path does.  The paper finds P-MUSIC near 100 % while classic
+MUSIC is poor and collapses entirely in the all-blocked case.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.dsp.music import MusicEstimator
+from repro.dsp.pmusic import PMusicEstimator
+from repro.experiments.controlled import controlled_deployment
+from repro.utils.rng import RngLike, ensure_rng, spawn_child
+
+#: Relative drop beyond which a path counts as detected (matches the
+#: localization detector's default).
+DETECTION_THRESHOLD = 0.5
+
+
+@dataclass
+class Fig13Result:
+    """Detection rates per distance, algorithm and blocking case."""
+
+    distances_m: List[float]
+    pmusic_one: List[float]
+    music_one: List[float]
+    pmusic_all: List[float]
+    music_all: List[float]
+
+    def rows(self) -> List[str]:
+        """The figure's bar groups, one row per tag-array distance."""
+        lines = ["dist_m  P-MUSIC(one)  MUSIC(one)  P-MUSIC(all)  MUSIC(all)"]
+        for i, dist in enumerate(self.distances_m):
+            lines.append(
+                f"{dist:6.1f}  {self.pmusic_one[i]:12.0%}  {self.music_one[i]:10.0%}"
+                f"  {self.pmusic_all[i]:12.0%}  {self.music_all[i]:10.0%}"
+            )
+        return lines
+
+
+def _trial_detected(
+    spectrum_baseline,
+    spectrum_online,
+    path_angles: Sequence[float],
+    blocked: Sequence[int],
+) -> bool:
+    """Strict per-path detection: all blocked drop, none unblocked does."""
+    window = math.radians(2.5)
+    for index, angle in enumerate(path_angles):
+        base = spectrum_baseline.max_in_window(angle, window)
+        if base <= 0.0:
+            return False
+        drop = (base - spectrum_online.max_in_window(angle, window)) / base
+        if index in blocked and drop < DETECTION_THRESHOLD:
+            return False
+        if index not in blocked and drop >= DETECTION_THRESHOLD:
+            return False
+    return True
+
+
+def run_fig13(
+    distances_m: Sequence[float] = (2.0, 4.0, 6.0, 8.0),
+    trials: int = 10,
+    num_snapshots: int = 40,
+    snr_db: float = 25.0,
+    rng: RngLike = None,
+) -> Fig13Result:
+    """Sweep tag-array distance and measure detection rates."""
+    generator = ensure_rng(rng)
+    result = Fig13Result([], [], [], [], [])
+    for distance in distances_m:
+        counts = {"p_one": 0, "m_one": 0, "p_all": 0, "m_all": 0}
+        for trial in range(trials):
+            trial_rng = spawn_child(generator, hash((round(distance * 10), trial)) % 10_000)
+            deployment = controlled_deployment(tag_distance=distance, rng=trial_rng)
+            channel = deployment.channel()
+            angles = [path.aoa for path in channel.paths]
+            array = deployment.reader.array
+            pmusic = PMusicEstimator(
+                spacing_m=array.spacing_m, wavelength_m=array.wavelength_m
+            )
+            music = MusicEstimator(
+                spacing_m=array.spacing_m, wavelength_m=array.wavelength_m
+            )
+
+            def capture(targets):
+                shadowed = channel.with_targets([t.body() for t in targets])
+                return shadowed.snapshots(
+                    num_snapshots, snr_db=snr_db, rng=trial_rng
+                )
+
+            x_base = capture([])
+            x_one = capture(deployment.blockers_for([0]))
+            x_all = capture(deployment.blockers_for(range(channel.num_paths)))
+
+            p_base = pmusic.spectrum(x_base)
+            m_base = music.spectrum(x_base).normalized()
+            if _trial_detected(p_base, pmusic.spectrum(x_one), angles, [0]):
+                counts["p_one"] += 1
+            if _trial_detected(
+                m_base, music.spectrum(x_one).normalized(), angles, [0]
+            ):
+                counts["m_one"] += 1
+            everything = list(range(channel.num_paths))
+            if _trial_detected(p_base, pmusic.spectrum(x_all), angles, everything):
+                counts["p_all"] += 1
+            if _trial_detected(
+                m_base, music.spectrum(x_all).normalized(), angles, everything
+            ):
+                counts["m_all"] += 1
+
+        result.distances_m.append(float(distance))
+        result.pmusic_one.append(counts["p_one"] / trials)
+        result.music_one.append(counts["m_one"] / trials)
+        result.pmusic_all.append(counts["p_all"] / trials)
+        result.music_all.append(counts["m_all"] / trials)
+    return result

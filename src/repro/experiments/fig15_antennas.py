@@ -1,0 +1,73 @@
+"""Fig. 15 — localization error vs number of antennas per array.
+
+Fewer antennas mean coarser AoA resolution and fewer resolvable paths;
+the paper's library numbers fall from 54.3 cm (4 antennas) through
+35.6 cm (6) to 17.6 cm (8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.experiments.harness import localization_trial_errors
+from repro.experiments.metrics import LocalizationResult
+from repro.sim.environments import hall_scene, laboratory_scene, library_scene
+from repro.utils.rng import RngLike, ensure_rng, spawn_child
+
+
+@dataclass
+class Fig15Result:
+    """Mean error per (environment, antenna count)."""
+
+    antenna_counts: List[int]
+    mean_error_cm: Dict[str, List[float]]
+    coverage: Dict[str, List[float]]
+
+    def rows(self) -> List[str]:
+        """One row per environment, one column per antenna count."""
+        header = "environment  " + "  ".join(
+            f"{m}ant_mean_cm" for m in self.antenna_counts
+        )
+        lines = [header]
+        for name, series in self.mean_error_cm.items():
+            cells = "  ".join(f"{value:11.1f}" for value in series)
+            lines.append(f"{name:11s}  {cells}")
+        return lines
+
+
+def run_fig15(
+    antenna_counts: Sequence[int] = (4, 6, 8),
+    environments: Sequence[str] = ("library", "laboratory", "hall"),
+    num_locations: int = 12,
+    repeats: int = 1,
+    rng: RngLike = None,
+) -> Fig15Result:
+    """Sweep the per-array antenna count in each environment."""
+    makers: Dict[str, Callable] = {
+        "library": library_scene,
+        "laboratory": laboratory_scene,
+        "hall": hall_scene,
+    }
+    generator = ensure_rng(rng)
+    result = Fig15Result(
+        antenna_counts=list(antenna_counts),
+        mean_error_cm={name: [] for name in environments},
+        coverage={name: [] for name in environments},
+    )
+    for env_index, name in enumerate(environments):
+        for count_index, num_antennas in enumerate(antenna_counts):
+            sweep_rng = spawn_child(generator, env_index * 100 + count_index)
+            scene = makers[name](rng=sweep_rng, num_antennas=num_antennas)
+            outcome = localization_trial_errors(
+                scene,
+                num_locations=num_locations,
+                repeats=repeats,
+                rng=sweep_rng,
+            )
+            if outcome.covered:
+                result.mean_error_cm[name].append(outcome.summary().mean * 100.0)
+            else:
+                result.mean_error_cm[name].append(float("nan"))
+            result.coverage[name].append(outcome.coverage)
+    return result

@@ -1,0 +1,68 @@
+"""Fig. 16 — more reflectors: higher coverage, lower error (hall).
+
+The paper plants up to 12 extra reflectors in the empty hall; coverage
+rises sharply (more "trip-wire" paths cross the area) and the mean
+error falls from 31.2 cm to 20.8 cm.  This is the direct demonstration
+of the thesis: "bad" multipaths help.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.experiments.harness import localization_trial_errors
+from repro.sim.environments import hall_scene
+from repro.utils.rng import RngLike, ensure_rng, spawn_child
+
+
+@dataclass
+class Fig16Result:
+    """Coverage and mean error per reflector count."""
+
+    reflector_counts: List[int]
+    coverage: List[float]
+    mean_error_cm: List[float]
+
+    def rows(self) -> List[str]:
+        """The figure's two series over the reflector sweep."""
+        lines = ["reflectors  coverage  mean_error_cm"]
+        for count, cov, err in zip(
+            self.reflector_counts, self.coverage, self.mean_error_cm
+        ):
+            lines.append(f"{count:10d}  {cov:8.0%}  {err:13.1f}")
+        return lines
+
+
+def run_fig16(
+    reflector_counts: Sequence[int] = (0, 2, 4, 6, 8, 10, 12),
+    num_locations: int = 12,
+    repeats: int = 1,
+    rng: RngLike = None,
+) -> Fig16Result:
+    """Sweep the number of planted reflectors in the hall.
+
+    One hall deployment (readers + tags) is built once; each sweep
+    point *adds* reflectors to it, exactly as the paper's experimenters
+    carried more laptops into the same room.  Re-rolling the whole
+    scene per point would bury the reflector effect under tag-placement
+    variance.
+    """
+    generator = ensure_rng(rng)
+    base_scene = hall_scene(
+        rng=spawn_child(generator, 0), num_reflectors=max(reflector_counts)
+    )
+    all_reflectors = list(base_scene.reflectors)
+    result = Fig16Result([], [], [])
+    for index, count in enumerate(reflector_counts):
+        sweep_rng = spawn_child(generator, index + 1)
+        scene = base_scene.with_reflectors(all_reflectors[: int(count)])
+        outcome = localization_trial_errors(
+            scene, num_locations=num_locations, repeats=repeats, rng=sweep_rng
+        )
+        result.reflector_counts.append(int(count))
+        result.coverage.append(outcome.coverage)
+        result.mean_error_cm.append(
+            outcome.summary().mean * 100.0 if outcome.covered else float("nan")
+        )
+    return result

@@ -1,0 +1,67 @@
+"""Evaluation metrics shared by the experiment runners."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.stats import ErrorSummary, summarize_errors
+
+
+@dataclass
+class LocalizationResult:
+    """Raw outcome of a batch of localization trials.
+
+    ``errors`` holds one entry per *covered* trial (the paper's
+    extended-target error, metres); ``attempted`` counts all trials so
+    the coverage rate can be recovered.
+    """
+
+    attempted: int
+    errors: List[float] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.attempted < len(self.errors):
+            raise ConfigurationError("more errors than attempted trials")
+
+    @property
+    def covered(self) -> int:
+        """Trials that produced a position estimate."""
+        return len(self.errors)
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of trials that could be localized (Section 6.4)."""
+        if self.attempted == 0:
+            return 0.0
+        return self.covered / self.attempted
+
+    def summary(self) -> ErrorSummary:
+        """Error statistics over the covered trials."""
+        return summarize_errors(self.errors)
+
+    def cdf_samples(self) -> np.ndarray:
+        """Sorted error samples for CDF plotting."""
+        return np.sort(np.asarray(self.errors, dtype=float))
+
+
+def coverage_rate(localized: int, attempted: int) -> float:
+    """Covered locations divided by total test locations."""
+    if attempted <= 0:
+        raise ConfigurationError("attempted must be positive")
+    if not 0 <= localized <= attempted:
+        raise ConfigurationError("localized must be within [0, attempted]")
+    return localized / attempted
+
+
+def detection_rate(detected: int, attempted: int) -> float:
+    """Detected blocking events divided by ground-truth events."""
+    return coverage_rate(detected, attempted)
+
+
+def angular_error_deg(estimated_rad: float, truth_rad: float) -> float:
+    """Absolute AoA error in degrees."""
+    return float(np.degrees(abs(estimated_rad - truth_rad)))

@@ -1,0 +1,34 @@
+"""2-D computational geometry used by the propagation simulator.
+
+Everything D-Watch detects reduces to geometry: a propagation path is a
+polyline from a tag (possibly via a reflector) to a reader antenna, and a
+target "blocks" a path when its body circle intersects one of the
+polyline's segments.
+"""
+
+from repro.geometry.point import Point, distance, bearing
+from repro.geometry.segment import Segment
+from repro.geometry.shapes import Circle, Rectangle
+from repro.geometry.reflection import Reflector, mirror_point, specular_reflection_point
+from repro.geometry.blocking import (
+    segment_intersects_circle,
+    path_blocked_by,
+    blocking_targets,
+    first_blocked_leg,
+)
+
+__all__ = [
+    "Point",
+    "distance",
+    "bearing",
+    "Segment",
+    "Circle",
+    "Rectangle",
+    "Reflector",
+    "mirror_point",
+    "specular_reflection_point",
+    "segment_intersects_circle",
+    "path_blocked_by",
+    "blocking_targets",
+    "first_blocked_leg",
+]

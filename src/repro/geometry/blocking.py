@@ -1,0 +1,55 @@
+"""Path-blocking predicates.
+
+A D-Watch "path" is a polyline of segments (tag -> antenna, or
+tag -> reflector -> antenna).  A target blocks the path when its body
+circle intersects any of the polyline's segments; the power of that path
+then drops, which is the event P-MUSIC detects.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.geometry.point import Point
+from repro.geometry.segment import Segment
+from repro.geometry.shapes import Circle
+
+
+def segment_intersects_circle(segment: Segment, circle: Circle) -> bool:
+    """Whether ``segment`` passes through (or touches) ``circle``."""
+    return segment.distance_to_point(circle.center) <= circle.radius
+
+
+def path_blocked_by(path: Sequence[Segment], target: Circle) -> bool:
+    """Whether ``target`` blocks any leg of the propagation polyline.
+
+    Endpoints sitting exactly on the circle boundary count as blocked;
+    physically the body is grazing the path and shadows it partially,
+    and the conservative choice keeps the detector's recall high.
+    """
+    return any(segment_intersects_circle(seg, target) for seg in path)
+
+
+def blocking_targets(
+    path: Sequence[Segment], targets: Iterable[Circle]
+) -> List[int]:
+    """Indices of the targets that block ``path`` (possibly empty)."""
+    return [
+        index
+        for index, target in enumerate(targets)
+        if path_blocked_by(path, target)
+    ]
+
+
+def first_blocked_leg(path: Sequence[Segment], target: Circle) -> int:
+    """Index of the first leg of ``path`` blocked by ``target``, or -1.
+
+    For a reflected path, leg 0 is tag->reflector and leg 1 is
+    reflector->antenna.  Blocking leg 0 produces the paper's "wrong
+    angle" case (Section 4.3): the AoA peak that drops points at the
+    reflector, not at the target.
+    """
+    for index, seg in enumerate(path):
+        if segment_intersects_circle(seg, target):
+            return index
+    return -1

@@ -1,0 +1,98 @@
+"""Immutable 2-D points with the vector arithmetic the simulator needs."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+
+@dataclass(frozen=True)
+class Point:
+    """A point (or free vector) in the 2-D monitoring plane, in metres."""
+
+    x: float
+    y: float
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.x) and math.isfinite(self.y)):
+            raise ValueError(f"point coordinates must be finite, got ({self.x}, {self.y})")
+
+    def __add__(self, other: "Point") -> "Point":
+        return Point(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Point") -> "Point":
+        return Point(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Point":
+        return Point(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, scalar: float) -> "Point":
+        return Point(self.x / scalar, self.y / scalar)
+
+    def __neg__(self) -> "Point":
+        return Point(-self.x, -self.y)
+
+    def __iter__(self) -> Iterator[float]:
+        yield self.x
+        yield self.y
+
+    def dot(self, other: "Point") -> float:
+        """Scalar (dot) product with another point treated as a vector."""
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Point") -> float:
+        """Z-component of the 2-D cross product (signed parallelogram area)."""
+        return self.x * other.y - self.y * other.x
+
+    def norm(self) -> float:
+        """Euclidean length when treated as a vector from the origin."""
+        return math.hypot(self.x, self.y)
+
+    def normalized(self) -> "Point":
+        """Unit vector in the same direction.
+
+        Raises
+        ------
+        ValueError
+            If this is the zero vector.
+        """
+        n = self.norm()
+        if n == 0.0:
+            raise ValueError("cannot normalize the zero vector")
+        return Point(self.x / n, self.y / n)
+
+    def perpendicular(self) -> "Point":
+        """The vector rotated +90 degrees (counter-clockwise)."""
+        return Point(-self.y, self.x)
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def angle_to(self, other: "Point") -> float:
+        """Bearing of ``other`` as seen from this point, in ``(-pi, pi]``."""
+        return math.atan2(other.y - self.y, other.x - self.x)
+
+    def rotated(self, angle: float, about: "Point" = None) -> "Point":
+        """This point rotated by ``angle`` radians about ``about`` (default origin)."""
+        pivot = about if about is not None else Point(0.0, 0.0)
+        dx, dy = self.x - pivot.x, self.y - pivot.y
+        c, s = math.cos(angle), math.sin(angle)
+        return Point(pivot.x + c * dx - s * dy, pivot.y + s * dx + c * dy)
+
+    def as_tuple(self) -> Tuple[float, float]:
+        """Plain ``(x, y)`` tuple, convenient for numpy interop."""
+        return (self.x, self.y)
+
+
+def distance(a: Point, b: Point) -> float:
+    """Euclidean distance between two points."""
+    return a.distance_to(b)
+
+
+def bearing(origin: Point, target: Point) -> float:
+    """Bearing of ``target`` from ``origin`` in ``(-pi, pi]`` radians."""
+    return origin.angle_to(target)

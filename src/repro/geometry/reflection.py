@@ -1,0 +1,84 @@
+"""Specular reflection via the image method.
+
+Reflectors (book shelves, laptop lids, metal plates, walls) are modelled
+as finite line segments ("plates") with an amplitude reflection
+coefficient.  A single-bounce path from a source to a receiver off a
+plate exists iff the segment from the source's *mirror image* to the
+receiver crosses the plate; the crossing point is the specular
+reflection point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.segment import Segment
+
+
+def mirror_point(point: Point, plate: Segment) -> Point:
+    """Mirror ``point`` across the infinite line containing ``plate``."""
+    direction = plate.direction()
+    rel = point - plate.start
+    along = direction * rel.dot(direction)
+    perpendicular = rel - along
+    return point - perpendicular * 2.0
+
+
+def specular_reflection_point(
+    source: Point, receiver: Point, plate: Segment
+) -> Optional[Point]:
+    """The point on ``plate`` where a specular bounce from ``source`` to
+    ``receiver`` occurs, or ``None`` when no single-bounce path exists.
+
+    The bounce must be a genuine reflection: source and receiver must lie
+    on the *same* side of the plate's line (a crossing of the line means
+    transmission, not reflection), and the image ray must hit the finite
+    plate segment.
+    """
+    direction = plate.direction()
+    normal = direction.perpendicular()
+    side_source = (source - plate.start).dot(normal)
+    side_receiver = (receiver - plate.start).dot(normal)
+    if side_source * side_receiver <= 0.0:
+        return None
+    image = mirror_point(source, plate)
+    return Segment(image, receiver).intersection(plate)
+
+
+@dataclass(frozen=True)
+class Reflector:
+    """A finite reflecting plate with an amplitude reflection coefficient.
+
+    Parameters
+    ----------
+    plate:
+        The segment occupied by the reflecting surface.
+    coefficient:
+        Amplitude reflection coefficient magnitude in ``(0, 1]``.  Metal
+        plates are close to 1; book shelves noticeably lower.
+    phase_shift:
+        Phase added on reflection (radians).  A perfect conductor flips
+        the field, i.e. ``pi``.
+    name:
+        Optional label used in scene descriptions and debug output.
+    """
+
+    plate: Segment
+    coefficient: float = 0.7
+    phase_shift: float = 3.141592653589793
+    name: str = field(default="reflector")
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.coefficient <= 1.0:
+            raise GeometryError(
+                f"reflection coefficient must be in (0, 1], got {self.coefficient}"
+            )
+        if self.plate.length() <= 0.0:
+            raise GeometryError("reflector plate must have positive length")
+
+    def bounce(self, source: Point, receiver: Point) -> Optional[Point]:
+        """Specular reflection point for a source/receiver pair, if any."""
+        return specular_reflection_point(source, receiver, self.plate)

@@ -1,0 +1,87 @@
+"""Line segments: the building block of propagation polylines."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A directed line segment from ``start`` to ``end``."""
+
+    start: Point
+    end: Point
+
+    def length(self) -> float:
+        """Euclidean length of the segment."""
+        return self.start.distance_to(self.end)
+
+    def direction(self) -> Point:
+        """Unit vector from ``start`` towards ``end``.
+
+        Raises
+        ------
+        GeometryError
+            If the segment is degenerate (zero length).
+        """
+        delta = self.end - self.start
+        if delta.norm() == 0.0:
+            raise GeometryError("degenerate segment has no direction")
+        return delta.normalized()
+
+    def point_at(self, t: float) -> Point:
+        """The point ``start + t * (end - start)``; ``t`` in [0, 1] stays on the segment."""
+        return self.start + (self.end - self.start) * t
+
+    def midpoint(self) -> Point:
+        """The segment's midpoint."""
+        return self.point_at(0.5)
+
+    def project_parameter(self, point: Point) -> float:
+        """Parameter ``t`` of the orthogonal projection of ``point`` (unclamped)."""
+        delta = self.end - self.start
+        denom = delta.dot(delta)
+        if denom == 0.0:
+            raise GeometryError("cannot project onto a degenerate segment")
+        return (point - self.start).dot(delta) / denom
+
+    def closest_point(self, point: Point) -> Point:
+        """The point on the segment closest to ``point``."""
+        delta = self.end - self.start
+        denom = delta.dot(delta)
+        if denom == 0.0:
+            return self.start
+        t = min(1.0, max(0.0, (point - self.start).dot(delta) / denom))
+        return self.point_at(t)
+
+    def distance_to_point(self, point: Point) -> float:
+        """Shortest distance from ``point`` to the segment."""
+        return self.closest_point(point).distance_to(point)
+
+    def intersection(self, other: "Segment") -> Optional[Point]:
+        """Intersection point with another segment, or ``None``.
+
+        Collinear overlapping segments return ``None``: the propagation
+        simulator only ever needs transversal crossings (a ray hitting a
+        reflector plate), and an overlap has no unique crossing point.
+        """
+        p, r = self.start, self.end - self.start
+        q, s = other.start, other.end - other.start
+        denom = r.cross(s)
+        if abs(denom) < 1e-15:
+            return None
+        qp = q - p
+        t = qp.cross(s) / denom
+        u = qp.cross(r) / denom
+        if -1e-12 <= t <= 1.0 + 1e-12 and -1e-12 <= u <= 1.0 + 1e-12:
+            return self.point_at(min(1.0, max(0.0, t)))
+        return None
+
+    def angle(self) -> float:
+        """Orientation of the segment in ``(-pi, pi]`` radians."""
+        return math.atan2(self.end.y - self.start.y, self.end.x - self.start.x)

@@ -1,0 +1,86 @@
+"""Simple closed shapes: target bodies (circles) and room bounds (rectangles)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.segment import Segment
+
+
+@dataclass(frozen=True)
+class Circle:
+    """A disc modelling a target's horizontal cross-section."""
+
+    center: Point
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0.0:
+            raise GeometryError(f"circle radius must be positive, got {self.radius}")
+
+    def contains(self, point: Point) -> bool:
+        """Whether ``point`` lies inside or on the circle."""
+        return self.center.distance_to(point) <= self.radius
+
+    def distance_to(self, point: Point) -> float:
+        """Distance from ``point`` to the circle *boundary* (0 inside).
+
+        This is the paper's extended-target error metric: an estimate
+        anywhere within the target body counts as zero error, otherwise
+        the error is the gap to the body's edge.
+        """
+        return max(0.0, self.center.distance_to(point) - self.radius)
+
+
+@dataclass(frozen=True)
+class Rectangle:
+    """An axis-aligned rectangle, used for room footprints and tables."""
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if self.min_x >= self.max_x or self.min_y >= self.max_y:
+            raise GeometryError("rectangle must have positive width and height")
+
+    @property
+    def width(self) -> float:
+        """Extent along x (metres)."""
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        """Extent along y (metres)."""
+        return self.max_y - self.min_y
+
+    @property
+    def center(self) -> Point:
+        """The rectangle's centroid."""
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    def contains(self, point: Point, margin: float = 0.0) -> bool:
+        """Whether ``point`` lies inside, shrunk inward by ``margin``."""
+        return (
+            self.min_x + margin <= point.x <= self.max_x - margin
+            and self.min_y + margin <= point.y <= self.max_y - margin
+        )
+
+    def walls(self) -> List[Segment]:
+        """The four boundary walls as segments (counter-clockwise)."""
+        a = Point(self.min_x, self.min_y)
+        b = Point(self.max_x, self.min_y)
+        c = Point(self.max_x, self.max_y)
+        d = Point(self.min_x, self.max_y)
+        return [Segment(a, b), Segment(b, c), Segment(c, d), Segment(d, a)]
+
+    def clamp(self, point: Point) -> Point:
+        """The nearest point inside the rectangle."""
+        return Point(
+            min(self.max_x, max(self.min_x, point.x)),
+            min(self.max_y, max(self.min_y, point.y)),
+        )

@@ -1,0 +1,210 @@
+"""Deployment persistence: scenes and calibrations to/from JSON.
+
+A real installation carries its deployment in a config file — reader
+positions, tag inventory, furniture map — and caches the per-power-cycle
+calibration.  This module round-trips both through plain JSON with no
+third-party dependencies.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+import numpy as np
+
+from repro.calibration.offsets import PhaseOffsets
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.geometry.reflection import Reflector
+from repro.geometry.segment import Segment
+from repro.geometry.shapes import Rectangle
+from repro.rf.array import UniformLinearArray
+from repro.rfid.reader import Reader
+from repro.rfid.tag import Tag
+from repro.sim.scene import Scene
+
+#: Format marker so future revisions can migrate old files.
+SCHEMA_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+def _point_to_list(point: Point) -> list:
+    return [point.x, point.y]
+
+
+def _point_from_list(data) -> Point:
+    return Point(float(data[0]), float(data[1]))
+
+
+def scene_to_dict(scene: Scene) -> Dict[str, Any]:
+    """Serialize a scene (geometry and configuration, not RF state).
+
+    Reader phase offsets are *included*: they are the power-on state a
+    saved deployment should reproduce exactly.
+    """
+    return {
+        "schema": SCHEMA_VERSION,
+        "name": scene.name,
+        "frequency_hz": scene.frequency_hz,
+        "array_height_m": scene.array_height_m,
+        "blocking_attenuation": scene.blocking_attenuation,
+        "room": [scene.room.min_x, scene.room.min_y, scene.room.max_x, scene.room.max_y],
+        "readers": [
+            {
+                "name": reader.name,
+                "max_range_m": reader.max_range_m,
+                "num_rf_ports": reader.num_rf_ports,
+                "phase_offsets": [float(v) for v in reader.phase_offsets],
+                "array": {
+                    "reference": _point_to_list(reader.array.reference),
+                    "orientation": reader.array.orientation,
+                    "num_antennas": reader.array.num_antennas,
+                    "spacing_m": reader.array.spacing_m,
+                    "wavelength_m": reader.array.wavelength_m,
+                    "name": reader.array.name,
+                },
+            }
+            for reader in scene.readers
+        ],
+        "tags": [
+            {
+                "epc": tag.epc,
+                "position": _point_to_list(tag.position),
+                "height_m": tag.height_m,
+                "backscatter_gain": [
+                    tag.backscatter_gain.real
+                    if isinstance(tag.backscatter_gain, complex)
+                    else float(tag.backscatter_gain),
+                    tag.backscatter_gain.imag
+                    if isinstance(tag.backscatter_gain, complex)
+                    else 0.0,
+                ],
+            }
+            for tag in scene.tags
+        ],
+        "reflectors": [
+            {
+                "name": reflector.name,
+                "coefficient": reflector.coefficient,
+                "phase_shift": reflector.phase_shift,
+                "start": _point_to_list(reflector.plate.start),
+                "end": _point_to_list(reflector.plate.end),
+            }
+            for reflector in scene.reflectors
+        ],
+    }
+
+
+def scene_from_dict(data: Dict[str, Any]) -> Scene:
+    """Rebuild a scene from :func:`scene_to_dict` output.
+
+    Raises
+    ------
+    ConfigurationError
+        On a missing/unsupported schema marker or malformed sections.
+    """
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"unsupported scene schema {data.get('schema')!r}"
+        )
+    try:
+        room = Rectangle(*[float(v) for v in data["room"]])
+        readers = []
+        for entry in data["readers"]:
+            array_data = entry["array"]
+            array = UniformLinearArray(
+                reference=_point_from_list(array_data["reference"]),
+                orientation=float(array_data["orientation"]),
+                num_antennas=int(array_data["num_antennas"]),
+                spacing_m=float(array_data["spacing_m"]),
+                wavelength_m=float(array_data["wavelength_m"]),
+                name=array_data.get("name", "array"),
+            )
+            readers.append(
+                Reader(
+                    array=array,
+                    name=entry["name"],
+                    phase_offsets=np.asarray(entry["phase_offsets"], dtype=float),
+                    num_rf_ports=int(entry.get("num_rf_ports", 4)),
+                    max_range_m=float(entry.get("max_range_m", 12.0)),
+                )
+            )
+        tags = [
+            Tag(
+                position=_point_from_list(entry["position"]),
+                epc=entry["epc"],
+                backscatter_gain=complex(*entry["backscatter_gain"]),
+                height_m=float(entry.get("height_m", 1.25)),
+            )
+            for entry in data["tags"]
+        ]
+        reflectors = [
+            Reflector(
+                plate=Segment(
+                    _point_from_list(entry["start"]),
+                    _point_from_list(entry["end"]),
+                ),
+                coefficient=float(entry["coefficient"]),
+                phase_shift=float(entry.get("phase_shift", np.pi)),
+                name=entry.get("name", "reflector"),
+            )
+            for entry in data["reflectors"]
+        ]
+    except (KeyError, TypeError, IndexError) as exc:
+        raise ConfigurationError(f"malformed scene data: {exc}") from exc
+    return Scene(
+        room=room,
+        readers=readers,
+        tags=tags,
+        reflectors=reflectors,
+        frequency_hz=float(data.get("frequency_hz", 922.5e6)),
+        array_height_m=float(data.get("array_height_m", 1.25)),
+        blocking_attenuation=float(data.get("blocking_attenuation", 0.14)),
+        name=data.get("name", "scene"),
+    )
+
+
+def save_scene(scene: Scene, path: PathLike) -> None:
+    """Write a scene to a JSON file."""
+    Path(path).write_text(json.dumps(scene_to_dict(scene), indent=2))
+
+
+def load_scene(path: PathLike) -> Scene:
+    """Read a scene from a JSON file."""
+    return scene_from_dict(json.loads(Path(path).read_text()))
+
+
+def calibration_to_dict(calibration: Dict[str, PhaseOffsets]) -> Dict[str, Any]:
+    """Serialize per-reader phase-offset estimates."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "offsets": {
+            name: [float(v) for v in offsets.values]
+            for name, offsets in calibration.items()
+        },
+    }
+
+
+def calibration_from_dict(data: Dict[str, Any]) -> Dict[str, PhaseOffsets]:
+    """Rebuild per-reader offsets from :func:`calibration_to_dict`."""
+    if data.get("schema") != SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"unsupported calibration schema {data.get('schema')!r}"
+        )
+    return {
+        name: PhaseOffsets(np.asarray(values, dtype=float))
+        for name, values in data["offsets"].items()
+    }
+
+
+def save_calibration(calibration: Dict[str, PhaseOffsets], path: PathLike) -> None:
+    """Write a calibration to a JSON file."""
+    Path(path).write_text(json.dumps(calibration_to_dict(calibration), indent=2))
+
+
+def load_calibration(path: PathLike) -> Dict[str, PhaseOffsets]:
+    """Read a calibration from a JSON file."""
+    return calibration_from_dict(json.loads(Path(path).read_text()))

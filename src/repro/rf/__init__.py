@@ -1,0 +1,38 @@
+"""RF signal substrate: waves, antenna arrays, propagation, channels."""
+
+from repro.rf.waves import wavelength, phase_after_distance, carrier_phase_shift
+from repro.rf.antenna import Antenna, OmniAntenna, small_antenna, large_antenna
+from repro.rf.array import UniformLinearArray, steering_vector, steering_matrix
+from repro.rf.propagation import (
+    PropagationPath,
+    free_space_amplitude,
+    direct_path,
+    reflected_path,
+    enumerate_paths,
+    DEFAULT_BLOCKING_ATTENUATION,
+)
+from repro.rf.channel import MultipathChannel, merge_channels
+from repro.rf.noise import awgn, noise_power_for_snr
+
+__all__ = [
+    "wavelength",
+    "phase_after_distance",
+    "carrier_phase_shift",
+    "Antenna",
+    "OmniAntenna",
+    "small_antenna",
+    "large_antenna",
+    "UniformLinearArray",
+    "steering_vector",
+    "steering_matrix",
+    "PropagationPath",
+    "free_space_amplitude",
+    "direct_path",
+    "reflected_path",
+    "enumerate_paths",
+    "DEFAULT_BLOCKING_ATTENUATION",
+    "MultipathChannel",
+    "merge_channels",
+    "awgn",
+    "noise_power_for_snr",
+]

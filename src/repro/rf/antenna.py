@@ -1,0 +1,50 @@
+"""Antenna element models.
+
+The paper uses two omni-directional antennas (ANS-900, ~3 m range, and
+Q900F-900, ~12 m range).  Elements carry a position, a gain, and a
+maximum communication range; the Gen2 link layer refuses reads beyond
+range, which is what distinguishes the "small antenna" tabletop
+deployment from the room-scale one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+
+
+@dataclass(frozen=True)
+class Antenna:
+    """A single antenna element at a fixed position."""
+
+    position: Point
+    gain_dbi: float = 0.0
+    max_range_m: float = 12.0
+    name: str = "antenna"
+
+    def __post_init__(self) -> None:
+        if self.max_range_m <= 0.0:
+            raise ConfigurationError(
+                f"antenna range must be positive, got {self.max_range_m}"
+            )
+
+    def in_range(self, point: Point) -> bool:
+        """Whether a tag at ``point`` is within communication range."""
+        return self.position.distance_to(point) <= self.max_range_m
+
+
+class OmniAntenna(Antenna):
+    """An isotropic element; alias kept for API readability."""
+
+
+#: The small ANS-900 antenna used for the 2 m x 2 m tabletop experiments.
+def small_antenna(position: Point, name: str = "ANS-900") -> Antenna:
+    """Factory for the paper's short-range (3 m) omni antenna."""
+    return Antenna(position=position, gain_dbi=2.0, max_range_m=3.0, name=name)
+
+
+def large_antenna(position: Point, name: str = "Q900F-900") -> Antenna:
+    """Factory for the paper's long-range (12 m) omni antenna."""
+    return Antenna(position=position, gain_dbi=6.0, max_range_m=12.0, name=name)

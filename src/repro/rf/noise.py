@@ -1,0 +1,45 @@
+"""Additive white Gaussian noise for complex baseband simulations."""
+
+from __future__ import annotations
+
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def noise_power_for_snr(signal_power: float, snr_db: float) -> float:
+    """Noise power that yields ``snr_db`` for a given ``signal_power``.
+
+    A zero-power signal yields zero noise: the caller is simulating an
+    ideal, signal-free channel and adding noise would only fabricate
+    energy out of nothing.
+    """
+    if signal_power < 0.0:
+        raise ConfigurationError("signal power cannot be negative")
+    if signal_power == 0.0:
+        return 0.0
+    return signal_power / (10.0 ** (snr_db / 10.0))
+
+
+def awgn(
+    shape: Union[int, Tuple[int, ...]],
+    power: float,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Circularly-symmetric complex Gaussian noise with total ``power``.
+
+    Each complex sample has variance ``power`` split evenly between the
+    real and imaginary parts.
+    """
+    if power < 0.0:
+        raise ConfigurationError("noise power cannot be negative")
+    generator = ensure_rng(rng)
+    if power == 0.0:
+        return np.zeros(shape, dtype=complex)
+    sigma = np.sqrt(power / 2.0)
+    return generator.normal(0.0, sigma, size=shape) + 1j * generator.normal(
+        0.0, sigma, size=shape
+    )

@@ -1,0 +1,37 @@
+"""Carrier-wave phase arithmetic.
+
+An RF signal's phase rotates by ``2*pi`` per wavelength of travelled
+distance; this single fact underlies all AoA estimation (Section 2.2 of
+the paper).
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.errors import ConfigurationError
+
+
+def wavelength(frequency_hz: float) -> float:
+    """Free-space wavelength (m) of a carrier at ``frequency_hz``."""
+    if frequency_hz <= 0.0:
+        raise ConfigurationError(f"frequency must be positive, got {frequency_hz}")
+    return SPEED_OF_LIGHT / frequency_hz
+
+
+def phase_after_distance(distance_m: float, wavelength_m: float) -> float:
+    """Phase *delay* accumulated over ``distance_m`` (radians, unwrapped).
+
+    The returned value is the raw ``2*pi*d/lambda`` product; callers wrap
+    it when a principal value is needed.
+    """
+    if wavelength_m <= 0.0:
+        raise ConfigurationError(f"wavelength must be positive, got {wavelength_m}")
+    return 2.0 * math.pi * distance_m / wavelength_m
+
+
+def carrier_phase_shift(distance_m: float, wavelength_m: float) -> complex:
+    """Complex gain ``exp(-j*2*pi*d/lambda)`` of pure propagation delay."""
+    return cmath.exp(-1j * phase_after_distance(distance_m, wavelength_m))

@@ -1,0 +1,38 @@
+"""COTS RFID substrate: tags, readers, EPC Gen2 inventory, LLRP reports."""
+
+from repro.rfid.epc import (
+    crc16_ccitt,
+    random_epc,
+    encode_epc,
+    decode_epc,
+    validate_epc_frame,
+)
+from repro.rfid.tag import Tag
+from repro.rfid.hub import AntennaHub, TdmSchedule
+from repro.rfid.reader import Reader, RfPort
+from repro.rfid.gen2 import Gen2Inventory, InventoryRound, SlotOutcome, TagRead
+from repro.rfid.llrp import TagReportData, RoReport, build_report
+from repro.rfid.timing import LinkTiming, TagEncoding, DEFAULT_LINK_TIMING
+
+__all__ = [
+    "crc16_ccitt",
+    "random_epc",
+    "encode_epc",
+    "decode_epc",
+    "validate_epc_frame",
+    "Tag",
+    "AntennaHub",
+    "TdmSchedule",
+    "Reader",
+    "RfPort",
+    "Gen2Inventory",
+    "InventoryRound",
+    "SlotOutcome",
+    "TagRead",
+    "TagReportData",
+    "RoReport",
+    "build_report",
+    "LinkTiming",
+    "TagEncoding",
+    "DEFAULT_LINK_TIMING",
+]

@@ -1,0 +1,105 @@
+"""EPC-96 identifier handling and the Gen2 CRC-16.
+
+EPC Gen2 frames protect the PC + EPC words with CRC-16/X.25 as defined
+in the EPCglobal Class-1 Gen-2 air interface (poly 0x1021, init 0xFFFF,
+reflected, xorout 0xFFFF).  The implementation below is bit-exact
+against the standard's test vectors.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import ProtocolError
+from repro.utils.rng import RngLike, ensure_rng
+
+EPC_BITS = 96
+EPC_BYTES = EPC_BITS // 8
+
+
+def crc16_ccitt(data: bytes) -> int:
+    """CRC-16/X.25 over ``data`` (the Gen2 frame CRC).
+
+    Reflected polynomial 0x8408 (bit-reversed 0x1021), init 0xFFFF,
+    final complement.
+    """
+    crc = 0xFFFF
+    for byte in data:
+        crc ^= byte
+        for _ in range(8):
+            if crc & 1:
+                crc = (crc >> 1) ^ 0x8408
+            else:
+                crc >>= 1
+    return crc ^ 0xFFFF
+
+
+def random_epc(rng: RngLike = None) -> str:
+    """A random 96-bit EPC as a 24-hex-digit uppercase string."""
+    generator = ensure_rng(rng)
+    raw = generator.integers(0, 256, size=EPC_BYTES, dtype=int)
+    return bytes(int(b) for b in raw).hex().upper()
+
+
+def encode_epc(epc_hex: str) -> bytes:
+    """Encode an EPC string into a framed payload ``EPC || CRC16``."""
+    payload = _epc_bytes(epc_hex)
+    crc = crc16_ccitt(payload)
+    return payload + crc.to_bytes(2, "big")
+
+
+def decode_epc(frame: bytes) -> str:
+    """Decode and CRC-check a framed EPC payload.
+
+    Raises
+    ------
+    ProtocolError
+        If the frame is the wrong length or the CRC check fails.
+    """
+    if len(frame) != EPC_BYTES + 2:
+        raise ProtocolError(
+            f"EPC frame must be {EPC_BYTES + 2} bytes, got {len(frame)}"
+        )
+    payload, crc_bytes = frame[:-2], frame[-2:]
+    expected = crc16_ccitt(payload)
+    received = int.from_bytes(crc_bytes, "big")
+    if expected != received:
+        raise ProtocolError(
+            f"EPC CRC mismatch: computed {expected:#06x}, frame carries {received:#06x}"
+        )
+    return payload.hex().upper()
+
+
+def validate_epc_frame(frame: bytes) -> bool:
+    """Whether ``frame`` is a well-formed EPC || CRC16 payload."""
+    try:
+        decode_epc(frame)
+    except ProtocolError:
+        return False
+    return True
+
+
+def corrupt_frame(frame: bytes, bit_index: int) -> bytes:
+    """Flip one bit of a frame (used by link-error tests)."""
+    if not 0 <= bit_index < len(frame) * 8:
+        raise ProtocolError(f"bit index {bit_index} outside frame")
+    data = bytearray(frame)
+    data[bit_index // 8] ^= 1 << (bit_index % 8)
+    return bytes(data)
+
+
+def _epc_bytes(epc_hex: str) -> bytes:
+    if len(epc_hex) != EPC_BYTES * 2:
+        raise ProtocolError(
+            f"EPC must be {EPC_BYTES * 2} hex digits, got {len(epc_hex)}"
+        )
+    try:
+        return bytes.fromhex(epc_hex)
+    except ValueError as exc:
+        raise ProtocolError(f"invalid EPC hex string {epc_hex!r}") from exc
+
+
+def epc_pair() -> Tuple[str, bytes]:
+    """A convenience (epc, framed bytes) pair with a fresh random EPC."""
+    epc = random_epc()
+    return epc, encode_epc(epc)

@@ -1,0 +1,173 @@
+"""Simplified EPC Gen2 inventory: framed slotted ALOHA with Q adaptation.
+
+D-Watch's data collection rides on ordinary Gen2 inventory rounds: the
+reader broadcasts a Query carrying the slot-count exponent ``Q``, each
+energised tag draws a slot in ``[0, 2**Q)``, and per slot the reader
+sees silence, a clean RN16 (acknowledged, tag sends its EPC), or a
+collision.  The reader adapts ``Q`` between rounds using the standard
+floating-point Q algorithm so the frame size tracks the population.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ProtocolError
+from repro.rfid.epc import encode_epc
+from repro.rfid.tag import Tag
+from repro.rfid.timing import DEFAULT_LINK_TIMING, LinkTiming
+from repro.utils.rng import RngLike, ensure_rng
+
+
+class SlotOutcome(enum.Enum):
+    """What the reader observed in one inventory slot."""
+
+    EMPTY = "empty"
+    SINGLETON = "singleton"
+    COLLISION = "collision"
+
+
+@dataclass(frozen=True)
+class TagRead:
+    """One successful EPC read within an inventory round."""
+
+    epc: str
+    slot: int
+    rn16: int
+    timestamp_s: float
+    frame: bytes
+
+
+@dataclass
+class InventoryRound:
+    """The full outcome of one Query round."""
+
+    q: int
+    outcomes: List[SlotOutcome] = field(default_factory=list)
+    reads: List[TagRead] = field(default_factory=list)
+    duration_s: float = 0.0
+
+    @property
+    def num_collisions(self) -> int:
+        """Count of collided slots in this round."""
+        return sum(1 for o in self.outcomes if o is SlotOutcome.COLLISION)
+
+    @property
+    def num_empty(self) -> int:
+        """Count of empty slots in this round."""
+        return sum(1 for o in self.outcomes if o is SlotOutcome.EMPTY)
+
+
+@dataclass
+class Gen2Inventory:
+    """A Gen2 inventory engine with the floating-point Q algorithm.
+
+    Parameters
+    ----------
+    initial_q:
+        Starting slot-count exponent (Gen2 default 4).
+    q_step:
+        The C constant of the Q algorithm; 0.1-0.5 per the standard.
+    timing:
+        Link timing (Tari/BLF/encoding) used for slot-duration
+        accounting; defaults to a Miller-4 dense-reader profile.
+    rng:
+        Randomness for tag slot draws and RN16s.
+    """
+
+    initial_q: int = 4
+    q_step: float = 0.3
+    timing: LinkTiming = DEFAULT_LINK_TIMING
+    rng: RngLike = None
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.initial_q <= 15:
+            raise ProtocolError(f"initial Q must be in [0, 15], got {self.initial_q}")
+        if not 0.0 < self.q_step <= 1.0:
+            raise ProtocolError(f"Q step must be in (0, 1], got {self.q_step}")
+        self._generator = ensure_rng(self.rng)
+        self._q_float = float(self.initial_q)
+
+    @property
+    def current_q(self) -> int:
+        """The integer Q the next Query will advertise."""
+        return int(round(self._q_float))
+
+    def run_round(self, tags: Sequence[Tag], start_time_s: float = 0.0) -> InventoryRound:
+        """Execute one Query round over ``tags``.
+
+        Tags that were already inventoried in this round do not answer
+        again (flag semantics are reduced to per-round participation).
+        """
+        q = self.current_q
+        num_slots = 2**q
+        draws: Dict[int, List[Tag]] = {}
+        for tag in tags:
+            slot = tag.draw_slot(q, self._generator)
+            draws.setdefault(slot, []).append(tag)
+
+        outcomes: List[SlotOutcome] = []
+        reads: List[TagRead] = []
+        clock = start_time_s
+        for slot in range(num_slots):
+            contenders = draws.get(slot, [])
+            if not contenders:
+                outcomes.append(SlotOutcome.EMPTY)
+                clock += self.timing.empty_slot_s
+            elif len(contenders) == 1:
+                tag = contenders[0]
+                outcomes.append(SlotOutcome.SINGLETON)
+                clock += self.timing.singleton_slot_s
+                reads.append(
+                    TagRead(
+                        epc=tag.epc,
+                        slot=slot,
+                        rn16=tag.rn16(self._generator),
+                        timestamp_s=clock,
+                        frame=encode_epc(tag.epc),
+                    )
+                )
+            else:
+                outcomes.append(SlotOutcome.COLLISION)
+                clock += self.timing.collision_slot_s
+
+        self._adapt_q(outcomes)
+        return InventoryRound(
+            q=q, outcomes=outcomes, reads=reads, duration_s=clock - start_time_s
+        )
+
+    def inventory_all(
+        self, tags: Sequence[Tag], max_rounds: int = 32
+    ) -> List[InventoryRound]:
+        """Run rounds until every tag has been read (or rounds exhausted).
+
+        Returns the executed rounds; tags already read stop contending,
+        mimicking the inventoried-flag behaviour of session S0 with a
+        per-cycle reset.
+        """
+        remaining = list(tags)
+        rounds: List[InventoryRound] = []
+        clock = 0.0
+        for _ in range(max_rounds):
+            if not remaining:
+                break
+            round_result = self.run_round(remaining, start_time_s=clock)
+            rounds.append(round_result)
+            clock += round_result.duration_s
+            read_epcs = {read.epc for read in round_result.reads}
+            remaining = [tag for tag in remaining if tag.epc not in read_epcs]
+        return rounds
+
+    def _adapt_q(self, outcomes: Sequence[SlotOutcome]) -> None:
+        """Standard floating Q update: +C on collision, -C on empty."""
+        qfp = self._q_float
+        for outcome in outcomes:
+            if outcome is SlotOutcome.COLLISION:
+                qfp = min(15.0, qfp + self.q_step)
+            elif outcome is SlotOutcome.EMPTY:
+                qfp = max(0.0, qfp - self.q_step)
+        self._q_float = qfp

@@ -1,0 +1,74 @@
+"""The Impinj antenna hub: many antennas on one RF port, time-divided.
+
+The Speedway R420 has only four RF ports, so the paper attaches an
+antenna hub to reach eight array elements.  Antennas share the port in
+fixed time-division slots of roughly 200 microseconds; one full array
+snapshot therefore takes ``M`` slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.constants import ANTENNA_TDM_SLOT_S
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class TdmSchedule:
+    """The time-division schedule of one snapshot sweep.
+
+    Attributes
+    ----------
+    slots:
+        ``(antenna_index, start_time_s, end_time_s)`` triples in sweep
+        order.
+    """
+
+    slots: Tuple[Tuple[int, float, float], ...]
+
+    @property
+    def duration(self) -> float:
+        """Total sweep duration in seconds."""
+        return self.slots[-1][2] if self.slots else 0.0
+
+    def antenna_at(self, time_s: float) -> int:
+        """Which antenna is active at ``time_s`` into the sweep.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``time_s`` falls outside the sweep.
+        """
+        for antenna, start, end in self.slots:
+            if start <= time_s < end:
+                return antenna
+        raise ConfigurationError(f"time {time_s} outside the sweep duration")
+
+
+@dataclass(frozen=True)
+class AntennaHub:
+    """An antenna hub multiplexing ``num_antennas`` onto one RF port."""
+
+    num_antennas: int
+    slot_duration_s: float = ANTENNA_TDM_SLOT_S
+
+    def __post_init__(self) -> None:
+        if self.num_antennas < 1:
+            raise ConfigurationError("hub needs at least one antenna")
+        if self.slot_duration_s <= 0.0:
+            raise ConfigurationError("TDM slot duration must be positive")
+
+    def sweep_schedule(self) -> TdmSchedule:
+        """The TDM schedule of one full antenna sweep."""
+        slots: List[Tuple[int, float, float]] = []
+        for index in range(self.num_antennas):
+            start = index * self.slot_duration_s
+            slots.append((index, start, start + self.slot_duration_s))
+        return TdmSchedule(slots=tuple(slots))
+
+    @property
+    def sweep_duration_s(self) -> float:
+        """Duration of one complete snapshot sweep (seconds)."""
+        return self.num_antennas * self.slot_duration_s

@@ -1,0 +1,134 @@
+"""LLRP-style tag reports: the reader-to-server interface.
+
+The paper's server talks to the readers over the Low Level Reader
+Protocol; every successful backscatter read arrives as a tag report
+carrying the EPC, the antenna that heard it, an RSSI, and the measured
+phase.  D-Watch's localization engine consumes only these reports — it
+never touches raw RF — so this module is the seam between the hardware
+substrate and the algorithm stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class TagReportData:
+    """One per-antenna observation of one tag read.
+
+    Attributes
+    ----------
+    epc:
+        The tag's EPC identifier.
+    reader_name:
+        Which reader produced the report.
+    antenna_index:
+        Array element (0-based) that captured this sample.
+    rssi_dbm:
+        Received signal strength in dBm.
+    phase_rad:
+        Measured carrier phase in radians (wrapped), including the RF
+        front end's uncalibrated offset.
+    iq:
+        The complex baseband sample behind the RSSI/phase pair.
+    timestamp_s:
+        Read time relative to the start of the collection.
+    """
+
+    epc: str
+    reader_name: str
+    antenna_index: int
+    rssi_dbm: float
+    phase_rad: float
+    iq: complex
+    timestamp_s: float = 0.0
+
+
+@dataclass
+class RoReport:
+    """A batch of tag reports, grouped like an LLRP RO_ACCESS_REPORT."""
+
+    reader_name: str
+    reports: List[TagReportData] = field(default_factory=list)
+
+    def for_tag(self, epc: str) -> List[TagReportData]:
+        """All observations of one tag, antenna-major then time order."""
+        selected = [r for r in self.reports if r.epc == epc]
+        return sorted(selected, key=lambda r: (r.antenna_index, r.timestamp_s))
+
+    def epcs(self) -> List[str]:
+        """Distinct EPCs present in this report, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for report in self.reports:
+            seen.setdefault(report.epc, None)
+        return list(seen)
+
+    def snapshot_matrix(self, epc: str, num_antennas: int) -> np.ndarray:
+        """Reassemble the ``(M, N)`` snapshot matrix for one tag.
+
+        Raises
+        ------
+        ProtocolError
+            If any antenna contributed a different number of samples
+            (a torn sweep), since a ragged matrix cannot feed MUSIC.
+        """
+        per_antenna: Dict[int, List[complex]] = {m: [] for m in range(num_antennas)}
+        for report in self.for_tag(epc):
+            if report.antenna_index >= num_antennas:
+                raise ProtocolError(
+                    f"report references antenna {report.antenna_index} beyond array"
+                )
+            per_antenna[report.antenna_index].append(report.iq)
+        lengths = {len(samples) for samples in per_antenna.values()}
+        if len(lengths) != 1:
+            raise ProtocolError(f"torn sweep: per-antenna sample counts {lengths}")
+        n = lengths.pop()
+        if n == 0:
+            raise ProtocolError(f"no observations for tag {epc}")
+        matrix = np.zeros((num_antennas, n), dtype=complex)
+        for antenna, samples in per_antenna.items():
+            matrix[antenna, :] = samples
+        return matrix
+
+
+def build_report(
+    reader_name: str,
+    epc: str,
+    snapshots: np.ndarray,
+    start_time_s: float = 0.0,
+    sweep_duration_s: float = 1.6e-3,
+) -> RoReport:
+    """Wrap raw snapshots into per-antenna tag reports.
+
+    The inverse of :meth:`RoReport.snapshot_matrix`: each snapshot
+    column becomes one TDM sweep, each row one antenna observation.
+    """
+    x = np.asarray(snapshots, dtype=complex)
+    if x.ndim != 2:
+        raise ProtocolError("snapshots must be a 2-D (M, N) array")
+    m, n = x.shape
+    reports: List[TagReportData] = []
+    for t in range(n):
+        sweep_start = start_time_s + t * sweep_duration_s
+        for antenna in range(m):
+            iq = complex(x[antenna, t])
+            power = abs(iq) ** 2
+            rssi = 10.0 * np.log10(max(power, 1e-18)) + 30.0
+            reports.append(
+                TagReportData(
+                    epc=epc,
+                    reader_name=reader_name,
+                    antenna_index=antenna,
+                    rssi_dbm=float(rssi),
+                    phase_rad=float(np.angle(iq)),
+                    iq=iq,
+                    timestamp_s=sweep_start + antenna * (sweep_duration_s / m),
+                )
+            )
+    return RoReport(reader_name=reader_name, reports=reports)

@@ -1,0 +1,119 @@
+"""RFID reader model (Impinj Speedway R420 class).
+
+A reader owns up to four RF ports.  Each antenna chain behind a port has
+a random oscillator phase offset (the paper measures -85.9 to +176
+degrees across 16 ports, Fig. 3); until calibrated, these offsets
+corrupt every per-antenna phase measurement.  One port drives the
+antenna hub that carries the whole array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.constants import RF_PORTS_PER_READER
+from repro.errors import ConfigurationError
+from repro.rf.array import UniformLinearArray
+from repro.rfid.hub import AntennaHub
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class RfPort:
+    """One RF port with its front-end phase offset (radians)."""
+
+    index: int
+    phase_offset: float
+
+
+def random_phase_offsets(
+    num_antennas: int, rng: RngLike = None, reference_zero: bool = True
+) -> np.ndarray:
+    """Random per-antenna-chain phase offsets, uniform over ``(-pi, pi]``.
+
+    With ``reference_zero`` the first chain is the phase reference
+    (offset 0), matching how the paper reports offsets relative to RF
+    port 1.
+    """
+    if num_antennas < 1:
+        raise ConfigurationError("need at least one antenna chain")
+    generator = ensure_rng(rng)
+    offsets = generator.uniform(-np.pi, np.pi, size=num_antennas)
+    if reference_zero:
+        offsets[0] = 0.0
+    return offsets
+
+
+@dataclass
+class Reader:
+    """One reader driving one uniform linear array through a hub.
+
+    Parameters
+    ----------
+    array:
+        The physical antenna array this reader serves.
+    name:
+        Reader identifier (appears in LLRP reports).
+    phase_offsets:
+        Per-antenna-chain oscillator offsets (radians).  Drawn at
+        "power-on" when omitted.  These are *unknown* to the
+        localization side until calibration estimates them.
+    rng:
+        Randomness source for power-on offsets.
+    """
+
+    array: UniformLinearArray
+    name: str = "reader"
+    phase_offsets: Optional[np.ndarray] = None
+    num_rf_ports: int = RF_PORTS_PER_READER
+    max_range_m: float = 12.0
+    rng: RngLike = None
+
+    def __post_init__(self) -> None:
+        generator = ensure_rng(self.rng)
+        if self.phase_offsets is None:
+            self.phase_offsets = random_phase_offsets(
+                self.array.num_antennas, generator
+            )
+        else:
+            self.phase_offsets = np.asarray(self.phase_offsets, dtype=float)
+            if self.phase_offsets.shape != (self.array.num_antennas,):
+                raise ConfigurationError(
+                    "phase_offsets must have one entry per antenna"
+                )
+        if self.num_rf_ports < 1:
+            raise ConfigurationError("a reader needs at least one RF port")
+        if self.max_range_m <= 0.0:
+            raise ConfigurationError("reader antenna range must be positive")
+        self.hub = AntennaHub(num_antennas=self.array.num_antennas)
+
+    def power_cycle(self, rng: RngLike = None) -> None:
+        """Re-draw the oscillator offsets, as a real power cycle would.
+
+        Calibration is a once-per-power-cycle task (paper Section 4.4,
+        Step 2); after calling this, previously estimated offsets are
+        stale.
+        """
+        self.phase_offsets = random_phase_offsets(
+            self.array.num_antennas, ensure_rng(rng)
+        )
+
+    def gamma(self) -> np.ndarray:
+        """The offset diagonal matrix ``Gamma = diag(exp(j*beta_m))``."""
+        return np.diag(np.exp(1j * self.phase_offsets))
+
+    def ports(self) -> list:
+        """The reader's RF ports; port 0 carries the antenna hub."""
+        # Only the hub port contributes distinct offsets per antenna; the
+        # port list is exposed for protocol-level bookkeeping.
+        return [
+            RfPort(index=i, phase_offset=float(self.phase_offsets[0]))
+            for i in range(self.num_rf_ports)
+        ]
+
+    def snapshot_sweep_duration(self) -> float:
+        """Time to scan all antennas once through the hub (seconds)."""
+        return self.hub.sweep_duration_s

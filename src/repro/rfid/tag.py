@@ -1,0 +1,61 @@
+"""Passive UHF RFID tag model (Alien ALN-9634 class).
+
+Tags are battery-free: they harvest the reader's carrier and answer by
+modulating their backscatter.  For localization only three properties
+matter: where the tag is, how strongly it backscatters, and that it
+participates in the Gen2 slotted-ALOHA inventory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.rfid.epc import random_epc
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass
+class Tag:
+    """One passive tag placed in the monitoring area.
+
+    Parameters
+    ----------
+    position:
+        The tag's 2-D location (metres).  D-Watch never *uses* tag
+        locations for localization; they exist so the simulator can
+        compute true propagation geometry (and so calibration scenes can
+        compute known LoS angles).
+    epc:
+        96-bit EPC identifier as 24 hex digits; random when omitted.
+    backscatter_gain:
+        Complex amplitude of the tag's modulated reflection.
+    height_m:
+        Height above the floor; used by the tag-array height-difference
+        experiment (Fig. 18).
+    """
+
+    position: Point
+    epc: str = field(default_factory=random_epc)
+    backscatter_gain: complex = 1.0 + 0.0j
+    height_m: float = 1.25
+
+    def __post_init__(self) -> None:
+        if abs(self.backscatter_gain) <= 0.0:
+            raise ConfigurationError("tag backscatter gain must be non-zero")
+        if self.height_m < 0.0:
+            raise ConfigurationError("tag height cannot be negative")
+
+    def draw_slot(self, q: int, rng: RngLike = None) -> int:
+        """Pick a Gen2 inventory slot uniformly in ``[0, 2**q)``."""
+        if not 0 <= q <= 15:
+            raise ConfigurationError(f"Gen2 Q must be in [0, 15], got {q}")
+        return int(ensure_rng(rng).integers(0, 2**q))
+
+    def rn16(self, rng: RngLike = None) -> int:
+        """A fresh 16-bit random handle for the Query/ACK exchange."""
+        return int(ensure_rng(rng).integers(0, 2**16))

@@ -1,0 +1,179 @@
+"""EPC Gen2 link timing, derived from the air-interface parameters.
+
+The inventory simulator needs slot durations; rather than hard-coding
+them, this module computes them from the quantities the standard
+actually negotiates:
+
+* **Tari** — the reader's data-0 symbol length (6.25-25 us);
+* **RTcal / TRcal** — reader-to-tag and tag-to-reader calibration
+  intervals sent in the preamble;
+* **DR** (divide ratio) and the **BLF** = DR / TRcal backscatter link
+  frequency the tag derives from them;
+* **M** — the tag's FM0/Miller-2/4/8 modulation (M subcarrier cycles
+  per bit, trading speed for robustness).
+
+Timings follow the Class-1 Generation-2 standard's Annex A formulas:
+tag bit time = M / BLF, T1 = max(RTcal, 10/BLF), T2 = 10/BLF,
+T3 >= 0 (we use T1 again as the no-reply timeout allowance).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ProtocolError
+
+
+class TagEncoding(enum.IntEnum):
+    """Tag backscatter modulation: subcarrier cycles per bit."""
+
+    FM0 = 1
+    MILLER_2 = 2
+    MILLER_4 = 4
+    MILLER_8 = 8
+
+
+#: Reader command lengths in bits (fixed fields of the Gen2 commands).
+QUERY_BITS = 22
+QUERY_REP_BITS = 4
+ACK_BITS = 18
+
+#: Tag reply lengths in bits, including the standard preambles.
+RN16_BITS = 16 + 6
+EPC_REPLY_BITS = 128 + 6  # PC + EPC-96 + CRC-16 + preamble
+
+
+@dataclass(frozen=True)
+class LinkTiming:
+    """One negotiated Gen2 link configuration.
+
+    Parameters
+    ----------
+    tari_s:
+        Reader data-0 length in seconds (6.25-25 us per the standard).
+    divide_ratio:
+        DR: 8 or 64/3.
+    trcal_s:
+        Tag-to-reader calibration interval; BLF = DR / TRcal.
+    encoding:
+        Tag modulation (FM0 fastest, Miller-8 most robust).
+    """
+
+    tari_s: float = 12.5e-6
+    divide_ratio: float = 64.0 / 3.0
+    trcal_s: float = 66.7e-6
+    encoding: TagEncoding = TagEncoding.MILLER_4
+
+    def __post_init__(self) -> None:
+        if not 6.25e-6 <= self.tari_s <= 25e-6:
+            raise ProtocolError(
+                f"Tari must be 6.25-25 us, got {self.tari_s * 1e6:.2f} us"
+            )
+        if self.divide_ratio not in (8.0, 64.0 / 3.0):
+            raise ProtocolError("divide ratio must be 8 or 64/3")
+        if self.trcal_s <= 0.0:
+            raise ProtocolError("TRcal must be positive")
+        blf = self.divide_ratio / self.trcal_s
+        if not 40e3 <= blf <= 640e3:
+            raise ProtocolError(
+                f"BLF {blf / 1e3:.0f} kHz outside the 40-640 kHz range"
+            )
+
+    @property
+    def blf_hz(self) -> float:
+        """Backscatter link frequency the tag derives: DR / TRcal."""
+        return self.divide_ratio / self.trcal_s
+
+    @property
+    def rtcal_s(self) -> float:
+        """Reader-to-tag calibration: the standard's nominal 2.75 Tari."""
+        return 2.75 * self.tari_s
+
+    @property
+    def reader_bit_s(self) -> float:
+        """Average reader symbol length (data-0 and data-1 mean)."""
+        # data-1 is 1.5-2 Tari; use the PIE midpoint of 1.75.
+        return (1.0 + 1.75) / 2.0 * self.tari_s
+
+    @property
+    def tag_bit_s(self) -> float:
+        """Tag bit duration: M subcarrier cycles at the BLF."""
+        return float(self.encoding) / self.blf_hz
+
+    @property
+    def t1_s(self) -> float:
+        """Reader-command to tag-reply turnaround."""
+        return max(self.rtcal_s, 10.0 / self.blf_hz)
+
+    @property
+    def t2_s(self) -> float:
+        """Tag-reply to reader-command turnaround."""
+        return 10.0 / self.blf_hz
+
+    @property
+    def t3_s(self) -> float:
+        """No-reply wait after T1 before the reader moves on."""
+        return self.t1_s
+
+    def reader_command_s(self, bits: int) -> float:
+        """Duration of a reader command of ``bits`` payload bits."""
+        if bits < 1:
+            raise ProtocolError("command must carry at least one bit")
+        # Preamble/frame-sync ~ 12.5 us + RTcal, then the payload.
+        return 12.5e-6 + self.rtcal_s + bits * self.reader_bit_s
+
+    def tag_reply_s(self, bits: int) -> float:
+        """Duration of a tag backscatter reply of ``bits`` bits."""
+        if bits < 1:
+            raise ProtocolError("reply must carry at least one bit")
+        return bits * self.tag_bit_s
+
+    @property
+    def empty_slot_s(self) -> float:
+        """QueryRep, then silence through T1 + T3."""
+        return self.reader_command_s(QUERY_REP_BITS) + self.t1_s + self.t3_s
+
+    @property
+    def collision_slot_s(self) -> float:
+        """QueryRep, colliding RN16s, no ACK."""
+        return (
+            self.reader_command_s(QUERY_REP_BITS)
+            + self.t1_s
+            + self.tag_reply_s(RN16_BITS)
+            + self.t2_s
+        )
+
+    @property
+    def singleton_slot_s(self) -> float:
+        """The full QueryRep/RN16/ACK/EPC exchange."""
+        return (
+            self.reader_command_s(QUERY_REP_BITS)
+            + self.t1_s
+            + self.tag_reply_s(RN16_BITS)
+            + self.t2_s
+            + self.reader_command_s(ACK_BITS)
+            + self.t1_s
+            + self.tag_reply_s(EPC_REPLY_BITS)
+            + self.t2_s
+        )
+
+    def reads_per_second(self, efficiency: float = 0.35) -> float:
+        """Rough sustained read rate.
+
+        ``efficiency`` is the fraction of slots that are singletons in
+        a well-adapted frame (theory: ~1/e collisions/empties around an
+        optimal Q; 0.35 matches field reports for Impinj readers).
+        """
+        if not 0.0 < efficiency <= 1.0:
+            raise ProtocolError("efficiency must be in (0, 1]")
+        mean_slot = (
+            efficiency * self.singleton_slot_s
+            + (1.0 - efficiency) * (self.empty_slot_s + self.collision_slot_s) / 2.0
+        )
+        return efficiency / mean_slot
+
+
+#: The configuration used by the paper's deployment class of readers:
+#: Miller-4 at ~320 kHz BLF, the Impinj "AutoSet Dense Reader" profile.
+DEFAULT_LINK_TIMING = LinkTiming()

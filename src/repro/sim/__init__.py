@@ -1,0 +1,62 @@
+"""Scene construction and measurement simulation.
+
+This package replaces the paper's physical testbed: rooms with
+reflectors, randomly placed tags, reader arrays, and targets, plus the
+machinery that turns a scene into per-(reader, tag) array snapshots —
+optionally through the full Gen2/LLRP protocol path.
+"""
+
+from repro.sim.target import Target, human_target, bottle_target, fist_target
+from repro.sim.scene import Scene, build_channel
+from repro.sim.deployment import (
+    random_tag_positions,
+    perimeter_tag_positions,
+    test_location_grid,
+)
+from repro.sim.environments import (
+    library_scene,
+    laboratory_scene,
+    hall_scene,
+    table_scene,
+    calibration_scene,
+)
+from repro.sim.coverage import CoverageMap, analyze_coverage
+from repro.sim.placement import (
+    PlacementResult,
+    PlacementStep,
+    candidate_positions,
+    optimize_tag_placement,
+)
+from repro.sim.measurement import (
+    MeasurementConfig,
+    MeasurementSession,
+    Measurement,
+    measurement_from_reports,
+)
+
+__all__ = [
+    "Target",
+    "human_target",
+    "bottle_target",
+    "fist_target",
+    "Scene",
+    "build_channel",
+    "random_tag_positions",
+    "perimeter_tag_positions",
+    "test_location_grid",
+    "library_scene",
+    "laboratory_scene",
+    "hall_scene",
+    "table_scene",
+    "calibration_scene",
+    "MeasurementConfig",
+    "MeasurementSession",
+    "Measurement",
+    "measurement_from_reports",
+    "CoverageMap",
+    "analyze_coverage",
+    "PlacementResult",
+    "PlacementStep",
+    "candidate_positions",
+    "optimize_tag_placement",
+]

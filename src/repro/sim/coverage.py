@@ -1,0 +1,136 @@
+"""Deadzone and coverage analysis for a deployment.
+
+Section 8 discusses the "deadzone problem": a target that blocks no
+path is invisible.  Before deploying, an operator wants to know *where*
+those deadzones are and how tag or reflector budget shrinks them.  This
+module computes, for every point on an analysis grid, how many readers
+would register a detectable shadow from a target standing there —
+purely from geometry and the knife-edge model, without running the
+estimation stack.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.constants import HUMAN_TARGET_RADIUS_M
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.rf.propagation import fresnel_parameter, knife_edge_amplitude
+from repro.sim.scene import Scene
+
+
+@dataclass
+class CoverageMap:
+    """Per-grid-point reader-detectability counts.
+
+    Attributes
+    ----------
+    xs, ys:
+        Grid axes (metres).
+    reader_counts:
+        Shape ``(len(ys), len(xs))``: how many readers see a detectable
+        power drop from a target centred on that point.
+    min_readers:
+        Readers required for a triangulated fix (2 in the paper).
+    """
+
+    xs: np.ndarray
+    ys: np.ndarray
+    reader_counts: np.ndarray
+    min_readers: int = 2
+
+    @property
+    def coverage_rate(self) -> float:
+        """Fraction of grid points localizable (Section 6.4's metric)."""
+        return float(np.mean(self.reader_counts >= self.min_readers))
+
+    @property
+    def deadzone_rate(self) -> float:
+        """Fraction of grid points no reader can detect at all."""
+        return float(np.mean(self.reader_counts == 0))
+
+    def deadzones(self) -> List[Point]:
+        """Grid points invisible to every reader."""
+        points = []
+        for iy, y in enumerate(self.ys):
+            for ix, x in enumerate(self.xs):
+                if self.reader_counts[iy, ix] == 0:
+                    points.append(Point(float(x), float(y)))
+        return points
+
+    def ascii_map(self) -> List[str]:
+        """Rows ('#' = localizable, '+' = detectable, '.' = deadzone),
+        top row = max y."""
+        rows = []
+        for iy in range(len(self.ys) - 1, -1, -1):
+            row = []
+            for ix in range(len(self.xs)):
+                count = self.reader_counts[iy, ix]
+                if count >= self.min_readers:
+                    row.append("#")
+                elif count >= 1:
+                    row.append("+")
+                else:
+                    row.append(".")
+            rows.append("".join(row))
+        return rows
+
+
+def analyze_coverage(
+    scene: Scene,
+    grid_spacing: float = 0.25,
+    target_radius: float = HUMAN_TARGET_RADIUS_M,
+    drop_threshold: float = 0.5,
+    min_readers: int = 2,
+    margin: float = 0.5,
+) -> CoverageMap:
+    """Compute the deployment's coverage map.
+
+    A point counts as detectable by a reader if a target there shadows
+    at least one of that reader's paths by more than ``drop_threshold``
+    in power (matching the drop detector's default).
+    """
+    if grid_spacing <= 0.0:
+        raise ConfigurationError("grid spacing must be positive")
+    room = scene.room
+    xs = np.arange(room.min_x + margin, room.max_x - margin + 1e-9, grid_spacing)
+    ys = np.arange(room.min_y + margin, room.max_y - margin + 1e-9, grid_spacing)
+    if xs.size == 0 or ys.size == 0:
+        raise ConfigurationError("margin leaves no analysis area")
+
+    # Gather every path once, tagged by reader index.
+    per_reader_paths: List[List] = []
+    for reader in scene.readers:
+        paths = []
+        for channel in scene.channels_for(reader).values():
+            paths.extend(channel.paths)
+        per_reader_paths.append(paths)
+    wavelength = scene.wavelength_m
+
+    counts = np.zeros((ys.size, xs.size), dtype=int)
+    for iy, y in enumerate(ys):
+        for ix, x in enumerate(xs):
+            centre = Point(float(x), float(y))
+            for reader_index, paths in enumerate(per_reader_paths):
+                detectable = False
+                for path in paths:
+                    factor = 1.0
+                    for leg in path.legs:
+                        v = fresnel_parameter(
+                            leg, centre, target_radius, wavelength
+                        )
+                        factor *= knife_edge_amplitude(v)
+                        if factor**2 <= 1.0 - drop_threshold:
+                            break
+                    if factor**2 <= 1.0 - drop_threshold:
+                        detectable = True
+                        break
+                counts[iy, ix] += int(detectable)
+    return CoverageMap(
+        xs=xs, ys=ys, reader_counts=counts, min_readers=min_readers
+    )

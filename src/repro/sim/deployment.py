@@ -1,0 +1,114 @@
+"""Deployment helpers: tag placement and test-location grids.
+
+The paper places tags "randomly ... with a high degree of flexibility"
+and evaluates on uniform grids of test locations spaced 0.5 m apart
+(63 / 66 / 75 locations in laboratory / library / hall).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.geometry.shapes import Rectangle
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def random_tag_positions(
+    room: Rectangle,
+    count: int,
+    rng: RngLike = None,
+    margin: float = 0.3,
+    min_separation: float = 0.25,
+    max_attempts: int = 10_000,
+) -> List[Point]:
+    """Scatter ``count`` tag positions uniformly inside the room.
+
+    A minimum pairwise separation keeps tags from stacking on one
+    another (physically they are attached to distinct objects).
+
+    Raises
+    ------
+    ConfigurationError
+        If the room cannot fit ``count`` tags at the requested
+        separation within ``max_attempts`` draws.
+    """
+    if count < 1:
+        raise ConfigurationError("tag count must be positive")
+    generator = ensure_rng(rng)
+    positions: List[Point] = []
+    attempts = 0
+    while len(positions) < count:
+        attempts += 1
+        if attempts > max_attempts:
+            raise ConfigurationError(
+                f"could not place {count} tags with separation {min_separation}"
+            )
+        candidate = Point(
+            generator.uniform(room.min_x + margin, room.max_x - margin),
+            generator.uniform(room.min_y + margin, room.max_y - margin),
+        )
+        if all(candidate.distance_to(p) >= min_separation for p in positions):
+            positions.append(candidate)
+    return positions
+
+
+def perimeter_tag_positions(room: Rectangle, count: int, margin: float = 0.1) -> List[Point]:
+    """Evenly distribute tags along the room/table perimeter.
+
+    Matches the tabletop deployment (Fig. 20): tags placed along two
+    sides of the table while the arrays sit on the other two sides.
+    Positions walk the full perimeter counter-clockwise.
+    """
+    if count < 1:
+        raise ConfigurationError("tag count must be positive")
+    inner = Rectangle(
+        room.min_x + margin, room.min_y + margin, room.max_x - margin, room.max_y - margin
+    )
+    perimeter = 2.0 * (inner.width + inner.height)
+    positions: List[Point] = []
+    for index in range(count):
+        s = (index + 0.5) * perimeter / count
+        positions.append(_walk_perimeter(inner, s))
+    return positions
+
+
+def _walk_perimeter(rect: Rectangle, s: float) -> Point:
+    """The point at arc length ``s`` along the rectangle's boundary."""
+    w, h = rect.width, rect.height
+    s = s % (2.0 * (w + h))
+    if s < w:
+        return Point(rect.min_x + s, rect.min_y)
+    s -= w
+    if s < h:
+        return Point(rect.max_x, rect.min_y + s)
+    s -= h
+    if s < w:
+        return Point(rect.max_x - s, rect.max_y)
+    s -= w
+    return Point(rect.min_x, rect.max_y - s)
+
+
+def test_location_grid(
+    room: Rectangle, spacing: float = 0.5, margin: float = 0.75
+) -> List[Point]:
+    """A uniform grid of test locations inside the room.
+
+    Mirrors the paper's methodology: test locations 0.5 m apart, kept
+    away from the walls where arrays and tags are deployed.
+    """
+    if spacing <= 0.0:
+        raise ConfigurationError("grid spacing must be positive")
+    xs = _axis_samples(room.min_x + margin, room.max_x - margin, spacing)
+    ys = _axis_samples(room.min_y + margin, room.max_y - margin, spacing)
+    return [Point(x, y) for y in ys for x in xs]
+
+
+def _axis_samples(low: float, high: float, spacing: float) -> List[float]:
+    if high < low:
+        raise ConfigurationError("margin leaves no room for test locations")
+    count = int(math.floor((high - low) / spacing)) + 1
+    offset = (high - low - (count - 1) * spacing) / 2.0
+    return [low + offset + i * spacing for i in range(count)]

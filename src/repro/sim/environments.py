@@ -1,0 +1,274 @@
+"""Preset scenes mirroring the paper's three rooms and the tabletop.
+
+* **library** (7 m x 10 m) — metal/wood book shelves everywhere: the
+  high-multipath environment where D-Watch performs *best*.
+* **laboratory** (9 m x 12 m) — benches, chambers and displays: medium
+  multipath.
+* **hall** (7.2 m x 10.4 m) — nearly empty: low multipath, fewest
+  "trip-wire" paths, hence the coarsest accuracy and the venue for the
+  controlled-reflector experiments (Figs. 11-13, 16).
+* **table** (2 m x 2 m) — two short-range arrays and 26 perimeter tags
+  for the multi-target and fist-tracking experiments.
+
+Each builder takes a seed so tag scatter and reader phase offsets are
+reproducible but distinct across trials.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional
+
+from repro.geometry.point import Point
+from repro.geometry.reflection import Reflector
+from repro.geometry.segment import Segment
+from repro.geometry.shapes import Rectangle
+from repro.rf.array import UniformLinearArray
+from repro.rfid.reader import Reader
+from repro.rfid.tag import Tag
+from repro.sim.deployment import perimeter_tag_positions, random_tag_positions
+from repro.sim.scene import Scene
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def _wall_readers(
+    room: Rectangle,
+    rng,
+    num_antennas: int = 8,
+    count: int = 4,
+    max_range_m: float = 12.0,
+) -> List[Reader]:
+    """Readers at the wall midpoints, arrays parallel to their wall."""
+    inset = 0.15
+    placements = [
+        # (reference point offset from wall midpoint, orientation)
+        (Point(room.center.x, room.min_y + inset), 0.0),            # south wall
+        (Point(room.max_x - inset, room.center.y), math.pi / 2.0),  # east wall
+        (Point(room.center.x, room.max_y - inset), math.pi),        # north wall
+        (Point(room.min_x + inset, room.center.y), -math.pi / 2.0), # west wall
+    ][:count]
+    readers = []
+    for index, (midpoint, orientation) in enumerate(placements):
+        array = UniformLinearArray(
+            reference=midpoint,
+            orientation=orientation,
+            num_antennas=num_antennas,
+            name=f"array-{index}",
+        )
+        # Shift the reference so the array is centred on the midpoint.
+        half_span = (array.num_antennas - 1) * array.spacing_m / 2.0
+        centred = UniformLinearArray(
+            reference=midpoint - array.axis * half_span,
+            orientation=orientation,
+            num_antennas=num_antennas,
+            name=f"array-{index}",
+        )
+        readers.append(
+            Reader(
+                array=centred,
+                name=f"reader-{index}",
+                max_range_m=max_range_m,
+                rng=rng,
+            )
+        )
+    return readers
+
+
+def _scattered_reflectors(
+    room: Rectangle,
+    count: int,
+    rng,
+    plate_length: float = 1.2,
+    coefficient: float = 0.75,
+    prefix: str = "reflector",
+) -> List[Reflector]:
+    """Randomly placed and oriented reflecting plates inside the room."""
+    reflectors = []
+    for index in range(count):
+        centre = Point(
+            rng.uniform(room.min_x + 0.8, room.max_x - 0.8),
+            rng.uniform(room.min_y + 0.8, room.max_y - 0.8),
+        )
+        angle = rng.uniform(0.0, math.pi)
+        half = Point(math.cos(angle), math.sin(angle)) * (plate_length / 2.0)
+        reflectors.append(
+            Reflector(
+                plate=Segment(centre - half, centre + half),
+                coefficient=coefficient * rng.uniform(0.8, 1.0),
+                name=f"{prefix}-{index}",
+            )
+        )
+    return reflectors
+
+
+def library_scene(
+    rng: RngLike = None,
+    num_tags: int = 21,
+    num_antennas: int = 8,
+    num_reflectors: int = 12,
+) -> Scene:
+    """The high-multipath library: shelves of metal and wood."""
+    generator = ensure_rng(rng)
+    room = Rectangle(0.0, 0.0, 7.0, 10.0)
+    readers = _wall_readers(room, generator, num_antennas)
+    reflectors = _scattered_reflectors(
+        room, num_reflectors, generator, plate_length=2.0, coefficient=0.85,
+        prefix="shelf",
+    )
+    tags = [
+        Tag(position=p)
+        for p in random_tag_positions(room, num_tags, generator)
+    ]
+    return Scene(
+        room=room, readers=readers, tags=tags, reflectors=reflectors, name="library"
+    )
+
+
+def laboratory_scene(
+    rng: RngLike = None,
+    num_tags: int = 21,
+    num_antennas: int = 8,
+    num_reflectors: int = 6,
+) -> Scene:
+    """The medium-multipath laboratory: benches, chambers, displays."""
+    generator = ensure_rng(rng)
+    room = Rectangle(0.0, 0.0, 9.0, 12.0)
+    readers = _wall_readers(room, generator, num_antennas)
+    reflectors = _scattered_reflectors(
+        room, num_reflectors, generator, plate_length=1.2, coefficient=0.7,
+        prefix="bench",
+    )
+    tags = [
+        Tag(position=p)
+        for p in random_tag_positions(room, num_tags, generator)
+    ]
+    return Scene(
+        room=room, readers=readers, tags=tags, reflectors=reflectors, name="laboratory"
+    )
+
+
+def hall_scene(
+    rng: RngLike = None,
+    num_tags: int = 21,
+    num_antennas: int = 8,
+    num_reflectors: int = 1,
+) -> Scene:
+    """The low-multipath empty hall."""
+    generator = ensure_rng(rng)
+    room = Rectangle(0.0, 0.0, 7.2, 10.4)
+    readers = _wall_readers(room, generator, num_antennas)
+    reflectors = _scattered_reflectors(
+        room, num_reflectors, generator, plate_length=1.0, coefficient=0.6,
+        prefix="pillar",
+    )
+    tags = [
+        Tag(position=p)
+        for p in random_tag_positions(room, num_tags, generator)
+    ]
+    return Scene(
+        room=room, readers=readers, tags=tags, reflectors=reflectors, name="hall"
+    )
+
+
+def table_scene(
+    rng: RngLike = None,
+    num_tags: int = 26,
+    num_antennas: int = 8,
+) -> Scene:
+    """The 2 m x 2 m tabletop with two short-range arrays (Fig. 20).
+
+    Arrays sit at the midpoints of the bottom and right table edges;
+    tags line the other two sides.
+    """
+    generator = ensure_rng(rng)
+    room = Rectangle(0.0, 0.0, 2.0, 2.0)
+
+    def centred_array(midpoint: Point, orientation: float, name: str):
+        probe = UniformLinearArray(
+            reference=midpoint, orientation=orientation, num_antennas=num_antennas
+        )
+        half_span = (probe.num_antennas - 1) * probe.spacing_m / 2.0
+        return UniformLinearArray(
+            reference=midpoint - probe.axis * half_span,
+            orientation=orientation,
+            num_antennas=num_antennas,
+            name=name,
+        )
+
+    readers = [
+        Reader(
+            array=centred_array(Point(1.0, -0.05), 0.0, "array-bottom"),
+            name="reader-bottom",
+            max_range_m=3.0,
+            rng=generator,
+        ),
+        Reader(
+            array=centred_array(Point(2.05, 1.0), math.pi / 2.0, "array-right"),
+            name="reader-right",
+            max_range_m=3.0,
+            rng=generator,
+        ),
+    ]
+    # Tags on the top and left edges only.
+    positions = []
+    per_side = num_tags - num_tags // 2
+    for index in range(per_side):
+        positions.append(Point(0.05 + 1.9 * (index + 0.5) / per_side, 2.0))
+    for index in range(num_tags // 2):
+        positions.append(Point(0.0, 0.05 + 1.9 * (index + 0.5) / (num_tags // 2)))
+    tags = [Tag(position=p, height_m=1.25) for p in positions]
+    return Scene(
+        room=room,
+        readers=readers,
+        tags=tags,
+        reflectors=[],
+        name="table",
+    )
+
+
+def calibration_scene(
+    rng: RngLike = None,
+    num_tags: int = 6,
+    num_antennas: int = 8,
+    multipath_strength: float = 0.15,
+) -> Scene:
+    """A calibration deployment: tags at known positions with strong LoS.
+
+    Tags sit 1-8 m from a single array (paper Section 6.1.1) and the
+    room contains only weak distant reflectors, so the LoS path
+    dominates each tag's channel — the precondition footnote 1 of the
+    paper states for the wireless calibration.
+    """
+    generator = ensure_rng(rng)
+    room = Rectangle(0.0, 0.0, 10.0, 10.0)
+    readers = _wall_readers(room, generator, num_antennas, count=1)
+    anchor = readers[0].array.centroid
+    tags = []
+    for index in range(num_tags):
+        distance = generator.uniform(1.0, 8.0)
+        angle = generator.uniform(math.radians(25), math.radians(155))
+        offset = Point(math.cos(angle), math.sin(angle)) * distance
+        position = room.clamp(anchor + offset)
+        tags.append(Tag(position=position))
+    # Two long wall-like clutter plates flanking the deployment: their
+    # specular bounces exist for essentially every tag placement, so
+    # each reference tag's channel carries genuine (weak-but-present)
+    # multipath on top of its dominant LoS — the regime the wireless
+    # calibration must cope with.
+    coefficient = max(0.05, min(1.0, multipath_strength * 2.0))
+    reflectors = [
+        Reflector(
+            plate=Segment(Point(0.6, 1.0), Point(0.6, 9.0)),
+            coefficient=coefficient,
+            name="clutter-west",
+        ),
+        Reflector(
+            plate=Segment(Point(9.4, 1.0), Point(9.4, 9.0)),
+            coefficient=coefficient,
+            name="clutter-east",
+        ),
+    ]
+    return Scene(
+        room=room, readers=readers, tags=tags, reflectors=reflectors,
+        name="calibration",
+    )

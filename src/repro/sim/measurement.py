@@ -1,0 +1,202 @@
+"""Measurement generation: from a scene to array snapshots.
+
+Two paths are provided.  The fast path (:meth:`MeasurementSession.capture`)
+produces per-(reader, tag) snapshot matrices directly — what the
+localization experiments iterate on.  The full-stack path
+(:meth:`MeasurementSession.capture_reports`) additionally runs the Gen2
+inventory and wraps results as LLRP tag reports, exercising the same
+interfaces a physical deployment would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.constants import PACKETS_PER_FIX
+from repro.errors import ConfigurationError
+from repro.geometry.shapes import Circle
+from repro.rfid.gen2 import Gen2Inventory
+from repro.rfid.llrp import RoReport, build_report
+from repro.sim.scene import Scene
+from repro.sim.target import Target
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class MeasurementConfig:
+    """Knobs of a measurement capture.
+
+    Parameters
+    ----------
+    num_snapshots:
+        Snapshots (backscatter packets) per tag per fix; the paper
+        collects 10.
+    snr_db:
+        Per-antenna SNR of the strongest path.
+    apply_phase_offsets:
+        Whether the readers' uncalibrated front-end offsets corrupt the
+        measurements (they always do on real hardware; turning this off
+        isolates algorithm behaviour in unit tests).
+    phase_jitter_rad:
+        Standard deviation of slow per-antenna phase drift between
+        captures (radians).  Real reader front ends drift with
+        temperature and PLL re-locks, so the phases measured minutes
+        after calibration carry a residual error; this is the dominant
+        AoA error source on COTS hardware (the paper's Fig. 10 shows a
+        2-degree median LoS AoA error even after calibration).  The
+        drift is redrawn once per capture and shared by all of that
+        capture's snapshots.
+    """
+
+    num_snapshots: int = PACKETS_PER_FIX
+    snr_db: float = 25.0
+    apply_phase_offsets: bool = True
+    phase_jitter_rad: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.num_snapshots < 1:
+            raise ConfigurationError("need at least one snapshot per fix")
+        if self.phase_jitter_rad < 0.0:
+            raise ConfigurationError("phase jitter cannot be negative")
+
+
+@dataclass
+class Measurement:
+    """One capture: per-reader, per-tag snapshot matrices."""
+
+    snapshots: Dict[str, Dict[str, np.ndarray]] = field(default_factory=dict)
+
+    def readers(self) -> List[str]:
+        """Reader names present in this capture."""
+        return list(self.snapshots)
+
+    def tags_for(self, reader_name: str) -> List[str]:
+        """EPCs observed by one reader."""
+        return list(self.snapshots.get(reader_name, {}))
+
+    def matrix(self, reader_name: str, epc: str) -> np.ndarray:
+        """The ``(M, N)`` snapshot matrix of one (reader, tag) pair."""
+        try:
+            return self.snapshots[reader_name][epc]
+        except KeyError as exc:
+            raise ConfigurationError(
+                f"no snapshots for reader {reader_name!r} / tag {epc!r}"
+            ) from exc
+
+
+class MeasurementSession:
+    """Generates measurements from one scene.
+
+    Parameters
+    ----------
+    scene:
+        The static deployment.
+    config:
+        Capture configuration.
+    rng:
+        Randomness source; noise and source symbols advance this stream
+        on every capture, so consecutive captures differ as they would
+        in reality.
+    """
+
+    def __init__(
+        self,
+        scene: Scene,
+        config: Optional[MeasurementConfig] = None,
+        rng: RngLike = None,
+    ) -> None:
+        self.scene = scene
+        self.config = config or MeasurementConfig()
+        self._generator = ensure_rng(rng)
+
+    def capture(self, targets: Sequence[Target] = ()) -> Measurement:
+        """Capture one fix: snapshots for every (reader, in-range tag).
+
+        ``targets`` are the device-free bodies currently in the area;
+        their shadowing attenuates every path they block.
+        """
+        bodies = [target.body() for target in targets]
+        result = Measurement()
+        for reader in self.scene.readers:
+            per_tag: Dict[str, np.ndarray] = {}
+            channels = self.scene.channels_for(reader)
+            jitter = None
+            if self.config.phase_jitter_rad > 0.0:
+                jitter = self._generator.normal(
+                    0.0,
+                    self.config.phase_jitter_rad,
+                    size=reader.array.num_antennas,
+                )
+            for epc, channel in channels.items():
+                shadowed = channel.with_targets(bodies) if bodies else channel
+                offsets = (
+                    reader.phase_offsets
+                    if self.config.apply_phase_offsets
+                    else None
+                )
+                if jitter is not None:
+                    offsets = jitter if offsets is None else offsets + jitter
+                per_tag[epc] = shadowed.snapshots(
+                    self.config.num_snapshots,
+                    snr_db=self.config.snr_db,
+                    phase_offsets=offsets,
+                    rng=self._generator,
+                )
+            result.snapshots[reader.name] = per_tag
+        return result
+
+    def capture_reports(
+        self, targets: Sequence[Target] = ()
+    ) -> Dict[str, RoReport]:
+        """Capture one fix through the full Gen2 + LLRP protocol path.
+
+        Each reader runs inventory rounds until every in-range tag is
+        read, then streams one LLRP report per reader whose per-antenna
+        observations reassemble into exactly the matrices
+        :meth:`capture` would produce.
+        """
+        measurement = self.capture(targets)
+        reports: Dict[str, RoReport] = {}
+        for reader in self.scene.readers:
+            inventory = Gen2Inventory(rng=self._generator)
+            in_range = self.scene.tags_in_range(reader)
+            rounds = inventory.inventory_all(in_range)
+            read_times = {
+                read.epc: read.timestamp_s
+                for round_result in rounds
+                for read in round_result.reads
+            }
+            combined = RoReport(reader_name=reader.name)
+            for epc, snapshots in measurement.snapshots[reader.name].items():
+                start = read_times.get(epc, 0.0)
+                report = build_report(
+                    reader.name,
+                    epc,
+                    snapshots,
+                    start_time_s=start,
+                    sweep_duration_s=reader.snapshot_sweep_duration(),
+                )
+                combined.reports.extend(report.reports)
+            reports[reader.name] = combined
+        return reports
+
+
+def measurement_from_reports(
+    reports: Dict[str, RoReport], num_antennas: int
+) -> Measurement:
+    """Rebuild a :class:`Measurement` from LLRP reports.
+
+    This is what the server side does in a physical deployment: the
+    localization engine never sees the simulator, only reports.
+    """
+    measurement = Measurement()
+    for reader_name, report in reports.items():
+        per_tag = {
+            epc: report.snapshot_matrix(epc, num_antennas)
+            for epc in report.epcs()
+        }
+        measurement.snapshots[reader_name] = per_tag
+    return measurement

@@ -1,0 +1,146 @@
+"""Scenes: rooms + reflectors + tags + reader arrays, and their channels.
+
+A scene is the static world.  ``build_channel`` turns one (reader, tag)
+pair into a :class:`~repro.rf.channel.MultipathChannel` by enumerating
+the direct path and every valid single-bounce reflection, including the
+3-D arrival-angle correction when tag and array sit at different
+heights (the Fig. 18 experiment).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace as dataclass_replace
+from typing import Dict, List, Optional
+
+from repro.constants import DEFAULT_FREQUENCY_HZ
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.geometry.reflection import Reflector
+from repro.geometry.shapes import Rectangle
+from repro.rf.channel import MultipathChannel
+from repro.rf.propagation import (
+    DEFAULT_BLOCKING_ATTENUATION,
+    PropagationPath,
+    enumerate_paths,
+)
+from repro.rf.waves import wavelength
+from repro.rfid.reader import Reader
+from repro.rfid.tag import Tag
+
+
+def effective_aoa(planar_aoa: float, elevation: float) -> float:
+    """3-D arrival angle measured by a *horizontal* linear array.
+
+    A horizontal ULA measures the angle between the array axis and the
+    3-D arrival direction; for a wave with planar bearing ``theta`` and
+    elevation ``phi`` that is ``arccos(cos(theta) * cos(phi))``.  A
+    height difference therefore biases every measured angle towards
+    broadside — the mechanism behind the paper's Fig. 18 degradation.
+    """
+    value = math.cos(planar_aoa) * math.cos(elevation)
+    return math.acos(max(-1.0, min(1.0, value)))
+
+
+@dataclass
+class Scene:
+    """The static deployment: room, readers, tags and reflectors.
+
+    Parameters
+    ----------
+    room:
+        Monitoring-area footprint.
+    readers:
+        Reader/array units watching the area.
+    tags:
+        Deployed tags (positions unknown to the localizer).
+    reflectors:
+        Reflecting plates creating the "bad" multipaths D-Watch uses.
+    frequency_hz:
+        Carrier frequency; defaults to the Chinese UHF band centre.
+    array_height_m:
+        Height of all antenna arrays above the floor (paper: 1.25 m).
+    name:
+        Scene label for reports.
+    """
+
+    room: Rectangle
+    readers: List[Reader] = field(default_factory=list)
+    tags: List[Tag] = field(default_factory=list)
+    reflectors: List[Reflector] = field(default_factory=list)
+    frequency_hz: float = DEFAULT_FREQUENCY_HZ
+    array_height_m: float = 1.25
+    blocking_attenuation: float = DEFAULT_BLOCKING_ATTENUATION
+    name: str = "scene"
+
+    def __post_init__(self) -> None:
+        if not self.readers:
+            raise ConfigurationError("a scene needs at least one reader")
+        epcs = [tag.epc for tag in self.tags]
+        if len(epcs) != len(set(epcs)):
+            raise ConfigurationError("tag EPCs must be unique within a scene")
+
+    @property
+    def wavelength_m(self) -> float:
+        """Carrier wavelength for this scene."""
+        return wavelength(self.frequency_hz)
+
+    def tags_in_range(self, reader: Reader) -> List[Tag]:
+        """Tags within the reader's backscatter communication range.
+
+        The small tabletop antennas reach ~3 m, the room antennas ~12 m
+        (``Reader.max_range_m``).
+        """
+        max_range = reader.max_range_m
+        centroid = reader.array.centroid
+        return [
+            tag
+            for tag in self.tags
+            if centroid.distance_to(tag.position) <= max_range
+        ]
+
+    def channels_for(self, reader: Reader) -> Dict[str, MultipathChannel]:
+        """Multipath channels of every in-range tag toward ``reader``."""
+        return {
+            tag.epc: build_channel(self, reader, tag)
+            for tag in self.tags_in_range(reader)
+        }
+
+    def with_reflectors(self, reflectors: List[Reflector]) -> "Scene":
+        """A copy of the scene with a different reflector set."""
+        return dataclass_replace(self, reflectors=list(reflectors))
+
+    def with_tags(self, tags: List[Tag]) -> "Scene":
+        """A copy of the scene with a different tag deployment."""
+        return dataclass_replace(self, tags=list(tags))
+
+
+def build_channel(scene: Scene, reader: Reader, tag: Tag) -> MultipathChannel:
+    """All propagation paths from ``tag`` to ``reader``'s array.
+
+    Path amplitudes use the free-space model plus reflection loss; when
+    the tag's height differs from the array height, every path's AoA is
+    corrected for the elevation a horizontal array actually measures.
+    """
+    paths = enumerate_paths(
+        tag_id=tag.epc,
+        tag_position=tag.position,
+        array=reader.array,
+        reflectors=scene.reflectors,
+        backscatter_gain=tag.backscatter_gain,
+    )
+    height_delta = abs(tag.height_m - scene.array_height_m)
+    if height_delta > 1e-9:
+        corrected: List[PropagationPath] = []
+        for path in paths:
+            horizontal = max(path.length, 1e-6)
+            elevation = math.atan2(height_delta, horizontal)
+            corrected.append(
+                dataclass_replace(path, aoa=effective_aoa(path.aoa, elevation))
+            )
+        paths = corrected
+    return MultipathChannel(
+        array=reader.array,
+        paths=paths,
+        blocking_attenuation=scene.blocking_attenuation,
+    )

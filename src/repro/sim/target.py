@@ -1,0 +1,69 @@
+"""Device-free targets: the people and objects D-Watch localizes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.constants import (
+    BOTTLE_TARGET_RADIUS_M,
+    FIST_TARGET_RADIUS_M,
+    HUMAN_TARGET_RADIUS_M,
+)
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.geometry.shapes import Circle
+
+
+@dataclass(frozen=True)
+class Target:
+    """A device-free target with a circular horizontal cross-section.
+
+    Parameters
+    ----------
+    position:
+        Centre of the target body in the monitoring plane (metres).
+    radius:
+        Body radius (metres); determines which paths the target shadows
+        and the zero-error zone of the paper's extended-target metric.
+    kind:
+        Free-form label (``"human"``, ``"bottle"``, ``"fist"``).
+    """
+
+    position: Point
+    radius: float = HUMAN_TARGET_RADIUS_M
+    kind: str = "human"
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0.0:
+            raise ConfigurationError(f"target radius must be positive, got {self.radius}")
+
+    def body(self) -> Circle:
+        """The blocking cross-section as a geometry circle."""
+        return Circle(center=self.position, radius=self.radius)
+
+    def localization_error(self, estimate: Point) -> float:
+        """The paper's extended-target error (Section 6.2).
+
+        Zero while the estimate falls within the body; otherwise the
+        distance from the estimate to the body's edge.
+        """
+        return self.body().distance_to(estimate)
+
+    def moved_to(self, position: Point) -> "Target":
+        """The same target at a new position (for trajectory sweeps)."""
+        return Target(position=position, radius=self.radius, kind=self.kind)
+
+
+def human_target(position: Point) -> Target:
+    """A human torso (~36 cm wide, per Section 6.2)."""
+    return Target(position=position, radius=HUMAN_TARGET_RADIUS_M, kind="human")
+
+
+def bottle_target(position: Point) -> Target:
+    """A water-filled glass bottle (7.8 cm bottom diameter)."""
+    return Target(position=position, radius=BOTTLE_TARGET_RADIUS_M, kind="bottle")
+
+
+def fist_target(position: Point) -> Target:
+    """A human fist for the virtual-touch-screen experiments."""
+    return Target(position=position, radius=FIST_TARGET_RADIUS_M, kind="fist")

@@ -1,0 +1,41 @@
+"""Small, dependency-free helpers shared across the library."""
+
+from repro.utils.angles import (
+    deg2rad,
+    rad2deg,
+    wrap_to_pi,
+    wrap_to_2pi,
+    angle_difference,
+    circular_mean,
+)
+from repro.utils.rng import ensure_rng, spawn_child
+from repro.utils.stats import (
+    empirical_cdf,
+    median,
+    percentile,
+    mean_and_std,
+    summarize_errors,
+    ErrorSummary,
+)
+from repro.utils.units import db_to_linear, linear_to_db, db_to_power, power_to_db
+
+__all__ = [
+    "deg2rad",
+    "rad2deg",
+    "wrap_to_pi",
+    "wrap_to_2pi",
+    "angle_difference",
+    "circular_mean",
+    "ensure_rng",
+    "spawn_child",
+    "empirical_cdf",
+    "median",
+    "percentile",
+    "mean_and_std",
+    "summarize_errors",
+    "ErrorSummary",
+    "db_to_linear",
+    "linear_to_db",
+    "db_to_power",
+    "power_to_db",
+]

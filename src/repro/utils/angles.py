@@ -1,0 +1,64 @@
+"""Angle arithmetic helpers.
+
+The library stores every angle in radians.  AoA values for a uniform
+linear array live in ``[0, pi]`` (a ULA cannot distinguish front from
+back), while generic bearings live in ``(-pi, pi]``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+import numpy as np
+
+TWO_PI = 2.0 * math.pi
+
+
+def deg2rad(value):
+    """Convert degrees to radians (scalar or array)."""
+    return np.deg2rad(value)
+
+
+def rad2deg(value):
+    """Convert radians to degrees (scalar or array)."""
+    return np.rad2deg(value)
+
+
+def wrap_to_pi(angle):
+    """Wrap an angle (scalar or array) into ``(-pi, pi]``."""
+    wrapped = np.mod(np.asarray(angle) + math.pi, TWO_PI) - math.pi
+    # np.mod maps exact odd multiples of pi to -pi; the convention here is
+    # the half-open interval (-pi, pi], so fold -pi back to +pi.
+    return np.where(wrapped == -math.pi, math.pi, wrapped) if np.ndim(angle) else (
+        math.pi if wrapped == -math.pi else float(wrapped)
+    )
+
+
+def wrap_to_2pi(angle):
+    """Wrap an angle (scalar or array) into ``[0, 2*pi)``."""
+    wrapped = np.mod(np.asarray(angle), TWO_PI)
+    return wrapped if np.ndim(angle) else float(wrapped)
+
+
+def angle_difference(a, b):
+    """Smallest signed difference ``a - b`` wrapped into ``(-pi, pi]``."""
+    return wrap_to_pi(np.asarray(a) - np.asarray(b))
+
+
+def circular_mean(angles: Iterable[float]) -> float:
+    """Mean direction of a set of angles, computed on the unit circle.
+
+    Raises
+    ------
+    ValueError
+        If ``angles`` is empty or the resultant vector is (numerically)
+        zero, in which case the mean direction is undefined.
+    """
+    arr = np.asarray(list(angles), dtype=float)
+    if arr.size == 0:
+        raise ValueError("circular_mean() of an empty sequence")
+    resultant = np.exp(1j * arr).mean()
+    if abs(resultant) < 1e-12:
+        raise ValueError("circular mean undefined: resultant vector is zero")
+    return float(np.angle(resultant))

@@ -1,0 +1,78 @@
+"""Statistics helpers used by the evaluation harness.
+
+The paper reports localization quality as medians, means, 90th
+percentiles and CDF curves; these helpers centralise that arithmetic so
+every benchmark formats results identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+
+def empirical_cdf(values: Iterable[float]) -> Tuple[np.ndarray, np.ndarray]:
+    """Return ``(sorted_values, cumulative_probabilities)``.
+
+    The probabilities use the ``i / n`` convention so the last point is
+    exactly 1.0, matching how the paper's CDF figures are drawn.
+    """
+    arr = np.sort(np.asarray(list(values), dtype=float))
+    if arr.size == 0:
+        raise ValueError("empirical_cdf() of an empty sequence")
+    probs = np.arange(1, arr.size + 1, dtype=float) / arr.size
+    return arr, probs
+
+
+def median(values: Iterable[float]) -> float:
+    """Median of a sequence (kept for symmetry with :func:`percentile`)."""
+    return float(np.median(np.asarray(list(values), dtype=float)))
+
+
+def percentile(values: Iterable[float], q: float) -> float:
+    """The ``q``-th percentile (0-100) of a sequence."""
+    if not 0.0 <= q <= 100.0:
+        raise ValueError("percentile q must be within [0, 100]")
+    return float(np.percentile(np.asarray(list(values), dtype=float), q))
+
+
+def mean_and_std(values: Iterable[float]) -> Tuple[float, float]:
+    """Mean and (population) standard deviation of a sequence."""
+    arr = np.asarray(list(values), dtype=float)
+    return float(arr.mean()), float(arr.std())
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Summary statistics of a set of localization errors (metres)."""
+
+    count: int
+    mean: float
+    median: float
+    p90: float
+    maximum: float
+
+    def as_row(self, unit_scale: float = 100.0) -> str:
+        """Format as a one-line table row (default unit: centimetres)."""
+        return (
+            f"n={self.count:4d}  mean={self.mean * unit_scale:6.1f}  "
+            f"median={self.median * unit_scale:6.1f}  "
+            f"p90={self.p90 * unit_scale:6.1f}  "
+            f"max={self.maximum * unit_scale:6.1f}"
+        )
+
+
+def summarize_errors(errors: Sequence[float]) -> ErrorSummary:
+    """Build an :class:`ErrorSummary` from raw error samples."""
+    arr = np.asarray(list(errors), dtype=float)
+    if arr.size == 0:
+        raise ValueError("summarize_errors() of an empty sequence")
+    return ErrorSummary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        median=float(np.median(arr)),
+        p90=float(np.percentile(arr, 90)),
+        maximum=float(arr.max()),
+    )

@@ -1,0 +1,37 @@
+"""Decibel/linear conversions.
+
+``db_to_linear``/``linear_to_db`` operate on *amplitude* ratios
+(20 dB per decade) while ``db_to_power``/``power_to_db`` operate on
+*power* ratios (10 dB per decade).  Mixing the two is the classic RF
+bookkeeping bug, hence the explicit names.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def db_to_linear(db):
+    """Amplitude ratio for a gain expressed in dB."""
+    return np.power(10.0, np.asarray(db, dtype=float) / 20.0)
+
+
+def linear_to_db(ratio):
+    """Gain in dB for an amplitude ratio (must be positive)."""
+    arr = np.asarray(ratio, dtype=float)
+    if np.any(arr <= 0):
+        raise ValueError("amplitude ratio must be positive to convert to dB")
+    return 20.0 * np.log10(arr)
+
+
+def db_to_power(db):
+    """Power ratio for a gain expressed in dB."""
+    return np.power(10.0, np.asarray(db, dtype=float) / 10.0)
+
+
+def power_to_db(ratio):
+    """Gain in dB for a power ratio (must be positive)."""
+    arr = np.asarray(ratio, dtype=float)
+    if np.any(arr <= 0):
+        raise ValueError("power ratio must be positive to convert to dB")
+    return 10.0 * np.log10(arr)

@@ -1,0 +1,145 @@
+"""Terminal-friendly visualization (no plotting dependencies).
+
+Renders the objects researchers keep wanting to look at — angular
+spectra, likelihood heat maps, scene layouts — as ASCII, so examples
+and debugging sessions work over SSH and in CI logs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.likelihood import LikelihoodMap
+from repro.dsp.spectrum import AngularSpectrum
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.sim.scene import Scene
+
+#: Characters from faint to strong for heat rendering.
+SHADES = " .:-=+*#%@"
+
+
+def render_spectrum(
+    spectrum: AngularSpectrum,
+    width: int = 72,
+    height: int = 12,
+    markers: Optional[Sequence[float]] = None,
+) -> List[str]:
+    """ASCII line plot of an angular spectrum over [0, 180] degrees.
+
+    ``markers`` are angles (radians) drawn as ``|`` on the axis row —
+    handy for showing ground-truth path angles under a P-MUSIC plot.
+    """
+    if width < 10 or height < 3:
+        raise ConfigurationError("canvas too small")
+    grid = np.linspace(spectrum.angles[0], spectrum.angles[-1], width)
+    values = np.interp(grid, spectrum.angles, spectrum.values)
+    peak = values.max()
+    if peak <= 0:
+        levels = np.zeros(width, dtype=int)
+    else:
+        levels = np.round(values / peak * (height - 1)).astype(int)
+    rows = []
+    for row_index in range(height - 1, -1, -1):
+        rows.append(
+            "".join("#" if level >= row_index and level > 0 else " "
+                    for level in levels)
+        )
+    axis = [" "] * width
+    for marker in markers or ():
+        index = int(
+            round(
+                (marker - spectrum.angles[0])
+                / (spectrum.angles[-1] - spectrum.angles[0])
+                * (width - 1)
+            )
+        )
+        if 0 <= index < width:
+            axis[index] = "|"
+    rows.append("".join(axis))
+    rows.append(f"0{'deg':>{width // 2 - 1}}{'180':>{width // 2 - 3}}")
+    return rows
+
+
+def render_heatmap(
+    values: np.ndarray,
+    width: Optional[int] = None,
+) -> List[str]:
+    """ASCII heat map of a 2-D array (row 0 rendered at the bottom)."""
+    grid = np.asarray(values, dtype=float)
+    if grid.ndim != 2:
+        raise ConfigurationError("heatmap needs a 2-D array")
+    peak = grid.max()
+    if peak <= 0:
+        normalized = np.zeros_like(grid)
+    else:
+        normalized = grid / peak
+    if width is not None and width < grid.shape[1]:
+        # Downsample columns by striding.
+        stride = int(math.ceil(grid.shape[1] / width))
+        normalized = normalized[:, ::stride]
+    rows = []
+    for row in normalized[::-1]:
+        rows.append(
+            "".join(
+                SHADES[min(len(SHADES) - 1, int(v * (len(SHADES) - 1)))]
+                for v in row
+            )
+        )
+    return rows
+
+
+def render_likelihood(
+    likelihood_map: LikelihoodMap,
+    evidence,
+    truth: Optional[Point] = None,
+    width: int = 60,
+) -> List[str]:
+    """Heat map of the Eq. 15 likelihood surface, with optional truth mark."""
+    xs, ys, likelihood = likelihood_map.evaluate(evidence)
+    rows = render_heatmap(likelihood, width=width)
+    if truth is not None and likelihood.max() > 0:
+        stride = max(1, int(math.ceil(len(xs) / width)))
+        col = int((truth.x - xs[0]) / (xs[-1] - xs[0] + 1e-12) * (len(xs) - 1))
+        col //= stride
+        row_from_top = len(rows) - 1 - int(
+            (truth.y - ys[0]) / (ys[-1] - ys[0] + 1e-12) * (len(ys) - 1)
+        )
+        if 0 <= row_from_top < len(rows) and 0 <= col < len(rows[0]):
+            line = list(rows[row_from_top])
+            line[col] = "X"
+            rows[row_from_top] = "".join(line)
+    return rows
+
+
+def render_scene(scene: Scene, width: int = 60, height: int = 28) -> List[str]:
+    """Top-down layout: R = reader array, t = tag, / = reflector."""
+    room = scene.room
+    canvas = [[" "] * width for _ in range(height)]
+
+    def put(point: Point, mark: str) -> None:
+        col = int((point.x - room.min_x) / room.width * (width - 1))
+        row = int((room.max_y - point.y) / room.height * (height - 1))
+        if 0 <= row < height and 0 <= col < width:
+            canvas[row][col] = mark
+
+    for reflector in scene.reflectors:
+        steps = 12
+        for i in range(steps + 1):
+            put(reflector.plate.point_at(i / steps), "/")
+    for tag in scene.tags:
+        put(tag.position, "t")
+    for reader in scene.readers:
+        for element in reader.array.element_positions():
+            put(element, "R")
+    border = "+" + "-" * width + "+"
+    rows = [border]
+    for line in canvas:
+        rows.append("|" + "".join(line) + "|")
+    rows.append(border)
+    rows.append(f"{scene.name}: {room.width:.1f} m x {room.height:.1f} m, "
+                f"R=arrays t=tags /=reflectors")
+    return rows

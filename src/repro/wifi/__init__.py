@@ -1,0 +1,32 @@
+"""Wi-Fi extension: D-Watch on OFDM channel state information.
+
+Section 9 of the paper: "D-Watch ... can be extended to work with other
+RF technologies".  Wi-Fi is the natural first target — MIMO APs already
+carry antenna arrays and expose per-subcarrier CSI.  This subpackage
+provides the pieces that differ from the RFID stack:
+
+* an OFDM **CSI model**: per-subcarrier complex channel matrices whose
+  frequency-dependent phases encode path *delays* on top of the
+  antenna-dimension angles;
+* **subcarrier diversity**: using subcarriers as extra looks at the
+  channel decorrelates coherent multipath without sacrificing array
+  aperture (the trick Wi-Fi systems like SpotFi rely on);
+* an **office scene preset** with APs at 5.18 GHz and unmodified,
+  arbitrarily placed Wi-Fi transmitters standing in for tags.
+
+Everything else — P-MUSIC, drop detection, the likelihood grid —
+is reused verbatim from the core stack, which is the point.
+"""
+
+from repro.wifi.csi import CsiConfig, csi_matrix, csi_snapshots
+from repro.wifi.estimator import WidebandPMusic
+from repro.wifi.scene import wifi_office_scene, WIFI_CENTER_FREQUENCY_HZ
+
+__all__ = [
+    "CsiConfig",
+    "csi_matrix",
+    "csi_snapshots",
+    "WidebandPMusic",
+    "wifi_office_scene",
+    "WIFI_CENTER_FREQUENCY_HZ",
+]

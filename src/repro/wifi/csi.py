@@ -1,0 +1,121 @@
+"""OFDM channel state information for a multipath channel.
+
+A Wi-Fi receiver reports one complex channel coefficient per (antenna,
+subcarrier).  For the path set of a
+:class:`~repro.rf.channel.MultipathChannel`, subcarrier ``k`` at
+frequency ``f_k`` sees
+
+    H[m, k] = sum_p  g_p * a_{f_k}(theta_p)_m * exp(-j 2 pi (f_k - f_c) tau_p)
+
+where ``tau_p`` is the path's propagation delay.  The delay term is the
+new information relative to narrowband RFID: paths at similar angles
+but different lengths separate across frequency.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.errors import ConfigurationError
+from repro.rf.array import steering_vector
+from repro.rf.channel import MultipathChannel
+from repro.rf.noise import awgn, noise_power_for_snr
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class CsiConfig:
+    """OFDM sounding parameters.
+
+    Defaults follow the classic Intel 5300 CSI tool: 30 reported
+    subcarrier groups across a 40 MHz channel.
+    """
+
+    num_subcarriers: int = 30
+    bandwidth_hz: float = 40e6
+
+    def __post_init__(self) -> None:
+        if self.num_subcarriers < 1:
+            raise ConfigurationError("need at least one subcarrier")
+        if self.bandwidth_hz <= 0.0:
+            raise ConfigurationError("bandwidth must be positive")
+
+    def subcarrier_offsets(self) -> np.ndarray:
+        """Baseband frequency offset of each subcarrier (Hz)."""
+        if self.num_subcarriers == 1:
+            return np.zeros(1)
+        return np.linspace(
+            -self.bandwidth_hz / 2.0,
+            self.bandwidth_hz / 2.0,
+            self.num_subcarriers,
+        )
+
+
+def csi_matrix(
+    channel: MultipathChannel,
+    config: Optional[CsiConfig] = None,
+    center_frequency_hz: Optional[float] = None,
+) -> np.ndarray:
+    """Noise-free CSI, shape ``(M, K)`` for M antennas and K subcarriers.
+
+    The antenna-dimension steering uses each subcarrier's own
+    wavelength (the array spacing is fixed in metres, so electrical
+    spacing varies slightly across the band), and the per-path delay
+    rotates across frequency.
+    """
+    config = config or CsiConfig()
+    array = channel.array
+    if center_frequency_hz is None:
+        center_frequency_hz = SPEED_OF_LIGHT / array.wavelength_m
+    offsets = config.subcarrier_offsets()
+    csi = np.zeros((array.num_antennas, config.num_subcarriers), dtype=complex)
+    for path in channel.paths:
+        delay = path.length / SPEED_OF_LIGHT
+        for k, offset in enumerate(offsets):
+            frequency = center_frequency_hz + offset
+            wavelength = SPEED_OF_LIGHT / frequency
+            a = steering_vector(
+                path.aoa, array.num_antennas, array.spacing_m, wavelength
+            )
+            rotation = np.exp(-1j * 2.0 * math.pi * offset * delay)
+            csi[:, k] += path.gain * a * rotation
+    return csi
+
+
+def csi_snapshots(
+    channel: MultipathChannel,
+    num_packets: int,
+    config: Optional[CsiConfig] = None,
+    snr_db: float = 25.0,
+    phase_offsets: Optional[np.ndarray] = None,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Noisy CSI reports over several packets, shape ``(M, K, N)``.
+
+    Each packet re-measures the same channel with fresh receiver noise;
+    ``phase_offsets`` model the AP's uncalibrated chains exactly as on
+    the RFID reader.
+    """
+    if num_packets < 1:
+        raise ConfigurationError("need at least one packet")
+    config = config or CsiConfig()
+    generator = ensure_rng(rng)
+    clean = csi_matrix(channel, config)
+    peak_power = float(np.max(np.abs(clean) ** 2)) if clean.size else 0.0
+    noise_power = noise_power_for_snr(peak_power, snr_db)
+    m, k = clean.shape
+    reports = np.repeat(clean[:, :, None], num_packets, axis=2)
+    reports = reports + awgn((m, k, num_packets), noise_power, generator)
+    if phase_offsets is not None:
+        offsets = np.asarray(phase_offsets, dtype=float)
+        if offsets.shape != (m,):
+            raise ConfigurationError(
+                f"phase_offsets must have shape ({m},), got {offsets.shape}"
+            )
+        reports = np.exp(1j * offsets)[:, None, None] * reports
+    return reports

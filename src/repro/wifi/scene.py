@@ -1,0 +1,89 @@
+"""Wi-Fi deployment presets.
+
+APs stand in for RFID readers, ambient Wi-Fi transmitters (IoT plugs,
+printers, laptops) stand in for tags.  Geometry and the multipath
+machinery are reused from the core stack — the only changes are the
+carrier (5.18 GHz, channel 36) and the correspondingly tighter array.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.geometry.point import Point
+from repro.geometry.shapes import Rectangle
+from repro.rf.array import UniformLinearArray
+from repro.rfid.reader import Reader
+from repro.rfid.tag import Tag
+from repro.sim.deployment import random_tag_positions
+from repro.sim.environments import _scattered_reflectors
+from repro.sim.scene import Scene
+from repro.utils.rng import RngLike, ensure_rng
+
+#: 802.11 channel 36 centre frequency.
+WIFI_CENTER_FREQUENCY_HZ = 5.18e9
+
+#: Wavelength at channel 36 (~5.8 cm).
+WIFI_WAVELENGTH_M = SPEED_OF_LIGHT / WIFI_CENTER_FREQUENCY_HZ
+
+
+def wifi_office_scene(
+    rng: RngLike = None,
+    num_transmitters: int = 12,
+    num_antennas: int = 8,
+    num_reflectors: int = 8,
+) -> Scene:
+    """An 8 m x 8 m office with two wall-mounted APs.
+
+    Transmitter positions are unknown to the localizer, exactly like
+    the RFID tags; the AP antenna arrays use half-wavelength spacing at
+    5.18 GHz, so a full 8-element array spans only ~20 cm — easily
+    hidden in an AP enclosure (the form-factor argument of ArrayTrack).
+    """
+    generator = ensure_rng(rng)
+    room = Rectangle(0.0, 0.0, 8.0, 8.0)
+    spacing = WIFI_WAVELENGTH_M / 2.0
+
+    def ap(midpoint: Point, orientation: float, name: str) -> Reader:
+        probe = UniformLinearArray(
+            reference=midpoint,
+            orientation=orientation,
+            num_antennas=num_antennas,
+            spacing_m=spacing,
+            wavelength_m=WIFI_WAVELENGTH_M,
+        )
+        half_span = (probe.num_antennas - 1) * probe.spacing_m / 2.0
+        array = UniformLinearArray(
+            reference=midpoint - probe.axis * half_span,
+            orientation=orientation,
+            num_antennas=num_antennas,
+            spacing_m=spacing,
+            wavelength_m=WIFI_WAVELENGTH_M,
+            name=f"array-{name}",
+        )
+        return Reader(
+            array=array, name=f"ap-{name}", max_range_m=30.0, rng=generator
+        )
+
+    readers = [
+        ap(Point(4.0, 0.1), 0.0, "south"),
+        ap(Point(0.1, 4.0), math.pi / 2.0, "west"),
+    ]
+    transmitters = [
+        Tag(position=p)
+        for p in random_tag_positions(room, num_transmitters, generator)
+    ]
+    reflectors = _scattered_reflectors(
+        room, num_reflectors, generator, plate_length=1.0, coefficient=0.7,
+        prefix="cabinet",
+    )
+    return Scene(
+        room=room,
+        readers=readers,
+        tags=transmitters,
+        reflectors=reflectors,
+        frequency_hz=WIFI_CENTER_FREQUENCY_HZ,
+        name="wifi-office",
+    )

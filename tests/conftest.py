@@ -1,0 +1,49 @@
+"""Shared fixtures for the D-Watch reproduction test suite."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.geometry.point import Point
+from repro.geometry.segment import Segment
+from repro.rf.array import UniformLinearArray
+from repro.rf.channel import MultipathChannel
+from repro.rf.propagation import PropagationPath
+
+
+@pytest.fixture
+def rng():
+    """A deterministic generator for test randomness."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def array():
+    """The paper's default 8-element half-wavelength ULA at the origin."""
+    return UniformLinearArray(reference=Point(0.0, 0.0))
+
+
+def make_path(array, angle_deg, gain, tag_id="tag"):
+    """A synthetic propagation path arriving at ``angle_deg``."""
+    angle = math.radians(angle_deg)
+    source = array.centroid + Point(math.cos(angle), math.sin(angle)) * 4.0
+    return PropagationPath(
+        tag_id=tag_id,
+        aoa=angle,
+        gain=gain,
+        legs=(Segment(source, array.centroid),),
+    )
+
+
+@pytest.fixture
+def three_path_channel(array):
+    """A coherent three-path channel at 50/90/130 degrees."""
+    paths = [
+        make_path(array, 50.0, 0.010),
+        make_path(array, 90.0, 0.008),
+        make_path(array, 130.0, 0.006),
+    ]
+    return MultipathChannel(array=array, paths=paths)

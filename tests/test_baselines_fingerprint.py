@@ -1,0 +1,105 @@
+"""Tests for the RSSI fingerprinting baseline."""
+
+import pytest
+
+from repro.baselines.fingerprint import FingerprintLocalizer, rssi_features
+from repro.errors import ConfigurationError, LocalizationError
+from repro.geometry.point import Point
+from repro.sim.environments import hall_scene
+from repro.sim.measurement import MeasurementSession
+from repro.sim.target import human_target
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    scene = hall_scene(rng=61)
+    session = MeasurementSession(scene, rng=62)
+    localizer = FingerprintLocalizer(training_spacing=1.0, samples_per_location=1)
+    locations = [
+        Point(x, y)
+        for x in (1.5, 3.5, 5.5)
+        for y in (2.0, 5.0, 8.0)
+    ]
+    localizer.train(scene, session, locations=locations)
+    return scene, session, localizer, locations
+
+
+class TestFeatures:
+    def test_vector_covers_all_pairs(self, deployment):
+        scene, session, _, _ = deployment
+        vector, keys = rssi_features(session.capture())
+        assert vector.shape == (len(keys),)
+        assert len(keys) > 0
+
+    def test_fixed_key_order_respected(self, deployment):
+        scene, session, _, _ = deployment
+        _, keys = rssi_features(session.capture())
+        reordered = list(reversed(keys))
+        vector, out_keys = rssi_features(session.capture(), reordered)
+        assert out_keys == reordered
+        assert vector.shape == (len(reordered),)
+
+    def test_missing_pairs_floor(self, deployment):
+        scene, session, _, _ = deployment
+        fake_keys = [("ghost-reader", "F" * 24)]
+        vector, _ = rssi_features(session.capture(), fake_keys)
+        assert vector[0] == -100.0
+
+
+class TestTrainingAndMatching:
+    def test_training_capture_count(self, deployment):
+        _, _, localizer, locations = deployment
+        assert localizer.training_captures == len(locations)
+
+    def test_matches_trained_location(self, deployment):
+        scene, session, localizer, locations = deployment
+        target = human_target(locations[4])
+        estimate = localizer.localize(session.capture([target]))
+        assert estimate.distance_to(locations[4]) < 1.5
+
+    def test_accuracy_bounded_by_grid(self, deployment):
+        scene, session, localizer, _ = deployment
+        target = human_target(Point(3.0, 4.5))
+        estimate = localizer.localize(session.capture([target]))
+        # Coarse but sane: within a couple of grid cells.
+        assert estimate.distance_to(target.position) < 3.0
+
+    def test_untrained_rejects(self, deployment):
+        scene, session, _, _ = deployment
+        fresh = FingerprintLocalizer()
+        with pytest.raises(LocalizationError):
+            fresh.localize(session.capture())
+
+    def test_environment_change_degrades_match(self, deployment):
+        # The paper's core complaint: move furniture and the database
+        # goes stale.  Re-captured signatures in a modified scene must
+        # sit farther from the database than same-scene captures.
+        import numpy as np
+
+        scene, session, localizer, locations = deployment
+        from repro.sim.environments import hall_scene
+
+        changed_scene = hall_scene(rng=61, num_reflectors=6)
+        changed_session = MeasurementSession(changed_scene, rng=63)
+
+        target = human_target(locations[4])
+        same = session.capture([target])
+        changed = changed_session.capture([target])
+        same_vec, keys = rssi_features(same, localizer._keys)
+        changed_vec, _ = rssi_features(changed, keys)
+        db = localizer._signatures
+        same_distance = np.min(np.linalg.norm(db - same_vec, axis=1))
+        changed_distance = np.min(np.linalg.norm(db - changed_vec, axis=1))
+        assert changed_distance > same_distance
+
+
+class TestValidation:
+    def test_bad_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FingerprintLocalizer(k=0)
+
+    def test_empty_training_rejected(self, deployment):
+        scene, session, _, _ = deployment
+        fresh = FingerprintLocalizer()
+        with pytest.raises(ConfigurationError):
+            fresh.train(scene, session, locations=[])

@@ -1,0 +1,83 @@
+"""Tests for the radio tomographic imaging baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.rti import RtiLocalizer, link_rss_db
+from repro.errors import ConfigurationError, LocalizationError
+from repro.geometry.point import Point
+from repro.sim.environments import hall_scene
+from repro.sim.measurement import MeasurementSession
+from repro.sim.target import human_target
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    scene = hall_scene(rng=71)
+    session = MeasurementSession(scene, rng=72)
+    rti = RtiLocalizer(scene, voxel_size=0.4)
+    rti.calibrate(session.capture())
+    return scene, session, rti
+
+
+class TestConstruction:
+    def test_link_mesh_built(self, deployment):
+        scene, _, rti = deployment
+        expected = sum(
+            len(scene.tags_in_range(reader)) for reader in scene.readers
+        )
+        assert rti.num_links == expected
+
+    def test_invalid_voxel_size(self, deployment):
+        scene, _, _ = deployment
+        with pytest.raises(ConfigurationError):
+            RtiLocalizer(scene, voxel_size=0.0)
+
+
+class TestImaging:
+    def test_empty_area_is_flat(self, deployment):
+        scene, session, rti = deployment
+        image = rti.shadowing_image(session.capture())
+        assert image.max() < 1.0  # noise-level only
+
+    def test_target_raises_peak_nearby(self, deployment):
+        scene, session, rti = deployment
+        # Stand on a link line so RTI's direct-line model applies.
+        reader = scene.readers[0]
+        tag = scene.tags_in_range(reader)[0]
+        midpoint = (tag.position + reader.array.centroid) / 2.0
+        target = human_target(midpoint)
+        estimate = rti.localize(session.capture([target]))
+        # RTI is coarse: the image peak sits somewhere on the shadowed
+        # link(s), within a metre or two of the body.
+        assert estimate.distance_to(midpoint) < 2.5
+
+    def test_uncalibrated_rejects(self, deployment):
+        scene, session, _ = deployment
+        fresh = RtiLocalizer(scene, voxel_size=0.5)
+        with pytest.raises(LocalizationError):
+            fresh.localize(session.capture())
+
+    def test_no_shadowing_rejects(self, deployment):
+        scene, session, rti = deployment
+        with pytest.raises(LocalizationError):
+            # An empty capture after calibration: nothing blocked.
+            rti.localize(session.capture())
+
+
+class TestLinkRss:
+    def test_rss_negative_db(self, deployment):
+        scene, session, _ = deployment
+        rss = link_rss_db(session.capture())
+        assert rss
+        assert all(value < 0.0 for value in rss.values())
+
+    def test_blocked_link_drops(self, deployment):
+        scene, session, _ = deployment
+        reader = scene.readers[0]
+        tag = scene.tags_in_range(reader)[0]
+        midpoint = (tag.position + reader.array.centroid) / 2.0
+        base = link_rss_db(session.capture())
+        online = link_rss_db(session.capture([human_target(midpoint)]))
+        key = (reader.name, tag.epc)
+        assert online[key] < base[key] - 3.0

@@ -1,0 +1,107 @@
+"""Tests for the simulated-annealing calibration solver."""
+
+import numpy as np
+import pytest
+
+from repro.calibration.annealing import SimulatedAnnealing
+from repro.errors import ConfigurationError
+
+
+def sphere(x):
+    return float(np.sum(x**2))
+
+
+def rastrigin(x):
+    return float(10 * x.size + np.sum(x**2 - 10 * np.cos(2 * np.pi * x)))
+
+
+class TestSimulatedAnnealing:
+    def test_minimizes_sphere(self):
+        sa = SimulatedAnnealing(bounds=[(-5, 5)] * 3, iterations=6000)
+        result = sa.minimize(sphere, rng=1)
+        assert result.best_cost < 0.2
+
+    def test_escapes_local_minima(self):
+        sa = SimulatedAnnealing(
+            bounds=[(-5.12, 5.12)] * 2,
+            iterations=12000,
+            initial_temperature=5.0,
+        )
+        result = sa.minimize(rastrigin, rng=2)
+        assert result.best_cost < 2.0
+
+    def test_respects_bounds(self):
+        sa = SimulatedAnnealing(bounds=[(1.0, 2.0)] * 4, iterations=500)
+        result = sa.minimize(lambda x: -float(np.sum(x)), rng=3)
+        assert np.all(result.best >= 1.0) and np.all(result.best <= 2.0)
+
+    def test_initial_point_used(self):
+        sa = SimulatedAnnealing(bounds=[(-5, 5)] * 3, iterations=1)
+        seed = np.array([0.1, 0.1, 0.1])
+        result = sa.minimize(sphere, rng=4, initial=seed)
+        assert result.best_cost <= sphere(seed) + 1e-12
+
+    def test_acceptance_rate_reported(self):
+        sa = SimulatedAnnealing(bounds=[(-1, 1)] * 2, iterations=200)
+        result = sa.minimize(sphere, rng=5)
+        assert 0.0 <= result.acceptance_rate <= 1.0
+
+    def test_deterministic_with_seed(self):
+        sa = SimulatedAnnealing(bounds=[(-5, 5)] * 2, iterations=500)
+        a = sa.minimize(sphere, rng=6)
+        b = sa.minimize(sphere, rng=6)
+        assert np.allclose(a.best, b.best)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SimulatedAnnealing(bounds=[])
+        with pytest.raises(ConfigurationError):
+            SimulatedAnnealing(bounds=[(1.0, 0.0)])
+        with pytest.raises(ConfigurationError):
+            SimulatedAnnealing(bounds=[(-1, 1)], iterations=0)
+        with pytest.raises(ConfigurationError):
+            SimulatedAnnealing(bounds=[(-1, 1)], cooling=0.0)
+
+
+class TestOnCalibrationObjective:
+    def test_solves_eq11_comparably_to_ga(self, array, rng):
+        import math
+
+        from repro.calibration.offsets import PhaseOffsets, offset_error
+        from repro.calibration.wireless import (
+            observation_from_snapshots,
+            subspace_cost,
+        )
+        from repro.rf.channel import MultipathChannel
+        from tests.conftest import make_path
+
+        raw = rng.uniform(-np.pi, np.pi, size=8)
+        raw[0] = 0.0
+        truth = PhaseOffsets.referenced(raw)
+        observations = []
+        for angle_deg in (35, 75, 115, 150):
+            channel = MultipathChannel(
+                array=array, paths=[make_path(array, angle_deg, 0.01)]
+            )
+            x = channel.snapshots(
+                60, snr_db=30, phase_offsets=truth.values, rng=rng
+            )
+            observations.append(
+                observation_from_snapshots(x, math.radians(angle_deg))
+            )
+
+        def cost(beta):
+            return subspace_cost(
+                beta, observations, array.spacing_m, array.wavelength_m
+            )
+
+        sa = SimulatedAnnealing(
+            bounds=[(-np.pi, np.pi)] * 7,
+            iterations=8000,
+            initial_temperature=0.5,
+        )
+        result = sa.minimize(cost, rng=7)
+        estimate = PhaseOffsets.referenced(
+            np.concatenate(([0.0], result.best))
+        )
+        assert offset_error(estimate, truth) < 0.1

@@ -1,0 +1,89 @@
+"""Tests for the Phaser and wired calibration baselines."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.calibration.offsets import PhaseOffsets, offset_error
+from repro.calibration.phaser import PhaserCalibrator
+from repro.calibration.wired import WiredCalibrator
+from repro.errors import CalibrationError
+from repro.rf.channel import MultipathChannel
+from repro.rfid.reader import Reader
+
+from tests.conftest import make_path
+
+
+@pytest.fixture
+def truth(rng):
+    raw = rng.uniform(-np.pi, np.pi, size=8)
+    raw[0] = 0.0
+    return PhaseOffsets.referenced(raw)
+
+
+class TestPhaserCalibrator:
+    def test_exact_on_pure_los(self, array, truth, rng):
+        channel = MultipathChannel(array=array, paths=[make_path(array, 60.0, 0.01)])
+        x = channel.snapshots(100, snr_db=50, phase_offsets=truth.values, rng=rng)
+        phaser = PhaserCalibrator(
+            spacing_m=array.spacing_m, wavelength_m=array.wavelength_m
+        )
+        estimate = phaser.estimate([(x, math.radians(60.0))])
+        assert offset_error(estimate, truth) < 0.02
+
+    def test_multipath_biases_estimate(self, array, truth, rng):
+        paths = [
+            make_path(array, 60.0, 0.01),
+            make_path(array, 120.0, 0.003 * np.exp(1j * 1.1)),
+        ]
+        channel = MultipathChannel(array=array, paths=paths)
+        x = channel.snapshots(100, snr_db=50, phase_offsets=truth.values, rng=rng)
+        phaser = PhaserCalibrator(
+            spacing_m=array.spacing_m, wavelength_m=array.wavelength_m
+        )
+        estimate = phaser.estimate([(x, math.radians(60.0))])
+        assert offset_error(estimate, truth) > 0.03
+
+    def test_extra_observations_ignored(self, array, truth, rng):
+        channel = MultipathChannel(array=array, paths=[make_path(array, 60.0, 0.01)])
+        x = channel.snapshots(50, snr_db=40, phase_offsets=truth.values, rng=rng)
+        phaser = PhaserCalibrator(
+            spacing_m=array.spacing_m, wavelength_m=array.wavelength_m
+        )
+        solo = phaser.estimate([(x, math.radians(60.0))])
+        padded = phaser.estimate(
+            [(x, math.radians(60.0)), (x * 0.0 + 1.0, math.radians(90.0))]
+        )
+        assert np.allclose(solo.values, padded.values)
+
+    def test_empty_rejected(self, array):
+        phaser = PhaserCalibrator(
+            spacing_m=array.spacing_m, wavelength_m=array.wavelength_m
+        )
+        with pytest.raises(CalibrationError):
+            phaser.estimate([])
+
+
+class TestWiredCalibrator:
+    def test_reads_truth_with_small_noise(self, array):
+        reader = Reader(array=array, rng=3)
+        truth = PhaseOffsets.referenced(np.asarray(reader.phase_offsets))
+        wired = WiredCalibrator(measurement_noise_rad=0.01)
+        estimate = wired.estimate(reader, rng=4)
+        assert offset_error(estimate, truth) < 0.03
+
+    def test_noise_free_is_exact(self, array):
+        reader = Reader(array=array, rng=5)
+        truth = PhaseOffsets.referenced(np.asarray(reader.phase_offsets))
+        wired = WiredCalibrator(measurement_noise_rad=0.0)
+        estimate = wired.estimate(reader, rng=6)
+        assert offset_error(estimate, truth) == pytest.approx(0.0, abs=1e-12)
+
+    def test_flags_interruption(self):
+        assert WiredCalibrator().interrupts_communication
+
+    def test_negative_noise_rejected(self, array):
+        reader = Reader(array=array, rng=7)
+        with pytest.raises(CalibrationError):
+            WiredCalibrator(measurement_noise_rad=-0.1).estimate(reader)

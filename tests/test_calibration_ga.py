@@ -1,0 +1,69 @@
+"""Tests for repro.calibration.ga (the genetic minimizer)."""
+
+import numpy as np
+import pytest
+
+from repro.calibration.ga import GaResult, GeneticMinimizer
+from repro.errors import ConfigurationError
+
+
+def sphere(x):
+    return float(np.sum(x**2))
+
+
+def rastrigin(x):
+    return float(10 * x.size + np.sum(x**2 - 10 * np.cos(2 * np.pi * x)))
+
+
+class TestGeneticMinimizer:
+    def test_minimizes_sphere(self):
+        ga = GeneticMinimizer(bounds=[(-5, 5)] * 3, generations=60, population_size=40)
+        result = ga.minimize(sphere, rng=1)
+        assert result.best_cost < 0.05
+
+    def test_handles_multimodal_landscape(self):
+        ga = GeneticMinimizer(bounds=[(-5.12, 5.12)] * 2, generations=120, population_size=80)
+        result = ga.minimize(rastrigin, rng=2)
+        # Must end in the global basin, not a side lobe (lobe cost >= 1).
+        assert result.best_cost < 1.0
+
+    def test_respects_bounds(self):
+        ga = GeneticMinimizer(bounds=[(1.0, 2.0)] * 4, generations=20)
+        result = ga.minimize(lambda x: -float(np.sum(x)), rng=3)
+        assert np.all(result.best >= 1.0) and np.all(result.best <= 2.0)
+
+    def test_initial_seed_individual_used(self):
+        ga = GeneticMinimizer(bounds=[(-5, 5)] * 3, generations=0, population_size=8)
+        seed = np.array([0.01, -0.01, 0.0])
+        result = ga.minimize(sphere, rng=4, initial=seed)
+        # With zero generations, the injected near-optimum must win.
+        assert result.best_cost <= sphere(seed) + 1e-12
+
+    def test_history_is_non_increasing(self):
+        ga = GeneticMinimizer(bounds=[(-5, 5)] * 2, generations=30)
+        result = ga.minimize(sphere, rng=5)
+        assert all(a >= b for a, b in zip(result.history, result.history[1:]))
+
+    def test_deterministic_given_seed(self):
+        ga = GeneticMinimizer(bounds=[(-5, 5)] * 2, generations=15)
+        a = ga.minimize(sphere, rng=7)
+        b = ga.minimize(sphere, rng=7)
+        assert np.allclose(a.best, b.best)
+
+
+class TestValidation:
+    def test_tiny_population_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GeneticMinimizer(bounds=[(-1, 1)], population_size=2)
+
+    def test_empty_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GeneticMinimizer(bounds=[])
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            GeneticMinimizer(bounds=[(2.0, 1.0)])
+
+    def test_elite_below_population(self):
+        with pytest.raises(ConfigurationError):
+            GeneticMinimizer(bounds=[(-1, 1)], population_size=4, elite_count=4)

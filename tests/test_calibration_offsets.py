@@ -1,0 +1,62 @@
+"""Tests for repro.calibration.offsets."""
+
+import numpy as np
+import pytest
+
+from repro.calibration.offsets import PhaseOffsets, offset_error
+from repro.errors import CalibrationError
+
+
+class TestPhaseOffsets:
+    def test_referenced_zeroes_first_entry(self):
+        offsets = PhaseOffsets.referenced(np.array([0.5, 1.0, 1.5]))
+        assert offsets.values[0] == 0.0
+        assert offsets.values[1] == pytest.approx(0.5)
+
+    def test_gamma_diagonal(self):
+        offsets = PhaseOffsets(np.array([0.0, 0.3, -0.7]))
+        gamma = offsets.gamma()
+        assert np.allclose(np.diag(gamma), np.exp(1j * offsets.values))
+
+    def test_correction_undoes_gamma(self):
+        offsets = PhaseOffsets(np.array([0.0, 0.9, -1.2, 2.0]))
+        assert np.allclose(
+            np.diag(offsets.gamma()) * offsets.correction(), 1.0
+        )
+
+    def test_apply_correction_recovers_clean_snapshots(self, rng):
+        offsets = PhaseOffsets(np.array([0.0, 0.3, 1.1, -0.4]))
+        clean = rng.normal(size=(4, 10)) + 1j * rng.normal(size=(4, 10))
+        corrupted = np.exp(1j * offsets.values)[:, None] * clean
+        assert np.allclose(offsets.apply_correction(corrupted), clean)
+
+    def test_apply_correction_shape_checked(self):
+        offsets = PhaseOffsets(np.zeros(4))
+        with pytest.raises(CalibrationError):
+            offsets.apply_correction(np.zeros((5, 3), dtype=complex))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(CalibrationError):
+            PhaseOffsets(np.array([0.0]))
+
+
+class TestOffsetError:
+    def test_zero_for_identical(self):
+        a = PhaseOffsets(np.array([0.0, 0.5, 1.0]))
+        assert offset_error(a, a) == 0.0
+
+    def test_global_shift_is_invisible(self):
+        a = PhaseOffsets.referenced(np.array([0.0, 0.5, 1.0]))
+        b = PhaseOffsets.referenced(np.array([0.3, 0.8, 1.3]))
+        assert offset_error(a, b) == pytest.approx(0.0)
+
+    def test_wraps_differences(self):
+        a = PhaseOffsets(np.array([0.0, np.pi - 0.05]))
+        b = PhaseOffsets(np.array([0.0, -np.pi + 0.05]))
+        assert offset_error(a, b) == pytest.approx(0.1 / 2, abs=1e-6)
+
+    def test_size_mismatch_rejected(self):
+        a = PhaseOffsets(np.zeros(3))
+        b = PhaseOffsets(np.zeros(4))
+        with pytest.raises(CalibrationError):
+            offset_error(a, b)

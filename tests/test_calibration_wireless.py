@@ -1,0 +1,123 @@
+"""Tests for the D-Watch wireless phase calibration."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.calibration.offsets import PhaseOffsets, offset_error
+from repro.calibration.wireless import (
+    CalibrationObservation,
+    WirelessCalibrator,
+    observation_from_snapshots,
+    subspace_cost,
+)
+from repro.errors import CalibrationError
+from repro.rf.channel import MultipathChannel
+
+from tests.conftest import make_path
+
+
+def build_observations(array, truth, angles_deg, rng, multipath_scale=0.1):
+    """Observations from LoS-dominant tags with weak extra multipath."""
+    observations = []
+    for k, angle in enumerate(angles_deg):
+        paths = [make_path(array, angle, 0.01)]
+        extra_angle = 15.0 + (k * 37.0) % 150.0
+        extra_gain = 0.01 * multipath_scale * np.exp(1j * (0.7 + k))
+        paths.append(make_path(array, extra_angle, extra_gain))
+        channel = MultipathChannel(array=array, paths=paths)
+        x = channel.snapshots(60, snr_db=25, phase_offsets=truth.values, rng=rng)
+        observations.append(
+            observation_from_snapshots(x, math.radians(angle))
+        )
+    return observations
+
+
+@pytest.fixture
+def truth(rng):
+    raw = rng.uniform(-np.pi, np.pi, size=8)
+    raw[0] = 0.0
+    return PhaseOffsets.referenced(raw)
+
+
+class TestSubspaceCost:
+    def test_zero_at_true_offsets_single_clean_path(self, array, truth, rng):
+        channel = MultipathChannel(array=array, paths=[make_path(array, 70.0, 0.01)])
+        x = channel.snapshots(200, snr_db=60, phase_offsets=truth.values, rng=rng)
+        obs = observation_from_snapshots(x, math.radians(70.0))
+        at_truth = subspace_cost(
+            truth.values[1:], [obs], array.spacing_m, array.wavelength_m
+        )
+        at_zero = subspace_cost(
+            np.zeros(7), [obs], array.spacing_m, array.wavelength_m
+        )
+        assert at_truth < at_zero / 100.0
+
+    def test_requires_observations(self, array):
+        with pytest.raises(CalibrationError):
+            subspace_cost(np.zeros(7), [], array.spacing_m, array.wavelength_m)
+
+    def test_dimension_mismatch_rejected(self, array, truth, rng):
+        channel = MultipathChannel(array=array, paths=[make_path(array, 70.0, 0.01)])
+        x = channel.snapshots(20, rng=rng)
+        obs = observation_from_snapshots(x, math.radians(70.0))
+        with pytest.raises(CalibrationError):
+            subspace_cost(np.zeros(5), [obs], array.spacing_m, array.wavelength_m)
+
+
+class TestWirelessCalibrator:
+    def test_accurate_with_enough_tags(self, array, truth, rng):
+        observations = build_observations(
+            array, truth, [30, 55, 80, 105, 130, 150], rng
+        )
+        calibrator = WirelessCalibrator(
+            spacing_m=array.spacing_m, wavelength_m=array.wavelength_m
+        )
+        estimate = calibrator.estimate(observations, rng=1)
+        assert offset_error(estimate, truth) < 0.06
+
+    def test_error_decreases_with_tags(self, array, truth, rng):
+        few = build_observations(array, truth, [40], rng, multipath_scale=0.25)
+        many = build_observations(
+            array, truth, [30, 55, 80, 105, 130, 150], rng, multipath_scale=0.25
+        )
+        calibrator = WirelessCalibrator(
+            spacing_m=array.spacing_m, wavelength_m=array.wavelength_m
+        )
+        error_few = offset_error(calibrator.estimate(few, rng=2), truth)
+        error_many = offset_error(calibrator.estimate(many, rng=2), truth)
+        assert error_many < error_few
+
+    def test_empty_observations_rejected(self, array):
+        calibrator = WirelessCalibrator(
+            spacing_m=array.spacing_m, wavelength_m=array.wavelength_m
+        )
+        with pytest.raises(CalibrationError):
+            calibrator.estimate([])
+
+    def test_inconsistent_sizes_rejected(self, array):
+        calibrator = WirelessCalibrator(
+            spacing_m=array.spacing_m, wavelength_m=array.wavelength_m
+        )
+        observations = [
+            CalibrationObservation(1.0, np.zeros((8, 5), dtype=complex)),
+            CalibrationObservation(1.0, np.zeros((6, 4), dtype=complex)),
+        ]
+        with pytest.raises(CalibrationError):
+            calibrator.estimate(observations)
+
+
+class TestObservationFromSnapshots:
+    def test_noise_subspace_orthonormal(self, array, truth, rng):
+        channel = MultipathChannel(array=array, paths=[make_path(array, 70.0, 0.01)])
+        x = channel.snapshots(40, phase_offsets=truth.values, rng=rng)
+        obs = observation_from_snapshots(x, math.radians(70.0))
+        un = obs.noise_subspace
+        assert np.allclose(un.conj().T @ un, np.eye(un.shape[1]), atol=1e-9)
+
+    def test_fixed_num_sources(self, array, rng):
+        channel = MultipathChannel(array=array, paths=[make_path(array, 70.0, 0.01)])
+        x = channel.snapshots(40, rng=rng)
+        obs = observation_from_snapshots(x, math.radians(70.0), num_sources=2)
+        assert obs.noise_subspace.shape == (8, 6)

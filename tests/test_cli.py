@@ -1,0 +1,46 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.environment == "hall"
+        assert args.seed == 1
+
+    def test_coverage_spacing(self):
+        args = build_parser().parse_args(["coverage", "--spacing", "0.5"])
+        assert args.spacing == 0.5
+
+    def test_rejects_unknown_environment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--environment", "castle"])
+
+
+class TestCommands:
+    def test_coverage_runs(self, capsys):
+        assert main(["coverage", "--environment", "hall", "--spacing", "0.8"]) == 0
+        out = capsys.readouterr().out
+        assert "coverage" in out
+        assert "#" in out or "." in out
+
+    def test_experiment_fig03(self, capsys):
+        assert main(["experiment", "fig03"]) == 0
+        out = capsys.readouterr().out
+        assert "offset_deg" in out
+
+    def test_experiment_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_demo_runs_end_to_end(self, capsys):
+        assert main(["demo", "--environment", "hall", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "likelihood surface" in out

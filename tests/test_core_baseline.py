@@ -1,0 +1,74 @@
+"""Tests for repro.core.baseline (spectrum computation)."""
+
+import numpy as np
+import pytest
+
+from repro.calibration.offsets import PhaseOffsets
+from repro.core.baseline import SpectrumSet, compute_spectra
+from repro.errors import LocalizationError
+from repro.sim.environments import hall_scene
+from repro.sim.measurement import MeasurementConfig, MeasurementSession
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return hall_scene(rng=51)
+
+
+@pytest.fixture(scope="module")
+def capture(scene):
+    session = MeasurementSession(
+        scene, MeasurementConfig(num_snapshots=12), rng=52
+    )
+    return session.capture()
+
+
+def truth_calibration(scene):
+    return {
+        r.name: PhaseOffsets.referenced(np.asarray(r.phase_offsets))
+        for r in scene.readers
+    }
+
+
+class TestComputeSpectra:
+    def test_covers_all_pairs(self, scene, capture):
+        readers = {r.name: r for r in scene.readers}
+        spectra = compute_spectra(capture, readers, truth_calibration(scene))
+        for reader in scene.readers:
+            per_tag = spectra.spectra[reader.name]
+            assert set(per_tag) == set(capture.tags_for(reader.name))
+
+    def test_spectra_positive(self, scene, capture):
+        readers = {r.name: r for r in scene.readers}
+        spectra = compute_spectra(capture, readers, truth_calibration(scene))
+        reader = scene.readers[0].name
+        for spectrum in spectra.spectra[reader].values():
+            assert np.all(spectrum.values >= 0.0)
+
+    def test_calibration_changes_spectra(self, scene, capture):
+        readers = {r.name: r for r in scene.readers}
+        calibrated = compute_spectra(capture, readers, truth_calibration(scene))
+        raw = compute_spectra(capture, readers, calibration=None)
+        name = scene.readers[0].name
+        epc = capture.tags_for(name)[0]
+        assert not np.allclose(
+            calibrated.spectra[name][epc].values, raw.spectra[name][epc].values
+        )
+
+    def test_unknown_reader_rejected(self, scene, capture):
+        with pytest.raises(LocalizationError):
+            compute_spectra(capture, {}, None)
+
+
+class TestSpectrumSet:
+    def test_for_pair_lookup(self, scene, capture):
+        readers = {r.name: r for r in scene.readers}
+        spectra = compute_spectra(capture, readers, truth_calibration(scene))
+        name = scene.readers[0].name
+        epc = capture.tags_for(name)[0]
+        assert spectra.for_pair(name, epc) is spectra.spectra[name][epc]
+
+    def test_missing_pair_raises(self):
+        empty = SpectrumSet()
+        with pytest.raises(LocalizationError):
+            empty.for_pair("r", "e")

@@ -1,0 +1,77 @@
+"""Tests for repro.core.fusion."""
+
+import numpy as np
+import pytest
+
+from repro.core.fusion import FusedFix, fuse_fixes, geometric_median
+from repro.errors import EstimationError
+from repro.geometry.point import Point
+
+
+class TestGeometricMedian:
+    def test_single_point(self):
+        assert geometric_median([Point(2, 3)]) == Point(2, 3)
+
+    def test_symmetric_cluster_centre(self):
+        points = [Point(1, 0), Point(-1, 0), Point(0, 1), Point(0, -1)]
+        median = geometric_median(points)
+        assert abs(median.x) < 1e-6 and abs(median.y) < 1e-6
+
+    def test_robust_to_one_outlier(self):
+        points = [Point(0, 0), Point(0.1, 0), Point(-0.1, 0), Point(100, 100)]
+        median = geometric_median(points)
+        assert median.distance_to(Point(0, 0)) < 0.2
+
+    def test_outlier_shifts_mean_not_median(self):
+        points = [Point(0, 0)] * 5 + [Point(50, 50)]
+        median = geometric_median(points)
+        mean = Point(
+            float(np.mean([p.x for p in points])),
+            float(np.mean([p.y for p in points])),
+        )
+        assert median.distance_to(Point(0, 0)) < mean.distance_to(Point(0, 0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(EstimationError):
+            geometric_median([])
+
+    def test_collinear_points(self):
+        points = [Point(0, 0), Point(1, 0), Point(2, 0)]
+        median = geometric_median(points)
+        assert median.y == pytest.approx(0.0, abs=1e-6)
+        assert median.x == pytest.approx(1.0, abs=1e-3)
+
+
+class TestFuseFixes:
+    def test_skips_uncovered(self):
+        fixes = [Point(1, 1), None, Point(1.1, 0.9), None]
+        fused = fuse_fixes(fixes)
+        assert fused.num_fixes == 2
+        assert fused.position.distance_to(Point(1.05, 0.95)) < 0.1
+
+    def test_ghost_minority_rejected(self):
+        fixes = [Point(2, 2)] * 7 + [Point(6, 1)] * 2
+        fused = fuse_fixes(fixes)
+        assert fused.position.distance_to(Point(2, 2)) < 0.05
+        assert fused.num_inliers == 7
+        assert fused.inlier_fraction == pytest.approx(7 / 9)
+
+    def test_spread_reflects_scatter(self, rng):
+        tight = [
+            Point(3 + rng.normal(0, 0.02), 3 + rng.normal(0, 0.02))
+            for _ in range(20)
+        ]
+        loose = [
+            Point(3 + rng.normal(0, 0.2), 3 + rng.normal(0, 0.2))
+            for _ in range(20)
+        ]
+        assert fuse_fixes(tight).spread < fuse_fixes(loose).spread
+
+    def test_all_none_rejected(self):
+        with pytest.raises(EstimationError):
+            fuse_fixes([None, None])
+
+    def test_single_fix_passthrough(self):
+        fused = fuse_fixes([Point(4, 5)])
+        assert fused.position == Point(4, 5)
+        assert fused.num_inliers == 1

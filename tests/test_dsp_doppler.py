@@ -1,0 +1,110 @@
+"""Tests for repro.dsp.doppler."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import DEFAULT_WAVELENGTH_M
+from repro.dsp.doppler import (
+    DopplerEstimate,
+    estimate_doppler,
+    phase_stream,
+    speed_track,
+    synthesize_moving_reflection,
+)
+from repro.errors import EstimationError
+
+DT = 0.1  # the paper's 0.1 s transmission interval
+
+
+class TestEstimateDoppler:
+    def test_recovers_known_speed(self):
+        stream = synthesize_moving_reflection(
+            0.5, 50, DT, DEFAULT_WAVELENGTH_M
+        )
+        estimate = estimate_doppler(stream, DT, DEFAULT_WAVELENGTH_M)
+        assert estimate.radial_speed_mps == pytest.approx(0.5, rel=0.02)
+        assert estimate.coherence > 0.99
+
+    def test_sign_distinguishes_direction(self):
+        approaching = synthesize_moving_reflection(0.4, 50, DT, DEFAULT_WAVELENGTH_M)
+        receding = synthesize_moving_reflection(-0.4, 50, DT, DEFAULT_WAVELENGTH_M)
+        est_a = estimate_doppler(approaching, DT, DEFAULT_WAVELENGTH_M)
+        est_r = estimate_doppler(receding, DT, DEFAULT_WAVELENGTH_M)
+        assert est_a.radial_speed_mps > 0 > est_r.radial_speed_mps
+
+    def test_stationary_target_zero_speed(self):
+        stream = synthesize_moving_reflection(0.0, 50, DT, DEFAULT_WAVELENGTH_M)
+        estimate = estimate_doppler(stream, DT, DEFAULT_WAVELENGTH_M)
+        assert abs(estimate.radial_speed_mps) < 1e-9
+
+    def test_noise_lowers_coherence(self, rng):
+        noisy = synthesize_moving_reflection(
+            0.5, 50, DT, DEFAULT_WAVELENGTH_M, noise_std=1.5, rng=rng
+        )
+        estimate = estimate_doppler(noisy, DT, DEFAULT_WAVELENGTH_M)
+        assert estimate.coherence < 0.8
+
+    def test_backscatter_doubles_shift(self):
+        stream = synthesize_moving_reflection(
+            0.5, 50, DT, DEFAULT_WAVELENGTH_M, backscatter=False
+        )
+        one_way = estimate_doppler(
+            stream, DT, DEFAULT_WAVELENGTH_M, backscatter=False
+        )
+        two_way = estimate_doppler(
+            stream, DT, DEFAULT_WAVELENGTH_M, backscatter=True
+        )
+        assert one_way.radial_speed_mps == pytest.approx(
+            2 * two_way.radial_speed_mps
+        )
+
+    def test_aliasing_limit(self):
+        # Half a wavelength per interval aliases; below it we are fine.
+        max_unaliased = DEFAULT_WAVELENGTH_M / (2 * 2 * DT) * 0.9
+        stream = synthesize_moving_reflection(
+            max_unaliased, 60, DT, DEFAULT_WAVELENGTH_M
+        )
+        estimate = estimate_doppler(stream, DT, DEFAULT_WAVELENGTH_M)
+        assert estimate.radial_speed_mps == pytest.approx(max_unaliased, rel=0.05)
+
+    def test_too_short_stream_rejected(self):
+        with pytest.raises(EstimationError):
+            estimate_doppler(np.ones(2, dtype=complex), DT, DEFAULT_WAVELENGTH_M)
+
+    def test_silent_stream_rejected(self):
+        with pytest.raises(EstimationError):
+            estimate_doppler(np.zeros(10, dtype=complex), DT, DEFAULT_WAVELENGTH_M)
+
+
+class TestSpeedTrack:
+    def test_picks_largest_radial_projection(self):
+        streams = [
+            synthesize_moving_reflection(0.2, 50, DT, DEFAULT_WAVELENGTH_M),
+            synthesize_moving_reflection(0.45, 50, DT, DEFAULT_WAVELENGTH_M),
+            synthesize_moving_reflection(0.1, 50, DT, DEFAULT_WAVELENGTH_M),
+        ]
+        speed, coherence = speed_track(streams, DT, DEFAULT_WAVELENGTH_M)
+        assert speed == pytest.approx(0.45, rel=0.05)
+        assert coherence > 0.9
+
+    def test_all_unreliable_raises(self, rng):
+        junk = [
+            (rng.normal(size=30) + 1j * rng.normal(size=30)) for _ in range(3)
+        ]
+        with pytest.raises(EstimationError):
+            speed_track(junk, DT, DEFAULT_WAVELENGTH_M)
+
+
+class TestPhaseStream:
+    def test_shape_and_bounds(self, three_path_channel):
+        x = three_path_channel.snapshots(20, rng=1)
+        phases = phase_stream(x, antenna=0)
+        assert phases.shape == (20,)
+        assert np.all(np.abs(phases) <= np.pi)
+
+    def test_invalid_antenna_rejected(self, three_path_channel):
+        x = three_path_channel.snapshots(5, rng=2)
+        with pytest.raises(EstimationError):
+            phase_stream(x, antenna=8)

@@ -1,0 +1,143 @@
+"""Tests for repro.dsp.music."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dsp.covariance import sample_covariance
+from repro.dsp.music import (
+    MusicEstimator,
+    eigendecompose,
+    estimate_num_sources,
+    mdl_num_sources,
+    noise_subspace,
+)
+from repro.errors import EstimationError
+from repro.rf.channel import MultipathChannel
+
+from tests.conftest import make_path
+
+
+class TestEigendecompose:
+    def test_descending_order(self, rng):
+        x = rng.normal(size=(6, 50)) + 1j * rng.normal(size=(6, 50))
+        eigenvalues, _ = eigendecompose(sample_covariance(x))
+        assert list(eigenvalues) == sorted(eigenvalues, reverse=True)
+
+    def test_eigen_identity(self, rng):
+        x = rng.normal(size=(5, 40)) + 1j * rng.normal(size=(5, 40))
+        r = sample_covariance(x)
+        eigenvalues, eigenvectors = eigendecompose(r)
+        for k in range(5):
+            assert np.allclose(
+                r @ eigenvectors[:, k], eigenvalues[k] * eigenvectors[:, k]
+            )
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(EstimationError):
+            eigendecompose(np.zeros((2, 3)))
+
+
+class TestSourceCounting:
+    def test_threshold_counting(self):
+        eigenvalues = np.array([10.0, 8.0, 5.0, 0.01, 0.01, 0.01])
+        assert estimate_num_sources(eigenvalues, threshold_ratio=0.03) == 3
+
+    def test_never_consumes_whole_space(self):
+        eigenvalues = np.ones(4)
+        assert estimate_num_sources(eigenvalues) <= 3
+
+    def test_at_least_one_source(self):
+        eigenvalues = np.array([1.0, 1e-9, 1e-9])
+        assert estimate_num_sources(eigenvalues) >= 1
+
+    def test_mdl_on_clear_spectrum(self, three_path_channel):
+        x = three_path_channel.snapshots(200, snr_db=30, rng=3)
+        from repro.dsp.smoothing import spatially_smoothed_covariance
+
+        r = spatially_smoothed_covariance(x, 6)
+        eigenvalues, _ = eigendecompose(r)
+        estimated = mdl_num_sources(eigenvalues, num_snapshots=200)
+        assert 2 <= estimated <= 4  # three paths, tolerating +/- 1
+
+
+class TestNoiseSubspace:
+    def test_shape(self, rng):
+        x = rng.normal(size=(8, 40)) + 1j * rng.normal(size=(8, 40))
+        un = noise_subspace(sample_covariance(x), num_sources=3)
+        assert un.shape == (8, 5)
+
+    def test_orthonormal_columns(self, rng):
+        x = rng.normal(size=(8, 40)) + 1j * rng.normal(size=(8, 40))
+        un = noise_subspace(sample_covariance(x), num_sources=3)
+        assert np.allclose(un.conj().T @ un, np.eye(5), atol=1e-10)
+
+    def test_invalid_source_count_rejected(self, rng):
+        x = rng.normal(size=(4, 10)) + 1j * rng.normal(size=(4, 10))
+        r = sample_covariance(x)
+        with pytest.raises(EstimationError):
+            noise_subspace(r, 0)
+        with pytest.raises(EstimationError):
+            noise_subspace(r, 4)
+
+
+class TestMusicEstimator:
+    def test_recovers_three_coherent_paths(self, array, three_path_channel):
+        x = three_path_channel.snapshots(60, snr_db=25, rng=0)
+        estimator = MusicEstimator(
+            spacing_m=array.spacing_m, wavelength_m=array.wavelength_m
+        )
+        peaks = estimator.estimate_aoas(x, max_peaks=3)
+        found = sorted(math.degrees(p.angle) for p in peaks)
+        assert found == pytest.approx([50, 90, 130], abs=1.5)
+
+    def test_single_path_high_accuracy(self, array):
+        channel = MultipathChannel(array=array, paths=[make_path(array, 72.0, 0.01)])
+        x = channel.snapshots(60, snr_db=30, rng=1)
+        estimator = MusicEstimator(
+            spacing_m=array.spacing_m, wavelength_m=array.wavelength_m
+        )
+        peaks = estimator.estimate_aoas(x, max_peaks=1)
+        assert math.degrees(peaks[0].angle) == pytest.approx(72.0, abs=0.6)
+
+    def test_without_smoothing_coherent_pair_grows_spurious_peaks(self, array):
+        # Two equal-power fully coherent arrivals: the unsmoothed
+        # covariance is rank-1, and MUSIC against its (M-1)-dimensional
+        # "noise" subspace produces spurious extra peaks alongside the
+        # true ones.  Smoothing restores a clean two-peak spectrum.
+        channel = MultipathChannel(
+            array=array,
+            paths=[make_path(array, 80.0, 0.01), make_path(array, 100.0, 0.01)],
+        )
+        x = channel.snapshots(60, snr_db=25, rng=3)
+        no_smoothing = MusicEstimator(
+            spacing_m=array.spacing_m,
+            wavelength_m=array.wavelength_m,
+            subarray_size=8,
+            forward_backward=False,
+        )
+        smoothed = MusicEstimator(
+            spacing_m=array.spacing_m, wavelength_m=array.wavelength_m
+        )
+        clean = smoothed.estimate_aoas(x)
+        assert sorted(math.degrees(p.angle) for p in clean) == pytest.approx(
+            [80, 100], abs=1.5
+        )
+        dirty = no_smoothing.estimate_aoas(x)
+        spurious = [
+            math.degrees(p.angle)
+            for p in dirty
+            if min(abs(math.degrees(p.angle) - t) for t in (80, 100)) > 5.0
+        ]
+        assert spurious, "expected spurious coherent-source peaks"
+
+    def test_fixed_num_sources_respected(self, array, three_path_channel):
+        x = three_path_channel.snapshots(60, snr_db=25, rng=4)
+        estimator = MusicEstimator(
+            spacing_m=array.spacing_m,
+            wavelength_m=array.wavelength_m,
+            num_sources=3,
+        )
+        un = estimator.noise_subspace(x)
+        assert un.shape[1] == un.shape[0] - 3

@@ -1,0 +1,92 @@
+"""Tests for repro.dsp.spectrum."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dsp.spectrum import (
+    AngularSpectrum,
+    default_angle_grid,
+    spectrum_from_samples,
+)
+from repro.errors import EstimationError
+
+
+@pytest.fixture
+def triangle_spectrum():
+    angles = np.linspace(0, math.pi, 181)
+    values = 1.0 - np.abs(angles - math.pi / 2) / (math.pi / 2)
+    return AngularSpectrum(angles, values)
+
+
+class TestConstruction:
+    def test_default_grid_covers_zero_to_pi(self):
+        grid = default_angle_grid()
+        assert grid[0] == 0.0
+        assert grid[-1] == pytest.approx(math.pi)
+
+    def test_mismatched_shapes_rejected(self):
+        with pytest.raises(EstimationError):
+            AngularSpectrum(np.zeros(5), np.zeros(4))
+
+    def test_non_monotone_angles_rejected(self):
+        with pytest.raises(EstimationError):
+            AngularSpectrum(np.array([0.0, 2.0, 1.0]), np.zeros(3))
+
+    def test_too_short_rejected(self):
+        with pytest.raises(EstimationError):
+            AngularSpectrum(np.array([1.0]), np.array([1.0]))
+
+
+class TestQueries:
+    def test_value_at_interpolates(self, triangle_spectrum):
+        assert triangle_spectrum.value_at(math.pi / 2) == pytest.approx(1.0)
+        assert triangle_spectrum.value_at(math.pi / 4) == pytest.approx(0.5, abs=0.01)
+
+    def test_dominant_angle(self, triangle_spectrum):
+        assert triangle_spectrum.dominant_angle() == pytest.approx(math.pi / 2)
+
+    def test_max_in_window(self, triangle_spectrum):
+        window_max = triangle_spectrum.max_in_window(
+            math.pi / 2 - 0.05, window=0.1
+        )
+        assert window_max == pytest.approx(1.0)
+
+    def test_max_in_empty_window_falls_back(self, triangle_spectrum):
+        value = triangle_spectrum.max_in_window(0.5, window=1e-9)
+        assert value == pytest.approx(triangle_spectrum.value_at(0.5), abs=0.01)
+
+    def test_normalized_max_is_one(self, triangle_spectrum):
+        scaled = AngularSpectrum(
+            triangle_spectrum.angles, triangle_spectrum.values * 42.0
+        )
+        assert scaled.normalized().values.max() == pytest.approx(1.0)
+
+    def test_normalize_zero_spectrum_rejected(self):
+        with pytest.raises(EstimationError):
+            AngularSpectrum(np.array([0.0, 1.0]), np.zeros(2)).normalized()
+
+
+class TestComparison:
+    def test_subtract(self, triangle_spectrum):
+        diff = triangle_spectrum.subtract(triangle_spectrum)
+        assert np.allclose(diff.values, 0.0)
+
+    def test_drop_relative_to_clips_rises(self, triangle_spectrum):
+        doubled = AngularSpectrum(
+            triangle_spectrum.angles, triangle_spectrum.values * 2.0
+        )
+        drop = doubled.drop_relative_to(triangle_spectrum)
+        assert np.all(drop.values == 0.0)
+
+    def test_drop_relative_to_measures_falls(self, triangle_spectrum):
+        halved = AngularSpectrum(
+            triangle_spectrum.angles, triangle_spectrum.values * 0.5
+        )
+        drop = halved.drop_relative_to(triangle_spectrum)
+        assert drop.value_at(math.pi / 2) == pytest.approx(0.5)
+
+    def test_spectrum_from_samples(self):
+        spectrum = spectrum_from_samples([0.0, 1.0, 2.0], [1.0, 2.0, 3.0])
+        assert spectrum.value_at(1.5) == pytest.approx(2.5)

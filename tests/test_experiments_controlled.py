@@ -1,0 +1,54 @@
+"""Tests for the controlled microbenchmark deployment (Figs. 4/11-13)."""
+
+import math
+
+import pytest
+
+from repro.experiments.controlled import controlled_deployment
+from repro.geometry.blocking import path_blocked_by
+
+
+class TestGeometry:
+    def test_three_paths_exist_across_sweep(self):
+        for distance in (2.0, 4.0, 6.0, 8.0, 9.0):
+            deployment = controlled_deployment(tag_distance=distance, rng=1)
+            assert deployment.channel().num_paths == 3, distance
+
+    def test_direct_path_is_broadside(self):
+        deployment = controlled_deployment(tag_distance=4.0, rng=1)
+        direct = deployment.channel().paths[0]
+        assert math.degrees(direct.aoa) == pytest.approx(90.0, abs=0.5)
+
+    def test_reference_reflection_angles(self):
+        # At the 4 m reference distance the bounces land near the 50 and
+        # 130 degree arrivals of the paper's Fig. 12.
+        deployment = controlled_deployment(tag_distance=4.0, rng=1)
+        angles = sorted(
+            math.degrees(p.aoa) for p in deployment.channel().paths
+        )
+        assert angles[0] == pytest.approx(50.0, abs=1.0)
+        assert angles[2] == pytest.approx(130.0, abs=1.0)
+
+    def test_bounce_to_array_distance_near_paper(self):
+        # dR2A ~ 2.6 m in the paper's layout.
+        deployment = controlled_deployment(tag_distance=4.0, rng=1)
+        reflected = [
+            p for p in deployment.channel().paths if p.kind == "reflected"
+        ]
+        for path in reflected:
+            assert path.legs[-1].length() == pytest.approx(2.6, abs=0.2)
+
+
+class TestBlockers:
+    def test_blockers_block_their_paths(self):
+        deployment = controlled_deployment(tag_distance=4.0, rng=1)
+        channel = deployment.channel()
+        for index in range(channel.num_paths):
+            blockers = deployment.blockers_for([index])
+            assert path_blocked_by(
+                channel.paths[index].legs, blockers[0].body()
+            )
+
+    def test_one_blocker_per_requested_path(self):
+        deployment = controlled_deployment(tag_distance=4.0, rng=1)
+        assert len(deployment.blockers_for([0, 1, 2])) == 3

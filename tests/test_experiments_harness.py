@@ -1,0 +1,66 @@
+"""Tests for the shared experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import (
+    DeploymentHarness,
+    localization_trial_errors,
+)
+from repro.geometry.point import Point
+from repro.sim.environments import hall_scene
+from repro.sim.measurement import MeasurementConfig
+from repro.sim.target import human_target
+
+
+@pytest.fixture(scope="module")
+def harness():
+    return DeploymentHarness(hall_scene(rng=95), rng=96)
+
+
+class TestDeploymentHarness:
+    def test_builds_calibrated_pipeline(self, harness):
+        assert harness.dwatch.calibration
+        assert harness.dwatch.baseline is not None
+        assert len(harness.dwatch.baseline) == harness.baseline_captures
+
+    def test_localize_target_returns_point_or_none(self, harness):
+        result = harness.localize_target(
+            human_target(harness.scene.room.center)
+        )
+        assert result is None or isinstance(result, Point)
+
+    def test_run_trials_accounting(self, harness):
+        positions = [Point(3.0, 5.0), Point(4.0, 6.0)]
+        outcome = harness.run_trials(positions, repeats=2)
+        assert outcome.attempted == 4
+        assert 0 <= outcome.covered <= 4
+
+    def test_config_override(self):
+        harness = DeploymentHarness(
+            hall_scene(rng=97),
+            config=MeasurementConfig(num_snapshots=6),
+            rng=98,
+        )
+        assert harness.config.num_snapshots == 6
+
+
+class TestLocalizationTrialErrors:
+    def test_subsample_is_deterministic(self):
+        scene = hall_scene(rng=99)
+        a = localization_trial_errors(scene, num_locations=6, rng=1)
+        b = localization_trial_errors(scene, num_locations=6, rng=1)
+        assert a.attempted == b.attempted == 6
+        assert a.errors == b.errors
+
+    def test_subsample_spans_multiple_columns(self):
+        # Regression: a strided subsample once aliased onto a single
+        # grid column, collapsing every sweep's coverage numbers.
+        from repro.sim.deployment import test_location_grid
+
+        scene = hall_scene(rng=99)
+        grid = test_location_grid(scene.room, spacing=0.5)
+        subsample_rng = np.random.default_rng(0xD_4A7C4)
+        indices = np.sort(subsample_rng.choice(len(grid), size=10, replace=False))
+        xs = {round(grid[i].x, 3) for i in indices}
+        assert len(xs) > 3

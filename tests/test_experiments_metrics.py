@@ -1,0 +1,56 @@
+"""Tests for repro.experiments.metrics and the deployment harness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.metrics import (
+    LocalizationResult,
+    angular_error_deg,
+    coverage_rate,
+    detection_rate,
+)
+
+
+class TestLocalizationResult:
+    def test_coverage(self):
+        result = LocalizationResult(attempted=10, errors=[0.1] * 7)
+        assert result.covered == 7
+        assert result.coverage == pytest.approx(0.7)
+
+    def test_summary_delegates(self):
+        result = LocalizationResult(attempted=4, errors=[0.1, 0.2, 0.3, 0.4])
+        assert result.summary().median == pytest.approx(0.25)
+
+    def test_cdf_samples_sorted(self):
+        result = LocalizationResult(attempted=3, errors=[0.3, 0.1, 0.2])
+        assert list(result.cdf_samples()) == [0.1, 0.2, 0.3]
+
+    def test_more_errors_than_attempts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            LocalizationResult(attempted=1, errors=[0.1, 0.2])
+
+    def test_zero_attempts_coverage(self):
+        assert LocalizationResult(attempted=0).coverage == 0.0
+
+
+class TestRates:
+    def test_coverage_rate(self):
+        assert coverage_rate(3, 4) == pytest.approx(0.75)
+
+    def test_detection_rate_alias(self):
+        assert detection_rate(1, 2) == coverage_rate(1, 2)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            coverage_rate(5, 4)
+        with pytest.raises(ConfigurationError):
+            coverage_rate(0, 0)
+
+
+class TestAngularError:
+    def test_degrees_conversion(self):
+        assert angular_error_deg(np.pi / 2, np.pi / 4) == pytest.approx(45.0)
+
+    def test_symmetric(self):
+        assert angular_error_deg(0.2, 0.5) == angular_error_deg(0.5, 0.2)

@@ -1,0 +1,61 @@
+"""Tests for repro.geometry.blocking."""
+
+from repro.geometry.blocking import (
+    blocking_targets,
+    first_blocked_leg,
+    path_blocked_by,
+    segment_intersects_circle,
+)
+from repro.geometry.point import Point
+from repro.geometry.segment import Segment
+from repro.geometry.shapes import Circle
+
+
+PATH = [Segment(Point(0, 0), Point(10, 0))]
+TWO_LEG_PATH = [
+    Segment(Point(0, 0), Point(5, 5)),
+    Segment(Point(5, 5), Point(10, 0)),
+]
+
+
+class TestSegmentCircle:
+    def test_crossing(self):
+        assert segment_intersects_circle(PATH[0], Circle(Point(5, 0), 0.2))
+
+    def test_grazing_counts(self):
+        assert segment_intersects_circle(PATH[0], Circle(Point(5, 0.2), 0.2))
+
+    def test_near_miss(self):
+        assert not segment_intersects_circle(PATH[0], Circle(Point(5, 0.21), 0.2))
+
+    def test_beyond_endpoint_misses(self):
+        assert not segment_intersects_circle(PATH[0], Circle(Point(12, 0), 1.0))
+
+
+class TestPathBlocking:
+    def test_blocked_on_first_leg(self):
+        assert path_blocked_by(TWO_LEG_PATH, Circle(Point(2.5, 2.5), 0.3))
+
+    def test_blocked_on_second_leg(self):
+        assert path_blocked_by(TWO_LEG_PATH, Circle(Point(7.5, 2.5), 0.3))
+
+    def test_clear_path(self):
+        assert not path_blocked_by(TWO_LEG_PATH, Circle(Point(5, 0), 0.3))
+
+    def test_first_blocked_leg_indices(self):
+        assert first_blocked_leg(TWO_LEG_PATH, Circle(Point(2.5, 2.5), 0.3)) == 0
+        assert first_blocked_leg(TWO_LEG_PATH, Circle(Point(7.5, 2.5), 0.3)) == 1
+        assert first_blocked_leg(TWO_LEG_PATH, Circle(Point(5, 0), 0.3)) == -1
+
+
+class TestBlockingTargets:
+    def test_selects_only_blockers(self):
+        targets = [
+            Circle(Point(5, 0), 0.2),   # blocks
+            Circle(Point(5, 3), 0.2),   # misses
+            Circle(Point(1, 0), 0.2),   # blocks
+        ]
+        assert blocking_targets(PATH, targets) == [0, 2]
+
+    def test_empty_targets(self):
+        assert blocking_targets(PATH, []) == []

@@ -1,0 +1,82 @@
+"""Tests for repro.geometry.point."""
+
+import math
+
+import pytest
+
+from repro.geometry.point import Point, bearing, distance
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        assert Point(1, 2) + Point(3, 4) == Point(4, 6)
+        assert Point(3, 4) - Point(1, 2) == Point(2, 2)
+
+    def test_scalar_multiply_both_sides(self):
+        assert Point(1, 2) * 3 == Point(3, 6)
+        assert 3 * Point(1, 2) == Point(3, 6)
+
+    def test_divide(self):
+        assert Point(2, 4) / 2 == Point(1, 2)
+
+    def test_negate(self):
+        assert -Point(1, -2) == Point(-1, 2)
+
+    def test_iter_unpacks(self):
+        x, y = Point(5, 6)
+        assert (x, y) == (5, 6)
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(ValueError):
+            Point(float("nan"), 0.0)
+
+
+class TestVectorOps:
+    def test_dot(self):
+        assert Point(1, 2).dot(Point(3, 4)) == 11
+
+    def test_cross_sign(self):
+        assert Point(1, 0).cross(Point(0, 1)) == 1
+        assert Point(0, 1).cross(Point(1, 0)) == -1
+
+    def test_norm(self):
+        assert Point(3, 4).norm() == 5
+
+    def test_normalized_unit_length(self):
+        assert Point(10, 0).normalized() == Point(1, 0)
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(ValueError):
+            Point(0, 0).normalized()
+
+    def test_perpendicular_is_orthogonal(self):
+        vector = Point(3, 7)
+        assert vector.dot(vector.perpendicular()) == 0
+
+    def test_rotated_quarter_turn(self):
+        rotated = Point(1, 0).rotated(math.pi / 2)
+        assert rotated.x == pytest.approx(0.0, abs=1e-12)
+        assert rotated.y == pytest.approx(1.0)
+
+    def test_rotated_about_pivot(self):
+        rotated = Point(2, 0).rotated(math.pi, about=Point(1, 0))
+        assert rotated.x == pytest.approx(0.0, abs=1e-12)
+
+
+class TestDistanceAndBearing:
+    def test_distance_symmetry(self):
+        a, b = Point(0, 0), Point(3, 4)
+        assert distance(a, b) == distance(b, a) == 5
+
+    def test_bearing_east(self):
+        assert bearing(Point(0, 0), Point(1, 0)) == pytest.approx(0.0)
+
+    def test_bearing_north(self):
+        assert bearing(Point(0, 0), Point(0, 1)) == pytest.approx(math.pi / 2)
+
+    def test_angle_to_matches_bearing(self):
+        origin, target = Point(1, 1), Point(2, 2)
+        assert origin.angle_to(target) == bearing(origin, target)
+
+    def test_as_tuple(self):
+        assert Point(1.5, -2.5).as_tuple() == (1.5, -2.5)

@@ -1,0 +1,84 @@
+"""Tests for repro.geometry.reflection (image method)."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.reflection import (
+    Reflector,
+    mirror_point,
+    specular_reflection_point,
+)
+from repro.geometry.segment import Segment
+
+
+VERTICAL_PLATE = Segment(Point(2.0, -5.0), Point(2.0, 5.0))
+
+
+class TestMirrorPoint:
+    def test_across_vertical_line(self):
+        assert mirror_point(Point(0, 1), VERTICAL_PLATE) == Point(4, 1)
+
+    def test_point_on_line_is_fixed(self):
+        mirrored = mirror_point(Point(2, 3), VERTICAL_PLATE)
+        assert mirrored.x == pytest.approx(2.0)
+        assert mirrored.y == pytest.approx(3.0)
+
+    def test_involution(self):
+        original = Point(0.7, -1.3)
+        twice = mirror_point(mirror_point(original, VERTICAL_PLATE), VERTICAL_PLATE)
+        assert twice.x == pytest.approx(original.x)
+        assert twice.y == pytest.approx(original.y)
+
+
+class TestSpecularReflection:
+    def test_symmetric_bounce(self):
+        bounce = specular_reflection_point(Point(0, 1), Point(0, -1), VERTICAL_PLATE)
+        assert bounce is not None
+        assert bounce.x == pytest.approx(2.0)
+        assert bounce.y == pytest.approx(0.0)
+
+    def test_equal_angles(self):
+        source, receiver = Point(0, 2), Point(0, -1)
+        bounce = specular_reflection_point(source, receiver, VERTICAL_PLATE)
+        direction = VERTICAL_PLATE.direction()
+        normal = direction.perpendicular()
+        incident = (bounce - source).normalized()
+        outgoing = (receiver - bounce).normalized()
+        # Reflection preserves the along-plate component and flips the
+        # normal component.
+        assert incident.dot(direction) == pytest.approx(outgoing.dot(direction))
+        assert incident.dot(normal) == pytest.approx(-outgoing.dot(normal))
+
+    def test_opposite_sides_no_reflection(self):
+        assert (
+            specular_reflection_point(Point(0, 0), Point(4, 0), VERTICAL_PLATE)
+            is None
+        )
+
+    def test_bounce_off_finite_plate_misses(self):
+        short_plate = Segment(Point(2.0, 10.0), Point(2.0, 11.0))
+        assert (
+            specular_reflection_point(Point(0, 1), Point(0, -1), short_plate) is None
+        )
+
+    def test_path_length_equals_image_distance(self):
+        source, receiver = Point(0, 1), Point(1, -2)
+        bounce = specular_reflection_point(source, receiver, VERTICAL_PLATE)
+        via_bounce = source.distance_to(bounce) + bounce.distance_to(receiver)
+        image = mirror_point(source, VERTICAL_PLATE)
+        assert via_bounce == pytest.approx(image.distance_to(receiver))
+
+
+class TestReflector:
+    def test_invalid_coefficient_rejected(self):
+        with pytest.raises(GeometryError):
+            Reflector(plate=VERTICAL_PLATE, coefficient=0.0)
+        with pytest.raises(GeometryError):
+            Reflector(plate=VERTICAL_PLATE, coefficient=1.5)
+
+    def test_bounce_delegates(self):
+        reflector = Reflector(plate=VERTICAL_PLATE, coefficient=0.9)
+        assert reflector.bounce(Point(0, 1), Point(0, -1)) is not None

@@ -1,0 +1,95 @@
+"""Tests for repro.geometry.segment."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.segment import Segment
+
+
+class TestBasics:
+    def test_length(self):
+        assert Segment(Point(0, 0), Point(3, 4)).length() == 5
+
+    def test_direction_unit(self):
+        direction = Segment(Point(0, 0), Point(0, 9)).direction()
+        assert direction == Point(0, 1)
+
+    def test_degenerate_direction_raises(self):
+        with pytest.raises(GeometryError):
+            Segment(Point(1, 1), Point(1, 1)).direction()
+
+    def test_midpoint(self):
+        assert Segment(Point(0, 0), Point(2, 2)).midpoint() == Point(1, 1)
+
+    def test_point_at_parameter(self):
+        segment = Segment(Point(0, 0), Point(10, 0))
+        assert segment.point_at(0.25) == Point(2.5, 0)
+
+    def test_angle(self):
+        assert Segment(Point(0, 0), Point(1, 1)).angle() == pytest.approx(math.pi / 4)
+
+
+class TestClosestPoint:
+    def test_projection_inside(self):
+        segment = Segment(Point(0, 0), Point(10, 0))
+        assert segment.closest_point(Point(5, 3)) == Point(5, 0)
+
+    def test_clamps_to_start(self):
+        segment = Segment(Point(0, 0), Point(10, 0))
+        assert segment.closest_point(Point(-5, 3)) == Point(0, 0)
+
+    def test_clamps_to_end(self):
+        segment = Segment(Point(0, 0), Point(10, 0))
+        assert segment.closest_point(Point(15, 3)) == Point(10, 0)
+
+    def test_distance_to_point(self):
+        segment = Segment(Point(0, 0), Point(10, 0))
+        assert segment.distance_to_point(Point(5, 3)) == 3
+
+    def test_degenerate_closest_is_endpoint(self):
+        segment = Segment(Point(1, 1), Point(1, 1))
+        assert segment.closest_point(Point(4, 5)) == Point(1, 1)
+
+
+class TestIntersection:
+    def test_crossing(self):
+        a = Segment(Point(0, 0), Point(2, 2))
+        b = Segment(Point(0, 2), Point(2, 0))
+        crossing = a.intersection(b)
+        assert crossing.x == pytest.approx(1.0)
+        assert crossing.y == pytest.approx(1.0)
+
+    def test_parallel_returns_none(self):
+        a = Segment(Point(0, 0), Point(1, 0))
+        b = Segment(Point(0, 1), Point(1, 1))
+        assert a.intersection(b) is None
+
+    def test_nonoverlapping_returns_none(self):
+        a = Segment(Point(0, 0), Point(1, 0))
+        b = Segment(Point(5, -1), Point(5, 1))
+        assert a.intersection(b) is None
+
+    def test_touching_at_endpoint(self):
+        a = Segment(Point(0, 0), Point(1, 1))
+        b = Segment(Point(1, 1), Point(2, 0))
+        crossing = a.intersection(b)
+        assert crossing is not None
+        assert crossing.x == pytest.approx(1.0)
+
+    def test_collinear_overlap_returns_none(self):
+        a = Segment(Point(0, 0), Point(2, 0))
+        b = Segment(Point(1, 0), Point(3, 0))
+        assert a.intersection(b) is None
+
+
+class TestProjectParameter:
+    def test_unclamped_value(self):
+        segment = Segment(Point(0, 0), Point(10, 0))
+        assert segment.project_parameter(Point(15, 2)) == pytest.approx(1.5)
+
+    def test_degenerate_raises(self):
+        with pytest.raises(GeometryError):
+            Segment(Point(0, 0), Point(0, 0)).project_parameter(Point(1, 1))

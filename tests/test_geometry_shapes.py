@@ -1,0 +1,59 @@
+"""Tests for repro.geometry.shapes."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.shapes import Circle, Rectangle
+
+
+class TestCircle:
+    def test_contains_inside_and_boundary(self):
+        circle = Circle(Point(0, 0), 1.0)
+        assert circle.contains(Point(0.5, 0))
+        assert circle.contains(Point(1.0, 0))
+        assert not circle.contains(Point(1.01, 0))
+
+    def test_distance_to_is_zero_inside(self):
+        circle = Circle(Point(0, 0), 0.18)
+        assert circle.distance_to(Point(0.1, 0.1)) == 0.0
+
+    def test_distance_to_outside_measures_to_edge(self):
+        circle = Circle(Point(0, 0), 0.18)
+        assert circle.distance_to(Point(1.18, 0)) == pytest.approx(1.0)
+
+    def test_nonpositive_radius_rejected(self):
+        with pytest.raises(GeometryError):
+            Circle(Point(0, 0), 0.0)
+
+
+class TestRectangle:
+    def test_dimensions(self):
+        rect = Rectangle(0, 0, 7, 10)
+        assert rect.width == 7
+        assert rect.height == 10
+        assert rect.center == Point(3.5, 5.0)
+
+    def test_contains_with_margin(self):
+        rect = Rectangle(0, 0, 10, 10)
+        assert rect.contains(Point(0.5, 0.5))
+        assert not rect.contains(Point(0.5, 0.5), margin=1.0)
+
+    def test_walls_form_closed_loop(self):
+        rect = Rectangle(0, 0, 2, 3)
+        walls = rect.walls()
+        assert len(walls) == 4
+        for first, second in zip(walls, walls[1:] + walls[:1]):
+            assert first.end == second.start
+
+    def test_clamp_outside_point(self):
+        rect = Rectangle(0, 0, 10, 10)
+        assert rect.clamp(Point(-5, 15)) == Point(0, 10)
+
+    def test_clamp_inside_is_identity(self):
+        rect = Rectangle(0, 0, 10, 10)
+        assert rect.clamp(Point(3, 4)) == Point(3, 4)
+
+    def test_invalid_extent_rejected(self):
+        with pytest.raises(GeometryError):
+            Rectangle(0, 0, 0, 5)

@@ -1,0 +1,75 @@
+"""Integration: the full Gen2 + LLRP protocol path through DWatch.
+
+A physical deployment's seam: the localization engine consumes only
+LLRP tag reports — this test drives the whole loop through them and
+checks the result agrees with the fast capture path.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import DWatch
+from repro.geometry.point import Point
+from repro.sim.environments import hall_scene
+from repro.sim.measurement import MeasurementSession, measurement_from_reports
+from repro.sim.target import human_target
+
+
+@pytest.fixture(scope="module")
+def protocol_deployment():
+    scene = hall_scene(rng=121)
+    dwatch = DWatch(scene)
+    dwatch.calibrate(rng=122)
+    session = MeasurementSession(scene, rng=123)
+    num_antennas = scene.readers[0].array.num_antennas
+    baselines = [
+        measurement_from_reports(session.capture_reports(), num_antennas)
+        for _ in range(2)
+    ]
+    dwatch.collect_baseline(baselines)
+    return scene, dwatch, session, num_antennas
+
+
+class TestProtocolPath:
+    def test_reports_cover_every_reader(self, protocol_deployment):
+        scene, _, session, _ = protocol_deployment
+        reports = session.capture_reports()
+        assert set(reports) == {r.name for r in scene.readers}
+
+    def test_localizes_through_reports(self, protocol_deployment):
+        scene, dwatch, session, num_antennas = protocol_deployment
+        # Stand on a path so the location is covered.
+        reader = scene.readers[0]
+        tag = scene.tags_in_range(reader)[0]
+        midpoint = (tag.position + reader.array.centroid) / 2.0
+        target = human_target(midpoint)
+
+        localized = False
+        for _ in range(3):
+            reports = session.capture_reports([target])
+            measurement = measurement_from_reports(reports, num_antennas)
+            estimates = dwatch.localize(measurement)
+            if estimates:
+                localized = True
+                error = target.localization_error(estimates[0].position)
+                assert error < 1.0
+                break
+        assert localized
+
+    def test_empty_area_stays_quiet(self, protocol_deployment):
+        scene, dwatch, session, num_antennas = protocol_deployment
+        reports = session.capture_reports()
+        measurement = measurement_from_reports(reports, num_antennas)
+        assert dwatch.localize(measurement) == []
+
+    def test_report_stream_matches_fast_path_statistics(
+        self, protocol_deployment
+    ):
+        scene, _, session, num_antennas = protocol_deployment
+        reports = session.capture_reports()
+        rebuilt = measurement_from_reports(reports, num_antennas)
+        for reader in scene.readers:
+            for epc in rebuilt.tags_for(reader.name):
+                matrix = rebuilt.matrix(reader.name, epc)
+                assert matrix.shape[0] == num_antennas
+                assert np.all(np.isfinite(matrix))

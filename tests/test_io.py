@@ -1,0 +1,127 @@
+"""Tests for repro.io (deployment persistence)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.calibration.offsets import PhaseOffsets
+from repro.errors import ConfigurationError
+from repro.io import (
+    calibration_from_dict,
+    calibration_to_dict,
+    load_calibration,
+    load_scene,
+    save_calibration,
+    save_scene,
+    scene_from_dict,
+    scene_to_dict,
+)
+from repro.sim.environments import hall_scene, table_scene
+from repro.wifi import wifi_office_scene
+
+
+class TestSceneRoundtrip:
+    def test_geometry_preserved(self):
+        scene = hall_scene(rng=141)
+        rebuilt = scene_from_dict(scene_to_dict(scene))
+        assert rebuilt.room.width == scene.room.width
+        assert rebuilt.name == scene.name
+        assert len(rebuilt.readers) == len(scene.readers)
+        assert len(rebuilt.tags) == len(scene.tags)
+        assert len(rebuilt.reflectors) == len(scene.reflectors)
+
+    def test_phase_offsets_preserved(self):
+        scene = hall_scene(rng=142)
+        rebuilt = scene_from_dict(scene_to_dict(scene))
+        for original, restored in zip(scene.readers, rebuilt.readers):
+            assert np.allclose(original.phase_offsets, restored.phase_offsets)
+
+    def test_tag_identity_preserved(self):
+        scene = table_scene(rng=143)
+        rebuilt = scene_from_dict(scene_to_dict(scene))
+        assert [t.epc for t in rebuilt.tags] == [t.epc for t in scene.tags]
+        for original, restored in zip(scene.tags, rebuilt.tags):
+            assert restored.position == original.position
+
+    def test_wifi_scene_roundtrip(self):
+        scene = wifi_office_scene(rng=144)
+        rebuilt = scene_from_dict(scene_to_dict(scene))
+        assert rebuilt.frequency_hz == scene.frequency_hz
+        assert rebuilt.readers[0].array.spacing_m == pytest.approx(
+            scene.readers[0].array.spacing_m
+        )
+
+    def test_channels_identical_after_roundtrip(self):
+        scene = hall_scene(rng=145)
+        rebuilt = scene_from_dict(scene_to_dict(scene))
+        reader = scene.readers[0]
+        twin = rebuilt.readers[0]
+        original = scene.channels_for(reader)
+        restored = rebuilt.channels_for(twin)
+        assert set(original) == set(restored)
+        epc = next(iter(original))
+        assert np.allclose(
+            original[epc].gains(), restored[epc].gains()
+        )
+
+    def test_file_roundtrip(self, tmp_path):
+        scene = hall_scene(rng=146)
+        path = tmp_path / "deployment.json"
+        save_scene(scene, path)
+        rebuilt = load_scene(path)
+        assert rebuilt.name == scene.name
+        # The file is genuine JSON.
+        json.loads(path.read_text())
+
+    def test_bad_schema_rejected(self):
+        with pytest.raises(ConfigurationError):
+            scene_from_dict({"schema": 99})
+
+    def test_malformed_data_rejected(self):
+        data = scene_to_dict(hall_scene(rng=147))
+        del data["readers"][0]["array"]
+        with pytest.raises(ConfigurationError):
+            scene_from_dict(data)
+
+
+class TestCalibrationRoundtrip:
+    def test_roundtrip(self):
+        calibration = {
+            "reader-0": PhaseOffsets(np.array([0.0, 0.4, -1.1])),
+            "reader-1": PhaseOffsets(np.array([0.0, 2.2, 0.3])),
+        }
+        rebuilt = calibration_from_dict(calibration_to_dict(calibration))
+        assert set(rebuilt) == set(calibration)
+        for name in calibration:
+            assert np.allclose(rebuilt[name].values, calibration[name].values)
+
+    def test_file_roundtrip(self, tmp_path):
+        calibration = {"r": PhaseOffsets(np.array([0.0, 1.0]))}
+        path = tmp_path / "calibration.json"
+        save_calibration(calibration, path)
+        rebuilt = load_calibration(path)
+        assert np.allclose(rebuilt["r"].values, [0.0, 1.0])
+
+    def test_usable_by_dwatch(self, tmp_path):
+        from repro.core.pipeline import DWatch
+        from repro.sim.measurement import MeasurementSession
+
+        scene = hall_scene(rng=148)
+        calibration = {
+            reader.name: PhaseOffsets.referenced(
+                np.asarray(reader.phase_offsets)
+            )
+            for reader in scene.readers
+        }
+        path = tmp_path / "calibration.json"
+        save_calibration(calibration, path)
+
+        dwatch = DWatch(scene)
+        dwatch.set_calibration(load_calibration(path))
+        session = MeasurementSession(scene, rng=149)
+        dwatch.collect_baseline(session.capture())  # must not raise
+
+    def test_bad_schema_rejected(self):
+        with pytest.raises(ConfigurationError):
+            calibration_from_dict({"schema": 0, "offsets": {}})

@@ -1,0 +1,76 @@
+"""Invariance tests for the consensus localizer."""
+
+import math
+
+import pytest
+
+from repro.core.detector import _evidence_from_events
+from repro.core.likelihood import LikelihoodMap
+from repro.core.localizer import DWatchLocalizer
+from repro.dsp.spectrum import default_angle_grid
+from repro.geometry.point import Point
+
+from tests.test_core_likelihood import ROOM, evidence_for_target, make_reader
+
+
+@pytest.fixture
+def setup():
+    readers = {
+        "south": make_reader("south", Point(3.0, 0.05), 0.0),
+        "west": make_reader("west", Point(0.05, 3.0), math.pi / 2.0),
+        "north": make_reader("north", Point(3.0, 5.95), math.pi),
+    }
+    localizer = DWatchLocalizer(
+        likelihood_map=LikelihoodMap(room=ROOM, readers=readers, cell_size=0.05)
+    )
+    return readers, localizer
+
+
+class TestLocalizerInvariants:
+    def test_evidence_order_irrelevant(self, setup):
+        readers, localizer = setup
+        target = Point(2.3, 3.7)
+        evidence = evidence_for_target(readers, target)
+        forward = localizer.localize(list(evidence))
+        backward = localizer.localize(list(reversed(evidence)))
+        assert forward.position.distance_to(backward.position) < 1e-6
+
+    def test_silent_reader_is_neutral(self, setup):
+        readers, localizer = setup
+        target = Point(4.1, 2.2)
+        evidence = evidence_for_target(
+            {k: readers[k] for k in ("south", "west")}, target
+        )
+        baseline = localizer.localize(evidence)
+        padded = evidence + [
+            _evidence_from_events("north", [], default_angle_grid())
+        ]
+        with_silent = localizer.localize(padded)
+        assert baseline.position.distance_to(with_silent.position) < 1e-6
+
+    def test_uniform_drop_scaling_preserves_position(self, setup):
+        readers, localizer = setup
+        target = Point(2.8, 4.2)
+        # Both above the confident-support threshold; a uniform drop
+        # rescaling must not move the position.
+        strong = evidence_for_target(readers, target, drop=0.99)
+        weak = evidence_for_target(readers, target, drop=0.75)
+        strong_fix = localizer.localize(strong)
+        weak_fix = localizer.localize(weak)
+        assert strong_fix.position.distance_to(weak_fix.position) < 0.1
+
+    def test_estimate_inside_room(self, setup):
+        readers, localizer = setup
+        # Even for a target hugging the wall the estimate stays legal.
+        target = Point(0.4, 5.6)
+        estimate = localizer.localize(evidence_for_target(readers, target))
+        assert ROOM.contains(estimate.position, margin=-1e-9)
+
+    def test_deterministic(self, setup):
+        readers, localizer = setup
+        target = Point(3.3, 1.9)
+        evidence = evidence_for_target(readers, target)
+        first = localizer.localize(evidence)
+        second = localizer.localize(evidence)
+        assert first.position == second.position
+        assert first.likelihood == second.likelihood

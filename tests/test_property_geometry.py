@@ -1,0 +1,111 @@
+"""Property-based tests (hypothesis) for the geometry substrate."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.blocking import segment_intersects_circle
+from repro.geometry.point import Point
+from repro.geometry.reflection import mirror_point, specular_reflection_point
+from repro.geometry.segment import Segment
+from repro.geometry.shapes import Circle
+
+coordinates = st.floats(
+    min_value=-50.0, max_value=50.0, allow_nan=False, allow_infinity=False
+)
+points = st.builds(Point, coordinates, coordinates)
+radii = st.floats(min_value=0.01, max_value=5.0)
+
+
+def nondegenerate_segments(min_length=1e-3):
+    return (
+        st.tuples(points, points)
+        .filter(lambda ab: ab[0].distance_to(ab[1]) > min_length)
+        .map(lambda ab: Segment(ab[0], ab[1]))
+    )
+
+
+class TestPointProperties:
+    @given(points, points)
+    def test_distance_symmetry(self, a, b):
+        assert a.distance_to(b) == b.distance_to(a)
+
+    @given(points, points, points)
+    def test_triangle_inequality(self, a, b, c):
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-7
+
+    @given(points, points)
+    def test_addition_subtraction_roundtrip(self, a, b):
+        back = (a + b) - b
+        assert math.isclose(back.x, a.x, abs_tol=1e-7)
+        assert math.isclose(back.y, a.y, abs_tol=1e-7)
+
+    @given(points, st.floats(min_value=-math.pi, max_value=math.pi))
+    def test_rotation_preserves_norm(self, p, angle):
+        assert math.isclose(
+            p.rotated(angle).norm(), p.norm(), rel_tol=1e-9, abs_tol=1e-9
+        )
+
+
+class TestSegmentProperties:
+    @given(nondegenerate_segments(), points)
+    def test_closest_point_is_on_segment(self, segment, p):
+        closest = segment.closest_point(p)
+        t = segment.project_parameter(closest)
+        assert -1e-7 <= t <= 1 + 1e-7
+
+    @given(nondegenerate_segments(), points)
+    def test_closest_beats_endpoints(self, segment, p):
+        d = segment.distance_to_point(p)
+        assert d <= p.distance_to(segment.start) + 1e-9
+        assert d <= p.distance_to(segment.end) + 1e-9
+
+    @given(nondegenerate_segments(), st.floats(min_value=0, max_value=1))
+    def test_point_at_lies_between_endpoints(self, segment, t):
+        p = segment.point_at(t)
+        assert segment.distance_to_point(p) < 1e-6
+
+
+class TestReflectionProperties:
+    @settings(max_examples=60)
+    @given(points, nondegenerate_segments(min_length=0.1))
+    def test_mirror_is_involution(self, p, plate):
+        twice = mirror_point(mirror_point(p, plate), plate)
+        assert math.isclose(twice.x, p.x, abs_tol=1e-5)
+        assert math.isclose(twice.y, p.y, abs_tol=1e-5)
+
+    @settings(max_examples=60)
+    @given(points, nondegenerate_segments(min_length=0.1))
+    def test_mirror_preserves_distance_to_plate_line(self, p, plate):
+        mirrored = mirror_point(p, plate)
+        direction = plate.direction()
+        normal_p = abs((p - plate.start).dot(direction.perpendicular()))
+        normal_m = abs((mirrored - plate.start).dot(direction.perpendicular()))
+        assert math.isclose(normal_p, normal_m, rel_tol=1e-6, abs_tol=1e-6)
+
+    @settings(max_examples=60)
+    @given(points, points, nondegenerate_segments(min_length=0.5))
+    def test_bounce_path_length_is_image_distance(self, source, receiver, plate):
+        bounce = specular_reflection_point(source, receiver, plate)
+        if bounce is None:
+            return
+        via = source.distance_to(bounce) + bounce.distance_to(receiver)
+        image = mirror_point(source, plate)
+        assert math.isclose(via, image.distance_to(receiver), rel_tol=1e-5, abs_tol=1e-5)
+
+
+class TestBlockingProperties:
+    @settings(max_examples=80)
+    @given(nondegenerate_segments(), points, radii)
+    def test_blocking_consistent_with_distance(self, segment, center, radius):
+        circle = Circle(center, radius)
+        blocked = segment_intersects_circle(segment, circle)
+        assert blocked == (segment.distance_to_point(center) <= radius)
+
+    @settings(max_examples=80)
+    @given(nondegenerate_segments(), points, radii, radii)
+    def test_blocking_monotone_in_radius(self, segment, center, r1, r2):
+        small, large = sorted((r1, r2))
+        if segment_intersects_circle(segment, Circle(center, small)):
+            assert segment_intersects_circle(segment, Circle(center, large))

@@ -1,0 +1,78 @@
+"""Property-based tests (hypothesis) for the RFID substrate."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.point import Point
+from repro.rfid.epc import (
+    corrupt_frame,
+    crc16_ccitt,
+    decode_epc,
+    encode_epc,
+    validate_epc_frame,
+)
+from repro.rfid.gen2 import Gen2Inventory, SlotOutcome
+from repro.rfid.tag import Tag
+
+epc_strings = st.text(alphabet="0123456789ABCDEF", min_size=24, max_size=24)
+
+
+class TestEpcProperties:
+    @given(epc_strings)
+    def test_encode_decode_roundtrip(self, epc):
+        assert decode_epc(encode_epc(epc)) == epc
+
+    @given(epc_strings, st.integers(min_value=0, max_value=14 * 8 - 1))
+    def test_any_single_bit_flip_detected(self, epc, bit):
+        frame = encode_epc(epc)
+        assert not validate_epc_frame(corrupt_frame(frame, bit))
+
+    @given(st.binary(min_size=0, max_size=64))
+    def test_crc_is_deterministic(self, payload):
+        assert crc16_ccitt(payload) == crc16_ccitt(payload)
+
+    @given(st.binary(min_size=1, max_size=64))
+    def test_crc_range(self, payload):
+        assert 0 <= crc16_ccitt(payload) <= 0xFFFF
+
+
+class TestGen2Properties:
+    @settings(max_examples=30)
+    @given(
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=0, max_value=25),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_round_accounting_invariant(self, q, num_tags, seed):
+        inventory = Gen2Inventory(initial_q=q, rng=seed)
+        tags = [Tag(position=Point(0, i)) for i in range(num_tags)]
+        outcome = inventory.run_round(tags)
+        assert len(outcome.outcomes) == 2**q
+        singles = sum(
+            1 for o in outcome.outcomes if o is SlotOutcome.SINGLETON
+        )
+        assert singles == len(outcome.reads)
+        # Every tag answers exactly one slot, so contenders add up.
+        contenders = singles + outcome.num_collisions  # lower bound
+        assert contenders <= num_tags
+
+    @settings(max_examples=20)
+    @given(
+        st.integers(min_value=1, max_value=30),
+        st.integers(min_value=0, max_value=2**31),
+    )
+    def test_inventory_all_reads_everyone(self, num_tags, seed):
+        inventory = Gen2Inventory(rng=seed)
+        tags = [Tag(position=Point(0, i)) for i in range(num_tags)]
+        rounds = inventory.inventory_all(tags, max_rounds=64)
+        read = {r.epc for round_result in rounds for r in round_result.reads}
+        assert read == {t.epc for t in tags}
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_q_stays_in_legal_range(self, seed):
+        inventory = Gen2Inventory(initial_q=4, q_step=0.5, rng=seed)
+        tags = [Tag(position=Point(0, i)) for i in range(40)]
+        for _ in range(5):
+            inventory.run_round(tags)
+            assert 0 <= inventory.current_q <= 15

@@ -1,0 +1,109 @@
+"""Tests for repro.rf.array (ULA geometry and steering vectors)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import DEFAULT_WAVELENGTH_M
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.rf.array import UniformLinearArray, steering_matrix, steering_vector
+
+
+HALF_WAVE = DEFAULT_WAVELENGTH_M / 2.0
+
+
+class TestSteeringVector:
+    def test_first_element_is_reference(self):
+        vec = steering_vector(1.0, 8, HALF_WAVE, DEFAULT_WAVELENGTH_M)
+        assert vec[0] == pytest.approx(1.0 + 0.0j)
+
+    def test_unit_modulus_elements(self):
+        vec = steering_vector(0.7, 8, HALF_WAVE, DEFAULT_WAVELENGTH_M)
+        assert np.allclose(np.abs(vec), 1.0)
+
+    def test_broadside_is_all_ones(self):
+        vec = steering_vector(math.pi / 2, 8, HALF_WAVE, DEFAULT_WAVELENGTH_M)
+        assert np.allclose(vec, 1.0)
+
+    def test_phase_progression_matches_model(self):
+        theta = math.radians(50)
+        vec = steering_vector(theta, 4, HALF_WAVE, DEFAULT_WAVELENGTH_M)
+        step = -2 * math.pi * HALF_WAVE / DEFAULT_WAVELENGTH_M * math.cos(theta)
+        for m in range(4):
+            assert np.angle(vec[m]) == pytest.approx(
+                math.remainder(m * step, 2 * math.pi), abs=1e-9
+            )
+
+    def test_rejects_empty_array(self):
+        with pytest.raises(ConfigurationError):
+            steering_vector(1.0, 0, HALF_WAVE, DEFAULT_WAVELENGTH_M)
+
+
+class TestSteeringMatrix:
+    def test_shape(self):
+        matrix = steering_matrix([0.3, 1.1, 2.0], 8, HALF_WAVE, DEFAULT_WAVELENGTH_M)
+        assert matrix.shape == (8, 3)
+
+    def test_columns_are_steering_vectors(self):
+        thetas = [0.4, 1.5]
+        matrix = steering_matrix(thetas, 6, HALF_WAVE, DEFAULT_WAVELENGTH_M)
+        for column, theta in zip(matrix.T, thetas):
+            assert np.allclose(
+                column, steering_vector(theta, 6, HALF_WAVE, DEFAULT_WAVELENGTH_M)
+            )
+
+    def test_empty_angles(self):
+        matrix = steering_matrix([], 8, HALF_WAVE, DEFAULT_WAVELENGTH_M)
+        assert matrix.shape == (8, 0)
+
+
+class TestUniformLinearArray:
+    def test_element_positions_spacing(self):
+        array = UniformLinearArray(reference=Point(0, 0), num_antennas=8)
+        positions = array.element_positions()
+        assert len(positions) == 8
+        for first, second in zip(positions, positions[1:]):
+            assert first.distance_to(second) == pytest.approx(array.spacing_m)
+
+    def test_centroid_is_middle(self):
+        array = UniformLinearArray(reference=Point(0, 0), num_antennas=8)
+        centroid = array.centroid
+        assert centroid.x == pytest.approx(3.5 * array.spacing_m)
+        assert centroid.y == pytest.approx(0.0)
+
+    def test_angle_to_broadside_target(self):
+        array = UniformLinearArray(reference=Point(0, 0), num_antennas=8)
+        above = array.centroid + Point(0, 5)
+        assert array.angle_to(above) == pytest.approx(math.pi / 2)
+
+    def test_angle_to_is_mirror_symmetric(self):
+        # A ULA cannot tell front from back: symmetric points give the
+        # same angle.
+        array = UniformLinearArray(reference=Point(0, 0), num_antennas=8)
+        front = array.centroid + Point(1, 2)
+        back = array.centroid + Point(1, -2)
+        assert array.angle_to(front) == pytest.approx(array.angle_to(back))
+
+    def test_orientation_rotates_frame(self):
+        array = UniformLinearArray(
+            reference=Point(0, 0), orientation=math.pi / 2, num_antennas=4
+        )
+        along_axis = array.centroid + Point(0, 1)
+        assert array.angle_to(along_axis) == pytest.approx(0.0)
+
+    def test_with_antennas_preserves_geometry(self):
+        array = UniformLinearArray(reference=Point(1, 2), num_antennas=8)
+        smaller = array.with_antennas(4)
+        assert smaller.num_antennas == 4
+        assert smaller.reference == array.reference
+        assert smaller.spacing_m == array.spacing_m
+
+    def test_rejects_single_antenna(self):
+        with pytest.raises(ConfigurationError):
+            UniformLinearArray(reference=Point(0, 0), num_antennas=1)
+
+    def test_steering_vector_shape(self):
+        array = UniformLinearArray(reference=Point(0, 0), num_antennas=6)
+        assert array.steering_vector(1.0).shape == (6,)

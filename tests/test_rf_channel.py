@@ -1,0 +1,129 @@
+"""Tests for repro.rf.channel."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.geometry.shapes import Circle
+from repro.rf.channel import MultipathChannel, merge_channels
+
+from tests.conftest import make_path
+
+
+class TestArrayResponse:
+    def test_single_path_matches_steering(self, array):
+        path = make_path(array, 90.0, 0.01)
+        channel = MultipathChannel(array=array, paths=[path])
+        response = channel.array_response()
+        expected = path.gain * array.steering_vector(path.aoa)
+        assert np.allclose(response, expected)
+
+    def test_superposition(self, array, three_path_channel):
+        total = three_path_channel.array_response()
+        parts = sum(
+            p.gain * array.steering_vector(p.aoa)
+            for p in three_path_channel.paths
+        )
+        assert np.allclose(total, parts)
+
+
+class TestSnapshots:
+    def test_shape(self, three_path_channel):
+        x = three_path_channel.snapshots(16, rng=0)
+        assert x.shape == (8, 16)
+
+    def test_deterministic_with_seed(self, three_path_channel):
+        a = three_path_channel.snapshots(8, rng=5)
+        b = three_path_channel.snapshots(8, rng=5)
+        assert np.allclose(a, b)
+
+    def test_phase_offsets_applied_per_antenna(self, three_path_channel):
+        offsets = np.linspace(0, 1.0, 8)
+        symbols = np.ones(4, dtype=complex)
+        clean = three_path_channel.snapshots(
+            4, snr_db=300.0, rng=1, source_symbols=symbols
+        )
+        shifted = three_path_channel.snapshots(
+            4, snr_db=300.0, rng=1, phase_offsets=offsets, source_symbols=symbols
+        )
+        ratio = shifted / clean
+        assert np.allclose(np.angle(ratio[:, 0]), offsets, atol=1e-6)
+
+    def test_wrong_offset_shape_rejected(self, three_path_channel):
+        with pytest.raises(ConfigurationError):
+            three_path_channel.snapshots(4, phase_offsets=np.zeros(3))
+
+    def test_wrong_symbol_shape_rejected(self, three_path_channel):
+        with pytest.raises(ConfigurationError):
+            three_path_channel.snapshots(4, source_symbols=np.ones(5))
+
+    def test_zero_snapshots_rejected(self, three_path_channel):
+        with pytest.raises(ConfigurationError):
+            three_path_channel.snapshots(0)
+
+    def test_snr_controls_noise_level(self, three_path_channel):
+        clean = three_path_channel.snapshots(512, snr_db=60, rng=2)
+        noisy = three_path_channel.snapshots(512, snr_db=0, rng=2)
+        # SNR is referenced to the strongest path (|0.01|^2 = 1e-4 per
+        # antenna), so 0 dB adds noise of exactly that power on top of
+        # the essentially noise-free 60 dB capture.
+        added = np.var(noisy) - np.var(clean)
+        assert added == pytest.approx(1e-4, rel=0.3)
+
+
+class TestBlocking:
+    def test_with_targets_attenuates_blocked_only(self, array, three_path_channel):
+        target_path = three_path_channel.paths[0]
+        blocker = Circle(target_path.legs[0].midpoint(), 0.05)
+        shadowed = three_path_channel.with_targets([blocker])
+        # A small body centred on the ray shadows it by ~7 dB
+        # (knife-edge with the tip just past the ray), floored at the
+        # configured attenuation.
+        assert abs(shadowed.paths[0].gain) < abs(target_path.gain) * 0.55
+        assert abs(shadowed.paths[0].gain) >= abs(target_path.gain) * (
+            three_path_channel.blocking_attenuation - 1e-12
+        )
+        # Far-away paths (tens of degrees off) are untouched.
+        for original, after in zip(
+            three_path_channel.paths[1:], shadowed.paths[1:]
+        ):
+            assert abs(after.gain) > 0.9 * abs(original.gain)
+
+    def test_fresnel_grazing_partially_shadows(self, array, three_path_channel):
+        target_path = three_path_channel.paths[0]
+        midpoint = target_path.legs[0].midpoint()
+        direction = target_path.legs[0].direction()
+        # A body 10 cm clear of the ray still clips the Fresnel zone.
+        offset = direction.perpendicular() * 0.15
+        grazer = Circle(midpoint + offset, 0.05)
+        shadowed = three_path_channel.with_targets([grazer])
+        ratio = abs(shadowed.paths[0].gain) / abs(target_path.gain)
+        assert 0.2 < ratio < 1.0
+
+    def test_blocked_path_indices(self, three_path_channel):
+        blocker = Circle(three_path_channel.paths[1].legs[0].midpoint(), 0.05)
+        assert three_path_channel.blocked_path_indices([blocker]) == [1]
+
+    def test_no_targets_is_identity(self, three_path_channel):
+        same = three_path_channel.with_targets([])
+        assert [p.gain for p in same.paths] == [
+            p.gain for p in three_path_channel.paths
+        ]
+
+    def test_invalid_attenuation_rejected(self, array):
+        with pytest.raises(ConfigurationError):
+            MultipathChannel(array=array, paths=[], blocking_attenuation=1.0)
+
+
+class TestMergeChannels:
+    def test_concatenates_paths(self, array):
+        a = MultipathChannel(array=array, paths=[make_path(array, 60, 0.01, "a")])
+        b = MultipathChannel(array=array, paths=[make_path(array, 120, 0.01, "b")])
+        merged = merge_channels([a, b])
+        assert merged.num_paths == 2
+        assert {p.tag_id for p in merged.paths} == {"a", "b"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            merge_channels([])

@@ -1,0 +1,44 @@
+"""Tests for repro.rf.noise."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rf.noise import awgn, noise_power_for_snr
+
+
+class TestNoisePowerForSnr:
+    def test_zero_db_equals_signal(self):
+        assert noise_power_for_snr(2.0, 0.0) == pytest.approx(2.0)
+
+    def test_ten_db(self):
+        assert noise_power_for_snr(1.0, 10.0) == pytest.approx(0.1)
+
+    def test_zero_signal_yields_zero_noise(self):
+        assert noise_power_for_snr(0.0, 20.0) == 0.0
+
+    def test_negative_signal_rejected(self):
+        with pytest.raises(ConfigurationError):
+            noise_power_for_snr(-1.0, 10.0)
+
+
+class TestAwgn:
+    def test_shape(self, rng):
+        noise = awgn((4, 100), 1.0, rng)
+        assert noise.shape == (4, 100)
+        assert noise.dtype == complex
+
+    def test_power_matches(self, rng):
+        noise = awgn(200_000, 0.5, rng)
+        assert np.mean(np.abs(noise) ** 2) == pytest.approx(0.5, rel=0.02)
+
+    def test_circular_symmetry(self, rng):
+        noise = awgn(200_000, 1.0, rng)
+        assert np.var(noise.real) == pytest.approx(np.var(noise.imag), rel=0.05)
+
+    def test_zero_power_is_silent(self):
+        assert np.all(awgn(10, 0.0) == 0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ConfigurationError):
+            awgn(10, -0.1)

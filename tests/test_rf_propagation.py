@@ -1,0 +1,129 @@
+"""Tests for repro.rf.propagation."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.point import Point
+from repro.geometry.reflection import Reflector
+from repro.geometry.segment import Segment
+from repro.rf.array import UniformLinearArray
+from repro.rf.propagation import (
+    PropagationPath,
+    direct_path,
+    enumerate_paths,
+    free_space_amplitude,
+    reflected_path,
+)
+
+
+@pytest.fixture
+def array():
+    return UniformLinearArray(reference=Point(0, 0))
+
+
+class TestFreeSpaceAmplitude:
+    def test_inverse_distance(self):
+        lam = 0.325
+        assert free_space_amplitude(4.0, lam) == pytest.approx(
+            free_space_amplitude(2.0, lam) / 2.0
+        )
+
+    def test_near_field_clamped(self):
+        lam = 0.325
+        assert free_space_amplitude(0.0, lam) == free_space_amplitude(
+            lam / 10.0, lam
+        )
+
+
+class TestDirectPath:
+    def test_aoa_matches_geometry(self, array):
+        tag_position = array.centroid + Point(0, 5)
+        path = direct_path("tag", tag_position, array)
+        assert path.aoa == pytest.approx(math.pi / 2)
+
+    def test_single_leg_geometry(self, array):
+        tag_position = array.centroid + Point(3, 4)
+        path = direct_path("tag", tag_position, array)
+        assert len(path.legs) == 1
+        assert path.length == pytest.approx(5.0)
+
+    def test_gain_magnitude_is_free_space(self, array):
+        tag_position = array.centroid + Point(0, 4)
+        path = direct_path("tag", tag_position, array)
+        assert abs(path.gain) == pytest.approx(
+            free_space_amplitude(4.0, array.wavelength_m)
+        )
+
+    def test_attenuated_scales_gain(self, array):
+        path = direct_path("tag", array.centroid + Point(0, 4), array)
+        attenuated = path.attenuated(0.14)
+        assert abs(attenuated.gain) == pytest.approx(abs(path.gain) * 0.14)
+        assert attenuated.aoa == path.aoa
+
+
+class TestReflectedPath:
+    def test_valid_bounce(self, array):
+        reflector = Reflector(
+            plate=Segment(Point(5, 0), Point(5, 10)), coefficient=0.8
+        )
+        tag_position = array.centroid + Point(2, 6)
+        path = reflected_path("tag", tag_position, array, reflector)
+        assert path is not None
+        assert path.kind == "reflected"
+        assert len(path.legs) == 2
+        assert path.reflector_name == reflector.name
+
+    def test_reflected_longer_and_weaker_than_direct(self, array):
+        reflector = Reflector(
+            plate=Segment(Point(5, 0), Point(5, 10)), coefficient=0.8
+        )
+        tag_position = array.centroid + Point(2, 6)
+        direct = direct_path("tag", tag_position, array)
+        reflected = reflected_path("tag", tag_position, array, reflector)
+        assert reflected.length > direct.length
+        assert abs(reflected.gain) < abs(direct.gain)
+
+    def test_no_bounce_returns_none(self, array):
+        # Plate far away to the side; mirror ray misses it entirely.
+        reflector = Reflector(
+            plate=Segment(Point(100, 100), Point(101, 100)), coefficient=0.8
+        )
+        assert (
+            reflected_path("tag", array.centroid + Point(0, 5), array, reflector)
+            is None
+        )
+
+
+class TestEnumeratePaths:
+    def test_direct_plus_valid_reflections(self, array):
+        reflectors = [
+            Reflector(plate=Segment(Point(5, 0), Point(5, 10)), coefficient=0.8),
+            Reflector(plate=Segment(Point(-5, 0), Point(-5, 10)), coefficient=0.8),
+            Reflector(
+                plate=Segment(Point(100, 100), Point(101, 100)), coefficient=0.8
+            ),
+        ]
+        paths = enumerate_paths(
+            "tag", array.centroid + Point(0, 5), array, reflectors
+        )
+        kinds = [p.kind for p in paths]
+        assert kinds.count("direct") == 1
+        assert kinds.count("reflected") == 2
+
+
+class TestPropagationPathValidation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(GeometryError):
+            PropagationPath(
+                tag_id="t",
+                aoa=1.0,
+                gain=1.0,
+                legs=(Segment(Point(0, 0), Point(1, 1)),),
+                kind="diffracted",
+            )
+
+    def test_rejects_empty_legs(self):
+        with pytest.raises(GeometryError):
+            PropagationPath(tag_id="t", aoa=1.0, gain=1.0, legs=())

@@ -1,0 +1,54 @@
+"""Tests for repro.rf.waves."""
+
+import cmath
+import math
+
+import pytest
+
+from repro.constants import DEFAULT_FREQUENCY_HZ, SPEED_OF_LIGHT
+from repro.errors import ConfigurationError
+from repro.rf.waves import carrier_phase_shift, phase_after_distance, wavelength
+
+
+class TestWavelength:
+    def test_uhf_band_value(self):
+        # ~32.5 cm at the Chinese UHF band centre.
+        assert wavelength(DEFAULT_FREQUENCY_HZ) == pytest.approx(0.325, abs=0.001)
+
+    def test_inverse_relation(self):
+        assert wavelength(1e9) == pytest.approx(SPEED_OF_LIGHT / 1e9)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            wavelength(0.0)
+
+
+class TestPhaseAfterDistance:
+    def test_one_wavelength_is_two_pi(self):
+        lam = 0.325
+        assert phase_after_distance(lam, lam) == pytest.approx(2 * math.pi)
+
+    def test_scales_linearly(self):
+        lam = 0.325
+        assert phase_after_distance(2 * lam, lam) == pytest.approx(
+            2 * phase_after_distance(lam, lam)
+        )
+
+    def test_rejects_bad_wavelength(self):
+        with pytest.raises(ConfigurationError):
+            phase_after_distance(1.0, 0.0)
+
+
+class TestCarrierPhaseShift:
+    def test_unit_modulus(self):
+        shift = carrier_phase_shift(3.7, 0.325)
+        assert abs(shift) == pytest.approx(1.0)
+
+    def test_full_wavelength_is_identity(self):
+        shift = carrier_phase_shift(0.325, 0.325)
+        assert shift.real == pytest.approx(1.0)
+        assert shift.imag == pytest.approx(0.0, abs=1e-12)
+
+    def test_half_wavelength_flips_sign(self):
+        shift = carrier_phase_shift(0.325 / 2, 0.325)
+        assert shift.real == pytest.approx(-1.0)

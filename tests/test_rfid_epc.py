@@ -1,0 +1,77 @@
+"""Tests for repro.rfid.epc."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.rfid.epc import (
+    corrupt_frame,
+    crc16_ccitt,
+    decode_epc,
+    encode_epc,
+    random_epc,
+    validate_epc_frame,
+)
+
+
+class TestCrc16:
+    def test_known_vector(self):
+        # CRC-16/X.25 of "123456789" is 0x906E.
+        assert crc16_ccitt(b"123456789") == 0x906E
+
+    def test_empty_payload(self):
+        assert crc16_ccitt(b"") == 0x0000
+
+    def test_detects_single_bit_flip(self):
+        data = bytes(range(12))
+        flipped = bytearray(data)
+        flipped[3] ^= 0x10
+        assert crc16_ccitt(data) != crc16_ccitt(bytes(flipped))
+
+
+class TestEpcEncoding:
+    def test_roundtrip(self):
+        epc = random_epc(rng=1)
+        assert decode_epc(encode_epc(epc)) == epc
+
+    def test_random_epc_format(self):
+        epc = random_epc(rng=2)
+        assert len(epc) == 24
+        int(epc, 16)  # must be valid hex
+
+    def test_distinct_random_epcs(self):
+        assert random_epc(rng=1) != random_epc(rng=2)
+
+    def test_frame_length(self):
+        frame = encode_epc(random_epc(rng=3))
+        assert len(frame) == 14  # 12 EPC bytes + 2 CRC bytes
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_epc("AB")
+
+    def test_invalid_hex_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_epc("Z" * 24)
+
+
+class TestFrameValidation:
+    def test_valid_frame(self):
+        assert validate_epc_frame(encode_epc(random_epc(rng=4)))
+
+    def test_corrupted_frame_fails(self):
+        frame = encode_epc(random_epc(rng=5))
+        for bit in (0, 17, 95, 111):
+            assert not validate_epc_frame(corrupt_frame(frame, bit))
+
+    def test_double_corruption_restores(self):
+        frame = encode_epc(random_epc(rng=6))
+        twice = corrupt_frame(corrupt_frame(frame, 9), 9)
+        assert twice == frame
+
+    def test_truncated_frame_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_epc(b"\x00" * 13)
+
+    def test_bit_index_out_of_range(self):
+        with pytest.raises(ProtocolError):
+            corrupt_frame(b"\x00" * 14, 14 * 8)

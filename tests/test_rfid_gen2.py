@@ -1,0 +1,96 @@
+"""Tests for repro.rfid.gen2 (slotted-ALOHA inventory)."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.geometry.point import Point
+from repro.rfid.gen2 import Gen2Inventory, SlotOutcome
+from repro.rfid.tag import Tag
+
+
+def make_tags(count):
+    return [Tag(position=Point(0, i)) for i in range(count)]
+
+
+class TestSingleRound:
+    def test_slot_count_is_two_to_q(self):
+        inventory = Gen2Inventory(initial_q=3, rng=1)
+        round_result = inventory.run_round(make_tags(5))
+        assert len(round_result.outcomes) == 8
+
+    def test_accounting_consistent(self):
+        inventory = Gen2Inventory(initial_q=4, rng=2)
+        tags = make_tags(10)
+        round_result = inventory.run_round(tags)
+        singles = sum(
+            1 for o in round_result.outcomes if o is SlotOutcome.SINGLETON
+        )
+        assert singles == len(round_result.reads)
+        assert (
+            round_result.num_empty
+            + round_result.num_collisions
+            + singles
+            == len(round_result.outcomes)
+        )
+
+    def test_reads_carry_valid_frames(self):
+        from repro.rfid.epc import validate_epc_frame
+
+        inventory = Gen2Inventory(initial_q=4, rng=3)
+        round_result = inventory.run_round(make_tags(6))
+        for read in round_result.reads:
+            assert validate_epc_frame(read.frame)
+            assert 0 <= read.rn16 < 2**16
+
+    def test_timestamps_increase(self):
+        inventory = Gen2Inventory(initial_q=4, rng=4)
+        round_result = inventory.run_round(make_tags(8))
+        times = [read.timestamp_s for read in round_result.reads]
+        assert times == sorted(times)
+
+    def test_q_zero_single_tag_always_read(self):
+        inventory = Gen2Inventory(initial_q=0, rng=5)
+        round_result = inventory.run_round(make_tags(1))
+        assert len(round_result.reads) == 1
+
+    def test_q_zero_two_tags_always_collide(self):
+        inventory = Gen2Inventory(initial_q=0, rng=6)
+        round_result = inventory.run_round(make_tags(2))
+        assert round_result.num_collisions == 1
+        assert not round_result.reads
+
+
+class TestQAdaptation:
+    def test_q_grows_under_collisions(self):
+        inventory = Gen2Inventory(initial_q=1, q_step=0.5, rng=7)
+        inventory.run_round(make_tags(30))
+        assert inventory.current_q > 1
+
+    def test_q_shrinks_when_empty(self):
+        inventory = Gen2Inventory(initial_q=8, q_step=0.5, rng=8)
+        inventory.run_round(make_tags(1))
+        assert inventory.current_q < 8
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ProtocolError):
+            Gen2Inventory(initial_q=16)
+        with pytest.raises(ProtocolError):
+            Gen2Inventory(q_step=0.0)
+
+
+class TestInventoryAll:
+    def test_reads_every_tag(self):
+        inventory = Gen2Inventory(rng=9)
+        tags = make_tags(21)
+        rounds = inventory.inventory_all(tags)
+        read_epcs = {read.epc for r in rounds for read in r.reads}
+        assert read_epcs == {tag.epc for tag in tags}
+
+    def test_duration_accumulates(self):
+        inventory = Gen2Inventory(rng=10)
+        rounds = inventory.inventory_all(make_tags(10))
+        assert all(r.duration_s > 0 for r in rounds)
+
+    def test_no_tags_no_rounds(self):
+        inventory = Gen2Inventory(rng=11)
+        assert inventory.inventory_all([]) == []

@@ -1,0 +1,40 @@
+"""Tests for repro.rfid.hub (antenna hub TDM)."""
+
+import pytest
+
+from repro.constants import ANTENNA_TDM_SLOT_S
+from repro.errors import ConfigurationError
+from repro.rfid.hub import AntennaHub
+
+
+class TestAntennaHub:
+    def test_sweep_duration(self):
+        hub = AntennaHub(num_antennas=8)
+        assert hub.sweep_duration_s == pytest.approx(8 * ANTENNA_TDM_SLOT_S)
+
+    def test_schedule_covers_all_antennas_in_order(self):
+        hub = AntennaHub(num_antennas=4)
+        schedule = hub.sweep_schedule()
+        assert [slot[0] for slot in schedule.slots] == [0, 1, 2, 3]
+
+    def test_slots_are_contiguous(self):
+        hub = AntennaHub(num_antennas=4)
+        schedule = hub.sweep_schedule()
+        for (_, _, end), (_, start, _) in zip(schedule.slots, schedule.slots[1:]):
+            assert end == pytest.approx(start)
+
+    def test_antenna_at_time(self):
+        hub = AntennaHub(num_antennas=4)
+        schedule = hub.sweep_schedule()
+        assert schedule.antenna_at(0.0) == 0
+        assert schedule.antenna_at(2.5 * hub.slot_duration_s) == 2
+
+    def test_antenna_at_out_of_sweep_raises(self):
+        hub = AntennaHub(num_antennas=2)
+        schedule = hub.sweep_schedule()
+        with pytest.raises(ConfigurationError):
+            schedule.antenna_at(schedule.duration + 1.0)
+
+    def test_zero_antennas_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AntennaHub(num_antennas=0)

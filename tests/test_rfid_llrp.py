@@ -1,0 +1,71 @@
+"""Tests for repro.rfid.llrp (tag reports)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProtocolError
+from repro.rfid.llrp import RoReport, TagReportData, build_report
+
+
+@pytest.fixture
+def snapshots(rng):
+    return rng.normal(size=(8, 5)) + 1j * rng.normal(size=(8, 5))
+
+
+class TestBuildReport:
+    def test_report_count(self, snapshots):
+        report = build_report("reader-0", "E" * 24, snapshots)
+        assert len(report.reports) == 8 * 5
+
+    def test_roundtrip_matrix(self, snapshots):
+        report = build_report("reader-0", "E" * 24, snapshots)
+        rebuilt = report.snapshot_matrix("E" * 24, 8)
+        assert np.allclose(rebuilt, snapshots)
+
+    def test_phase_matches_iq(self, snapshots):
+        report = build_report("reader-0", "E" * 24, snapshots)
+        for entry in report.reports[:10]:
+            assert entry.phase_rad == pytest.approx(float(np.angle(entry.iq)))
+
+    def test_rssi_is_db_of_power(self, snapshots):
+        report = build_report("reader-0", "E" * 24, snapshots)
+        entry = report.reports[0]
+        expected = 10 * np.log10(abs(entry.iq) ** 2) + 30.0
+        assert entry.rssi_dbm == pytest.approx(expected)
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ProtocolError):
+            build_report("reader-0", "E" * 24, np.zeros(8))
+
+
+class TestRoReport:
+    def test_epcs_first_seen_order(self, snapshots):
+        report = build_report("r", "A" * 24, snapshots)
+        other = build_report("r", "B" * 24, snapshots)
+        report.reports.extend(other.reports)
+        assert report.epcs() == ["A" * 24, "B" * 24]
+
+    def test_missing_tag_raises(self, snapshots):
+        report = build_report("r", "A" * 24, snapshots)
+        with pytest.raises(ProtocolError):
+            report.snapshot_matrix("B" * 24, 8)
+
+    def test_torn_sweep_detected(self, snapshots):
+        report = build_report("r", "A" * 24, snapshots)
+        report.reports.append(
+            TagReportData(
+                epc="A" * 24,
+                reader_name="r",
+                antenna_index=0,
+                rssi_dbm=-50.0,
+                phase_rad=0.0,
+                iq=1.0 + 0.0j,
+            )
+        )
+        with pytest.raises(ProtocolError):
+            report.snapshot_matrix("A" * 24, 8)
+
+    def test_antenna_out_of_range_detected(self, snapshots):
+        report = build_report("r", "A" * 24, snapshots)
+        with pytest.raises(ProtocolError):
+            report.snapshot_matrix("A" * 24, 4)

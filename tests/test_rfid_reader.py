@@ -1,0 +1,63 @@
+"""Tests for repro.rfid.reader."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.rf.array import UniformLinearArray
+from repro.rfid.reader import Reader, random_phase_offsets
+
+
+@pytest.fixture
+def reader(array):
+    return Reader(array=array, name="r0", rng=7)
+
+
+class TestRandomPhaseOffsets:
+    def test_reference_is_zero(self, rng):
+        offsets = random_phase_offsets(8, rng)
+        assert offsets[0] == 0.0
+
+    def test_range(self, rng):
+        offsets = random_phase_offsets(64, rng, reference_zero=False)
+        assert np.all(offsets > -np.pi) and np.all(offsets <= np.pi)
+
+    def test_zero_antennas_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_phase_offsets(0)
+
+
+class TestReader:
+    def test_offsets_drawn_at_power_on(self, reader):
+        assert reader.phase_offsets.shape == (8,)
+        assert reader.phase_offsets[0] == 0.0
+
+    def test_gamma_is_diagonal_unit_modulus(self, reader):
+        gamma = reader.gamma()
+        assert gamma.shape == (8, 8)
+        assert np.allclose(np.abs(np.diag(gamma)), 1.0)
+        assert np.allclose(gamma - np.diag(np.diag(gamma)), 0.0)
+
+    def test_power_cycle_changes_offsets(self, reader):
+        before = reader.phase_offsets.copy()
+        reader.power_cycle(rng=99)
+        assert not np.allclose(before, reader.phase_offsets)
+
+    def test_explicit_offsets_validated(self, array):
+        with pytest.raises(ConfigurationError):
+            Reader(array=array, phase_offsets=np.zeros(3))
+
+    def test_sweep_duration_scales_with_antennas(self, array):
+        full = Reader(array=array, rng=1)
+        small = Reader(array=array.with_antennas(4), rng=1)
+        assert full.snapshot_sweep_duration() == pytest.approx(
+            2 * small.snapshot_sweep_duration()
+        )
+
+    def test_ports_exposed(self, reader):
+        assert len(reader.ports()) == 4
+
+    def test_invalid_range_rejected(self, array):
+        with pytest.raises(ConfigurationError):
+            Reader(array=array, max_range_m=0.0)

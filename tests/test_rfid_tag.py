@@ -1,0 +1,48 @@
+"""Tests for repro.rfid.tag."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.rfid.tag import Tag
+
+
+class TestTag:
+    def test_random_epc_assigned(self):
+        tag_a = Tag(position=Point(0, 0))
+        tag_b = Tag(position=Point(0, 0))
+        assert tag_a.epc != tag_b.epc
+        assert len(tag_a.epc) == 24
+
+    def test_zero_backscatter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Tag(position=Point(0, 0), backscatter_gain=0.0)
+
+    def test_negative_height_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Tag(position=Point(0, 0), height_m=-0.1)
+
+
+class TestSlotDraw:
+    def test_slot_within_frame(self):
+        tag = Tag(position=Point(0, 0))
+        for q in (0, 1, 4, 8):
+            for seed in range(5):
+                slot = tag.draw_slot(q, rng=seed)
+                assert 0 <= slot < 2**q
+
+    def test_q_zero_always_slot_zero(self):
+        tag = Tag(position=Point(0, 0))
+        assert tag.draw_slot(0, rng=1) == 0
+
+    def test_invalid_q_rejected(self):
+        tag = Tag(position=Point(0, 0))
+        with pytest.raises(ConfigurationError):
+            tag.draw_slot(16)
+
+
+class TestRn16:
+    def test_sixteen_bits(self):
+        tag = Tag(position=Point(0, 0))
+        for seed in range(10):
+            assert 0 <= tag.rn16(rng=seed) < 2**16

@@ -1,0 +1,104 @@
+"""Tests for repro.rfid.timing (Gen2 link timing)."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.rfid.timing import (
+    DEFAULT_LINK_TIMING,
+    EPC_REPLY_BITS,
+    RN16_BITS,
+    LinkTiming,
+    TagEncoding,
+)
+
+
+class TestBlfDerivation:
+    def test_default_profile_blf(self):
+        # DR = 64/3 over TRcal = 66.7 us -> ~320 kHz.
+        assert DEFAULT_LINK_TIMING.blf_hz == pytest.approx(320e3, rel=0.01)
+
+    def test_tag_bit_scales_with_encoding(self):
+        fm0 = LinkTiming(encoding=TagEncoding.FM0)
+        miller8 = LinkTiming(encoding=TagEncoding.MILLER_8)
+        assert miller8.tag_bit_s == pytest.approx(8 * fm0.tag_bit_s)
+
+    def test_blf_range_enforced(self):
+        with pytest.raises(ProtocolError):
+            LinkTiming(divide_ratio=8.0, trcal_s=250e-6)  # 32 kHz < 40 kHz
+
+    def test_tari_range_enforced(self):
+        with pytest.raises(ProtocolError):
+            LinkTiming(tari_s=30e-6)
+
+    def test_divide_ratio_values(self):
+        with pytest.raises(ProtocolError):
+            LinkTiming(divide_ratio=10.0)
+
+
+class TestTurnarounds:
+    def test_t1_at_least_rtcal(self):
+        timing = DEFAULT_LINK_TIMING
+        assert timing.t1_s >= timing.rtcal_s
+
+    def test_t2_is_ten_blf_cycles(self):
+        timing = DEFAULT_LINK_TIMING
+        assert timing.t2_s == pytest.approx(10.0 / timing.blf_hz)
+
+
+class TestSlotDurations:
+    def test_ordering(self):
+        timing = DEFAULT_LINK_TIMING
+        assert timing.empty_slot_s < timing.collision_slot_s
+        assert timing.collision_slot_s < timing.singleton_slot_s
+
+    def test_singleton_magnitude(self):
+        # The Impinj datasheet class: single read ~2-3 ms at Miller-4.
+        assert 1e-3 < DEFAULT_LINK_TIMING.singleton_slot_s < 4e-3
+
+    def test_faster_encoding_shortens_slots(self):
+        fm0 = LinkTiming(encoding=TagEncoding.FM0)
+        assert fm0.singleton_slot_s < DEFAULT_LINK_TIMING.singleton_slot_s
+
+    def test_reply_durations_proportional_to_bits(self):
+        timing = DEFAULT_LINK_TIMING
+        assert timing.tag_reply_s(EPC_REPLY_BITS) > timing.tag_reply_s(RN16_BITS)
+
+    def test_invalid_bit_counts_rejected(self):
+        with pytest.raises(ProtocolError):
+            DEFAULT_LINK_TIMING.reader_command_s(0)
+        with pytest.raises(ProtocolError):
+            DEFAULT_LINK_TIMING.tag_reply_s(0)
+
+
+class TestReadRate:
+    def test_plausible_read_rate(self):
+        # Field reports for dense-reader Miller-4: ~100-400 reads/s.
+        rate = DEFAULT_LINK_TIMING.reads_per_second()
+        assert 50 < rate < 600
+
+    def test_fm0_faster_than_miller8(self):
+        fm0 = LinkTiming(encoding=TagEncoding.FM0)
+        miller8 = LinkTiming(encoding=TagEncoding.MILLER_8)
+        assert fm0.reads_per_second() > miller8.reads_per_second()
+
+    def test_efficiency_validated(self):
+        with pytest.raises(ProtocolError):
+            DEFAULT_LINK_TIMING.reads_per_second(efficiency=0.0)
+
+
+class TestGen2Integration:
+    def test_inventory_duration_uses_timing(self):
+        from repro.geometry.point import Point
+        from repro.rfid.gen2 import Gen2Inventory
+        from repro.rfid.tag import Tag
+
+        tags = [Tag(position=Point(0, i)) for i in range(5)]
+        fast = Gen2Inventory(
+            timing=LinkTiming(encoding=TagEncoding.FM0), rng=1
+        )
+        slow = Gen2Inventory(
+            timing=LinkTiming(encoding=TagEncoding.MILLER_8), rng=1
+        )
+        fast_time = sum(r.duration_s for r in fast.inventory_all(tags))
+        slow_time = sum(r.duration_s for r in slow.inventory_all(tags))
+        assert fast_time < slow_time

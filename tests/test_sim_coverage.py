@@ -1,0 +1,69 @@
+"""Tests for repro.sim.coverage."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.coverage import CoverageMap, analyze_coverage
+from repro.sim.environments import hall_scene, library_scene, table_scene
+
+
+@pytest.fixture(scope="module")
+def hall_map():
+    return analyze_coverage(hall_scene(rng=81), grid_spacing=0.5)
+
+
+class TestAnalyzeCoverage:
+    def test_shapes_consistent(self, hall_map):
+        assert hall_map.reader_counts.shape == (
+            hall_map.ys.size,
+            hall_map.xs.size,
+        )
+
+    def test_rates_in_unit_interval(self, hall_map):
+        assert 0.0 <= hall_map.coverage_rate <= 1.0
+        assert 0.0 <= hall_map.deadzone_rate <= 1.0
+
+    def test_hall_has_deadzones_and_coverage(self, hall_map):
+        # The near-empty hall famously has both.
+        assert hall_map.coverage_rate > 0.2
+        assert hall_map.deadzone_rate >= 0.0
+        assert hall_map.coverage_rate < 1.0
+
+    def test_library_beats_hall(self, hall_map):
+        library = analyze_coverage(library_scene(rng=81), grid_spacing=0.5)
+        assert library.coverage_rate > hall_map.coverage_rate
+
+    def test_more_tags_never_reduce_coverage(self):
+        sparse = analyze_coverage(
+            hall_scene(rng=82, num_tags=7), grid_spacing=0.6
+        )
+        dense = analyze_coverage(
+            hall_scene(rng=82, num_tags=40), grid_spacing=0.6
+        )
+        assert dense.coverage_rate >= sparse.coverage_rate
+
+    def test_invalid_spacing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            analyze_coverage(hall_scene(rng=83), grid_spacing=0.0)
+
+    def test_margin_too_large_rejected(self):
+        with pytest.raises(ConfigurationError):
+            analyze_coverage(table_scene(rng=83), margin=5.0)
+
+
+class TestCoverageMap:
+    def test_ascii_map_dimensions(self, hall_map):
+        rows = hall_map.ascii_map()
+        assert len(rows) == hall_map.ys.size
+        assert all(len(row) == hall_map.xs.size for row in rows)
+
+    def test_ascii_symbols(self, hall_map):
+        symbols = set("".join(hall_map.ascii_map()))
+        assert symbols <= {"#", "+", "."}
+
+    def test_deadzone_points_match_rate(self, hall_map):
+        total = hall_map.xs.size * hall_map.ys.size
+        assert len(hall_map.deadzones()) == pytest.approx(
+            hall_map.deadzone_rate * total, abs=0.5
+        )

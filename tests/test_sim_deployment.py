@@ -1,0 +1,86 @@
+"""Tests for repro.sim.deployment."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.shapes import Rectangle
+# Alias on import: pytest would otherwise collect the library function
+# itself as a test (its name starts with "test_").
+from repro.sim.deployment import perimeter_tag_positions, random_tag_positions
+from repro.sim.deployment import test_location_grid as location_grid
+
+
+ROOM = Rectangle(0, 0, 7, 10)
+
+
+class TestRandomTagPositions:
+    def test_count_and_containment(self):
+        positions = random_tag_positions(ROOM, 21, rng=1)
+        assert len(positions) == 21
+        assert all(ROOM.contains(p) for p in positions)
+
+    def test_minimum_separation_respected(self):
+        positions = random_tag_positions(ROOM, 21, rng=2, min_separation=0.25)
+        for i, a in enumerate(positions):
+            for b in positions[i + 1 :]:
+                assert a.distance_to(b) >= 0.25
+
+    def test_margin_respected(self):
+        positions = random_tag_positions(ROOM, 10, rng=3, margin=1.0)
+        assert all(ROOM.contains(p, margin=1.0 - 1e-9) for p in positions)
+
+    def test_impossible_packing_raises(self):
+        tiny = Rectangle(0, 0, 1, 1)
+        with pytest.raises(ConfigurationError):
+            random_tag_positions(tiny, 500, rng=4, min_separation=0.5, margin=0.1)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_tag_positions(ROOM, 0)
+
+
+class TestPerimeterTagPositions:
+    def test_positions_on_boundary(self):
+        room = Rectangle(0, 0, 2, 2)
+        positions = perimeter_tag_positions(room, 12, margin=0.1)
+        inner = Rectangle(0.1, 0.1, 1.9, 1.9)
+        for p in positions:
+            on_edge = (
+                abs(p.x - inner.min_x) < 1e-9
+                or abs(p.x - inner.max_x) < 1e-9
+                or abs(p.y - inner.min_y) < 1e-9
+                or abs(p.y - inner.max_y) < 1e-9
+            )
+            assert on_edge
+
+    def test_count(self):
+        assert len(perimeter_tag_positions(ROOM, 26)) == 26
+
+    def test_distinct_positions(self):
+        positions = perimeter_tag_positions(ROOM, 26)
+        assert len({p.as_tuple() for p in positions}) == 26
+
+
+class TestTestLocationGrid:
+    def test_spacing(self):
+        grid = location_grid(ROOM, spacing=0.5, margin=0.75)
+        xs = sorted({p.x for p in grid})
+        for a, b in zip(xs, xs[1:]):
+            assert b - a == pytest.approx(0.5)
+
+    def test_inside_margin(self):
+        grid = location_grid(ROOM, spacing=0.5, margin=0.75)
+        assert all(ROOM.contains(p, margin=0.75 - 1e-9) for p in grid)
+
+    def test_count_matches_grid_arithmetic(self):
+        # 7x10 room, 0.9 m margin: 11 x-samples and 17 y-samples.
+        library = location_grid(Rectangle(0, 0, 7, 10), 0.5, margin=0.9)
+        assert len(library) == 11 * 17
+
+    def test_bad_spacing_rejected(self):
+        with pytest.raises(ConfigurationError):
+            location_grid(ROOM, spacing=0.0)
+
+    def test_margin_too_large_rejected(self):
+        with pytest.raises(ConfigurationError):
+            location_grid(Rectangle(0, 0, 1, 1), spacing=0.5, margin=0.6)

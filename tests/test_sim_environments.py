@@ -1,0 +1,102 @@
+"""Tests for the environment presets."""
+
+import pytest
+
+from repro.sim.environments import (
+    calibration_scene,
+    hall_scene,
+    laboratory_scene,
+    library_scene,
+    table_scene,
+)
+
+
+class TestRoomPresets:
+    def test_paper_dimensions(self):
+        assert library_scene(rng=1).room.width == pytest.approx(7.0)
+        assert library_scene(rng=1).room.height == pytest.approx(10.0)
+        assert laboratory_scene(rng=1).room.width == pytest.approx(9.0)
+        assert hall_scene(rng=1).room.width == pytest.approx(7.2)
+
+    def test_default_counts(self):
+        scene = library_scene(rng=1)
+        assert len(scene.readers) == 4
+        assert len(scene.tags) == 21
+        assert all(r.array.num_antennas == 8 for r in scene.readers)
+
+    def test_multipath_richness_ordering(self):
+        library = library_scene(rng=1)
+        laboratory = laboratory_scene(rng=1)
+        hall = hall_scene(rng=1)
+        assert len(library.reflectors) > len(laboratory.reflectors) > len(
+            hall.reflectors
+        )
+
+    def test_arrays_inside_room(self):
+        scene = library_scene(rng=2)
+        for reader in scene.readers:
+            for element in reader.array.element_positions():
+                assert scene.room.contains(element, margin=-0.01)
+
+    def test_distinct_reader_offsets(self):
+        import numpy as np
+
+        scene = library_scene(rng=3)
+        offsets = [tuple(np.round(r.phase_offsets, 6)) for r in scene.readers]
+        assert len(set(offsets)) == len(offsets)
+
+    def test_antenna_count_override(self):
+        scene = hall_scene(rng=4, num_antennas=4)
+        assert all(r.array.num_antennas == 4 for r in scene.readers)
+
+    def test_reflector_count_override(self):
+        scene = hall_scene(rng=5, num_reflectors=9)
+        assert len(scene.reflectors) == 9
+
+    def test_seeded_scenes_reproducible(self):
+        a = library_scene(rng=7)
+        b = library_scene(rng=7)
+        assert [t.position for t in a.tags] == [t.position for t in b.tags]
+
+
+class TestTableScene:
+    def test_two_short_range_readers(self):
+        scene = table_scene(rng=1)
+        assert len(scene.readers) == 2
+        assert all(r.max_range_m == pytest.approx(3.0) for r in scene.readers)
+
+    def test_tags_on_far_sides(self):
+        scene = table_scene(rng=1, num_tags=26)
+        assert len(scene.tags) == 26
+        for tag in scene.tags:
+            on_top = abs(tag.position.y - 2.0) < 1e-9
+            on_left = abs(tag.position.x - 0.0) < 1e-9
+            assert on_top or on_left
+
+    def test_all_tags_in_range_of_both_readers(self):
+        scene = table_scene(rng=1)
+        for reader in scene.readers:
+            assert len(scene.tags_in_range(reader)) == len(scene.tags)
+
+
+class TestCalibrationScene:
+    def test_single_reader(self):
+        scene = calibration_scene(rng=1)
+        assert len(scene.readers) == 1
+
+    def test_tag_distances_within_paper_range(self):
+        scene = calibration_scene(rng=2, num_tags=10)
+        anchor = scene.readers[0].array.centroid
+        for tag in scene.tags:
+            assert anchor.distance_to(tag.position) <= 8.5
+
+    def test_los_dominates_with_multipath_present(self):
+        scene = calibration_scene(rng=3, num_tags=8)
+        reader = scene.readers[0]
+        saw_multipath = False
+        for channel in scene.channels_for(reader).values():
+            gains = sorted((abs(p.gain) for p in channel.paths), reverse=True)
+            if len(gains) > 1:
+                saw_multipath = True
+                assert gains[1] < gains[0]  # LoS strongest
+        assert saw_multipath

@@ -1,0 +1,98 @@
+"""Tests for repro.sim.measurement."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.sim.environments import hall_scene
+from repro.sim.measurement import (
+    Measurement,
+    MeasurementConfig,
+    MeasurementSession,
+    measurement_from_reports,
+)
+from repro.sim.target import human_target
+
+
+@pytest.fixture(scope="module")
+def scene():
+    return hall_scene(rng=11)
+
+
+class TestMeasurementConfig:
+    def test_defaults_match_paper(self):
+        config = MeasurementConfig()
+        assert config.num_snapshots == 10
+
+    def test_invalid_snapshots_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MeasurementConfig(num_snapshots=0)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MeasurementConfig(phase_jitter_rad=-0.1)
+
+
+class TestCapture:
+    def test_all_readers_and_tags_present(self, scene):
+        session = MeasurementSession(scene, rng=1)
+        capture = session.capture()
+        assert set(capture.readers()) == {r.name for r in scene.readers}
+        for reader in scene.readers:
+            expected = {t.epc for t in scene.tags_in_range(reader)}
+            assert set(capture.tags_for(reader.name)) == expected
+
+    def test_matrix_shape(self, scene):
+        session = MeasurementSession(
+            scene, MeasurementConfig(num_snapshots=7), rng=2
+        )
+        capture = session.capture()
+        reader = scene.readers[0]
+        epc = capture.tags_for(reader.name)[0]
+        assert capture.matrix(reader.name, epc).shape == (8, 7)
+
+    def test_consecutive_captures_differ(self, scene):
+        session = MeasurementSession(scene, rng=3)
+        first = session.capture()
+        second = session.capture()
+        reader = scene.readers[0].name
+        epc = first.tags_for(reader)[0]
+        assert not np.allclose(first.matrix(reader, epc), second.matrix(reader, epc))
+
+    def test_target_changes_blocked_tag_signal(self, scene):
+        session = MeasurementSession(scene, rng=4)
+        reader = scene.readers[0]
+        tag = scene.tags_in_range(reader)[0]
+        # Stand right on the tag-array line.
+        midpoint = (tag.position + reader.array.centroid) / 2.0
+        target = human_target(midpoint)
+        empty = session.capture()
+        occupied = session.capture([target])
+        power_empty = np.mean(np.abs(empty.matrix(reader.name, tag.epc)) ** 2)
+        power_occupied = np.mean(
+            np.abs(occupied.matrix(reader.name, tag.epc)) ** 2
+        )
+        assert power_occupied < power_empty * 0.5
+
+    def test_missing_pair_raises(self, scene):
+        measurement = Measurement()
+        with pytest.raises(ConfigurationError):
+            measurement.matrix("nope", "F" * 24)
+
+
+class TestProtocolPath:
+    def test_reports_reassemble_into_capture(self, scene):
+        session = MeasurementSession(scene, rng=5)
+        reports = session.capture_reports()
+        rebuilt = measurement_from_reports(reports, num_antennas=8)
+        assert set(rebuilt.readers()) == {r.name for r in scene.readers}
+        reader = scene.readers[0]
+        for epc in rebuilt.tags_for(reader.name):
+            assert rebuilt.matrix(reader.name, epc).shape[0] == 8
+
+    def test_report_timestamps_reflect_inventory(self, scene):
+        session = MeasurementSession(scene, rng=6)
+        reports = session.capture_reports()
+        for report in reports.values():
+            assert all(r.timestamp_s >= 0.0 for r in report.reports)

@@ -1,0 +1,92 @@
+"""Tests for the deadzone-driven tag placement optimizer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.coverage import analyze_coverage
+from repro.sim.environments import hall_scene
+from repro.sim.placement import (
+    PlacementResult,
+    candidate_positions,
+    optimize_tag_placement,
+)
+
+
+@pytest.fixture(scope="module")
+def sparse_scene():
+    # Few tags so there is plenty of deadzone headroom.
+    return hall_scene(rng=131, num_tags=6)
+
+
+class TestCandidatePositions:
+    def test_count_and_containment(self, sparse_scene):
+        sites = candidate_positions(sparse_scene, rng=1, count=25)
+        assert len(sites) == 25
+        assert all(sparse_scene.room.contains(p) for p in sites)
+
+
+class TestOptimizer:
+    def test_coverage_never_decreases(self, sparse_scene):
+        result = optimize_tag_placement(
+            sparse_scene, num_new_tags=3, rng=2, grid_spacing=0.8,
+            candidate_count=15,
+        )
+        rates = [step.coverage_after for step in result.steps]
+        assert all(b >= a for a, b in zip(rates, rates[1:]))
+
+    def test_beats_baseline(self, sparse_scene):
+        before = analyze_coverage(sparse_scene, grid_spacing=0.8).coverage_rate
+        result = optimize_tag_placement(
+            sparse_scene, num_new_tags=3, rng=3, grid_spacing=0.8,
+            candidate_count=15,
+        )
+        assert result.final_coverage > before
+
+    def test_scene_gains_tags(self, sparse_scene):
+        result = optimize_tag_placement(
+            sparse_scene, num_new_tags=2, rng=4, grid_spacing=0.8,
+            candidate_count=10,
+        )
+        assert len(result.scene.tags) >= len(sparse_scene.tags) + 1
+        # The input scene is untouched.
+        assert len(sparse_scene.tags) == 6
+
+    def test_greedy_beats_random_on_average(self, sparse_scene):
+        from repro.rfid.tag import Tag
+        from repro.utils.rng import ensure_rng
+
+        budget = 3
+        greedy = optimize_tag_placement(
+            sparse_scene, num_new_tags=budget, rng=5, grid_spacing=0.8,
+            candidate_count=15,
+        )
+        rng = ensure_rng(6)
+        random_rates = []
+        for _ in range(3):
+            sites = candidate_positions(sparse_scene, rng, count=budget)
+            scene = sparse_scene.with_tags(
+                list(sparse_scene.tags) + [Tag(position=p) for p in sites]
+            )
+            random_rates.append(
+                analyze_coverage(scene, grid_spacing=0.8).coverage_rate
+            )
+        assert greedy.final_coverage >= max(random_rates) - 0.05
+
+    def test_rows_format(self, sparse_scene):
+        result = optimize_tag_placement(
+            sparse_scene, num_new_tags=2, rng=7, grid_spacing=0.8,
+            candidate_count=10,
+        )
+        rows = result.rows()
+        assert rows[0].startswith("tag")
+        assert len(rows) == len(result.steps) + 1
+
+    def test_zero_tags_rejected(self, sparse_scene):
+        with pytest.raises(ConfigurationError):
+            optimize_tag_placement(sparse_scene, num_new_tags=0)
+
+    def test_empty_candidates_rejected(self, sparse_scene):
+        with pytest.raises(ConfigurationError):
+            optimize_tag_placement(
+                sparse_scene, num_new_tags=1, candidates=[]
+            )

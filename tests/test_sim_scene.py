@@ -1,0 +1,112 @@
+"""Tests for repro.sim.scene."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.geometry.reflection import Reflector
+from repro.geometry.segment import Segment
+from repro.geometry.shapes import Rectangle
+from repro.rf.array import UniformLinearArray
+from repro.rfid.reader import Reader
+from repro.rfid.tag import Tag
+from repro.sim.scene import Scene, build_channel, effective_aoa
+
+
+@pytest.fixture
+def scene(array):
+    reader = Reader(array=array, name="r0", max_range_m=12.0, rng=1)
+    tags = [
+        Tag(position=Point(2, 5)),
+        Tag(position=Point(5, 3)),
+        Tag(position=Point(50, 50)),  # far outside range
+    ]
+    reflector = Reflector(
+        plate=Segment(Point(6, 0), Point(6, 8)), coefficient=0.8, name="wall"
+    )
+    return Scene(
+        room=Rectangle(0, 0, 10, 10),
+        readers=[reader],
+        tags=tags,
+        reflectors=[reflector],
+    )
+
+
+class TestEffectiveAoa:
+    def test_zero_elevation_is_identity(self):
+        assert effective_aoa(1.0, 0.0) == pytest.approx(1.0)
+
+    def test_elevation_pushes_towards_broadside(self):
+        planar = math.radians(40)
+        tilted = effective_aoa(planar, math.radians(30))
+        assert tilted > planar
+        assert tilted < math.pi / 2
+
+    def test_broadside_is_fixed_point(self):
+        assert effective_aoa(math.pi / 2, 0.5) == pytest.approx(math.pi / 2)
+
+    def test_symmetric_about_broadside(self):
+        low = effective_aoa(math.radians(60), 0.3)
+        high = effective_aoa(math.radians(120), 0.3)
+        assert low + high == pytest.approx(math.pi)
+
+
+class TestScene:
+    def test_range_filtering(self, scene):
+        in_range = scene.tags_in_range(scene.readers[0])
+        assert len(in_range) == 2
+
+    def test_channels_for_reader(self, scene):
+        channels = scene.channels_for(scene.readers[0])
+        assert len(channels) == 2
+        for channel in channels.values():
+            assert channel.num_paths >= 1
+
+    def test_reflected_paths_present(self, scene):
+        channels = scene.channels_for(scene.readers[0])
+        kinds = {
+            path.kind
+            for channel in channels.values()
+            for path in channel.paths
+        }
+        assert "reflected" in kinds
+
+    def test_with_reflectors_copy(self, scene):
+        bare = scene.with_reflectors([])
+        assert bare.reflectors == []
+        assert scene.reflectors  # original untouched
+
+    def test_duplicate_epcs_rejected(self, array):
+        reader = Reader(array=array, rng=2)
+        tag = Tag(position=Point(1, 1))
+        clone = Tag(position=Point(2, 2), epc=tag.epc)
+        with pytest.raises(ConfigurationError):
+            Scene(
+                room=Rectangle(0, 0, 5, 5), readers=[reader], tags=[tag, clone]
+            )
+
+    def test_requires_a_reader(self):
+        with pytest.raises(ConfigurationError):
+            Scene(room=Rectangle(0, 0, 5, 5), readers=[])
+
+
+class TestBuildChannel:
+    def test_height_difference_bends_aoa(self, scene):
+        reader = scene.readers[0]
+        level_tag = Tag(position=Point(2, 5), height_m=scene.array_height_m)
+        raised_tag = Tag(
+            position=Point(2, 5), height_m=scene.array_height_m + 1.0
+        )
+        level = build_channel(scene, reader, level_tag)
+        raised = build_channel(scene, reader, raised_tag)
+        level_aoa = level.paths[0].aoa
+        raised_aoa = raised.paths[0].aoa
+        assert raised_aoa != pytest.approx(level_aoa)
+        # Elevation always bends the measured angle towards broadside.
+        assert abs(raised_aoa - math.pi / 2) < abs(level_aoa - math.pi / 2)
+
+    def test_blocking_attenuation_inherited(self, scene):
+        channel = build_channel(scene, scene.readers[0], scene.tags[0])
+        assert channel.blocking_attenuation == scene.blocking_attenuation

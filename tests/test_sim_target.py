@@ -1,0 +1,59 @@
+"""Tests for repro.sim.target."""
+
+import pytest
+
+from repro.constants import (
+    BOTTLE_TARGET_RADIUS_M,
+    FIST_TARGET_RADIUS_M,
+    HUMAN_TARGET_RADIUS_M,
+)
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.sim.target import Target, bottle_target, fist_target, human_target
+
+
+class TestFactories:
+    def test_human_dimensions(self):
+        target = human_target(Point(1, 2))
+        assert target.radius == HUMAN_TARGET_RADIUS_M
+        assert target.kind == "human"
+
+    def test_bottle_dimensions(self):
+        assert bottle_target(Point(0, 0)).radius == BOTTLE_TARGET_RADIUS_M
+
+    def test_fist_dimensions(self):
+        assert fist_target(Point(0, 0)).radius == FIST_TARGET_RADIUS_M
+
+
+class TestExtendedTargetError:
+    def test_zero_inside_body(self):
+        target = human_target(Point(0, 0))
+        assert target.localization_error(Point(0.1, 0.1)) == 0.0
+
+    def test_zero_exactly_on_edge(self):
+        target = human_target(Point(0, 0))
+        assert target.localization_error(Point(HUMAN_TARGET_RADIUS_M, 0)) == 0.0
+
+    def test_measures_gap_outside(self):
+        target = human_target(Point(0, 0))
+        error = target.localization_error(Point(HUMAN_TARGET_RADIUS_M + 0.5, 0))
+        assert error == pytest.approx(0.5)
+
+
+class TestTarget:
+    def test_body_circle(self):
+        target = Target(position=Point(3, 4), radius=0.2)
+        body = target.body()
+        assert body.center == Point(3, 4)
+        assert body.radius == 0.2
+
+    def test_moved_to_preserves_shape(self):
+        target = bottle_target(Point(0, 0))
+        moved = target.moved_to(Point(5, 5))
+        assert moved.position == Point(5, 5)
+        assert moved.radius == target.radius
+        assert moved.kind == target.kind
+
+    def test_invalid_radius_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Target(position=Point(0, 0), radius=0.0)

@@ -1,0 +1,88 @@
+"""Tests for repro.utils.angles."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.utils.angles import (
+    angle_difference,
+    circular_mean,
+    deg2rad,
+    rad2deg,
+    wrap_to_2pi,
+    wrap_to_pi,
+)
+
+
+class TestWrapToPi:
+    def test_identity_inside_range(self):
+        assert wrap_to_pi(1.0) == pytest.approx(1.0)
+
+    def test_wraps_above(self):
+        assert wrap_to_pi(math.pi + 0.5) == pytest.approx(-math.pi + 0.5)
+
+    def test_wraps_below(self):
+        assert wrap_to_pi(-math.pi - 0.5) == pytest.approx(math.pi - 0.5)
+
+    def test_pi_maps_to_pi(self):
+        assert wrap_to_pi(math.pi) == pytest.approx(math.pi)
+
+    def test_negative_pi_maps_to_positive_pi(self):
+        assert wrap_to_pi(-math.pi) == pytest.approx(math.pi)
+
+    def test_array_input(self):
+        values = wrap_to_pi(np.array([0.0, 3 * math.pi, -3 * math.pi]))
+        assert values[0] == pytest.approx(0.0)
+        assert abs(values[1]) == pytest.approx(math.pi)
+        assert abs(values[2]) == pytest.approx(math.pi)
+
+
+class TestWrapTo2Pi:
+    def test_wraps_negative(self):
+        assert wrap_to_2pi(-0.5) == pytest.approx(2 * math.pi - 0.5)
+
+    def test_wraps_large(self):
+        assert wrap_to_2pi(5 * math.pi) == pytest.approx(math.pi)
+
+    def test_zero(self):
+        assert wrap_to_2pi(0.0) == 0.0
+
+
+class TestAngleDifference:
+    def test_simple(self):
+        assert angle_difference(1.0, 0.5) == pytest.approx(0.5)
+
+    def test_across_boundary(self):
+        diff = angle_difference(math.pi - 0.1, -math.pi + 0.1)
+        assert diff == pytest.approx(-0.2)
+
+    def test_antisymmetric(self):
+        assert angle_difference(0.3, 1.2) == pytest.approx(
+            -float(angle_difference(1.2, 0.3))
+        )
+
+
+class TestCircularMean:
+    def test_plain_mean(self):
+        assert circular_mean([0.1, 0.3]) == pytest.approx(0.2)
+
+    def test_wraps_across_pi(self):
+        mean = circular_mean([math.pi - 0.1, -math.pi + 0.1])
+        assert abs(mean) == pytest.approx(math.pi)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            circular_mean([])
+
+    def test_opposite_angles_raise(self):
+        with pytest.raises(ValueError):
+            circular_mean([0.0, math.pi])
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        assert rad2deg(deg2rad(73.0)) == pytest.approx(73.0)
+
+    def test_known_value(self):
+        assert deg2rad(180.0) == pytest.approx(math.pi)

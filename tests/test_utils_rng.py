@@ -1,0 +1,44 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_child
+
+
+class TestEnsureRng:
+    def test_from_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_from_int_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1_000_000)
+        b = ensure_rng(42).integers(0, 1_000_000)
+        assert a == b
+
+    def test_passthrough(self):
+        generator = np.random.default_rng(1)
+        assert ensure_rng(generator) is generator
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawnChild:
+    def test_children_are_independent_of_consumption(self):
+        parent_a = ensure_rng(7)
+        parent_b = ensure_rng(7)
+        parent_b.random(100)  # consume some of parent_b's stream
+        child_a = spawn_child(parent_a, 3)
+        child_b = spawn_child(parent_b, 3)
+        assert child_a.integers(0, 2**32) == child_b.integers(0, 2**32)
+
+    def test_distinct_indices_differ(self):
+        parent = ensure_rng(7)
+        a = spawn_child(parent, 0).integers(0, 2**32)
+        b = spawn_child(parent, 1).integers(0, 2**32)
+        assert a != b
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_child(ensure_rng(0), -1)

@@ -1,0 +1,67 @@
+"""Tests for repro.utils.stats."""
+
+import numpy as np
+import pytest
+
+from repro.utils.stats import (
+    ErrorSummary,
+    empirical_cdf,
+    mean_and_std,
+    median,
+    percentile,
+    summarize_errors,
+)
+
+
+class TestEmpiricalCdf:
+    def test_sorted_and_reaches_one(self):
+        values, probs = empirical_cdf([3.0, 1.0, 2.0])
+        assert list(values) == [1.0, 2.0, 3.0]
+        assert probs[-1] == 1.0
+
+    def test_probabilities_are_uniform_steps(self):
+        _, probs = empirical_cdf([5.0, 7.0])
+        assert list(probs) == [0.5, 1.0]
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+
+
+class TestPercentile:
+    def test_median_equivalence(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert percentile(data, 50) == median(data)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestSummarizeErrors:
+    def test_fields(self):
+        summary = summarize_errors([0.1, 0.2, 0.3, 0.4])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(0.25)
+        assert summary.median == pytest.approx(0.25)
+        assert summary.maximum == pytest.approx(0.4)
+
+    def test_p90_order(self):
+        summary = summarize_errors(list(np.linspace(0, 1, 101)))
+        assert summary.p90 == pytest.approx(0.9)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize_errors([])
+
+    def test_as_row_formats_cm(self):
+        summary = summarize_errors([0.165])
+        row = summary.as_row()
+        assert "16.5" in row
+
+
+class TestMeanAndStd:
+    def test_constant_series(self):
+        mean, std = mean_and_std([2.0, 2.0, 2.0])
+        assert mean == 2.0
+        assert std == 0.0

@@ -1,0 +1,37 @@
+"""Tests for repro.utils.units."""
+
+import numpy as np
+import pytest
+
+from repro.utils.units import db_to_linear, db_to_power, linear_to_db, power_to_db
+
+
+class TestAmplitudeConversions:
+    def test_20db_is_factor_10(self):
+        assert db_to_linear(20.0) == pytest.approx(10.0)
+
+    def test_roundtrip(self):
+        assert linear_to_db(db_to_linear(7.3)) == pytest.approx(7.3)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            linear_to_db(0.0)
+
+
+class TestPowerConversions:
+    def test_10db_is_factor_10(self):
+        assert db_to_power(10.0) == pytest.approx(10.0)
+
+    def test_roundtrip(self):
+        assert power_to_db(db_to_power(-3.0)) == pytest.approx(-3.0)
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            power_to_db(-1.0)
+
+
+class TestAmplitudeVsPower:
+    def test_same_db_amplitude_squared_equals_power(self):
+        # An amplitude gain of X dB squares to the power gain of X dB.
+        db = 6.0
+        assert db_to_linear(db) ** 2 == pytest.approx(db_to_power(db))

@@ -1,0 +1,78 @@
+"""Tests for repro.viz (ASCII rendering)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dsp.spectrum import AngularSpectrum
+from repro.errors import ConfigurationError
+from repro.sim.environments import hall_scene
+from repro.viz import render_heatmap, render_scene, render_spectrum
+
+
+@pytest.fixture
+def spectrum():
+    angles = np.linspace(0, math.pi, 181)
+    values = np.exp(-0.5 * ((angles - math.pi / 2) / 0.1) ** 2)
+    return AngularSpectrum(angles, values)
+
+
+class TestRenderSpectrum:
+    def test_dimensions(self, spectrum):
+        rows = render_spectrum(spectrum, width=60, height=10)
+        assert len(rows) == 12  # plot + marker axis + label row
+        assert all(len(r) <= 61 for r in rows)
+
+    def test_peak_column_filled(self, spectrum):
+        rows = render_spectrum(spectrum, width=61, height=10)
+        # Centre column should be filled near the top row.
+        assert rows[0][30] == "#"
+
+    def test_markers_drawn(self, spectrum):
+        rows = render_spectrum(spectrum, width=61, height=8,
+                               markers=[math.pi / 2])
+        assert "|" in rows[-2]
+
+    def test_canvas_too_small_rejected(self, spectrum):
+        with pytest.raises(ConfigurationError):
+            render_spectrum(spectrum, width=5, height=2)
+
+    def test_flat_spectrum_blank(self):
+        flat = AngularSpectrum(np.linspace(0, math.pi, 10), np.zeros(10))
+        rows = render_spectrum(flat, width=20, height=5)
+        assert all(set(r) <= {" "} for r in rows[:5])
+
+
+class TestRenderHeatmap:
+    def test_row_count(self):
+        rows = render_heatmap(np.random.default_rng(0).random((6, 10)))
+        assert len(rows) == 6
+
+    def test_peak_is_darkest(self):
+        grid = np.zeros((3, 3))
+        grid[1, 1] = 1.0
+        rows = render_heatmap(grid)
+        assert rows[1][1] == "@"
+
+    def test_rejects_1d(self):
+        with pytest.raises(ConfigurationError):
+            render_heatmap(np.zeros(5))
+
+    def test_downsampling(self):
+        rows = render_heatmap(np.ones((4, 100)), width=25)
+        assert len(rows[0]) <= 50
+
+
+class TestRenderScene:
+    def test_contains_all_markers(self):
+        rows = render_scene(hall_scene(rng=91))
+        joined = "".join(rows)
+        assert "R" in joined
+        assert "t" in joined
+
+    def test_border(self):
+        rows = render_scene(hall_scene(rng=91), width=40, height=12)
+        assert rows[0].startswith("+")
+        assert rows[-2].startswith("+")
+        assert len(rows) == 15

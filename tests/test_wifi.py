@@ -1,0 +1,188 @@
+"""Tests for the Wi-Fi/CSI extension."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.constants import SPEED_OF_LIGHT
+from repro.errors import ConfigurationError, EstimationError
+from repro.geometry.point import Point
+from repro.geometry.segment import Segment
+from repro.rf.array import UniformLinearArray
+from repro.rf.channel import MultipathChannel
+from repro.rf.propagation import PropagationPath
+from repro.wifi import (
+    CsiConfig,
+    WidebandPMusic,
+    WIFI_CENTER_FREQUENCY_HZ,
+    csi_matrix,
+    csi_snapshots,
+    wifi_office_scene,
+)
+from repro.wifi.scene import WIFI_WAVELENGTH_M
+
+
+@pytest.fixture
+def wifi_array():
+    return UniformLinearArray(
+        reference=Point(0, 0),
+        num_antennas=8,
+        spacing_m=WIFI_WAVELENGTH_M / 2.0,
+        wavelength_m=WIFI_WAVELENGTH_M,
+    )
+
+
+def wifi_path(array, angle_deg, gain, distance=5.0):
+    angle = math.radians(angle_deg)
+    source = array.centroid + Point(math.cos(angle), math.sin(angle)) * distance
+    return PropagationPath(
+        tag_id="tx",
+        aoa=angle,
+        gain=gain,
+        legs=(Segment(source, array.centroid),),
+    )
+
+
+@pytest.fixture
+def wifi_channel(wifi_array):
+    return MultipathChannel(
+        array=wifi_array,
+        paths=[
+            wifi_path(wifi_array, 60.0, 0.010, distance=4.0),
+            wifi_path(wifi_array, 95.0, 0.007, distance=7.0),
+            wifi_path(wifi_array, 135.0, 0.005, distance=10.0),
+        ],
+    )
+
+
+class TestCsiConfig:
+    def test_subcarrier_offsets_span_bandwidth(self):
+        config = CsiConfig(num_subcarriers=30, bandwidth_hz=40e6)
+        offsets = config.subcarrier_offsets()
+        assert offsets[0] == -20e6
+        assert offsets[-1] == 20e6
+
+    def test_single_subcarrier_is_zero_offset(self):
+        assert CsiConfig(num_subcarriers=1).subcarrier_offsets()[0] == 0.0
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CsiConfig(num_subcarriers=0)
+        with pytest.raises(ConfigurationError):
+            CsiConfig(bandwidth_hz=0.0)
+
+
+class TestCsiMatrix:
+    def test_shape(self, wifi_channel):
+        csi = csi_matrix(wifi_channel, CsiConfig(num_subcarriers=30))
+        assert csi.shape == (8, 30)
+
+    def test_delay_rotates_across_subcarriers(self, wifi_array):
+        # A single path: the inter-subcarrier phase step must equal
+        # 2*pi*delta_f*tau.
+        path = wifi_path(wifi_array, 90.0, 0.01, distance=6.0)
+        channel = MultipathChannel(array=wifi_array, paths=[path])
+        config = CsiConfig(num_subcarriers=8, bandwidth_hz=40e6)
+        csi = csi_matrix(channel, config)
+        delay = path.length / SPEED_OF_LIGHT
+        step_truth = -2.0 * math.pi * (40e6 / 7) * delay
+        steps = np.angle(csi[0, 1:] / csi[0, :-1])
+        assert np.allclose(steps, ((step_truth + math.pi) % (2 * math.pi)) - math.pi, atol=1e-6)
+
+    def test_zero_bandwidth_limit_matches_narrowband(self, wifi_channel):
+        narrow = csi_matrix(wifi_channel, CsiConfig(num_subcarriers=1))
+        response = wifi_channel.array_response()
+        assert np.allclose(narrow[:, 0], response)
+
+
+class TestCsiSnapshots:
+    def test_shape(self, wifi_channel):
+        reports = csi_snapshots(
+            wifi_channel, 5, CsiConfig(num_subcarriers=16), rng=1
+        )
+        assert reports.shape == (8, 16, 5)
+
+    def test_phase_offsets_applied(self, wifi_channel):
+        offsets = np.linspace(0.0, 1.4, 8)
+        clean = csi_snapshots(wifi_channel, 1, snr_db=300.0, rng=2)
+        shifted = csi_snapshots(
+            wifi_channel, 1, snr_db=300.0, phase_offsets=offsets, rng=2
+        )
+        ratio = shifted[:, 0, 0] / clean[:, 0, 0]
+        assert np.allclose(np.angle(ratio), offsets, atol=1e-6)
+
+    def test_invalid_packets_rejected(self, wifi_channel):
+        with pytest.raises(ConfigurationError):
+            csi_snapshots(wifi_channel, 0)
+
+
+class TestWidebandPMusic:
+    def test_resolves_coherent_paths_at_full_aperture(self, wifi_array, wifi_channel):
+        reports = csi_snapshots(wifi_channel, 4, snr_db=30, rng=3)
+        estimator = WidebandPMusic(
+            spacing_m=wifi_array.spacing_m,
+            wavelength_m=wifi_array.wavelength_m,
+        )
+        peaks = estimator.estimate_paths(reports, max_peaks=3)
+        found = sorted(math.degrees(p.angle) for p in peaks)
+        assert found == pytest.approx([60, 95, 135], abs=2.0)
+
+    def test_power_ordering(self, wifi_array, wifi_channel):
+        reports = csi_snapshots(wifi_channel, 6, snr_db=35, rng=4)
+        estimator = WidebandPMusic(
+            spacing_m=wifi_array.spacing_m,
+            wavelength_m=wifi_array.wavelength_m,
+        )
+        peaks = estimator.estimate_paths(reports, max_peaks=3)
+        by_angle = {round(math.degrees(p.angle) / 5) * 5: p.value for p in peaks}
+        assert by_angle[60] > by_angle[95] > by_angle[135]
+
+    def test_blocked_path_detected(self, wifi_array):
+        paths = [
+            wifi_path(wifi_array, 60.0, 0.010, distance=4.0),
+            wifi_path(wifi_array, 120.0, 0.007, distance=7.0),
+        ]
+        base_channel = MultipathChannel(array=wifi_array, paths=paths)
+        blocked_channel = MultipathChannel(
+            array=wifi_array, paths=[paths[0].attenuated(0.14), paths[1]]
+        )
+        estimator = WidebandPMusic(
+            spacing_m=wifi_array.spacing_m,
+            wavelength_m=wifi_array.wavelength_m,
+        )
+        base = estimator.spectrum(csi_snapshots(base_channel, 4, rng=5))
+        after = estimator.spectrum(csi_snapshots(blocked_channel, 4, rng=6))
+        window = math.radians(2.5)
+        drop_blocked = 1 - after.max_in_window(
+            math.radians(60), window
+        ) / base.max_in_window(math.radians(60), window)
+        drop_other = 1 - after.max_in_window(
+            math.radians(120), window
+        ) / base.max_in_window(math.radians(120), window)
+        assert drop_blocked > 0.8
+        assert abs(drop_other) < 0.5
+
+    def test_rejects_bad_rank(self, wifi_array):
+        estimator = WidebandPMusic(
+            spacing_m=wifi_array.spacing_m,
+            wavelength_m=wifi_array.wavelength_m,
+        )
+        with pytest.raises(EstimationError):
+            estimator.spectrum(np.zeros(8, dtype=complex))
+
+
+class TestWifiScene:
+    def test_preset_structure(self):
+        scene = wifi_office_scene(rng=1)
+        assert scene.frequency_hz == WIFI_CENTER_FREQUENCY_HZ
+        assert len(scene.readers) == 2
+        # The whole 8-element array fits in ~21 cm at 5.18 GHz.
+        array = scene.readers[0].array
+        span = (array.num_antennas - 1) * array.spacing_m
+        assert span < 0.25
+
+    def test_transmitters_in_range(self):
+        scene = wifi_office_scene(rng=2)
+        for reader in scene.readers:
+            assert len(scene.tags_in_range(reader)) == len(scene.tags)

@@ -15,7 +15,6 @@ import numpy as np
 from conftest import run_once
 
 from repro.core.fusion import fuse_fixes
-from repro.errors import EstimationError
 from repro.experiments.harness import DeploymentHarness
 from repro.geometry.point import Point
 from repro.sim.environments import library_scene

@@ -8,7 +8,6 @@ MUSIC grows spurious arrivals.
 
 import math
 
-import numpy as np
 
 from conftest import run_once
 

@@ -19,7 +19,6 @@ from repro.baselines.fingerprint import FingerprintLocalizer
 from repro.core.pipeline import DWatch
 from repro.geometry.point import Point
 from repro.geometry.segment import Segment
-from repro.geometry.reflection import Reflector
 from repro.sim.environments import laboratory_scene
 from repro.sim.measurement import MeasurementSession
 from repro.sim.target import human_target

@@ -2,7 +2,6 @@
 
 import math
 
-import numpy as np
 
 from conftest import print_rows, run_once
 

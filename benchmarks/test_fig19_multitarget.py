@@ -1,6 +1,5 @@
 """Figs. 19/20 — three bottles on the 2 m x 2 m table."""
 
-import math
 
 from conftest import print_rows, run_once
 

@@ -10,7 +10,6 @@ resulting AoA error and confirms it is negligible against the paper's
 
 import math
 
-import numpy as np
 
 from conftest import run_once
 

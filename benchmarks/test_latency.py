@@ -1,4 +1,4 @@
-"""Section 8 — per-fix processing latency."""
+"""Section 8 — per-fix processing latency, with per-stage breakdown."""
 
 from conftest import print_rows, run_once
 
@@ -12,3 +12,10 @@ def test_latency(benchmark):
     # end-to-end budget is 0.5 s.  Our pure-Python pipeline must at
     # least fit the end-to-end budget.
     assert result.mean_ms < 500.0
+    # The observability spans must break the fix down per stage: the
+    # pipeline and grid-search stages always run, and the sum of a
+    # stage's time can never exceed the measured total.
+    assert "pipeline.localize" in result.stage_ms
+    assert "grid.modes" in result.stage_ms
+    assert result.stage_ms["pipeline.localize"]["count"] == 8
+    assert result.stage_ms["pipeline.localize"]["mean"] <= result.mean_ms

@@ -12,7 +12,6 @@ from conftest import run_once
 
 from repro.core.presence import auc, presence_score, roc_curve
 from repro.experiments.harness import DeploymentHarness
-from repro.geometry.point import Point
 from repro.sim.environments import hall_scene
 from repro.sim.target import human_target
 

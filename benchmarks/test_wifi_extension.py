@@ -8,7 +8,6 @@ stack must spend aperture on spatial smoothing.
 
 import math
 
-import numpy as np
 
 from conftest import run_once
 

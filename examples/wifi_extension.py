@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import math
 
-from repro.geometry import Point
 from repro.geometry.blocking import path_blocked_by
 from repro.sim.target import human_target
 from repro.wifi import WidebandPMusic, csi_snapshots, wifi_office_scene

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Repo check gate: lint (when available) + the tier-1 test suite.
+#
+# Usage: scripts/check.sh
+# Run from the repository root.
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if command -v ruff >/dev/null 2>&1; then
+    echo "== ruff check =="
+    ruff check src tests benchmarks examples
+else
+    echo "== ruff not installed; skipping lint (pip install ruff to enable) =="
+fi
+
+echo "== tier-1 tests =="
+PYTHONPATH=src python -m pytest -x -q

@@ -12,7 +12,7 @@ eliminates (Section 1).
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -21,7 +21,7 @@ from repro.errors import ConfigurationError, LocalizationError
 from repro.geometry.point import Point
 from repro.sim.measurement import Measurement, MeasurementSession
 from repro.sim.scene import Scene
-from repro.sim.target import Target, human_target
+from repro.sim.target import human_target
 
 
 def rssi_features(

@@ -12,7 +12,7 @@ and degrades in exactly the multipath-rich settings D-Watch thrives in.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np

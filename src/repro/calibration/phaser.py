@@ -24,6 +24,7 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.calibration.offsets import PhaseOffsets
 from repro.errors import CalibrationError
 from repro.rf.array import steering_vector
@@ -65,6 +66,16 @@ class PhaserCalibrator:
 
         expected = steering_vector(los_angle, m, self.spacing_m, self.wavelength_m)
         offsets = np.zeros(m)
+        with obs.span("calibration.phaser", antennas=m):
+            return self._chain_offsets(x, expected, offsets, m)
+
+    def _chain_offsets(
+        self,
+        x: np.ndarray,
+        expected: np.ndarray,
+        offsets: np.ndarray,
+        m: int,
+    ) -> PhaseOffsets:
         for antenna in range(1, m):
             # Pairwise comparison against the previous element: average
             # x_m / x_{m-1} over time to cancel the source modulation,

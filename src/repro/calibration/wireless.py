@@ -19,12 +19,13 @@ polishes the winner into its local minimum.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Optional, Sequence
 
 import numpy as np
 from scipy import optimize
 
+from repro import obs
 from repro.calibration.ga import GeneticMinimizer
 from repro.calibration.offsets import PhaseOffsets
 from repro.dsp.covariance import sample_covariance
@@ -154,14 +155,23 @@ class WirelessCalibrator:
 
         ga = self.ga or GeneticMinimizer(bounds=[(-np.pi, np.pi)] * (m - 1))
         best_vector, best_cost = None, np.inf
-        for restart in range(max(1, self.restarts)):
-            ga_result = ga.minimize(objective, rng=generator)
-            polished = optimize.minimize(
-                objective,
-                ga_result.best,
-                method="L-BFGS-B",
-                bounds=[(-np.pi - 0.5, np.pi + 0.5)] * (m - 1),
-            )
-            if polished.fun < best_cost:
-                best_vector, best_cost = polished.x, float(polished.fun)
+        with obs.span(
+            "calibration.solve", antennas=m, observations=len(observations)
+        ) as sp:
+            for restart in range(max(1, self.restarts)):
+                with obs.span("calibration.ga", restart=restart) as ga_span:
+                    ga_result = ga.minimize(objective, rng=generator)
+                    ga_span.set(cost=ga_result.best_cost)
+                with obs.span("calibration.polish", restart=restart):
+                    polished = optimize.minimize(
+                        objective,
+                        ga_result.best,
+                        method="L-BFGS-B",
+                        bounds=[(-np.pi - 0.5, np.pi + 0.5)] * (m - 1),
+                    )
+                obs.count("calibration.restarts")
+                if polished.fun < best_cost:
+                    best_vector, best_cost = polished.x, float(polished.fun)
+            obs.observe("calibration.residual", best_cost)
+            sp.set(residual=best_cost)
         return PhaseOffsets.referenced(np.concatenate(([0.0], best_vector)))

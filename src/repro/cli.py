@@ -1,23 +1,38 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three subcommands cover the tasks a user reaches for first:
+Four subcommands cover the tasks a user reaches for first:
 
 * ``demo``      — calibrate, baseline and localize one target in a
   chosen environment, printing the likelihood heat map.
 * ``coverage``  — print the deployment's coverage/deadzone map.
 * ``experiment``— run one figure reproduction by name.
+* ``stats``     — pretty-print a metrics snapshot written by a prior
+  ``--metrics`` run.
+
+Results go to stdout; progress goes through structured logging on
+stderr (suppressed by ``--quiet``).  ``--trace FILE`` / ``--metrics
+FILE`` turn on the observability layer and write JSONL span traces and
+metric snapshots — see ``docs/OBSERVABILITY.md`` for the schema.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable, Dict, List, Optional
 
+from repro import obs
 from repro.constants import TABLE_GRID_CELL_M
+from repro.errors import ReproError, UsageError
+from repro.obs.logging import configure_logging, fields, get_logger
 
+log = get_logger("cli")
 
 ENVIRONMENTS = ("library", "laboratory", "hall", "table", "wifi-office")
+
+#: Exit code for invalid usage / library-reported failures.
+EXIT_ERROR = 2
 
 
 def _build_scene(name: str, seed: int):
@@ -37,7 +52,9 @@ def _build_scene(name: str, seed: int):
         "wifi-office": wifi_office_scene,
     }
     if name not in makers:
-        raise SystemExit(f"unknown environment {name!r}; pick from {ENVIRONMENTS}")
+        raise UsageError(
+            f"unknown environment {name!r}; pick from {ENVIRONMENTS}"
+        )
     return makers[name](rng=seed)
 
 
@@ -53,8 +70,12 @@ def cmd_demo(args: argparse.Namespace) -> int:
     print("\n".join(render_scene(scene)))
     cell = TABLE_GRID_CELL_M if args.environment == "table" else 0.05
     dwatch = DWatch(scene, cell_size=cell)
-    print("calibrating readers over the air...")
+    log.info(
+        "calibrating readers over the air",
+        extra=fields(environment=args.environment, readers=len(scene.readers)),
+    )
     dwatch.calibrate(rng=args.seed + 1)
+    log.info("collecting empty-area baseline", extra=fields(captures=3))
     session = MeasurementSession(scene, rng=args.seed + 2)
     dwatch.collect_baseline([session.capture() for _ in range(3)])
 
@@ -63,6 +84,10 @@ def cmd_demo(args: argparse.Namespace) -> int:
     else:
         position = scene.room.center
     target = human_target(position)
+    log.info(
+        "localizing target",
+        extra=fields(x=f"{position.x:.2f}", y=f"{position.y:.2f}"),
+    )
     measurement = session.capture([target])
     evidence = dwatch.evidence(measurement)
     estimates = dwatch.localize(measurement)
@@ -90,6 +115,10 @@ def cmd_coverage(args: argparse.Namespace) -> int:
     from repro.sim.coverage import analyze_coverage
 
     scene = _build_scene(args.environment, args.seed)
+    log.info(
+        "analyzing coverage",
+        extra=fields(environment=args.environment, spacing=args.spacing),
+    )
     coverage = analyze_coverage(scene, grid_spacing=args.spacing)
     print("\n".join(coverage.ascii_map()))
     print(
@@ -121,12 +150,45 @@ def cmd_experiment(args: argparse.Namespace) -> int:
         "latency": lambda: experiments.run_latency(fixes=8, rng=args.seed),
     }
     if args.figure not in runners:
-        raise SystemExit(
+        raise UsageError(
             f"unknown figure {args.figure!r}; pick from {sorted(runners)}"
         )
+    log.info("running experiment", extra=fields(figure=args.figure, seed=args.seed))
     result = runners[args.figure]()
     print("\n".join(result.rows()))
     return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Pretty-print a metrics snapshot from a ``--metrics`` JSONL file."""
+    from repro.obs.metrics import load_snapshot_jsonl, render_snapshot
+
+    try:
+        records = load_snapshot_jsonl(args.file)
+    except FileNotFoundError:
+        raise UsageError(
+            f"no metrics file at {args.file!r}; run a command with "
+            "--metrics FILE first (e.g. `repro demo --metrics metrics.jsonl`)"
+        )
+    print(f"metrics snapshot: {args.file}")
+    print("\n".join(render_snapshot(records)))
+    return 0
+
+
+def _observability_options(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--trace`` / ``--metrics`` flags."""
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="write a JSONL span trace of the run to FILE",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        default=None,
+        help="write a JSONL metrics snapshot of the run to FILE",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -135,6 +197,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="D-Watch reproduction: demos, coverage maps, experiments",
     )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress progress logging (results still print to stdout)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     demo = sub.add_parser("demo", help="localize one target end to end")
@@ -142,6 +209,7 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--seed", type=int, default=1)
     demo.add_argument("--x", type=float, default=None)
     demo.add_argument("--y", type=float, default=None)
+    _observability_options(demo)
     demo.set_defaults(handler=cmd_demo)
 
     coverage = sub.add_parser("coverage", help="print the coverage map")
@@ -153,15 +221,57 @@ def build_parser() -> argparse.ArgumentParser:
     experiment = sub.add_parser("experiment", help="run a figure reproduction")
     experiment.add_argument("figure")
     experiment.add_argument("--seed", type=int, default=1)
+    _observability_options(experiment)
     experiment.set_defaults(handler=cmd_experiment)
+
+    stats = sub.add_parser(
+        "stats", help="pretty-print a --metrics JSONL snapshot"
+    )
+    stats.add_argument(
+        "file",
+        nargs="?",
+        default="metrics.jsonl",
+        help="metrics snapshot file (default: metrics.jsonl)",
+    )
+    stats.set_defaults(handler=cmd_stats)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Library errors (:class:`ReproError`, including bad-usage ones) are
+    rendered on stderr with a non-zero exit code instead of escaping as
+    tracebacks or bare ``SystemExit``.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.handler(args)
+    configure_logging(quiet=args.quiet)
+    trace_file = getattr(args, "trace", None)
+    metrics_file = getattr(args, "metrics", None)
+    if trace_file or metrics_file:
+        obs.configure(trace_file=trace_file, metrics_file=metrics_file)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_ERROR
+    except BrokenPipeError:
+        # Downstream closed the pipe (e.g. ``repro stats | head``); exit
+        # quietly like other CLIs.  Re-point stdout at devnull so the
+        # interpreter's shutdown flush does not raise again.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    finally:
+        if trace_file or metrics_file:
+            obs.shutdown()
+            if trace_file:
+                log.info("trace written", extra=fields(file=trace_file))
+            if metrics_file:
+                log.info(
+                    "metrics written; inspect with `repro stats`",
+                    extra=fields(file=metrics_file),
+                )
 
 
 if __name__ == "__main__":  # pragma: no cover

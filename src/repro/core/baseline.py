@@ -11,7 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Mapping, Optional
 
-import numpy as np
 
 from repro.calibration.offsets import PhaseOffsets
 from repro.dsp.pmusic import PMusicEstimator

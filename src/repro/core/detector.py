@@ -12,10 +12,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.baseline import SpectrumSet
 from repro.dsp.peaks import find_spectrum_peaks
 from repro.dsp.spectrum import AngularSpectrum, default_angle_grid
@@ -178,6 +179,16 @@ class DropDetector:
         if not baselines:
             raise LocalizationError("at least one baseline capture is required")
         reference = baselines[0]
+        with obs.span("detector.evidence", readers=len(reference.readers())):
+            result = self._evidence_per_reader(baselines, reference, online)
+        return result
+
+    def _evidence_per_reader(
+        self,
+        baselines: "List[SpectrumSet]",
+        reference: SpectrumSet,
+        online: SpectrumSet,
+    ) -> List[AngleEvidence]:
         result: List[AngleEvidence] = []
         for reader_name in reference.readers():
             if reader_name not in online.spectra:
@@ -190,6 +201,7 @@ class DropDetector:
                 if epc not in online.spectra[reader_name]:
                     # Tag fell silent (deep shadowing can do that); treat
                     # every baseline peak of this tag as fully blocked.
+                    obs.count("detector.silent_tags")
                     for peak in find_spectrum_peaks(
                         base_spec,
                         min_relative_height=self.min_peak_relative_height,
@@ -224,6 +236,7 @@ class DropDetector:
                 grid = base_spec.angles
             if grid is None:
                 grid = default_angle_grid()
+            obs.count("detector.events", len(events))
             result.append(
                 _evidence_from_events(
                     reader_name, events, grid, self.kernel_width

@@ -10,7 +10,7 @@ ignores a minority of arbitrarily bad fixes, unlike the mean.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence
 
 import numpy as np
 

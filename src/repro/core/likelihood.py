@@ -15,6 +15,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.constants import ROOM_GRID_CELL_M
 from repro.core.detector import AngleEvidence
 from repro.errors import LocalizationError
@@ -104,10 +105,16 @@ class LikelihoodMap:
         likelihood = np.ones((ys.size, xs.size), dtype=float)
         if not active:
             return xs, ys, np.zeros_like(likelihood)
-        for item in active:
-            theta = self._angles_for(item.reader_name)
-            factor = np.interp(theta.ravel(), item.drop.angles, item.drop.values)
-            likelihood *= self.floor + factor.reshape(theta.shape)
+        with obs.span(
+            "grid.evaluate", cells=int(likelihood.size), readers=len(active)
+        ):
+            for item in active:
+                theta = self._angles_for(item.reader_name)
+                factor = np.interp(
+                    theta.ravel(), item.drop.angles, item.drop.values
+                )
+                likelihood *= self.floor + factor.reshape(theta.shape)
+            obs.count("grid.cells_evaluated", likelihood.size * len(active))
         return xs, ys, likelihood
 
     def best_estimate(
@@ -124,13 +131,14 @@ class LikelihoodMap:
         active = [e for e in evidence if e.has_detection]
         if not active:
             raise LocalizationError("no blocking evidence: nothing to localize")
-        xs, ys, likelihood = self.evaluate(evidence)
-        flat_index = int(np.argmax(likelihood))
-        iy, ix = np.unravel_index(flat_index, likelihood.shape)
-        best = Point(float(xs[ix]), float(ys[iy]))
-        best_value = float(likelihood[iy, ix])
-        if refine:
-            best, best_value = self._hill_climb(best, best_value, active)
+        with obs.span("grid.search"):
+            xs, ys, likelihood = self.evaluate(evidence)
+            flat_index = int(np.argmax(likelihood))
+            iy, ix = np.unravel_index(flat_index, likelihood.shape)
+            best = Point(float(xs[ix]), float(ys[iy]))
+            best_value = float(likelihood[iy, ix])
+            if refine:
+                best, best_value = self._hill_climb(best, best_value, active)
         angles = {
             item.reader_name: self._reader_for(item.reader_name).array.angle_to(best)
             for item in active
@@ -155,6 +163,19 @@ class LikelihoodMap:
         active = [e for e in evidence if e.has_detection]
         if not active:
             return []
+        with obs.span("grid.modes", max_modes=max_modes):
+            return self._peel_modes(
+                evidence, active, max_modes, min_separation, refine
+            )
+
+    def _peel_modes(
+        self,
+        evidence: Sequence[AngleEvidence],
+        active: List[AngleEvidence],
+        max_modes: int,
+        min_separation: float,
+        refine: bool,
+    ) -> List[LocationEstimate]:
         xs, ys, likelihood = self.evaluate(evidence)
         working = likelihood.copy()
         grid_x, grid_y = np.meshgrid(xs, ys)
@@ -274,7 +295,9 @@ class LikelihoodMap:
         """Greedy coordinate refinement with a shrinking step."""
         current, current_value = start, start_value
         step = self.cell_size
+        steps = 0
         for _ in range(max_iterations):
+            steps += 1
             improved = False
             for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1), (1, 1), (-1, -1), (1, -1), (-1, 1)):
                 candidate = self.room.clamp(
@@ -288,6 +311,7 @@ class LikelihoodMap:
                 step /= 2.0
                 if step < self.cell_size / 8.0:
                     break
+        obs.count("grid.hill_climb_steps", steps)
         return current, current_value
 
     def _reader_for(self, name: str) -> Reader:

@@ -15,13 +15,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Mapping, Optional, Sequence
+from typing import List, Sequence
 
+from repro import obs
 from repro.core.detector import AngleEvidence, _evidence_from_events
 from repro.core.likelihood import LikelihoodMap, LocationEstimate
 from repro.errors import LocalizationError
-from repro.geometry.shapes import Rectangle
-from repro.rfid.reader import Reader
 
 
 @dataclass
@@ -80,18 +79,25 @@ class DWatchLocalizer:
                 f"only {detecting} reader(s) saw the target; "
                 f"{self.min_readers} needed for triangulation"
             )
-        estimate = self._consensus_estimate(current)
-        for _ in range(self.outlier_rounds):
-            filtered = self._reject_outliers(current, estimate)
-            if _event_count(filtered) == _event_count(current):
-                break
-            if not any(e.has_detection for e in filtered):
-                break
-            current = filtered
+        with obs.span("localizer.solve", readers=detecting) as sp:
             estimate = self._consensus_estimate(current)
-        if self.refine_by_triangulation:
-            estimate = self._triangulate(current, estimate)
-        return estimate
+            rounds = 0
+            for _ in range(self.outlier_rounds):
+                filtered = self._reject_outliers(current, estimate)
+                rejected = _event_count(current) - _event_count(filtered)
+                if rejected == 0:
+                    break
+                if not any(e.has_detection for e in filtered):
+                    break
+                obs.count("localizer.outliers_rejected", rejected)
+                rounds += 1
+                current = filtered
+                estimate = self._consensus_estimate(current)
+            obs.count("localizer.outlier_rounds", rounds)
+            sp.set(outlier_rounds=rounds)
+            if self.refine_by_triangulation:
+                estimate = self._triangulate(current, estimate)
+            return estimate
 
     def _triangulate(
         self,
@@ -107,27 +113,28 @@ class DWatchLocalizer:
         from repro.core.triangulate import bearings_from_evidence, triangulate
         from repro.errors import EstimationError
 
-        bearings = bearings_from_evidence(
-            evidence,
-            self.likelihood_map.readers,
-            estimate,
-            self.consistency_tolerance,
-        )
-        distinct_readers = {
-            id(bearing.array) for bearing in bearings
-        }
-        if len(bearings) < 2 or len(distinct_readers) < 2:
-            return estimate
-        try:
-            refined = triangulate(bearings, estimate.position)
-        except EstimationError:
-            return estimate
-        room = self.likelihood_map.room
-        if not room.contains(refined.position, margin=-1e-9):
-            return estimate
-        if refined.position.distance_to(estimate.position) > 0.5:
-            return estimate
-        return self.likelihood_map.estimate_at(refined.position, evidence)
+        with obs.span("localizer.triangulate"):
+            bearings = bearings_from_evidence(
+                evidence,
+                self.likelihood_map.readers,
+                estimate,
+                self.consistency_tolerance,
+            )
+            distinct_readers = {
+                id(bearing.array) for bearing in bearings
+            }
+            if len(bearings) < 2 or len(distinct_readers) < 2:
+                return estimate
+            try:
+                refined = triangulate(bearings, estimate.position)
+            except EstimationError:
+                return estimate
+            room = self.likelihood_map.room
+            if not room.contains(refined.position, margin=-1e-9):
+                return estimate
+            if refined.position.distance_to(estimate.position) > 0.5:
+                return estimate
+            return self.likelihood_map.estimate_at(refined.position, evidence)
 
     def _consensus_estimate(
         self, evidence: Sequence[AngleEvidence]
@@ -142,39 +149,43 @@ class DWatchLocalizer:
         angle under which that reader sees the mode — is the target.
         Ties break on likelihood.
         """
-        candidates = self.likelihood_map.top_modes(
-            evidence, max_modes=12, min_separation=0.35
-        )
-        # Add every cross-reader ray intersection: the true triangulated
-        # position is guaranteed to be among these even when wrong-angle
-        # ghost modes dominate the likelihood surface.
-        covered = [c.position for c in candidates]
-        for crossing in self.likelihood_map.ray_intersections(evidence):
-            if any(crossing.distance_to(p) < 0.15 for p in covered):
-                continue
-            covered.append(crossing)
-            candidates.append(self.likelihood_map.estimate_at(crossing, evidence))
-        if not candidates:
-            return self.likelihood_map.best_estimate(evidence)
-        best_mode, best_key = None, None
-        for mode in candidates:
-            readers, weight = self._support(mode, evidence)
-            # Readers (consensus breadth) dominate; ties break on the
-            # product of explained event weight and the kernel
-            # likelihood — a ghost may collect slightly heavier events,
-            # but its kernels never align as exactly as the true
-            # intersection's, which the likelihood factor exposes.
-            key = (readers, weight * (0.05 + mode.likelihood))
-            if best_key is None or key > best_key:
-                best_mode, best_key = mode, key
-        if best_key[0] < self.min_readers:
-            raise LocalizationError(
-                "no candidate position is corroborated by "
-                f"{self.min_readers} readers; location not identifiable"
+        with obs.span("localizer.consensus") as sp:
+            candidates = self.likelihood_map.top_modes(
+                evidence, max_modes=12, min_separation=0.35
             )
-        return self.likelihood_map.estimate_at(
-            best_mode.position, evidence, refine=True
-        )
+            # Add every cross-reader ray intersection: the true triangulated
+            # position is guaranteed to be among these even when wrong-angle
+            # ghost modes dominate the likelihood surface.
+            covered = [c.position for c in candidates]
+            for crossing in self.likelihood_map.ray_intersections(evidence):
+                if any(crossing.distance_to(p) < 0.15 for p in covered):
+                    continue
+                covered.append(crossing)
+                candidates.append(
+                    self.likelihood_map.estimate_at(crossing, evidence)
+                )
+            sp.set(candidates=len(candidates))
+            if not candidates:
+                return self.likelihood_map.best_estimate(evidence)
+            best_mode, best_key = None, None
+            for mode in candidates:
+                readers, weight = self._support(mode, evidence)
+                # Readers (consensus breadth) dominate; ties break on the
+                # product of explained event weight and the kernel
+                # likelihood — a ghost may collect slightly heavier events,
+                # but its kernels never align as exactly as the true
+                # intersection's, which the likelihood factor exposes.
+                key = (readers, weight * (0.05 + mode.likelihood))
+                if best_key is None or key > best_key:
+                    best_mode, best_key = mode, key
+            if best_key[0] < self.min_readers:
+                raise LocalizationError(
+                    "no candidate position is corroborated by "
+                    f"{self.min_readers} readers; location not identifiable"
+                )
+            return self.likelihood_map.estimate_at(
+                best_mode.position, evidence, refine=True
+            )
 
     def _support(
         self, estimate: LocationEstimate, evidence: Sequence[AngleEvidence]

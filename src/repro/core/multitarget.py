@@ -26,10 +26,10 @@ import math
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Sequence, Tuple
 
+from repro import obs
 from repro.core.detector import AngleEvidence
-from repro.core.likelihood import LikelihoodMap, LocationEstimate
+from repro.core.likelihood import LocationEstimate
 from repro.core.localizer import DWatchLocalizer
-from repro.geometry.point import Point
 
 
 @dataclass
@@ -68,10 +68,23 @@ class MultiTargetLocalizer:
         active = [item for item in evidence if item.has_detection]
         if not active:
             return []
-        candidates = self._candidate_pool(evidence)
-        if not candidates:
-            return []
+        with obs.span("multitarget.solve", max_targets=self.max_targets) as sp:
+            candidates = self._candidate_pool(evidence)
+            sp.set(candidates=len(candidates))
+            obs.gauge("multitarget.pool_size", len(candidates))
+            if not candidates:
+                return []
+            results = self._assign(evidence, candidates)
+            sp.set(targets=len(results))
+            obs.count("multitarget.targets_found", len(results))
+            return results
 
+    def _assign(
+        self,
+        evidence: Sequence[AngleEvidence],
+        candidates: List[LocationEstimate],
+    ) -> List[LocationEstimate]:
+        """The maximum-coverage subset search over the candidate pool."""
         explains = [
             self._explained_events(candidate, evidence) for candidate in candidates
         ]

@@ -12,7 +12,7 @@ speed estimate of Section 8 as a velocity-magnitude observation.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np

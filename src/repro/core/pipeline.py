@@ -17,10 +17,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
-import numpy as np
 
+from repro import obs
 from repro.calibration.offsets import PhaseOffsets
 from repro.calibration.wireless import (
     WirelessCalibrator,
@@ -53,33 +53,41 @@ def calibrate_readers(
     and solves Eq. 11 for its offset vector.
     """
     generator = ensure_rng(rng)
-    session = MeasurementSession(
-        scene,
-        MeasurementConfig(num_snapshots=num_snapshots, snr_db=snr_db),
-        rng=generator,
-    )
-    capture = session.capture()
-    result: Dict[str, PhaseOffsets] = {}
-    for reader in scene.readers:
-        in_range = scene.tags_in_range(reader)
-        if not in_range:
-            raise CalibrationError(
-                f"reader {reader.name!r} hears no tags; cannot calibrate"
-            )
-        nearest = sorted(
-            in_range,
-            key=lambda tag: reader.array.centroid.distance_to(tag.position),
-        )[:tags_per_reader]
-        observations = []
-        for tag in nearest:
-            snapshots = capture.matrix(reader.name, tag.epc)
-            los_angle = reader.array.angle_to(tag.position)
-            observations.append(observation_from_snapshots(snapshots, los_angle))
-        calibrator = WirelessCalibrator(
-            spacing_m=reader.array.spacing_m,
-            wavelength_m=reader.array.wavelength_m,
+    with obs.span("pipeline.calibrate", readers=len(scene.readers)):
+        session = MeasurementSession(
+            scene,
+            MeasurementConfig(num_snapshots=num_snapshots, snr_db=snr_db),
+            rng=generator,
         )
-        result[reader.name] = calibrator.estimate(observations, rng=generator)
+        capture = session.capture()
+        result: Dict[str, PhaseOffsets] = {}
+        for reader in scene.readers:
+            in_range = scene.tags_in_range(reader)
+            if not in_range:
+                raise CalibrationError(
+                    f"reader {reader.name!r} hears no tags; cannot calibrate"
+                )
+            nearest = sorted(
+                in_range,
+                key=lambda tag: reader.array.centroid.distance_to(tag.position),
+            )[:tags_per_reader]
+            with obs.span(
+                "calibration.reader", reader=reader.name, tags=len(nearest)
+            ):
+                observations = []
+                for tag in nearest:
+                    snapshots = capture.matrix(reader.name, tag.epc)
+                    los_angle = reader.array.angle_to(tag.position)
+                    observations.append(
+                        observation_from_snapshots(snapshots, los_angle)
+                    )
+                calibrator = WirelessCalibrator(
+                    spacing_m=reader.array.spacing_m,
+                    wavelength_m=reader.array.wavelength_m,
+                )
+                result[reader.name] = calibrator.estimate(
+                    observations, rng=generator
+                )
     return result
 
 
@@ -162,17 +170,20 @@ class DWatch:
             measurements = [measurements]
         if not measurements:
             raise LocalizationError("at least one baseline capture is required")
-        self.baseline = [
-            compute_spectra(m, self.readers, self.calibration) for m in measurements
-        ]
+        with obs.span("pipeline.baseline", captures=len(measurements)):
+            self.baseline = [
+                compute_spectra(m, self.readers, self.calibration)
+                for m in measurements
+            ]
         return self.baseline
 
     def evidence(self, measurement: Measurement) -> List[AngleEvidence]:
         """Per-reader blocking evidence of an online capture (Step 3)."""
         if self.baseline is None:
             raise LocalizationError("collect_baseline() must run before localization")
-        online = compute_spectra(measurement, self.readers, self.calibration)
-        return self.detector.evidence(self.baseline, online)
+        with obs.span("pipeline.evidence"):
+            online = compute_spectra(measurement, self.readers, self.calibration)
+            return self.detector.evidence(self.baseline, online)
 
     def localize(
         self, measurement: Measurement, max_targets: int = 1
@@ -182,18 +193,27 @@ class DWatch:
         Returns an empty list when nothing blocks any path (the target
         is absent or inside a global deadzone).
         """
-        evidence = self.evidence(measurement)
-        if not any(item.has_detection for item in evidence):
-            return []
-        try:
-            if max_targets <= 1:
-                return [self.localizer.localize(evidence)]
-            self.multi_localizer.max_targets = max_targets
-            return self.multi_localizer.localize(evidence)
-        except LocalizationError:
-            # Too few readers saw the target: an uncovered location,
-            # counted against the coverage rate rather than accuracy.
-            return []
+        with obs.span("pipeline.localize", max_targets=max_targets) as sp:
+            obs.count("pipeline.fixes")
+            evidence = self.evidence(measurement)
+            if not any(item.has_detection for item in evidence):
+                obs.count("pipeline.empty_fixes")
+                sp.set(outcome="empty")
+                return []
+            try:
+                if max_targets <= 1:
+                    estimates = [self.localizer.localize(evidence)]
+                else:
+                    self.multi_localizer.max_targets = max_targets
+                    estimates = self.multi_localizer.localize(evidence)
+            except LocalizationError:
+                # Too few readers saw the target: an uncovered location,
+                # counted against the coverage rate rather than accuracy.
+                obs.count("pipeline.uncovered_fixes")
+                sp.set(outcome="uncovered")
+                return []
+            sp.set(outcome="ok", targets=len(estimates))
+            return estimates
 
     def _require_calibration(self) -> None:
         if not self.calibration:

@@ -18,7 +18,6 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import EstimationError
-from repro.utils.angles import wrap_to_pi
 
 
 @dataclass(frozen=True)

@@ -14,6 +14,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.constants import DEFAULT_WAVELENGTH_M, MAX_DOMINANT_PATHS
 from repro.dsp.covariance import sample_covariance
 from repro.dsp.peaks import find_spectrum_peaks
@@ -145,31 +146,35 @@ class MusicEstimator:
 
     def smoothed_covariance(self, snapshots: np.ndarray) -> np.ndarray:
         """The (possibly smoothed) covariance this estimator works on."""
-        x = np.asarray(snapshots, dtype=complex)
-        l = self._resolve_subarray(x.shape[0])
-        if l >= x.shape[0]:
-            return sample_covariance(x)
-        return spatially_smoothed_covariance(x, l, self.forward_backward)
+        with obs.span("music.covariance"):
+            x = np.asarray(snapshots, dtype=complex)
+            sub_len = self._resolve_subarray(x.shape[0])
+            if sub_len >= x.shape[0]:
+                return sample_covariance(x)
+            return spatially_smoothed_covariance(x, sub_len, self.forward_backward)
 
     def noise_subspace(self, snapshots: np.ndarray) -> np.ndarray:
         """Noise subspace ``U_N`` for these snapshots."""
         covariance = self.smoothed_covariance(snapshots)
-        eigenvalues, _ = eigendecompose(covariance)
-        p = self.num_sources
-        if p is None:
-            p = estimate_num_sources(
-                eigenvalues,
-                self.source_threshold_ratio,
-                max_sources=covariance.shape[0] - 1,
-            )
-        return noise_subspace(covariance, p)
+        with obs.span("music.eigendecomposition", size=covariance.shape[0]):
+            eigenvalues, _ = eigendecompose(covariance)
+            p = self.num_sources
+            if p is None:
+                p = estimate_num_sources(
+                    eigenvalues,
+                    self.source_threshold_ratio,
+                    max_sources=covariance.shape[0] - 1,
+                )
+            obs.count("music.sources_detected", p)
+            return noise_subspace(covariance, p)
 
     def spectrum(self, snapshots: np.ndarray) -> AngularSpectrum:
         """MUSIC pseudo-spectrum of the snapshots."""
-        un = self.noise_subspace(snapshots)
-        return music_spectrum_from_subspace(
-            un, self.spacing_m, self.wavelength_m, self.angle_grid
-        )
+        with obs.span("music.spectrum"):
+            un = self.noise_subspace(snapshots)
+            return music_spectrum_from_subspace(
+                un, self.spacing_m, self.wavelength_m, self.angle_grid
+            )
 
     def estimate_aoas(
         self, snapshots: np.ndarray, max_peaks: Optional[int] = None

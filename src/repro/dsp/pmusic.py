@@ -17,11 +17,12 @@ with MUSIC's resolution whose peak heights track per-path signal power.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.constants import DEFAULT_WAVELENGTH_M
 from repro.dsp.bartlett import bartlett_power_spectrum
 from repro.dsp.music import MusicEstimator
@@ -46,6 +47,7 @@ def normalize_peaks(
     peaks = find_spectrum_peaks(spectrum, min_relative_height, min_separation)
     if not peaks:
         raise EstimationError("cannot normalize a spectrum with no peaks")
+    obs.count("pmusic.peaks_found", len(peaks))
     values = spectrum.values.copy()
     for start, end in peak_regions(spectrum, peaks):
         region_max = values[start:end].max()
@@ -88,14 +90,17 @@ class PMusicEstimator:
 
     def spectrum(self, snapshots: np.ndarray) -> AngularSpectrum:
         """P-MUSIC spectrum ``Omega(theta)`` of the snapshots (Eq. 14)."""
-        music_spec = self.music.spectrum(snapshots)
-        normalized = normalize_peaks(
-            music_spec, self.peak_min_relative_height, self.peak_min_separation
-        )
-        power = bartlett_power_spectrum(
-            snapshots, self.spacing_m, self.wavelength_m, normalized.angles
-        )
-        return AngularSpectrum(normalized.angles.copy(), power.values * normalized.values)
+        with obs.span("pmusic.fusion"):
+            music_spec = self.music.spectrum(snapshots)
+            normalized = normalize_peaks(
+                music_spec, self.peak_min_relative_height, self.peak_min_separation
+            )
+            power = bartlett_power_spectrum(
+                snapshots, self.spacing_m, self.wavelength_m, normalized.angles
+            )
+            return AngularSpectrum(
+                normalized.angles.copy(), power.values * normalized.values
+            )
 
     def estimate_paths(
         self, snapshots: np.ndarray, max_peaks: Optional[int] = None
@@ -108,4 +113,5 @@ class PMusicEstimator:
         )
         if max_peaks is not None:
             peaks = peaks[:max_peaks]
+        obs.count("pmusic.paths_estimated", len(peaks))
         return peaks

@@ -35,3 +35,13 @@ class CalibrationError(ReproError):
 
 class LocalizationError(ReproError):
     """The localization pipeline could not produce a position estimate."""
+
+
+class UsageError(ReproError):
+    """A command-line invocation asked for something that does not exist.
+
+    Raised instead of a bare ``SystemExit`` so the CLI's single error
+    handler can render the message and pick the exit code, and so
+    programmatic callers of :func:`repro.cli.main` can catch it like
+    any other :class:`ReproError`.
+    """

@@ -8,7 +8,6 @@ target on a chosen leg.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import List, Sequence
 

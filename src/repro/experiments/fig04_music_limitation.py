@@ -10,7 +10,7 @@ amplitude change under both conditions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import List
 
 import numpy as np
 

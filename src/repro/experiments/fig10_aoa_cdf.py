@@ -15,7 +15,6 @@ from typing import Dict, List
 
 import numpy as np
 
-from repro.calibration.offsets import PhaseOffsets
 from repro.calibration.phaser import PhaserCalibrator
 from repro.calibration.wireless import (
     WirelessCalibrator,

@@ -12,9 +12,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
-import numpy as np
 
 from repro.dsp.music import MusicEstimator
 from repro.dsp.pmusic import PMusicEstimator

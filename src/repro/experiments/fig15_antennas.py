@@ -11,7 +11,6 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence
 
 from repro.experiments.harness import localization_trial_errors
-from repro.experiments.metrics import LocalizationResult
 from repro.sim.environments import hall_scene, laboratory_scene, library_scene
 from repro.utils.rng import RngLike, ensure_rng, spawn_child
 

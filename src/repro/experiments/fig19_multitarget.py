@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 
@@ -20,7 +20,7 @@ from repro.experiments.harness import DeploymentHarness
 from repro.geometry.point import Point
 from repro.sim.environments import table_scene
 from repro.sim.target import bottle_target
-from repro.utils.rng import RngLike, ensure_rng, spawn_child
+from repro.utils.rng import RngLike, ensure_rng
 
 
 @dataclass

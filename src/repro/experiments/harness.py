@@ -7,11 +7,12 @@ test locations and collect extended-target errors.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.pipeline import DWatch
 from repro.experiments.metrics import LocalizationResult
 from repro.geometry.point import Point
@@ -19,7 +20,7 @@ from repro.sim.deployment import test_location_grid
 from repro.sim.measurement import MeasurementConfig, MeasurementSession
 from repro.sim.scene import Scene
 from repro.sim.target import Target, human_target
-from repro.utils.rng import RngLike, ensure_rng, spawn_child
+from repro.utils.rng import RngLike, ensure_rng
 
 
 @dataclass
@@ -79,13 +80,22 @@ class DeploymentHarness:
         """Localization trials over ``positions`` x ``repeats``."""
         errors: List[float] = []
         attempted = 0
-        for position in positions:
-            target = target_factory(position)
-            for _ in range(repeats):
-                attempted += 1
-                estimate = self.localize_target(target)
-                if estimate is not None:
-                    errors.append(target.localization_error(estimate))
+        with obs.span(
+            "harness.trials", positions=len(positions), repeats=repeats
+        ) as sp:
+            for position in positions:
+                target = target_factory(position)
+                for _ in range(repeats):
+                    attempted += 1
+                    obs.count("harness.fixes")
+                    estimate = self.localize_target(target)
+                    if estimate is None:
+                        obs.count("harness.uncovered")
+                    else:
+                        error = target.localization_error(estimate)
+                        errors.append(error)
+                        obs.observe("harness.error_m", error)
+            sp.set(attempted=attempted, localized=len(errors))
         return LocalizationResult(attempted=attempted, errors=errors)
 
 

@@ -10,7 +10,6 @@ from __future__ import annotations
 
 from typing import Iterable, List, Sequence
 
-from repro.geometry.point import Point
 from repro.geometry.segment import Segment
 from repro.geometry.shapes import Circle
 

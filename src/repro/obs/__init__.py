@@ -1,0 +1,80 @@
+"""Pipeline-wide observability: tracing spans, metrics, structured logs.
+
+The D-Watch pipeline is instrumented with named spans and metrics at
+every stage boundary (covariance build, MUSIC eigendecomposition,
+P-MUSIC fusion, calibration solves, drop detection, the likelihood grid
+search).  This package is the zero-dependency layer behind that:
+
+* :func:`span` / :func:`count` / :func:`observe` / :func:`gauge` — the
+  instrumentation entry points; **no-ops unless enabled**, and never
+  touching pipeline numerics, so default runs stay bit-identical.
+* :func:`configure` / :func:`shutdown` — process-wide enablement with
+  optional JSONL trace and metrics files (the CLI's ``--trace`` /
+  ``--metrics``).
+* :func:`observed` — scoped enablement into a private registry.
+* :mod:`repro.obs.logging` — structured ``key=value`` progress logging.
+
+See ``docs/OBSERVABILITY.md`` for the naming scheme and file schemas.
+"""
+
+from repro.obs.logging import (
+    StructuredFormatter,
+    configure_logging,
+    fields,
+    get_logger,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    load_snapshot_jsonl,
+    render_snapshot,
+)
+from repro.obs.runtime import (
+    ObsState,
+    configure,
+    count,
+    gauge,
+    get_registry,
+    is_enabled,
+    observe,
+    observed,
+    shutdown,
+    snapshot,
+    span,
+)
+from repro.obs.trace import (
+    JsonlTraceWriter,
+    SpanRecord,
+    Tracer,
+    load_trace_jsonl,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlTraceWriter",
+    "MetricsRegistry",
+    "ObsState",
+    "SpanRecord",
+    "StructuredFormatter",
+    "Tracer",
+    "configure",
+    "configure_logging",
+    "count",
+    "fields",
+    "gauge",
+    "get_logger",
+    "get_registry",
+    "is_enabled",
+    "load_snapshot_jsonl",
+    "load_trace_jsonl",
+    "observe",
+    "observed",
+    "render_snapshot",
+    "shutdown",
+    "snapshot",
+    "span",
+]

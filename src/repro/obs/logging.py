@@ -1,0 +1,78 @@
+"""Structured logging for user-facing progress output.
+
+The CLI (and anything else that used to ``print`` progress) logs
+through here instead, which buys two things:
+
+* ``--quiet`` works: progress goes to stderr at INFO and can be raised
+  to WARNING wholesale, leaving stdout purely for results;
+* machine-readable runs work: the formatter renders ``key=value``
+  fields appended to the message, so logs stay greppable.
+
+Use :func:`get_logger` for a namespaced logger and pass structured
+fields as keyword arguments via :func:`log_fields`-style calls::
+
+    log = get_logger("cli")
+    log.info("calibrating readers", extra=fields(environment="hall"))
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Any, Dict, Optional
+
+ROOT_LOGGER_NAME = "repro"
+
+#: LogRecord attribute the structured fields travel under.
+_FIELDS_ATTR = "repro_fields"
+
+
+def fields(**values: Any) -> Dict[str, Dict[str, Any]]:
+    """Structured fields for a log call: ``log.info(msg, extra=fields(k=v))``."""
+    return {_FIELDS_ATTR: values}
+
+
+class StructuredFormatter(logging.Formatter):
+    """``level logger message key=value ...`` on one line."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        base = f"{record.levelname.lower()} {record.name} {record.getMessage()}"
+        extra = getattr(record, _FIELDS_ATTR, None)
+        if extra:
+            rendered = " ".join(f"{key}={value}" for key, value in extra.items())
+            base = f"{base} {rendered}"
+        if record.exc_info:
+            base = f"{base}\n{self.formatException(record.exc_info)}"
+        return base
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` namespace."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_logging(quiet: bool = False, stream=None) -> logging.Logger:
+    """Install the structured handler on the ``repro`` logger.
+
+    Parameters
+    ----------
+    quiet:
+        Raise the threshold to WARNING so progress chatter disappears
+        while genuine problems still surface.
+    stream:
+        Destination; stderr by default so stdout stays parseable.
+
+    Idempotent: reconfiguring replaces the previously installed
+    handler instead of stacking duplicates.
+    """
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(StructuredFormatter())
+    root.addHandler(handler)
+    root.setLevel(logging.WARNING if quiet else logging.INFO)
+    root.propagate = False
+    return root

@@ -1,0 +1,264 @@
+"""Metric primitives and the registry that owns them.
+
+Three metric kinds cover everything the pipeline reports:
+
+* :class:`Counter` — monotonically increasing totals
+  (``pipeline.fixes``, ``localizer.outliers_rejected``).
+* :class:`Gauge` — last-written values (``multitarget.pool_size``).
+* :class:`Histogram` — value distributions with exact count/sum/min/max
+  and sample-based percentiles (``calibration.residual``, the
+  per-stage ``latency.*`` series fed automatically by spans).
+
+Everything is plain stdlib + a lock, so the layer adds no dependency
+and is safe to use from the threaded measurement hub.  Histograms keep
+a deterministically decimated sample reservoir: when the buffer fills,
+every second sample is dropped and the keep stride doubles, so memory
+stays bounded without introducing randomness (randomness here would
+perturb nothing numerically, but determinism keeps snapshots
+reproducible run to run).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.errors import ConfigurationError
+
+MetricValue = Union[int, float]
+
+#: Percentiles reported in every histogram snapshot.
+HISTOGRAM_PERCENTILES = (50.0, 90.0, 99.0)
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing total."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: MetricValue = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the total."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (got {amount})"
+            )
+        self.value += float(amount)
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def snapshot(self) -> dict:
+        return {"name": self.name, "type": "counter", "value": self.value}
+
+
+@dataclass
+class Gauge:
+    """A last-written value."""
+
+    name: str
+    value: float = 0.0
+    _written: bool = False
+
+    def set(self, value: MetricValue) -> None:
+        self.value = float(value)
+        self._written = True
+
+    def reset(self) -> None:
+        self.value = 0.0
+        self._written = False
+
+    def snapshot(self) -> dict:
+        return {"name": self.name, "type": "gauge", "value": self.value}
+
+
+@dataclass
+class Histogram:
+    """A value distribution with exact aggregates and sampled percentiles.
+
+    Parameters
+    ----------
+    max_samples:
+        Reservoir capacity.  On overflow the stored samples are
+        decimated (every second one kept) and the keep stride doubles,
+        so long runs retain an evenly spread subsample.
+    """
+
+    name: str
+    max_samples: int = 4096
+    count: int = 0
+    total: float = 0.0
+    min_value: Optional[float] = None
+    max_value: Optional[float] = None
+    _samples: List[float] = field(default_factory=list)
+    _stride: int = 1
+    _pending: int = 0
+
+    def observe(self, value: MetricValue) -> None:
+        v = float(value)
+        self.count += 1
+        self.total += v
+        self.min_value = v if self.min_value is None else min(self.min_value, v)
+        self.max_value = v if self.max_value is None else max(self.max_value, v)
+        self._pending += 1
+        if self._pending >= self._stride:
+            self._pending = 0
+            self._samples.append(v)
+            if len(self._samples) >= self.max_samples:
+                self._samples = self._samples[::2]
+                self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the retained samples."""
+        if not 0.0 <= q <= 100.0:
+            raise ConfigurationError(f"percentile must be in [0, 100], got {q}")
+        if not self._samples:
+            return 0.0
+        ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min_value = None
+        self.max_value = None
+        self._samples = []
+        self._stride = 1
+        self._pending = 0
+
+    def snapshot(self) -> dict:
+        record = {
+            "name": self.name,
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min_value if self.min_value is not None else 0.0,
+            "max": self.max_value if self.max_value is not None else 0.0,
+        }
+        for q in HISTOGRAM_PERCENTILES:
+            record[f"p{q:g}"] = self.percentile(q)
+        return record
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Thread-safe get-or-create home for every named metric.
+
+    A metric name belongs to exactly one kind; asking for an existing
+    name with a different kind is a programming error and raises
+    immediately rather than silently splitting the series.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, Metric] = {}
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def _get_or_create(self, name: str, kind) -> Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = kind(name=name)
+                self._metrics[name] = metric
+            elif not isinstance(metric, kind):
+                raise ConfigurationError(
+                    f"metric {name!r} is a {type(metric).__name__}, "
+                    f"not a {kind.__name__}"
+                )
+            return metric
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def snapshot(self) -> List[dict]:
+        """One record per metric, sorted by name."""
+        with self._lock:
+            return [self._metrics[name].snapshot() for name in sorted(self._metrics)]
+
+    def reset(self) -> None:
+        """Zero every metric while keeping registrations."""
+        with self._lock:
+            for metric in self._metrics.values():
+                metric.reset()
+
+    def clear(self) -> None:
+        """Forget every metric."""
+        with self._lock:
+            self._metrics.clear()
+
+    def write_jsonl(self, path: str) -> int:
+        """Write the snapshot as JSON lines; returns the record count."""
+        records = self.snapshot()
+        with open(path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        return len(records)
+
+
+def load_snapshot_jsonl(path: str) -> List[dict]:
+    """Read a metrics snapshot previously written by :meth:`write_jsonl`."""
+    records: List[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def render_snapshot(records: Iterable[dict]) -> List[str]:
+    """Human-readable table of a metrics snapshot (for ``repro stats``)."""
+    counters = [r for r in records if r.get("type") == "counter"]
+    gauges = [r for r in records if r.get("type") == "gauge"]
+    histograms = [r for r in records if r.get("type") == "histogram"]
+    lines: List[str] = []
+    if counters or gauges:
+        width = max(len(r["name"]) for r in counters + gauges)
+        lines.append("-- counters & gauges --")
+        for record in counters + gauges:
+            value = record.get("value", 0.0)
+            rendered = f"{value:g}" if isinstance(value, float) else str(value)
+            lines.append(f"{record['name']:<{width}}  {rendered}")
+    if histograms:
+        if lines:
+            lines.append("")
+        width = max(len(r["name"]) for r in histograms)
+        lines.append("-- histograms --")
+        header = (
+            f"{'name':<{width}}  {'count':>7} {'mean':>10} {'p50':>10} "
+            f"{'p90':>10} {'p99':>10} {'max':>10}"
+        )
+        lines.append(header)
+        for record in histograms:
+            lines.append(
+                f"{record['name']:<{width}}  "
+                f"{record.get('count', 0):>7} "
+                f"{record.get('mean', 0.0):>10.3f} "
+                f"{record.get('p50', 0.0):>10.3f} "
+                f"{record.get('p90', 0.0):>10.3f} "
+                f"{record.get('p99', 0.0):>10.3f} "
+                f"{record.get('max', 0.0):>10.3f}"
+            )
+    if not lines:
+        lines.append("(no metrics recorded)")
+    return lines

@@ -1,0 +1,167 @@
+"""Global observability state and the instrumentation entry points.
+
+Instrumented pipeline code calls exactly four cheap functions:
+
+* ``span(name, **attrs)`` — time a stage (context manager),
+* ``count(name, n)`` — bump a counter,
+* ``observe(name, value)`` — feed a histogram,
+* ``gauge(name, value)`` — write a gauge.
+
+With observability **disabled — the default — every one of them is a
+single flag check followed by an immediate return**, and none of them
+ever touches the numbers flowing through the pipeline, so disabled runs
+are bit-identical to an uninstrumented build.
+
+Enabling is either global (:func:`configure`, used by the CLI flags) or
+scoped (:func:`observed`, used by tests and the latency harness to
+collect into a private registry and restore the previous state on
+exit).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Any, Iterator, List, Optional, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import (
+    NULL_SPAN,
+    ActiveSpan,
+    JsonlTraceWriter,
+    NullSpan,
+    SpanRecord,
+    Tracer,
+)
+
+
+class _LatencyFeed:
+    """Span observer that turns every span into a latency histogram."""
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+
+    def on_span(self, record: SpanRecord) -> None:
+        self.registry.histogram(f"latency.{record.name}").observe(
+            record.duration_ms
+        )
+
+
+@dataclass
+class ObsState:
+    """Everything that defines one observability configuration."""
+
+    enabled: bool = False
+    registry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    tracer: Tracer = field(default_factory=Tracer)
+    trace_writer: Optional[JsonlTraceWriter] = None
+    metrics_path: Optional[str] = None
+
+
+_state = ObsState()
+
+
+def is_enabled() -> bool:
+    """Whether instrumentation currently records anything."""
+    return _state.enabled
+
+
+def get_registry() -> MetricsRegistry:
+    """The registry metrics currently flow into."""
+    return _state.registry
+
+
+def _build_state(
+    trace_file: Optional[str], metrics_file: Optional[str]
+) -> ObsState:
+    state = ObsState(enabled=True, metrics_path=metrics_file)
+    state.tracer.add_observer(_LatencyFeed(state.registry))
+    if trace_file is not None:
+        state.trace_writer = JsonlTraceWriter(trace_file)
+        state.tracer.add_observer(state.trace_writer)
+    return state
+
+
+def configure(
+    trace_file: Optional[str] = None,
+    metrics_file: Optional[str] = None,
+) -> ObsState:
+    """Enable observability process-wide (the CLI ``--trace/--metrics``).
+
+    Returns the new active state.  Call :func:`shutdown` when the run
+    ends to flush the trace file and write the metrics snapshot.
+    """
+    global _state
+    shutdown()
+    _state = _build_state(trace_file, metrics_file)
+    return _state
+
+
+def shutdown() -> Optional[int]:
+    """Flush and disable; returns the metric count written, if any.
+
+    Safe to call when observability was never configured.
+    """
+    global _state
+    state = _state
+    written = None
+    if state.trace_writer is not None:
+        state.trace_writer.close()
+    if state.enabled and state.metrics_path is not None:
+        written = state.registry.write_jsonl(state.metrics_path)
+    _state = ObsState()
+    return written
+
+
+@contextlib.contextmanager
+def observed(trace_file: Optional[str] = None) -> Iterator[ObsState]:
+    """Temporarily enable observability into a fresh private registry.
+
+    Used by tests and by the latency harness: metrics recorded inside
+    the block live in ``state.registry`` only, and the previous global
+    state (enabled or not) is restored on exit.
+    """
+    global _state
+    previous = _state
+    state = _build_state(trace_file, None)
+    _state = state
+    try:
+        yield state
+    finally:
+        if state.trace_writer is not None:
+            state.trace_writer.close()
+        _state = previous
+
+
+def span(name: str, **attrs: Any) -> Union[ActiveSpan, NullSpan]:
+    """Open a timed span; a no-op singleton when disabled."""
+    state = _state
+    if not state.enabled:
+        return NULL_SPAN
+    return state.tracer.start(name, attrs)
+
+
+def count(name: str, amount: float = 1) -> None:
+    """Bump a counter; a no-op when disabled."""
+    state = _state
+    if state.enabled:
+        state.registry.counter(name).inc(amount)
+
+
+def observe(name: str, value: float) -> None:
+    """Record one histogram observation; a no-op when disabled."""
+    state = _state
+    if state.enabled:
+        state.registry.histogram(name).observe(value)
+
+
+def gauge(name: str, value: float) -> None:
+    """Write a gauge; a no-op when disabled."""
+    state = _state
+    if state.enabled:
+        state.registry.gauge(name).set(value)
+
+
+def snapshot() -> List[dict]:
+    """Snapshot of the currently active registry."""
+    return _state.registry.snapshot()

@@ -1,0 +1,243 @@
+"""Span tracing: timed, nested, named stages of the pipeline.
+
+A span covers one pipeline stage (covariance build, eigendecomposition,
+P-MUSIC fusion, a calibration solve, the likelihood grid search, ...).
+Spans nest through a thread-local stack, so a trace of one ``localize``
+call reconstructs the full stage tree with per-stage wall time.
+
+Completed spans are reported to a :class:`SpanObserver` — the runtime
+wires one that feeds ``latency.<name>`` histograms and, when tracing to
+a file is on, appends one JSON line per span.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Protocol
+
+
+@dataclass
+class SpanRecord:
+    """The immutable outcome of one finished span."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    trace_id: int
+    start_unix_s: float
+    duration_ms: float
+    status: str = "ok"
+    attrs: Dict[str, Any] = field(default_factory=dict)
+    thread: str = ""
+
+    def to_json_line(self) -> str:
+        record = {
+            "type": "span",
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
+            "start_unix_s": self.start_unix_s,
+            "duration_ms": self.duration_ms,
+            "status": self.status,
+            "thread": self.thread,
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return json.dumps(record, sort_keys=True, default=str)
+
+
+class SpanObserver(Protocol):
+    """Anything that wants to see finished spans."""
+
+    def on_span(self, record: SpanRecord) -> None:  # pragma: no cover
+        ...
+
+
+class JsonlTraceWriter:
+    """Appends span records to a JSONL file, thread-safely.
+
+    The file opens lazily on the first span so that merely configuring
+    a trace path never creates an empty file for a run that dies before
+    producing any spans.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._handle = None
+
+    def on_span(self, record: SpanRecord) -> None:
+        with self._lock:
+            if self._handle is None:
+                self._handle = open(self.path, "w", encoding="utf-8")
+            self._handle.write(record.to_json_line() + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
+
+
+class Tracer:
+    """Owns the thread-local span stack and id assignment.
+
+    Span and trace ids are small process-wide integers (not UUIDs): the
+    traces are per-run files, so compact ids keep them readable and
+    diffable.
+    """
+
+    def __init__(self) -> None:
+        self._ids = itertools.count(1)
+        self._traces = itertools.count(1)
+        self._id_lock = threading.Lock()
+        self._local = threading.local()
+        self._observers: List[SpanObserver] = []
+
+    def add_observer(self, observer: SpanObserver) -> None:
+        self._observers.append(observer)
+
+    def remove_observer(self, observer: SpanObserver) -> None:
+        if observer in self._observers:
+            self._observers.remove(observer)
+
+    def _stack(self) -> List["ActiveSpan"]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def current(self) -> Optional["ActiveSpan"]:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    def start(self, name: str, attrs: Dict[str, Any]) -> "ActiveSpan":
+        with self._id_lock:
+            span_id = next(self._ids)
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        if parent is None:
+            with self._id_lock:
+                trace_id = next(self._traces)
+        else:
+            trace_id = parent.trace_id
+        span = ActiveSpan(
+            tracer=self,
+            name=name,
+            span_id=span_id,
+            parent_id=parent.span_id if parent else None,
+            trace_id=trace_id,
+            attrs=dict(attrs),
+        )
+        stack.append(span)
+        return span
+
+    def finish(self, span: "ActiveSpan", status: str) -> SpanRecord:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        else:  # pragma: no cover - misuse guard (exit out of order)
+            while stack and stack[-1] is not span:
+                stack.pop()
+            if stack:
+                stack.pop()
+        record = SpanRecord(
+            name=span.name,
+            span_id=span.span_id,
+            parent_id=span.parent_id,
+            trace_id=span.trace_id,
+            start_unix_s=span.start_unix_s,
+            duration_ms=(time.perf_counter() - span.start_perf) * 1e3,
+            status=status,
+            attrs=span.attrs,
+            thread=threading.current_thread().name,
+        )
+        for observer in self._observers:
+            observer.on_span(record)
+        return record
+
+
+class ActiveSpan:
+    """An open span; also the context-manager object ``span()`` yields."""
+
+    __slots__ = (
+        "tracer",
+        "name",
+        "span_id",
+        "parent_id",
+        "trace_id",
+        "attrs",
+        "start_unix_s",
+        "start_perf",
+    )
+
+    def __init__(
+        self,
+        tracer: Tracer,
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        trace_id: int,
+        attrs: Dict[str, Any],
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.trace_id = trace_id
+        self.attrs = attrs
+        self.start_unix_s = time.time()
+        self.start_perf = time.perf_counter()
+
+    def set(self, **attrs: Any) -> "ActiveSpan":
+        """Attach attributes computed while the span is open."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "ActiveSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.tracer.finish(self, "error" if exc_type is not None else "ok")
+        return False
+
+
+class NullSpan:
+    """The shared no-op span used whenever observability is disabled.
+
+    Stateless and reentrant, so one module-level instance serves every
+    call site; the disabled fast path is one attribute check plus
+    returning this object.
+    """
+
+    __slots__ = ()
+
+    def set(self, **attrs: Any) -> "NullSpan":
+        return self
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = NullSpan()
+
+
+def load_trace_jsonl(path: str) -> List[dict]:
+    """Read a span trace file back into dict records."""
+    records: List[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

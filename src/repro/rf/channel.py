@@ -9,7 +9,7 @@ MUSIC users to apply spatial smoothing (Section 4.2 of the paper).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence
 
 import numpy as np
 

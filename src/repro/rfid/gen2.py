@@ -12,9 +12,8 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
-import numpy as np
 
 from repro.errors import ProtocolError
 from repro.rfid.epc import encode_epc

@@ -9,7 +9,7 @@ antenna hub that carries the whole array.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

@@ -9,9 +9,7 @@ participates in the Gen2 slotted-ALOHA inventory.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
-import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.geometry.point import Point

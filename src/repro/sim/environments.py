@@ -17,7 +17,7 @@ reproducible but distinct across trials.
 from __future__ import annotations
 
 import math
-from typing import List, Optional
+from typing import List
 
 from repro.geometry.point import Point
 from repro.geometry.reflection import Reflector
@@ -26,7 +26,7 @@ from repro.geometry.shapes import Rectangle
 from repro.rf.array import UniformLinearArray
 from repro.rfid.reader import Reader
 from repro.rfid.tag import Tag
-from repro.sim.deployment import perimeter_tag_positions, random_tag_positions
+from repro.sim.deployment import random_tag_positions
 from repro.sim.scene import Scene
 from repro.utils.rng import RngLike, ensure_rng
 

@@ -11,13 +11,13 @@ interfaces a physical deployment would.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.constants import PACKETS_PER_FIX
 from repro.errors import ConfigurationError
-from repro.geometry.shapes import Circle
 from repro.rfid.gen2 import Gen2Inventory
 from repro.rfid.llrp import RoReport, build_report
 from repro.sim.scene import Scene
@@ -118,6 +118,15 @@ class MeasurementSession:
         ``targets`` are the device-free bodies currently in the area;
         their shadowing attenuates every path they block.
         """
+        with obs.span("sim.capture", targets=len(targets)) as sp:
+            result = self._capture_snapshots(targets)
+            pairs = sum(len(per_tag) for per_tag in result.snapshots.values())
+            sp.set(pairs=pairs)
+            obs.count("sim.captures")
+            obs.count("sim.snapshots", pairs * self.config.num_snapshots)
+        return result
+
+    def _capture_snapshots(self, targets: Sequence[Target]) -> Measurement:
         bodies = [target.body() for target in targets]
         result = Measurement()
         for reader in self.scene.readers:

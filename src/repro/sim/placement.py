@@ -10,16 +10,14 @@ choice carries the classic (1 − 1/e) guarantee.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, replace as dataclass_replace
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
-import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.geometry.point import Point
 from repro.rfid.tag import Tag
-from repro.sim.coverage import CoverageMap, analyze_coverage
+from repro.sim.coverage import analyze_coverage
 from repro.sim.scene import Scene
 from repro.utils.rng import RngLike, ensure_rng
 

@@ -11,11 +11,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace as dataclass_replace
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.constants import DEFAULT_FREQUENCY_HZ
 from repro.errors import ConfigurationError
-from repro.geometry.point import Point
 from repro.geometry.reflection import Reflector
 from repro.geometry.shapes import Rectangle
 from repro.rf.channel import MultipathChannel

@@ -8,7 +8,7 @@ and debugging sessions work over SSH and in CI logs.
 from __future__ import annotations
 
 import math
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 

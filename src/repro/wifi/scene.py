@@ -9,7 +9,6 @@ carrier (5.18 GHz, channel 36) and the correspondingly tighter array.
 from __future__ import annotations
 
 import math
-from typing import List
 
 from repro.constants import SPEED_OF_LIGHT
 from repro.geometry.point import Point

@@ -1,11 +1,9 @@
 """Tests for the radio tomographic imaging baseline."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.rti import RtiLocalizer, link_rss_db
 from repro.errors import ConfigurationError, LocalizationError
-from repro.geometry.point import Point
 from repro.sim.environments import hall_scene
 from repro.sim.measurement import MeasurementSession
 from repro.sim.target import human_target

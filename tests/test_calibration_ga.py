@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.calibration.ga import GaResult, GeneticMinimizer
+from repro.calibration.ga import GeneticMinimizer
 from repro.errors import ConfigurationError
 
 

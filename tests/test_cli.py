@@ -1,8 +1,19 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro import obs
+from repro.cli import EXIT_ERROR, _build_scene, build_parser, main
+from repro.errors import UsageError
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    obs.shutdown()
+    yield
+    obs.shutdown()
 
 
 class TestParser:
@@ -14,6 +25,9 @@ class TestParser:
         args = build_parser().parse_args(["demo"])
         assert args.environment == "hall"
         assert args.seed == 1
+        assert args.trace is None
+        assert args.metrics is None
+        assert args.quiet is False
 
     def test_coverage_spacing(self):
         args = build_parser().parse_args(["coverage", "--spacing", "0.5"])
@@ -22,6 +36,28 @@ class TestParser:
     def test_rejects_unknown_environment(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["demo", "--environment", "castle"])
+
+    def test_quiet_and_observability_flags(self):
+        args = build_parser().parse_args(
+            ["--quiet", "demo", "--trace", "t.jsonl", "--metrics", "m.jsonl"]
+        )
+        assert args.quiet is True
+        assert args.trace == "t.jsonl"
+        assert args.metrics == "m.jsonl"
+
+    def test_stats_default_file(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.file == "metrics.jsonl"
+
+
+class TestSceneBuilding:
+    def test_unknown_environment_raises_usage_error(self):
+        with pytest.raises(UsageError, match="unknown environment"):
+            _build_scene("castle", seed=1)
+
+    def test_known_environment_builds(self):
+        scene = _build_scene("hall", seed=1)
+        assert scene.readers
 
 
 class TestCommands:
@@ -36,11 +72,79 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "offset_deg" in out
 
-    def test_experiment_unknown_figure(self):
-        with pytest.raises(SystemExit):
-            main(["experiment", "fig99"])
+    def test_experiment_unknown_figure(self, capsys):
+        assert main(["experiment", "fig99"]) == EXIT_ERROR
+        err = capsys.readouterr().err
+        assert "error:" in err
+        assert "fig99" in err
 
     def test_demo_runs_end_to_end(self, capsys):
         assert main(["demo", "--environment", "hall", "--seed", "3"]) == 0
         out = capsys.readouterr().out
         assert "likelihood surface" in out
+
+    def test_quiet_suppresses_progress(self, capsys):
+        assert main(["--quiet", "experiment", "fig03"]) == 0
+        captured = capsys.readouterr()
+        assert "running experiment" not in captured.err
+        assert "offset_deg" in captured.out
+
+
+class TestObservabilityFlags:
+    def test_demo_writes_trace_and_metrics(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.jsonl"
+        assert (
+            main(
+                [
+                    "demo",
+                    "--environment",
+                    "hall",
+                    "--seed",
+                    "3",
+                    "--trace",
+                    str(trace),
+                    "--metrics",
+                    str(metrics),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        span_names = set()
+        with open(trace) as handle:
+            for line in handle:
+                record = json.loads(line)
+                assert record["type"] == "span"
+                span_names.add(record["name"])
+        for stage in (
+            "pipeline.calibrate",
+            "pipeline.baseline",
+            "pipeline.evidence",
+            "pipeline.localize",
+        ):
+            assert stage in span_names
+        metric_names = set()
+        with open(metrics) as handle:
+            for line in handle:
+                metric_names.add(json.loads(line)["name"])
+        assert "pipeline.fixes" in metric_names
+        assert "latency.pipeline.localize" in metric_names
+        # The run's shutdown() must leave observability off again.
+        assert not obs.is_enabled()
+
+    def test_stats_renders_snapshot(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.jsonl"
+        registry = obs.MetricsRegistry()
+        registry.counter("pipeline.fixes").inc(4)
+        registry.histogram("latency.pipeline.localize").observe(12.5)
+        registry.write_jsonl(str(metrics))
+        assert main(["stats", str(metrics)]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline.fixes" in out
+        assert "latency.pipeline.localize" in out
+
+    def test_stats_missing_file_is_usage_error(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope.jsonl")]) == EXIT_ERROR
+        err = capsys.readouterr().err
+        assert "no metrics file" in err

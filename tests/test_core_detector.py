@@ -5,7 +5,7 @@ import math
 import numpy as np
 import pytest
 
-from repro.core.detector import AngleEvidence, BlockedPath, DropDetector
+from repro.core.detector import BlockedPath, DropDetector
 from repro.dsp.spectrum import AngularSpectrum, default_angle_grid
 
 

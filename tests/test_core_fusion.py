@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.fusion import FusedFix, fuse_fixes, geometric_median
+from repro.core.fusion import fuse_fixes, geometric_median
 from repro.errors import EstimationError
 from repro.geometry.point import Point
 

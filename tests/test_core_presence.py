@@ -1,12 +1,10 @@
 """Tests for repro.core.presence."""
 
-import numpy as np
 import pytest
 
 from repro.core.detector import BlockedPath, _evidence_from_events
 from repro.core.presence import (
     PresenceDetector,
-    RocPoint,
     auc,
     presence_score,
     roc_curve,

@@ -4,7 +4,7 @@ import math
 
 import pytest
 
-from repro.core.triangulate import Bearing, TriangulationResult, triangulate
+from repro.core.triangulate import Bearing, triangulate
 from repro.errors import EstimationError
 from repro.geometry.point import Point
 

@@ -1,13 +1,11 @@
 """Tests for repro.dsp.doppler."""
 
-import math
 
 import numpy as np
 import pytest
 
 from repro.constants import DEFAULT_WAVELENGTH_M
 from repro.dsp.doppler import (
-    DopplerEstimate,
     estimate_doppler,
     phase_stream,
     speed_track,

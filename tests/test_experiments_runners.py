@@ -5,9 +5,7 @@ These run the figure reproductions at reduced size and assert the
 reproduction is accountable for.
 """
 
-import math
 
-import numpy as np
 import pytest
 
 import repro.experiments as experiments

@@ -1,6 +1,5 @@
 """Tests for repro.geometry.reflection (image method)."""
 
-import math
 
 import pytest
 

@@ -9,7 +9,6 @@ import numpy as np
 import pytest
 
 from repro.core.pipeline import DWatch
-from repro.geometry.point import Point
 from repro.sim.environments import hall_scene
 from repro.sim.measurement import MeasurementSession, measurement_from_reports
 from repro.sim.target import human_target

@@ -1,0 +1,264 @@
+"""Unit tests for the observability layer (spans, metrics, JSONL)."""
+
+import json
+import logging
+import threading
+
+import pytest
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.obs.logging import StructuredFormatter, configure_logging, fields
+from repro.obs.metrics import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    load_snapshot_jsonl,
+    render_snapshot,
+)
+from repro.obs.trace import load_trace_jsonl
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """Every test starts and ends with observability disabled."""
+    obs.shutdown()
+    yield
+    obs.shutdown()
+
+
+class TestDisabledFastPath:
+    def test_disabled_by_default(self):
+        assert not obs.is_enabled()
+
+    def test_span_is_shared_noop(self):
+        a = obs.span("anything", attr=1)
+        b = obs.span("else")
+        assert a is b  # the NullSpan singleton
+        with a as sp:
+            assert sp.set(more=2) is sp
+
+    def test_counters_do_nothing_when_disabled(self):
+        obs.count("x")
+        obs.observe("y", 1.0)
+        obs.gauge("z", 2.0)
+        assert obs.snapshot() == []
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            Counter("c").inc(-1)
+
+    def test_registry_kind_collision(self):
+        registry = MetricsRegistry()
+        registry.counter("name")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("name")
+
+
+class TestHistogram:
+    def test_exact_aggregates(self):
+        h = Histogram("h")
+        for v in [1.0, 2.0, 3.0, 4.0]:
+            h.observe(v)
+        assert h.count == 4
+        assert h.total == 10.0
+        assert h.min_value == 1.0
+        assert h.max_value == 4.0
+        assert h.mean == 2.5
+
+    def test_percentiles(self):
+        h = Histogram("h")
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+        assert abs(h.percentile(50) - 50.0) <= 1.0
+        assert abs(h.percentile(90) - 90.0) <= 1.0
+
+    def test_percentile_range_check(self):
+        with pytest.raises(ConfigurationError):
+            Histogram("h").percentile(101)
+
+    def test_decimation_keeps_exact_aggregates(self):
+        h = Histogram("h", max_samples=64)
+        n = 10_000
+        for v in range(n):
+            h.observe(float(v))
+        assert h.count == n
+        assert h.max_value == float(n - 1)
+        assert len(h._samples) < 64
+        # Percentiles stay approximately right on the decimated sample.
+        assert abs(h.percentile(50) - n / 2) < n * 0.1
+
+    def test_reset(self):
+        h = Histogram("h")
+        h.observe(5.0)
+        h.reset()
+        assert h.count == 0
+        assert h.percentile(50) == 0.0
+
+
+class TestRegistrySnapshot:
+    def test_snapshot_and_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(3)
+        registry.gauge("b").set(7.5)
+        registry.histogram("c").observe(1.0)
+        snap = {record["name"]: record for record in registry.snapshot()}
+        assert snap["a"]["value"] == 3.0
+        assert snap["b"]["value"] == 7.5
+        assert snap["c"]["count"] == 1
+        registry.reset()
+        snap = {record["name"]: record for record in registry.snapshot()}
+        assert snap["a"]["value"] == 0.0
+        assert snap["c"]["count"] == 0
+
+    def test_jsonl_round_trip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("fixes").inc(12)
+        registry.histogram("lat").observe(4.0)
+        path = str(tmp_path / "metrics.jsonl")
+        written = registry.write_jsonl(path)
+        assert written == 2
+        records = load_snapshot_jsonl(path)
+        assert records == registry.snapshot()
+
+    def test_render_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("fixes").inc(2)
+        registry.histogram("lat").observe(3.0)
+        text = "\n".join(render_snapshot(registry.snapshot()))
+        assert "fixes" in text
+        assert "lat" in text
+        assert "p90" in text
+
+    def test_render_empty(self):
+        assert render_snapshot([]) == ["(no metrics recorded)"]
+
+
+class TestSpans:
+    def test_nesting_parent_child(self, tmp_path):
+        trace = str(tmp_path / "trace.jsonl")
+        with obs.observed(trace_file=trace):
+            with obs.span("outer") as outer:
+                with obs.span("inner") as inner:
+                    assert inner.parent_id == outer.span_id
+                    assert inner.trace_id == outer.trace_id
+        records = {r["name"]: r for r in load_trace_jsonl(trace)}
+        assert records["inner"]["parent_id"] == records["outer"]["span_id"]
+        assert records["outer"]["parent_id"] is None
+
+    def test_span_timing_feeds_latency_histogram(self):
+        with obs.observed() as state:
+            with obs.span("stage"):
+                pass
+            snap = {r["name"]: r for r in state.registry.snapshot()}
+        assert snap["latency.stage"]["count"] == 1
+        assert snap["latency.stage"]["max"] >= 0.0
+
+    def test_span_attrs_and_set(self, tmp_path):
+        trace = str(tmp_path / "trace.jsonl")
+        with obs.observed(trace_file=trace):
+            with obs.span("stage", static=1) as sp:
+                sp.set(dynamic=2)
+        (record,) = load_trace_jsonl(trace)
+        assert record["attrs"] == {"static": 1, "dynamic": 2}
+
+    def test_error_status_and_reraise(self, tmp_path):
+        trace = str(tmp_path / "trace.jsonl")
+        with obs.observed(trace_file=trace):
+            with pytest.raises(ValueError):
+                with obs.span("boom"):
+                    raise ValueError("nope")
+        (record,) = load_trace_jsonl(trace)
+        assert record["status"] == "error"
+
+    def test_sibling_spans_share_trace_only_via_root(self):
+        with obs.observed() as state:
+            with obs.span("root-1") as a:
+                pass
+            with obs.span("root-2") as b:
+                pass
+        assert a.trace_id != b.trace_id
+
+    def test_threads_have_independent_stacks(self):
+        seen = {}
+
+        def worker():
+            with obs.span("thread-root") as sp:
+                seen["parent"] = sp.parent_id
+
+        with obs.observed():
+            with obs.span("main-root"):
+                thread = threading.Thread(target=worker)
+                thread.start()
+                thread.join()
+        assert seen["parent"] is None
+
+    def test_observed_restores_previous_state(self):
+        assert not obs.is_enabled()
+        with obs.observed():
+            assert obs.is_enabled()
+            inner_registry = obs.get_registry()
+        assert not obs.is_enabled()
+        assert obs.get_registry() is not inner_registry
+
+    def test_configure_shutdown_writes_metrics(self, tmp_path):
+        metrics = str(tmp_path / "metrics.jsonl")
+        obs.configure(metrics_file=metrics)
+        obs.count("hits", 3)
+        written = obs.shutdown()
+        assert written == 1
+        (record,) = load_snapshot_jsonl(metrics)
+        assert record == {"name": "hits", "type": "counter", "value": 3.0}
+        assert not obs.is_enabled()
+
+    def test_trace_file_not_created_without_spans(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        with obs.observed(trace_file=str(trace)):
+            pass
+        assert not trace.exists()
+
+    def test_trace_lines_are_valid_json(self, tmp_path):
+        trace = str(tmp_path / "trace.jsonl")
+        with obs.observed(trace_file=trace):
+            for index in range(5):
+                with obs.span("stage", index=index):
+                    pass
+        with open(trace) as handle:
+            lines = [line for line in handle if line.strip()]
+        assert len(lines) == 5
+        for line in lines:
+            record = json.loads(line)
+            assert record["type"] == "span"
+            assert record["duration_ms"] >= 0.0
+
+
+class TestStructuredLogging:
+    def test_formatter_renders_fields(self):
+        record = logging.LogRecord(
+            "repro.cli", logging.INFO, __file__, 1, "calibrating", (), None
+        )
+        record.repro_fields = {"environment": "hall", "readers": 4}
+        text = StructuredFormatter().format(record)
+        assert "info repro.cli calibrating" in text
+        assert "environment=hall" in text
+        assert "readers=4" in text
+
+    def test_fields_helper_shape(self):
+        assert fields(a=1) == {"repro_fields": {"a": 1}}
+
+    def test_configure_logging_quiet_and_idempotent(self):
+        logger = configure_logging(quiet=True)
+        assert logger.level == logging.WARNING
+        logger = configure_logging(quiet=False)
+        assert logger.level == logging.INFO
+        assert len(logger.handlers) == 1

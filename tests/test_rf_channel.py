@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.geometry.point import Point
 from repro.geometry.shapes import Circle
 from repro.rf.channel import MultipathChannel, merge_channels
 

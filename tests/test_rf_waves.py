@@ -1,6 +1,5 @@
 """Tests for repro.rf.waves."""
 
-import cmath
 import math
 
 import pytest

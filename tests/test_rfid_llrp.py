@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ProtocolError
-from repro.rfid.llrp import RoReport, TagReportData, build_report
+from repro.rfid.llrp import TagReportData, build_report
 
 
 @pytest.fixture

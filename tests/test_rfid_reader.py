@@ -4,8 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.geometry.point import Point
-from repro.rf.array import UniformLinearArray
 from repro.rfid.reader import Reader, random_phase_offsets
 
 

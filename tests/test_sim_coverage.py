@@ -1,10 +1,9 @@
 """Tests for repro.sim.coverage."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.sim.coverage import CoverageMap, analyze_coverage
+from repro.sim.coverage import analyze_coverage
 from repro.sim.environments import hall_scene, library_scene, table_scene
 
 

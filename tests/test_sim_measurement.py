@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.geometry.point import Point
 from repro.sim.environments import hall_scene
 from repro.sim.measurement import (
     Measurement,

@@ -6,7 +6,6 @@ from repro.errors import ConfigurationError
 from repro.sim.coverage import analyze_coverage
 from repro.sim.environments import hall_scene
 from repro.sim.placement import (
-    PlacementResult,
     candidate_positions,
     optimize_tag_placement,
 )

@@ -9,7 +9,6 @@ from repro.geometry.point import Point
 from repro.geometry.reflection import Reflector
 from repro.geometry.segment import Segment
 from repro.geometry.shapes import Rectangle
-from repro.rf.array import UniformLinearArray
 from repro.rfid.reader import Reader
 from repro.rfid.tag import Tag
 from repro.sim.scene import Scene, build_channel, effective_aoa

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.utils.stats import (
-    ErrorSummary,
     empirical_cdf,
     mean_and_std,
     median,

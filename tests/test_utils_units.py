@@ -1,6 +1,5 @@
 """Tests for repro.utils.units."""
 
-import numpy as np
 import pytest
 
 from repro.utils.units import db_to_linear, db_to_power, linear_to_db, power_to_db

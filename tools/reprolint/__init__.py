@@ -1,0 +1,14 @@
+"""reprolint: domain-aware static analysis for the D-Watch reproduction.
+
+A small AST linter enforcing invariants the Python type system cannot
+see: reproducible randomness (RL001), radian discipline (RL002), no
+silent complex→real narrowing in the MUSIC/P-MUSIC math (RL003),
+annotated public APIs (RL004), and the classic Python footguns RL005.
+
+Run with ``python -m tools.reprolint src/``.
+"""
+
+from tools.reprolint.engine import Finding, lint_paths, lint_source
+from tools.reprolint.rules import RULES
+
+__all__ = ["Finding", "RULES", "lint_paths", "lint_source"]

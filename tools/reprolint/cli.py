@@ -1,0 +1,83 @@
+"""Command-line entry point: ``python -m tools.reprolint src/``.
+
+Exit codes follow the usual linter convention: 0 clean, 1 findings,
+2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from typing import List, Optional, Set
+
+from tools.reprolint.engine import lint_paths
+from tools.reprolint.rules import RULES
+
+
+def _parse_codes(raw: Optional[str]) -> Optional[Set[str]]:
+    if raw is None:
+        return None
+    codes = {code.strip().upper() for code in raw.split(",") if code.strip()}
+    unknown = codes - set(RULES)
+    if unknown:
+        raise SystemExit(f"reprolint: unknown rule code(s): {', '.join(sorted(unknown))}")
+    return codes
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description="Project-specific static analysis for the D-Watch reproduction.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"], help="files or directories")
+    parser.add_argument("--select", help="comma-separated rule codes to run exclusively")
+    parser.add_argument("--ignore", help="comma-separated rule codes to skip")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text", help="output format"
+    )
+    parser.add_argument(
+        "--statistics", action="store_true", help="print a per-rule finding count"
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list rule codes and exit"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code in sorted(RULES):
+            print(f"{code}  {RULES[code]}")
+        return 0
+
+    try:
+        select = _parse_codes(args.select)
+        ignore = _parse_codes(args.ignore)
+    except SystemExit as exc:
+        print(exc, file=sys.stderr)
+        return 2
+
+    paths = args.paths or ["src"]
+    findings = lint_paths(paths, select=select, ignore=ignore)
+
+    if args.format == "json":
+        print(json.dumps([f.as_dict() for f in findings], indent=2))
+    else:
+        for finding in findings:
+            print(finding.format())
+
+    if args.statistics:
+        counts = Counter(f.code for f in findings)
+        for code in sorted(counts):
+            print(f"{code}: {counts[code]}")
+
+    if findings:
+        if args.format == "text":
+            print(f"reprolint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0

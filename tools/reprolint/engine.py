@@ -1,0 +1,164 @@
+"""Core machinery of reprolint: findings, suppressions, file walking.
+
+The engine is rule-agnostic.  It parses a source file once, collects the
+``# reprolint: disable=...`` escape hatches from the token stream, runs
+the AST checker from :mod:`tools.reprolint.rules`, and filters the raw
+findings through the suppressions.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+#: Matches both suppression forms::
+#:
+#:     x = legacy_call()  # reprolint: disable=RL001
+#:     # reprolint: disable-next-line=RL001,RL003
+#:     x = legacy_call()
+#:
+#: ``disable=all`` silences every rule on the covered line.
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable|disable-next-line)\s*=\s*"
+    r"(?P<codes>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+)
+
+ALL_CODES = "all"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a specific source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class ParseFailure:
+    """A file the engine could not parse (reported as a finding itself)."""
+
+    path: str
+    line: int
+    message: str
+
+    def to_finding(self) -> Finding:
+        return Finding(self.path, self.line, 0, "RL000", self.message)
+
+
+def collect_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of rule codes suppressed on that line.
+
+    A trailing ``disable=`` comment covers its own line; a standalone
+    ``disable-next-line=`` comment covers the following line.  The
+    special code ``all`` suppresses every rule.
+    """
+    suppressed: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if match is None:
+                continue
+            codes = {code.strip() for code in match.group("codes").split(",")}
+            line = token.start[0]
+            if match.group("kind") == "disable-next-line":
+                line += 1
+            suppressed.setdefault(line, set()).update(codes)
+    except tokenize.TokenError:
+        # A tokenization failure will surface as a parse failure anyway.
+        pass
+    return suppressed
+
+
+def is_suppressed(
+    finding: Finding, suppressions: Dict[int, Set[str]]
+) -> bool:
+    codes = suppressions.get(finding.line)
+    if not codes:
+        return False
+    return finding.code in codes or ALL_CODES in codes
+
+
+def lint_source(
+    source: str,
+    path: str,
+    select: Optional[Set[str]] = None,
+    ignore: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """Lint one source string; ``path`` is used for reporting and for the
+    per-module whitelists some rules carry (e.g. RL001 ignores
+    ``utils/rng.py``)."""
+    from tools.reprolint.rules import run_rules
+
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        line = exc.lineno if exc.lineno is not None else 1
+        return [ParseFailure(path, line, f"syntax error: {exc.msg}").to_finding()]
+    findings = run_rules(tree, source, path)
+    suppressions = collect_suppressions(source)
+    kept = []
+    for finding in findings:
+        if select is not None and finding.code not in select:
+            continue
+        if ignore is not None and finding.code in ignore:
+            continue
+        if is_suppressed(finding, suppressions):
+            continue
+        kept.append(finding)
+    return sorted(kept, key=lambda f: (f.path, f.line, f.col, f.code))
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterable[Path]:
+    """Yield every ``.py`` file under the given files/directories."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for child in sorted(path.rglob("*.py")):
+                if "__pycache__" in child.parts:
+                    continue
+                yield child
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(
+    paths: Sequence[str],
+    select: Optional[Set[str]] = None,
+    ignore: Optional[Set[str]] = None,
+) -> List[Finding]:
+    """Lint every Python file reachable from ``paths``."""
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            findings.append(
+                ParseFailure(str(path), 1, f"unreadable file: {exc}").to_finding()
+            )
+            continue
+        findings.extend(lint_source(source, str(path), select, ignore))
+    return findings

@@ -165,11 +165,11 @@ def cmd_stats(args: argparse.Namespace) -> int:
 
     try:
         records = load_snapshot_jsonl(args.file)
-    except FileNotFoundError:
+    except FileNotFoundError as exc:
         raise UsageError(
             f"no metrics file at {args.file!r}; run a command with "
             "--metrics FILE first (e.g. `repro demo --metrics metrics.jsonl`)"
-        )
+        ) from exc
     print(f"metrics snapshot: {args.file}")
     print("\n".join(render_snapshot(records)))
     return 0

@@ -21,6 +21,7 @@ from repro.core.baseline import SpectrumSet
 from repro.dsp.peaks import find_spectrum_peaks
 from repro.dsp.spectrum import AngularSpectrum, default_angle_grid
 from repro.errors import LocalizationError
+from repro.utils.angles import deg2rad
 
 
 @dataclass(frozen=True)
@@ -109,12 +110,12 @@ class DropDetector:
 
     relative_threshold: float = 0.5
     min_peak_relative_height: float = 0.12
-    kernel_width: float = math.radians(2.0)
-    comparison_window: float = math.radians(2.5)
+    kernel_width: float = deg2rad(2.0)
+    comparison_window: float = deg2rad(2.5)
     #: Peaks this close (radians) to endfire (0 or pi) are discarded: a
     #: ULA's resolution collapses at endfire (d theta / d cos theta
     #: diverges) and its spectra spike there spuriously.
-    endfire_margin: float = math.radians(4.0)
+    endfire_margin: float = deg2rad(4.0)
 
     def detect_pair(
         self,
@@ -271,7 +272,7 @@ def _evidence_from_events(
     reader_name: str,
     events: List[BlockedPath],
     grid: np.ndarray,
-    kernel_width: float = math.radians(1.5),
+    kernel_width: float = deg2rad(1.5),
 ) -> AngleEvidence:
     """Fold events into a smooth evidence spectrum via Gaussian kernels.
 

@@ -13,7 +13,6 @@ survivors.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import List, Sequence
 
@@ -21,6 +20,7 @@ from repro import obs
 from repro.core.detector import AngleEvidence, _evidence_from_events
 from repro.core.likelihood import LikelihoodMap, LocationEstimate
 from repro.errors import LocalizationError
+from repro.utils.angles import deg2rad
 
 
 @dataclass
@@ -45,7 +45,7 @@ class DWatchLocalizer:
     """
 
     likelihood_map: LikelihoodMap
-    consistency_tolerance: float = math.radians(6.0)
+    consistency_tolerance: float = deg2rad(6.0)
     outlier_rounds: int = 2
     min_readers: int = 2
     #: Polish the final fix with Gauss-Newton bearing triangulation

@@ -22,7 +22,6 @@ failure mode.
 from __future__ import annotations
 
 import itertools
-import math
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Sequence, Tuple
 
@@ -30,6 +29,7 @@ from repro import obs
 from repro.core.detector import AngleEvidence
 from repro.core.likelihood import LocationEstimate
 from repro.core.localizer import DWatchLocalizer
+from repro.utils.angles import deg2rad
 
 
 @dataclass
@@ -58,7 +58,7 @@ class MultiTargetLocalizer:
 
     localizer: DWatchLocalizer
     max_targets: int = 3
-    explain_tolerance: float = math.radians(8.0)
+    explain_tolerance: float = deg2rad(8.0)
     min_separation: float = 0.2
     min_marginal_weight: float = 0.8
     pool_size: int = 14

@@ -36,6 +36,7 @@ from repro.errors import CalibrationError, LocalizationError
 from repro.sim.measurement import Measurement, MeasurementConfig, MeasurementSession
 from repro.sim.scene import Scene
 from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.angles import deg2rad
 
 
 def calibrate_readers(
@@ -126,7 +127,7 @@ class DWatch:
         if self.consistency_tolerance is None:
             room = self.scene.room
             diagonal = math.hypot(room.width, room.height)
-            self.consistency_tolerance = math.radians(
+            self.consistency_tolerance = deg2rad(
                 6.0 if diagonal > 4.0 else 3.0
             )
         self.localizer = DWatchLocalizer(
@@ -135,7 +136,7 @@ class DWatch:
         )
         self.multi_localizer = MultiTargetLocalizer(
             localizer=self.localizer,
-            explain_tolerance=self.consistency_tolerance + math.radians(1.0),
+            explain_tolerance=self.consistency_tolerance + deg2rad(1.0),
         )
         self.calibration: Dict[str, PhaseOffsets] = {}
         self.baseline: Optional[List[SpectrumSet]] = None

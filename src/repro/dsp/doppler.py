@@ -18,6 +18,8 @@ from typing import Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import EstimationError
+from repro.utils.arrays import ArrayLike, ComplexArray, FloatArray
+from repro.utils.rng import ensure_rng
 
 
 @dataclass(frozen=True)
@@ -34,7 +36,7 @@ class DopplerEstimate:
         return self.coherence >= 0.5
 
 
-def phase_stream(snapshots: np.ndarray, antenna: int = 0) -> np.ndarray:
+def phase_stream(snapshots: ArrayLike, antenna: int = 0) -> FloatArray:
     """Per-snapshot carrier phase at one antenna (source-modulation free).
 
     Backscatter symbols are unit-modulus with random phase, so the raw
@@ -46,7 +48,7 @@ def phase_stream(snapshots: np.ndarray, antenna: int = 0) -> np.ndarray:
     snapshot's array-median phase, which cancels any common source
     rotation while keeping the slower channel rotation.
     """
-    x = np.asarray(snapshots, dtype=complex)
+    x = np.asarray(snapshots, dtype=np.complex128)
     if x.ndim != 2:
         raise EstimationError("snapshots must be (M, N)")
     if not 0 <= antenna < x.shape[0]:
@@ -56,7 +58,7 @@ def phase_stream(snapshots: np.ndarray, antenna: int = 0) -> np.ndarray:
 
 
 def estimate_doppler(
-    demodulated: np.ndarray,
+    demodulated: ArrayLike,
     snapshot_interval_s: float,
     wavelength_m: float,
     backscatter: bool = True,
@@ -83,7 +85,7 @@ def estimate_doppler(
         (m/s) and a 0-1 coherence score (resultant length of the
         per-step rotations).
     """
-    z = np.asarray(demodulated, dtype=complex).ravel()
+    z = np.asarray(demodulated, dtype=np.complex128).ravel()
     if z.size < 3:
         raise EstimationError("need at least three samples for Doppler")
     if snapshot_interval_s <= 0.0 or wavelength_m <= 0.0:
@@ -113,7 +115,7 @@ def synthesize_moving_reflection(
     backscatter: bool = True,
     noise_std: float = 0.0,
     rng: Optional[np.random.Generator] = None,
-) -> np.ndarray:
+) -> ComplexArray:
     """Demodulated samples of a path reflecting off a moving body.
 
     The test-bench inverse of :func:`estimate_doppler`.
@@ -125,7 +127,7 @@ def synthesize_moving_reflection(
     times = np.arange(num_samples) * snapshot_interval_s
     clean = amplitude * np.exp(1j * 2.0 * math.pi * frequency * times)
     if noise_std > 0.0:
-        generator = rng if rng is not None else np.random.default_rng()
+        generator = ensure_rng(rng)
         clean = clean + noise_std * (
             generator.normal(size=num_samples)
             + 1j * generator.normal(size=num_samples)
@@ -134,7 +136,7 @@ def synthesize_moving_reflection(
 
 
 def speed_track(
-    streams: Sequence[np.ndarray],
+    streams: Sequence[ArrayLike],
     snapshot_interval_s: float,
     wavelength_m: float,
 ) -> Tuple[float, float]:

@@ -11,11 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-import numpy as np
 
 from repro.constants import RF_PORTS_PER_READER
 from repro.rfid.reader import random_phase_offsets
 from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.angles import rad2deg
 
 
 @dataclass
@@ -50,4 +50,4 @@ def run_fig03(
     generator = ensure_rng(rng)
     total_ports = num_readers * ports_per_reader
     raw = random_phase_offsets(total_ports, generator, reference_zero=True)
-    return Fig03Result(offsets_deg=list(np.degrees(raw)))
+    return Fig03Result(offsets_deg=[float(rad2deg(v)) for v in raw])

@@ -18,6 +18,7 @@ from repro.dsp.music import MusicEstimator
 from repro.dsp.peaks import find_spectrum_peaks
 from repro.experiments.controlled import controlled_deployment
 from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.angles import rad2deg
 
 
 @dataclass
@@ -78,7 +79,7 @@ def run_fig04(
     everything = music_spectrum(deployment.blockers_for(range(channel.num_paths)))
 
     peaks = sorted(find_spectrum_peaks(baseline), key=lambda p: p.angle)
-    angles = [float(np.degrees(p.angle)) for p in peaks]
+    angles = [float(rad2deg(p.angle)) for p in peaks]
     direct_aoa = channel.paths[blocked_path].aoa
     blocked_index = int(
         np.argmin([abs(p.angle - direct_aoa) for p in peaks])

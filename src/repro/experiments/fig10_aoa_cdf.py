@@ -9,7 +9,6 @@ calibration.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List
 
@@ -23,6 +22,7 @@ from repro.calibration.wireless import (
 from repro.dsp.music import MusicEstimator
 from repro.sim.environments import calibration_scene
 from repro.sim.measurement import MeasurementConfig, MeasurementSession
+from repro.utils.angles import rad2deg
 from repro.utils.rng import RngLike, ensure_rng, spawn_child
 from repro.utils.stats import median
 
@@ -113,7 +113,7 @@ def run_fig10(
                     else snapshots
                 )
                 estimate = _estimate_los_aoa(estimator, corrected)
-                error = abs(math.degrees(estimate - truth))
+                error = abs(float(rad2deg(estimate - truth)))
                 bucket = {
                     "dwatch": result.dwatch_errors_deg,
                     "phaser": result.phaser_errors_deg,

@@ -11,11 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-import numpy as np
 
 from repro.dsp.pmusic import PMusicEstimator
 from repro.experiments.controlled import controlled_deployment
 from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.angles import deg2rad, rad2deg
 
 
 @dataclass
@@ -64,7 +64,7 @@ def run_fig12(
 
     angles = [path.aoa for path in channel.paths]
 
-    window = float(np.radians(2.5))
+    window = float(deg2rad(2.5))
 
     def drops(after):
         result = []
@@ -78,7 +78,7 @@ def run_fig12(
         return result
 
     return Fig12Result(
-        path_angles_deg=[float(np.degrees(a)) for a in angles],
+        path_angles_deg=[float(rad2deg(a)) for a in angles],
         one_blocked_drop=drops(one),
         all_blocked_drop=drops(everything),
         blocked_index=blocked_path,

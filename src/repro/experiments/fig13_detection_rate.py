@@ -10,7 +10,6 @@ MUSIC is poor and collapses entirely in the all-blocked case.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import List, Sequence
 
@@ -19,6 +18,7 @@ from repro.dsp.music import MusicEstimator
 from repro.dsp.pmusic import PMusicEstimator
 from repro.experiments.controlled import controlled_deployment
 from repro.utils.rng import RngLike, ensure_rng, spawn_child
+from repro.utils.angles import deg2rad
 
 #: Relative drop beyond which a path counts as detected (matches the
 #: localization detector's default).
@@ -53,7 +53,7 @@ def _trial_detected(
     blocked: Sequence[int],
 ) -> bool:
     """Strict per-path detection: all blocked drop, none unblocked does."""
-    window = math.radians(2.5)
+    window = deg2rad(2.5)
     for index, angle in enumerate(path_angles):
         base = spectrum_baseline.max_in_window(angle, window)
         if base <= 0.0:

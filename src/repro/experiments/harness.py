@@ -125,7 +125,7 @@ def localization_trial_errors(
         # always yield the same locations, so sweep points stay
         # comparable — and unlike a strided linspace the sample cannot
         # alias onto a single grid column.
-        subsample_rng = np.random.default_rng(0xD_4A7C4)
+        subsample_rng = ensure_rng(0xD_4A7C4)
         indices = np.sort(
             subsample_rng.choice(len(grid), size=num_locations, replace=False)
         )

@@ -9,6 +9,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.utils.stats import ErrorSummary, summarize_errors
+from repro.utils.angles import rad2deg
 
 
 @dataclass
@@ -64,4 +65,4 @@ def detection_rate(detected: int, attempted: int) -> float:
 
 def angular_error_deg(estimated_rad: float, truth_rad: float) -> float:
     """Absolute AoA error in degrees."""
-    return float(np.degrees(abs(estimated_rad - truth_rad)))
+    return float(rad2deg(abs(estimated_rad - truth_rad)))

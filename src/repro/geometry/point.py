@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterator, Tuple
+from typing import Iterator, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -76,7 +76,7 @@ class Point:
         """Bearing of ``other`` as seen from this point, in ``(-pi, pi]``."""
         return math.atan2(other.y - self.y, other.x - self.x)
 
-    def rotated(self, angle: float, about: "Point" = None) -> "Point":
+    def rotated(self, angle: float, about: Optional["Point"] = None) -> "Point":
         """This point rotated by ``angle`` radians about ``about`` (default origin)."""
         pivot = about if about is not None else Point(0.0, 0.0)
         dx, dy = self.x - pivot.x, self.y - pivot.y

@@ -29,6 +29,7 @@ from repro.rfid.tag import Tag
 from repro.sim.deployment import random_tag_positions
 from repro.sim.scene import Scene
 from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.angles import deg2rad
 
 
 def _wall_readers(
@@ -246,7 +247,7 @@ def calibration_scene(
     tags = []
     for index in range(num_tags):
         distance = generator.uniform(1.0, 8.0)
-        angle = generator.uniform(math.radians(25), math.radians(155))
+        angle = generator.uniform(deg2rad(25), deg2rad(155))
         offset = Point(math.cos(angle), math.sin(angle)) * distance
         position = room.clamp(anchor + offset)
         tags.append(Tag(position=position))

@@ -1,0 +1,16 @@
+"""Debug-mode runtime analysis: array shape/dtype/finiteness contracts.
+
+The decorators in :mod:`repro.analysis.contracts` validate the arrays
+flowing through the signal core when ``REPRO_DEBUG=1`` and are exact
+no-ops otherwise — disabled runs execute the original, undecorated
+function objects, so the production path stays bit-identical (the same
+guarantee :mod:`repro.obs` makes for instrumentation).
+"""
+
+from repro.analysis.contracts import (
+    check_shapes,
+    contracts_enabled,
+    ensure_finite,
+)
+
+__all__ = ["check_shapes", "contracts_enabled", "ensure_finite"]

@@ -1,0 +1,239 @@
+"""Array contracts for the signal core: shape, dtype and finiteness.
+
+The MUSIC/P-MUSIC chain moves arrays whose shapes encode physics — a
+``(M, N)`` snapshot matrix becomes a ``(M, M)`` Hermitian covariance
+becomes a ``(M, M - P)`` noise subspace — and a silent shape or dtype
+slip usually survives all the way to a wrong spectrum rather than a
+crash.  This module provides two decorators that make those contracts
+explicit and *checkable*:
+
+* :func:`check_shapes` — declares a shape/dtype spec per argument (and
+  optionally for the return value) in a tiny string language::
+
+      @check_shapes(snapshots="M,N", returns="complex:M,M")
+      def sample_covariance(snapshots): ...
+
+  Dimension letters bind on first use and must agree everywhere they
+  reappear in the same call; integer literals must match exactly; ``*``
+  matches anything.  A ``complex:`` / ``float:`` prefix additionally
+  pins the dtype kind.
+* :func:`ensure_finite` — rejects NaN/Inf in any array argument or
+  returned array.
+
+Both are **debug-mode sanitizers**, enabled by ``REPRO_DEBUG=1`` (or
+``true``/``yes``/``on``).  When the gate is off the decorators return
+the original function object untouched, so the production call path is
+the undecorated function — zero overhead and bit-identical results,
+the same guarantee the :mod:`repro.obs` layer makes.  The gate is read
+at decoration (import) time; set the environment variable before
+importing :mod:`repro`.  Violations raise
+:class:`repro.errors.ContractViolation`.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import os
+import re
+from typing import Any, Callable, Dict, List, Optional, Tuple, TypeVar, Union, cast
+
+import numpy as np
+
+from repro.errors import ContractViolation
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+#: Special spec key naming the return value instead of a parameter.
+RETURNS_KEY = "returns"
+
+_DIM_RE = re.compile(r"^(?:[A-Za-z][A-Za-z0-9_]*|[0-9]+|\*)$")
+
+_DTYPE_KINDS = {
+    "complex": ("c",),
+    "float": ("f",),
+    "int": ("i", "u"),
+}
+
+
+def contracts_enabled() -> bool:
+    """Whether ``REPRO_DEBUG`` currently enables the sanitizers."""
+    return os.environ.get("REPRO_DEBUG", "").strip().lower() in _TRUTHY
+
+
+class _Spec:
+    """A parsed ``"dtype:dim,dim,..."`` contract string."""
+
+    __slots__ = ("source", "kind", "dims")
+
+    def __init__(self, source: str, kind: Optional[str], dims: Tuple[str, ...]) -> None:
+        self.source = source
+        self.kind = kind
+        self.dims = dims
+
+
+def _parse_spec(source: str, owner: str, name: str) -> _Spec:
+    text = source.strip()
+    kind: Optional[str] = None
+    if ":" in text:
+        prefix, _, text = text.partition(":")
+        prefix = prefix.strip()
+        if prefix not in _DTYPE_KINDS:
+            raise ContractViolation(
+                f"{owner}: spec for {name!r} has unknown dtype prefix {prefix!r} "
+                f"(expected one of {sorted(_DTYPE_KINDS)})"
+            )
+        kind = prefix
+    dims = tuple(token.strip() for token in text.split(","))
+    for token in dims:
+        if not _DIM_RE.match(token):
+            raise ContractViolation(
+                f"{owner}: spec for {name!r} has invalid dimension token {token!r} "
+                f"(expected a name, an integer or '*')"
+            )
+    return _Spec(source, kind, dims)
+
+
+def _check_value(
+    owner: str,
+    name: str,
+    spec: _Spec,
+    value: Any,
+    bindings: Dict[str, int],
+) -> None:
+    array = np.asarray(value)
+    if spec.kind is not None and array.dtype.kind not in _DTYPE_KINDS[spec.kind]:
+        raise ContractViolation(
+            f"{owner}: {name} expected {spec.kind} dtype per spec {spec.source!r}, "
+            f"got dtype {array.dtype}"
+        )
+    if array.ndim != len(spec.dims):
+        raise ContractViolation(
+            f"{owner}: {name} expected {len(spec.dims)}-D array per spec "
+            f"{spec.source!r}, got shape {array.shape}"
+        )
+    for token, actual in zip(spec.dims, array.shape):
+        if token == "*":
+            continue
+        if token.isdigit():
+            if actual != int(token):
+                raise ContractViolation(
+                    f"{owner}: {name} dimension must be {token} per spec "
+                    f"{spec.source!r}, got shape {array.shape}"
+                )
+            continue
+        bound = bindings.setdefault(token, actual)
+        if bound != actual:
+            raise ContractViolation(
+                f"{owner}: {name} dimension {token!r} is {actual} but {token!r} "
+                f"was already bound to {bound} in this call (spec {spec.source!r})"
+            )
+
+
+def check_shapes(
+    returns: Optional[str] = None,
+    *,
+    force: bool = False,
+    **param_specs: str,
+) -> Callable[[F], F]:
+    """Validate argument/return array shapes against a spec (debug only).
+
+    Parameters are matched by name; ``returns=`` describes the return
+    value.  ``None`` argument values are skipped (optional arrays).
+    ``force=True`` activates the check regardless of ``REPRO_DEBUG``
+    (used by the contract tests themselves).
+    """
+
+    def decorate(func: F) -> F:
+        owner = getattr(func, "__qualname__", getattr(func, "__name__", "<function>"))
+        specs = {
+            name: _parse_spec(text, owner, name) for name, text in param_specs.items()
+        }
+        return_spec = (
+            None if returns is None else _parse_spec(returns, owner, RETURNS_KEY)
+        )
+        signature = inspect.signature(func)
+        for name in specs:
+            if name not in signature.parameters:
+                raise ContractViolation(
+                    f"{owner}: check_shapes spec names unknown parameter {name!r}"
+                )
+        if not (force or contracts_enabled()):
+            return func
+
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            bound = signature.bind(*args, **kwargs)
+            bindings: Dict[str, int] = {}
+            for name, spec in specs.items():
+                if name not in bound.arguments:
+                    continue
+                value = bound.arguments[name]
+                if value is None:
+                    continue
+                _check_value(owner, f"argument {name!r}", spec, value, bindings)
+            result = func(*args, **kwargs)
+            if return_spec is not None:
+                _check_value(owner, "return value", return_spec, result, bindings)
+            return result
+
+        return cast(F, wrapper)
+
+    return decorate
+
+
+def _iter_arrays(value: Any) -> List[np.ndarray[Any, Any]]:
+    """Arrays reachable from ``value`` (directly or one level of tuple/list)."""
+    if isinstance(value, np.ndarray):
+        return [value]
+    if isinstance(value, (tuple, list)):
+        return [item for item in value if isinstance(item, np.ndarray)]
+    return []
+
+
+def ensure_finite(
+    func: Optional[F] = None, *, force: bool = False
+) -> Union[F, Callable[[F], F]]:
+    """Reject NaN/Inf in array arguments and returns (debug only).
+
+    Usable bare (``@ensure_finite``) or parameterised
+    (``@ensure_finite(force=True)``).
+    """
+
+    def decorate(inner: F) -> F:
+        if not (force or contracts_enabled()):
+            return inner
+        owner = getattr(inner, "__qualname__", getattr(inner, "__name__", "<function>"))
+
+        @functools.wraps(inner)
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            for index, value in enumerate(args):
+                for array in _iter_arrays(value):
+                    if array.dtype.kind in "fc" and not np.all(np.isfinite(array)):
+                        raise ContractViolation(
+                            f"{owner}: argument {index} contains non-finite values"
+                        )
+            for name, value in kwargs.items():
+                for array in _iter_arrays(value):
+                    if array.dtype.kind in "fc" and not np.all(np.isfinite(array)):
+                        raise ContractViolation(
+                            f"{owner}: argument {name!r} contains non-finite values"
+                        )
+            result = inner(*args, **kwargs)
+            for array in _iter_arrays(result):
+                if array.dtype.kind in "fc" and not np.all(np.isfinite(array)):
+                    raise ContractViolation(
+                        f"{owner}: return value contains non-finite values"
+                    )
+            return result
+
+        return cast(F, wrapper)
+
+    if func is not None:
+        return decorate(func)
+    return decorate
+
+
+__all__ = ["check_shapes", "contracts_enabled", "ensure_finite"]

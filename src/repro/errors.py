@@ -37,6 +37,18 @@ class LocalizationError(ReproError):
     """The localization pipeline could not produce a position estimate."""
 
 
+class ContractViolation(EstimationError):
+    """A debug-mode array contract (shape, dtype or finiteness) failed.
+
+    Only ever raised when the :mod:`repro.analysis.contracts` sanitizer
+    is active (``REPRO_DEBUG=1``); production runs never construct or
+    raise this.  Subclasses :class:`EstimationError` because the
+    contracts guard estimator inputs: debug mode may *refine* the
+    exception a caller sees for invalid input, but never changes which
+    ``except`` clauses catch it.
+    """
+
+
 class UsageError(ReproError):
     """A command-line invocation asked for something that does not exist.
 

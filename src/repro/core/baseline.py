@@ -9,7 +9,7 @@ calibration.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional
+from typing import Dict, List, Mapping, Optional
 
 
 from repro.calibration.offsets import PhaseOffsets
@@ -26,7 +26,7 @@ class SpectrumSet:
 
     spectra: Dict[str, Dict[str, AngularSpectrum]] = field(default_factory=dict)
 
-    def readers(self):
+    def readers(self) -> List[str]:
         """Reader names covered by this set."""
         return list(self.spectra)
 

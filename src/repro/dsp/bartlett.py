@@ -14,17 +14,20 @@ from typing import Optional
 
 import numpy as np
 
+from repro.analysis.contracts import check_shapes
 from repro.dsp.covariance import sample_covariance
 from repro.dsp.spectrum import AngularSpectrum, default_angle_grid
 from repro.errors import EstimationError
 from repro.rf.array import cached_steering_matrix
+from repro.utils.arrays import ArrayLike, FloatArray
 
 
+@check_shapes(snapshots="M,N", angle_grid="G")
 def bartlett_power_spectrum(
-    snapshots: np.ndarray,
+    snapshots: ArrayLike,
     spacing_m: float,
     wavelength_m: float,
-    angle_grid: Optional[np.ndarray] = None,
+    angle_grid: Optional[FloatArray] = None,
 ) -> AngularSpectrum:
     """Per-direction power ``PB(theta)`` from raw snapshots (Eq. 13).
 
@@ -33,19 +36,21 @@ def bartlett_power_spectrum(
     ``R``, which is how it is computed here (one matrix product for the
     whole grid instead of a per-angle loop).
     """
-    x = np.asarray(snapshots, dtype=complex)
+    x = np.asarray(snapshots, dtype=np.complex128)
     if x.ndim != 2:
         raise EstimationError("snapshots must be 2-D (M, N)")
     m = x.shape[0]
     grid = default_angle_grid() if angle_grid is None else np.asarray(angle_grid)
     a = cached_steering_matrix(grid, m, spacing_m, wavelength_m)  # (M, G)
     r = sample_covariance(x)
-    values = np.real(np.einsum("mg,mk,kg->g", a.conj(), r, a)) / (m * m)
+    # The quadratic form a^H R a of a Hermitian R is mathematically real;
+    # np.real only strips round-off in the imaginary storage.
+    values = np.real(np.einsum("mg,mk,kg->g", a.conj(), r, a)) / (m * m)  # reprolint: disable=RL003
     return AngularSpectrum(grid, np.clip(values, 0.0, None))
 
 
 def bartlett_power_at(
-    snapshots: np.ndarray,
+    snapshots: ArrayLike,
     theta: float,
     spacing_m: float,
     wavelength_m: float,

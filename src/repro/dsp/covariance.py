@@ -4,10 +4,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.contracts import check_shapes, ensure_finite
 from repro.errors import EstimationError
+from repro.utils.arrays import ArrayLike, ComplexArray, FloatArray
 
 
-def sample_covariance(snapshots: np.ndarray) -> np.ndarray:
+@check_shapes(returns="complex:M,M", snapshots="M,N")
+@ensure_finite
+def sample_covariance(snapshots: ArrayLike) -> ComplexArray:
     """Sample covariance ``R = X X^H / N`` of array snapshots.
 
     Parameters
@@ -21,7 +25,7 @@ def sample_covariance(snapshots: np.ndarray) -> np.ndarray:
     numpy.ndarray
         Hermitian ``(M, M)`` covariance estimate.
     """
-    x = np.asarray(snapshots, dtype=complex)
+    x = np.asarray(snapshots, dtype=np.complex128)
     if x.ndim != 2:
         raise EstimationError(f"snapshots must be 2-D (M, N), got shape {x.shape}")
     m, n = x.shape
@@ -33,7 +37,7 @@ def sample_covariance(snapshots: np.ndarray) -> np.ndarray:
     return (r + r.conj().T) / 2.0
 
 
-def is_hermitian(matrix: np.ndarray, tolerance: float = 1e-10) -> bool:
+def is_hermitian(matrix: ArrayLike, tolerance: float = 1e-10) -> bool:
     """Whether ``matrix`` is Hermitian within ``tolerance``."""
     arr = np.asarray(matrix)
     if arr.ndim != 2 or arr.shape[0] != arr.shape[1]:
@@ -41,20 +45,21 @@ def is_hermitian(matrix: np.ndarray, tolerance: float = 1e-10) -> bool:
     return bool(np.allclose(arr, arr.conj().T, atol=tolerance))
 
 
-def exchange_matrix(size: int) -> np.ndarray:
+def exchange_matrix(size: int) -> FloatArray:
     """The anti-identity ``J`` used by forward-backward averaging."""
     if size < 1:
         raise EstimationError("exchange matrix size must be positive")
     return np.fliplr(np.eye(size))
 
 
-def forward_backward_average(covariance: np.ndarray) -> np.ndarray:
+@check_shapes(returns="complex:M,M", covariance="M,M")
+def forward_backward_average(covariance: ArrayLike) -> ComplexArray:
     """Forward-backward averaged covariance ``(R + J R* J) / 2``.
 
     Decorrelates one pair of coherent arrivals for free and is applied
     inside spatial smoothing.
     """
-    r = np.asarray(covariance, dtype=complex)
+    r = np.asarray(covariance, dtype=np.complex128)
     if r.ndim != 2 or r.shape[0] != r.shape[1]:
         raise EstimationError("covariance must be square")
     j = exchange_matrix(r.shape[0])

@@ -15,6 +15,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro import obs
+from repro.analysis.contracts import check_shapes, ensure_finite
 from repro.constants import DEFAULT_WAVELENGTH_M, MAX_DOMINANT_PATHS
 from repro.dsp.covariance import sample_covariance
 from repro.dsp.peaks import find_spectrum_peaks
@@ -22,20 +23,25 @@ from repro.dsp.smoothing import default_subarray_size, spatially_smoothed_covari
 from repro.dsp.spectrum import AngularSpectrum, SpectrumPeak, default_angle_grid
 from repro.errors import EstimationError
 from repro.rf.array import cached_steering_matrix
+from repro.utils.arrays import ArrayLike, ComplexArray, FloatArray
 
 
-def eigendecompose(covariance: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+@check_shapes(covariance="M,M")
+@ensure_finite
+def eigendecompose(covariance: ArrayLike) -> Tuple[FloatArray, ComplexArray]:
     """Eigenvalues (descending) and matching eigenvectors of ``R``."""
-    r = np.asarray(covariance, dtype=complex)
+    r = np.asarray(covariance, dtype=np.complex128)
     if r.ndim != 2 or r.shape[0] != r.shape[1]:
         raise EstimationError("covariance must be a square matrix")
     eigenvalues, eigenvectors = np.linalg.eigh(r)
     order = np.argsort(eigenvalues)[::-1]
-    return eigenvalues[order].real, eigenvectors[:, order]
+    # eigh of a Hermitian matrix returns mathematically real eigenvalues;
+    # .real only strips the zero imaginary storage.
+    return eigenvalues[order].real, eigenvectors[:, order]  # reprolint: disable=RL003
 
 
 def estimate_num_sources(
-    eigenvalues: np.ndarray,
+    eigenvalues: ArrayLike,
     threshold_ratio: float = 0.03,
     max_sources: Optional[int] = None,
 ) -> int:
@@ -45,7 +51,7 @@ def estimate_num_sources(
     threshold"; the default ratio marks everything within roughly 15 dB
     of the dominant eigenvalue as signal.
     """
-    values = np.asarray(eigenvalues, dtype=float)
+    values = np.asarray(eigenvalues, dtype=np.float64)
     if values.size == 0:
         raise EstimationError("no eigenvalues supplied")
     peak = values.max()
@@ -56,13 +62,13 @@ def estimate_num_sources(
     return max(1, min(count, ceiling))
 
 
-def mdl_num_sources(eigenvalues: np.ndarray, num_snapshots: int) -> int:
+def mdl_num_sources(eigenvalues: ArrayLike, num_snapshots: int) -> int:
     """Minimum-description-length source count (Wax & Kailath 1985).
 
     Provided as an alternative to plain thresholding; useful when the
     SNR is unknown.
     """
-    lam = np.sort(np.asarray(eigenvalues, dtype=float))[::-1]
+    lam = np.sort(np.asarray(eigenvalues, dtype=np.float64))[::-1]
     lam = np.clip(lam, 1e-18, None)
     m = lam.size
     if num_snapshots < 1:
@@ -81,7 +87,8 @@ def mdl_num_sources(eigenvalues: np.ndarray, num_snapshots: int) -> int:
     return max(1, min(best_k, m - 1))
 
 
-def noise_subspace(covariance: np.ndarray, num_sources: int) -> np.ndarray:
+@check_shapes(returns="complex:M,*", covariance="M,M")
+def noise_subspace(covariance: ArrayLike, num_sources: int) -> ComplexArray:
     """The noise-subspace eigenvector matrix ``U_N``, shape ``(M, M - P)``."""
     eigenvalues, eigenvectors = eigendecompose(covariance)
     m = eigenvalues.size
@@ -92,11 +99,12 @@ def noise_subspace(covariance: np.ndarray, num_sources: int) -> np.ndarray:
     return eigenvectors[:, num_sources:]
 
 
+@check_shapes(un="complex:M,*", angle_grid="G")
 def music_spectrum_from_subspace(
-    un: np.ndarray,
+    un: ComplexArray,
     spacing_m: float,
     wavelength_m: float,
-    angle_grid: Optional[np.ndarray] = None,
+    angle_grid: Optional[FloatArray] = None,
 ) -> AngularSpectrum:
     """MUSIC pseudo-spectrum ``1 / ||U_N^H a(theta)||^2`` over the grid."""
     grid = default_angle_grid() if angle_grid is None else np.asarray(angle_grid)
@@ -135,7 +143,7 @@ class MusicEstimator:
     wavelength_m: float = DEFAULT_WAVELENGTH_M
     num_sources: Optional[int] = None
     subarray_size: Optional[int] = None
-    angle_grid: Optional[np.ndarray] = None
+    angle_grid: Optional[FloatArray] = None
     forward_backward: bool = True
     source_threshold_ratio: float = 0.03
 
@@ -144,16 +152,16 @@ class MusicEstimator:
             return self.subarray_size
         return default_subarray_size(num_antennas, MAX_DOMINANT_PATHS)
 
-    def smoothed_covariance(self, snapshots: np.ndarray) -> np.ndarray:
+    def smoothed_covariance(self, snapshots: ArrayLike) -> ComplexArray:
         """The (possibly smoothed) covariance this estimator works on."""
         with obs.span("music.covariance"):
-            x = np.asarray(snapshots, dtype=complex)
+            x = np.asarray(snapshots, dtype=np.complex128)
             sub_len = self._resolve_subarray(x.shape[0])
             if sub_len >= x.shape[0]:
                 return sample_covariance(x)
             return spatially_smoothed_covariance(x, sub_len, self.forward_backward)
 
-    def noise_subspace(self, snapshots: np.ndarray) -> np.ndarray:
+    def noise_subspace(self, snapshots: ArrayLike) -> ComplexArray:
         """Noise subspace ``U_N`` for these snapshots."""
         covariance = self.smoothed_covariance(snapshots)
         with obs.span("music.eigendecomposition", size=covariance.shape[0]):
@@ -168,7 +176,7 @@ class MusicEstimator:
             obs.count("music.sources_detected", p)
             return noise_subspace(covariance, p)
 
-    def spectrum(self, snapshots: np.ndarray) -> AngularSpectrum:
+    def spectrum(self, snapshots: ArrayLike) -> AngularSpectrum:
         """MUSIC pseudo-spectrum of the snapshots."""
         with obs.span("music.spectrum"):
             un = self.noise_subspace(snapshots)
@@ -177,7 +185,7 @@ class MusicEstimator:
             )
 
     def estimate_aoas(
-        self, snapshots: np.ndarray, max_peaks: Optional[int] = None
+        self, snapshots: ArrayLike, max_peaks: Optional[int] = None
     ) -> List[SpectrumPeak]:
         """Arrival angles as spectrum peaks, strongest first."""
         peaks = find_spectrum_peaks(self.spectrum(snapshots))

@@ -29,6 +29,7 @@ from repro.dsp.music import MusicEstimator
 from repro.dsp.peaks import find_spectrum_peaks, peak_regions
 from repro.dsp.spectrum import AngularSpectrum, SpectrumPeak
 from repro.errors import EstimationError
+from repro.utils.arrays import ArrayLike, FloatArray
 
 
 def normalize_peaks(
@@ -78,7 +79,7 @@ class PMusicEstimator:
     music: Optional[MusicEstimator] = None
     peak_min_relative_height: float = 0.02
     peak_min_separation: float = 0.05
-    angle_grid: Optional[np.ndarray] = None
+    angle_grid: Optional[FloatArray] = None
 
     def __post_init__(self) -> None:
         if self.music is None:
@@ -88,9 +89,10 @@ class PMusicEstimator:
                 angle_grid=self.angle_grid,
             )
 
-    def spectrum(self, snapshots: np.ndarray) -> AngularSpectrum:
+    def spectrum(self, snapshots: ArrayLike) -> AngularSpectrum:
         """P-MUSIC spectrum ``Omega(theta)`` of the snapshots (Eq. 14)."""
         with obs.span("pmusic.fusion"):
+            assert self.music is not None  # set by __post_init__
             music_spec = self.music.spectrum(snapshots)
             normalized = normalize_peaks(
                 music_spec, self.peak_min_relative_height, self.peak_min_separation
@@ -103,7 +105,7 @@ class PMusicEstimator:
             )
 
     def estimate_paths(
-        self, snapshots: np.ndarray, max_peaks: Optional[int] = None
+        self, snapshots: ArrayLike, max_peaks: Optional[int] = None
     ) -> List[SpectrumPeak]:
         """Per-path (angle, power) estimates as spectrum peaks."""
         peaks = find_spectrum_peaks(

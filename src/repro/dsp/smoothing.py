@@ -12,15 +12,19 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis.contracts import check_shapes, ensure_finite
 from repro.dsp.covariance import forward_backward_average, sample_covariance
 from repro.errors import EstimationError
+from repro.utils.arrays import ArrayLike, ComplexArray
 
 
+@check_shapes(returns="complex:L,L", snapshots="M,N")
+@ensure_finite
 def spatially_smoothed_covariance(
-    snapshots: np.ndarray,
+    snapshots: ArrayLike,
     subarray_size: int,
     forward_backward: bool = True,
-) -> np.ndarray:
+) -> ComplexArray:
     """Spatially smoothed covariance from raw snapshots.
 
     Parameters
@@ -40,7 +44,7 @@ def spatially_smoothed_covariance(
     numpy.ndarray
         Hermitian ``(L, L)`` smoothed covariance.
     """
-    x = np.asarray(snapshots, dtype=complex)
+    x = np.asarray(snapshots, dtype=np.complex128)
     if x.ndim != 2:
         raise EstimationError("snapshots must be 2-D (M, N)")
     m = x.shape[0]
@@ -49,7 +53,7 @@ def spatially_smoothed_covariance(
             f"subarray size must be in [2, {m}], got {subarray_size}"
         )
     num_subarrays = m - subarray_size + 1
-    accum = np.zeros((subarray_size, subarray_size), dtype=complex)
+    accum = np.zeros((subarray_size, subarray_size), dtype=np.complex128)
     for start in range(num_subarrays):
         block = x[start : start + subarray_size, :]
         accum += sample_covariance(block)

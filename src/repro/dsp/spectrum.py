@@ -9,9 +9,10 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import EstimationError
+from repro.utils.arrays import FloatArray
 
 
-def default_angle_grid(num_points: int = 361) -> np.ndarray:
+def default_angle_grid(num_points: int = 361) -> FloatArray:
     """The scan grid ``[0, pi]`` used by MUSIC and P-MUSIC searches."""
     if num_points < 2:
         raise EstimationError("an angle grid needs at least two points")
@@ -36,12 +37,12 @@ class AngularSpectrum:
     change detector.
     """
 
-    angles: np.ndarray
-    values: np.ndarray
+    angles: FloatArray
+    values: FloatArray
 
     def __post_init__(self) -> None:
-        self.angles = np.asarray(self.angles, dtype=float)
-        self.values = np.asarray(self.values, dtype=float)
+        self.angles = np.asarray(self.angles, dtype=np.float64)
+        self.values = np.asarray(self.values, dtype=np.float64)
         if self.angles.ndim != 1 or self.angles.shape != self.values.shape:
             raise EstimationError("angles and values must be equal-length 1-D arrays")
         if self.angles.size < 2:
@@ -102,4 +103,4 @@ def spectrum_from_samples(
     angles: Sequence[float], values: Sequence[float]
 ) -> AngularSpectrum:
     """Convenience constructor from plain sequences."""
-    return AngularSpectrum(np.asarray(angles, float), np.asarray(values, float))
+    return AngularSpectrum(np.asarray(angles, np.float64), np.asarray(values, np.float64))

@@ -12,19 +12,21 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.analysis.contracts import check_shapes
 from repro.constants import DEFAULT_NUM_ANTENNAS, DEFAULT_WAVELENGTH_M
 from repro.errors import ConfigurationError
 from repro.geometry.point import Point
 from repro.utils.angles import wrap_to_pi
+from repro.utils.arrays import ArrayLike, ComplexArray
 
 
 def steering_vector(
     theta: float, num_antennas: int, spacing_m: float, wavelength_m: float
-) -> np.ndarray:
+) -> ComplexArray:
     """Steering vector ``a(theta)`` of an ``M``-element ULA (shape ``(M,)``)."""
     if num_antennas < 1:
         raise ConfigurationError("array needs at least one antenna")
@@ -35,18 +37,18 @@ def steering_vector(
 
 def steering_matrix(
     thetas: Sequence[float], num_antennas: int, spacing_m: float, wavelength_m: float
-) -> np.ndarray:
+) -> ComplexArray:
     """Steering matrix ``A = [a(theta_1) ... a(theta_P)]``, shape ``(M, P)``.
 
     Computed as one outer-product exponential: the estimators call this
     for every (reader, tag) pair on a several-hundred-point grid, so
     the vectorized form is the pipeline's single hottest win.
     """
-    angles = np.asarray(list(thetas), dtype=float)
+    angles = np.asarray(list(thetas), dtype=np.float64)
     if num_antennas < 1:
         raise ConfigurationError("array needs at least one antenna")
     if angles.size == 0:
-        return np.zeros((num_antennas, 0), dtype=complex)
+        return np.zeros((num_antennas, 0), dtype=np.complex128)
     m = np.arange(num_antennas)[:, None]
     omega = m * (2.0 * math.pi * spacing_m / wavelength_m) * np.cos(angles)[None, :]
     return np.exp(-1j * omega)
@@ -54,18 +56,20 @@ def steering_matrix(
 
 #: Small cache for repeated scans of an identical angle grid — the
 #: estimators evaluate the same grid for every (reader, tag) pair.
-_STEERING_CACHE: dict = {}
+_CacheKey = Tuple[int, float, float, int, Tuple[float, float, float, float]]
+_STEERING_CACHE: Dict[_CacheKey, ComplexArray] = {}
 _STEERING_CACHE_LIMIT = 16
 
 
+@check_shapes(returns="complex:*,G", angles="G")
 def cached_steering_matrix(
-    angles: np.ndarray, num_antennas: int, spacing_m: float, wavelength_m: float
-) -> np.ndarray:
+    angles: ArrayLike, num_antennas: int, spacing_m: float, wavelength_m: float
+) -> ComplexArray:
     """Like :func:`steering_matrix`, memoized on the grid's fingerprint.
 
     The returned array is read-only; copy before mutating.
     """
-    arr = np.asarray(angles, dtype=float)
+    arr = np.asarray(angles, dtype=np.float64)
     probes = (
         (float(arr[0]), float(arr[-1]), float(arr[arr.size // 3]),
          float(arr[(2 * arr.size) // 3]))
@@ -154,13 +158,13 @@ class UniformLinearArray:
         bearing = self.centroid.angle_to(point)
         return abs(wrap_to_pi(bearing - self.orientation))
 
-    def steering_vector(self, theta: float) -> np.ndarray:
+    def steering_vector(self, theta: float) -> ComplexArray:
         """Steering vector for arrival angle ``theta`` (radians)."""
         return steering_vector(
             theta, self.num_antennas, self.spacing_m, self.wavelength_m
         )
 
-    def steering_matrix(self, thetas: Sequence[float]) -> np.ndarray:
+    def steering_matrix(self, thetas: Sequence[float]) -> ComplexArray:
         """Steering matrix for a list of arrival angles."""
         return steering_matrix(
             thetas, self.num_antennas, self.spacing_m, self.wavelength_m

@@ -24,6 +24,7 @@ from repro.rf.propagation import (
     fresnel_parameter,
     knife_edge_amplitude,
 )
+from repro.utils.arrays import ComplexArray, FloatArray
 from repro.utils.rng import RngLike, ensure_rng
 
 
@@ -56,13 +57,13 @@ class MultipathChannel:
         """Number of propagation paths in this channel."""
         return len(self.paths)
 
-    def aoas(self) -> np.ndarray:
+    def aoas(self) -> FloatArray:
         """Arrival angles of all paths (radians)."""
-        return np.array([path.aoa for path in self.paths], dtype=float)
+        return np.array([path.aoa for path in self.paths], dtype=np.float64)
 
-    def gains(self) -> np.ndarray:
+    def gains(self) -> ComplexArray:
         """Complex gains of all paths."""
-        return np.array([path.gain for path in self.paths], dtype=complex)
+        return np.array([path.gain for path in self.paths], dtype=np.complex128)
 
     def with_targets(self, targets: Iterable[Circle]) -> "MultipathChannel":
         """The channel with target shadowing applied to every path.
@@ -110,13 +111,13 @@ class MultipathChannel:
             if any(path_blocked_by(path.legs, target) for target in target_list)
         ]
 
-    def array_response(self) -> np.ndarray:
+    def array_response(self) -> ComplexArray:
         """Noise-free array response vector ``sum_p g_p * a(theta_p)``.
 
         Shape ``(M,)``; this is the per-symbol channel seen by the array
         before source modulation and noise.
         """
-        response = np.zeros(self.array.num_antennas, dtype=complex)
+        response = np.zeros(self.array.num_antennas, dtype=np.complex128)
         for path in self.paths:
             response += path.gain * self.array.steering_vector(path.aoa)
         return response
@@ -125,10 +126,10 @@ class MultipathChannel:
         self,
         num_snapshots: int,
         snr_db: float = 25.0,
-        phase_offsets: Optional[np.ndarray] = None,
+        phase_offsets: Optional[FloatArray] = None,
         rng: RngLike = None,
-        source_symbols: Optional[np.ndarray] = None,
-    ) -> np.ndarray:
+        source_symbols: Optional[ComplexArray] = None,
+    ) -> ComplexArray:
         """Simulate ``N`` baseband array snapshots, shape ``(M, N)``.
 
         Implements the paper's Eq. (9): ``X = Gamma * A * S + n``.  All
@@ -160,7 +161,7 @@ class MultipathChannel:
             phases = generator.uniform(0.0, 2.0 * np.pi, size=num_snapshots)
             source_symbols = np.exp(1j * phases)
         else:
-            source_symbols = np.asarray(source_symbols, dtype=complex)
+            source_symbols = np.asarray(source_symbols, dtype=np.complex128)
             if source_symbols.shape != (num_snapshots,):
                 raise ConfigurationError(
                     "source_symbols must have shape (num_snapshots,)"
@@ -174,7 +175,7 @@ class MultipathChannel:
         noisy = clean + awgn((m, num_snapshots), noise_power, generator)
 
         if phase_offsets is not None:
-            offsets = np.asarray(phase_offsets, dtype=float)
+            offsets = np.asarray(phase_offsets, dtype=np.float64)
             if offsets.shape != (m,):
                 raise ConfigurationError(
                     f"phase_offsets must have shape ({m},), got {offsets.shape}"

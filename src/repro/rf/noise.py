@@ -7,6 +7,7 @@ from typing import Tuple, Union
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.utils.arrays import ComplexArray
 from repro.utils.rng import RngLike, ensure_rng
 
 
@@ -28,7 +29,7 @@ def awgn(
     shape: Union[int, Tuple[int, ...]],
     power: float,
     rng: RngLike = None,
-) -> np.ndarray:
+) -> ComplexArray:
     """Circularly-symmetric complex Gaussian noise with total ``power``.
 
     Each complex sample has variance ``power`` split evenly between the
@@ -38,7 +39,7 @@ def awgn(
         raise ConfigurationError("noise power cannot be negative")
     generator = ensure_rng(rng)
     if power == 0.0:
-        return np.zeros(shape, dtype=complex)
+        return np.zeros(shape, dtype=np.complex128)
     sigma = np.sqrt(power / 2.0)
     return generator.normal(0.0, sigma, size=shape) + 1j * generator.normal(
         0.0, sigma, size=shape

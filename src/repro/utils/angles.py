@@ -3,29 +3,60 @@
 The library stores every angle in radians.  AoA values for a uniform
 linear array live in ``[0, pi]`` (a ULA cannot distinguish front from
 back), while generic bearings live in ``(-pi, pi]``.
+
+These helpers are the *only* sanctioned degree/radian boundary: reprolint
+rule RL002 flags raw ``np.deg2rad``/``np.rad2deg`` (and the ``math``
+equivalents) everywhere else, so every unit conversion in the tree is
+auditable from this module's call sites.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Iterable
+from typing import Any, Iterable, Union, overload
 
 import numpy as np
+from numpy.typing import NDArray
 
 TWO_PI = 2.0 * math.pi
 
+FloatArray = NDArray[np.float64]
+_ScalarOrArray = Union[float, FloatArray]
 
-def deg2rad(value):
+
+@overload
+def deg2rad(value: float) -> float: ...
+@overload
+def deg2rad(value: FloatArray) -> FloatArray: ...
+
+
+def deg2rad(value: _ScalarOrArray) -> Any:
     """Convert degrees to radians (scalar or array)."""
-    return np.deg2rad(value)
+    if np.ndim(value) == 0:
+        return math.radians(float(value))
+    return np.deg2rad(np.asarray(value, dtype=float))
 
 
-def rad2deg(value):
+@overload
+def rad2deg(value: float) -> float: ...
+@overload
+def rad2deg(value: FloatArray) -> FloatArray: ...
+
+
+def rad2deg(value: _ScalarOrArray) -> Any:
     """Convert radians to degrees (scalar or array)."""
-    return np.rad2deg(value)
+    if np.ndim(value) == 0:
+        return math.degrees(float(value))
+    return np.rad2deg(np.asarray(value, dtype=float))
 
 
-def wrap_to_pi(angle):
+@overload
+def wrap_to_pi(angle: float) -> float: ...
+@overload
+def wrap_to_pi(angle: FloatArray) -> FloatArray: ...
+
+
+def wrap_to_pi(angle: _ScalarOrArray) -> Any:
     """Wrap an angle (scalar or array) into ``(-pi, pi]``."""
     wrapped = np.mod(np.asarray(angle) + math.pi, TWO_PI) - math.pi
     # np.mod maps exact odd multiples of pi to -pi; the convention here is
@@ -35,13 +66,27 @@ def wrap_to_pi(angle):
     )
 
 
-def wrap_to_2pi(angle):
+@overload
+def wrap_to_2pi(angle: float) -> float: ...
+@overload
+def wrap_to_2pi(angle: FloatArray) -> FloatArray: ...
+
+
+def wrap_to_2pi(angle: _ScalarOrArray) -> Any:
     """Wrap an angle (scalar or array) into ``[0, 2*pi)``."""
     wrapped = np.mod(np.asarray(angle), TWO_PI)
     return wrapped if np.ndim(angle) else float(wrapped)
 
 
-def angle_difference(a, b):
+@overload
+def angle_difference(a: float, b: float) -> float: ...
+@overload
+def angle_difference(a: FloatArray, b: _ScalarOrArray) -> FloatArray: ...
+@overload
+def angle_difference(a: _ScalarOrArray, b: FloatArray) -> FloatArray: ...
+
+
+def angle_difference(a: _ScalarOrArray, b: _ScalarOrArray) -> Any:
     """Smallest signed difference ``a - b`` wrapped into ``(-pi, pi]``."""
     return wrap_to_pi(np.asarray(a) - np.asarray(b))
 

@@ -12,8 +12,10 @@ from typing import Iterable, Sequence, Tuple
 
 import numpy as np
 
+from repro.utils.arrays import FloatArray
 
-def empirical_cdf(values: Iterable[float]) -> Tuple[np.ndarray, np.ndarray]:
+
+def empirical_cdf(values: Iterable[float]) -> Tuple[FloatArray, FloatArray]:
     """Return ``(sorted_values, cumulative_probabilities)``.
 
     The probabilities use the ``i / n`` convention so the last point is

@@ -8,30 +8,64 @@ bookkeeping bug, hence the explicit names.
 
 from __future__ import annotations
 
+from typing import Any, Union, overload
+
 import numpy as np
+from numpy.typing import NDArray
+
+FloatArray = NDArray[np.float64]
+_ScalarOrArray = Union[float, FloatArray]
 
 
-def db_to_linear(db):
+@overload
+def db_to_linear(db: float) -> float: ...
+@overload
+def db_to_linear(db: FloatArray) -> FloatArray: ...
+
+
+def db_to_linear(db: _ScalarOrArray) -> Any:
     """Amplitude ratio for a gain expressed in dB."""
-    return np.power(10.0, np.asarray(db, dtype=float) / 20.0)
+    result = np.power(10.0, np.asarray(db, dtype=float) / 20.0)
+    return float(result) if np.ndim(db) == 0 else result
 
 
-def linear_to_db(ratio):
+@overload
+def linear_to_db(ratio: float) -> float: ...
+@overload
+def linear_to_db(ratio: FloatArray) -> FloatArray: ...
+
+
+def linear_to_db(ratio: _ScalarOrArray) -> Any:
     """Gain in dB for an amplitude ratio (must be positive)."""
     arr = np.asarray(ratio, dtype=float)
     if np.any(arr <= 0):
         raise ValueError("amplitude ratio must be positive to convert to dB")
-    return 20.0 * np.log10(arr)
+    result = 20.0 * np.log10(arr)
+    return float(result) if np.ndim(ratio) == 0 else result
 
 
-def db_to_power(db):
+@overload
+def db_to_power(db: float) -> float: ...
+@overload
+def db_to_power(db: FloatArray) -> FloatArray: ...
+
+
+def db_to_power(db: _ScalarOrArray) -> Any:
     """Power ratio for a gain expressed in dB."""
-    return np.power(10.0, np.asarray(db, dtype=float) / 10.0)
+    result = np.power(10.0, np.asarray(db, dtype=float) / 10.0)
+    return float(result) if np.ndim(db) == 0 else result
 
 
-def power_to_db(ratio):
+@overload
+def power_to_db(ratio: float) -> float: ...
+@overload
+def power_to_db(ratio: FloatArray) -> FloatArray: ...
+
+
+def power_to_db(ratio: _ScalarOrArray) -> Any:
     """Gain in dB for a power ratio (must be positive)."""
     arr = np.asarray(ratio, dtype=float)
     if np.any(arr <= 0):
         raise ValueError("power ratio must be positive to convert to dB")
-    return 10.0 * np.log10(arr)
+    result = 10.0 * np.log10(arr)
+    return float(result) if np.ndim(ratio) == 0 else result

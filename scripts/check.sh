@@ -1,18 +1,35 @@
 #!/usr/bin/env bash
-# Repo check gate: lint (when available) + the tier-1 test suite.
+# Repo check gate: static analysis + the tier-1 test suite.
 #
 # Usage: scripts/check.sh
 # Run from the repository root.
+#
+# Gates, in order:
+#   1. reprolint  — the repo's own AST linter (stdlib-only, always runs)
+#   2. ruff       — general lint (skipped when not installed)
+#   3. mypy       — strict typing of the signal core (skipped when not
+#                   installed; the allowlist lives in pyproject.toml)
+#   4. pytest     — the tier-1 suite
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+echo "== reprolint (domain rules RL001-RL005) =="
+python -m tools.reprolint src/
 
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff check =="
     ruff check src tests benchmarks examples
 else
     echo "== ruff not installed; skipping lint (pip install ruff to enable) =="
+fi
+
+if python -c "import mypy" >/dev/null 2>&1; then
+    echo "== mypy --strict (signal-core allowlist) =="
+    python -m mypy --strict -p repro
+else
+    echo "== mypy not installed; skipping type check (pip install mypy to enable) =="
 fi
 
 echo "== tier-1 tests =="

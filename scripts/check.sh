@@ -9,7 +9,8 @@
 #   2. ruff       — general lint (skipped when not installed)
 #   3. mypy       — strict typing of the signal core (skipped when not
 #                   installed; the allowlist lives in pyproject.toml)
-#   4. pytest     — the tier-1 suite
+#   4. smoke      — `repro stream` record -> replay round trip
+#   5. pytest     — the tier-1 suite
 
 set -euo pipefail
 
@@ -31,6 +32,13 @@ if python -c "import mypy" >/dev/null 2>&1; then
 else
     echo "== mypy not installed; skipping type check (pip install mypy to enable) =="
 fi
+
+echo "== streaming smoke (record -> replay round trip) =="
+SMOKE_DIR=$(mktemp -d)
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+PYTHONPATH=src python -m repro --quiet stream --environment hall --seed 7 \
+    --fixes 1 --record "$SMOKE_DIR/smoke.jsonl"
+PYTHONPATH=src python -m repro --quiet stream --replay "$SMOKE_DIR/smoke.jsonl"
 
 echo "== tier-1 tests =="
 PYTHONPATH=src python -m pytest -x -q

@@ -19,14 +19,16 @@ Quick start::
 
 The subpackages are usable on their own: :mod:`repro.dsp` for
 MUSIC/P-MUSIC, :mod:`repro.calibration` for over-the-air phase
-calibration, :mod:`repro.rfid` for the Gen2/LLRP substrate, and
-:mod:`repro.sim` for scene simulation.
+calibration, :mod:`repro.rfid` for the Gen2/LLRP substrate,
+:mod:`repro.sim` for scene simulation, and :mod:`repro.stream` for the
+online streaming engine (continuous tracking over a read stream).
 """
 
 from repro.core.pipeline import DWatch, calibrate_readers
 from repro.core.likelihood import LocationEstimate
 from repro.dsp.music import MusicEstimator
 from repro.dsp.pmusic import PMusicEstimator
+from repro.stream import StreamConfig, StreamRunner, TagRead, TrackFix
 from repro.sim.environments import (
     library_scene,
     laboratory_scene,
@@ -52,6 +54,10 @@ __all__ = [
     "calibration_scene",
     "MeasurementConfig",
     "MeasurementSession",
+    "StreamConfig",
+    "StreamRunner",
+    "TagRead",
+    "TrackFix",
     "Target",
     "human_target",
     "bottle_target",

@@ -1,11 +1,13 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the tasks a user reaches for first:
+Five subcommands cover the tasks a user reaches for first:
 
 * ``demo``      — calibrate, baseline and localize one target in a
   chosen environment, printing the likelihood heat map.
 * ``coverage``  — print the deployment's coverage/deadzone map.
 * ``experiment``— run one figure reproduction by name.
+* ``stream``    — continuous tracking over a synthetic or replayed
+  read stream (``--record`` / ``--replay`` for JSONL recordings).
 * ``stats``     — pretty-print a metrics snapshot written by a prior
   ``--metrics`` run.
 
@@ -30,6 +32,9 @@ from repro.obs.logging import configure_logging, fields, get_logger
 log = get_logger("cli")
 
 ENVIRONMENTS = ("library", "laboratory", "hall", "table", "wifi-office")
+
+#: Environments with TDM RFID readers — the ones the stream engine runs on.
+RFID_ENVIRONMENTS = ("library", "laboratory", "hall", "table")
 
 #: Exit code for invalid usage / library-reported failures.
 EXIT_ERROR = 2
@@ -159,6 +164,106 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Continuous tracking over a synthetic or replayed read stream."""
+    from repro.core.pipeline import DWatch
+    from repro.sim.measurement import MeasurementSession
+    from repro.stream import (
+        RecordingHeader,
+        StreamConfig,
+        StreamRunner,
+        SyntheticStreamConfig,
+        read_header,
+        read_recording,
+        synthetic_reads,
+        write_recording,
+    )
+
+    if args.record and args.replay:
+        raise UsageError("--record and --replay are mutually exclusive")
+
+    environment = args.environment
+    seed = args.seed
+    if args.replay:
+        # The recording header pins the deployment it was captured in,
+        # so calibration and baseline rebuild deterministically.
+        header = read_header(args.replay)
+        if header.environment is not None:
+            environment = header.environment
+        if header.seed is not None:
+            seed = header.seed
+    if environment not in RFID_ENVIRONMENTS:
+        raise UsageError(
+            f"environment {environment!r} has no TDM readers to stream from; "
+            f"pick from {RFID_ENVIRONMENTS}"
+        )
+
+    scene = _build_scene(environment, seed)
+    synthetic_cfg = SyntheticStreamConfig(fixes=args.fixes)
+
+    if args.record:
+        written = write_recording(
+            args.record,
+            synthetic_reads(scene, synthetic_cfg, rng=seed + 3),
+            RecordingHeader(
+                environment=environment,
+                seed=seed,
+                description=f"synthetic {environment} stream, {args.fixes} fixes",
+            ),
+        )
+        print(f"recorded {written} reads to {args.record}")
+        return 0
+
+    cell = TABLE_GRID_CELL_M if environment == "table" else 0.05
+    dwatch = DWatch(scene, cell_size=cell)
+    log.info(
+        "calibrating readers over the air",
+        extra=fields(environment=environment, readers=len(scene.readers)),
+    )
+    dwatch.calibrate(rng=seed + 1)
+    log.info("collecting empty-area baseline", extra=fields(captures=2))
+    session = MeasurementSession(scene, rng=seed + 2)
+    dwatch.collect_baseline([session.capture() for _ in range(2)])
+
+    runner = StreamRunner(
+        dwatch,
+        StreamConfig(
+            decay=args.decay,
+            drift_alpha=args.drift_alpha,
+            max_targets=args.max_targets,
+        ),
+    )
+    if args.replay:
+        source = read_recording(args.replay)
+    else:
+        source = synthetic_reads(scene, synthetic_cfg, rng=seed + 3)
+    log.info(
+        "streaming reads",
+        extra=fields(source="replay" if args.replay else "synthetic"),
+    )
+    windows = 0
+    located = 0
+    for fix in runner.run(source):
+        windows += 1
+        if fix.position is not None:
+            located += 1
+            suffix = "  (predicted)" if fix.predicted_only else ""
+            print(
+                f"fix {fix.index:3d}  t={fix.time_s:.4f}s  "
+                f"({fix.position.x:.3f}, {fix.position.y:.3f}){suffix}"
+            )
+        else:
+            print(f"fix {fix.index:3d}  t={fix.time_s:.4f}s  no target")
+    stats = runner.queue.stats
+    print(
+        f"\nwindows {windows}  located {located}  "
+        f"late reads {runner.assembler.late_reads}  "
+        f"torn sweeps {runner.assembler.torn_sweeps}  "
+        f"dropped reads {stats.dropped}"
+    )
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
     """Pretty-print a metrics snapshot from a ``--metrics`` JSONL file."""
     from repro.obs.metrics import load_snapshot_jsonl, render_snapshot
@@ -223,6 +328,48 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("--seed", type=int, default=1)
     _observability_options(experiment)
     experiment.set_defaults(handler=cmd_experiment)
+
+    stream = sub.add_parser(
+        "stream", help="continuous tracking over a read stream"
+    )
+    stream.add_argument("--environment", default="hall", choices=RFID_ENVIRONMENTS)
+    stream.add_argument("--seed", type=int, default=1)
+    stream.add_argument(
+        "--fixes",
+        type=int,
+        default=8,
+        help="synthetic stream length in fix windows (default: 8)",
+    )
+    stream.add_argument(
+        "--max-targets", dest="max_targets", type=int, default=1
+    )
+    stream.add_argument(
+        "--decay",
+        type=float,
+        default=0.8,
+        help="covariance forgetting factor in (0, 1] (default: 0.8)",
+    )
+    stream.add_argument(
+        "--drift-alpha",
+        dest="drift_alpha",
+        type=float,
+        default=0.0,
+        help="baseline drift EWMA weight; 0 freezes the baseline (default)",
+    )
+    stream.add_argument(
+        "--record",
+        metavar="FILE",
+        default=None,
+        help="write the synthetic read stream to FILE as JSONL and exit",
+    )
+    stream.add_argument(
+        "--replay",
+        metavar="FILE",
+        default=None,
+        help="stream reads from a recording instead of the simulator",
+    )
+    _observability_options(stream)
+    stream.set_defaults(handler=cmd_stream)
 
     stats = sub.add_parser(
         "stats", help="pretty-print a --metrics JSONL snapshot"

@@ -17,7 +17,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:
+    from typing import Sequence
 
 
 from repro import obs
@@ -184,7 +187,18 @@ class DWatch:
             raise LocalizationError("collect_baseline() must run before localization")
         with obs.span("pipeline.evidence"):
             online = compute_spectra(measurement, self.readers, self.calibration)
-            return self.detector.evidence(self.baseline, online)
+            return self.evidence_from_spectra(online)
+
+    def evidence_from_spectra(self, online: SpectrumSet) -> List[AngleEvidence]:
+        """Blocking evidence from already-computed online spectra.
+
+        The spectra-domain entry point of Step 3, for callers that do
+        not hold raw snapshots — the streaming engine maintains
+        incremental covariances and derives its spectra from those.
+        """
+        if self.baseline is None:
+            raise LocalizationError("collect_baseline() must run before localization")
+        return self.detector.evidence(self.baseline, online)
 
     def localize(
         self, measurement: Measurement, max_targets: int = 1
@@ -197,24 +211,42 @@ class DWatch:
         with obs.span("pipeline.localize", max_targets=max_targets) as sp:
             obs.count("pipeline.fixes")
             evidence = self.evidence(measurement)
-            if not any(item.has_detection for item in evidence):
-                obs.count("pipeline.empty_fixes")
-                sp.set(outcome="empty")
-                return []
-            try:
-                if max_targets <= 1:
-                    estimates = [self.localizer.localize(evidence)]
-                else:
-                    self.multi_localizer.max_targets = max_targets
-                    estimates = self.multi_localizer.localize(evidence)
-            except LocalizationError:
-                # Too few readers saw the target: an uncovered location,
-                # counted against the coverage rate rather than accuracy.
-                obs.count("pipeline.uncovered_fixes")
-                sp.set(outcome="uncovered")
-                return []
-            sp.set(outcome="ok", targets=len(estimates))
-            return estimates
+            return self._finish_localize(evidence, max_targets, sp)
+
+    def localize_from_evidence(
+        self, evidence: List[AngleEvidence], max_targets: int = 1
+    ) -> List[LocationEstimate]:
+        """Step 4 alone, over externally computed evidence.
+
+        Shares the grid search, outlier rejection and outcome
+        accounting with :meth:`localize`; used by the streaming engine,
+        whose evidence comes from :meth:`evidence_from_spectra`.
+        """
+        with obs.span("pipeline.localize", max_targets=max_targets) as sp:
+            obs.count("pipeline.fixes")
+            return self._finish_localize(evidence, max_targets, sp)
+
+    def _finish_localize(
+        self, evidence: List[AngleEvidence], max_targets: int, sp
+    ) -> List[LocationEstimate]:
+        if not any(item.has_detection for item in evidence):
+            obs.count("pipeline.empty_fixes")
+            sp.set(outcome="empty")
+            return []
+        try:
+            if max_targets <= 1:
+                estimates = [self.localizer.localize(evidence)]
+            else:
+                self.multi_localizer.max_targets = max_targets
+                estimates = self.multi_localizer.localize(evidence)
+        except LocalizationError:
+            # Too few readers saw the target: an uncovered location,
+            # counted against the coverage rate rather than accuracy.
+            obs.count("pipeline.uncovered_fixes")
+            sp.set(outcome="uncovered")
+            return []
+        sp.set(outcome="ok", targets=len(estimates))
+        return estimates
 
     def _require_calibration(self) -> None:
         if not self.calibration:

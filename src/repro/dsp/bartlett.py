@@ -22,6 +22,31 @@ from repro.rf.array import cached_steering_matrix
 from repro.utils.arrays import ArrayLike, FloatArray
 
 
+@check_shapes(covariance="M,M", angle_grid="G")
+def bartlett_spectrum_from_covariance(
+    covariance: ArrayLike,
+    spacing_m: float,
+    wavelength_m: float,
+    angle_grid: Optional[FloatArray] = None,
+) -> AngularSpectrum:
+    """Per-direction power ``a(theta)^H R a(theta) / M^2`` from ``R``.
+
+    The covariance-domain form of Eq. 13, shared by the batch estimator
+    below and by the streaming engine's incrementally maintained
+    covariances (:mod:`repro.stream.covariance`).
+    """
+    r = np.asarray(covariance, dtype=np.complex128)
+    if r.ndim != 2 or r.shape[0] != r.shape[1]:
+        raise EstimationError("covariance must be a square (M, M) matrix")
+    m = r.shape[0]
+    grid = default_angle_grid() if angle_grid is None else np.asarray(angle_grid)
+    a = cached_steering_matrix(grid, m, spacing_m, wavelength_m)  # (M, G)
+    # The quadratic form a^H R a of a Hermitian R is mathematically real;
+    # np.real only strips round-off in the imaginary storage.
+    values = np.real(np.einsum("mg,mk,kg->g", a.conj(), r, a)) / (m * m)  # reprolint: disable=RL003
+    return AngularSpectrum(grid, np.clip(values, 0.0, None))
+
+
 @check_shapes(snapshots="M,N", angle_grid="G")
 def bartlett_power_spectrum(
     snapshots: ArrayLike,
@@ -39,14 +64,9 @@ def bartlett_power_spectrum(
     x = np.asarray(snapshots, dtype=np.complex128)
     if x.ndim != 2:
         raise EstimationError("snapshots must be 2-D (M, N)")
-    m = x.shape[0]
-    grid = default_angle_grid() if angle_grid is None else np.asarray(angle_grid)
-    a = cached_steering_matrix(grid, m, spacing_m, wavelength_m)  # (M, G)
-    r = sample_covariance(x)
-    # The quadratic form a^H R a of a Hermitian R is mathematically real;
-    # np.real only strips round-off in the imaginary storage.
-    values = np.real(np.einsum("mg,mk,kg->g", a.conj(), r, a)) / (m * m)  # reprolint: disable=RL003
-    return AngularSpectrum(grid, np.clip(values, 0.0, None))
+    return bartlett_spectrum_from_covariance(
+        sample_covariance(x), spacing_m, wavelength_m, angle_grid
+    )
 
 
 def bartlett_power_at(

@@ -49,6 +49,29 @@ class ContractViolation(EstimationError):
     """
 
 
+class StreamError(ReproError):
+    """The online streaming engine could not ingest or assemble reads."""
+
+
+class BackpressureError(StreamError):
+    """A bounded stream queue refused a read.
+
+    Raised only under the ``"block"`` policy when the queue stays full
+    past the caller's timeout; the dropping policies never raise — they
+    count their drops instead.
+    """
+
+
+class RecordingError(StreamError):
+    """A read-stream recording is missing, malformed or truncated.
+
+    Replay never lets :class:`json.JSONDecodeError` (or a bare
+    ``KeyError``) escape: a half-written final line, a wrong header or
+    a missing field all surface as this type with the offending line
+    number, so stream consumers can catch one exception class.
+    """
+
+
 class UsageError(ReproError):
     """A command-line invocation asked for something that does not exist.
 

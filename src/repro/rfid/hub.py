@@ -36,14 +36,21 @@ class TdmSchedule:
     def antenna_at(self, time_s: float) -> int:
         """Which antenna is active at ``time_s`` into the sweep.
 
+        Slots are half-open ``[start, end)`` except the final one, which
+        is end-inclusive: reader timestamps quantize to the slot grid,
+        so the last read of a sweep can land exactly on ``duration`` and
+        still belongs to the final slot rather than outside the sweep.
+
         Raises
         ------
         ConfigurationError
-            If ``time_s`` falls outside the sweep.
+            If ``time_s`` falls outside ``[0, duration]``.
         """
         for antenna, start, end in self.slots:
             if start <= time_s < end:
                 return antenna
+        if self.slots and time_s == self.slots[-1][2]:
+            return self.slots[-1][0]
         raise ConfigurationError(f"time {time_s} outside the sweep duration")
 
 

@@ -10,8 +10,10 @@
 * **table** (2 m x 2 m) — two short-range arrays and 26 perimeter tags
   for the multi-target and fist-tracking experiments.
 
-Each builder takes a seed so tag scatter and reader phase offsets are
-reproducible but distinct across trials.
+Each builder takes a seed so tag scatter, tag EPCs and reader phase
+offsets are reproducible but distinct across trials.  The same seed
+gives the same deployment in every process — which is what lets a
+read-stream recording (``repro stream --record``) replay elsewhere.
 """
 
 from __future__ import annotations
@@ -26,10 +28,18 @@ from repro.geometry.shapes import Rectangle
 from repro.rf.array import UniformLinearArray
 from repro.rfid.reader import Reader
 from repro.rfid.tag import Tag
+from repro.rfid.epc import random_epc
 from repro.sim.deployment import random_tag_positions
 from repro.sim.scene import Scene
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import RngLike, derive_stream, ensure_rng
 from repro.utils.angles import deg2rad
+
+#: Side-stream key for tag EPC draws.  EPCs come from a keyed stream
+#: derived from the scene seed (not from the main stream, which would
+#: shift every later draw, and not from an unseeded generator, which
+#: would give the "same" seeded scene different tag identities in every
+#: process — breaking read-stream recordings replayed elsewhere).
+_EPC_STREAM_KEY = 0xE9C
 
 
 def _wall_readers(
@@ -116,8 +126,9 @@ def library_scene(
         room, num_reflectors, generator, plate_length=2.0, coefficient=0.85,
         prefix="shelf",
     )
+    epc_rng = derive_stream(generator, _EPC_STREAM_KEY)
     tags = [
-        Tag(position=p)
+        Tag(position=p, epc=random_epc(epc_rng))
         for p in random_tag_positions(room, num_tags, generator)
     ]
     return Scene(
@@ -139,8 +150,9 @@ def laboratory_scene(
         room, num_reflectors, generator, plate_length=1.2, coefficient=0.7,
         prefix="bench",
     )
+    epc_rng = derive_stream(generator, _EPC_STREAM_KEY)
     tags = [
-        Tag(position=p)
+        Tag(position=p, epc=random_epc(epc_rng))
         for p in random_tag_positions(room, num_tags, generator)
     ]
     return Scene(
@@ -162,8 +174,9 @@ def hall_scene(
         room, num_reflectors, generator, plate_length=1.0, coefficient=0.6,
         prefix="pillar",
     )
+    epc_rng = derive_stream(generator, _EPC_STREAM_KEY)
     tags = [
-        Tag(position=p)
+        Tag(position=p, epc=random_epc(epc_rng))
         for p in random_tag_positions(room, num_tags, generator)
     ]
     return Scene(
@@ -217,7 +230,11 @@ def table_scene(
         positions.append(Point(0.05 + 1.9 * (index + 0.5) / per_side, 2.0))
     for index in range(num_tags // 2):
         positions.append(Point(0.0, 0.05 + 1.9 * (index + 0.5) / (num_tags // 2)))
-    tags = [Tag(position=p, height_m=1.25) for p in positions]
+    epc_rng = derive_stream(generator, _EPC_STREAM_KEY)
+    tags = [
+        Tag(position=p, epc=random_epc(epc_rng), height_m=1.25)
+        for p in positions
+    ]
     return Scene(
         room=room,
         readers=readers,
@@ -244,13 +261,14 @@ def calibration_scene(
     room = Rectangle(0.0, 0.0, 10.0, 10.0)
     readers = _wall_readers(room, generator, num_antennas, count=1)
     anchor = readers[0].array.centroid
+    epc_rng = derive_stream(generator, _EPC_STREAM_KEY)
     tags = []
     for index in range(num_tags):
         distance = generator.uniform(1.0, 8.0)
         angle = generator.uniform(deg2rad(25), deg2rad(155))
         offset = Point(math.cos(angle), math.sin(angle)) * distance
         position = room.clamp(anchor + offset)
-        tags.append(Tag(position=position))
+        tags.append(Tag(position=position, epc=random_epc(epc_rng)))
     # Two long wall-like clutter plates flanking the deployment: their
     # specular bounces exist for essentially every tag placement, so
     # each reference tag's channel carries genuine (weak-but-present)

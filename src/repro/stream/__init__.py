@@ -1,0 +1,67 @@
+"""repro.stream — the online streaming engine for continuous tracking.
+
+D-Watch is deployed as a continuous monitor: tag reads arrive as an
+endless event stream from TDM antenna sweeps, and the paper's tracking
+experiments (Figs. 19/21) imply sustained fix rates rather than
+one-shot batch captures.  This package turns the batch pipeline into
+that online service:
+
+* :mod:`repro.stream.events` — the typed :class:`TagRead` ingest event
+  and the :class:`TrackFix` output record.
+* :mod:`repro.stream.queue` — a bounded ingest queue with explicit
+  backpressure policies (``block``, ``drop-oldest``, ``drop-newest``)
+  and a counter for every drop.
+* :mod:`repro.stream.window` — the event-time window assembler that
+  groups reads by reader/tag/sweep into snapshot windows, with a
+  lateness bound for out-of-order arrivals.
+* :mod:`repro.stream.covariance` — exponentially-weighted rank-1
+  covariance updates per (reader, tag) and the covariance-domain
+  P-MUSIC spectrum, so spectra refresh per window without recomputing
+  from scratch.
+* :mod:`repro.stream.drift` — slow EWMA adaptation of the empty-area
+  baseline spectra with a freeze-while-detecting guard.
+* :mod:`repro.stream.replay` — versioned JSONL recording and replay of
+  read streams.
+* :mod:`repro.stream.synthetic` — a synthetic read-stream driver over
+  :mod:`repro.sim.measurement` for offline runs and benchmarks.
+* :mod:`repro.stream.runner` — :class:`StreamRunner`, the pull-based
+  loop wiring ingest -> windows -> evidence -> localize into a stream
+  of fixes, instrumented through :mod:`repro.obs`.
+
+See ``docs/STREAMING.md`` for the architecture and the replay format.
+"""
+
+from repro.stream.covariance import CovarianceBank, EwCovariance
+from repro.stream.drift import BaselineDriftTracker
+from repro.stream.events import TagRead, TrackFix
+from repro.stream.queue import DROP_POLICIES, BoundedReadQueue
+from repro.stream.replay import (
+    RecordingHeader,
+    read_header,
+    read_recording,
+    write_recording,
+)
+from repro.stream.runner import StreamConfig, StreamRunner
+from repro.stream.synthetic import SyntheticStreamConfig, synthetic_reads
+from repro.stream.window import SnapshotWindow, WindowAssembler, WindowConfig
+
+__all__ = [
+    "BaselineDriftTracker",
+    "BoundedReadQueue",
+    "CovarianceBank",
+    "DROP_POLICIES",
+    "EwCovariance",
+    "RecordingHeader",
+    "SnapshotWindow",
+    "StreamConfig",
+    "StreamRunner",
+    "SyntheticStreamConfig",
+    "TagRead",
+    "TrackFix",
+    "WindowAssembler",
+    "WindowConfig",
+    "read_header",
+    "read_recording",
+    "synthetic_reads",
+    "write_recording",
+]

@@ -1,0 +1,99 @@
+"""Slow baseline adaptation so long runs survive environment change.
+
+The empty-area baseline spectra are captured once, but a monitored
+space does not stay put: doors open, chairs move, temperature walks the
+reflector phases.  Hours later the "empty" spectra no longer match the
+baseline and every fix rains false blocking events — the
+environment-change failure mode the batch pipeline simply cannot
+encounter.
+
+The tracker closes the loop with an EWMA toward the current online
+spectra, guarded two ways:
+
+* **Freeze while detecting.**  A window with any blocking evidence is
+  *not* empty-area data; folding it in would teach the baseline that
+  the target's shadow is normal and blind the detector to a loiterer.
+  Detection windows freeze the update entirely.
+* **Slow constant.**  ``alpha`` is small (minutes of windows to
+  converge), so a brief undetected target biases the baseline by only
+  ``alpha`` of its shadow before detection or departure.
+
+Every baseline capture in the set (reference and stability
+confirmations alike) receives the same update, keeping the peak
+stability screen's inter-capture differences meaningful.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.core.baseline import SpectrumSet
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class BaselineDriftTracker:
+    """EWMA baseline adaptation with a freeze-while-detecting guard.
+
+    Parameters
+    ----------
+    alpha:
+        Weight of the newest empty-area spectra in ``[0, 1)``; ``0``
+        disables adaptation entirely.
+    """
+
+    alpha: float = 0.02
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha < 1.0:
+            raise ConfigurationError(f"drift alpha must be in [0, 1), got {self.alpha}")
+        self.applied_updates = 0
+        self.frozen_updates = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether updates can ever be applied."""
+        return self.alpha > 0.0
+
+    def update(
+        self,
+        baseline: Sequence[SpectrumSet],
+        online: SpectrumSet,
+        detecting: bool,
+    ) -> bool:
+        """Fold one window's spectra into the baseline; returns whether applied.
+
+        ``detecting`` must be ``True`` when the window produced any
+        blocking evidence — the update is then frozen (counted, not
+        applied).
+        """
+        if not self.enabled:
+            return False
+        if detecting:
+            self.frozen_updates += 1
+            obs.count("stream.drift.frozen")
+            return False
+        for spectrum_set in baseline:
+            self._blend(spectrum_set, online)
+        self.applied_updates += 1
+        obs.count("stream.drift.applied")
+        return True
+
+    def _blend(self, baseline: SpectrumSet, online: SpectrumSet) -> None:
+        for reader_name, per_tag in baseline.spectra.items():
+            online_tags = online.spectra.get(reader_name)
+            if online_tags is None:
+                continue
+            for epc, spectrum in per_tag.items():
+                fresh = online_tags.get(epc)
+                if fresh is None:
+                    continue
+                resampled = np.interp(
+                    spectrum.angles, fresh.angles, fresh.values
+                )
+                spectrum.values *= 1.0 - self.alpha
+                spectrum.values += self.alpha * resampled

@@ -1,0 +1,171 @@
+"""The bounded ingest queue with explicit backpressure policies.
+
+A continuous deployment cannot assume the localization loop always
+keeps up with the readers: TDM sweeps arrive at a fixed hardware rate
+while per-window processing time varies.  This queue makes the
+overload behaviour an explicit, counted decision instead of an
+unbounded buffer:
+
+``block``
+    The producer waits (up to a timeout) for space; a timeout raises
+    :class:`~repro.errors.BackpressureError`.  Lossless, but pushes the
+    stall upstream — the right choice for replay and batch drains.
+``drop-oldest``
+    The oldest queued read is evicted to admit the new one.  Keeps the
+    stream fresh under overload (stale sweeps are worthless for a
+    moving target) at the cost of torn windows.  The default.
+``drop-newest``
+    The incoming read is discarded.  Preserves whole in-flight windows
+    at the cost of losing the newest data.
+
+Every drop is counted — on the queue itself (:attr:`BoundedReadQueue.stats`)
+and through :mod:`repro.obs` counters ``stream.queue.dropped_oldest``,
+``stream.queue.dropped_newest`` and ``stream.queue.block_timeouts`` —
+so an operator can see overload instead of guessing at it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+from repro import obs
+from repro.errors import BackpressureError, ConfigurationError
+from repro.stream.events import TagRead
+
+#: The recognised backpressure policies, in documentation order.
+DROP_POLICIES: Tuple[str, ...] = ("block", "drop-oldest", "drop-newest")
+
+
+@dataclass(frozen=True)
+class QueueStats:
+    """Lifetime counters of one queue (all monotonic)."""
+
+    offered: int
+    accepted: int
+    dropped_oldest: int
+    dropped_newest: int
+    block_timeouts: int
+
+    @property
+    def dropped(self) -> int:
+        """Total reads lost to any policy."""
+        return self.dropped_oldest + self.dropped_newest
+
+
+class BoundedReadQueue:
+    """A thread-safe bounded FIFO of :class:`TagRead` events.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum queued reads; must be positive.
+    policy:
+        One of :data:`DROP_POLICIES`.
+    block_timeout_s:
+        How long a ``block``-policy :meth:`put` waits for space before
+        raising :class:`~repro.errors.BackpressureError`.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        policy: str = "drop-oldest",
+        block_timeout_s: float = 1.0,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError("queue capacity must be positive")
+        if policy not in DROP_POLICIES:
+            raise ConfigurationError(
+                f"unknown drop policy {policy!r}; pick from {DROP_POLICIES}"
+            )
+        if block_timeout_s < 0.0:
+            raise ConfigurationError("block timeout cannot be negative")
+        self.capacity = capacity
+        self.policy = policy
+        self.block_timeout_s = block_timeout_s
+        self._items: Deque[TagRead] = deque()
+        self._lock = threading.Lock()
+        self._not_full = threading.Condition(self._lock)
+        self._offered = 0
+        self._accepted = 0
+        self._dropped_oldest = 0
+        self._dropped_newest = 0
+        self._block_timeouts = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    @property
+    def stats(self) -> QueueStats:
+        """A consistent snapshot of the lifetime counters."""
+        with self._lock:
+            return QueueStats(
+                offered=self._offered,
+                accepted=self._accepted,
+                dropped_oldest=self._dropped_oldest,
+                dropped_newest=self._dropped_newest,
+                block_timeouts=self._block_timeouts,
+            )
+
+    def put(self, read: TagRead) -> bool:
+        """Offer one read; returns whether it was accepted.
+
+        ``drop-newest`` returns ``False`` for the rejected read;
+        ``drop-oldest`` always returns ``True`` (the casualty is the
+        queue head); ``block`` either returns ``True`` or raises
+        :class:`~repro.errors.BackpressureError` after the timeout.
+        """
+        with self._not_full:
+            self._offered += 1
+            if len(self._items) < self.capacity:
+                self._items.append(read)
+                self._accepted += 1
+                return True
+            if self.policy == "drop-newest":
+                self._dropped_newest += 1
+                obs.count("stream.queue.dropped_newest")
+                return False
+            if self.policy == "drop-oldest":
+                self._items.popleft()
+                self._dropped_oldest += 1
+                obs.count("stream.queue.dropped_oldest")
+                self._items.append(read)
+                self._accepted += 1
+                return True
+            # block: wait for a consumer to make room.
+            deadline_ok = self._not_full.wait_for(
+                lambda: len(self._items) < self.capacity,
+                timeout=self.block_timeout_s,
+            )
+            if not deadline_ok:
+                self._block_timeouts += 1
+                obs.count("stream.queue.block_timeouts")
+                raise BackpressureError(
+                    f"queue full ({self.capacity} reads) for "
+                    f"{self.block_timeout_s:g}s under the 'block' policy"
+                )
+            self._items.append(read)
+            self._accepted += 1
+            return True
+
+    def get(self) -> Optional[TagRead]:
+        """Pop the oldest read, or ``None`` when empty."""
+        with self._not_full:
+            if not self._items:
+                return None
+            item = self._items.popleft()
+            self._not_full.notify()
+            return item
+
+    def drain(self, limit: Optional[int] = None) -> List[TagRead]:
+        """Pop up to ``limit`` reads (all of them when ``None``), FIFO."""
+        with self._not_full:
+            take = len(self._items) if limit is None else min(limit, len(self._items))
+            drained = [self._items.popleft() for _ in range(take)]
+            if drained:
+                self._not_full.notify_all()
+            return drained

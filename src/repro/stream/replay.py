@@ -1,0 +1,162 @@
+"""Record and replay read streams as versioned JSONL files.
+
+A recording is one JSON object per line:
+
+* **Line 1 — the header.**  ``{"schema": 1, "kind": "dwatch-reads",
+  "environment": ..., "seed": ..., "description": ...}``.  The schema
+  marker lets future revisions migrate old recordings; ``environment``
+  and ``seed`` let ``repro stream --replay`` rebuild the matching
+  scene, calibration and baseline deterministically.
+* **Every further line — one read.**  ``{"t": <time_s>, "r":
+  <reader>, "e": <epc>, "i": [<re>, <im>]}`` in stream order.
+
+Replay is strict about failure: a missing file, a wrong header, an
+unknown schema, a missing field or a truncated final line (the classic
+crash-mid-write artefact) all raise
+:class:`~repro.errors.RecordingError` with the offending line number —
+never a bare :class:`json.JSONDecodeError`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import IO, Any, Dict, Iterable, Iterator, Optional, Union
+
+from repro.errors import RecordingError
+from repro.stream.events import TagRead
+
+#: Format marker so future revisions can migrate old recordings.
+RECORDING_SCHEMA = 1
+
+#: The ``kind`` tag distinguishing read streams from other JSONL files.
+RECORDING_KIND = "dwatch-reads"
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class RecordingHeader:
+    """The first line of a recording."""
+
+    schema: int = RECORDING_SCHEMA
+    environment: Optional[str] = None
+    seed: Optional[int] = None
+    description: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON object written as line 1."""
+        record: Dict[str, Any] = {"schema": self.schema, "kind": RECORDING_KIND}
+        if self.environment is not None:
+            record["environment"] = self.environment
+        if self.seed is not None:
+            record["seed"] = self.seed
+        if self.description:
+            record["description"] = self.description
+        return record
+
+
+def write_recording(
+    path: PathLike,
+    reads: Iterable[TagRead],
+    header: Optional[RecordingHeader] = None,
+) -> int:
+    """Write a recording; returns the number of reads written."""
+    meta = header or RecordingHeader()
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(meta.to_dict(), sort_keys=True) + "\n")
+        for read in reads:
+            # Both components serialized — no complex->real narrowing.
+            value = complex(read.iq)
+            record = {
+                "t": read.time_s,
+                "r": read.reader_name,
+                "e": read.epc,
+                "i": [value.real, value.imag],
+            }
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+            count += 1
+    return count
+
+
+def read_header(path: PathLike) -> RecordingHeader:
+    """Parse and validate a recording's header line."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            first = handle.readline()
+    except OSError as exc:
+        raise RecordingError(f"cannot open recording {str(path)!r}: {exc}") from exc
+    if not first.strip():
+        raise RecordingError(f"recording {str(path)!r} is empty (no header line)")
+    return _parse_header(first, path)
+
+
+def read_recording(path: PathLike) -> Iterator[TagRead]:
+    """Yield every read of a recording, lazily, in file order.
+
+    Raises
+    ------
+    RecordingError
+        On a missing file, bad header, unknown schema, malformed or
+        truncated line — identifying the line number.  Raised lazily
+        from the generator for body lines, eagerly for the header.
+    """
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except OSError as exc:
+        raise RecordingError(f"cannot open recording {str(path)!r}: {exc}") from exc
+    return _read_body(handle, path)
+
+
+def _parse_header(line: str, path: PathLike) -> RecordingHeader:
+    try:
+        data = json.loads(line)
+    except ValueError as exc:
+        raise RecordingError(
+            f"recording {str(path)!r} line 1: header is not valid JSON "
+            "(truncated or foreign file?)"
+        ) from exc
+    if not isinstance(data, dict) or data.get("kind") != RECORDING_KIND:
+        raise RecordingError(
+            f"recording {str(path)!r} line 1: not a {RECORDING_KIND!r} header"
+        )
+    if data.get("schema") != RECORDING_SCHEMA:
+        raise RecordingError(
+            f"recording {str(path)!r}: unsupported schema {data.get('schema')!r} "
+            f"(this build reads schema {RECORDING_SCHEMA})"
+        )
+    seed = data.get("seed")
+    return RecordingHeader(
+        schema=int(data["schema"]),
+        environment=data.get("environment"),
+        seed=int(seed) if seed is not None else None,
+        description=str(data.get("description", "")),
+    )
+
+
+def _read_body(handle: IO[str], path: PathLike) -> Iterator[TagRead]:
+    with handle:
+        first = handle.readline()
+        if not first.strip():
+            raise RecordingError(
+                f"recording {str(path)!r} is empty (no header line)"
+            )
+        _parse_header(first, path)
+        for number, line in enumerate(handle, start=2):
+            if not line.strip():
+                continue
+            try:
+                data = json.loads(line)
+                yield TagRead(
+                    reader_name=str(data["r"]),
+                    epc=str(data["e"]),
+                    time_s=float(data["t"]),
+                    iq=complex(float(data["i"][0]), float(data["i"][1])),
+                )
+            except (ValueError, KeyError, TypeError, IndexError) as exc:
+                raise RecordingError(
+                    f"recording {str(path)!r} line {number}: malformed or "
+                    f"truncated read record ({exc})"
+                ) from exc

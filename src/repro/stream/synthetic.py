@@ -1,0 +1,147 @@
+"""A synthetic read-stream driver over the measurement simulator.
+
+Turns batch :class:`~repro.sim.measurement.MeasurementSession` captures
+into the interleaved, timestamped :class:`~repro.stream.events.TagRead`
+stream a live deployment would produce: one read per (reader, tag,
+sweep, antenna slot), timestamped on the TDM slot grid exactly like the
+LLRP layer stamps its tag reports.  The simulated target walks a
+straight line across the monitored area, one capture per fix window, so
+an offline run exercises the same continuous-tracking path as the
+paper's Fig. 21 experiments — and a recording of this stream is the
+test/benchmark fixture for ``repro stream --replay``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+import numpy as np
+
+from repro.constants import PACKETS_PER_FIX
+from repro.errors import ConfigurationError
+from repro.geometry.point import Point
+from repro.sim.measurement import Measurement, MeasurementConfig, MeasurementSession
+from repro.sim.scene import Scene
+from repro.sim.target import human_target
+from repro.stream.events import TagRead
+from repro.utils.rng import RngLike
+
+
+@dataclass(frozen=True)
+class SyntheticStreamConfig:
+    """Shape of a synthetic read stream.
+
+    Parameters
+    ----------
+    fixes:
+        How many fix windows (one capture each) to stream.
+    sweeps_per_fix:
+        Full antenna sweeps per fix (the paper's 10 packets).
+    snr_db:
+        Per-antenna SNR of the captures.
+    moving:
+        Whether the target walks from ``start`` to ``end`` (a static
+        target sits at ``start`` for every fix).
+    start, end:
+        Path endpoints; default to 35 % and 65 % of the room diagonal.
+    """
+
+    fixes: int = 10
+    sweeps_per_fix: int = PACKETS_PER_FIX
+    snr_db: float = 25.0
+    moving: bool = True
+    start: Optional[Point] = None
+    end: Optional[Point] = None
+
+    def __post_init__(self) -> None:
+        if self.fixes < 1:
+            raise ConfigurationError("a synthetic stream needs at least one fix")
+        if self.sweeps_per_fix < 1:
+            raise ConfigurationError("each fix needs at least one sweep")
+
+
+def target_positions(scene: Scene, config: SyntheticStreamConfig) -> List[Point]:
+    """The ground-truth target position of every fix window."""
+    room = scene.room
+    span = Point(room.max_x - room.min_x, room.max_y - room.min_y)
+    origin = Point(room.min_x, room.min_y)
+    start = config.start if config.start is not None else origin + span * 0.35
+    end = config.end if config.end is not None else origin + span * 0.65
+    if not config.moving or config.fixes == 1:
+        return [start] * config.fixes
+    positions = []
+    for k in range(config.fixes):
+        fraction = k / (config.fixes - 1)
+        positions.append(start + (end - start) * fraction)
+    return positions
+
+
+def measurement_reads(
+    measurement: Measurement,
+    scene: Scene,
+    start_time_s: float,
+) -> Iterator[TagRead]:
+    """Flatten one capture into slot-timestamped reads, in time order.
+
+    Each snapshot column becomes one TDM sweep; each row one antenna
+    slot, timestamped ``start + sweep * duration + slot * slot_s`` —
+    the same grid :func:`repro.rfid.llrp.build_report` stamps.
+    """
+    readers = {reader.name: reader for reader in scene.readers}
+    for reader_name in measurement.readers():
+        if reader_name not in readers:
+            raise ConfigurationError(
+                f"measurement references unknown reader {reader_name!r}"
+            )
+    per_sweep: List[List[TagRead]] = []
+    for reader_name, per_tag in measurement.snapshots.items():
+        reader = readers[reader_name]
+        sweep_s = reader.snapshot_sweep_duration()
+        slot_s = reader.hub.slot_duration_s
+        for epc, matrix in per_tag.items():
+            x = np.asarray(matrix, dtype=np.complex128)
+            num_antennas, num_sweeps = x.shape
+            while len(per_sweep) < num_sweeps:
+                per_sweep.append([])
+            for t in range(num_sweeps):
+                base = start_time_s + t * sweep_s
+                for m in range(num_antennas):
+                    per_sweep[t].append(
+                        TagRead(
+                            reader_name=reader_name,
+                            epc=epc,
+                            time_s=base + m * slot_s,
+                            iq=complex(x[m, t]),
+                        )
+                    )
+    for sweep_reads in per_sweep:
+        sweep_reads.sort(key=lambda read: read.time_s)
+        for read in sweep_reads:
+            yield read
+
+
+def synthetic_reads(
+    scene: Scene,
+    config: Optional[SyntheticStreamConfig] = None,
+    rng: RngLike = None,
+) -> Iterator[TagRead]:
+    """The synthetic read stream: one capture per fix, slot-timestamped.
+
+    Fix ``k`` occupies event time ``[k * W, (k + 1) * W)`` where ``W``
+    is ``sweeps_per_fix`` times the (largest) sweep duration, so a
+    :class:`~repro.stream.window.WindowAssembler` configured with the
+    same ``sweeps_per_window`` reassembles exactly one window per fix.
+    """
+    cfg = config or SyntheticStreamConfig()
+    session = MeasurementSession(
+        scene,
+        MeasurementConfig(num_snapshots=cfg.sweeps_per_fix, snr_db=cfg.snr_db),
+        rng=rng,
+    )
+    window_s = cfg.sweeps_per_fix * max(
+        reader.snapshot_sweep_duration() for reader in scene.readers
+    )
+    for k, position in enumerate(target_positions(scene, cfg)):
+        measurement = session.capture([human_target(position)])
+        yield from measurement_reads(measurement, scene, k * window_s)

@@ -1,0 +1,268 @@
+"""Event-time window assembly: from loose tag reads to snapshot windows.
+
+Reads arrive interleaved across readers, tags and TDM antenna slots,
+and — over a real network — slightly out of order.  The assembler
+groups them back into the ``(M, N)`` snapshot matrices the spectral
+chain consumes:
+
+* **Sweep reconstruction** — each read's sweep index and antenna slot
+  are derived from its event time via the reader's
+  :class:`~repro.rfid.hub.TdmSchedule` (the final slot is
+  end-inclusive, so a read stamped exactly on the sweep boundary still
+  lands in the sweep).  A sweep with all ``M`` antennas present becomes
+  one snapshot column; torn sweeps are counted and discarded.
+* **Windowing** — sweeps are grouped into fixed-length event-time
+  windows, count-based (``sweeps_per_window`` sweeps, the paper's 10
+  packets per fix) or time-based (an explicit ``window_duration_s``).
+* **Lateness** — a window closes only once the watermark (the largest
+  event time seen, minus the lateness bound) passes its end, so
+  out-of-order reads within the bound still make their window.  Reads
+  later than that are counted and dropped — never silently reordered
+  into an already-emitted window.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.constants import PACKETS_PER_FIX
+from repro.errors import ConfigurationError, StreamError
+from repro.rfid.hub import TdmSchedule
+from repro.rfid.reader import Reader
+from repro.sim.measurement import Measurement
+from repro.stream.events import TagRead
+
+#: Relative nudge applied before flooring times into sweep/window bins.
+#: Timestamps are sums of slot multiples computed in floating point, so
+#: a boundary read can sit a few ulps *below* its bin edge; the nudge
+#: (one part in 10^9 of a bin — ten orders of magnitude above ulp noise,
+#: five below a slot) snaps it back without ever moving an interior
+#: read across a bin.
+_TIME_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class WindowConfig:
+    """Shape of the snapshot windows the assembler emits.
+
+    Parameters
+    ----------
+    sweeps_per_window:
+        Count-based window length: how many full antenna sweeps feed
+        one fix (the paper collects 10 backscatter packets per fix).
+    window_duration_s:
+        Time-based window length; overrides the count-based length
+        when set.
+    lateness_s:
+        How far behind the watermark an out-of-order read may arrive
+        and still be admitted.  Defaults to one sweep duration.
+    """
+
+    sweeps_per_window: int = PACKETS_PER_FIX
+    window_duration_s: Optional[float] = None
+    lateness_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.sweeps_per_window < 1:
+            raise ConfigurationError("a window needs at least one sweep")
+        if self.window_duration_s is not None and self.window_duration_s <= 0.0:
+            raise ConfigurationError("window duration must be positive")
+        if self.lateness_s is not None and self.lateness_s < 0.0:
+            raise ConfigurationError("lateness bound cannot be negative")
+
+
+@dataclass(frozen=True)
+class SnapshotWindow:
+    """One closed window, ready for spectral estimation.
+
+    ``measurement`` holds the reassembled per-(reader, tag) snapshot
+    matrices — the same shape the batch pipeline consumes, so every
+    downstream stage is shared.
+    """
+
+    index: int
+    start_s: float
+    end_s: float
+    measurement: Measurement
+    sweeps: int
+    reads: int
+    torn_sweeps: int
+
+
+@dataclass
+class _PendingWindow:
+    """Accumulating state of one not-yet-closed window."""
+
+    reads: int = 0
+    #: (reader, epc) -> sweep index -> antenna -> sample
+    cells: Dict[Tuple[str, str], Dict[int, Dict[int, complex]]] = field(
+        default_factory=dict
+    )
+
+
+class WindowAssembler:
+    """Groups a read stream into event-time snapshot windows.
+
+    Parameters
+    ----------
+    schedules:
+        Per-reader TDM schedules (sweep timing source).
+    config:
+        Window shape; defaults mirror the paper's 10-sweep fix.
+    """
+
+    def __init__(
+        self,
+        schedules: Mapping[str, TdmSchedule],
+        config: Optional[WindowConfig] = None,
+    ) -> None:
+        if not schedules:
+            raise ConfigurationError("window assembler needs at least one reader")
+        for name, schedule in schedules.items():
+            if schedule.duration <= 0.0:
+                raise ConfigurationError(
+                    f"reader {name!r} has an empty TDM schedule"
+                )
+        self.schedules = dict(schedules)
+        self.config = config or WindowConfig()
+        sweep = max(schedule.duration for schedule in self.schedules.values())
+        self.window_s = (
+            self.config.window_duration_s
+            if self.config.window_duration_s is not None
+            else self.config.sweeps_per_window * sweep
+        )
+        self.lateness_s = (
+            self.config.lateness_s if self.config.lateness_s is not None else sweep
+        )
+        self._pending: Dict[int, _PendingWindow] = {}
+        self._max_time: Optional[float] = None
+        self._emitted_through = -1
+        self.late_reads = 0
+        self.torn_sweeps = 0
+        self.duplicate_reads = 0
+
+    @classmethod
+    def for_readers(
+        cls,
+        readers: Mapping[str, Reader],
+        config: Optional[WindowConfig] = None,
+    ) -> "WindowAssembler":
+        """Build an assembler from reader objects (hub sweep schedules)."""
+        return cls(
+            {name: reader.hub.sweep_schedule() for name, reader in readers.items()},
+            config,
+        )
+
+    @property
+    def watermark(self) -> Optional[float]:
+        """Largest event time seen minus the lateness bound."""
+        if self._max_time is None:
+            return None
+        return self._max_time - self.lateness_s
+
+    def push(self, read: TagRead) -> List[SnapshotWindow]:
+        """Ingest one read; returns any windows it closed (often none)."""
+        schedule = self.schedules.get(read.reader_name)
+        if schedule is None:
+            raise StreamError(
+                f"read references unknown reader {read.reader_name!r}"
+            )
+        if read.time_s < 0.0:
+            raise StreamError(f"read carries negative event time {read.time_s}")
+        index = int(math.floor(read.time_s / self.window_s + _TIME_EPS))
+        if index <= self._emitted_through:
+            # Beyond the lateness bound: its window has already been
+            # emitted.  Dropping (and counting) beats silently mutating
+            # history a consumer has acted on.
+            self.late_reads += 1
+            obs.count("stream.window.late_reads")
+            return []
+        self._place(read, schedule, index)
+        if self._max_time is None or read.time_s > self._max_time:
+            self._max_time = read.time_s
+        return self._emit_ready()
+
+    def flush(self) -> List[SnapshotWindow]:
+        """Close and emit every pending window (end of stream)."""
+        emitted = [
+            self._close(index) for index in sorted(self._pending)
+        ]
+        self._pending.clear()
+        if emitted:
+            self._emitted_through = max(w.index for w in emitted)
+        return [w for w in emitted if w.sweeps > 0]
+
+    def _place(self, read: TagRead, schedule: TdmSchedule, index: int) -> None:
+        sweep_index = int(math.floor(read.time_s / schedule.duration + _TIME_EPS))
+        offset = read.time_s - sweep_index * schedule.duration
+        # Clamp round-off at the sweep edges: the final slot of a sweep
+        # is end-inclusive (see TdmSchedule.antenna_at), the first
+        # starts at exactly zero.
+        offset = min(max(offset, 0.0), schedule.duration)
+        antenna = schedule.antenna_at(
+            min(offset + schedule.duration * _TIME_EPS, schedule.duration)
+        )
+        window = self._pending.setdefault(index, _PendingWindow())
+        window.reads += 1
+        per_sweep = window.cells.setdefault((read.reader_name, read.epc), {})
+        column = per_sweep.setdefault(sweep_index, {})
+        if antenna in column:
+            self.duplicate_reads += 1
+            obs.count("stream.window.duplicate_reads")
+        column[antenna] = read.iq
+
+    def _emit_ready(self) -> List[SnapshotWindow]:
+        watermark = self.watermark
+        if watermark is None:
+            return []
+        ready = sorted(
+            index
+            for index in self._pending
+            if (index + 1) * self.window_s <= watermark
+        )
+        emitted: List[SnapshotWindow] = []
+        for index in ready:
+            window = self._close(index)
+            del self._pending[index]
+            self._emitted_through = max(self._emitted_through, index)
+            if window.sweeps > 0:
+                emitted.append(window)
+        return emitted
+
+    def _close(self, index: int) -> SnapshotWindow:
+        pending = self._pending[index]
+        measurement = Measurement()
+        torn = 0
+        max_columns = 0
+        for (reader_name, epc), per_sweep in sorted(pending.cells.items()):
+            num_antennas = len(self.schedules[reader_name].slots)
+            columns: List[List[complex]] = []
+            for sweep_index in sorted(per_sweep):
+                column = per_sweep[sweep_index]
+                if len(column) != num_antennas:
+                    torn += 1
+                    continue
+                columns.append([column[m] for m in range(num_antennas)])
+            if not columns:
+                continue
+            matrix = np.asarray(columns, dtype=np.complex128).T  # (M, N)
+            measurement.snapshots.setdefault(reader_name, {})[epc] = matrix
+            max_columns = max(max_columns, matrix.shape[1])
+        if torn:
+            self.torn_sweeps += torn
+            obs.count("stream.window.torn_sweeps", torn)
+        obs.count("stream.window.closed")
+        return SnapshotWindow(
+            index=index,
+            start_s=index * self.window_s,
+            end_s=(index + 1) * self.window_s,
+            measurement=measurement,
+            sweeps=max_columns,
+            reads=pending.reads,
+            torn_sweeps=torn,
+        )

@@ -31,6 +31,29 @@ def ensure_rng(rng: RngLike = None) -> np.random.Generator:
     raise TypeError(f"cannot build a Generator from {type(rng).__name__}")
 
 
+def derive_stream(rng: np.random.Generator, key: int) -> np.random.Generator:
+    """A deterministic side stream keyed off ``rng``'s initial entropy.
+
+    Unlike :func:`spawn_child` this never advances the parent's spawn
+    counter, so it can be called from inside library code (e.g. scene
+    builders drawing tag EPCs) without shifting any stream the caller
+    derives later — and repeated calls with the same key return the
+    same stream.
+    """
+    if key < 0:
+        raise ValueError("stream key must be non-negative")
+    seed_seq = rng.bit_generator.seed_seq
+    if not isinstance(seed_seq, np.random.SeedSequence):
+        # Exotic bit generators without a SeedSequence cannot give a
+        # reproducible side stream; fall back to consuming the parent.
+        return np.random.default_rng(rng.integers(0, 2**63))
+    child = np.random.SeedSequence(
+        entropy=seed_seq.entropy,
+        spawn_key=(*seed_seq.spawn_key, key),
+    )
+    return np.random.default_rng(child)
+
+
 def spawn_child(rng: np.random.Generator, index: int) -> np.random.Generator:
     """Derive a deterministic, independent child stream from ``rng``.
 

@@ -29,6 +29,20 @@ class TestAntennaHub:
         assert schedule.antenna_at(0.0) == 0
         assert schedule.antenna_at(2.5 * hub.slot_duration_s) == 2
 
+    def test_antenna_at_final_boundary_is_end_inclusive(self):
+        # Sweep boundaries land exactly on `duration` (reader timestamps
+        # quantize to the slot grid); that instant belongs to the final
+        # slot, not outside the sweep.
+        hub = AntennaHub(num_antennas=4)
+        schedule = hub.sweep_schedule()
+        assert schedule.antenna_at(schedule.duration) == 3
+
+    def test_interior_slot_boundaries_stay_half_open(self):
+        hub = AntennaHub(num_antennas=4)
+        schedule = hub.sweep_schedule()
+        # The shared edge between slots 0 and 1 belongs to slot 1.
+        assert schedule.antenna_at(hub.slot_duration_s) == 1
+
     def test_antenna_at_out_of_sweep_raises(self):
         hub = AntennaHub(num_antennas=2)
         schedule = hub.sweep_schedule()

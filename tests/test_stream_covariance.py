@@ -1,0 +1,158 @@
+"""Incremental covariance: EW updates, smoothing and P-MUSIC from R."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.bartlett import bartlett_power_spectrum, bartlett_spectrum_from_covariance
+from repro.dsp.covariance import is_hermitian, sample_covariance
+from repro.dsp.pmusic import PMusicEstimator
+from repro.dsp.smoothing import spatially_smoothed_covariance
+from repro.errors import ConfigurationError, EstimationError
+from repro.stream.covariance import (
+    CovarianceBank,
+    EwCovariance,
+    pmusic_spectrum_from_covariance,
+    smoothed_covariance_from_full,
+)
+
+SPACING = 0.163
+WAVELENGTH = 2.0 * SPACING
+
+
+def snapshots(rng, m=8, n=32):
+    return rng.normal(size=(m, n)) + 1j * rng.normal(size=(m, n))
+
+
+class TestEwCovariance:
+    def test_decay_one_reproduces_sample_covariance(self, rng):
+        # The tier-1 equivalence the streaming engine stands on: with
+        # no forgetting, the rank-1 recursion is exactly the batch
+        # sample covariance of everything seen.
+        x = snapshots(rng)
+        est = EwCovariance(num_antennas=8, decay=1.0)
+        est.update_matrix(x)
+        np.testing.assert_allclose(
+            est.covariance(), sample_covariance(x), atol=1e-10
+        )
+
+    def test_decay_one_streaming_across_windows(self, rng):
+        # Feeding two windows sequentially equals one concatenated batch.
+        a, b = snapshots(rng, n=16), snapshots(rng, n=24)
+        est = EwCovariance(num_antennas=8, decay=1.0)
+        est.update_matrix(a)
+        est.update_matrix(b)
+        np.testing.assert_allclose(
+            est.covariance(),
+            sample_covariance(np.hstack([a, b])),
+            atol=1e-10,
+        )
+
+    def test_decay_discounts_old_snapshots(self, rng):
+        old = np.ones(4, dtype=complex)
+        new = 1j * np.ones(4, dtype=complex)
+        est = EwCovariance(num_antennas=4, decay=0.5)
+        est.update(old)
+        for _ in range(16):
+            est.update(new)
+        # The surviving weight of the first snapshot is 0.5**16.
+        r = est.covariance()
+        np.testing.assert_allclose(r, np.outer(new, new.conj()), atol=1e-3)
+
+    def test_weight_tracks_effective_count(self):
+        est = EwCovariance(num_antennas=2, decay=1.0)
+        est.update(np.ones(2))
+        est.update(np.ones(2))
+        assert est.weight == pytest.approx(2.0)
+        assert est.updates == 2
+
+    def test_estimate_is_hermitian(self, rng):
+        est = EwCovariance(num_antennas=6, decay=0.8)
+        est.update_matrix(snapshots(rng, m=6))
+        assert is_hermitian(est.covariance())
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError):
+            EwCovariance(num_antennas=0)
+        with pytest.raises(ConfigurationError):
+            EwCovariance(num_antennas=4, decay=0.0)
+        with pytest.raises(ConfigurationError):
+            EwCovariance(num_antennas=4, decay=1.5)
+
+    def test_rejects_wrong_shapes_and_empty_reads(self):
+        est = EwCovariance(num_antennas=4)
+        with pytest.raises(EstimationError):
+            est.update(np.ones(3))
+        with pytest.raises(EstimationError):
+            est.update_matrix(np.ones((3, 5)))
+        with pytest.raises(EstimationError, match="no snapshots"):
+            est.covariance()
+
+
+class TestCovarianceBank:
+    def test_pairs_are_independent(self, rng):
+        bank = CovarianceBank(decay=1.0)
+        a, b = snapshots(rng, m=4), snapshots(rng, m=4)
+        bank.pair("r0", "t0", 4).update_matrix(a)
+        bank.pair("r0", "t1", 4).update_matrix(b)
+        assert len(bank) == 2
+        np.testing.assert_allclose(
+            bank.covariance("r0", "t0"), sample_covariance(a), atol=1e-10
+        )
+        np.testing.assert_allclose(
+            bank.covariance("r0", "t1"), sample_covariance(b), atol=1e-10
+        )
+
+    def test_unknown_pair_raises(self):
+        with pytest.raises(EstimationError, match="no covariance"):
+            CovarianceBank().covariance("r", "t")
+
+
+class TestSmoothedFromFull:
+    def test_matches_snapshot_domain_smoothing(self, rng):
+        # Diagonal-block averaging of the full R must equal the classic
+        # subarray average computed from raw snapshots.
+        x = snapshots(rng)
+        full = sample_covariance(x)
+        for fb in (False, True):
+            np.testing.assert_allclose(
+                smoothed_covariance_from_full(full, 6, forward_backward=fb),
+                spatially_smoothed_covariance(x, 6, forward_backward=fb),
+                atol=1e-12,
+            )
+
+    def test_rejects_bad_inputs(self, rng):
+        with pytest.raises(EstimationError):
+            smoothed_covariance_from_full(np.ones((3, 4)), 2)
+        with pytest.raises(EstimationError):
+            smoothed_covariance_from_full(np.eye(4), 1)
+
+
+class TestBartlettFromCovariance:
+    def test_matches_snapshot_domain_bartlett(self, rng):
+        x = snapshots(rng)
+        via_cov = bartlett_spectrum_from_covariance(
+            sample_covariance(x), SPACING, WAVELENGTH
+        )
+        via_snaps = bartlett_power_spectrum(x, SPACING, WAVELENGTH)
+        np.testing.assert_allclose(via_cov.values, via_snaps.values, atol=1e-12)
+        np.testing.assert_array_equal(via_cov.angles, via_snaps.angles)
+
+
+class TestPmusicFromCovariance:
+    def test_matches_snapshot_domain_pmusic(self, rng):
+        # The whole covariance-domain chain against the batch estimator
+        # on the same data (decay 1.0 makes R the sample covariance).
+        x = snapshots(rng)
+        est = EwCovariance(num_antennas=8, decay=1.0)
+        est.update_matrix(x)
+        from_cov = pmusic_spectrum_from_covariance(
+            est.covariance(), SPACING, WAVELENGTH
+        )
+        batch = PMusicEstimator(spacing_m=SPACING, wavelength_m=WAVELENGTH)
+        from_snaps = batch.spectrum(x)
+        np.testing.assert_array_equal(from_cov.angles, from_snaps.angles)
+        np.testing.assert_allclose(from_cov.values, from_snaps.values, atol=1e-8)
+
+    def test_rejects_non_square_covariance(self):
+        with pytest.raises(EstimationError):
+            pmusic_spectrum_from_covariance(np.ones((3, 4)), SPACING, WAVELENGTH)

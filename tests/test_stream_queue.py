@@ -1,0 +1,105 @@
+"""Bounded ingest queue: policies, counters and failure paths."""
+
+import threading
+
+import pytest
+
+from repro.errors import BackpressureError, ConfigurationError
+from repro.stream.events import TagRead
+from repro.stream.queue import DROP_POLICIES, BoundedReadQueue
+
+
+def read(n, t=0.0):
+    return TagRead(reader_name="r", epc=f"tag-{n}", time_s=t, iq=1.0 + 0.0j)
+
+
+class TestConstruction:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError, match="capacity"):
+            BoundedReadQueue(0)
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(ConfigurationError, match="drop policy"):
+            BoundedReadQueue(4, policy="drop-random")
+
+    def test_rejects_negative_timeout(self):
+        with pytest.raises(ConfigurationError, match="timeout"):
+            BoundedReadQueue(4, policy="block", block_timeout_s=-1.0)
+
+    def test_policies_are_documented(self):
+        assert DROP_POLICIES == ("block", "drop-oldest", "drop-newest")
+
+
+class TestFifoBasics:
+    def test_put_get_preserves_order(self):
+        queue = BoundedReadQueue(8)
+        for n in range(5):
+            assert queue.put(read(n))
+        assert [r.epc for r in queue.drain()] == [f"tag-{n}" for n in range(5)]
+
+    def test_get_on_empty_returns_none(self):
+        assert BoundedReadQueue(2).get() is None
+
+    def test_drain_limit(self):
+        queue = BoundedReadQueue(8)
+        for n in range(5):
+            queue.put(read(n))
+        assert len(queue.drain(limit=2)) == 2
+        assert len(queue) == 3
+
+
+class TestDropOldest:
+    def test_overflow_evicts_head_and_counts(self):
+        queue = BoundedReadQueue(2, policy="drop-oldest")
+        assert queue.put(read(0))
+        assert queue.put(read(1))
+        assert queue.put(read(2))  # evicts tag-0
+        remaining = [r.epc for r in queue.drain()]
+        assert remaining == ["tag-1", "tag-2"]
+        stats = queue.stats
+        assert stats.offered == 3
+        assert stats.accepted == 3
+        assert stats.dropped_oldest == 1
+        assert stats.dropped == 1
+
+
+class TestDropNewest:
+    def test_overflow_rejects_incoming_and_counts(self):
+        queue = BoundedReadQueue(2, policy="drop-newest")
+        assert queue.put(read(0))
+        assert queue.put(read(1))
+        assert not queue.put(read(2))  # rejected
+        remaining = [r.epc for r in queue.drain()]
+        assert remaining == ["tag-0", "tag-1"]
+        stats = queue.stats
+        assert stats.offered == 3
+        assert stats.accepted == 2
+        assert stats.dropped_newest == 1
+
+
+class TestBlock:
+    def test_timeout_raises_backpressure_error(self):
+        queue = BoundedReadQueue(1, policy="block", block_timeout_s=0.02)
+        queue.put(read(0))
+        with pytest.raises(BackpressureError, match="queue full"):
+            queue.put(read(1))
+        assert queue.stats.block_timeouts == 1
+        # The queued read survived the failed offer.
+        assert [r.epc for r in queue.drain()] == ["tag-0"]
+
+    def test_consumer_unblocks_producer(self):
+        queue = BoundedReadQueue(1, policy="block", block_timeout_s=5.0)
+        queue.put(read(0))
+        accepted = []
+
+        def producer():
+            accepted.append(queue.put(read(1)))
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        assert queue.get().epc == "tag-0"
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert accepted == [True]
+        assert queue.get().epc == "tag-1"
+        assert queue.stats.block_timeouts == 0

@@ -1,0 +1,107 @@
+"""JSONL recording/replay: roundtrip fidelity and typed failure paths."""
+
+import json
+
+import pytest
+
+from repro.errors import RecordingError, ReproError, StreamError
+from repro.stream.events import TagRead
+from repro.stream.replay import (
+    RECORDING_KIND,
+    RECORDING_SCHEMA,
+    RecordingHeader,
+    read_header,
+    read_recording,
+    write_recording,
+)
+
+READS = [
+    TagRead(reader_name="r0", epc="AA", time_s=0.0, iq=0.25 - 0.75j),
+    TagRead(reader_name="r0", epc="BB", time_s=2e-4, iq=-1.5 + 0.125j),
+    TagRead(reader_name="r1", epc="AA", time_s=4e-4, iq=0.0 + 1e-9j),
+]
+
+
+class TestRoundtrip:
+    def test_reads_survive_exactly(self, tmp_path):
+        path = tmp_path / "rec.jsonl"
+        written = write_recording(path, READS)
+        assert written == len(READS)
+        assert list(read_recording(path)) == READS
+
+    def test_header_survives(self, tmp_path):
+        path = tmp_path / "rec.jsonl"
+        header = RecordingHeader(environment="hall", seed=7, description="test")
+        write_recording(path, READS, header)
+        loaded = read_header(path)
+        assert loaded == header
+        assert loaded.schema == RECORDING_SCHEMA
+
+    def test_first_line_is_a_versioned_header(self, tmp_path):
+        path = tmp_path / "rec.jsonl"
+        write_recording(path, READS)
+        first = json.loads(path.read_text().splitlines()[0])
+        assert first["kind"] == RECORDING_KIND
+        assert first["schema"] == RECORDING_SCHEMA
+
+
+class TestFailurePaths:
+    def test_missing_file_raises_recording_error(self, tmp_path):
+        with pytest.raises(RecordingError, match="cannot open"):
+            read_recording(tmp_path / "absent.jsonl")
+        with pytest.raises(RecordingError, match="cannot open"):
+            read_header(tmp_path / "absent.jsonl")
+
+    def test_empty_file_raises_recording_error(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        with pytest.raises(RecordingError, match="empty"):
+            read_header(path)
+        with pytest.raises(RecordingError, match="empty"):
+            list(read_recording(path))
+
+    def test_foreign_file_raises_recording_error(self, tmp_path):
+        path = tmp_path / "foreign.jsonl"
+        path.write_text('{"some": "other format"}\n')
+        with pytest.raises(RecordingError, match="header"):
+            list(read_recording(path))
+
+    def test_unsupported_schema_raises_recording_error(self, tmp_path):
+        path = tmp_path / "future.jsonl"
+        path.write_text(
+            json.dumps({"kind": RECORDING_KIND, "schema": RECORDING_SCHEMA + 1})
+            + "\n"
+        )
+        with pytest.raises(RecordingError, match="unsupported schema"):
+            read_header(path)
+
+    def test_truncated_final_line_raises_typed_error(self, tmp_path):
+        # The classic crash-mid-write artefact: the last record is cut
+        # off.  Replay must surface a typed RecordingError naming the
+        # line — never a bare json.JSONDecodeError.
+        path = tmp_path / "torn.jsonl"
+        write_recording(path, READS)
+        content = path.read_text()
+        path.write_text(content[: len(content) - 17])
+        with pytest.raises(RecordingError, match="line 4") as excinfo:
+            list(read_recording(path))
+        assert not isinstance(excinfo.value, json.JSONDecodeError)
+
+    def test_missing_field_raises_with_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        write_recording(path, READS[:1])
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"t": 1.0, "r": "r0"}\n')  # no epc, no iq
+        with pytest.raises(RecordingError, match="line 3"):
+            list(read_recording(path))
+
+    def test_recording_error_is_a_typed_stream_error(self):
+        assert issubclass(RecordingError, StreamError)
+        assert issubclass(RecordingError, ReproError)
+
+    def test_blank_lines_are_tolerated(self, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        write_recording(path, READS)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write("\n\n")
+        assert list(read_recording(path)) == READS

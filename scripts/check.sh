@@ -10,13 +10,14 @@
 #   3. mypy       — strict typing of the signal core (skipped when not
 #                   installed; the allowlist lives in pyproject.toml)
 #   4. smoke      — `repro stream` record -> replay round trip
-#   5. pytest     — the tier-1 suite
+#   5. chaos      — single-reader-loss run must still emit fixes
+#   6. pytest     — the tier-1 suite
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "== reprolint (domain rules RL001-RL005) =="
+echo "== reprolint (domain rules RL001-RL006) =="
 python -m tools.reprolint src/
 
 if command -v ruff >/dev/null 2>&1; then
@@ -39,6 +40,14 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
 PYTHONPATH=src python -m repro --quiet stream --environment hall --seed 7 \
     --fixes 1 --record "$SMOKE_DIR/smoke.jsonl"
 PYTHONPATH=src python -m repro --quiet stream --replay "$SMOKE_DIR/smoke.jsonl"
+
+echo "== chaos smoke (reader loss must not stop the fix stream) =="
+# Hard timeout: a hung degraded pipeline is exactly the regression this
+# step exists to catch.
+timeout 300 env PYTHONPATH=src python -m repro --quiet stream \
+    --environment hall --seed 7 --fixes 3 --chaos reader-loss \
+    | grep -q "^fix " \
+    || { echo "chaos smoke produced no fixes"; exit 1; }
 
 echo "== tier-1 tests =="
 PYTHONPATH=src python -m pytest -x -q

@@ -1,15 +1,18 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands cover the tasks a user reaches for first:
+Six subcommands cover the tasks a user reaches for first:
 
 * ``demo``      — calibrate, baseline and localize one target in a
   chosen environment, printing the likelihood heat map.
 * ``coverage``  — print the deployment's coverage/deadzone map.
 * ``experiment``— run one figure reproduction by name.
 * ``stream``    — continuous tracking over a synthetic or replayed
-  read stream (``--record`` / ``--replay`` for JSONL recordings).
+  read stream (``--record`` / ``--replay`` for JSONL recordings,
+  ``--chaos`` to inject a named fault scenario).
+* ``health``    — run a stream and report per-reader health plus the
+  fix-quality summary (the fleet view of ``docs/ROBUSTNESS.md``).
 * ``stats``     — pretty-print a metrics snapshot written by a prior
-  ``--metrics`` run.
+  ``--metrics`` run (``--prefix`` to filter one series).
 
 Results go to stdout; progress goes through structured logging on
 stderr (suppressed by ``--quiet``).  ``--trace FILE`` / ``--metrics
@@ -164,10 +167,64 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_stream(args: argparse.Namespace) -> int:
-    """Continuous tracking over a synthetic or replayed read stream."""
+def _calibrated_pipeline(scene, environment: str, seed: int):
+    """Calibrate and baseline a DWatch pipeline over ``scene``."""
     from repro.core.pipeline import DWatch
     from repro.sim.measurement import MeasurementSession
+
+    cell = TABLE_GRID_CELL_M if environment == "table" else 0.05
+    dwatch = DWatch(scene, cell_size=cell)
+    log.info(
+        "calibrating readers over the air",
+        extra=fields(environment=environment, readers=len(scene.readers)),
+    )
+    dwatch.calibrate(rng=seed + 1)
+    log.info("collecting empty-area baseline", extra=fields(captures=2))
+    session = MeasurementSession(scene, rng=seed + 2)
+    dwatch.collect_baseline([session.capture() for _ in range(2)])
+    return dwatch
+
+
+def _chaos_source(args: argparse.Namespace, scene, seed: int, source):
+    """Wrap ``source`` with the requested chaos scenario's injector.
+
+    Returns ``(source, injector)``; the injector is ``None`` when the
+    scenario is ``none``, leaving the stream untouched (the CLI output
+    is pinned byte-identical to a run without the flag).
+    """
+    from repro.faults import FaultInjector, chaos_plan, scene_schedules
+
+    plan = chaos_plan(args.chaos, scene, fixes=args.fixes, seed=seed)
+    if not plan.enabled:
+        return source, None
+    log.info(
+        "injecting faults",
+        extra=fields(scenario=args.chaos, faults=len(plan.faults)),
+    )
+    injector = FaultInjector(plan, scene_schedules(scene))
+    return injector.inject(source), injector
+
+
+def _fix_line(fix) -> str:
+    """One stdout line per fix; quality appears only when not full."""
+    quality = ""
+    if fix.quality.level != "full":
+        quality = (
+            f"  [{fix.quality.level}"
+            f" conf={fix.quality.confidence:.2f}"
+            f" readers={fix.quality.active_readers}/{fix.quality.total_readers}]"
+        )
+    if fix.position is None:
+        return f"fix {fix.index:3d}  t={fix.time_s:.4f}s  no target{quality}"
+    suffix = "  (predicted)" if fix.predicted_only else ""
+    return (
+        f"fix {fix.index:3d}  t={fix.time_s:.4f}s  "
+        f"({fix.position.x:.3f}, {fix.position.y:.3f}){suffix}{quality}"
+    )
+
+
+def cmd_stream(args: argparse.Namespace) -> int:
+    """Continuous tracking over a synthetic or replayed read stream."""
     from repro.stream import (
         RecordingHeader,
         StreamConfig,
@@ -214,17 +271,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
         print(f"recorded {written} reads to {args.record}")
         return 0
 
-    cell = TABLE_GRID_CELL_M if environment == "table" else 0.05
-    dwatch = DWatch(scene, cell_size=cell)
-    log.info(
-        "calibrating readers over the air",
-        extra=fields(environment=environment, readers=len(scene.readers)),
-    )
-    dwatch.calibrate(rng=seed + 1)
-    log.info("collecting empty-area baseline", extra=fields(captures=2))
-    session = MeasurementSession(scene, rng=seed + 2)
-    dwatch.collect_baseline([session.capture() for _ in range(2)])
-
+    dwatch = _calibrated_pipeline(scene, environment, seed)
     runner = StreamRunner(
         dwatch,
         StreamConfig(
@@ -237,23 +284,21 @@ def cmd_stream(args: argparse.Namespace) -> int:
         source = read_recording(args.replay)
     else:
         source = synthetic_reads(scene, synthetic_cfg, rng=seed + 3)
+    source, injector = _chaos_source(args, scene, seed, source)
     log.info(
         "streaming reads",
         extra=fields(source="replay" if args.replay else "synthetic"),
     )
     windows = 0
     located = 0
+    degraded = 0
     for fix in runner.run(source):
         windows += 1
         if fix.position is not None:
             located += 1
-            suffix = "  (predicted)" if fix.predicted_only else ""
-            print(
-                f"fix {fix.index:3d}  t={fix.time_s:.4f}s  "
-                f"({fix.position.x:.3f}, {fix.position.y:.3f}){suffix}"
-            )
-        else:
-            print(f"fix {fix.index:3d}  t={fix.time_s:.4f}s  no target")
+        if fix.quality.degraded:
+            degraded += 1
+        print(_fix_line(fix))
     stats = runner.queue.stats
     print(
         f"\nwindows {windows}  located {located}  "
@@ -261,6 +306,75 @@ def cmd_stream(args: argparse.Namespace) -> int:
         f"torn sweeps {runner.assembler.torn_sweeps}  "
         f"dropped reads {stats.dropped}"
     )
+    if injector is not None:
+        injected = ", ".join(
+            f"{name} {count}"
+            for name, count in sorted(injector.stats.items())
+            if count
+        )
+        print(
+            f"chaos {args.chaos}: degraded fixes {degraded}, "
+            f"rejected reads {runner.rejected_reads}, "
+            f"injected [{injected or 'nothing'}]"
+        )
+    return 0
+
+
+def cmd_health(args: argparse.Namespace) -> int:
+    """Run a stream and report per-reader health and fix quality."""
+    from repro.stream import (
+        StreamConfig,
+        StreamRunner,
+        SyntheticStreamConfig,
+        synthetic_reads,
+    )
+
+    environment = args.environment
+    seed = args.seed
+    scene = _build_scene(environment, seed)
+    dwatch = _calibrated_pipeline(scene, environment, seed)
+    runner = StreamRunner(dwatch, StreamConfig(decay=args.decay))
+    source = synthetic_reads(
+        scene, SyntheticStreamConfig(fixes=args.fixes), rng=seed + 3
+    )
+    source, injector = _chaos_source(args, scene, seed, source)
+    fixes = list(runner.run(source))
+
+    chaos_note = f", chaos {args.chaos}" if injector is not None else ""
+    print(
+        f"reader health ({environment}, seed {seed}, "
+        f"{args.fixes} fixes{chaos_note})\n"
+    )
+    header = (
+        f"{'reader':<16} {'state':<12} {'reads':>7} {'windows':>9} "
+        f"{'rate':>8} {'violations':>11} {'quarantines':>12} {'recoveries':>11}"
+    )
+    print(header)
+    for record in runner.health.report():
+        windows = f"{record.windows_contributed}/{record.windows_seen}"
+        print(
+            f"{record.name:<16} {record.state:<12} {record.reads:>7} "
+            f"{windows:>9} {record.read_rate:>8.1f} {record.violations:>11} "
+            f"{record.quarantines:>12} {record.recoveries:>11}"
+        )
+    by_level = {"full": 0, "degraded": 0, "insufficient": 0}
+    for fix in fixes:
+        by_level[fix.quality.level] = by_level.get(fix.quality.level, 0) + 1
+    confidences = [fix.quality.confidence for fix in fixes]
+    mean_confidence = sum(confidences) / len(confidences) if confidences else 0.0
+    print(
+        f"\nfix quality: full {by_level['full']}  "
+        f"degraded {by_level['degraded']}  "
+        f"insufficient {by_level['insufficient']}  "
+        f"mean confidence {mean_confidence:.3f}"
+    )
+    if injector is not None and injector.total_injected:
+        injected = ", ".join(
+            f"{name} {count}"
+            for name, count in sorted(injector.stats.items())
+            if count
+        )
+        print(f"injected faults: {injected}")
     return 0
 
 
@@ -276,8 +390,21 @@ def cmd_stats(args: argparse.Namespace) -> int:
             "--metrics FILE first (e.g. `repro demo --metrics metrics.jsonl`)"
         ) from exc
     print(f"metrics snapshot: {args.file}")
-    print("\n".join(render_snapshot(records)))
+    print("\n".join(render_snapshot(records, prefix=args.prefix)))
     return 0
+
+
+def _chaos_option(parser: argparse.ArgumentParser) -> None:
+    """The shared ``--chaos`` scenario flag (stream + health)."""
+    from repro.faults import CHAOS_SCENARIOS
+
+    parser.add_argument(
+        "--chaos",
+        default="none",
+        choices=CHAOS_SCENARIOS,
+        help="inject a named fault scenario into the read stream "
+        "(default: none)",
+    )
 
 
 def _observability_options(parser: argparse.ArgumentParser) -> None:
@@ -368,8 +495,30 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="stream reads from a recording instead of the simulator",
     )
+    _chaos_option(stream)
     _observability_options(stream)
     stream.set_defaults(handler=cmd_stream)
+
+    health = sub.add_parser(
+        "health", help="per-reader health report over a stream run"
+    )
+    health.add_argument("--environment", default="hall", choices=RFID_ENVIRONMENTS)
+    health.add_argument("--seed", type=int, default=1)
+    health.add_argument(
+        "--fixes",
+        type=int,
+        default=8,
+        help="synthetic stream length in fix windows (default: 8)",
+    )
+    health.add_argument(
+        "--decay",
+        type=float,
+        default=0.8,
+        help="covariance forgetting factor in (0, 1] (default: 0.8)",
+    )
+    _chaos_option(health)
+    _observability_options(health)
+    health.set_defaults(handler=cmd_health)
 
     stats = sub.add_parser(
         "stats", help="pretty-print a --metrics JSONL snapshot"
@@ -379,6 +528,11 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         default="metrics.jsonl",
         help="metrics snapshot file (default: metrics.jsonl)",
+    )
+    stats.add_argument(
+        "--prefix",
+        default=None,
+        help="only show metrics whose name starts with PREFIX",
     )
     stats.set_defaults(handler=cmd_stats)
     return parser

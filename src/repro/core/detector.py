@@ -167,13 +167,28 @@ class DropDetector:
         self,
         baseline: "SpectrumSet | Sequence[SpectrumSet]",
         online: SpectrumSet,
+        missing: str = "error",
     ) -> List[AngleEvidence]:
         """Per-reader aggregated evidence.
 
         ``baseline`` may be a single spectrum set or several captured
         in succession; extra captures feed the peak-stability screen of
         :meth:`detect_pair`.
+
+        ``missing`` picks the policy for a baseline reader absent from
+        the online capture: ``"error"`` (default) raises
+        :class:`~repro.errors.LocalizationError` — the batch contract,
+        where a vanished reader means a broken capture — while
+        ``"skip"`` contributes no evidence for it, which is how the
+        streaming engine degrades gracefully through a reader outage.
+        A skipped reader shrinks the Eq. 15 product to the surviving
+        subset rather than zeroing or poisoning it.
         """
+        if missing not in ("error", "skip"):
+            raise LocalizationError(
+                f"unknown missing-reader policy {missing!r}; "
+                "pick 'error' or 'skip'"
+            )
         baselines = (
             [baseline] if isinstance(baseline, SpectrumSet) else list(baseline)
         )
@@ -181,7 +196,7 @@ class DropDetector:
             raise LocalizationError("at least one baseline capture is required")
         reference = baselines[0]
         with obs.span("detector.evidence", readers=len(reference.readers())):
-            result = self._evidence_per_reader(baselines, reference, online)
+            result = self._evidence_per_reader(baselines, reference, online, missing)
         return result
 
     def _evidence_per_reader(
@@ -189,10 +204,14 @@ class DropDetector:
         baselines: "List[SpectrumSet]",
         reference: SpectrumSet,
         online: SpectrumSet,
+        missing: str = "error",
     ) -> List[AngleEvidence]:
         result: List[AngleEvidence] = []
         for reader_name in reference.readers():
             if reader_name not in online.spectra:
+                if missing == "skip":
+                    obs.count("detector.missing_readers")
+                    continue
                 raise LocalizationError(
                     f"online capture is missing reader {reader_name!r}"
                 )

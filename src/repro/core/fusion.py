@@ -10,32 +10,55 @@ ignores a minority of arbitrarily bad fixes, unlike the mean.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import EstimationError
 from repro.geometry.point import Point
 
+if TYPE_CHECKING:
+    from repro.stream.events import TrackFix
+
 
 def geometric_median(
     points: Sequence[Point],
     max_iterations: int = 128,
     tolerance: float = 1e-6,
+    point_weights: Optional[Sequence[float]] = None,
 ) -> Point:
     """Weiszfeld's algorithm for the point minimizing summed distances.
 
     Robust to a minority of gross outliers (breakdown point 0.5).
+    ``point_weights`` (non-negative, one per point) turn the objective
+    into a weighted sum of distances, so low-confidence fixes pull the
+    answer less; ``None`` keeps the exact unweighted iteration, so
+    existing callers see bit-identical results.
 
     Raises
     ------
     EstimationError
-        If no points are supplied.
+        If no points are supplied, the weights misalign, or every
+        weight is zero.
     """
     if not points:
         raise EstimationError("geometric median of an empty set")
     coords = np.array([[p.x, p.y] for p in points], dtype=float)
-    estimate = coords.mean(axis=0)
+    scale: Optional[np.ndarray] = None
+    if point_weights is not None:
+        scale = np.asarray(point_weights, dtype=float)
+        if scale.shape != (len(points),):
+            raise EstimationError(
+                f"need one weight per point, got {scale.shape} for {len(points)}"
+            )
+        if np.any(scale < 0.0) or not np.any(scale > 0.0):
+            raise EstimationError(
+                "point weights must be non-negative with at least one positive"
+            )
+    if scale is None:
+        estimate = coords.mean(axis=0)
+    else:
+        estimate = (coords * scale[:, None]).sum(axis=0) / scale.sum()
     for _ in range(max_iterations):
         deltas = coords - estimate
         distances = np.linalg.norm(deltas, axis=1)
@@ -44,6 +67,8 @@ def geometric_median(
             # Weiszfeld is undefined at a data point; nudge off it.
             distances = np.where(at_point, 1e-12, distances)
         weights = 1.0 / distances
+        if scale is not None:
+            weights = scale * weights
         refreshed = (coords * weights[:, None]).sum(axis=0) / weights.sum()
         if np.linalg.norm(refreshed - estimate) < tolerance:
             estimate = refreshed
@@ -100,5 +125,61 @@ def fuse_fixes(
         position=median,
         num_fixes=len(live),
         num_inliers=len(inliers),
+        spread=spread,
+    )
+
+
+def fuse_track_fixes(
+    fixes: "Sequence[TrackFix]",
+    inlier_radius: float = 0.5,
+    min_confidence: float = 0.0,
+) -> FusedFix:
+    """Quality-aware aggregation of streaming :class:`TrackFix` batches.
+
+    Located fixes whose quality confidence falls below
+    ``min_confidence`` are dropped outright; the survivors enter a
+    confidence-weighted geometric median, so a stretch of degraded
+    (quarantined-fleet) fixes steers the fused position less than the
+    full-quality ones.  Inlier selection and spread mirror
+    :func:`fuse_fixes`.
+
+    Raises
+    ------
+    EstimationError
+        If no fix survives the confidence screen.
+    """
+    live = [
+        fix
+        for fix in fixes
+        if fix.position is not None and fix.quality.confidence >= min_confidence
+    ]
+    if not live:
+        raise EstimationError(
+            "no usable fixes to fuse after the confidence screen"
+        )
+    points = [fix.position for fix in live]
+    confidences = [max(fix.quality.confidence, 1e-6) for fix in live]
+    median = geometric_median(points, point_weights=confidences)
+    paired = [
+        (p, w)
+        for p, w in zip(points, confidences)
+        if p.distance_to(median) <= inlier_radius
+    ]
+    if paired and len(paired) < len(points):
+        median = geometric_median(
+            [p for p, _ in paired], point_weights=[w for _, w in paired]
+        )
+        paired = [
+            (p, w)
+            for p, w in zip(points, confidences)
+            if p.distance_to(median) <= inlier_radius
+        ]
+    spread = float(
+        np.sqrt(np.mean([p.distance_to(median) ** 2 for p, _ in paired]))
+    ) if paired else float("inf")
+    return FusedFix(
+        position=median,
+        num_fixes=len(live),
+        num_inliers=len(paired),
         spread=spread,
     )

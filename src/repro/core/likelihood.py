@@ -32,6 +32,26 @@ class LocationEstimate:
     likelihood: float
     per_reader_angles: Dict[str, float] = field(default_factory=dict)
 
+    @property
+    def num_readers(self) -> int:
+        """How many readers' evidence entered the likelihood product."""
+        return len(self.per_reader_angles)
+
+    @property
+    def normalized_likelihood(self) -> float:
+        """The likelihood renormalized over its contributing readers.
+
+        The geometric mean of the per-reader factors of Eq. 15:
+        ``L(O) ** (1 / n)`` for ``n`` contributing readers.  The raw
+        product shrinks with every extra factor, so fixes computed over
+        different surviving subsets (a quarantined reader, a deadzone)
+        are not comparable; the geometric mean is, which is what the
+        streaming engine's confidence stamp uses.
+        """
+        if not self.per_reader_angles:
+            return 0.0
+        return float(self.likelihood ** (1.0 / len(self.per_reader_angles)))
+
 
 @dataclass
 class LikelihoodMap:

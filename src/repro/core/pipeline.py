@@ -189,16 +189,22 @@ class DWatch:
             online = compute_spectra(measurement, self.readers, self.calibration)
             return self.evidence_from_spectra(online)
 
-    def evidence_from_spectra(self, online: SpectrumSet) -> List[AngleEvidence]:
+    def evidence_from_spectra(
+        self, online: SpectrumSet, missing: str = "error"
+    ) -> List[AngleEvidence]:
         """Blocking evidence from already-computed online spectra.
 
         The spectra-domain entry point of Step 3, for callers that do
         not hold raw snapshots — the streaming engine maintains
         incremental covariances and derives its spectra from those.
+        ``missing`` is the absent-reader policy forwarded to
+        :meth:`DropDetector.evidence`: the streaming engine passes
+        ``"skip"`` so a reader outage degrades the fix instead of
+        crashing the loop.
         """
         if self.baseline is None:
             raise LocalizationError("collect_baseline() must run before localization")
-        return self.detector.evidence(self.baseline, online)
+        return self.detector.evidence(self.baseline, online, missing=missing)
 
     def localize(
         self, measurement: Measurement, max_targets: int = 1

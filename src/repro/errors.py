@@ -8,6 +8,8 @@ estimation failures.
 
 from __future__ import annotations
 
+from typing import List, Optional
+
 
 class ReproError(Exception):
     """Base class for every error raised by :mod:`repro`."""
@@ -50,7 +52,41 @@ class ContractViolation(EstimationError):
 
 
 class StreamError(ReproError):
-    """The online streaming engine could not ingest or assemble reads."""
+    """The online streaming engine could not ingest or assemble reads.
+
+    Carries optional structured context — which reader, tag EPC, event
+    time and TDM slot the failure concerns — appended to the message
+    *and* kept as attributes, so a supervisor can react per reader
+    (quarantine, retry) instead of parsing message strings.  The same
+    pattern :class:`RecordingError` uses for line numbers, generalised
+    to the live ingest path.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reader: Optional[str] = None,
+        epc: Optional[str] = None,
+        time_s: Optional[float] = None,
+        slot: Optional[int] = None,
+    ) -> None:
+        self.reader = reader
+        self.epc = epc
+        self.time_s = time_s
+        self.slot = slot
+        context: List[str] = []
+        if reader is not None:
+            context.append(f"reader={reader!r}")
+        if epc is not None:
+            context.append(f"epc={epc!r}")
+        if time_s is not None:
+            context.append(f"t={time_s:g}s")
+        if slot is not None:
+            context.append(f"slot={slot}")
+        if context:
+            message = f"{message} [{' '.join(context)}]"
+        super().__init__(message)
 
 
 class BackpressureError(StreamError):
@@ -59,6 +95,37 @@ class BackpressureError(StreamError):
     Raised only under the ``"block"`` policy when the queue stays full
     past the caller's timeout; the dropping policies never raise — they
     count their drops instead.
+    """
+
+
+class QueueClosedError(StreamError):
+    """A read was offered to a queue after :meth:`close`.
+
+    Raised instead of silently accepting (the consumer will never see
+    the read) or deadlocking (a ``block`` producer waiting on a
+    consumer that already shut down).  Producers treat it as the
+    end-of-stream signal.
+    """
+
+
+class SourceUnavailableError(StreamError):
+    """An ingest source dropped its connection or failed to produce.
+
+    The retryable failure class of the supervision layer: a reader
+    falling off LLRP, a socket reset, a stalled recording pipe.
+    :func:`repro.stream.supervise.supervised_reads` rebuilds the source
+    with backoff on this (and on ``OSError``); anything else propagates
+    as a genuine bug.
+    """
+
+
+class CheckpointError(StreamError):
+    """A streaming checkpoint is missing, malformed or mismatched.
+
+    Restoring state captured from a *different* deployment (other
+    readers, window shape or decay) would silently corrupt every later
+    fix, so the checkpoint carries a configuration fingerprint and a
+    mismatch raises this instead of proceeding.
     """
 
 

@@ -1,0 +1,43 @@
+"""Deterministic fault injection for the streaming pipeline.
+
+Wraps any :class:`~repro.stream.events.TagRead` source with the
+failure modes COTS RFID deployments actually exhibit — reader
+disconnects, dead hub elements, phase glitches, EPC misreads, late and
+duplicated read bursts — as declarative, seedable
+:class:`~repro.faults.model.FaultPlan` data.  The injector is a pure
+stream transformer: with an empty plan it is a passthrough (pinned
+byte-identical by the test suite), and with any fixed plan its output
+is reproducible read for read.
+
+See ``docs/ROBUSTNESS.md`` for the fault model and how the runner's
+health tracking, quarantine and checkpointing respond to each fault.
+"""
+
+from repro.faults.chaos import CHAOS_SCENARIOS, chaos_plan, fix_window_s
+from repro.faults.injector import FaultInjector, scene_schedules
+from repro.faults.model import (
+    DeadAntenna,
+    EpcMisread,
+    Fault,
+    FaultPlan,
+    LateBurst,
+    OverloadBurst,
+    PhaseGlitch,
+    ReaderOutage,
+)
+
+__all__ = [
+    "CHAOS_SCENARIOS",
+    "DeadAntenna",
+    "EpcMisread",
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "LateBurst",
+    "OverloadBurst",
+    "PhaseGlitch",
+    "ReaderOutage",
+    "chaos_plan",
+    "fix_window_s",
+    "scene_schedules",
+]

@@ -1,0 +1,117 @@
+"""Named chaos scenarios: canned fault plans over the preset scenes.
+
+Each scenario maps a name (CLI ``--chaos`` flag, CI smoke step) to a
+:class:`~repro.faults.model.FaultPlan` scaled to the run's window
+grid, so "kill a reader mid-run" means the same thing for any scene or
+fix count.  The timeline vocabulary is fix windows: window ``k`` spans
+event time ``[k * W, (k + 1) * W)`` where ``W`` is the synthetic
+stream's fix duration (see :func:`repro.stream.synthetic.synthetic_reads`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+from repro.constants import PACKETS_PER_FIX
+from repro.errors import ConfigurationError
+from repro.faults.model import (
+    DeadAntenna,
+    EpcMisread,
+    Fault,
+    FaultPlan,
+    LateBurst,
+    OverloadBurst,
+    PhaseGlitch,
+    ReaderOutage,
+)
+from repro.sim.scene import Scene
+
+#: Every scenario ``chaos_plan`` understands, in CLI listing order.
+CHAOS_SCENARIOS: Tuple[str, ...] = (
+    "none",
+    "reader-loss",
+    "dead-antenna",
+    "phase-glitch",
+    "epc-misread",
+    "overload",
+    "late-burst",
+)
+
+
+def fix_window_s(scene: Scene, sweeps_per_fix: int = PACKETS_PER_FIX) -> float:
+    """Event-time span of one fix window of a synthetic stream."""
+    if sweeps_per_fix < 1:
+        raise ConfigurationError("each fix needs at least one sweep")
+    return sweeps_per_fix * max(
+        reader.snapshot_sweep_duration() for reader in scene.readers
+    )
+
+
+def chaos_plan(
+    name: str,
+    scene: Scene,
+    fixes: int,
+    sweeps_per_fix: int = PACKETS_PER_FIX,
+    seed: int = 0,
+) -> FaultPlan:
+    """The fault plan of a named scenario, scaled to a run's geometry.
+
+    The victim of single-reader scenarios is always the first reader in
+    name order, so runs are comparable across seeds.
+
+    Raises
+    ------
+    ConfigurationError
+        For an unknown scenario name or a run too short to stage it.
+    """
+    if name not in CHAOS_SCENARIOS:
+        known = ", ".join(CHAOS_SCENARIOS)
+        raise ConfigurationError(
+            f"unknown chaos scenario {name!r} (choose from: {known})"
+        )
+    if fixes < 1:
+        raise ConfigurationError("a chaos run needs at least one fix")
+    if name == "none":
+        return FaultPlan(faults=(), seed=seed)
+    window_s = fix_window_s(scene, sweeps_per_fix)
+    victim = sorted(reader.name for reader in scene.readers)[0]
+    # Stage the disturbance over the middle third so the run has a
+    # healthy lead-in (baseline behaviour) and a tail (recovery proof).
+    start_w = max(1, fixes // 3)
+    span_w = max(1, fixes // 3)
+    end_w = min(fixes, start_w + span_w)
+    faults: Tuple[Fault, ...]
+    if name == "reader-loss":
+        faults = (
+            ReaderOutage(
+                reader=victim, start_s=start_w * window_s, end_s=end_w * window_s
+            ),
+        )
+    elif name == "dead-antenna":
+        faults = (DeadAntenna(reader=victim, antenna=0, start_s=start_w * window_s),)
+    elif name == "phase-glitch":
+        faults = (
+            PhaseGlitch(
+                reader=victim,
+                offset_rad=math.pi / 2.0,
+                start_s=start_w * window_s,
+            ),
+        )
+    elif name == "epc-misread":
+        faults = (EpcMisread(probability=0.05),)
+    elif name == "overload":
+        faults = (
+            OverloadBurst(
+                start_s=start_w * window_s, end_s=end_w * window_s, copies=2
+            ),
+        )
+    else:  # late-burst
+        faults = (
+            LateBurst(
+                start_s=start_w * window_s,
+                end_s=(start_w + 1) * window_s,
+                delay_s=window_s / 2.0,
+            ),
+        )
+    return FaultPlan(faults=faults, seed=seed)

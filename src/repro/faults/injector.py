@@ -1,0 +1,191 @@
+"""The fault injector: applies a :class:`FaultPlan` to a read stream.
+
+Sits between any read source (synthetic, replay, live) and the
+:class:`~repro.stream.runner.StreamRunner`::
+
+    injector = FaultInjector(plan, scene_schedules(scene))
+    for read in injector.inject(synthetic_reads(scene, cfg, rng)):
+        runner.offer(read)
+
+Determinism contract: for a fixed plan and a fixed input stream the
+output stream is identical across runs — the only randomness (EPC
+misread draws) comes from the plan's own seed, never from global
+state.  An empty plan short-circuits to a pure passthrough, which the
+test suite pins as *byte-identical* CLI output against a run with no
+injector at all.
+
+Faults compose per read in a fixed order: outage and dead-antenna
+drops first (a dropped read can't be glitched), then the phase
+rotation, then EPC corruption, then delivery-order faults (overload
+duplication and late-burst buffering).
+"""
+
+from __future__ import annotations
+
+import cmath
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.faults.model import (
+    DeadAntenna,
+    EpcMisread,
+    FaultPlan,
+    LateBurst,
+    OverloadBurst,
+    PhaseGlitch,
+    ReaderOutage,
+)
+from repro.rfid.hub import TdmSchedule
+from repro.sim.scene import Scene
+from repro.stream.events import TagRead
+from repro.stream.window import sweep_slot
+from repro.utils.rng import ensure_rng
+
+
+def scene_schedules(scene: Scene) -> Dict[str, TdmSchedule]:
+    """Per-reader TDM schedules of a scene (what the injector needs)."""
+    return {
+        reader.name: reader.hub.sweep_schedule() for reader in scene.readers
+    }
+
+
+class FaultInjector:
+    """Applies a fault plan to a read stream, deterministically.
+
+    Parameters
+    ----------
+    plan:
+        The faults to inject.
+    schedules:
+        Per-reader TDM schedules, so antenna-level faults resolve a
+        read's hub element exactly the way the window assembler will.
+
+    Attributes
+    ----------
+    stats:
+        Per-fault-kind counters (``dropped_outage``,
+        ``dropped_dead_antenna``, ``phase_glitched``, ``misread``,
+        ``delayed``, ``duplicated``), all zero when the plan is empty.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        schedules: Optional[Mapping[str, TdmSchedule]] = None,
+    ) -> None:
+        self.plan = plan
+        self.schedules: Dict[str, TdmSchedule] = dict(schedules or {})
+        self.stats: Dict[str, int] = {
+            "dropped_outage": 0,
+            "dropped_dead_antenna": 0,
+            "phase_glitched": 0,
+            "misread": 0,
+            "delayed": 0,
+            "duplicated": 0,
+        }
+        self._rng = ensure_rng(plan.seed)
+        self._outages: List[ReaderOutage] = []
+        self._dead: List[DeadAntenna] = []
+        self._glitches: List[PhaseGlitch] = []
+        self._misreads: List[EpcMisread] = []
+        self._late: List[LateBurst] = []
+        self._overloads: List[OverloadBurst] = []
+        for fault in plan.faults:
+            if isinstance(fault, ReaderOutage):
+                self._outages.append(fault)
+            elif isinstance(fault, DeadAntenna):
+                self._dead.append(fault)
+            elif isinstance(fault, PhaseGlitch):
+                self._glitches.append(fault)
+            elif isinstance(fault, EpcMisread):
+                self._misreads.append(fault)
+            elif isinstance(fault, LateBurst):
+                self._late.append(fault)
+            else:
+                self._overloads.append(fault)
+        for fault in self._dead:
+            if fault.reader not in self.schedules:
+                raise ConfigurationError(
+                    f"dead-antenna fault names reader {fault.reader!r} "
+                    "with no TDM schedule"
+                )
+
+    @property
+    def total_injected(self) -> int:
+        """Sum of every fault application (0 for a clean run)."""
+        return sum(self.stats.values())
+
+    def inject(self, reads: Iterable[TagRead]) -> Iterator[TagRead]:
+        """The faulted view of ``reads`` (lazy, single pass)."""
+        if not self.plan.enabled:
+            # Bit-identity fast path: no plan, no interference — not
+            # even a dataclass copy.
+            yield from reads
+            return
+        held: List[Tuple[LateBurst, List[TagRead]]] = [
+            (burst, []) for burst in self._late
+        ]
+        for read in reads:
+            for burst, buffer_ in held:
+                if buffer_ and read.time_s >= burst.release_s:
+                    yield from buffer_
+                    buffer_.clear()
+            mutated = self._apply_value_faults(read)
+            if mutated is None:
+                continue
+            delayed = False
+            for burst, buffer_ in held:
+                if burst.covers(mutated.time_s):
+                    buffer_.append(mutated)
+                    self.stats["delayed"] += 1
+                    obs.count("faults.delayed")
+                    delayed = True
+                    break
+            if delayed:
+                continue
+            yield mutated
+            for overload in self._overloads:
+                if overload.covers(mutated.time_s):
+                    for _ in range(overload.copies):
+                        self.stats["duplicated"] += 1
+                        obs.count("faults.duplicated")
+                        yield mutated
+        for _, buffer_ in held:
+            yield from buffer_
+            buffer_.clear()
+
+    def _apply_value_faults(self, read: TagRead) -> Optional[TagRead]:
+        for outage in self._outages:
+            if outage.reader == read.reader_name and outage.covers(read.time_s):
+                self.stats["dropped_outage"] += 1
+                obs.count("faults.dropped_outage")
+                return None
+        for dead in self._dead:
+            if dead.reader == read.reader_name and dead.covers(read.time_s):
+                _, antenna = sweep_slot(
+                    self.schedules[dead.reader], read.time_s
+                )
+                if antenna == dead.antenna:
+                    self.stats["dropped_dead_antenna"] += 1
+                    obs.count("faults.dropped_dead_antenna")
+                    return None
+        iq = read.iq
+        for glitch in self._glitches:
+            if glitch.reader == read.reader_name and glitch.covers(read.time_s):
+                iq = iq * cmath.exp(1j * glitch.offset_rad)
+                self.stats["phase_glitched"] += 1
+                obs.count("faults.phase_glitched")
+        epc = read.epc
+        for misread in self._misreads:
+            if misread.reader is not None and misread.reader != read.reader_name:
+                continue
+            if float(self._rng.random()) < misread.probability:
+                epc = f"MISREAD-{int(self._rng.integers(0, 1 << 24)):06X}"
+                self.stats["misread"] += 1
+                obs.count("faults.misread")
+        if iq is read.iq and epc is read.epc:
+            return read
+        return TagRead(
+            reader_name=read.reader_name, epc=epc, time_s=read.time_s, iq=iq
+        )

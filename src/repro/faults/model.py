@@ -1,0 +1,203 @@
+"""Declarative fault models for the streaming pipeline.
+
+Each fault is a small frozen dataclass describing *what goes wrong,
+where, and when* in event time — the injector
+(:class:`~repro.faults.injector.FaultInjector`) interprets them against
+a read stream.  Keeping the models declarative means a chaos scenario
+is data: it can be printed, logged alongside a run, and replayed
+exactly (the only randomness, EPC misreads, draws from the plan's own
+seed).
+
+The fault vocabulary mirrors what COTS RFID deployments actually
+suffer:
+
+* :class:`ReaderOutage` — an LLRP session drop: every read from the
+  reader vanishes for an interval, then service resumes.
+* :class:`DeadAntenna` — one hub element goes dark (cable, switch
+  port): its TDM slot never produces reads, so every sweep of that
+  reader is torn.
+* :class:`PhaseGlitch` — a PLL re-lock offsets the reader's reported
+  phase by a constant from some instant on.
+* :class:`EpcMisread` — backscatter decode errors yield garbage EPCs at
+  some probability.
+* :class:`LateBurst` — a network hiccup buffers an interval of reads
+  and flushes them after newer traffic already went through.
+* :class:`OverloadBurst` — duplicate report storms that stress the
+  bounded ingest queue.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+from repro.errors import ConfigurationError
+
+
+def _check_interval(start_s: float, end_s: float) -> None:
+    if not math.isfinite(start_s) or start_s < 0.0:
+        raise ConfigurationError(f"fault start must be finite and >= 0, got {start_s}")
+    if end_s <= start_s:
+        raise ConfigurationError(
+            f"fault interval must be non-empty, got [{start_s}, {end_s})"
+        )
+
+
+@dataclass(frozen=True)
+class ReaderOutage:
+    """Reader ``reader`` produces no reads during ``[start_s, end_s)``."""
+
+    reader: str
+    start_s: float
+    end_s: float
+
+    def __post_init__(self) -> None:
+        _check_interval(self.start_s, self.end_s)
+
+    def covers(self, time_s: float) -> bool:
+        """Whether the outage swallows a read stamped ``time_s``."""
+        return self.start_s <= time_s < self.end_s
+
+
+@dataclass(frozen=True)
+class DeadAntenna:
+    """Hub element ``antenna`` of ``reader`` is dark in ``[start_s, end_s)``."""
+
+    reader: str
+    antenna: int
+    start_s: float = 0.0
+    end_s: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.antenna < 0:
+            raise ConfigurationError("antenna index must be non-negative")
+        _check_interval(self.start_s, self.end_s)
+
+    def covers(self, time_s: float) -> bool:
+        """Whether the element is dark at ``time_s``."""
+        return self.start_s <= time_s < self.end_s
+
+
+@dataclass(frozen=True)
+class PhaseGlitch:
+    """Reads of ``reader`` carry an extra ``offset_rad`` phase rotation."""
+
+    reader: str
+    offset_rad: float
+    start_s: float = 0.0
+    end_s: float = math.inf
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.offset_rad):
+            raise ConfigurationError("phase offset must be finite")
+        _check_interval(self.start_s, self.end_s)
+
+    def covers(self, time_s: float) -> bool:
+        """Whether the glitch rotates a read stamped ``time_s``."""
+        return self.start_s <= time_s < self.end_s
+
+
+@dataclass(frozen=True)
+class EpcMisread:
+    """Each read's EPC decodes to garbage with ``probability``.
+
+    ``reader`` limits the fault to one reader; ``None`` afflicts all.
+    """
+
+    probability: float
+    reader: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError(
+                f"misread probability must be in [0, 1], got {self.probability}"
+            )
+
+
+@dataclass(frozen=True)
+class LateBurst:
+    """Reads stamped in ``[start_s, end_s)`` are delivered ``delay_s`` late.
+
+    Event timestamps are untouched — only the *delivery order* shifts,
+    which is exactly how a buffering network element manifests: the
+    assembler sees newer reads first and must either admit the
+    stragglers within its lateness bound or count them late.
+    """
+
+    start_s: float
+    end_s: float
+    delay_s: float
+
+    def __post_init__(self) -> None:
+        _check_interval(self.start_s, self.end_s)
+        if self.delay_s <= 0.0:
+            raise ConfigurationError("late-burst delay must be positive")
+
+    def covers(self, time_s: float) -> bool:
+        """Whether a read stamped ``time_s`` is held back."""
+        return self.start_s <= time_s < self.end_s
+
+    @property
+    def release_s(self) -> float:
+        """Event time after which the held reads are flushed."""
+        return self.end_s + self.delay_s
+
+
+@dataclass(frozen=True)
+class OverloadBurst:
+    """Reads in ``[start_s, end_s)`` are duplicated ``copies`` extra times.
+
+    Models report storms (tag in a null, reader retransmits): the same
+    read arrives again and again, pressuring the bounded queue and the
+    assembler's duplicate accounting.
+    """
+
+    start_s: float
+    end_s: float
+    copies: int = 1
+
+    def __post_init__(self) -> None:
+        _check_interval(self.start_s, self.end_s)
+        if self.copies < 1:
+            raise ConfigurationError("an overload burst needs at least one copy")
+
+    def covers(self, time_s: float) -> bool:
+        """Whether a read stamped ``time_s`` is duplicated."""
+        return self.start_s <= time_s < self.end_s
+
+
+#: Everything the injector knows how to apply.
+Fault = Union[
+    ReaderOutage, DeadAntenna, PhaseGlitch, EpcMisread, LateBurst, OverloadBurst
+]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible bundle of faults to inject into one run.
+
+    Parameters
+    ----------
+    faults:
+        The faults to apply, in declaration order.
+    seed:
+        Seed of the plan's private RNG (EPC misread draws); two runs of
+        the same plan over the same stream are identical.
+    """
+
+    faults: Tuple[Fault, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.seed < 0:
+            raise ConfigurationError("fault plan seed must be non-negative")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the plan does anything at all.
+
+        A disabled plan is the hard bit-identity baseline: the injector
+        passes the stream through untouched.
+        """
+        return bool(self.faults)

@@ -226,11 +226,20 @@ def load_snapshot_jsonl(path: str) -> List[dict]:
     return records
 
 
-def render_snapshot(records: Iterable[dict]) -> List[str]:
-    """Human-readable table of a metrics snapshot (for ``repro stats``)."""
-    counters = [r for r in records if r.get("type") == "counter"]
-    gauges = [r for r in records if r.get("type") == "gauge"]
-    histograms = [r for r in records if r.get("type") == "histogram"]
+def render_snapshot(
+    records: Iterable[dict], prefix: Optional[str] = None
+) -> List[str]:
+    """Human-readable table of a metrics snapshot (for ``repro stats``).
+
+    ``prefix`` restricts the table to metrics whose name starts with it
+    (e.g. ``stream.health.`` to see just the fleet-health series).
+    """
+    rows = list(records)
+    if prefix is not None:
+        rows = [r for r in rows if str(r.get("name", "")).startswith(prefix)]
+    counters = [r for r in rows if r.get("type") == "counter"]
+    gauges = [r for r in rows if r.get("type") == "gauge"]
+    histograms = [r for r in rows if r.get("type") == "histogram"]
     lines: List[str] = []
     if counters or gauges:
         width = max(len(r["name"]) for r in counters + gauges)

@@ -9,7 +9,7 @@ snapshot therefore takes ``M`` slots.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.constants import ANTENNA_TDM_SLOT_S
 from repro.errors import ConfigurationError
@@ -46,12 +46,25 @@ class TdmSchedule:
         ConfigurationError
             If ``time_s`` falls outside ``[0, duration]``.
         """
+        antenna = self.try_antenna_at(time_s)
+        if antenna is None:
+            raise ConfigurationError(f"time {time_s} outside the sweep duration")
+        return antenna
+
+    def try_antenna_at(self, time_s: float) -> Optional[int]:
+        """Like :meth:`antenna_at`, but ``None`` for out-of-sweep times.
+
+        The non-raising lookup the streaming assembler uses: a read
+        whose timestamp falls outside every slot (clock skew, a glitched
+        report) should be counted and dropped by the caller, not crash
+        the ingest loop.
+        """
         for antenna, start, end in self.slots:
             if start <= time_s < end:
                 return antenna
         if self.slots and time_s == self.slots[-1][2]:
             return self.slots[-1][0]
-        raise ConfigurationError(f"time {time_s} outside the sweep duration")
+        return None
 
 
 @dataclass(frozen=True)

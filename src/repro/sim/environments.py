@@ -21,6 +21,7 @@ from __future__ import annotations
 import math
 from typing import List
 
+from repro.errors import ConfigurationError
 from repro.geometry.point import Point
 from repro.geometry.reflection import Reflector
 from repro.geometry.segment import Segment
@@ -50,6 +51,10 @@ def _wall_readers(
     max_range_m: float = 12.0,
 ) -> List[Reader]:
     """Readers at the wall midpoints, arrays parallel to their wall."""
+    if not 1 <= count <= 4:
+        raise ConfigurationError(
+            f"wall deployments hold 1 to 4 readers, got {count}"
+        )
     inset = 0.15
     placements = [
         # (reference point offset from wall midpoint, orientation)
@@ -117,11 +122,12 @@ def library_scene(
     num_tags: int = 21,
     num_antennas: int = 8,
     num_reflectors: int = 12,
+    num_readers: int = 4,
 ) -> Scene:
     """The high-multipath library: shelves of metal and wood."""
     generator = ensure_rng(rng)
     room = Rectangle(0.0, 0.0, 7.0, 10.0)
-    readers = _wall_readers(room, generator, num_antennas)
+    readers = _wall_readers(room, generator, num_antennas, count=num_readers)
     reflectors = _scattered_reflectors(
         room, num_reflectors, generator, plate_length=2.0, coefficient=0.85,
         prefix="shelf",
@@ -141,11 +147,12 @@ def laboratory_scene(
     num_tags: int = 21,
     num_antennas: int = 8,
     num_reflectors: int = 6,
+    num_readers: int = 4,
 ) -> Scene:
     """The medium-multipath laboratory: benches, chambers, displays."""
     generator = ensure_rng(rng)
     room = Rectangle(0.0, 0.0, 9.0, 12.0)
-    readers = _wall_readers(room, generator, num_antennas)
+    readers = _wall_readers(room, generator, num_antennas, count=num_readers)
     reflectors = _scattered_reflectors(
         room, num_reflectors, generator, plate_length=1.2, coefficient=0.7,
         prefix="bench",
@@ -165,11 +172,12 @@ def hall_scene(
     num_tags: int = 21,
     num_antennas: int = 8,
     num_reflectors: int = 1,
+    num_readers: int = 4,
 ) -> Scene:
     """The low-multipath empty hall."""
     generator = ensure_rng(rng)
     room = Rectangle(0.0, 0.0, 7.2, 10.4)
-    readers = _wall_readers(room, generator, num_antennas)
+    readers = _wall_readers(room, generator, num_antennas, count=num_readers)
     reflectors = _scattered_reflectors(
         room, num_reflectors, generator, plate_length=1.0, coefficient=0.6,
         prefix="pillar",

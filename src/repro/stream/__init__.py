@@ -7,10 +7,12 @@ one-shot batch captures.  This package turns the batch pipeline into
 that online service:
 
 * :mod:`repro.stream.events` — the typed :class:`TagRead` ingest event
-  and the :class:`TrackFix` output record.
+  and the :class:`TrackFix` output record with its :class:`FixQuality`
+  stamp.
 * :mod:`repro.stream.queue` — a bounded ingest queue with explicit
-  backpressure policies (``block``, ``drop-oldest``, ``drop-newest``)
-  and a counter for every drop.
+  backpressure policies (``block``, ``drop-oldest``, ``drop-newest``),
+  a counter for every drop, and a closed state so shutdown never
+  strands a blocked producer.
 * :mod:`repro.stream.window` — the event-time window assembler that
   groups reads by reader/tag/sweep into snapshot windows, with a
   lateness bound for out-of-order arrivals.
@@ -20,6 +22,13 @@ that online service:
   from scratch.
 * :mod:`repro.stream.drift` — slow EWMA adaptation of the empty-area
   baseline spectra with a freeze-while-detecting guard.
+* :mod:`repro.stream.health` — per-reader health tracking and the
+  quarantine/recovery state machine behind graceful degradation.
+* :mod:`repro.stream.supervise` — retry-with-backoff supervision of
+  flaky read sources.
+* :mod:`repro.stream.checkpoint` — JSON checkpoint/restore of a live
+  runner (covariance bank, windows, tracker, baseline, health), proven
+  bit-identical across a crash-resume.
 * :mod:`repro.stream.replay` — versioned JSONL recording and replay of
   read streams.
 * :mod:`repro.stream.synthetic` — a synthetic read-stream driver over
@@ -28,12 +37,28 @@ that online service:
   loop wiring ingest -> windows -> evidence -> localize into a stream
   of fixes, instrumented through :mod:`repro.obs`.
 
-See ``docs/STREAMING.md`` for the architecture and the replay format.
+Fault injection lives in its own package, :mod:`repro.faults`.  See
+``docs/STREAMING.md`` for the architecture and the replay format, and
+``docs/ROBUSTNESS.md`` for the fault model and degradation ladder.
 """
 
+from repro.stream.checkpoint import (
+    CHECKPOINT_KIND,
+    CHECKPOINT_SCHEMA,
+    checkpoint_state,
+    load_checkpoint,
+    restore_state,
+    save_checkpoint,
+)
 from repro.stream.covariance import CovarianceBank, EwCovariance
 from repro.stream.drift import BaselineDriftTracker
-from repro.stream.events import TagRead, TrackFix
+from repro.stream.events import QUALITY_LEVELS, FixQuality, TagRead, TrackFix
+from repro.stream.health import (
+    HEALTH_STATES,
+    HealthConfig,
+    HealthTracker,
+    ReaderHealth,
+)
 from repro.stream.queue import DROP_POLICIES, BoundedReadQueue
 from repro.stream.replay import (
     RecordingHeader,
@@ -42,16 +67,31 @@ from repro.stream.replay import (
     write_recording,
 )
 from repro.stream.runner import StreamConfig, StreamRunner
+from repro.stream.supervise import RetryPolicy, supervised_reads
 from repro.stream.synthetic import SyntheticStreamConfig, synthetic_reads
-from repro.stream.window import SnapshotWindow, WindowAssembler, WindowConfig
+from repro.stream.window import (
+    SnapshotWindow,
+    WindowAssembler,
+    WindowConfig,
+    sweep_slot,
+)
 
 __all__ = [
     "BaselineDriftTracker",
     "BoundedReadQueue",
+    "CHECKPOINT_KIND",
+    "CHECKPOINT_SCHEMA",
     "CovarianceBank",
     "DROP_POLICIES",
     "EwCovariance",
+    "FixQuality",
+    "HEALTH_STATES",
+    "HealthConfig",
+    "HealthTracker",
+    "QUALITY_LEVELS",
+    "ReaderHealth",
     "RecordingHeader",
+    "RetryPolicy",
     "SnapshotWindow",
     "StreamConfig",
     "StreamRunner",
@@ -60,8 +100,14 @@ __all__ = [
     "TrackFix",
     "WindowAssembler",
     "WindowConfig",
+    "checkpoint_state",
+    "load_checkpoint",
     "read_header",
     "read_recording",
+    "restore_state",
+    "save_checkpoint",
+    "supervised_reads",
+    "sweep_slot",
     "synthetic_reads",
     "write_recording",
 ]

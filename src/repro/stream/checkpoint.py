@@ -1,0 +1,366 @@
+"""Checkpoint/restore of a live :class:`~repro.stream.runner.StreamRunner`.
+
+A continuous monitor that crashes loses more than uptime: the
+covariance bank holds minutes of exponentially-weighted history, the
+drift tracker has adapted the baseline, and the Kalman tracker carries
+the target's velocity.  Rebuilding those from scratch after a restart
+changes every subsequent fix.  This module serializes *all* mutable
+stream state to a single JSON document so a restarted process continues
+**bit-identically** — the crash-resume equivalence is pinned by a
+tier-1 test, which is only possible because Python's ``repr``-based
+JSON float round-trip is exact.
+
+Format (``schema`` 1, ``kind`` ``dwatch-checkpoint``):
+
+* ``fingerprint`` — reader names, window length and covariance decay of
+  the deployment; restoring onto a mismatched runner raises
+  :class:`~repro.errors.CheckpointError` rather than silently
+  corrupting fixes.
+* ``queue`` — still-undrained reads plus the lifetime counters.
+* ``assembler`` — pending window cells, watermark, emitted cursor and
+  the late/torn/duplicate counters.
+* ``bank`` — per-(reader, tag) weighted sums, weights and update
+  counts (complex matrices as ``[re, im]`` pairs).
+* ``tracker`` — Kalman state vector, covariance and last update time.
+* ``baseline`` — the (possibly drift-adapted) baseline spectrum sets.
+* ``drift`` / ``health`` / counters — the remaining run bookkeeping.
+
+Complex numbers are stored as two-element ``[re, im]`` lists; integer
+dictionary keys as decimal strings (JSON objects only key on strings).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Union
+
+import numpy as np
+
+from repro.core.baseline import SpectrumSet
+from repro.dsp.spectrum import AngularSpectrum
+from repro.errors import CheckpointError
+from repro.utils.arrays import ComplexArray, FloatArray
+from repro.stream.covariance import EwCovariance
+from repro.stream.events import TagRead
+from repro.stream.queue import QueueStats
+from repro.stream.window import _PendingWindow
+
+if TYPE_CHECKING:
+    from repro.stream.runner import StreamRunner
+
+#: Format marker so future revisions can migrate old checkpoints.
+CHECKPOINT_SCHEMA = 1
+
+#: The ``kind`` tag distinguishing checkpoints from other JSON files.
+CHECKPOINT_KIND = "dwatch-checkpoint"
+
+PathLike = Union[str, Path]
+
+
+def checkpoint_state(runner: "StreamRunner") -> Dict[str, Any]:
+    """Capture every piece of mutable state of a runner (JSON-ready)."""
+    items, stats = runner.queue.export_state()
+    tracker_state: Optional[Dict[str, Any]] = None
+    if runner.tracker is not None and runner.tracker.initialized:
+        tracker_state = {
+            "state": [float(v) for v in runner.tracker._state],
+            "covariance": _real_matrix(runner.tracker._covariance),
+            "last_time": runner.tracker._last_time,
+        }
+    baseline: Optional[List[Dict[str, Any]]] = None
+    if runner.dwatch.baseline is not None:
+        baseline = [_spectrum_set(s) for s in runner.dwatch.baseline]
+    return {
+        "schema": CHECKPOINT_SCHEMA,
+        "kind": CHECKPOINT_KIND,
+        "fingerprint": _fingerprint(runner),
+        "queue": {
+            "items": [_read(r) for r in items],
+            "stats": {
+                "offered": stats.offered,
+                "accepted": stats.accepted,
+                "dropped_oldest": stats.dropped_oldest,
+                "dropped_newest": stats.dropped_newest,
+                "block_timeouts": stats.block_timeouts,
+            },
+        },
+        "assembler": _assembler_state(runner),
+        "bank": _bank_state(runner),
+        "tracker": tracker_state,
+        "baseline": baseline,
+        "drift": {
+            "applied_updates": runner.drift.applied_updates,
+            "frozen_updates": runner.drift.frozen_updates,
+        },
+        "health": runner.health.export_state(),
+        "fixes_emitted": runner.fixes_emitted,
+        "rejected_reads": runner.rejected_reads,
+    }
+
+
+def restore_state(runner: "StreamRunner", state: Mapping[str, Any]) -> None:
+    """Adopt a checkpoint into a freshly constructed, matching runner."""
+    if state.get("kind") != CHECKPOINT_KIND:
+        raise CheckpointError(f"not a {CHECKPOINT_KIND!r} document")
+    if state.get("schema") != CHECKPOINT_SCHEMA:
+        raise CheckpointError(
+            f"unsupported checkpoint schema {state.get('schema')!r} "
+            f"(this build reads schema {CHECKPOINT_SCHEMA})"
+        )
+    expected = _fingerprint(runner)
+    found = state.get("fingerprint")
+    if found != expected:
+        raise CheckpointError(
+            f"checkpoint fingerprint {found!r} does not match this "
+            f"deployment {expected!r}; refusing to restore"
+        )
+    try:
+        _restore_queue(runner, state["queue"])
+        _restore_assembler(runner, state["assembler"])
+        _restore_bank(runner, state["bank"])
+        _restore_tracker(runner, state["tracker"])
+        _restore_baseline(runner, state["baseline"])
+        runner.drift.applied_updates = int(state["drift"]["applied_updates"])
+        runner.drift.frozen_updates = int(state["drift"]["frozen_updates"])
+        runner.health.import_state(state["health"])
+        runner.fixes_emitted = int(state["fixes_emitted"])
+        runner.rejected_reads = int(state["rejected_reads"])
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        raise CheckpointError(f"malformed checkpoint: {exc}") from exc
+
+
+def save_checkpoint(path: PathLike, runner: "StreamRunner") -> None:
+    """Write a runner's checkpoint as one JSON document."""
+    state = checkpoint_state(runner)
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(state, handle, sort_keys=True)
+            handle.write("\n")
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot write checkpoint {str(path)!r}: {exc}"
+        ) from exc
+
+
+def load_checkpoint(path: PathLike) -> Dict[str, Any]:
+    """Read a checkpoint document (validated on :func:`restore_state`)."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot open checkpoint {str(path)!r}: {exc}"
+        ) from exc
+    except ValueError as exc:
+        raise CheckpointError(
+            f"checkpoint {str(path)!r} is not valid JSON "
+            "(truncated or foreign file?)"
+        ) from exc
+    if not isinstance(data, dict):
+        raise CheckpointError(
+            f"checkpoint {str(path)!r} is not a JSON object"
+        )
+    return data
+
+
+# -- serialization helpers ------------------------------------------------
+
+
+def _fingerprint(runner: "StreamRunner") -> Dict[str, Any]:
+    return {
+        "readers": sorted(runner.dwatch.readers),
+        "window_s": runner.assembler.window_s,
+        "decay": runner.config.decay,
+    }
+
+
+def _complex(value: complex) -> List[float]:
+    return [value.real, value.imag]
+
+
+def _as_complex(pair: Any) -> complex:
+    return complex(float(pair[0]), float(pair[1]))
+
+
+def _complex_matrix(matrix: ComplexArray) -> List[List[List[float]]]:
+    return [[_complex(complex(cell)) for cell in row] for row in matrix]
+
+
+def _as_complex_matrix(rows: Any) -> ComplexArray:
+    return np.array(
+        [[_as_complex(cell) for cell in row] for row in rows],
+        dtype=np.complex128,
+    )
+
+
+def _real_matrix(matrix: FloatArray) -> List[List[float]]:
+    return [[float(cell) for cell in row] for row in matrix]
+
+
+def _read(read: TagRead) -> Dict[str, Any]:
+    value = complex(read.iq)
+    return {
+        "t": read.time_s,
+        "r": read.reader_name,
+        "e": read.epc,
+        "i": [value.real, value.imag],
+    }
+
+
+def _as_read(record: Mapping[str, Any]) -> TagRead:
+    return TagRead(
+        reader_name=str(record["r"]),
+        epc=str(record["e"]),
+        time_s=float(record["t"]),
+        iq=_as_complex(record["i"]),
+    )
+
+
+def _spectrum_set(spectra: SpectrumSet) -> Dict[str, Any]:
+    result: Dict[str, Any] = {}
+    for reader_name, per_tag in spectra.spectra.items():
+        result[reader_name] = {
+            epc: {
+                "angles": [float(a) for a in spectrum.angles],
+                "values": [float(v) for v in spectrum.values],
+            }
+            for epc, spectrum in per_tag.items()
+        }
+    return result
+
+
+def _as_spectrum_set(record: Mapping[str, Any]) -> SpectrumSet:
+    result = SpectrumSet()
+    for reader_name, per_tag in record.items():
+        result.spectra[reader_name] = {
+            epc: AngularSpectrum(
+                np.asarray(entry["angles"], dtype=float),
+                np.asarray(entry["values"], dtype=float),
+            )
+            for epc, entry in per_tag.items()
+        }
+    return result
+
+
+def _assembler_state(runner: "StreamRunner") -> Dict[str, Any]:
+    assembler = runner.assembler
+    pending: List[Dict[str, Any]] = []
+    for index in sorted(assembler._pending):
+        window = assembler._pending[index]
+        cells: List[Dict[str, Any]] = []
+        for (reader_name, epc) in sorted(window.cells):
+            per_sweep = window.cells[(reader_name, epc)]
+            cells.append(
+                {
+                    "reader": reader_name,
+                    "epc": epc,
+                    "sweeps": {
+                        str(sweep): {
+                            str(antenna): _complex(sample)
+                            for antenna, sample in column.items()
+                        }
+                        for sweep, column in per_sweep.items()
+                    },
+                }
+            )
+        pending.append({"index": index, "reads": window.reads, "cells": cells})
+    return {
+        "pending": pending,
+        "max_time": assembler._max_time,
+        "emitted_through": assembler._emitted_through,
+        "late_reads": assembler.late_reads,
+        "torn_sweeps": assembler.torn_sweeps,
+        "duplicate_reads": assembler.duplicate_reads,
+    }
+
+
+def _bank_state(runner: "StreamRunner") -> List[Dict[str, Any]]:
+    pairs: List[Dict[str, Any]] = []
+    for (reader_name, epc) in sorted(runner.bank._pairs):
+        estimator = runner.bank._pairs[(reader_name, epc)]
+        pairs.append(
+            {
+                "reader": reader_name,
+                "epc": epc,
+                "num_antennas": estimator.num_antennas,
+                "weighted": _complex_matrix(estimator._weighted),
+                "weight": estimator._weight,
+                "updates": estimator.updates,
+            }
+        )
+    return pairs
+
+
+# -- restore helpers ------------------------------------------------------
+
+
+def _restore_queue(runner: "StreamRunner", record: Mapping[str, Any]) -> None:
+    stats = record["stats"]
+    runner.queue.import_state(
+        [_as_read(item) for item in record["items"]],
+        QueueStats(
+            offered=int(stats["offered"]),
+            accepted=int(stats["accepted"]),
+            dropped_oldest=int(stats["dropped_oldest"]),
+            dropped_newest=int(stats["dropped_newest"]),
+            block_timeouts=int(stats["block_timeouts"]),
+        ),
+    )
+
+
+def _restore_assembler(
+    runner: "StreamRunner", record: Mapping[str, Any]
+) -> None:
+    assembler = runner.assembler
+    assembler._pending.clear()
+    for entry in record["pending"]:
+        window = _PendingWindow(reads=int(entry["reads"]))
+        for cell in entry["cells"]:
+            per_sweep: Dict[int, Dict[int, complex]] = {}
+            for sweep, column in cell["sweeps"].items():
+                per_sweep[int(sweep)] = {
+                    int(antenna): _as_complex(sample)
+                    for antenna, sample in column.items()
+                }
+            window.cells[(str(cell["reader"]), str(cell["epc"]))] = per_sweep
+        assembler._pending[int(entry["index"])] = window
+    raw_max = record["max_time"]
+    assembler._max_time = None if raw_max is None else float(raw_max)
+    assembler._emitted_through = int(record["emitted_through"])
+    assembler.late_reads = int(record["late_reads"])
+    assembler.torn_sweeps = int(record["torn_sweeps"])
+    assembler.duplicate_reads = int(record["duplicate_reads"])
+
+
+def _restore_bank(runner: "StreamRunner", record: Any) -> None:
+    runner.bank._pairs.clear()
+    for entry in record:
+        estimator = EwCovariance(
+            num_antennas=int(entry["num_antennas"]),
+            decay=runner.bank.decay,
+        )
+        estimator._weighted = _as_complex_matrix(entry["weighted"])
+        estimator._weight = float(entry["weight"])
+        estimator.updates = int(entry["updates"])
+        runner.bank._pairs[(str(entry["reader"]), str(entry["epc"]))] = estimator
+
+
+def _restore_tracker(
+    runner: "StreamRunner", record: Optional[Mapping[str, Any]]
+) -> None:
+    if runner.tracker is None:
+        return
+    runner.tracker.reset()
+    if record is None:
+        return
+    runner.tracker._state = np.asarray(record["state"], dtype=float)
+    runner.tracker._covariance = np.asarray(record["covariance"], dtype=float)
+    runner.tracker._last_time = float(record["last_time"])
+
+
+def _restore_baseline(runner: "StreamRunner", record: Any) -> None:
+    if record is None:
+        runner.dwatch.baseline = None
+        return
+    runner.dwatch.baseline = [_as_spectrum_set(entry) for entry in record]

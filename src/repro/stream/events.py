@@ -48,6 +48,50 @@ class TagRead:
     iq: complex
 
 
+#: The degradation ladder, healthiest first.  ``full`` — every reader
+#: contributed healthy evidence; ``degraded`` — quarantined or missing
+#: readers forced the likelihood product onto a surviving subset;
+#: ``insufficient`` — fewer detecting readers than the configured
+#: minimum-evidence threshold, so no position was attempted.
+QUALITY_LEVELS: Tuple[str, ...] = ("full", "degraded", "insufficient")
+
+
+@dataclass(frozen=True)
+class FixQuality:
+    """How trustworthy one fix is, given the fleet's health.
+
+    Attributes
+    ----------
+    level:
+        One of :data:`QUALITY_LEVELS`.
+    confidence:
+        Scalar in ``[0, 1]``: the healthy-reader fraction scaled by the
+        evidence strength (the geometric-mean likelihood of the best
+        estimate; halved when the fix is prediction-only, zero when no
+        position was produced).
+    active_readers:
+        Readers whose evidence actually entered the likelihood product.
+    healthy_readers:
+        Readers not quarantined when the window closed.
+    total_readers:
+        Deployment size the two counts are measured against.
+    quarantined:
+        Names of the readers excluded from this fix, sorted.
+    """
+
+    level: str = "full"
+    confidence: float = 1.0
+    active_readers: int = 0
+    healthy_readers: int = 0
+    total_readers: int = 0
+    quarantined: Tuple[str, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        """Whether this fix ran on anything less than the full fleet."""
+        return self.level != "full"
+
+
 @dataclass(frozen=True)
 class TrackFix:
     """The localization output of one snapshot window.
@@ -71,6 +115,10 @@ class TrackFix:
         Complete snapshot columns that fed the window's spectra.
     reads:
         Raw tag reads the window consumed.
+    quality:
+        Health-aware trust stamp (see :class:`FixQuality`); defaults to
+        a full-quality stamp so replays of healthy streams stay
+        unchanged.
     """
 
     index: int
@@ -80,6 +128,7 @@ class TrackFix:
     predicted_only: bool = False
     sweeps: int = 0
     reads: int = 0
+    quality: FixQuality = FixQuality()
 
     @property
     def located(self) -> bool:

@@ -22,6 +22,13 @@ Every drop is counted — on the queue itself (:attr:`BoundedReadQueue.stats`)
 and through :mod:`repro.obs` counters ``stream.queue.dropped_oldest``,
 ``stream.queue.dropped_newest`` and ``stream.queue.block_timeouts`` —
 so an operator can see overload instead of guessing at it.
+
+Shutdown is explicit: :meth:`BoundedReadQueue.close` marks the queue
+closed, wakes any producer blocked waiting for space (it raises
+:class:`~repro.errors.QueueClosedError` immediately instead of burning
+its full timeout against a consumer that is gone), and rejects further
+offers with the same error.  Reads already queued stay drainable, so a
+consumer finishing up loses nothing.
 """
 
 from __future__ import annotations
@@ -29,10 +36,10 @@ from __future__ import annotations
 import threading
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, Iterable, List, Optional, Tuple
 
 from repro import obs
-from repro.errors import BackpressureError, ConfigurationError
+from repro.errors import BackpressureError, ConfigurationError, QueueClosedError
 from repro.stream.events import TagRead
 
 #: The recognised backpressure policies, in documentation order.
@@ -94,10 +101,27 @@ class BoundedReadQueue:
         self._dropped_oldest = 0
         self._dropped_newest = 0
         self._block_timeouts = 0
+        self._closed = False
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        with self._lock:
+            return self._closed
+
+    def close(self) -> None:
+        """Shut the queue: reject future offers, wake blocked producers.
+
+        Idempotent.  Queued reads remain drainable — closing only stops
+        *new* reads from entering, so a consumer can finish cleanly.
+        """
+        with self._not_full:
+            self._closed = True
+            self._not_full.notify_all()
 
     @property
     def stats(self) -> QueueStats:
@@ -118,8 +142,20 @@ class BoundedReadQueue:
         ``drop-oldest`` always returns ``True`` (the casualty is the
         queue head); ``block`` either returns ``True`` or raises
         :class:`~repro.errors.BackpressureError` after the timeout.
+        Offering to a closed queue raises
+        :class:`~repro.errors.QueueClosedError` under every policy —
+        including mid-wait under ``block``, so shutdown never leaves a
+        producer hanging for its full timeout.
         """
         with self._not_full:
+            if self._closed:
+                obs.count("stream.queue.closed_rejects")
+                raise QueueClosedError(
+                    "queue is closed; no further reads accepted",
+                    reader=read.reader_name,
+                    epc=read.epc,
+                    time_s=read.time_s,
+                )
             self._offered += 1
             if len(self._items) < self.capacity:
                 self._items.append(read)
@@ -136,11 +172,20 @@ class BoundedReadQueue:
                 self._items.append(read)
                 self._accepted += 1
                 return True
-            # block: wait for a consumer to make room.
+            # block: wait for a consumer to make room (or for close()
+            # to declare there will never be one).
             deadline_ok = self._not_full.wait_for(
-                lambda: len(self._items) < self.capacity,
+                lambda: self._closed or len(self._items) < self.capacity,
                 timeout=self.block_timeout_s,
             )
+            if self._closed:
+                obs.count("stream.queue.closed_rejects")
+                raise QueueClosedError(
+                    "queue closed while waiting for space",
+                    reader=read.reader_name,
+                    epc=read.epc,
+                    time_s=read.time_s,
+                )
             if not deadline_ok:
                 self._block_timeouts += 1
                 obs.count("stream.queue.block_timeouts")
@@ -169,3 +214,30 @@ class BoundedReadQueue:
             if drained:
                 self._not_full.notify_all()
             return drained
+
+    def export_state(self) -> Tuple[Tuple[TagRead, ...], QueueStats]:
+        """Queued reads plus counters, for streaming checkpoints."""
+        with self._lock:
+            return tuple(self._items), QueueStats(
+                offered=self._offered,
+                accepted=self._accepted,
+                dropped_oldest=self._dropped_oldest,
+                dropped_newest=self._dropped_newest,
+                block_timeouts=self._block_timeouts,
+            )
+
+    def import_state(self, items: Iterable[TagRead], stats: QueueStats) -> None:
+        """Replace contents and counters with a checkpointed snapshot.
+
+        Bypasses the admission policies on purpose: the reads were
+        already admitted once, in the run being restored.
+        """
+        with self._not_full:
+            self._items.clear()
+            self._items.extend(items)
+            self._offered = stats.offered
+            self._accepted = stats.accepted
+            self._dropped_oldest = stats.dropped_oldest
+            self._dropped_newest = stats.dropped_newest
+            self._block_timeouts = stats.block_timeouts
+            self._not_full.notify_all()

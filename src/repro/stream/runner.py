@@ -24,18 +24,26 @@ results are bit-identical with or without tracing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from repro import obs
 from repro.core.baseline import SpectrumSet
+from repro.core.likelihood import LocationEstimate
 from repro.core.pipeline import DWatch
 from repro.core.tracker import KalmanTracker
 from repro.dsp.spectrum import AngularSpectrum
-from repro.errors import CalibrationError, ConfigurationError, LocalizationError
+from repro.errors import (
+    CalibrationError,
+    ConfigurationError,
+    LocalizationError,
+    ReproError,
+    StreamError,
+)
 from repro.geometry.point import Point
 from repro.stream.covariance import CovarianceBank, pmusic_spectrum_from_covariance
 from repro.stream.drift import BaselineDriftTracker
-from repro.stream.events import TagRead, TrackFix
+from repro.stream.events import FixQuality, TagRead, TrackFix
+from repro.stream.health import HealthConfig, HealthTracker
 from repro.stream.queue import BoundedReadQueue
 from repro.stream.window import SnapshotWindow, WindowAssembler, WindowConfig
 
@@ -64,6 +72,13 @@ class StreamConfig:
     smoothing:
         Whether the constant-velocity Kalman tracker smooths fixes and
         bridges deadzone windows (prediction-only fixes).
+    health:
+        Quarantine thresholds of the per-reader health tracker.
+    min_evidence_readers:
+        Minimum number of *detecting* readers a window needs before a
+        position is attempted.  The default ``1`` preserves the original
+        behaviour (any detection localizes); raising it trades coverage
+        for ghost suppression when parts of the fleet are unhealthy.
     """
 
     window: WindowConfig = field(default_factory=WindowConfig)
@@ -74,10 +89,14 @@ class StreamConfig:
     drift_alpha: float = 0.0
     max_targets: int = 1
     smoothing: bool = True
+    health: HealthConfig = field(default_factory=HealthConfig)
+    min_evidence_readers: int = 1
 
     def __post_init__(self) -> None:
         if self.max_targets < 1:
             raise ConfigurationError("max_targets must be at least 1")
+        if self.min_evidence_readers < 1:
+            raise ConfigurationError("min_evidence_readers must be at least 1")
 
 
 class StreamRunner:
@@ -119,7 +138,11 @@ class StreamRunner:
         self.tracker: Optional[KalmanTracker] = (
             KalmanTracker() if self.config.smoothing else None
         )
+        self.health = HealthTracker.for_readers(
+            dwatch.readers, self.config.health
+        )
         self.fixes_emitted = 0
+        self.rejected_reads = 0
 
     def ingest(self, read: TagRead) -> bool:
         """Offer one read to the bounded queue; returns acceptance.
@@ -131,10 +154,24 @@ class StreamRunner:
         return self.queue.put(read)
 
     def poll(self) -> List[TrackFix]:
-        """Drain the queue, assemble windows, localize every closed one."""
+        """Drain the queue, assemble windows, localize every closed one.
+
+        A malformed read (unknown reader, out-of-slot timestamp) is
+        counted and dropped rather than crashing the loop: a live
+        pipeline must outlast one bad report.  Structural configuration
+        errors still surface through :attr:`rejected_reads` and the
+        ``stream.reads.rejected`` counter.
+        """
         fixes: List[TrackFix] = []
         for read in self.queue.drain():
-            for window in self.assembler.push(read):
+            self.health.note_read(read)
+            try:
+                windows = self.assembler.push(read)
+            except StreamError:
+                self.rejected_reads += 1
+                obs.count("stream.reads.rejected")
+                continue
+            for window in windows:
                 fixes.append(self._process_window(window))
         obs.gauge("stream.queue.depth", float(len(self.queue)))
         return fixes
@@ -157,18 +194,60 @@ class StreamRunner:
             yield from self.poll()
         yield from self.finish()
 
+    def checkpoint(self) -> Dict[str, Any]:
+        """A JSON-ready snapshot of every piece of mutable stream state.
+
+        Covers the covariance bank, window assembler, queued reads,
+        Kalman tracker, baseline spectra (drift-adapted), drift and
+        health counters — everything needed for :meth:`restore` to
+        continue the run *bit-identically*, as if the process never
+        died.  See :mod:`repro.stream.checkpoint` for the format.
+        """
+        from repro.stream.checkpoint import checkpoint_state
+
+        return checkpoint_state(self)
+
+    def restore(self, state: Mapping[str, Any]) -> None:
+        """Adopt a checkpoint produced by :meth:`checkpoint`.
+
+        The runner must be built over an identically configured
+        deployment (same readers, window shape, decay); a fingerprint
+        mismatch raises :class:`~repro.errors.CheckpointError` instead
+        of silently corrupting later fixes.
+        """
+        from repro.stream.checkpoint import restore_state
+
+        restore_state(self, state)
+
     def _process_window(self, window: SnapshotWindow) -> TrackFix:
         with obs.span(
             "stream.window", index=window.index, sweeps=window.sweeps
         ) as sp:
-            online = self._window_spectra(window)
-            evidence = self.dwatch.evidence_from_spectra(online)
+            online, failed = self._window_spectra(window)
+            for reader_name, error in failed:
+                self.health.note_violation(reader_name, error)
+            self.health.observe_window(online.spectra.keys())
+            quarantined = self.health.quarantined()
+            included = self._exclude_quarantined(online, quarantined)
+            evidence = self.dwatch.evidence_from_spectra(included, missing="skip")
             detecting = any(item.has_detection for item in evidence)
             if self.drift.enabled and self.dwatch.baseline is not None:
-                self.drift.update(self.dwatch.baseline, online, detecting)
-            estimates = self.dwatch.localize_from_evidence(
-                evidence, self.config.max_targets
+                self.drift.update(self.dwatch.baseline, included, detecting)
+            active_detecting = sum(
+                1 for item in evidence if item.has_detection
             )
+            estimates: List[LocationEstimate]
+            if 0 < active_detecting < self.config.min_evidence_readers:
+                # Below the minimum-evidence threshold: refusing to
+                # localize beats emitting a ghost from one reader's say-so.
+                obs.count("stream.fixes.insufficient")
+                estimates = []
+                insufficient = True
+            else:
+                estimates = self.dwatch.localize_from_evidence(
+                    evidence, self.config.max_targets
+                )
+                insufficient = False
             position: Optional[Point] = (
                 estimates[0].position if estimates else None
             )
@@ -179,9 +258,19 @@ class StreamRunner:
                 point = self.tracker.update(window.end_s, position)
                 position = point.position
                 predicted_only = point.predicted_only
+            quality = self._fix_quality(
+                quarantined=quarantined,
+                active_readers=len(included.spectra),
+                estimates=estimates,
+                position=position,
+                predicted_only=predicted_only,
+                insufficient=insufficient,
+            )
+            if quality.degraded:
+                obs.count("stream.fixes.degraded")
             self.fixes_emitted += 1
             obs.count("stream.fixes")
-            sp.set(located=position is not None)
+            sp.set(located=position is not None, quality=quality.level)
         return TrackFix(
             index=window.index,
             time_s=window.end_s,
@@ -190,34 +279,103 @@ class StreamRunner:
             predicted_only=predicted_only,
             sweeps=window.sweeps,
             reads=window.reads,
+            quality=quality,
         )
 
-    def _window_spectra(self, window: SnapshotWindow) -> SpectrumSet:
+    def _fix_quality(
+        self,
+        quarantined: "frozenset[str]",
+        active_readers: int,
+        estimates: List[LocationEstimate],
+        position: Optional[Point],
+        predicted_only: bool,
+        insufficient: bool,
+    ) -> FixQuality:
+        """Stamp one window's fix with its health-aware trust level."""
+        total = self.health.total
+        healthy = self.health.healthy_count
+        healthy_fraction = healthy / total if total else 0.0
+        if insufficient:
+            level = "insufficient"
+        elif quarantined or active_readers < total:
+            level = "degraded"
+        else:
+            level = "full"
+        if position is None:
+            confidence = 0.0
+        elif predicted_only or not estimates:
+            confidence = 0.5 * healthy_fraction
+        else:
+            confidence = healthy_fraction * min(
+                1.0, estimates[0].normalized_likelihood
+            )
+        return FixQuality(
+            level=level,
+            confidence=confidence,
+            active_readers=active_readers,
+            healthy_readers=healthy,
+            total_readers=total,
+            quarantined=tuple(sorted(quarantined)),
+        )
+
+    @staticmethod
+    def _exclude_quarantined(
+        online: SpectrumSet, quarantined: "frozenset[str]"
+    ) -> SpectrumSet:
+        """Online spectra without the quarantined readers' contributions.
+
+        Returns ``online`` unchanged (same object) when nothing is
+        quarantined, so the healthy path stays bit-identical to a build
+        without health tracking.
+        """
+        if not quarantined:
+            return online
+        filtered = SpectrumSet()
+        for reader_name, per_tag in online.spectra.items():
+            if reader_name not in quarantined:
+                filtered.spectra[reader_name] = per_tag
+        return filtered
+
+    def _window_spectra(
+        self, window: SnapshotWindow
+    ) -> Tuple[SpectrumSet, List[Tuple[str, ReproError]]]:
         """Fold the window into the covariance bank; spectra from ``R``.
 
         The calibration correction is a per-antenna diagonal multiply,
         so applying it to the snapshot columns *before* the rank-1
         updates is algebraically identical to correcting a batch
         matrix.
+
+        Failures are isolated per reader: a glitched reader whose
+        snapshots break the spectral chain (contract violation, rank
+        collapse) is reported in the second return value — and its
+        partial spectra withheld — instead of killing the whole
+        window.  The health tracker turns repeated failures into a
+        quarantine.
         """
         online = SpectrumSet()
+        failed: List[Tuple[str, ReproError]] = []
         measurement = window.measurement
         for reader_name in measurement.readers():
             reader = self.dwatch.readers[reader_name]
             offsets = self.dwatch.calibration.get(reader_name)
             per_tag: Dict[str, AngularSpectrum] = {}
-            for epc in measurement.tags_for(reader_name):
-                snapshots = measurement.matrix(reader_name, epc)
-                if offsets is not None:
-                    snapshots = offsets.apply_correction(snapshots)
-                estimator = self.bank.pair(
-                    reader_name, epc, int(snapshots.shape[0])
-                )
-                estimator.update_matrix(snapshots)
-                per_tag[epc] = pmusic_spectrum_from_covariance(
-                    estimator.covariance(),
-                    spacing_m=reader.array.spacing_m,
-                    wavelength_m=reader.array.wavelength_m,
-                )
+            try:
+                for epc in measurement.tags_for(reader_name):
+                    snapshots = measurement.matrix(reader_name, epc)
+                    if offsets is not None:
+                        snapshots = offsets.apply_correction(snapshots)
+                    estimator = self.bank.pair(
+                        reader_name, epc, int(snapshots.shape[0])
+                    )
+                    estimator.update_matrix(snapshots)
+                    per_tag[epc] = pmusic_spectrum_from_covariance(
+                        estimator.covariance(),
+                        spacing_m=reader.array.spacing_m,
+                        wavelength_m=reader.array.wavelength_m,
+                    )
+            except ReproError as exc:
+                failed.append((reader_name, exc))
+                continue
             online.spectra[reader_name] = per_tag
-        return online
+        return online, failed

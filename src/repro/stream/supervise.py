@@ -1,0 +1,101 @@
+"""Supervised ingest: retry-with-backoff around flaky read sources.
+
+Real readers drop off the network mid-run (LLRP session resets, switch
+reboots, antenna-cable bumps).  The runner itself should not know how
+to dial a reader back in — that is transport detail — but it also must
+not die because one ``recv`` raised.  :func:`supervised_reads` wraps a
+*source factory* and re-creates the source with exponential backoff
+whenever it fails with a retryable error
+(:class:`~repro.errors.SourceUnavailableError` or :class:`OSError`),
+resetting the attempt budget after every successful read so a
+long-lived session does not exhaust its retries on unrelated blips
+hours apart.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro import obs
+from repro.errors import ConfigurationError, SourceUnavailableError
+from repro.stream.events import TagRead
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential-backoff schedule for source reconnects.
+
+    Parameters
+    ----------
+    max_retries:
+        Consecutive failed (re)connect attempts tolerated before the
+        supervisor gives up and re-raises.
+    base_delay_s:
+        Sleep before the first retry.
+    multiplier:
+        Factor applied per further attempt.
+    max_delay_s:
+        Backoff ceiling.
+    """
+
+    max_retries: int = 3
+    base_delay_s: float = 0.05
+    multiplier: float = 2.0
+    max_delay_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigurationError("max_retries must be non-negative")
+        if self.base_delay_s < 0.0:
+            raise ConfigurationError("base_delay_s must be non-negative")
+        if self.multiplier < 1.0:
+            raise ConfigurationError("multiplier must be at least 1")
+        if self.max_delay_s < self.base_delay_s:
+            raise ConfigurationError("max_delay_s must be >= base_delay_s")
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (0-based), capped."""
+        if attempt < 0:
+            raise ConfigurationError("attempt must be non-negative")
+        return min(
+            self.base_delay_s * self.multiplier**attempt, self.max_delay_s
+        )
+
+
+def supervised_reads(
+    factory: Callable[[], Iterable[TagRead]],
+    policy: RetryPolicy = RetryPolicy(),
+    sleep: Callable[[float], None] = time.sleep,
+) -> Iterator[TagRead]:
+    """Yield reads from ``factory()``, rebuilding it on transient failure.
+
+    ``factory`` is called to (re)open the source; the resulting iterable
+    is drained until exhaustion (normal end of stream) or until it
+    raises a retryable error.  On failure the supervisor sleeps per
+    ``policy`` and calls ``factory`` again, resuming wherever the fresh
+    source starts — dedup of replayed reads is the window assembler's
+    job.  Any successful read resets the attempt counter; once
+    ``policy.max_retries`` consecutive attempts fail, the last error is
+    re-raised as :class:`~repro.errors.SourceUnavailableError`.
+
+    ``sleep`` is injectable so tests (and simulated time) need not wait.
+    """
+    attempt = 0
+    while True:
+        try:
+            for read in factory():
+                attempt = 0
+                yield read
+            return
+        except (SourceUnavailableError, OSError) as exc:
+            if attempt >= policy.max_retries:
+                raise SourceUnavailableError(
+                    f"source still failing after {policy.max_retries} "
+                    f"retries: {exc}"
+                ) from exc
+            delay = policy.delay_for(attempt)
+            attempt += 1
+            obs.count("stream.source.retries")
+            sleep(delay)

@@ -46,6 +46,28 @@ from repro.stream.events import TagRead
 _TIME_EPS = 1e-9
 
 
+def sweep_slot(schedule: TdmSchedule, time_s: float) -> Tuple[int, Optional[int]]:
+    """Map an event time onto the TDM grid: ``(sweep_index, antenna)``.
+
+    Applies the same edge-clamping the assembler uses, so boundary
+    timestamps land in their sweep.  ``antenna`` is ``None`` only for
+    a pathological schedule whose slots do not tile the sweep — the
+    caller decides whether that is a drop or an error.  Shared with
+    :mod:`repro.faults`, which must agree with the assembler about
+    which antenna a read belongs to.
+    """
+    sweep_index = int(math.floor(time_s / schedule.duration + _TIME_EPS))
+    offset = time_s - sweep_index * schedule.duration
+    # Clamp round-off at the sweep edges: the final slot of a sweep is
+    # end-inclusive (see TdmSchedule.antenna_at), the first starts at
+    # exactly zero.
+    offset = min(max(offset, 0.0), schedule.duration)
+    antenna = schedule.try_antenna_at(
+        min(offset + schedule.duration * _TIME_EPS, schedule.duration)
+    )
+    return sweep_index, antenna
+
+
 @dataclass(frozen=True)
 class WindowConfig:
     """Shape of the snapshot windows the assembler emits.
@@ -170,10 +192,18 @@ class WindowAssembler:
         schedule = self.schedules.get(read.reader_name)
         if schedule is None:
             raise StreamError(
-                f"read references unknown reader {read.reader_name!r}"
+                "read references an unknown reader",
+                reader=read.reader_name,
+                epc=read.epc,
+                time_s=read.time_s,
             )
         if read.time_s < 0.0:
-            raise StreamError(f"read carries negative event time {read.time_s}")
+            raise StreamError(
+                "read carries a negative event time",
+                reader=read.reader_name,
+                epc=read.epc,
+                time_s=read.time_s,
+            )
         index = int(math.floor(read.time_s / self.window_s + _TIME_EPS))
         if index <= self._emitted_through:
             # Beyond the lateness bound: its window has already been
@@ -198,15 +228,14 @@ class WindowAssembler:
         return [w for w in emitted if w.sweeps > 0]
 
     def _place(self, read: TagRead, schedule: TdmSchedule, index: int) -> None:
-        sweep_index = int(math.floor(read.time_s / schedule.duration + _TIME_EPS))
-        offset = read.time_s - sweep_index * schedule.duration
-        # Clamp round-off at the sweep edges: the final slot of a sweep
-        # is end-inclusive (see TdmSchedule.antenna_at), the first
-        # starts at exactly zero.
-        offset = min(max(offset, 0.0), schedule.duration)
-        antenna = schedule.antenna_at(
-            min(offset + schedule.duration * _TIME_EPS, schedule.duration)
-        )
+        sweep_index, antenna = sweep_slot(schedule, read.time_s)
+        if antenna is None:
+            raise StreamError(
+                "read falls outside every TDM slot of its reader",
+                reader=read.reader_name,
+                epc=read.epc,
+                time_s=read.time_s,
+            )
         window = self._pending.setdefault(index, _PendingWindow())
         window.reads += 1
         per_sweep = window.cells.setdefault((read.reader_name, read.epc), {})

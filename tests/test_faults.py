@@ -1,0 +1,248 @@
+"""Fault models and the deterministic injector."""
+
+import cmath
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import (
+    CHAOS_SCENARIOS,
+    DeadAntenna,
+    EpcMisread,
+    FaultInjector,
+    FaultPlan,
+    LateBurst,
+    OverloadBurst,
+    PhaseGlitch,
+    ReaderOutage,
+    chaos_plan,
+    fix_window_s,
+    scene_schedules,
+)
+from repro.rfid.hub import AntennaHub
+from repro.stream.events import TagRead
+
+
+SCHEDULE = AntennaHub(num_antennas=2, slot_duration_s=0.001).sweep_schedule()
+SWEEP = SCHEDULE.duration
+
+
+def grid_reads(reader="r", sweeps=4, epc="tag"):
+    """One read per (sweep, antenna slot) on the exact TDM grid."""
+    reads = []
+    for s in range(sweeps):
+        for antenna, start, _ in SCHEDULE.slots:
+            reads.append(
+                TagRead(
+                    reader_name=reader,
+                    epc=epc,
+                    time_s=s * SWEEP + start,
+                    iq=complex(s + 1, antenna),
+                )
+            )
+    return reads
+
+
+def inject(plan, reads, schedules=None):
+    injector = FaultInjector(plan, schedules or {"r": SCHEDULE})
+    return list(injector.inject(iter(reads))), injector
+
+
+class TestModelValidation:
+    def test_rejects_empty_interval(self):
+        with pytest.raises(ConfigurationError, match="non-empty"):
+            ReaderOutage(reader="r", start_s=1.0, end_s=1.0)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            ReaderOutage(reader="r", start_s=-0.5, end_s=1.0)
+
+    def test_rejects_negative_antenna(self):
+        with pytest.raises(ConfigurationError, match="antenna"):
+            DeadAntenna(reader="r", antenna=-1)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ConfigurationError, match="probability"):
+            EpcMisread(probability=1.5)
+
+    def test_rejects_non_positive_delay(self):
+        with pytest.raises(ConfigurationError, match="delay"):
+            LateBurst(start_s=0.0, end_s=1.0, delay_s=0.0)
+
+    def test_rejects_zero_copies(self):
+        with pytest.raises(ConfigurationError, match="copy"):
+            OverloadBurst(start_s=0.0, end_s=1.0, copies=0)
+
+    def test_rejects_infinite_phase(self):
+        with pytest.raises(ConfigurationError, match="finite"):
+            PhaseGlitch(reader="r", offset_rad=math.inf)
+
+    def test_empty_plan_is_disabled(self):
+        assert not FaultPlan().enabled
+        assert FaultPlan(faults=(EpcMisread(probability=0.1),)).enabled
+
+
+class TestPassthrough:
+    def test_empty_plan_yields_identical_objects(self):
+        reads = grid_reads()
+        out, injector = inject(FaultPlan(), reads)
+        # Same objects, not copies: the disabled path must not touch
+        # the stream at all (the CLI pins this byte-identical).
+        assert all(a is b for a, b in zip(out, reads))
+        assert injector.total_injected == 0
+
+
+class TestReaderOutage:
+    def test_drops_only_the_victims_interval(self):
+        reads = grid_reads(sweeps=4)
+        plan = FaultPlan(
+            faults=(ReaderOutage(reader="r", start_s=SWEEP, end_s=2 * SWEEP),)
+        )
+        out, injector = inject(plan, reads)
+        assert injector.stats["dropped_outage"] == len(SCHEDULE.slots)
+        assert all(not SWEEP <= r.time_s < 2 * SWEEP for r in out)
+        assert len(out) == len(reads) - len(SCHEDULE.slots)
+
+    def test_other_readers_untouched(self):
+        reads = grid_reads(reader="other")
+        plan = FaultPlan(
+            faults=(ReaderOutage(reader="r", start_s=0.0, end_s=100.0),)
+        )
+        out, _ = inject(plan, reads, schedules={"other": SCHEDULE, "r": SCHEDULE})
+        assert len(out) == len(reads)
+
+
+class TestDeadAntenna:
+    def test_drops_exactly_one_slot_per_sweep(self):
+        reads = grid_reads(sweeps=3)
+        plan = FaultPlan(faults=(DeadAntenna(reader="r", antenna=1),))
+        out, injector = inject(plan, reads)
+        assert injector.stats["dropped_dead_antenna"] == 3
+        # Surviving reads never sit in antenna 1's slot.
+        from repro.stream.window import sweep_slot
+
+        for r in out:
+            _, antenna = sweep_slot(SCHEDULE, r.time_s)
+            assert antenna == 0
+
+    def test_requires_a_schedule_for_the_reader(self):
+        plan = FaultPlan(faults=(DeadAntenna(reader="ghost", antenna=0),))
+        with pytest.raises(ConfigurationError, match="no TDM schedule"):
+            FaultInjector(plan, {"r": SCHEDULE})
+
+
+class TestPhaseGlitch:
+    def test_rotates_phase_preserves_magnitude(self):
+        reads = grid_reads(sweeps=1)
+        offset = math.pi / 3.0
+        plan = FaultPlan(
+            faults=(PhaseGlitch(reader="r", offset_rad=offset),)
+        )
+        out, injector = inject(plan, reads)
+        assert injector.stats["phase_glitched"] == len(reads)
+        for faulted, clean in zip(out, reads):
+            assert faulted.iq == pytest.approx(
+                clean.iq * cmath.exp(1j * offset)
+            )
+            assert abs(faulted.iq) == pytest.approx(abs(clean.iq))
+            assert faulted.time_s == clean.time_s
+
+
+class TestEpcMisread:
+    def test_probability_one_corrupts_everything_deterministically(self):
+        reads = grid_reads(sweeps=2)
+        plan = FaultPlan(faults=(EpcMisread(probability=1.0),), seed=5)
+        out1, _ = inject(plan, reads)
+        out2, _ = inject(plan, reads)
+        assert all(r.epc.startswith("MISREAD-") for r in out1)
+        # Same plan, same stream: identical garbage.
+        assert [r.epc for r in out1] == [r.epc for r in out2]
+
+    def test_probability_zero_is_clean(self):
+        reads = grid_reads(sweeps=1)
+        out, injector = inject(
+            FaultPlan(faults=(EpcMisread(probability=0.0),)), reads
+        )
+        assert injector.stats["misread"] == 0
+        assert [r.epc for r in out] == [r.epc for r in reads]
+
+
+class TestLateBurst:
+    def test_burst_is_delivered_after_newer_reads(self):
+        reads = grid_reads(sweeps=4)
+        burst = LateBurst(start_s=SWEEP, end_s=2 * SWEEP, delay_s=SWEEP)
+        out, injector = inject(FaultPlan(faults=(burst,)), reads)
+        assert injector.stats["delayed"] == len(SCHEDULE.slots)
+        assert len(out) == len(reads)  # nothing lost, only reordered
+        assert sorted(r.time_s for r in out) == [r.time_s for r in reads]
+        held_times = [r.time_s for r in reads if burst.covers(r.time_s)]
+        positions = {r.time_s: i for i, r in enumerate(out)}
+        # Every held read is delivered after every newer read that
+        # passed through while it was buffered.
+        newer_pos = max(
+            i
+            for i, r in enumerate(out)
+            if burst.end_s <= r.time_s < burst.release_s
+        )
+        for t in held_times:
+            assert positions[t] > newer_pos
+
+    def test_end_of_stream_flushes_held_reads(self):
+        reads = grid_reads(sweeps=2)
+        burst = LateBurst(start_s=SWEEP, end_s=2 * SWEEP, delay_s=10.0)
+        out, _ = inject(FaultPlan(faults=(burst,)), reads)
+        assert len(out) == len(reads)
+        # The held tail is flushed last, still carrying original times.
+        assert out[-1].time_s == max(r.time_s for r in reads)
+
+
+class TestOverloadBurst:
+    def test_duplicates_reads_in_interval(self):
+        reads = grid_reads(sweeps=2)
+        plan = FaultPlan(
+            faults=(OverloadBurst(start_s=0.0, end_s=SWEEP, copies=2),)
+        )
+        out, injector = inject(plan, reads)
+        assert injector.stats["duplicated"] == 2 * len(SCHEDULE.slots)
+        assert len(out) == len(reads) + 2 * len(SCHEDULE.slots)
+
+
+class TestChaosPlans:
+    @pytest.fixture(scope="class")
+    def scene(self):
+        from repro.sim.environments import hall_scene
+
+        return hall_scene(rng=3, num_readers=3, num_tags=4)
+
+    def test_scenario_names_are_stable(self):
+        assert CHAOS_SCENARIOS == (
+            "none",
+            "reader-loss",
+            "dead-antenna",
+            "phase-glitch",
+            "epc-misread",
+            "overload",
+            "late-burst",
+        )
+
+    def test_every_scenario_builds(self, scene):
+        for name in CHAOS_SCENARIOS:
+            plan = chaos_plan(name, scene, fixes=6)
+            assert plan.enabled == (name != "none")
+
+    def test_unknown_scenario_raises(self, scene):
+        with pytest.raises(ConfigurationError, match="unknown chaos scenario"):
+            chaos_plan("meteor-strike", scene, fixes=6)
+
+    def test_reader_loss_targets_first_reader_mid_run(self, scene):
+        plan = chaos_plan("reader-loss", scene, fixes=6)
+        (outage,) = plan.faults
+        window = fix_window_s(scene)
+        assert outage.reader == sorted(r.name for r in scene.readers)[0]
+        assert outage.start_s == pytest.approx(2 * window)
+        assert outage.end_s == pytest.approx(4 * window)
+
+    def test_scene_schedules_cover_every_reader(self, scene):
+        schedules = scene_schedules(scene)
+        assert set(schedules) == {r.name for r in scene.readers}

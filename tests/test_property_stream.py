@@ -1,0 +1,143 @@
+"""Property-based tests (hypothesis) for event-time window assembly.
+
+The assembler's contract is order-insensitivity within the lateness
+bound: however reads are duplicated, permuted, or interleaved across
+readers, the closed windows must carry identical snapshot matrices.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rfid.hub import AntennaHub
+from repro.stream.events import TagRead
+from repro.stream.window import WindowAssembler, WindowConfig
+
+SCHEDULE = AntennaHub(num_antennas=3, slot_duration_s=0.001).sweep_schedule()
+SWEEP = SCHEDULE.duration
+
+antenna_counts = st.integers(min_value=0, max_value=2)
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+def grid_reads(reader, sweeps, epc="tag", scale=1.0):
+    """One read per (sweep, antenna slot) on the exact TDM grid."""
+    return [
+        TagRead(
+            reader_name=reader,
+            epc=epc,
+            time_s=s * SWEEP + start,
+            iq=complex(scale * (s + 1), antenna),
+        )
+        for s in range(sweeps)
+        for antenna, start, _ in SCHEDULE.slots
+    ]
+
+
+def assembler(readers=("r",), sweeps_per_window=4):
+    """Single-window assembler: nothing closes before ``flush``."""
+    return WindowAssembler(
+        {name: SCHEDULE for name in readers},
+        WindowConfig(sweeps_per_window=sweeps_per_window),
+    )
+
+
+def run(asm, reads):
+    windows = []
+    for read in reads:
+        windows.extend(asm.push(read))
+    windows.extend(asm.flush())
+    return windows
+
+
+def canonical(windows):
+    """Windows as comparable values (matrices keyed by reader/tag)."""
+    return [
+        (
+            w.index,
+            w.start_s,
+            w.end_s,
+            w.sweeps,
+            w.torn_sweeps,
+            {
+                (reader, epc): matrix.tolist()
+                for reader, tags in w.measurement.snapshots.items()
+                for epc, matrix in tags.items()
+            },
+        )
+        for w in windows
+    ]
+
+
+class TestDuplicateReads:
+    @given(seeds, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=25, deadline=None)
+    def test_duplicates_leave_matrices_unchanged(self, seed, copies):
+        reads = grid_reads("r", sweeps=4)
+        rng = np.random.default_rng(seed)
+        duplicated = list(reads)
+        extras = [
+            reads[i]
+            for i in rng.integers(0, len(reads), size=copies)
+        ]
+        for extra in extras:
+            duplicated.insert(int(rng.integers(0, len(duplicated))), extra)
+
+        clean_asm, dup_asm = assembler(), assembler()
+        clean = canonical(run(clean_asm, reads))
+        dirty = canonical(run(dup_asm, sorted(duplicated, key=lambda r: r.time_s)))
+
+        assert dirty == clean
+        assert dup_asm.duplicate_reads == copies
+        assert clean_asm.duplicate_reads == 0
+
+
+class TestPermutedReads:
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_any_order_yields_the_same_windows(self, seed):
+        reads = grid_reads("r", sweeps=4)
+        shuffled = list(reads)
+        np.random.default_rng(seed).shuffle(shuffled)
+
+        in_order = canonical(run(assembler(), reads))
+        permuted = canonical(run(assembler(), shuffled))
+
+        assert permuted == in_order
+        assert in_order[0][3] == 4  # all four sweeps survived
+
+    @given(seeds, st.integers(min_value=2, max_value=4))
+    @settings(max_examples=25, deadline=None)
+    def test_multiple_tags_commute(self, seed, num_tags):
+        reads = [
+            read
+            for t in range(num_tags)
+            for read in grid_reads("r", sweeps=3, epc=f"tag-{t}", scale=t + 1.0)
+        ]
+        shuffled = list(reads)
+        np.random.default_rng(seed).shuffle(shuffled)
+
+        in_order = run(assembler(sweeps_per_window=3), reads)
+        permuted = run(assembler(sweeps_per_window=3), shuffled)
+
+        assert canonical(permuted) == canonical(in_order)
+        (window,) = in_order
+        assert len(window.measurement.snapshots["r"]) == num_tags
+
+
+class TestInterleavedReaders:
+    @given(seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_interleaving_equals_grouped_pushes(self, seed):
+        a = grid_reads("a", sweeps=4, scale=1.0)
+        b = grid_reads("b", sweeps=4, scale=10.0)
+
+        grouped = run(assembler(readers=("a", "b")), a + b)
+
+        interleaved = a + b
+        np.random.default_rng(seed).shuffle(interleaved)
+        mixed = run(assembler(readers=("a", "b")), interleaved)
+
+        assert canonical(mixed) == canonical(grouped)
+        (window,) = grouped
+        assert set(window.measurement.snapshots) == {"a", "b"}

@@ -246,6 +246,78 @@ class TestRL005MutableDefaultsAndBareExcept:
         ) == []
 
 
+class TestRL006SwallowedExceptions:
+    def test_flags_except_pass(self):
+        assert "RL006" in codes_of(
+            """
+            def load() -> object:
+                try:
+                    return open("x")
+                except OSError:
+                    pass
+            """
+        )
+
+    def test_flags_except_ellipsis(self):
+        assert "RL006" in codes_of(
+            """
+            def load() -> object:
+                try:
+                    return open("x")
+                except OSError:
+                    ...
+            """
+        )
+
+    def test_flags_docstring_only_body(self):
+        assert "RL006" in codes_of(
+            '''
+            def load() -> object:
+                try:
+                    return open("x")
+                except OSError:
+                    """Nothing to do."""
+            '''
+        )
+
+    def test_clean_when_handled(self):
+        assert codes_of(
+            """
+            def load() -> object:
+                try:
+                    return open("x")
+                except OSError:
+                    return None
+            """
+        ) == []
+
+    def test_clean_when_counted(self):
+        assert codes_of(
+            """
+            from repro import obs
+
+            def load() -> object:
+                try:
+                    return open("x")
+                except OSError:
+                    obs.count("io.failures")
+                return None
+            """
+        ) == []
+
+    def test_suppressed_with_disable_comment(self):
+        assert codes_of(
+            """
+            def load() -> object:
+                try:
+                    return open("x")
+                except OSError:  # reprolint: disable=RL006
+                    pass
+                return None
+            """
+        ) == []
+
+
 class TestEngine:
     def test_syntax_error_becomes_rl000_finding(self):
         findings = lint_source("def broken(:\n", FAKE_PATH)
@@ -282,7 +354,9 @@ class TestEngine:
         ) == []
 
     def test_every_rule_has_code_and_message(self):
-        assert set(RULES) == {"RL001", "RL002", "RL003", "RL004", "RL005"}
+        assert set(RULES) == {
+            "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+        }
         for code, message in RULES.items():
             assert code.startswith("RL")
             assert message

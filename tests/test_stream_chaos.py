@@ -1,0 +1,175 @@
+"""The acceptance chaos scenario: lose a reader mid-run, keep tracking.
+
+Three wall readers watch a static target.  A third of the way into the
+run the first reader goes silent for two fix windows; the health
+tracker must degrade it, quarantine it, renormalize the likelihood over
+the two survivors, and recover it once reads return.  A checkpoint
+taken mid-outage must resume bit-identically, and with fault injection
+disabled the CLI must stay byte-identical to a chaos-free run.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.core.pipeline import DWatch
+from repro.faults import FaultInjector, chaos_plan, scene_schedules
+from repro.sim.environments import hall_scene
+from repro.sim.measurement import MeasurementSession
+from repro.stream import (
+    HealthConfig,
+    StreamConfig,
+    StreamRunner,
+    checkpoint_state,
+    restore_state,
+)
+from repro.stream.synthetic import SyntheticStreamConfig, synthetic_reads
+
+FIXES = 6
+
+
+@pytest.fixture(scope="module")
+def tracking():
+    """Three readers, enough tags/antennas to locate through a loss."""
+    scene = hall_scene(rng=5, num_readers=3, num_tags=12, num_antennas=8)
+    dwatch = DWatch(scene, cell_size=0.1)
+    dwatch.calibrate(rng=6)
+    session = MeasurementSession(scene, rng=7)
+    dwatch.collect_baseline([session.capture() for _ in range(2)])
+    return scene, dwatch
+
+
+@pytest.fixture(scope="module")
+def chaos_run(tracking):
+    """Reads with the reader-loss outage injected, plus the plan."""
+    scene, _ = tracking
+    config = SyntheticStreamConfig(fixes=FIXES, moving=False)
+    clean = list(synthetic_reads(scene, config, rng=8))
+    plan = chaos_plan("reader-loss", scene, fixes=FIXES)
+    injector = FaultInjector(plan, scene_schedules(scene))
+    faulted = list(injector.inject(iter(clean)))
+    assert injector.stats["dropped_outage"] > 0
+    return faulted, plan
+
+
+def runner_for(dwatch):
+    return StreamRunner(
+        dwatch,
+        StreamConfig(health=HealthConfig(stale_windows=2, recovery_windows=2)),
+    )
+
+
+class TestReaderLoss:
+    @pytest.fixture(scope="class")
+    def fixes(self, tracking, chaos_run):
+        _, dwatch = tracking
+        reads, _ = chaos_run
+        runner = runner_for(dwatch)
+        out = list(runner.run(iter(reads)))
+        return out, runner
+
+    def test_fix_stream_survives_the_outage(self, fixes):
+        out, _ = fixes
+        assert [f.index for f in out] == list(range(FIXES))
+        # The target stays located before, during and after the loss.
+        assert all(f.position is not None for f in out)
+
+    def test_quality_ladder_matches_the_outage_timeline(self, fixes, chaos_run):
+        out, _ = fixes
+        _, plan = chaos_run
+        (outage,) = plan.faults
+        levels = [f.quality.level for f in out]
+        # Windows 0-1: full fleet.  Window 2: the victim missed one
+        # window (degraded, still counted as deployed).  Windows 3-4:
+        # two consecutive misses, quarantined and excluded.  Window 5:
+        # reads are back and the probation completes.
+        assert levels == [
+            "full", "full", "degraded", "degraded", "degraded", "full",
+        ]
+        assert out[2].quality.quarantined == ()
+        assert out[2].quality.active_readers == 2
+        assert out[2].quality.total_readers == 3
+        for fix in out[3:5]:
+            assert fix.quality.quarantined == (outage.reader,)
+            assert fix.quality.healthy_readers == 2
+        # Confidence tracks the healthy fraction as the ladder descends.
+        assert out[0].quality.confidence > out[2].quality.confidence
+        assert out[2].quality.confidence > out[3].quality.confidence
+        assert out[5].quality.confidence > out[4].quality.confidence
+
+    def test_health_records_one_quarantine_and_one_recovery(
+        self, fixes, chaos_run
+    ):
+        _, runner = fixes
+        _, plan = chaos_run
+        (outage,) = plan.faults
+        report = {r.name: r for r in runner.health.report()}
+        victim = report[outage.reader]
+        assert victim.quarantines == 1
+        assert victim.recoveries == 1
+        assert runner.health.state_of(outage.reader) == "healthy"
+        assert runner.health.quarantined() == frozenset()
+
+    def test_checkpoint_resume_is_bit_identical(self, tracking, chaos_run):
+        _, dwatch = tracking
+        reads, _ = chaos_run
+        half = len(reads) // 2
+
+        straight = runner_for(dwatch)
+        expected = list(straight.run(iter(reads)))
+
+        crashing = runner_for(dwatch)
+        head = []
+        for read in reads[:half]:
+            crashing.ingest(read)
+            head.extend(crashing.poll())
+        # Simulated crash: the state crosses a JSON byte boundary.
+        blob = json.dumps(checkpoint_state(crashing), sort_keys=True)
+
+        resumed = runner_for(dwatch)
+        restore_state(resumed, json.loads(blob))
+        tail = []
+        for read in reads[half:]:
+            resumed.ingest(read)
+            tail.extend(resumed.poll())
+        tail.extend(resumed.finish())
+
+        combined = head + tail
+        assert len(combined) == len(expected)
+        for a, b in zip(combined, expected):
+            assert a.index == b.index
+            assert a.time_s == b.time_s
+            assert a.position == b.position
+            assert a.predicted_only == b.predicted_only
+            assert a.quality == b.quality
+
+
+class TestCliByteIdentity:
+    """``--chaos none`` must not perturb the stream output at all."""
+
+    @pytest.fixture(scope="class")
+    def recording(self, tmp_path_factory):
+        from repro.cli import main
+
+        path = tmp_path_factory.mktemp("chaos") / "hall.jsonl"
+        args = [
+            "--quiet", "stream", "--environment", "hall",
+            "--seed", "7", "--fixes", "2", "--record", str(path),
+        ]
+        assert main(args) == 0
+        return path
+
+    def replay_stdout(self, capsys, recording, extra):
+        from repro.cli import main
+
+        capsys.readouterr()
+        assert main(
+            ["--quiet", "stream", "--replay", str(recording), *extra]
+        ) == 0
+        return hashlib.sha256(capsys.readouterr().out.encode()).hexdigest()
+
+    def test_chaos_none_is_byte_identical(self, capsys, recording):
+        plain = self.replay_stdout(capsys, recording, [])
+        disabled = self.replay_stdout(capsys, recording, ["--chaos", "none"])
+        assert plain == disabled

@@ -1,0 +1,151 @@
+"""Checkpoint/restore: format validation and faithful state transfer."""
+
+import json
+
+import pytest
+
+from repro.core.pipeline import DWatch
+from repro.errors import CheckpointError
+from repro.sim.environments import hall_scene
+from repro.sim.measurement import MeasurementSession
+from repro.stream import (
+    CHECKPOINT_KIND,
+    CHECKPOINT_SCHEMA,
+    StreamRunner,
+    checkpoint_state,
+    load_checkpoint,
+    restore_state,
+    save_checkpoint,
+)
+from repro.stream.synthetic import SyntheticStreamConfig, synthetic_reads
+
+
+@pytest.fixture(scope="module")
+def tracking():
+    scene = hall_scene(rng=5, num_tags=8, num_antennas=6)
+    dwatch = DWatch(scene, cell_size=0.1)
+    dwatch.calibrate(rng=6)
+    session = MeasurementSession(scene, rng=7)
+    dwatch.collect_baseline([session.capture() for _ in range(2)])
+    return scene, dwatch
+
+
+def mid_run_state(scene, dwatch, fixes=3):
+    """Run half a stream, checkpoint, and hand back the leftovers."""
+    config = SyntheticStreamConfig(fixes=fixes, moving=False)
+    reads = list(synthetic_reads(scene, config, rng=8))
+    half = len(reads) // 2
+    runner = StreamRunner(dwatch)
+    consumed = []
+    for read in reads[:half]:
+        runner.ingest(read)
+        consumed.extend(runner.poll())
+    return runner, checkpoint_state(runner), reads[half:], consumed
+
+
+class TestFormat:
+    def test_header_identifies_the_format(self, tracking):
+        scene, dwatch = tracking
+        _, state, _, _ = mid_run_state(scene, dwatch)
+        assert state["kind"] == CHECKPOINT_KIND
+        assert state["schema"] == CHECKPOINT_SCHEMA
+        assert state["fingerprint"]["readers"] == sorted(
+            r.name for r in scene.readers
+        )
+
+    def test_state_is_json_round_trippable(self, tracking):
+        scene, dwatch = tracking
+        _, state, _, _ = mid_run_state(scene, dwatch)
+        clone = json.loads(json.dumps(state))
+        assert clone == state
+
+    def test_wrong_kind_is_rejected(self, tracking):
+        scene, dwatch = tracking
+        runner, state, _, _ = mid_run_state(scene, dwatch)
+        state["kind"] = "pickle-of-doom"
+        with pytest.raises(CheckpointError, match="dwatch-checkpoint"):
+            restore_state(StreamRunner(dwatch), state)
+
+    def test_wrong_schema_is_rejected(self, tracking):
+        scene, dwatch = tracking
+        _, state, _, _ = mid_run_state(scene, dwatch)
+        state["schema"] = CHECKPOINT_SCHEMA + 1
+        with pytest.raises(CheckpointError, match="schema"):
+            restore_state(StreamRunner(dwatch), state)
+
+    def test_fingerprint_mismatch_is_rejected(self, tracking):
+        scene, dwatch = tracking
+        _, state, _, _ = mid_run_state(scene, dwatch)
+        state["fingerprint"]["readers"] = ["somebody", "else"]
+        with pytest.raises(CheckpointError, match="fingerprint"):
+            restore_state(StreamRunner(dwatch), state)
+
+    def test_malformed_body_is_rejected(self, tracking):
+        scene, dwatch = tracking
+        _, state, _, _ = mid_run_state(scene, dwatch)
+        state["bank"] = [{"nonsense": True}]
+        with pytest.raises(CheckpointError, match="malformed"):
+            restore_state(StreamRunner(dwatch), state)
+
+
+class TestRestore:
+    def test_resumed_runner_matches_uninterrupted_run(self, tracking):
+        scene, dwatch = tracking
+        config = SyntheticStreamConfig(fixes=3, moving=False)
+        reads = list(synthetic_reads(scene, config, rng=8))
+
+        straight = StreamRunner(dwatch)
+        expected = list(straight.run(iter(reads)))
+
+        runner, state, rest, head = mid_run_state(scene, dwatch)
+        resumed = StreamRunner(dwatch)
+        restore_state(resumed, state)
+        tail = []
+        for read in rest:
+            resumed.ingest(read)
+            tail.extend(resumed.poll())
+        tail.extend(resumed.finish())
+
+        combined = head + tail
+        assert len(combined) == len(expected)
+        for a, b in zip(combined, expected):
+            assert a.index == b.index
+            assert a.time_s == b.time_s
+            assert a.position == b.position
+            assert a.predicted_only == b.predicted_only
+            assert a.quality == b.quality
+
+    def test_checkpoint_of_restored_runner_is_bit_identical(self, tracking):
+        scene, dwatch = tracking
+        _, state, _, _ = mid_run_state(scene, dwatch)
+        resumed = StreamRunner(dwatch)
+        restore_state(resumed, state)
+        again = checkpoint_state(resumed)
+        assert json.dumps(again, sort_keys=True) == json.dumps(
+            state, sort_keys=True
+        )
+
+
+class TestFiles:
+    def test_save_load_round_trip(self, tracking, tmp_path):
+        scene, dwatch = tracking
+        runner, state, _, _ = mid_run_state(scene, dwatch)
+        path = tmp_path / "run.ckpt.json"
+        save_checkpoint(path, runner)
+        assert load_checkpoint(path) == state
+
+    def test_missing_file_raises_checkpoint_error(self, tmp_path):
+        with pytest.raises(CheckpointError, match="open"):
+            load_checkpoint(tmp_path / "absent.json")
+
+    def test_garbage_file_raises_checkpoint_error(self, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("not json {")
+        with pytest.raises(CheckpointError):
+            load_checkpoint(path)
+
+    def test_non_object_payload_raises(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(CheckpointError, match="object"):
+            load_checkpoint(path)

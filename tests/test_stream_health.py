@@ -1,0 +1,145 @@
+"""Per-reader health tracking: the quarantine/recovery state machine."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.stream.events import TagRead
+from repro.stream.health import (
+    HEALTH_STATES,
+    HealthConfig,
+    HealthTracker,
+    ReaderHealth,
+)
+
+
+def read(reader, t=0.0):
+    return TagRead(reader_name=reader, epc="tag", time_s=t, iq=1.0 + 0.0j)
+
+
+def tracker(stale=2, recovery=2, readers=("a", "b")):
+    return HealthTracker(
+        readers, HealthConfig(stale_windows=stale, recovery_windows=recovery)
+    )
+
+
+class TestConfig:
+    def test_defaults_are_valid(self):
+        config = HealthConfig()
+        assert config.stale_windows >= 1
+        assert config.recovery_windows >= 1
+
+    def test_rejects_non_positive_thresholds(self):
+        with pytest.raises(ConfigurationError, match="stale_windows"):
+            HealthConfig(stale_windows=0)
+        with pytest.raises(ConfigurationError, match="recovery_windows"):
+            HealthConfig(recovery_windows=0)
+
+    def test_needs_at_least_one_reader(self):
+        with pytest.raises(ConfigurationError, match="at least one reader"):
+            HealthTracker([])
+
+
+class TestReadAccounting:
+    def test_reads_and_staleness(self):
+        t = tracker()
+        t.note_read(read("a", 1.0))
+        t.note_read(read("a", 0.5))  # older read must not move last_read_s
+        t.observe_window(["a", "b"])
+        record = t.state_of("a")
+        assert record == "healthy"
+        report = {r.name: r for r in t.report()}
+        assert report["a"].reads == 2
+        assert report["a"].last_read_s == 1.0
+        assert report["a"].read_rate == 2.0
+
+    def test_unknown_reader_reads_are_ignored(self):
+        t = tracker()
+        t.note_read(read("ghost"))
+        assert all(r.reads == 0 for r in t.report())
+
+    def test_state_of_unknown_reader_raises(self):
+        with pytest.raises(ConfigurationError, match="unknown reader"):
+            tracker().state_of("ghost")
+
+
+class TestQuarantineLadder:
+    def test_one_miss_degrades_two_quarantine(self):
+        t = tracker(stale=2)
+        t.observe_window(["a", "b"])
+        assert t.state_of("a") == "healthy"
+        t.observe_window(["b"])
+        assert t.state_of("a") == "degraded"
+        assert t.quarantined() == frozenset()
+        t.observe_window(["b"])
+        assert t.state_of("a") == "quarantined"
+        assert t.quarantined() == frozenset({"a"})
+        assert t.healthy_count == 1
+        assert t.total == 2
+
+    def test_degraded_recovers_immediately(self):
+        t = tracker(stale=2)
+        t.observe_window(["b"])
+        assert t.state_of("a") == "degraded"
+        t.observe_window(["a", "b"])
+        assert t.state_of("a") == "healthy"
+
+    def test_recovery_needs_consecutive_windows(self):
+        t = tracker(stale=1, recovery=2)
+        t.observe_window(["b"])
+        assert t.state_of("a") == "quarantined"
+        # One good window is probation, not recovery.
+        t.observe_window(["a", "b"])
+        assert t.state_of("a") == "quarantined"
+        # A relapse resets the probation counter.
+        t.observe_window(["b"])
+        t.observe_window(["a", "b"])
+        assert t.state_of("a") == "quarantined"
+        t.observe_window(["a", "b"])
+        assert t.state_of("a") == "healthy"
+        report = {r.name: r for r in t.report()}
+        assert report["a"].recoveries == 1
+        assert report["a"].quarantines == 1
+
+    def test_violations_are_counted(self):
+        t = tracker()
+        t.note_violation("a", ValueError("boom"))
+        t.note_violation("ghost", ValueError("ignored"))
+        report = {r.name: r for r in t.report()}
+        assert report["a"].violations == 1
+
+
+class TestStateRoundTrip:
+    def test_export_import_round_trip(self):
+        t = tracker(stale=1)
+        t.note_read(read("a", 0.25))
+        t.observe_window(["b"])
+        state = t.export_state()
+        fresh = tracker(stale=1)
+        fresh.import_state(state)
+        assert fresh.export_state() == state
+        assert fresh.state_of("a") == "quarantined"
+
+    def test_import_rejects_unknown_reader(self):
+        state = {"ghost": tracker().export_state()["a"]}
+        with pytest.raises(ConfigurationError, match="unknown reader"):
+            tracker().import_state(state)
+
+    def test_import_rejects_unknown_state(self):
+        state = tracker().export_state()
+        state["a"]["state"] = "zombie"
+        with pytest.raises(ConfigurationError, match="unknown health state"):
+            tracker().import_state(state)
+
+    def test_import_rejects_non_numeric_counter(self):
+        state = tracker().export_state()
+        state["a"]["reads"] = "many"
+        with pytest.raises(ConfigurationError, match="expected a number"):
+            tracker().import_state(state)
+
+
+class TestInvariants:
+    def test_states_are_documented(self):
+        assert HEALTH_STATES == ("healthy", "degraded", "quarantined")
+
+    def test_fresh_record_has_zero_rate(self):
+        assert ReaderHealth(name="r").read_rate == 0.0

@@ -4,7 +4,7 @@ import threading
 
 import pytest
 
-from repro.errors import BackpressureError, ConfigurationError
+from repro.errors import BackpressureError, ConfigurationError, QueueClosedError
 from repro.stream.events import TagRead
 from repro.stream.queue import DROP_POLICIES, BoundedReadQueue
 
@@ -103,3 +103,64 @@ class TestBlock:
         assert accepted == [True]
         assert queue.get().epc == "tag-1"
         assert queue.stats.block_timeouts == 0
+
+
+class TestClose:
+    def test_put_on_closed_queue_raises_with_context(self):
+        queue = BoundedReadQueue(4)
+        queue.close()
+        assert queue.closed
+        with pytest.raises(QueueClosedError, match="closed") as excinfo:
+            queue.put(read(0, t=1.5))
+        # Structured context survives on the exception object.
+        assert excinfo.value.reader == "r"
+        assert excinfo.value.epc == "tag-0"
+        assert excinfo.value.time_s == 1.5
+
+    def test_close_is_idempotent_and_keeps_queued_reads(self):
+        queue = BoundedReadQueue(4)
+        queue.put(read(0))
+        queue.put(read(1))
+        queue.close()
+        queue.close()
+        assert [r.epc for r in queue.drain()] == ["tag-0", "tag-1"]
+
+    def test_close_wakes_a_blocked_producer(self):
+        # A producer stuck waiting for space must fail fast on close,
+        # not burn its full timeout against a consumer that is gone.
+        queue = BoundedReadQueue(1, policy="block", block_timeout_s=30.0)
+        queue.put(read(0))
+        outcome = []
+
+        def producer():
+            try:
+                queue.put(read(1))
+                outcome.append("accepted")
+            except QueueClosedError:
+                outcome.append("closed")
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        # Give the producer time to enter the wait before closing.
+        for _ in range(100):
+            if not thread.is_alive():
+                break
+            queue.close()
+            thread.join(timeout=0.05)
+            if not thread.is_alive():
+                break
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()
+        assert outcome == ["closed"]
+        assert queue.stats.block_timeouts == 0
+
+    def test_export_import_round_trip(self):
+        queue = BoundedReadQueue(4, policy="drop-newest")
+        for n in range(5):
+            queue.put(read(n))
+        items, stats = queue.export_state()
+        assert stats.dropped_newest == 1
+        other = BoundedReadQueue(4, policy="drop-newest")
+        other.import_state(items, stats)
+        assert other.stats == stats
+        assert [r.epc for r in other.drain()] == [r.epc for r in items]

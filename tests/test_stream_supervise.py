@@ -1,0 +1,101 @@
+"""Supervised ingest: retry policy and source resurrection."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SourceUnavailableError
+from repro.stream.events import TagRead
+from repro.stream.supervise import RetryPolicy, supervised_reads
+
+
+def read(n):
+    return TagRead(reader_name="r", epc=f"tag-{n}", time_s=float(n), iq=1j)
+
+
+class TestRetryPolicy:
+    def test_defaults_are_valid(self):
+        policy = RetryPolicy()
+        assert policy.max_retries >= 1
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            max_retries=10, base_delay_s=0.1, multiplier=2.0, max_delay_s=0.5
+        )
+        delays = [policy.delay_for(i) for i in range(5)]
+        assert delays == pytest.approx([0.1, 0.2, 0.4, 0.5, 0.5])
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigurationError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ConfigurationError, match="base_delay"):
+            RetryPolicy(base_delay_s=-0.1)
+        with pytest.raises(ConfigurationError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ConfigurationError, match="max_delay"):
+            RetryPolicy(base_delay_s=1.0, max_delay_s=0.5)
+        with pytest.raises(ConfigurationError, match="attempt"):
+            RetryPolicy().delay_for(-1)
+
+
+class FlakySource:
+    """Fails ``failures`` times (mid-stream), then delivers cleanly."""
+
+    def __init__(self, failures, error=SourceUnavailableError):
+        self.failures = failures
+        self.error = error
+        self.opens = 0
+
+    def __call__(self):
+        self.opens += 1
+        yield read(0)
+        if self.opens <= self.failures:
+            raise self.error("reader went away")
+        yield read(1)
+
+
+class TestSupervisedReads:
+    def test_clean_source_passes_through(self):
+        sleeps = []
+        out = list(
+            supervised_reads(
+                FlakySource(failures=0), sleep=sleeps.append
+            )
+        )
+        assert [r.epc for r in out] == ["tag-0", "tag-1"]
+        assert sleeps == []
+
+    def test_source_is_rebuilt_with_backoff(self):
+        source = FlakySource(failures=2)
+        policy = RetryPolicy(max_retries=3, base_delay_s=0.05, multiplier=2.0)
+        sleeps = []
+        out = list(supervised_reads(source, policy, sleep=sleeps.append))
+        assert source.opens == 3
+        # Each successful yield resets the attempt counter, so both
+        # retries slept the base delay.
+        assert sleeps == pytest.approx([0.05, 0.05])
+        assert [r.epc for r in out] == ["tag-0", "tag-0", "tag-0", "tag-1"]
+
+    def test_os_errors_are_retryable(self):
+        source = FlakySource(failures=1, error=ConnectionResetError)
+        out = list(supervised_reads(source, sleep=lambda _: None))
+        assert source.opens == 2
+        assert out[-1].epc == "tag-1"
+
+    def test_exhaustion_raises_source_unavailable(self):
+        def always_down():
+            raise SourceUnavailableError("cable cut")
+            yield  # pragma: no cover - makes this a generator factory
+
+        policy = RetryPolicy(max_retries=2)
+        sleeps = []
+        with pytest.raises(SourceUnavailableError, match="after 2 retries"):
+            list(supervised_reads(always_down, policy, sleep=sleeps.append))
+        assert len(sleeps) == 2
+
+    def test_attempts_reset_after_successful_reads(self):
+        # 3 single-failure outages with max_retries=1: survives because
+        # every delivered read resets the budget.
+        source = FlakySource(failures=3)
+        policy = RetryPolicy(max_retries=1, base_delay_s=0.01)
+        out = list(supervised_reads(source, policy, sleep=lambda _: None))
+        assert source.opens == 4
+        assert out[-1].epc == "tag-1"

@@ -17,6 +17,10 @@ RL003     No silent complex→real narrowing of covariance/eigen/subspace
 RL004     Public API functions under ``src/repro`` declare their return
           type.
 RL005     No mutable default arguments and no bare/broad ``except``.
+RL006     No silently swallowed exceptions: an ``except`` body that is
+          only ``pass``/``...`` hides failures the health layer should
+          count — handle, log or re-raise (or justify with a
+          ``# reprolint: disable=RL006`` comment).
 ========  ==============================================================
 
 Each rule reports a code and message; every report can be silenced on
@@ -38,6 +42,7 @@ RULES: Dict[str, str] = {
     "RL003": "silent complex-to-real narrowing of covariance/subspace math",
     "RL004": "public API function missing a return annotation",
     "RL005": "mutable default argument or bare/broad except",
+    "RL006": "exception swallowed by an empty except body",
 }
 
 #: numpy.random attributes that talk to the legacy global-state API (or
@@ -485,7 +490,35 @@ class _Checker(ast.NodeVisitor):
                         "specific exception type (repro.errors has the taxonomy)",
                     )
                     break
+        self._check_swallow(node)
         self.generic_visit(node)
+
+    # -- RL006: silently swallowed exceptions -------------------------
+
+    def _check_swallow(self, node: ast.ExceptHandler) -> None:
+        """Flag handlers whose whole body is ``pass``/``...`` (RL006)."""
+        meaningful = [
+            stmt
+            for stmt in node.body
+            if not (
+                isinstance(stmt, ast.Pass)
+                or (
+                    isinstance(stmt, ast.Expr)
+                    and isinstance(stmt.value, ast.Constant)
+                    and (
+                        stmt.value.value is Ellipsis
+                        or isinstance(stmt.value.value, str)
+                    )
+                )
+            )
+        ]
+        if not meaningful:
+            self._report(
+                node,
+                "RL006",
+                "exception silently swallowed ('except ...: pass'); handle "
+                "it, count it (repro.obs / health tracking) or re-raise",
+            )
 
 
 def run_rules(

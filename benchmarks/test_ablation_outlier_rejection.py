@@ -58,19 +58,19 @@ def _evidence(readers, target, rng):
         ]
         offsets = rng.uniform(math.radians(25), math.radians(60), size=2)
         offsets *= rng.choice([-1.0, 1.0], size=2)
-        for offset in offsets:
-            events.append(
-                BlockedPath(
-                    reader_name=name,
-                    epc="F" * 24,
-                    angle=float(
-                        np.clip(true_angle + offset, 0.05, math.pi - 0.05)
-                    ),
-                    relative_drop=0.99,
-                    baseline_power=1.0,
-                    online_power=0.01,
-                )
+        events.extend(
+            BlockedPath(
+                reader_name=name,
+                epc="F" * 24,
+                angle=float(
+                    np.clip(true_angle + offset, 0.05, math.pi - 0.05)
+                ),
+                relative_drop=0.99,
+                baseline_power=1.0,
+                online_power=0.01,
             )
+            for offset in offsets
+        )
         items.append(_evidence_from_events(name, events, grid))
     return items
 

@@ -1,72 +1,25 @@
 """Streaming engine throughput: fixes/sec and per-window latency tails.
 
-The paper's end-to-end budget is 0.5 s per fix (Section 8); a streaming
-engine must additionally keep its *tail* latency inside that budget,
-because a continuous tracker that stalls on one window drops the
-target.  The run streams a synthetic walk through the hall and reports
-sustained fixes/sec plus the p50/p99 of the ``latency.stream.window``
-histogram the runner's spans feed.
+The workload lives in :mod:`repro.experiments.throughput` so this gate
+and ``scripts/bench.py`` measure the same synthetic hall walk; here we
+just run it once and assert the paper's Section 8 budget holds.
 """
-
-import time
 
 from conftest import run_once
 
-from repro import obs
-from repro.core.pipeline import DWatch
-from repro.sim.environments import hall_scene
-from repro.sim.measurement import MeasurementSession
-from repro.stream import StreamRunner
-from repro.stream.synthetic import SyntheticStreamConfig, synthetic_reads
+from repro.experiments.throughput import run_stream_throughput
 
 FIXES = 6
 
 
-def stream_hall():
-    scene = hall_scene(rng=71, num_tags=10, num_antennas=6)
-    dwatch = DWatch(scene, cell_size=0.1)
-    dwatch.calibrate(rng=72)
-    session = MeasurementSession(scene, rng=73)
-    dwatch.collect_baseline([session.capture() for _ in range(2)])
-    runner = StreamRunner(dwatch)
-    reads = list(
-        synthetic_reads(scene, SyntheticStreamConfig(fixes=FIXES), rng=74)
-    )
-    with obs.observed() as state:
-        started = time.perf_counter()
-        fixes = list(runner.run(iter(reads)))
-        elapsed = time.perf_counter() - started
-    histogram = state.registry.histogram("latency.stream.window")
-    return {
-        "fixes": fixes,
-        "reads": len(reads),
-        "elapsed_s": elapsed,
-        "fixes_per_s": len(fixes) / elapsed,
-        "reads_per_s": len(reads) / elapsed,
-        "p50_ms": histogram.percentile(50.0),
-        "p99_ms": histogram.percentile(99.0),
-        "window_count": histogram.count,
-    }
-
-
 def test_stream_throughput(benchmark):
-    result = run_once(benchmark, stream_hall)
+    result = run_once(benchmark, run_stream_throughput, fixes=FIXES)
     print("\n=== Streaming throughput: synthetic hall walk ===")
-    print(
-        f"fixes {len(result['fixes'])}  reads {result['reads']}  "
-        f"elapsed {result['elapsed_s']:.2f}s"
-    )
-    print(
-        f"throughput {result['fixes_per_s']:.1f} fixes/s  "
-        f"({result['reads_per_s']:.0f} reads/s)"
-    )
-    print(
-        f"window latency p50 {result['p50_ms']:.1f} ms  "
-        f"p99 {result['p99_ms']:.1f} ms"
-    )
-    assert len(result["fixes"]) == FIXES
-    assert result["window_count"] == FIXES
+    for row in result.rows():
+        print(row)
+    assert len(result.fixes) == FIXES
+    assert result.window_count == FIXES
     # The paper's end-to-end budget: 0.5 s per fix, sustained (>=2
     # fixes/sec) and in the tail (p99 under the budget).
-    assert result["fixes_per_s"] >= 2.0
-    assert result["p99_ms"] < 500.0
+    assert result.fixes_per_s >= 2.0
+    assert result.p99_ms < 500.0

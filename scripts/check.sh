@@ -11,7 +11,8 @@
 #                   installed; the allowlist lives in pyproject.toml)
 #   4. smoke      — `repro stream` record -> replay round trip
 #   5. chaos      — single-reader-loss run must still emit fixes
-#   6. pytest     — the tier-1 suite
+#   6. bench      — scripts/bench.py --smoke writes BENCH_pipeline.json
+#   7. pytest     — the tier-1 suite
 
 set -euo pipefail
 
@@ -48,6 +49,12 @@ timeout 300 env PYTHONPATH=src python -m repro --quiet stream \
     --environment hall --seed 7 --fixes 3 --chaos reader-loss \
     | grep -q "^fix " \
     || { echo "chaos smoke produced no fixes"; exit 1; }
+
+echo "== bench smoke (perf harness writes BENCH_pipeline.json) =="
+# Validates the perf-trajectory harness end to end; the smoke workload
+# is sized for gating, not for recording speedups (run bench.py without
+# --smoke for those).
+PYTHONPATH=src python scripts/bench.py --smoke --output BENCH_pipeline.json
 
 echo "== tier-1 tests =="
 PYTHONPATH=src python -m pytest -x -q

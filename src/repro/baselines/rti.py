@@ -82,10 +82,10 @@ class RtiLocalizer:
         self._links: List[Tuple[str, str, Segment]] = []
         for reader in self.scene.readers:
             anchor = reader.array.centroid
-            for tag in self.scene.tags_in_range(reader):
-                self._links.append(
-                    (reader.name, tag.epc, Segment(tag.position, anchor))
-                )
+            self._links.extend(
+                (reader.name, tag.epc, Segment(tag.position, anchor))
+                for tag in self.scene.tags_in_range(reader)
+            )
         if not self._links:
             raise ConfigurationError("scene has no usable links")
         self._weights = self._build_weights()

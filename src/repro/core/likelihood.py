@@ -10,8 +10,9 @@ table) and the best cell is refined by hill climbing.
 from __future__ import annotations
 
 import math
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -22,6 +23,36 @@ from repro.errors import LocalizationError
 from repro.geometry.point import Point
 from repro.geometry.shapes import Rectangle
 from repro.rfid.reader import Reader
+from repro.utils.angles import TWO_PI
+
+
+#: Per-reader constants consumed by :func:`_fast_likelihood_at`: array
+#: centroid x/y, orientation, the drop spectrum's first/last axis and
+#: value samples, and its axis/values unpacked to plain float lists.
+_ReaderContext = Tuple[
+    float, float, float, float, float, float, float, List[float], List[float]
+]
+
+
+@dataclass(frozen=True)
+class _InterpTable:
+    """Precomputed ``np.interp`` geometry for one reader's grid angles.
+
+    ``np.interp(theta, xp, fp)`` over the (static) grid angles does a
+    per-cell binary search every fix.  Everything except the ``fp``
+    gathers depends only on ``theta`` and the spectrum's angle axis
+    ``xp`` — both fixed for the map's lifetime — so the bin indices,
+    in-bin offsets and boundary masks are computed once; a fix reduces
+    to two gathers and a fused multiply-add, bit-identical to
+    ``np.interp`` (same slope expression, same boundary semantics).
+    """
+
+    xp: np.ndarray  #: the angle axis the table was built against
+    j: np.ndarray  #: left bin index per cell, clipped to [0, G - 2]
+    dx: np.ndarray  #: ``theta - xp[j]`` per cell
+    dxp: np.ndarray  #: ``xp[j + 1] - xp[j]`` per cell
+    lo: np.ndarray  #: cells with ``theta < xp[0]``
+    hi: np.ndarray  #: cells with ``theta >= xp[-1]``
 
 
 @dataclass(frozen=True)
@@ -87,7 +118,23 @@ class LikelihoodMap:
         # "one interp per active reader" instead of recomputing
         # trigonometry over tens of thousands of cells.
         self._grid_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._mesh_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._angle_cache: Dict[str, np.ndarray] = {}
+        self._interp_cache: Dict[str, _InterpTable] = {}
+        # Single-entry point-evaluator context cache.  One fix probes
+        # the same evidence hundreds of times (hill climbs, candidate
+        # scoring); the context's float unpacking is paid once per
+        # evidence set.  Validity is object identity of the evidence
+        # items and their drop-value arrays — the stored strong
+        # references keep those ids stable.
+        self._context_cache: Optional[
+            Tuple[List[Tuple[AngleEvidence, np.ndarray]], List[_ReaderContext]]
+        ] = None
+        # Point-likelihood memo tied to the cached context: hill climbs
+        # from nearby modes probe overlapping lattice points, and the
+        # evaluator is a pure function of (x, y) once the context and
+        # floor are fixed.  Reset whenever the context is rebuilt.
+        self._point_memo: Dict[Tuple[float, float], float] = {}
 
     def grid_points(self) -> Tuple[np.ndarray, np.ndarray]:
         """The ``(xs, ys)`` axes of the evaluation grid."""
@@ -111,6 +158,32 @@ class LikelihoodMap:
             )
         return self._angle_cache[reader_name]
 
+    def _table_for(self, reader_name: str, xp: np.ndarray) -> _InterpTable:
+        """Cached interpolation table of one reader against axis ``xp``.
+
+        Keyed on the axis *content*: drop spectra are rebuilt every fix
+        but always sample the same angle grid, so the table survives;
+        an axis change (different grid in a test) rebuilds it.
+        """
+        entry = self._interp_cache.get(reader_name)
+        if entry is not None and np.array_equal(entry.xp, xp):
+            return entry
+        theta = self._angles_for(reader_name).ravel()
+        axis = xp.copy()
+        j = np.clip(
+            np.searchsorted(axis, theta, side="right") - 1, 0, axis.size - 2
+        )
+        entry = _InterpTable(
+            xp=axis,
+            j=j,
+            dx=theta - axis[j],
+            dxp=axis[j + 1] - axis[j],
+            lo=theta < axis[0],
+            hi=theta >= axis[-1],
+        )
+        self._interp_cache[reader_name] = entry
+        return entry
+
     def evaluate(
         self, evidence: Sequence[AngleEvidence]
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -130,9 +203,17 @@ class LikelihoodMap:
         ):
             for item in active:
                 theta = self._angles_for(item.reader_name)
-                factor = np.interp(
-                    theta.ravel(), item.drop.angles, item.drop.values
-                )
+                # Precomputed-table equivalent of
+                # np.interp(theta.ravel(), item.drop.angles, item.drop.values):
+                # same slope expression and boundary semantics, so the
+                # factors are bit-identical while the per-fix work drops
+                # to two gathers and a fused multiply-add.
+                table = self._table_for(item.reader_name, item.drop.angles)
+                fp = item.drop.values
+                left = fp[table.j]
+                factor = (fp[table.j + 1] - left) / table.dxp * table.dx + left
+                factor[table.hi] = fp[-1]
+                factor[table.lo] = fp[0]
                 likelihood *= self.floor + factor.reshape(theta.shape)
             obs.count("grid.cells_evaluated", likelihood.size * len(active))
         return xs, ys, likelihood
@@ -198,7 +279,10 @@ class LikelihoodMap:
     ) -> List[LocationEstimate]:
         xs, ys, likelihood = self.evaluate(evidence)
         working = likelihood.copy()
-        grid_x, grid_y = np.meshgrid(xs, ys)
+        if self._mesh_cache is None:
+            grid_x, grid_y = np.meshgrid(xs, ys)
+            self._mesh_cache = (grid_x, grid_y)
+        grid_x, grid_y = self._mesh_cache
         modes: List[LocationEstimate] = []
         for _ in range(max_modes):
             flat_index = int(np.argmax(working))
@@ -252,6 +336,20 @@ class LikelihoodMap:
             position=position, likelihood=value, per_reader_angles=angles
         )
 
+    #: Bearing quantum (radians) for ray deduplication.  Far below the
+    #: 0.5-degree spectrum grid that blocked angles snap to, so only
+    #: genuinely identical rays merge — several tags confirming the
+    #: same blocked path produce events at the *same* grid angle, and
+    #: each duplicate ray used to re-cross every other ray in the O(n^2)
+    #: loop without ever adding a new candidate (identical crossings are
+    #: discarded by the consensus coverage check anyway).
+    _RAY_BEARING_QUANTUM = 1e-6
+
+    #: Upper bound on rays entering the pairwise crossing loop; beyond
+    #: this the O(n^2) cost outweighs any candidate a further (mostly
+    #: redundant) ray could contribute.
+    _MAX_RAYS = 64
+
     def ray_intersections(
         self, evidence: Sequence[AngleEvidence], min_range: float = 0.3
     ) -> List[Point]:
@@ -264,8 +362,13 @@ class LikelihoodMap:
         candidates of the paper's Section 4.3, and they guarantee the
         true position enters the consensus scoring even when ghost
         modes dominate the likelihood surface.
+
+        Rays are deduplicated by (reader, quantized bearing) and capped
+        at ``_MAX_RAYS`` before the pairwise loop; see the class
+        attributes for why neither changes the candidate set.
         """
         rays: List[Tuple[str, Point, Point]] = []  # (reader, origin, direction)
+        seen: set = set()
         for item in evidence:
             if not item.has_detection:
                 continue
@@ -274,10 +377,20 @@ class LikelihoodMap:
             for event in item.events:
                 for sign in (1.0, -1.0):
                     bearing = reader.array.orientation + sign * event.angle
+                    key = (
+                        item.reader_name,
+                        round(bearing / self._RAY_BEARING_QUANTUM),
+                    )
+                    if key in seen:
+                        continue
+                    seen.add(key)
                     direction = Point(math.cos(bearing), math.sin(bearing))
                     probe = origin + direction * min_range
                     if self.room.contains(probe):
                         rays.append((item.reader_name, origin, direction))
+        if len(rays) > self._MAX_RAYS:
+            obs.count("grid.rays_capped", len(rays) - self._MAX_RAYS)
+            rays = rays[: self._MAX_RAYS]
         intersections: List[Point] = []
         for i, (name_a, origin_a, dir_a) in enumerate(rays):
             for name_b, origin_b, dir_b in rays[i + 1 :]:
@@ -293,17 +406,71 @@ class LikelihoodMap:
     def likelihood_at(
         self, position: Point, evidence: Sequence[AngleEvidence]
     ) -> float:
-        """Point evaluation of the Eq. 15 product."""
-        value = 1.0
-        used_any = False
+        """Point evaluation of the Eq. 15 product.
+
+        Runs on the cached-context scalar evaluator — bit-identical to
+        the original per-reader ``angle_to``/``value_at`` chain (see
+        :func:`_fast_likelihood_at`) with the array unpacking amortised
+        across the many point probes of one fix.
+        """
+        context = self._context_for(evidence)
+        if not context:
+            return 0.0
+        return _fast_likelihood_at(position.x, position.y, context, self.floor)
+
+    def _context_for(
+        self, evidence: Sequence[AngleEvidence]
+    ) -> List[_ReaderContext]:
+        """The (cached) fast-evaluator context of an evidence set."""
+        active = [e for e in evidence if e.has_detection]
+        cached = self._context_cache
+        if cached is not None:
+            refs, context = cached
+            if len(refs) == len(active) and all(
+                ref is item and values is item.drop.values
+                for (ref, values), item in zip(refs, active)
+            ):
+                return context
+        context = self._point_context(evidence)
+        self._context_cache = (
+            [(item, item.drop.values) for item in active],
+            context,
+        )
+        self._point_memo = {}
+        return context
+
+    def _point_context(
+        self, evidence: Sequence[AngleEvidence]
+    ) -> List[_ReaderContext]:
+        """Per-reader constants for the fast point evaluator.
+
+        One entry per detecting reader, in evidence order (the order
+        :meth:`likelihood_at` multiplies factors in): array centroid,
+        orientation, and the drop spectrum's axis/values unpacked to
+        plain floats so the per-candidate cost is pure scalar math.
+        """
+        context = []
         for item in evidence:
             if not item.has_detection:
                 continue
-            used_any = True
             reader = self._reader_for(item.reader_name)
-            theta = reader.array.angle_to(position)
-            value *= self.floor + item.drop.value_at(theta)
-        return value if used_any else 0.0
+            centroid = reader.array.centroid
+            xp = item.drop.angles
+            fp = item.drop.values
+            context.append(
+                (
+                    centroid.x,
+                    centroid.y,
+                    reader.array.orientation,
+                    float(xp[0]),
+                    float(xp[-1]),
+                    float(fp[0]),
+                    float(fp[-1]),
+                    xp.tolist(),
+                    fp.tolist(),
+                )
+            )
+        return context
 
     def _hill_climb(
         self,
@@ -312,33 +479,99 @@ class LikelihoodMap:
         evidence: Sequence[AngleEvidence],
         max_iterations: int = 64,
     ) -> Tuple[Point, float]:
-        """Greedy coordinate refinement with a shrinking step."""
-        current, current_value = start, start_value
+        """Greedy coordinate refinement with a shrinking step.
+
+        Runs on :func:`_fast_likelihood_at` — a scalar-math replica of
+        :meth:`likelihood_at` (same atan2/wrap/interp bit patterns) —
+        because the greedy update is inherently sequential: each
+        accepted candidate changes the next probe, so the 8 directions
+        cannot be batched, only made cheap.
+        """
+        context = self._context_for(evidence)
+        floor = self.floor
+        room = self.room
+        min_x, max_x = room.min_x, room.max_x
+        min_y, max_y = room.min_y, room.max_y
+        current_x, current_y = start.x, start.y
+        current_value = start_value
         step = self.cell_size
         steps = 0
+        # Memoized pure-point evaluations: successive iterations (and
+        # climbs from other modes converging to the same attractor)
+        # re-probe overlapping points.
+        memo = self._point_memo
+        memo_get = memo.get
         for _ in range(max_iterations):
             steps += 1
             improved = False
             for dx, dy in ((1, 0), (-1, 0), (0, 1), (0, -1), (1, 1), (-1, -1), (1, -1), (-1, 1)):
-                candidate = self.room.clamp(
-                    Point(current.x + dx * step, current.y + dy * step)
-                )
-                value = self.likelihood_at(candidate, evidence)
+                candidate_x = min(max_x, max(min_x, current_x + dx * step))
+                candidate_y = min(max_y, max(min_y, current_y + dy * step))
+                point_key = (candidate_x, candidate_y)
+                value = memo_get(point_key)
+                if value is None:
+                    value = _fast_likelihood_at(
+                        candidate_x, candidate_y, context, floor
+                    )
+                    memo[point_key] = value
                 if value > current_value:
-                    current, current_value = candidate, value
+                    current_x, current_y = candidate_x, candidate_y
+                    current_value = value
                     improved = True
             if not improved:
                 step /= 2.0
                 if step < self.cell_size / 8.0:
                     break
         obs.count("grid.hill_climb_steps", steps)
-        return current, current_value
+        return Point(current_x, current_y), current_value
 
     def _reader_for(self, name: str) -> Reader:
         try:
             return self.readers[name]
         except KeyError as exc:
             raise LocalizationError(f"evidence references unknown reader {name!r}") from exc
+
+
+def _fast_likelihood_at(
+    x: float,
+    y: float,
+    context: Sequence[_ReaderContext],
+    floor: float,
+    # Default-bound locals: global/attribute lookups are a measurable
+    # fraction of this function at thousands of calls per fix.
+    _atan2: Callable[[float, float], float] = math.atan2,
+    _pi: float = math.pi,
+    _two_pi: float = TWO_PI,
+    _bisect: Callable[[List[float], float], int] = bisect_right,
+) -> float:
+    """Scalar-math replica of :meth:`LikelihoodMap.likelihood_at`.
+
+    Reproduces, bit for bit, ``abs(wrap_to_pi(atan2(...) - orientation))``
+    (``math.atan2`` and Python ``%`` match the scalar paths of
+    :meth:`Point.angle_to` / :func:`repro.utils.angles.wrap_to_pi`
+    exactly — note ``np.arctan2`` would *not*) followed by
+    ``np.interp``'s slope expression and boundary rules, without any
+    NumPy dispatch.  The hill climb calls this thousands of times per
+    fix.
+    """
+    value = 1.0
+    for cx, cy, orientation, xp_first, xp_last, fp_first, fp_last, xs, fs in context:
+        bearing = _atan2(y - cy, x - cx)
+        wrapped = (bearing - orientation + _pi) % _two_pi - _pi
+        if wrapped == -_pi:
+            wrapped = _pi
+        theta = abs(wrapped)
+        if theta >= xp_last:
+            factor = fp_last
+        elif theta < xp_first:
+            factor = fp_first
+        else:
+            k = _bisect(xs, theta) - 1
+            x0 = xs[k]
+            f0 = fs[k]
+            factor = (fs[k + 1] - f0) / (xs[k + 1] - x0) * (theta - x0) + f0
+        value *= floor + factor
+    return value
 
 
 def _ray_crossing(

@@ -159,11 +159,11 @@ class MultiTargetLocalizer:
         self, evidence: Sequence[AngleEvidence]
     ) -> Dict[Tuple[str, int], float]:
         """Weight of every event, keyed by (reader, event index)."""
-        weights: Dict[Tuple[str, int], float] = {}
-        for item in evidence:
-            for index, event in enumerate(item.events):
-                weights[(item.reader_name, index)] = event.weight
-        return weights
+        return {
+            (item.reader_name, index): event.weight
+            for item in evidence
+            for index, event in enumerate(item.events)
+        }
 
     def _explained_events(
         self,

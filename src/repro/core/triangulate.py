@@ -146,13 +146,13 @@ def bearings_from_evidence(
         seen = estimate.per_reader_angles.get(item.reader_name)
         if seen is None:
             continue
-        for event in item.events:
-            if abs(event.angle - seen) <= tolerance:
-                bearings.append(
-                    Bearing(
-                        array=reader.array,
-                        angle=event.angle,
-                        weight=event.weight,
-                    )
-                )
+        bearings.extend(
+            Bearing(
+                array=reader.array,
+                angle=event.angle,
+                weight=event.weight,
+            )
+            for event in item.events
+            if abs(event.angle - seen) <= tolerance
+        )
     return bearings

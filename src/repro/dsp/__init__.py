@@ -24,6 +24,16 @@ from repro.dsp.music import (
 )
 from repro.dsp.bartlett import bartlett_power_spectrum, bartlett_power_at
 from repro.dsp.pmusic import PMusicEstimator, normalize_peaks
+from repro.dsp.batch import (
+    BatchPMusicConfig,
+    batched_eigendecompose,
+    batched_estimate_num_sources,
+    batched_pmusic_from_covariances,
+    batched_pmusic_spectra,
+    batched_sample_covariance,
+    batched_smoothed_covariance,
+    config_from_estimator,
+)
 from repro.dsp.doppler import (
     DopplerEstimate,
     estimate_doppler,
@@ -55,6 +65,14 @@ __all__ = [
     "bartlett_power_at",
     "PMusicEstimator",
     "normalize_peaks",
+    "BatchPMusicConfig",
+    "batched_eigendecompose",
+    "batched_estimate_num_sources",
+    "batched_pmusic_from_covariances",
+    "batched_pmusic_spectra",
+    "batched_sample_covariance",
+    "batched_smoothed_covariance",
+    "config_from_estimator",
     "DopplerEstimate",
     "estimate_doppler",
     "phase_stream",

@@ -54,6 +54,14 @@ def estimate_num_sources(
     values = np.asarray(eigenvalues, dtype=np.float64)
     if values.size == 0:
         raise EstimationError("no eigenvalues supplied")
+    if values.size == 1:
+        # Without this guard a single-element array would count one
+        # source and send noise_subspace into the baffling
+        # "num_sources must be in (0, 1)" failure.
+        raise EstimationError(
+            "a single-element array leaves no noise subspace; "
+            "MUSIC needs at least two antennas"
+        )
     peak = values.max()
     if peak <= 0.0:
         return 0

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Sequence
 
 import numpy as np
@@ -12,11 +13,24 @@ from repro.errors import EstimationError
 from repro.utils.arrays import FloatArray
 
 
+@lru_cache(maxsize=8)
+def _memoized_angle_grid(num_points: int) -> FloatArray:
+    grid = np.linspace(0.0, math.pi, num_points)
+    grid.setflags(write=False)
+    return grid
+
+
 def default_angle_grid(num_points: int = 361) -> FloatArray:
-    """The scan grid ``[0, pi]`` used by MUSIC and P-MUSIC searches."""
+    """The scan grid ``[0, pi]`` used by MUSIC and P-MUSIC searches.
+
+    Memoized: repeated calls return the *same* read-only array object,
+    so identity/fingerprint-keyed caches downstream (the steering-matrix
+    cache, the likelihood interpolation tables) hit instead of
+    re-deriving.  Copy before mutating.
+    """
     if num_points < 2:
         raise EstimationError("an angle grid needs at least two points")
-    return np.linspace(0.0, math.pi, num_points)
+    return _memoized_angle_grid(num_points)
 
 
 @dataclass(frozen=True)
@@ -104,3 +118,20 @@ def spectrum_from_samples(
 ) -> AngularSpectrum:
     """Convenience constructor from plain sequences."""
     return AngularSpectrum(np.asarray(angles, np.float64), np.asarray(values, np.float64))
+
+
+def spectrum_from_validated(
+    angles: FloatArray, values: FloatArray
+) -> AngularSpectrum:
+    """:class:`AngularSpectrum` without axis re-validation.
+
+    For batch hot paths that construct many spectra against one
+    already-validated axis (the memoized scan grid, or a copy of it):
+    the caller guarantees ``angles`` is a strictly increasing 1-D
+    float64 array and ``values`` a float64 array of the same shape.
+    The result is indistinguishable from the checked constructor.
+    """
+    spectrum = object.__new__(AngularSpectrum)
+    spectrum.angles = angles
+    spectrum.values = values
+    return spectrum

@@ -32,8 +32,10 @@ class Fig03Result:
     def rows(self) -> List[str]:
         """The figure's series: one offset per RF port index."""
         lines = ["port  offset_deg"]
-        for index, offset in enumerate(self.offsets_deg, start=1):
-            lines.append(f"{index:4d}  {offset:+9.1f}")
+        lines.extend(
+            f"{index:4d}  {offset:+9.1f}"
+            for index, offset in enumerate(self.offsets_deg, start=1)
+        )
         return lines
 
 

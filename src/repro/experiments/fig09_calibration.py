@@ -36,8 +36,12 @@ class Fig09Result:
     def rows(self) -> List[str]:
         """The figure's two series."""
         lines = ["tags  dwatch_rad  phaser_rad"]
-        for n, dw, ph in zip(self.num_tags, self.dwatch_error_rad, self.phaser_error_rad):
-            lines.append(f"{n:4d}  {dw:10.3f}  {ph:10.3f}")
+        lines.extend(
+            f"{n:4d}  {dw:10.3f}  {ph:10.3f}"
+            for n, dw, ph in zip(
+                self.num_tags, self.dwatch_error_rad, self.phaser_error_rad
+            )
+        )
         return lines
 
 

@@ -38,11 +38,11 @@ class Fig13Result:
     def rows(self) -> List[str]:
         """The figure's bar groups, one row per tag-array distance."""
         lines = ["dist_m  P-MUSIC(one)  MUSIC(one)  P-MUSIC(all)  MUSIC(all)"]
-        for i, dist in enumerate(self.distances_m):
-            lines.append(
-                f"{dist:6.1f}  {self.pmusic_one[i]:12.0%}  {self.music_one[i]:10.0%}"
-                f"  {self.pmusic_all[i]:12.0%}  {self.music_all[i]:10.0%}"
-            )
+        lines.extend(
+            f"{dist:6.1f}  {self.pmusic_one[i]:12.0%}  {self.music_one[i]:10.0%}"
+            f"  {self.pmusic_all[i]:12.0%}  {self.music_all[i]:10.0%}"
+            for i, dist in enumerate(self.distances_m)
+        )
         return lines
 
 

@@ -27,10 +27,12 @@ class Fig16Result:
     def rows(self) -> List[str]:
         """The figure's two series over the reflector sweep."""
         lines = ["reflectors  coverage  mean_error_cm"]
-        for count, cov, err in zip(
-            self.reflector_counts, self.coverage, self.mean_error_cm
-        ):
-            lines.append(f"{count:10d}  {cov:8.0%}  {err:13.1f}")
+        lines.extend(
+            f"{count:10d}  {cov:8.0%}  {err:13.1f}"
+            for count, cov, err in zip(
+                self.reflector_counts, self.coverage, self.mean_error_cm
+            )
+        )
         return lines
 
 

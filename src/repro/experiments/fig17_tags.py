@@ -27,8 +27,12 @@ class Fig17Result:
     def rows(self) -> List[str]:
         """The figure's two series over the tag sweep."""
         lines = ["tags  coverage  mean_error_cm"]
-        for count, cov, err in zip(self.tag_counts, self.coverage, self.mean_error_cm):
-            lines.append(f"{count:4d}  {cov:8.0%}  {err:13.1f}")
+        lines.extend(
+            f"{count:4d}  {cov:8.0%}  {err:13.1f}"
+            for count, cov, err in zip(
+                self.tag_counts, self.coverage, self.mean_error_cm
+            )
+        )
         return lines
 
 

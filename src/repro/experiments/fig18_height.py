@@ -28,10 +28,12 @@ class Fig18Result:
     def rows(self) -> List[str]:
         """The figure's series over the height sweep."""
         lines = ["height_diff_cm  mean_error_cm  coverage"]
-        for diff, err, cov in zip(
-            self.height_difference_cm, self.mean_error_cm, self.coverage
-        ):
-            lines.append(f"{diff:14.0f}  {err:13.1f}  {cov:8.0%}")
+        lines.extend(
+            f"{diff:14.0f}  {err:13.1f}  {cov:8.0%}"
+            for diff, err, cov in zip(
+                self.height_difference_cm, self.mean_error_cm, self.coverage
+            )
+        )
         return lines
 
 

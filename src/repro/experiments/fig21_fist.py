@@ -77,10 +77,12 @@ class Fig21Result:
     def rows(self) -> List[str]:
         """Median tracking error per tag budget (Fig. 22's series)."""
         lines = ["tags  median_error_cm  fix_rate"]
-        for count, err, cov in zip(
-            self.tag_counts, self.median_error_cm, self.coverage
-        ):
-            lines.append(f"{count:4d}  {err:15.1f}  {cov:8.0%}")
+        lines.extend(
+            f"{count:4d}  {err:15.1f}  {cov:8.0%}"
+            for count, err, cov in zip(
+                self.tag_counts, self.median_error_cm, self.coverage
+            )
+        )
         return lines
 
 

@@ -23,10 +23,8 @@ from repro.experiments.harness import DeploymentHarness
 from repro.geometry.point import Point
 from repro.sim.environments import hall_scene
 from repro.sim.target import human_target
+from repro.obs.metrics import latency_stage_stats
 from repro.utils.rng import RngLike, ensure_rng
-
-#: Prefix of the per-span latency histograms in a metrics snapshot.
-_LATENCY_PREFIX = "latency."
 
 
 @dataclass
@@ -73,24 +71,6 @@ class LatencyResult:
         return rows
 
 
-def _stage_stats(records: List[dict]) -> Dict[str, Dict[str, float]]:
-    """Pull the ``latency.*`` histograms out of a metrics snapshot."""
-    stages: Dict[str, Dict[str, float]] = {}
-    for record in records:
-        name = record.get("name", "")
-        if record.get("type") != "histogram" or not name.startswith(
-            _LATENCY_PREFIX
-        ):
-            continue
-        stages[name[len(_LATENCY_PREFIX):]] = {
-            "count": float(record["count"]),
-            "mean": float(record["mean"]),
-            "p90": float(record["p90"]),
-            "max": float(record["max"]),
-        }
-    return stages
-
-
 def run_latency(
     fixes: int = 10,
     rng: RngLike = None,
@@ -114,5 +94,5 @@ def run_latency(
             start = time.perf_counter()
             harness.dwatch.localize(capture)
             times.append(time.perf_counter() - start)
-        stage_ms = _stage_stats(state.registry.snapshot())
+        stage_ms = latency_stage_stats(state.registry.snapshot())
     return LatencyResult(times_s=times, stage_ms=stage_ms)

@@ -28,6 +28,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    latency_stage_stats,
     load_snapshot_jsonl,
     render_snapshot,
 )
@@ -69,6 +70,7 @@ __all__ = [
     "get_logger",
     "get_registry",
     "is_enabled",
+    "latency_stage_stats",
     "load_snapshot_jsonl",
     "load_trace_jsonl",
     "observe",

@@ -144,8 +144,9 @@ class Histogram:
             "min": self.min_value if self.min_value is not None else 0.0,
             "max": self.max_value if self.max_value is not None else 0.0,
         }
-        for q in HISTOGRAM_PERCENTILES:
-            record[f"p{q:g}"] = self.percentile(q)
+        record.update(
+            {f"p{q:g}": self.percentile(q) for q in HISTOGRAM_PERCENTILES}
+        )
         return record
 
 
@@ -226,6 +227,37 @@ def load_snapshot_jsonl(path: str) -> List[dict]:
     return records
 
 
+#: Prefix of the per-span latency histograms in a metrics snapshot.
+LATENCY_PREFIX = "latency."
+
+
+def latency_stage_stats(
+    records: Iterable[dict],
+) -> Dict[str, Dict[str, float]]:
+    """Per-stage latency statistics from a metrics snapshot.
+
+    Collects the ``latency.*`` histograms that spans feed automatically
+    and strips the prefix, returning
+    ``{stage: {"count", "mean", "p90", "max"}}`` in the span's native
+    milliseconds.  Shared by the latency experiment, the throughput
+    runner, and ``scripts/bench.py``.
+    """
+    stages: Dict[str, Dict[str, float]] = {}
+    for record in records:
+        name = str(record.get("name", ""))
+        if record.get("type") != "histogram" or not name.startswith(
+            LATENCY_PREFIX
+        ):
+            continue
+        stages[name[len(LATENCY_PREFIX):]] = {
+            "count": float(record["count"]),
+            "mean": float(record["mean"]),
+            "p90": float(record["p90"]),
+            "max": float(record["max"]),
+        }
+    return stages
+
+
 def render_snapshot(
     records: Iterable[dict], prefix: Optional[str] = None
 ) -> List[str]:
@@ -258,16 +290,16 @@ def render_snapshot(
             f"{'p90':>10} {'p99':>10} {'max':>10}"
         )
         lines.append(header)
-        for record in histograms:
-            lines.append(
-                f"{record['name']:<{width}}  "
-                f"{record.get('count', 0):>7} "
-                f"{record.get('mean', 0.0):>10.3f} "
-                f"{record.get('p50', 0.0):>10.3f} "
-                f"{record.get('p90', 0.0):>10.3f} "
-                f"{record.get('p99', 0.0):>10.3f} "
-                f"{record.get('max', 0.0):>10.3f}"
-            )
+        lines.extend(
+            f"{record['name']:<{width}}  "
+            f"{record.get('count', 0):>7} "
+            f"{record.get('mean', 0.0):>10.3f} "
+            f"{record.get('p50', 0.0):>10.3f} "
+            f"{record.get('p90', 0.0):>10.3f} "
+            f"{record.get('p99', 0.0):>10.3f} "
+            f"{record.get('max', 0.0):>10.3f}"
+            for record in histograms
+        )
     if not lines:
         lines.append("(no metrics recorded)")
     return lines

@@ -55,12 +55,12 @@ class CoverageMap:
 
     def deadzones(self) -> List[Point]:
         """Grid points invisible to every reader."""
-        points = []
-        for iy, y in enumerate(self.ys):
-            for ix, x in enumerate(self.xs):
-                if self.reader_counts[iy, ix] == 0:
-                    points.append(Point(float(x), float(y)))
-        return points
+        return [
+            Point(float(x), float(y))
+            for iy, y in enumerate(self.ys)
+            for ix, x in enumerate(self.xs)
+            if self.reader_counts[iy, ix] == 0
+        ]
 
     def ascii_map(self) -> List[str]:
         """Rows ('#' = localizable, '+' = detectable, '.' = deadzone),

@@ -232,12 +232,15 @@ def table_scene(
         ),
     ]
     # Tags on the top and left edges only.
-    positions = []
     per_side = num_tags - num_tags // 2
-    for index in range(per_side):
-        positions.append(Point(0.05 + 1.9 * (index + 0.5) / per_side, 2.0))
-    for index in range(num_tags // 2):
-        positions.append(Point(0.0, 0.05 + 1.9 * (index + 0.5) / (num_tags // 2)))
+    positions = [
+        Point(0.05 + 1.9 * (index + 0.5) / per_side, 2.0)
+        for index in range(per_side)
+    ]
+    positions.extend(
+        Point(0.0, 0.05 + 1.9 * (index + 0.5) / (num_tags // 2))
+        for index in range(num_tags // 2)
+    )
     epc_rng = derive_stream(generator, _EPC_STREAM_KEY)
     tags = [
         Tag(position=p, epc=random_epc(epc_rng), height_m=1.25)

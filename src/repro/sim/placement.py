@@ -53,11 +53,11 @@ class PlacementResult:
     def rows(self) -> List[str]:
         """One row per placed tag."""
         lines = ["tag  position          coverage  gain"]
-        for index, step in enumerate(self.steps, start=1):
-            lines.append(
-                f"{index:3d}  ({step.position.x:5.2f}, {step.position.y:5.2f})"
-                f"  {step.coverage_after:8.0%}  {step.gain:+5.1%}"
-            )
+        lines.extend(
+            f"{index:3d}  ({step.position.x:5.2f}, {step.position.y:5.2f})"
+            f"  {step.coverage_after:8.0%}  {step.gain:+5.1%}"
+            for index, step in enumerate(self.steps, start=1)
+        )
         return lines
 
 

@@ -218,16 +218,16 @@ def _as_read(record: Mapping[str, Any]) -> TagRead:
 
 
 def _spectrum_set(spectra: SpectrumSet) -> Dict[str, Any]:
-    result: Dict[str, Any] = {}
-    for reader_name, per_tag in spectra.spectra.items():
-        result[reader_name] = {
+    return {
+        reader_name: {
             epc: {
                 "angles": [float(a) for a in spectrum.angles],
                 "values": [float(v) for v in spectrum.values],
             }
             for epc, spectrum in per_tag.items()
         }
-    return result
+        for reader_name, per_tag in spectra.spectra.items()
+    }
 
 
 def _as_spectrum_set(record: Mapping[str, Any]) -> SpectrumSet:
@@ -317,17 +317,23 @@ def _restore_assembler(
     for entry in record["pending"]:
         window = _PendingWindow(reads=int(entry["reads"]))
         for cell in entry["cells"]:
-            per_sweep: Dict[int, Dict[int, complex]] = {}
-            for sweep, column in cell["sweeps"].items():
-                per_sweep[int(sweep)] = {
+            per_sweep: Dict[int, Dict[int, complex]] = {
+                int(sweep): {
                     int(antenna): _as_complex(sample)
                     for antenna, sample in column.items()
                 }
+                for sweep, column in cell["sweeps"].items()
+            }
             window.cells[(str(cell["reader"]), str(cell["epc"]))] = per_sweep
         assembler._pending[int(entry["index"])] = window
     raw_max = record["max_time"]
     assembler._max_time = None if raw_max is None else float(raw_max)
     assembler._emitted_through = int(record["emitted_through"])
+    # Derived readiness bound; recomputed rather than checkpointed.
+    assembler._min_pending_end = min(
+        ((index + 1) * assembler.window_s for index in assembler._pending),
+        default=None,
+    )
     assembler.late_reads = int(record["late_reads"])
     assembler.torn_sweeps = int(record["torn_sweeps"])
     assembler.duplicate_reads = int(record["duplicate_reads"])

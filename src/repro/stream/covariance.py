@@ -182,8 +182,24 @@ class EwCovariance:
             raise EstimationError(
                 f"snapshots must be ({self.num_antennas}, N), got {x.shape}"
             )
+        # Inlined :meth:`update` without the per-column coercion and
+        # shape check (the matrix is validated once above).  The
+        # broadcast product is the same elementwise multiply
+        # ``np.outer`` performs, and the column-by-column fold order is
+        # preserved — sequential decayed rank-1 updates do not commute
+        # in floating point, so this stays bit-identical to the loop
+        # over :meth:`update`.
+        weighted = self._weighted
+        decay = self.decay
+        weight = self._weight
         for n in range(x.shape[1]):
-            self.update(x[:, n])
+            column = x[:, n]
+            if decay != 1.0:
+                weighted *= decay
+            weighted += column[:, None] * column.conj()[None, :]
+            weight = decay * weight + 1.0
+        self._weight = weight
+        self.updates += x.shape[1]
 
     def covariance(self) -> ComplexArray:
         """The current Hermitian ``(M, M)`` estimate."""
@@ -191,6 +207,22 @@ class EwCovariance:
             raise EstimationError("no snapshots folded in yet")
         r = self._weighted / self._weight
         return (r + r.conj().T) / 2.0
+
+    def state_snapshot(self) -> Tuple[ComplexArray, float, int]:
+        """Copy of the mutable accumulator state, for transactional updates.
+
+        The streaming runner snapshots every pair before a speculative
+        batched window so a failure can roll the bank back and replay
+        the reference per-tag loop with its exact failure semantics.
+        """
+        return self._weighted.copy(), self._weight, self.updates
+
+    def state_restore(self, state: Tuple[ComplexArray, float, int]) -> None:
+        """Adopt a snapshot taken by :meth:`state_snapshot`."""
+        weighted, weight, updates = state
+        self._weighted = weighted.copy()
+        self._weight = weight
+        self.updates = updates
 
 
 @dataclass

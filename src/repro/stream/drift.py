@@ -95,5 +95,12 @@ class BaselineDriftTracker:
                 resampled = np.interp(
                     spectrum.angles, fresh.angles, fresh.values
                 )
-                spectrum.values *= 1.0 - self.alpha
-                spectrum.values += self.alpha * resampled
+                # Out-of-place on purpose: downstream caches (detector
+                # screening, likelihood tables) key on the identity of
+                # the values array, so a blend must install a *new*
+                # array rather than mutate the old one in place.  The
+                # arithmetic sequence matches the previous in-place
+                # version bit for bit.
+                values = spectrum.values * (1.0 - self.alpha)
+                values += self.alpha * resampled
+                spectrum.values = values

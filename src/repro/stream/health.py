@@ -157,6 +157,21 @@ class HealthTracker:
         if record.last_read_s is None or read.time_s > record.last_read_s:
             record.last_read_s = read.time_s
 
+    def note_reads(self, reads: Iterable[TagRead]) -> None:
+        """:meth:`note_read` over a whole drained batch.
+
+        Same bookkeeping, one method call per batch instead of per
+        read — the runner's poll loop touches every read exactly once.
+        """
+        readers = self._readers
+        for read in reads:
+            record = readers.get(read.reader_name)
+            if record is None:
+                continue
+            record.reads += 1
+            if record.last_read_s is None or read.time_s > record.last_read_s:
+                record.last_read_s = read.time_s
+
     def note_violation(self, reader_name: str, error: Exception) -> None:
         """Account one per-reader processing failure (contract, DSP...).
 
@@ -208,9 +223,8 @@ class HealthTracker:
 
     def export_state(self) -> Dict[str, Dict[str, object]]:
         """JSON-ready per-reader state, for streaming checkpoints."""
-        result: Dict[str, Dict[str, object]] = {}
-        for name, r in self._readers.items():
-            result[name] = {
+        return {
+            name: {
                 "state": r.state,
                 "reads": r.reads,
                 "last_read_s": r.last_read_s,
@@ -222,7 +236,8 @@ class HealthTracker:
                 "consecutive_missing": r.consecutive_missing,
                 "consecutive_present": r.consecutive_present,
             }
-        return result
+            for name, r in self._readers.items()
+        }
 
     def import_state(self, state: Mapping[str, Mapping[str, object]]) -> None:
         """Restore per-reader state exported by :meth:`export_state`."""

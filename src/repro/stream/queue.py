@@ -197,6 +197,45 @@ class BoundedReadQueue:
             self._accepted += 1
             return True
 
+    def put_many(self, reads: Iterable[TagRead]) -> int:
+        """Offer many reads under one lock acquisition; returns accepted count.
+
+        Per-read admission follows :meth:`put` exactly (same policies,
+        counters and closed-queue behaviour); batching only amortises
+        the lock overhead, which dominates at sweep rates.  The
+        ``block`` policy must release the lock between items to let a
+        consumer drain, so it simply delegates to :meth:`put`.
+        """
+        if self.policy == "block":
+            return sum(1 for read in reads if self.put(read))
+        accepted = 0
+        with self._not_full:
+            for read in reads:
+                if self._closed:
+                    obs.count("stream.queue.closed_rejects")
+                    raise QueueClosedError(
+                        "queue is closed; no further reads accepted",
+                        reader=read.reader_name,
+                        epc=read.epc,
+                        time_s=read.time_s,
+                    )
+                self._offered += 1
+                if len(self._items) < self.capacity:
+                    self._items.append(read)
+                    self._accepted += 1
+                    accepted += 1
+                elif self.policy == "drop-newest":
+                    self._dropped_newest += 1
+                    obs.count("stream.queue.dropped_newest")
+                else:  # drop-oldest
+                    self._items.popleft()
+                    self._dropped_oldest += 1
+                    obs.count("stream.queue.dropped_oldest")
+                    self._items.append(read)
+                    self._accepted += 1
+                    accepted += 1
+        return accepted
+
     def get(self) -> Optional[TagRead]:
         """Pop the oldest read, or ``None`` when empty."""
         with self._not_full:

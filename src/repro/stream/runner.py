@@ -26,7 +26,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
+import numpy as np
+
 from repro import obs
+from repro.calibration.offsets import PhaseOffsets
 from repro.core.baseline import SpectrumSet
 from repro.core.likelihood import LocationEstimate
 from repro.core.pipeline import DWatch
@@ -40,12 +43,20 @@ from repro.errors import (
     StreamError,
 )
 from repro.geometry.point import Point
-from repro.stream.covariance import CovarianceBank, pmusic_spectrum_from_covariance
+from repro.dsp.batch import BatchPMusicConfig, batched_pmusic_from_covariances
+from repro.rfid.reader import Reader
+from repro.sim.measurement import Measurement
+from repro.stream.covariance import (
+    CovarianceBank,
+    EwCovariance,
+    pmusic_spectrum_from_covariance,
+)
 from repro.stream.drift import BaselineDriftTracker
 from repro.stream.events import FixQuality, TagRead, TrackFix
 from repro.stream.health import HealthConfig, HealthTracker
 from repro.stream.queue import BoundedReadQueue
 from repro.stream.window import SnapshotWindow, WindowAssembler, WindowConfig
+from repro.utils.arrays import ComplexArray
 
 
 @dataclass(frozen=True)
@@ -163,35 +174,57 @@ class StreamRunner:
         ``stream.reads.rejected`` counter.
         """
         fixes: List[TrackFix] = []
-        for read in self.queue.drain():
-            self.health.note_read(read)
+        drained = self.queue.drain()
+        # note_read is independent of window assembly, so the batch
+        # accounting call leaves health state identical to the
+        # historical per-read interleaving.
+        self.health.note_reads(drained)
+        push = self.assembler.push
+        for read in drained:
             try:
-                windows = self.assembler.push(read)
+                windows = push(read)
             except StreamError:
                 self.rejected_reads += 1
                 obs.count("stream.reads.rejected")
                 continue
-            for window in windows:
-                fixes.append(self._process_window(window))
+            fixes.extend(
+                self._process_window(window) for window in windows
+            )
         obs.gauge("stream.queue.depth", float(len(self.queue)))
         return fixes
 
     def finish(self) -> List[TrackFix]:
         """End of stream: drain everything and close all pending windows."""
         fixes = self.poll()
-        for window in self.assembler.flush():
-            fixes.append(self._process_window(window))
+        fixes.extend(
+            self._process_window(window)
+            for window in self.assembler.flush()
+        )
         return fixes
 
-    def run(self, source: Iterable[TagRead]) -> Iterator[TrackFix]:
+    def run(
+        self, source: Iterable[TagRead], chunk_size: int = 256
+    ) -> Iterator[TrackFix]:
         """Pump an entire read iterable through the loop, yielding fixes.
 
         The one-call composition of :meth:`ingest`, :meth:`poll` and
         :meth:`finish` for single-threaded replay and synthetic runs.
+        Reads are ingested in chunks (one queue lock acquisition and
+        one poll per chunk rather than per read); the chunk never
+        exceeds the queue capacity, so no replay read is ever dropped
+        that per-read ingestion would have admitted, and the emitted
+        fixes are identical either way.
         """
+        chunk_size = max(1, min(chunk_size, self.queue.capacity))
+        chunk: List[TagRead] = []
         for read in source:
-            self.ingest(read)
-            yield from self.poll()
+            chunk.append(read)
+            if len(chunk) >= chunk_size:
+                self.queue.put_many(chunk)
+                chunk.clear()
+                yield from self.poll()
+        if chunk:
+            self.queue.put_many(chunk)
         yield from self.finish()
 
     def checkpoint(self) -> Dict[str, Any]:
@@ -346,6 +379,15 @@ class StreamRunner:
         updates is algebraically identical to correcting a batch
         matrix.
 
+        A reader's tags run through the stacked covariance-domain
+        kernels (:func:`repro.dsp.batch.batched_pmusic_from_covariances`)
+        as one batch — bit-identical to the per-tag reference chain.
+        The bank updates are transactional: every pair is snapshotted
+        first, and on *any* failure the bank rolls back and the
+        reference loop replays, so failure semantics (which tags'
+        covariances advanced before the error) match the scalar path
+        exactly.
+
         Failures are isolated per reader: a glitched reader whose
         snapshots break the spectral chain (contract violation, rank
         collapse) is reported in the second return value — and its
@@ -359,23 +401,86 @@ class StreamRunner:
         for reader_name in measurement.readers():
             reader = self.dwatch.readers[reader_name]
             offsets = self.dwatch.calibration.get(reader_name)
-            per_tag: Dict[str, AngularSpectrum] = {}
             try:
-                for epc in measurement.tags_for(reader_name):
-                    snapshots = measurement.matrix(reader_name, epc)
-                    if offsets is not None:
-                        snapshots = offsets.apply_correction(snapshots)
-                    estimator = self.bank.pair(
-                        reader_name, epc, int(snapshots.shape[0])
-                    )
-                    estimator.update_matrix(snapshots)
-                    per_tag[epc] = pmusic_spectrum_from_covariance(
-                        estimator.covariance(),
-                        spacing_m=reader.array.spacing_m,
-                        wavelength_m=reader.array.wavelength_m,
-                    )
+                per_tag = self._reader_spectra(reader_name, reader, measurement, offsets)
             except ReproError as exc:
                 failed.append((reader_name, exc))
                 continue
             online.spectra[reader_name] = per_tag
         return online, failed
+
+    def _reader_spectra(
+        self,
+        reader_name: str,
+        reader: Reader,
+        measurement: Measurement,
+        offsets: Optional[PhaseOffsets],
+    ) -> Dict[str, AngularSpectrum]:
+        """One reader's per-tag spectra for a window, batched when possible."""
+        saved: List[Tuple[EwCovariance, Tuple[ComplexArray, float, int]]] = []
+        try:
+            epcs: List[str] = []
+            covariances: List[ComplexArray] = []
+            for epc in measurement.tags_for(reader_name):
+                snapshots = measurement.matrix(reader_name, epc)
+                if offsets is not None:
+                    snapshots = offsets.apply_correction(snapshots)
+                estimator = self.bank.pair(
+                    reader_name, epc, int(snapshots.shape[0])
+                )
+                saved.append((estimator, estimator.state_snapshot()))
+                estimator.update_matrix(snapshots)
+                epcs.append(epc)
+                covariances.append(estimator.covariance())
+            return self._batched_tag_spectra(reader, epcs, covariances)
+        except (ReproError, ValueError, ArithmeticError):
+            # Everything the spectral chain can raise: the repro
+            # taxonomy, shape/eigensolver failures (LinAlgError is a
+            # ValueError subclass), and floating-point faults.  Roll
+            # the bank back and replay the reference loop: its failure
+            # point (or success) defines the semantics.
+            for estimator, state in saved:
+                estimator.state_restore(state)
+            return self._scalar_reader_spectra(reader_name, reader, measurement, offsets)
+
+    def _batched_tag_spectra(
+        self, reader: Reader, epcs: List[str], covariances: List[ComplexArray]
+    ) -> Dict[str, AngularSpectrum]:
+        """Stacked P-MUSIC over uniform-size covariance groups."""
+        config = BatchPMusicConfig(
+            spacing_m=reader.array.spacing_m,
+            wavelength_m=reader.array.wavelength_m,
+        )
+        groups: Dict[Tuple[int, ...], List[int]] = {}
+        for position, covariance in enumerate(covariances):
+            groups.setdefault(covariance.shape, []).append(position)
+        computed: Dict[str, AngularSpectrum] = {}
+        for positions in groups.values():
+            stack = np.stack([covariances[i] for i in positions])
+            spectra = batched_pmusic_from_covariances(stack, config)
+            computed.update(
+                {epcs[i]: spectrum for i, spectrum in zip(positions, spectra)}
+            )
+        return {epc: computed[epc] for epc in epcs}
+
+    def _scalar_reader_spectra(
+        self,
+        reader_name: str,
+        reader: Reader,
+        measurement: Measurement,
+        offsets: Optional[PhaseOffsets],
+    ) -> Dict[str, AngularSpectrum]:
+        """The reference per-tag chain (also the semantics oracle)."""
+        per_tag: Dict[str, AngularSpectrum] = {}
+        for epc in measurement.tags_for(reader_name):
+            snapshots = measurement.matrix(reader_name, epc)
+            if offsets is not None:
+                snapshots = offsets.apply_correction(snapshots)
+            estimator = self.bank.pair(reader_name, epc, int(snapshots.shape[0]))
+            estimator.update_matrix(snapshots)
+            per_tag[epc] = pmusic_spectrum_from_covariance(
+                estimator.covariance(),
+                spacing_m=reader.array.spacing_m,
+                wavelength_m=reader.array.wavelength_m,
+            )
+        return per_tag

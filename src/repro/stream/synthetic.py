@@ -106,15 +106,15 @@ def measurement_reads(
                 per_sweep.append([])
             for t in range(num_sweeps):
                 base = start_time_s + t * sweep_s
-                for m in range(num_antennas):
-                    per_sweep[t].append(
-                        TagRead(
-                            reader_name=reader_name,
-                            epc=epc,
-                            time_s=base + m * slot_s,
-                            iq=complex(x[m, t]),
-                        )
+                per_sweep[t].extend(
+                    TagRead(
+                        reader_name=reader_name,
+                        epc=epc,
+                        time_s=base + m * slot_s,
+                        iq=complex(x[m, t]),
                     )
+                    for m in range(num_antennas)
+                )
     for sweep_reads in per_sweep:
         sweep_reads.sort(key=lambda read: read.time_s)
         for read in sweep_reads:

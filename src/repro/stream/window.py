@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -36,6 +36,9 @@ from repro.rfid.hub import TdmSchedule
 from repro.rfid.reader import Reader
 from repro.sim.measurement import Measurement
 from repro.stream.events import TagRead
+
+#: Module-local alias saving an attribute lookup in the per-read loop.
+_floor = math.floor
 
 #: Relative nudge applied before flooring times into sweep/window bins.
 #: Timestamps are sums of slot multiples computed in floating point, so
@@ -56,14 +59,15 @@ def sweep_slot(schedule: TdmSchedule, time_s: float) -> Tuple[int, Optional[int]
     :mod:`repro.faults`, which must agree with the assembler about
     which antenna a read belongs to.
     """
-    sweep_index = int(math.floor(time_s / schedule.duration + _TIME_EPS))
-    offset = time_s - sweep_index * schedule.duration
+    duration = schedule.duration
+    sweep_index = int(math.floor(time_s / duration + _TIME_EPS))
+    offset = time_s - sweep_index * duration
     # Clamp round-off at the sweep edges: the final slot of a sweep is
     # end-inclusive (see TdmSchedule.antenna_at), the first starts at
     # exactly zero.
-    offset = min(max(offset, 0.0), schedule.duration)
+    offset = min(max(offset, 0.0), duration)
     antenna = schedule.try_antenna_at(
-        min(offset + schedule.duration * _TIME_EPS, schedule.duration)
+        min(offset + duration * _TIME_EPS, duration)
     )
     return sweep_index, antenna
 
@@ -151,6 +155,14 @@ class WindowAssembler:
                     f"reader {name!r} has an empty TDM schedule"
                 )
         self.schedules = dict(schedules)
+        #: Per-reader hot-path constants consumed by :meth:`push` — the
+        #: sweep duration (a recomputing property on the frozen
+        #: schedule) and the bound slot lookup.  Schedules never change
+        #: after construction, so this is computed once.
+        self._hot: Dict[str, Tuple[float, Callable[[float], Optional[int]]]] = {
+            name: (schedule.duration, schedule.try_antenna_at)
+            for name, schedule in self.schedules.items()
+        }
         self.config = config or WindowConfig()
         sweep = max(schedule.duration for schedule in self.schedules.values())
         self.window_s = (
@@ -164,6 +176,11 @@ class WindowAssembler:
         self._pending: Dict[int, _PendingWindow] = {}
         self._max_time: Optional[float] = None
         self._emitted_through = -1
+        #: Earliest end time among pending windows; lets push() skip the
+        #: per-read readiness scan until the watermark can actually
+        #: close something.  Derived state — recomputed after every
+        #: emission and on checkpoint restore.
+        self._min_pending_end: Optional[float] = None
         self.late_reads = 0
         self.torn_sweeps = 0
         self.duplicate_reads = 0
@@ -188,23 +205,32 @@ class WindowAssembler:
         return self._max_time - self.lateness_s
 
     def push(self, read: TagRead) -> List[SnapshotWindow]:
-        """Ingest one read; returns any windows it closed (often none)."""
-        schedule = self.schedules.get(read.reader_name)
-        if schedule is None:
+        """Ingest one read; returns any windows it closed (often none).
+
+        This is the per-read hot loop of the whole streaming engine
+        (hundreds of reads per fix), so :func:`sweep_slot` and the
+        window bookkeeping are inlined here with the per-reader sweep
+        duration precomputed — kept in sync with :func:`sweep_slot`,
+        which remains the shared reference mapping.
+        """
+        hot = self._hot.get(read.reader_name)
+        if hot is None:
             raise StreamError(
                 "read references an unknown reader",
                 reader=read.reader_name,
                 epc=read.epc,
                 time_s=read.time_s,
             )
-        if read.time_s < 0.0:
+        time_s = read.time_s
+        if time_s < 0.0:
             raise StreamError(
                 "read carries a negative event time",
                 reader=read.reader_name,
                 epc=read.epc,
-                time_s=read.time_s,
+                time_s=time_s,
             )
-        index = int(math.floor(read.time_s / self.window_s + _TIME_EPS))
+        window_s = self.window_s
+        index = int(_floor(time_s / window_s + _TIME_EPS))
         if index <= self._emitted_through:
             # Beyond the lateness bound: its window has already been
             # emitted.  Dropping (and counting) beats silently mutating
@@ -212,9 +238,53 @@ class WindowAssembler:
             self.late_reads += 1
             obs.count("stream.window.late_reads")
             return []
-        self._place(read, schedule, index)
-        if self._max_time is None or read.time_s > self._max_time:
-            self._max_time = read.time_s
+        duration, try_antenna_at = hot
+        # Inlined sweep_slot(schedule, time_s); branch clamps produce
+        # the same values as its min/max calls.
+        sweep_index = int(_floor(time_s / duration + _TIME_EPS))
+        offset = time_s - sweep_index * duration
+        if offset < 0.0:
+            offset = 0.0
+        elif offset > duration:
+            offset = duration
+        probe = offset + duration * _TIME_EPS
+        if probe > duration:
+            probe = duration
+        antenna = try_antenna_at(probe)
+        if antenna is None:
+            raise StreamError(
+                "read falls outside every TDM slot of its reader",
+                reader=read.reader_name,
+                epc=read.epc,
+                time_s=time_s,
+            )
+        window = self._pending.get(index)
+        if window is None:
+            window = self._pending[index] = _PendingWindow()
+            end_s = (index + 1) * window_s
+            if self._min_pending_end is None or end_s < self._min_pending_end:
+                self._min_pending_end = end_s
+        window.reads += 1
+        # get-then-insert instead of setdefault: the default dict
+        # argument would be allocated on every read, hit or miss.
+        key = (read.reader_name, read.epc)
+        per_sweep = window.cells.get(key)
+        if per_sweep is None:
+            per_sweep = window.cells[key] = {}
+        column = per_sweep.get(sweep_index)
+        if column is None:
+            column = per_sweep[sweep_index] = {}
+        if antenna in column:
+            self.duplicate_reads += 1
+            obs.count("stream.window.duplicate_reads")
+        column[antenna] = read.iq
+        max_time = self._max_time
+        if max_time is None or time_s > max_time:
+            self._max_time = max_time = time_s
+        # Fast path for the by-far common case: nothing can close yet.
+        min_pending_end = self._min_pending_end
+        if min_pending_end is None or min_pending_end > max_time - self.lateness_s:
+            return []
         return self._emit_ready()
 
     def flush(self) -> List[SnapshotWindow]:
@@ -223,31 +293,19 @@ class WindowAssembler:
             self._close(index) for index in sorted(self._pending)
         ]
         self._pending.clear()
+        self._min_pending_end = None
         if emitted:
             self._emitted_through = max(w.index for w in emitted)
         return [w for w in emitted if w.sweeps > 0]
 
-    def _place(self, read: TagRead, schedule: TdmSchedule, index: int) -> None:
-        sweep_index, antenna = sweep_slot(schedule, read.time_s)
-        if antenna is None:
-            raise StreamError(
-                "read falls outside every TDM slot of its reader",
-                reader=read.reader_name,
-                epc=read.epc,
-                time_s=read.time_s,
-            )
-        window = self._pending.setdefault(index, _PendingWindow())
-        window.reads += 1
-        per_sweep = window.cells.setdefault((read.reader_name, read.epc), {})
-        column = per_sweep.setdefault(sweep_index, {})
-        if antenna in column:
-            self.duplicate_reads += 1
-            obs.count("stream.window.duplicate_reads")
-        column[antenna] = read.iq
-
     def _emit_ready(self) -> List[SnapshotWindow]:
-        watermark = self.watermark
-        if watermark is None:
+        max_time = self._max_time
+        if max_time is None:
+            return []
+        watermark = max_time - self.lateness_s
+        # Fast path for the by-far common case: nothing can close yet.
+        min_pending_end = self._min_pending_end
+        if min_pending_end is None or min_pending_end > watermark:
             return []
         ready = sorted(
             index
@@ -261,6 +319,11 @@ class WindowAssembler:
             self._emitted_through = max(self._emitted_through, index)
             if window.sweeps > 0:
                 emitted.append(window)
+        if ready:
+            self._min_pending_end = min(
+                ((index + 1) * self.window_s for index in self._pending),
+                default=None,
+            )
         return emitted
 
     def _close(self, index: int) -> SnapshotWindow:

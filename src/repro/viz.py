@@ -42,12 +42,11 @@ def render_spectrum(
         levels = np.zeros(width, dtype=int)
     else:
         levels = np.round(values / peak * (height - 1)).astype(int)
-    rows = []
-    for row_index in range(height - 1, -1, -1):
-        rows.append(
-            "".join("#" if level >= row_index and level > 0 else " "
-                    for level in levels)
-        )
+    rows = [
+        "".join("#" if level >= row_index and level > 0 else " "
+                for level in levels)
+        for row_index in range(height - 1, -1, -1)
+    ]
     axis = [" "] * width
     for marker in markers or ():
         index = int(
@@ -81,14 +80,13 @@ def render_heatmap(
         # Downsample columns by striding.
         stride = int(math.ceil(grid.shape[1] / width))
         normalized = normalized[:, ::stride]
-    rows = []
-    for row in normalized[::-1]:
-        rows.append(
-            "".join(
-                SHADES[min(len(SHADES) - 1, int(v * (len(SHADES) - 1)))]
-                for v in row
-            )
+    rows = [
+        "".join(
+            SHADES[min(len(SHADES) - 1, int(v * (len(SHADES) - 1)))]
+            for v in row
         )
+        for row in normalized[::-1]
+    ]
     return rows
 
 
@@ -137,8 +135,7 @@ def render_scene(scene: Scene, width: int = 60, height: int = 28) -> List[str]:
             put(element, "R")
     border = "+" + "-" * width + "+"
     rows = [border]
-    for line in canvas:
-        rows.append("|" + "".join(line) + "|")
+    rows.extend("|" + "".join(line) + "|" for line in canvas)
     rows.append(border)
     rows.append(f"{scene.name}: {room.width:.1f} m x {room.height:.1f} m, "
                 f"R=arrays t=tags /=reflectors")

@@ -138,6 +138,58 @@ class TestRayIntersections:
         empty = [_evidence_from_events("south", [], default_angle_grid())]
         assert lmap.ray_intersections(empty) == []
 
+    def test_duplicate_events_do_not_change_candidates(self, readers):
+        # The ray dedupe keys on (reader, quantized bearing): repeating
+        # the same blocked angle must not inflate the candidate set or
+        # shift any crossing.
+        target = Point(2.4, 3.6)
+        lmap = LikelihoodMap(room=ROOM, readers=readers)
+        unique = evidence_for_target(readers, target)
+        grid = default_angle_grid()
+        duplicated = [
+            _evidence_from_events(item.reader_name, list(item.events) * 3, grid)
+            for item in unique
+        ]
+        got = lmap.ray_intersections(duplicated)
+        want = lmap.ray_intersections(unique)
+        assert len(got) == len(want)
+        for a, b in zip(got, want):
+            assert a.distance_to(b) == 0.0
+
+    def test_ray_cap_keeps_true_target_candidate(self, readers):
+        # Flood one reader with distinct ghost angles so the ray list
+        # crosses _MAX_RAYS; the true-target crossing from the leading
+        # events must survive the cap.
+        target = Point(2.4, 3.6)
+        lmap = LikelihoodMap(room=ROOM, readers=readers)
+        grid = default_angle_grid()
+
+        def event(name, angle):
+            return BlockedPath(
+                reader_name=name,
+                epc="E" * 24,
+                angle=angle,
+                relative_drop=1.0,
+                baseline_power=1.0,
+                online_power=0.0,
+            )
+
+        # True detections first, then a flood of distinct ghost angles
+        # on one reader that pushes the ray count past _MAX_RAYS.
+        items = [
+            _evidence_from_events(
+                name, [event(name, reader.array.angle_to(target))], grid
+            )
+            for name, reader in readers.items()
+        ]
+        ghosts = [
+            event("south", 0.2 + 0.01 * k)
+            for k in range(lmap._MAX_RAYS)
+        ]
+        items.append(_evidence_from_events("south", ghosts, grid))
+        crossings = lmap.ray_intersections(items)
+        assert any(c.distance_to(target) < 0.15 for c in crossings)
+
 
 class TestLikelihoodAt:
     def test_higher_at_target_than_elsewhere(self, readers):

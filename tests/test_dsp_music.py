@@ -52,6 +52,16 @@ class TestSourceCounting:
         eigenvalues = np.array([1.0, 1e-9, 1e-9])
         assert estimate_num_sources(eigenvalues) >= 1
 
+    def test_single_element_array_is_rejected(self):
+        # M == 1 leaves no noise subspace: min(1, M-1) would otherwise
+        # silently report zero sources downstream.
+        with pytest.raises(EstimationError, match="single-element array"):
+            estimate_num_sources(np.array([1.0]))
+
+    def test_empty_eigenvalues_rejected(self):
+        with pytest.raises(EstimationError, match="no eigenvalues"):
+            estimate_num_sources(np.array([]))
+
     def test_mdl_on_clear_spectrum(self, three_path_channel):
         x = three_path_channel.snapshots(200, snr_db=30, rng=3)
         from repro.dsp.smoothing import spatially_smoothed_covariance

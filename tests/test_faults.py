@@ -30,18 +30,16 @@ SWEEP = SCHEDULE.duration
 
 def grid_reads(reader="r", sweeps=4, epc="tag"):
     """One read per (sweep, antenna slot) on the exact TDM grid."""
-    reads = []
-    for s in range(sweeps):
-        for antenna, start, _ in SCHEDULE.slots:
-            reads.append(
-                TagRead(
-                    reader_name=reader,
-                    epc=epc,
-                    time_s=s * SWEEP + start,
-                    iq=complex(s + 1, antenna),
-                )
-            )
-    return reads
+    return [
+        TagRead(
+            reader_name=reader,
+            epc=epc,
+            time_s=s * SWEEP + start,
+            iq=complex(s + 1, antenna),
+        )
+        for s in range(sweeps)
+        for antenna, start, _ in SCHEDULE.slots
+    ]
 
 
 def inject(plan, reads, schedules=None):

@@ -1,0 +1,175 @@
+"""Property-based equivalence: batched spectral kernels == scalar chain.
+
+The batched fast path (:mod:`repro.dsp.batch`) is only allowed to exist
+because it reproduces the scalar estimators bit for bit; these tests
+drive that claim with randomized stacks (hypothesis) and with the seed
+scenes the acceptance hash runs on.  Every comparison is exact array
+equality — not ``allclose`` — because the fix pipeline's caches and the
+CLI stdout hash both key on exact values.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constants import DEFAULT_WAVELENGTH_M
+from repro.core.baseline import compute_spectra
+from repro.dsp.batch import (
+    BatchPMusicConfig,
+    batched_pmusic_from_covariances,
+    batched_pmusic_spectra,
+    batched_sample_covariance,
+    config_from_estimator,
+)
+from repro.dsp.covariance import sample_covariance
+from repro.dsp.pmusic import PMusicEstimator
+from repro.errors import EstimationError
+from repro.geometry.point import Point
+from repro.sim.environments import hall_scene
+from repro.sim.measurement import MeasurementSession
+from repro.sim.target import human_target
+from repro.stream.covariance import (
+    EwCovariance,
+    pmusic_spectrum_from_covariance,
+)
+
+HALF_WAVE = DEFAULT_WAVELENGTH_M / 2.0
+
+seeds = st.integers(min_value=0, max_value=2**31)
+antenna_counts = st.integers(min_value=3, max_value=8)
+snapshot_counts = st.integers(min_value=4, max_value=16)
+stack_sizes = st.integers(min_value=1, max_value=5)
+
+
+def _random_stack(seed, n, m, s):
+    rng = np.random.default_rng(seed)
+    # A few coherent plane waves plus noise: representative of the
+    # multipath snapshots the pipeline sees, and guaranteed to carry
+    # enough structure for peak detection on almost every draw.
+    stack = []
+    for _ in range(n):
+        x = 0.05 * (rng.normal(size=(m, s)) + 1j * rng.normal(size=(m, s)))
+        for _ in range(rng.integers(1, 3)):
+            theta = rng.uniform(0.0, np.pi)
+            phase = np.exp(
+                -2j
+                * np.pi
+                * HALF_WAVE
+                / DEFAULT_WAVELENGTH_M
+                * np.cos(theta)
+                * np.arange(m)
+            )
+            signal = rng.normal() + 1j * rng.normal()
+            x += np.outer(phase, signal * np.exp(1j * rng.uniform(0, 2 * np.pi, s)))
+        stack.append(x)
+    return np.stack(stack)
+
+
+class TestSnapshotDomainEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(seeds, stack_sizes, antenna_counts, snapshot_counts)
+    def test_batched_equals_scalar_estimator(self, seed, n, m, s):
+        stack = _random_stack(seed, n, m, s)
+        estimator = PMusicEstimator(spacing_m=HALF_WAVE)
+        config = config_from_estimator(estimator)
+        scalar = []
+        error = None
+        for item in stack:
+            try:
+                scalar.append(estimator.spectrum(item))
+            except EstimationError as exc:
+                error = exc
+                break
+        if error is not None:
+            with pytest.raises(EstimationError):
+                batched_pmusic_spectra(stack, config)
+            return
+        batched = batched_pmusic_spectra(stack, config)
+        assert len(batched) == len(scalar)
+        for got, want in zip(batched, scalar):
+            assert np.array_equal(got.angles, want.angles)
+            assert np.array_equal(got.values, want.values)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seeds, stack_sizes, antenna_counts, snapshot_counts)
+    def test_batched_sample_covariance_exact(self, seed, n, m, s):
+        stack = _random_stack(seed, n, m, s)
+        batched = batched_sample_covariance(stack)
+        for i in range(n):
+            assert np.array_equal(batched[i], sample_covariance(stack[i]))
+
+    @settings(max_examples=20, deadline=None)
+    @given(seeds, antenna_counts, snapshot_counts)
+    def test_pinned_sources_and_no_forward_backward(self, seed, m, s):
+        stack = _random_stack(seed, 3, m, s)
+        from repro.dsp.music import MusicEstimator
+
+        music = MusicEstimator(
+            spacing_m=HALF_WAVE, num_sources=1, forward_backward=False
+        )
+        estimator = PMusicEstimator(spacing_m=HALF_WAVE, music=music)
+        config = config_from_estimator(estimator)
+        scalar = [estimator.spectrum(item) for item in stack]
+        batched = batched_pmusic_spectra(stack, config)
+        for got, want in zip(batched, scalar):
+            assert np.array_equal(got.values, want.values)
+
+
+class TestCovarianceDomainEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(seeds, stack_sizes, antenna_counts, snapshot_counts)
+    def test_batched_equals_stream_reference(self, seed, n, m, s):
+        stack = _random_stack(seed, n, m, s)
+        covariances = []
+        for item in stack:
+            estimator = EwCovariance(num_antennas=m, decay=0.8)
+            estimator.update_matrix(item)
+            covariances.append(estimator.covariance())
+        config = BatchPMusicConfig(
+            spacing_m=HALF_WAVE, wavelength_m=DEFAULT_WAVELENGTH_M
+        )
+        scalar = []
+        error = None
+        for covariance in covariances:
+            try:
+                scalar.append(
+                    pmusic_spectrum_from_covariance(
+                        covariance,
+                        spacing_m=HALF_WAVE,
+                        wavelength_m=DEFAULT_WAVELENGTH_M,
+                    )
+                )
+            except EstimationError as exc:
+                error = exc
+                break
+        if error is not None:
+            with pytest.raises(EstimationError):
+                batched_pmusic_from_covariances(np.stack(covariances), config)
+            return
+        batched = batched_pmusic_from_covariances(np.stack(covariances), config)
+        for got, want in zip(batched, scalar):
+            assert np.array_equal(got.angles, want.angles)
+            assert np.array_equal(got.values, want.values)
+
+
+class TestSeedSceneExactEquality:
+    def test_hall_scene_batch_equals_scalar(self):
+        scene = hall_scene(rng=5)
+        readers = {reader.name: reader for reader in scene.readers}
+        session = MeasurementSession(scene, rng=6)
+        target = human_target(
+            Point(scene.room.center.x, scene.room.center.y)
+        )
+        for capture in (session.capture(), session.capture([target])):
+            batched = compute_spectra(capture, readers)
+            scalar = compute_spectra(capture, readers, batch=False)
+            pairs = 0
+            for reader_name in capture.readers():
+                for epc in capture.tags_for(reader_name):
+                    got = batched.for_pair(reader_name, epc)
+                    want = scalar.for_pair(reader_name, epc)
+                    assert np.array_equal(got.angles, want.angles)
+                    assert np.array_equal(got.values, want.values)
+                    pairs += 1
+            assert pairs > 0

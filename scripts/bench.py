@@ -15,13 +15,18 @@ capacity figure a perf trajectory can be compared across.
 Both reuse the exact experiment runners the benchmark gates call, so
 the recorded numbers and the gated numbers measure the same code path.
 
-Run:  PYTHONPATH=src python scripts/bench.py [--smoke] [--output FILE]
+Run:  PYTHONPATH=src python scripts/bench.py [--smoke] [--obs]
+                                             [--output FILE]
                                              [--baseline FILE]
 
 ``--smoke`` shrinks the workload for CI gating (one repeat, fewer
 fixes): it validates the harness end to end and still writes the JSON.
 ``--baseline`` compares against a previously written file and prints
 speedups.
+``--obs`` switches to the observability-overhead benchmark instead:
+the same streaming workload with instrumentation disabled vs enabled,
+written to ``BENCH_obs.json`` — the number backing the "disabled obs
+is free, enabled obs is cheap" claim in ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -35,8 +40,10 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.experiments.latency import run_latency
 from repro.experiments.throughput import build_stream_scenario, stream_once
+from repro.stream.runner import StreamRunner
 
 
 def bench_latency(fixes: int, repeats: int) -> Dict[str, object]:
@@ -85,6 +92,59 @@ def bench_stream(fixes: int, repeats: int) -> Dict[str, object]:
     }
 
 
+def _stream_elapsed_s(dwatch, reads, enabled: bool) -> float:
+    """Wall time of one full stream run, with or without obs recording."""
+    runner = StreamRunner(dwatch)
+    if enabled:
+        with obs.observed():
+            started = time.perf_counter()
+            list(runner.run(iter(reads)))
+            return time.perf_counter() - started
+    started = time.perf_counter()
+    list(runner.run(iter(reads)))
+    return time.perf_counter() - started
+
+
+def bench_obs(fixes: int, repeats: int) -> Dict[str, object]:
+    """Observability overhead: the identical stream, obs off vs on.
+
+    Interleaves the two configurations (off, on, off, on, ...) so slow
+    machine drift hits both equally, and takes the best of N each —
+    the same best-of discipline the headline workloads use.
+    """
+    dwatch, reads = build_stream_scenario(fixes=fixes)
+    _stream_elapsed_s(dwatch, reads, enabled=False)  # warmup
+    _stream_elapsed_s(dwatch, reads, enabled=True)
+    disabled_runs: List[float] = []
+    enabled_runs: List[float] = []
+    for _ in range(repeats):
+        disabled_runs.append(_stream_elapsed_s(dwatch, reads, enabled=False))
+        enabled_runs.append(_stream_elapsed_s(dwatch, reads, enabled=True))
+    best_disabled = min(disabled_runs)
+    best_enabled = min(enabled_runs)
+    fix_count = max(1, fixes)
+    overhead_pct = (
+        (best_enabled - best_disabled) / best_disabled * 100.0
+        if best_disabled > 0
+        else 0.0
+    )
+    with obs.observed() as state:
+        runner = StreamRunner(dwatch)
+        list(runner.run(iter(reads)))
+        series = state.registry.series_count()
+    return {
+        "fixes": fixes,
+        "reads": len(reads),
+        "repeats": repeats,
+        "disabled_fix_ms": best_disabled / fix_count * 1e3,
+        "enabled_fix_ms": best_enabled / fix_count * 1e3,
+        "disabled_fix_ms_runs": [r / fix_count * 1e3 for r in disabled_runs],
+        "enabled_fix_ms_runs": [r / fix_count * 1e3 for r in enabled_runs],
+        "overhead_pct": overhead_pct,
+        "metric_series": series,
+    }
+
+
 def _speedup(label: str, before: float, after: float, higher_is_better: bool):
     if before <= 0 or after <= 0:
         return
@@ -123,9 +183,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="small workload for CI gating (one repeat, fewer fixes)",
     )
     parser.add_argument(
+        "--obs",
+        action="store_true",
+        help="measure observability overhead instead of the headline "
+        "workloads (writes BENCH_obs.json)",
+    )
+    parser.add_argument(
         "--output",
-        default="BENCH_pipeline.json",
-        help="where to write the benchmark record (default: %(default)s)",
+        default=None,
+        help="where to write the benchmark record "
+        "(default: BENCH_pipeline.json, or BENCH_obs.json with --obs)",
     )
     parser.add_argument(
         "--baseline",
@@ -133,6 +200,39 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="previously written record to print speedups against",
     )
     args = parser.parse_args(argv)
+    output = args.output or ("BENCH_obs.json" if args.obs else "BENCH_pipeline.json")
+
+    if args.obs:
+        obs_fixes = 3 if args.smoke else 6
+        obs_repeats = 1 if args.smoke else 5
+        started = time.perf_counter()
+        print(
+            f"bench: obs overhead ({obs_fixes} fixes x {obs_repeats} repeats, "
+            "disabled vs enabled)..."
+        )
+        overhead = bench_obs(obs_fixes, obs_repeats)
+        print(
+            f"  disabled {overhead['disabled_fix_ms']:.1f} ms/fix   "
+            f"enabled {overhead['enabled_fix_ms']:.1f} ms/fix   "
+            f"overhead {overhead['overhead_pct']:+.1f}%   "
+            f"series {overhead['metric_series']}"
+        )
+        record = {
+            "schema": "repro.bench.obs.v1",
+            "smoke": args.smoke,
+            "elapsed_s": time.perf_counter() - started,
+            "meta": {
+                "python": platform.python_version(),
+                "numpy": np.__version__,
+                "machine": platform.machine(),
+            },
+            "obs": overhead,
+        }
+        with open(output, "w", encoding="utf-8") as handle:
+            json.dump(record, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {output}")
+        return 0
 
     latency_fixes = 3 if args.smoke else 10
     latency_repeats = 1 if args.smoke else 5
@@ -177,10 +277,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "latency": latency,
         "stream": stream,
     }
-    with open(args.output, "w", encoding="utf-8") as handle:
+    with open(output, "w", encoding="utf-8") as handle:
         json.dump(record, handle, indent=2, sort_keys=True)
         handle.write("\n")
-    print(f"wrote {args.output}")
+    print(f"wrote {output}")
 
     if args.baseline:
         with open(args.baseline, "r", encoding="utf-8") as handle:

@@ -11,8 +11,11 @@
 #                   installed; the allowlist lives in pyproject.toml)
 #   4. smoke      — `repro stream` record -> replay round trip
 #   5. chaos      — single-reader-loss run must still emit fixes
-#   6. bench      — scripts/bench.py --smoke writes BENCH_pipeline.json
-#   7. pytest     — the tier-1 suite
+#   6. ops        — live /metrics scrape must pass the exposition validator
+#   7. bench      — scripts/bench.py --smoke writes BENCH_pipeline.json
+#   8. obs bench  — scripts/bench.py --obs --smoke writes BENCH_obs.json
+#   9. soak       — scripts/soak.py --smoke (bounded RSS/cardinality/queues)
+#  10. pytest     — the tier-1 suite
 
 set -euo pipefail
 
@@ -50,11 +53,49 @@ timeout 300 env PYTHONPATH=src python -m repro --quiet stream \
     | grep -q "^fix " \
     || { echo "chaos smoke produced no fixes"; exit 1; }
 
+echo "== ops smoke (telemetry run, live /metrics must validate) =="
+# A stream with every telemetry flag on: the fix log must be readable
+# and the live scrape must pass the in-repo Prometheus validator.
+timeout 300 env PYTHONPATH=src python - <<'OPS_SMOKE'
+import urllib.request
+from repro.cli import main
+from repro.obs.export import validate_exposition
+from repro.stream import read_fix_log
+
+code = main([
+    "--quiet", "stream", "--environment", "table", "--seed", "7",
+    "--fixes", "2", "--fix-log", "/tmp/check-fixes.jsonl",
+])
+assert code == 0, f"telemetry stream exited {code}"
+fixes = list(read_fix_log("/tmp/check-fixes.jsonl"))
+assert fixes and all(f.provenance is not None for f in fixes), \
+    "fix log missing provenance"
+
+from repro import obs
+from repro.obs import OpsServer
+obs.configure()
+obs.count("stream.fixes")
+with OpsServer(port=0) as server:
+    with urllib.request.urlopen(f"{server.url}/metrics", timeout=10) as r:
+        families = validate_exposition(r.read().decode("utf-8"))
+obs.shutdown()
+assert "repro_stream_fixes_total" in families
+print(f"ops smoke ok: {len(fixes)} logged fixes, "
+      f"{len(families)} exposed families")
+OPS_SMOKE
+
 echo "== bench smoke (perf harness writes BENCH_pipeline.json) =="
 # Validates the perf-trajectory harness end to end; the smoke workload
 # is sized for gating, not for recording speedups (run bench.py without
 # --smoke for those).
 PYTHONPATH=src python scripts/bench.py --smoke --output BENCH_pipeline.json
+
+echo "== obs bench smoke (overhead harness writes BENCH_obs.json) =="
+PYTHONPATH=src python scripts/bench.py --obs --smoke --output BENCH_obs.json
+
+echo "== chaos soak smoke (bounded RSS, flat cardinality, drained queues) =="
+timeout 600 env PYTHONPATH=src python scripts/soak.py --smoke \
+    --report SOAK_report.json
 
 echo "== tier-1 tests =="
 PYTHONPATH=src python -m pytest -x -q

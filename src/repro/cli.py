@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six subcommands cover the tasks a user reaches for first:
+The subcommands cover the tasks a user reaches for first:
 
 * ``demo``      — calibrate, baseline and localize one target in a
   chosen environment, printing the likelihood heat map.
@@ -8,16 +8,23 @@ Six subcommands cover the tasks a user reaches for first:
 * ``experiment``— run one figure reproduction by name.
 * ``stream``    — continuous tracking over a synthetic or replayed
   read stream (``--record`` / ``--replay`` for JSONL recordings,
-  ``--chaos`` to inject a named fault scenario).
+  ``--chaos`` to inject a named fault scenario, ``--fix-log`` to
+  record per-fix provenance, ``--serve-metrics`` for the live ops
+  endpoint).
 * ``health``    — run a stream and report per-reader health plus the
   fix-quality summary (the fleet view of ``docs/ROBUSTNESS.md``).
 * ``stats``     — pretty-print a metrics snapshot written by a prior
   ``--metrics`` run (``--prefix`` to filter one series).
+* ``provenance``— inspect a ``--fix-log`` recording: who and what
+  produced each fix (readers, faults, spectral path, lineage).
+* ``retain``    — age out old recordings/checkpoints under a
+  TTL/size/count policy (dry-run unless ``--apply``).
 
 Results go to stdout; progress goes through structured logging on
 stderr (suppressed by ``--quiet``).  ``--trace FILE`` / ``--metrics
 FILE`` turn on the observability layer and write JSONL span traces and
-metric snapshots — see ``docs/OBSERVABILITY.md`` for the schema.
+metric snapshots — see ``docs/OBSERVABILITY.md`` for the schema and
+``docs/RUNBOOK.md`` for the operational recipes.
 """
 
 from __future__ import annotations
@@ -285,6 +292,34 @@ def cmd_stream(args: argparse.Namespace) -> int:
     else:
         source = synthetic_reads(scene, synthetic_cfg, rng=seed + 3)
     source, injector = _chaos_source(args, scene, seed, source)
+    if injector is not None:
+        # Fix provenance names the fault kinds active over each window.
+        runner.fault_probe = injector.active_kinds
+    fix_writer = None
+    if args.fix_log:
+        from repro.stream.provenance import FixLogHeader, FixLogWriter
+
+        fix_writer = FixLogWriter(
+            args.fix_log,
+            FixLogHeader(
+                environment=environment,
+                seed=seed,
+                description=f"{environment} stream, {args.fixes} fixes",
+            ),
+        )
+    server = None
+    ring = None
+    if args.serve_metrics is not None:
+        from repro.obs.server import OpsServer, health_document_for
+        from repro.stream.provenance import ProvenanceRing
+
+        ring = ProvenanceRing(capacity=256)
+        server = OpsServer(
+            port=args.serve_metrics,
+            health_provider=lambda: health_document_for(runner),
+            ring=ring,
+        ).start()
+        log.info("ops endpoint listening", extra=fields(url=server.url))
     log.info(
         "streaming reads",
         extra=fields(source="replay" if args.replay else "synthetic"),
@@ -292,13 +327,27 @@ def cmd_stream(args: argparse.Namespace) -> int:
     windows = 0
     located = 0
     degraded = 0
-    for fix in runner.run(source):
-        windows += 1
-        if fix.position is not None:
-            located += 1
-        if fix.quality.degraded:
-            degraded += 1
-        print(_fix_line(fix))
+    try:
+        for fix in runner.run(source):
+            windows += 1
+            if fix.position is not None:
+                located += 1
+            if fix.quality.degraded:
+                degraded += 1
+            if fix_writer is not None:
+                fix_writer.append(fix)
+            if ring is not None:
+                ring.push(fix)
+            print(_fix_line(fix))
+    finally:
+        if fix_writer is not None:
+            fix_writer.close()
+            log.info(
+                "fix log written; inspect with `repro provenance`",
+                extra=fields(file=args.fix_log, fixes=fix_writer.written),
+            )
+        if server is not None:
+            server.stop()
     stats = runner.queue.stats
     print(
         f"\nwindows {windows}  located {located}  "
@@ -338,6 +387,8 @@ def cmd_health(args: argparse.Namespace) -> int:
         scene, SyntheticStreamConfig(fixes=args.fixes), rng=seed + 3
     )
     source, injector = _chaos_source(args, scene, seed, source)
+    if injector is not None:
+        runner.fault_probe = injector.active_kinds
     fixes = list(runner.run(source))
 
     chaos_note = f", chaos {args.chaos}" if injector is not None else ""
@@ -389,8 +440,159 @@ def cmd_stats(args: argparse.Namespace) -> int:
             f"no metrics file at {args.file!r}; run a command with "
             "--metrics FILE first (e.g. `repro demo --metrics metrics.jsonl`)"
         ) from exc
+    if args.prefix is not None and not any(
+        record.get("name", "").startswith(args.prefix) for record in records
+    ):
+        # A typo'd prefix silently printing an empty table looks like
+        # "no metrics were recorded" — fail loudly instead, and name
+        # what is actually there.
+        available = ", ".join(
+            sorted({str(record.get("name", "")) for record in records})[:12]
+        )
+        raise UsageError(
+            f"no metrics in {args.file!r} match prefix {args.prefix!r}; "
+            f"available names start with: {available}"
+        )
     print(f"metrics snapshot: {args.file}")
     print("\n".join(render_snapshot(records, prefix=args.prefix)))
+    return 0
+
+
+def _provenance_line(fix) -> str:
+    """One summary line per logged fix."""
+    if fix.position is None:
+        where = "no target"
+    else:
+        where = f"({fix.position[0]:.3f}, {fix.position[1]:.3f})"
+    p = fix.provenance
+    if p is None:
+        return (
+            f"fix {fix.index:3d}  t={fix.time_s:.4f}s  {where}  "
+            f"{fix.quality_level:<12} (no provenance)"
+        )
+    contributing = ",".join(p.contributing) or "-"
+    faults = ",".join(p.active_faults) or "-"
+    return (
+        f"fix {fix.index:3d}  t={fix.time_s:.4f}s  {where}  "
+        f"{fix.quality_level:<12} path={p.spectral_path:<6} "
+        f"readers={contributing}  faults={faults}"
+    )
+
+
+def cmd_provenance(args: argparse.Namespace) -> int:
+    """Inspect a fix log written by ``repro stream --fix-log``."""
+    import json as _json
+
+    from repro.stream import read_fix_log, read_fix_log_header
+
+    header = read_fix_log_header(args.file)
+    fixes = list(read_fix_log(args.file))
+    if args.json:
+        for fix in fixes:
+            record = {
+                "index": fix.index,
+                "t": fix.time_s,
+                "position": (
+                    None if fix.position is None else list(fix.position)
+                ),
+                "predicted_only": fix.predicted_only,
+                "quality": fix.quality_level,
+                "confidence": fix.confidence,
+                "provenance": (
+                    None
+                    if fix.provenance is None
+                    else fix.provenance.to_dict()
+                ),
+            }
+            print(_json.dumps(record, sort_keys=True))
+        return 0
+    origin = []
+    if header.environment is not None:
+        origin.append(f"environment {header.environment}")
+    if header.seed is not None:
+        origin.append(f"seed {header.seed}")
+    origin_note = f", {', '.join(origin)}" if origin else ""
+    print(f"fix log: {args.file} ({len(fixes)} fixes{origin_note})\n")
+    paths: Dict[str, int] = {}
+    fault_kinds: Dict[str, int] = {}
+    lineage: List[str] = []
+    for fix in fixes:
+        print(_provenance_line(fix))
+        if fix.provenance is None:
+            continue
+        paths[fix.provenance.spectral_path] = (
+            paths.get(fix.provenance.spectral_path, 0) + 1
+        )
+        for kind in fix.provenance.active_faults:
+            fault_kinds[kind] = fault_kinds.get(kind, 0) + 1
+        lineage = list(fix.provenance.checkpoint_lineage)
+    path_note = (
+        "  ".join(f"{name} {count}" for name, count in sorted(paths.items()))
+        or "none"
+    )
+    fault_note = (
+        ", ".join(
+            f"{kind} ({count} fixes)"
+            for kind, count in sorted(fault_kinds.items())
+        )
+        or "none"
+    )
+    lineage_note = " -> ".join(lineage) if lineage else "fresh run (no restores)"
+    print(
+        f"\nspectral paths: {path_note}\n"
+        f"faults seen: {fault_note}\n"
+        f"checkpoint lineage: {lineage_note}"
+    )
+    return 0
+
+
+def cmd_retain(args: argparse.Namespace) -> int:
+    """Age out recordings/checkpoints/fix logs under a retention policy."""
+    import time
+
+    from repro.stream.retention import (
+        RetentionPolicy,
+        apply_retention,
+        plan_retention,
+        scan_artefacts,
+    )
+
+    policy = RetentionPolicy(
+        max_age_s=(
+            None if args.max_age_days is None else args.max_age_days * 86400.0
+        ),
+        max_total_bytes=(
+            None
+            if args.max_total_mb is None
+            else int(args.max_total_mb * 1024 * 1024)
+        ),
+        max_count=args.max_count,
+    )
+    if not policy.bounded:
+        raise UsageError(
+            "set at least one bound: --max-age-days, --max-total-mb "
+            "or --max-count"
+        )
+    artefacts = scan_artefacts(args.directory)
+    plan = plan_retention(artefacts, policy, now_s=time.time())
+    mode = "apply" if args.apply else "dry run"
+    print(
+        f"retention over {args.directory} ({mode}): "
+        f"{len(artefacts)} artefacts, keep {len(plan.keep)}, "
+        f"delete {len(plan.delete)} ({plan.bytes_freed} bytes)"
+    )
+    for planned in plan.delete:
+        print(
+            f"  delete {planned.artefact.path.name}  "
+            f"[{planned.artefact.kind}, {planned.artefact.size_bytes} bytes, "
+            f"{planned.reason}]"
+        )
+    if not args.apply:
+        if plan.delete:
+            print("dry run: nothing deleted (pass --apply to delete)")
+        return 0
+    removed = apply_retention(plan)
+    print(f"deleted {len(removed)} artefacts")
     return 0
 
 
@@ -495,6 +697,23 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="stream reads from a recording instead of the simulator",
     )
+    stream.add_argument(
+        "--fix-log",
+        dest="fix_log",
+        metavar="FILE",
+        default=None,
+        help="write per-fix provenance to FILE as JSONL "
+        "(inspect with `repro provenance`)",
+    )
+    stream.add_argument(
+        "--serve-metrics",
+        dest="serve_metrics",
+        metavar="PORT",
+        type=int,
+        default=None,
+        help="serve /metrics, /healthz and /provenance/recent on "
+        "127.0.0.1:PORT while streaming (0 picks an ephemeral port)",
+    )
     _chaos_option(stream)
     _observability_options(stream)
     stream.set_defaults(handler=cmd_stream)
@@ -535,6 +754,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="only show metrics whose name starts with PREFIX",
     )
     stats.set_defaults(handler=cmd_stats)
+
+    provenance = sub.add_parser(
+        "provenance", help="inspect a `repro stream --fix-log` recording"
+    )
+    provenance.add_argument(
+        "file",
+        nargs="?",
+        default="fixes.jsonl",
+        help="fix log file (default: fixes.jsonl)",
+    )
+    provenance.add_argument(
+        "--json",
+        action="store_true",
+        help="emit one JSON object per fix instead of the table",
+    )
+    provenance.set_defaults(handler=cmd_provenance)
+
+    retain = sub.add_parser(
+        "retain",
+        help="age out recordings/checkpoints under a retention policy",
+    )
+    retain.add_argument("directory", help="directory to scan")
+    retain.add_argument(
+        "--max-age-days",
+        dest="max_age_days",
+        type=float,
+        default=None,
+        help="delete artefacts older than this many days",
+    )
+    retain.add_argument(
+        "--max-total-mb",
+        dest="max_total_mb",
+        type=float,
+        default=None,
+        help="keep newest artefacts until the total exceeds this size",
+    )
+    retain.add_argument(
+        "--max-count",
+        dest="max_count",
+        type=int,
+        default=None,
+        help="keep at most this many artefacts (newest first)",
+    )
+    retain.add_argument(
+        "--apply",
+        action="store_true",
+        help="actually delete; default is a dry run that only reports",
+    )
+    retain.set_defaults(handler=cmd_retain)
     return parser
 
 
@@ -550,7 +818,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     configure_logging(quiet=args.quiet)
     trace_file = getattr(args, "trace", None)
     metrics_file = getattr(args, "metrics", None)
-    if trace_file or metrics_file:
+    serve_port = getattr(args, "serve_metrics", None)
+    obs_on = bool(trace_file or metrics_file) or serve_port is not None
+    if obs_on:
+        # --serve-metrics needs a live registry even without --trace or
+        # --metrics: the /metrics route renders whatever flows into it.
         obs.configure(trace_file=trace_file, metrics_file=metrics_file)
     try:
         return args.handler(args)
@@ -564,7 +836,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
     finally:
-        if trace_file or metrics_file:
+        if obs_on:
             obs.shutdown()
             if trace_file:
                 log.info("trace written", extra=fields(file=trace_file))

@@ -139,6 +139,28 @@ class RecordingError(StreamError):
     """
 
 
+class RetentionError(StreamError):
+    """A retention scan or apply step failed.
+
+    Raised for an unreadable artefact directory or a delete that the
+    filesystem refused — never for foreign files, which the scanner
+    deliberately skips (retention only ever touches artefacts this
+    library wrote, identified by their ``kind`` headers).
+    """
+
+
+class ExpositionError(ConfigurationError):
+    """A metrics exposition violates the Prometheus text format.
+
+    Raised by the in-repo validator (:mod:`repro.obs.export`) when a
+    rendered ``/metrics`` payload breaks the format rules — bad metric
+    or label names, missing ``TYPE`` lines, non-cumulative histogram
+    buckets, duplicate series.  A subclass of
+    :class:`ConfigurationError` because a bad exposition is always an
+    instrumentation bug, never a runtime estimation failure.
+    """
+
+
 class UsageError(ReproError):
     """A command-line invocation asked for something that does not exist.
 

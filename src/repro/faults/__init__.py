@@ -16,6 +16,7 @@ health tracking, quarantine and checkpointing respond to each fault.
 from repro.faults.chaos import CHAOS_SCENARIOS, chaos_plan, fix_window_s
 from repro.faults.injector import FaultInjector, scene_schedules
 from repro.faults.model import (
+    FAULT_KIND_NAMES,
     DeadAntenna,
     EpcMisread,
     Fault,
@@ -24,12 +25,15 @@ from repro.faults.model import (
     OverloadBurst,
     PhaseGlitch,
     ReaderOutage,
+    fault_active,
+    fault_kind,
 )
 
 __all__ = [
     "CHAOS_SCENARIOS",
     "DeadAntenna",
     "EpcMisread",
+    "FAULT_KIND_NAMES",
     "Fault",
     "FaultInjector",
     "FaultPlan",
@@ -38,6 +42,8 @@ __all__ = [
     "PhaseGlitch",
     "ReaderOutage",
     "chaos_plan",
+    "fault_active",
+    "fault_kind",
     "fix_window_s",
     "scene_schedules",
 ]

@@ -35,6 +35,8 @@ from repro.faults.model import (
     OverloadBurst,
     PhaseGlitch,
     ReaderOutage,
+    fault_active,
+    fault_kind,
 )
 from repro.rfid.hub import TdmSchedule
 from repro.sim.scene import Scene
@@ -116,6 +118,29 @@ class FaultInjector:
         """Sum of every fault application (0 for a clean run)."""
         return sum(self.stats.values())
 
+    def _note(self, stat: str, kind: str) -> None:
+        """Account one fault application: stats dict plus both metric
+        shapes (the historical flat counter and the labelled
+        ``faults.injected{kind=...}`` series dashboards aggregate on).
+        """
+        self.stats[stat] += 1
+        obs.count(f"faults.{stat}")
+        obs.count("faults.injected", labels={"kind": kind})
+
+    def active_kinds(self, start_s: float, end_s: float) -> Tuple[str, ...]:
+        """Sorted kinds of planned faults active over ``[start_s, end_s)``.
+
+        The provenance probe: the stream runner calls this per window
+        (via :attr:`~repro.stream.runner.StreamRunner.fault_probe`) to
+        stamp each fix with the chaos conditions it was produced under.
+        """
+        kinds = {
+            fault_kind(fault)
+            for fault in self.plan.faults
+            if fault_active(fault, start_s, end_s)
+        }
+        return tuple(sorted(kinds))
+
     def inject(self, reads: Iterable[TagRead]) -> Iterator[TagRead]:
         """The faulted view of ``reads`` (lazy, single pass)."""
         if not self.plan.enabled:
@@ -138,8 +163,7 @@ class FaultInjector:
             for burst, buffer_ in held:
                 if burst.covers(mutated.time_s):
                     buffer_.append(mutated)
-                    self.stats["delayed"] += 1
-                    obs.count("faults.delayed")
+                    self._note("delayed", "late_burst")
                     delayed = True
                     break
             if delayed:
@@ -148,8 +172,7 @@ class FaultInjector:
             for overload in self._overloads:
                 if overload.covers(mutated.time_s):
                     for _ in range(overload.copies):
-                        self.stats["duplicated"] += 1
-                        obs.count("faults.duplicated")
+                        self._note("duplicated", "overload")
                         yield mutated
         for _, buffer_ in held:
             yield from buffer_
@@ -158,8 +181,7 @@ class FaultInjector:
     def _apply_value_faults(self, read: TagRead) -> Optional[TagRead]:
         for outage in self._outages:
             if outage.reader == read.reader_name and outage.covers(read.time_s):
-                self.stats["dropped_outage"] += 1
-                obs.count("faults.dropped_outage")
+                self._note("dropped_outage", "outage")
                 return None
         for dead in self._dead:
             if dead.reader == read.reader_name and dead.covers(read.time_s):
@@ -167,23 +189,20 @@ class FaultInjector:
                     self.schedules[dead.reader], read.time_s
                 )
                 if antenna == dead.antenna:
-                    self.stats["dropped_dead_antenna"] += 1
-                    obs.count("faults.dropped_dead_antenna")
+                    self._note("dropped_dead_antenna", "dead_antenna")
                     return None
         iq = read.iq
         for glitch in self._glitches:
             if glitch.reader == read.reader_name and glitch.covers(read.time_s):
                 iq = iq * cmath.exp(1j * glitch.offset_rad)
-                self.stats["phase_glitched"] += 1
-                obs.count("faults.phase_glitched")
+                self._note("phase_glitched", "phase_glitch")
         epc = read.epc
         for misread in self._misreads:
             if misread.reader is not None and misread.reader != read.reader_name:
                 continue
             if float(self._rng.random()) < misread.probability:
                 epc = f"MISREAD-{int(self._rng.integers(0, 1 << 24)):06X}"
-                self.stats["misread"] += 1
-                obs.count("faults.misread")
+                self._note("misread", "epc_misread")
         if iq is read.iq and epc is read.epc:
             return read
         return TagRead(

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Dict, Optional, Tuple, Union
 
 from repro.errors import ConfigurationError
 
@@ -171,6 +171,34 @@ class OverloadBurst:
 Fault = Union[
     ReaderOutage, DeadAntenna, PhaseGlitch, EpcMisread, LateBurst, OverloadBurst
 ]
+
+#: Stable kind names, used as metric labels and in fix provenance.
+#: These are part of the observability contract (documented in
+#: ``docs/OBSERVABILITY.md``) — renaming one breaks dashboards.
+FAULT_KIND_NAMES: Dict[type, str] = {
+    ReaderOutage: "outage",
+    DeadAntenna: "dead_antenna",
+    PhaseGlitch: "phase_glitch",
+    EpcMisread: "epc_misread",
+    LateBurst: "late_burst",
+    OverloadBurst: "overload",
+}
+
+
+def fault_kind(fault: Fault) -> str:
+    """The stable kind name of one fault instance."""
+    return FAULT_KIND_NAMES[type(fault)]
+
+
+def fault_active(fault: Fault, start_s: float, end_s: float) -> bool:
+    """Whether a fault's activity overlaps the interval ``[start_s, end_s)``.
+
+    :class:`EpcMisread` carries no interval — it is active for the
+    whole run whenever its probability is non-zero.
+    """
+    if isinstance(fault, EpcMisread):
+        return fault.probability > 0.0
+    return fault.start_s < end_s and fault.end_s > start_s
 
 
 @dataclass(frozen=True)

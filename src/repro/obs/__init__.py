@@ -17,6 +17,13 @@ search).  This package is the zero-dependency layer behind that:
 See ``docs/OBSERVABILITY.md`` for the naming scheme and file schemas.
 """
 
+from repro.obs.export import (
+    ExpositionFamily,
+    prometheus_label_name,
+    prometheus_metric_name,
+    render_prometheus,
+    validate_exposition,
+)
 from repro.obs.logging import (
     StructuredFormatter,
     configure_logging,
@@ -31,6 +38,12 @@ from repro.obs.metrics import (
     latency_stage_stats,
     load_snapshot_jsonl,
     render_snapshot,
+    series_name,
+)
+from repro.obs.server import (
+    PROMETHEUS_CONTENT_TYPE,
+    OpsServer,
+    health_document_for,
 )
 from repro.obs.runtime import (
     ObsState,
@@ -54,11 +67,14 @@ from repro.obs.trace import (
 
 __all__ = [
     "Counter",
+    "ExpositionFamily",
     "Gauge",
     "Histogram",
     "JsonlTraceWriter",
     "MetricsRegistry",
     "ObsState",
+    "OpsServer",
+    "PROMETHEUS_CONTENT_TYPE",
     "SpanRecord",
     "StructuredFormatter",
     "Tracer",
@@ -69,14 +85,20 @@ __all__ = [
     "gauge",
     "get_logger",
     "get_registry",
+    "health_document_for",
     "is_enabled",
     "latency_stage_stats",
     "load_snapshot_jsonl",
     "load_trace_jsonl",
     "observe",
     "observed",
+    "prometheus_label_name",
+    "prometheus_metric_name",
+    "render_prometheus",
     "render_snapshot",
+    "series_name",
     "shutdown",
     "snapshot",
     "span",
+    "validate_exposition",
 ]

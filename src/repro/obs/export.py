@@ -1,0 +1,415 @@
+"""Prometheus text exposition of a metrics snapshot, plus a validator.
+
+The registry's JSONL snapshot is convenient for offline analysis but
+invisible to a production scrape loop.  This module renders the same
+records in the `Prometheus text exposition format
+<https://prometheus.io/docs/instrumenting/exposition_formats/>`_
+(version 0.0.4) — the payload ``GET /metrics`` serves — and ships the
+validator the test suite and the soak harness hold that payload
+against, so the repo never claims "Prometheus-compatible" without
+checking the actual format rules:
+
+* metric names match ``[a-zA-Z_:][a-zA-Z0-9_:]*``, label names match
+  ``[a-zA-Z_][a-zA-Z0-9_]*`` and never start with ``__``;
+* every family carries one ``# TYPE`` line before its samples;
+* histogram bucket counts are cumulative, non-decreasing, and end in
+  an explicit ``le="+Inf"`` bucket equal to ``_count``;
+* no (name, label-set) series appears twice.
+
+Internal dotted names map deterministically onto the exposition
+namespace: ``stream.fixes`` (counter) becomes
+``repro_stream_fixes_total``, ``latency.stream.window`` (histogram)
+becomes ``repro_latency_stream_window`` with ``_bucket``/``_sum``/
+``_count`` children.  Everything is stdlib-only.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import ExpositionError
+
+#: Prefix every exposed metric name carries (the scrape namespace).
+EXPOSITION_NAMESPACE = "repro"
+
+#: Prometheus metric-name and label-name grammars.
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Metric types this exposition emits.
+EXPOSITION_TYPES = ("counter", "gauge", "histogram")
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(?:\s+(?P<timestamp>-?[0-9]+))?$"
+)
+
+_LABEL_RE = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+
+
+def prometheus_metric_name(name: str, kind: str) -> str:
+    """Deterministic exposition name of an internal dotted metric name.
+
+    Dots and any other characters outside the Prometheus grammar
+    become underscores; the ``repro_`` namespace is prefixed and
+    counters gain the conventional ``_total`` suffix.
+    """
+    base = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not base or not METRIC_NAME_RE.match(base[0]):
+        base = f"_{base}"
+    full = f"{EXPOSITION_NAMESPACE}_{base}"
+    if kind == "counter" and not full.endswith("_total"):
+        full = f"{full}_total"
+    return full
+
+
+def prometheus_label_name(name: str) -> str:
+    """Deterministic exposition name of an internal label key."""
+    label = re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    if not label or label[0].isdigit():
+        label = f"_{label}"
+    while label.startswith("__"):
+        label = label[1:]
+    return label
+
+
+def escape_label_value(value: str) -> str:
+    """Backslash-escape a label value for the exposition format."""
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def escape_help(text: str) -> str:
+    """Backslash-escape a HELP line's free text."""
+    return text.replace("\\", r"\\").replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    """Float rendering Prometheus parsers accept (repr keeps precision)."""
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value))
+
+
+def _label_pairs(record: Mapping[str, object]) -> List[Tuple[str, str]]:
+    labels = record.get("labels")
+    if not isinstance(labels, dict):
+        return []
+    return [
+        (prometheus_label_name(str(k)), str(labels[k]))
+        for k in sorted(labels)
+    ]
+
+
+def _render_labels(pairs: List[Tuple[str, str]]) -> str:
+    if not pairs:
+        return ""
+    inner = ",".join(
+        f'{name}="{escape_label_value(value)}"' for name, value in pairs
+    )
+    return f"{{{inner}}}"
+
+
+def render_prometheus(
+    records: Iterable[Mapping[str, object]],
+    help_text: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Render a metrics snapshot as Prometheus exposition text.
+
+    ``records`` is what :meth:`MetricsRegistry.snapshot` returns (or a
+    ``--metrics`` JSONL file re-loaded through
+    :func:`~repro.obs.metrics.load_snapshot_jsonl`).  Families are
+    emitted in sorted internal-name order, each with ``# HELP`` and
+    ``# TYPE`` headers; ``help_text`` optionally overrides the default
+    per-name help string (keyed by the *internal* dotted name).
+    """
+    families: Dict[str, List[Mapping[str, object]]] = {}
+    kinds: Dict[str, str] = {}
+    for record in records:
+        name = str(record.get("name", ""))
+        kind = str(record.get("type", ""))
+        if kind not in EXPOSITION_TYPES:
+            raise ExpositionError(
+                f"metric {name!r} has unknown type {kind!r}"
+            )
+        if kinds.setdefault(name, kind) != kind:
+            raise ExpositionError(
+                f"metric {name!r} appears as both {kinds[name]!r} and {kind!r}"
+            )
+        families.setdefault(name, []).append(record)
+
+    lines: List[str] = []
+    for name in sorted(families):
+        kind = kinds[name]
+        exposed = prometheus_metric_name(name, kind)
+        default_help = f"repro metric {name}"
+        text = (help_text or {}).get(name, default_help)
+        lines.append(f"# HELP {exposed} {escape_help(text)}")
+        lines.append(f"# TYPE {exposed} {kind}")
+        for record in families[name]:
+            pairs = _label_pairs(record)
+            if kind == "histogram":
+                lines.extend(_render_histogram(exposed, record, pairs))
+            else:
+                value = float(record.get("value", 0.0))  # type: ignore[arg-type]
+                lines.append(
+                    f"{exposed}{_render_labels(pairs)} {_format_value(value)}"
+                )
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _render_histogram(
+    exposed: str,
+    record: Mapping[str, object],
+    pairs: List[Tuple[str, str]],
+) -> List[str]:
+    lines: List[str] = []
+    count = int(record.get("count", 0))  # type: ignore[arg-type]
+    total = float(record.get("sum", 0.0))  # type: ignore[arg-type]
+    buckets = record.get("buckets") or []
+    for entry in buckets:
+        bound, cumulative = float(entry[0]), int(entry[1])
+        bucket_pairs = pairs + [("le", _format_value(bound))]
+        lines.append(
+            f"{exposed}_bucket{_render_labels(bucket_pairs)} {cumulative}"
+        )
+    inf_pairs = pairs + [("le", "+Inf")]
+    lines.append(f"{exposed}_bucket{_render_labels(inf_pairs)} {count}")
+    lines.append(f"{exposed}_sum{_render_labels(pairs)} {_format_value(total)}")
+    lines.append(f"{exposed}_count{_render_labels(pairs)} {count}")
+    return lines
+
+
+# -- validation -----------------------------------------------------------
+
+
+@dataclass
+class ExpositionFamily:
+    """One parsed metric family of an exposition payload."""
+
+    name: str
+    type: str = "untyped"
+    help: Optional[str] = None
+    #: ``(sample_name, label_items, value)`` in payload order.
+    samples: List[Tuple[str, Tuple[Tuple[str, str], ...], float]] = field(
+        default_factory=list
+    )
+
+
+def _parse_value(raw: str, line_number: int) -> float:
+    if raw == "+Inf":
+        return float("inf")
+    if raw == "-Inf":
+        return float("-inf")
+    try:
+        return float(raw)
+    except ValueError as exc:
+        raise ExpositionError(
+            f"line {line_number}: invalid sample value {raw!r}"
+        ) from exc
+
+
+def _parse_labels(
+    raw: Optional[str], line_number: int
+) -> Tuple[Tuple[str, str], ...]:
+    if raw is None or raw == "":
+        return ()
+    items: List[Tuple[str, str]] = []
+    rest = raw
+    while rest:
+        match = _LABEL_RE.match(rest)
+        if match is None:
+            raise ExpositionError(
+                f"line {line_number}: malformed label block {raw!r}"
+            )
+        name = match.group("name")
+        if name.startswith("__"):
+            raise ExpositionError(
+                f"line {line_number}: reserved label name {name!r}"
+            )
+        value = (
+            match.group("value")
+            .replace(r"\n", "\n")
+            .replace(r"\"", '"')
+            .replace(r"\\", "\\")
+        )
+        items.append((name, value))
+        rest = rest[match.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            raise ExpositionError(
+                f"line {line_number}: malformed label separator in {raw!r}"
+            )
+    names = [name for name, _ in items]
+    if len(set(names)) != len(names):
+        raise ExpositionError(
+            f"line {line_number}: duplicate label name in {raw!r}"
+        )
+    return tuple(items)
+
+
+def _family_of(sample_name: str) -> str:
+    """Base family name of a sample (strips histogram child suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def validate_exposition(text: str) -> Dict[str, ExpositionFamily]:
+    """Parse exposition text, raising :class:`ExpositionError` on any
+    format violation; returns the parsed families keyed by exposed name.
+
+    This is the in-repo acceptance check for ``GET /metrics``: the
+    tests and the soak harness feed the live payload through it, so a
+    rendering regression fails loudly instead of surfacing as a scrape
+    error in someone's production Prometheus.
+    """
+    families: Dict[str, ExpositionFamily] = {}
+    seen_series: set = set()
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP ") or line.startswith("# TYPE "):
+            _parse_header(line, line_number, families)
+            continue
+        if line.startswith("#"):
+            continue  # free-form comment
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ExpositionError(
+                f"line {line_number}: malformed sample line {line!r}"
+            )
+        sample_name = match.group("name")
+        labels = _parse_labels(match.group("labels"), line_number)
+        value = _parse_value(match.group("value"), line_number)
+        series = (sample_name, labels)
+        if series in seen_series:
+            raise ExpositionError(
+                f"line {line_number}: duplicate series {sample_name!r} "
+                f"with labels {dict(labels)!r}"
+            )
+        seen_series.add(series)
+        base = _family_of(sample_name)
+        family = families.get(base) or families.get(sample_name)
+        if family is None:
+            raise ExpositionError(
+                f"line {line_number}: sample {sample_name!r} has no "
+                "preceding # TYPE line"
+            )
+        family.samples.append((sample_name, labels, value))
+    for family in families.values():
+        if family.type == "histogram":
+            _check_histogram(family)
+    return families
+
+
+def _parse_header(
+    line: str, line_number: int, families: Dict[str, ExpositionFamily]
+) -> None:
+    parts = line.split(None, 3)
+    if len(parts) < 3:
+        raise ExpositionError(f"line {line_number}: malformed header {line!r}")
+    keyword, name = parts[1], parts[2]
+    if not METRIC_NAME_RE.match(name):
+        raise ExpositionError(
+            f"line {line_number}: invalid metric name {name!r}"
+        )
+    family = families.setdefault(name, ExpositionFamily(name=name))
+    if keyword == "HELP":
+        if family.help is not None:
+            raise ExpositionError(
+                f"line {line_number}: repeated HELP for {name!r}"
+            )
+        family.help = parts[3] if len(parts) > 3 else ""
+        return
+    if len(parts) != 4:
+        raise ExpositionError(f"line {line_number}: malformed TYPE {line!r}")
+    declared = parts[3]
+    if declared not in (*EXPOSITION_TYPES, "summary", "untyped"):
+        raise ExpositionError(
+            f"line {line_number}: unknown metric type {declared!r}"
+        )
+    if family.type != "untyped":
+        raise ExpositionError(f"line {line_number}: repeated TYPE for {name!r}")
+    if family.samples:
+        raise ExpositionError(
+            f"line {line_number}: TYPE for {name!r} after its samples"
+        )
+    family.type = declared
+
+
+def _check_histogram(family: ExpositionFamily) -> None:
+    """Cumulativity and ``+Inf``/``_count`` consistency per label set."""
+    by_labels: Dict[Tuple[Tuple[str, str], ...], Dict[str, object]] = {}
+    for sample_name, labels, value in family.samples:
+        if sample_name.endswith("_bucket"):
+            bare = tuple(item for item in labels if item[0] != "le")
+            le = dict(labels).get("le")
+            if le is None:
+                raise ExpositionError(
+                    f"histogram {family.name!r} bucket sample missing "
+                    'the "le" label'
+                )
+            entry = by_labels.setdefault(bare, {"buckets": []})
+            buckets = entry["buckets"]
+            assert isinstance(buckets, list)
+            buckets.append((_parse_value(le, 0), value))
+        elif sample_name.endswith("_count"):
+            by_labels.setdefault(labels, {"buckets": []})["count"] = value
+        elif sample_name.endswith("_sum"):
+            by_labels.setdefault(labels, {"buckets": []})["sum"] = value
+        else:
+            raise ExpositionError(
+                f"histogram {family.name!r} has stray sample {sample_name!r}"
+            )
+    for labels, entry in by_labels.items():
+        buckets = entry.get("buckets")
+        assert isinstance(buckets, list)
+        if not buckets:
+            raise ExpositionError(
+                f"histogram {family.name!r} label set {dict(labels)!r} "
+                "has no buckets"
+            )
+        bounds = [bound for bound, _ in buckets]
+        counts = [count for _, count in buckets]
+        if bounds != sorted(bounds):
+            raise ExpositionError(
+                f"histogram {family.name!r} buckets are not in "
+                f"ascending le order: {bounds}"
+            )
+        if any(b > a for a, b in zip(counts[1:], counts)):
+            raise ExpositionError(
+                f"histogram {family.name!r} bucket counts are not "
+                f"cumulative: {counts}"
+            )
+        if bounds[-1] != float("inf"):
+            raise ExpositionError(
+                f'histogram {family.name!r} is missing the le="+Inf" bucket'
+            )
+        declared_count = entry.get("count")
+        if declared_count is None:
+            raise ExpositionError(
+                f"histogram {family.name!r} is missing its _count sample"
+            )
+        if "sum" not in entry:
+            raise ExpositionError(
+                f"histogram {family.name!r} is missing its _sum sample"
+            )
+        if counts[-1] != declared_count:
+            raise ExpositionError(
+                f"histogram {family.name!r}: +Inf bucket {counts[-1]} "
+                f"!= _count {declared_count}"
+            )

@@ -5,9 +5,18 @@ Three metric kinds cover everything the pipeline reports:
 * :class:`Counter` — monotonically increasing totals
   (``pipeline.fixes``, ``localizer.outliers_rejected``).
 * :class:`Gauge` — last-written values (``multitarget.pool_size``).
-* :class:`Histogram` — value distributions with exact count/sum/min/max
-  and sample-based percentiles (``calibration.residual``, the
-  per-stage ``latency.*`` series fed automatically by spans).
+* :class:`Histogram` — value distributions with exact count/sum/min/max,
+  sample-based percentiles, and cumulative exposition buckets
+  (``calibration.residual``, the per-stage ``latency.*`` series fed
+  automatically by spans).
+
+Every metric may additionally carry **labels** — a small, bounded set
+of ``key=value`` dimensions (``stream.reads.rejected{reader=R1}``,
+``faults.injected{kind=outage}``).  A (name, label-set) pair is one
+series; the registry caps the number of series per name so a bug can
+never explode cardinality unbounded (the cap is asserted by the soak
+harness).  A metric *name* still belongs to exactly one kind across
+all of its label sets.
 
 Everything is plain stdlib + a lock, so the layer adds no dependency
 and is safe to use from the threaded measurement hub.  Histograms keep
@@ -22,15 +31,40 @@ from __future__ import annotations
 
 import json
 import threading
+from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.errors import ConfigurationError
 
 MetricValue = Union[int, float]
 
+#: One series key: label items, sorted by key (the registry sorts).
+LabelItems = Tuple[Tuple[str, str], ...]
+
 #: Percentiles reported in every histogram snapshot.
 HISTOGRAM_PERCENTILES = (50.0, 90.0, 99.0)
+
+#: Default cumulative-bucket upper bounds of every histogram, a
+#: log-ish ladder wide enough for milliseconds (``latency.*``), meters
+#: (``harness.error_m``) and calibration residuals alike.  Exposition
+#: adds the implicit ``+Inf`` bucket (= ``count``).
+DEFAULT_BUCKET_BOUNDS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5,
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0,
+)
+
+#: Hard per-name series cap: creating more label sets than this for one
+#: metric name raises instead of silently growing without bound.
+MAX_SERIES_PER_NAME = 512
+
+
+def label_items(labels: Optional[Mapping[str, str]]) -> LabelItems:
+    """Normalize a label mapping into the sorted, hashable series key."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
 @dataclass
@@ -39,6 +73,7 @@ class Counter:
 
     name: str
     value: float = 0.0
+    labels: LabelItems = ()
 
     def inc(self, amount: MetricValue = 1) -> None:
         """Add ``amount`` (must be non-negative) to the total."""
@@ -52,7 +87,10 @@ class Counter:
         self.value = 0.0
 
     def snapshot(self) -> dict:
-        return {"name": self.name, "type": "counter", "value": self.value}
+        record = {"name": self.name, "type": "counter", "value": self.value}
+        if self.labels:
+            record["labels"] = dict(self.labels)
+        return record
 
 
 @dataclass
@@ -61,6 +99,7 @@ class Gauge:
 
     name: str
     value: float = 0.0
+    labels: LabelItems = ()
     _written: bool = False
 
     def set(self, value: MetricValue) -> None:
@@ -72,7 +111,10 @@ class Gauge:
         self._written = False
 
     def snapshot(self) -> dict:
-        return {"name": self.name, "type": "gauge", "value": self.value}
+        record = {"name": self.name, "type": "gauge", "value": self.value}
+        if self.labels:
+            record["labels"] = dict(self.labels)
+        return record
 
 
 @dataclass
@@ -93,9 +135,20 @@ class Histogram:
     total: float = 0.0
     min_value: Optional[float] = None
     max_value: Optional[float] = None
+    labels: LabelItems = ()
+    bucket_bounds: Tuple[float, ...] = DEFAULT_BUCKET_BOUNDS
     _samples: List[float] = field(default_factory=list)
     _stride: int = 1
     _pending: int = 0
+    _bucket_counts: List[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if tuple(sorted(self.bucket_bounds)) != tuple(self.bucket_bounds):
+            raise ConfigurationError(
+                f"histogram {self.name!r} bucket bounds must be sorted"
+            )
+        if not self._bucket_counts:
+            self._bucket_counts = [0] * (len(self.bucket_bounds) + 1)
 
     def observe(self, value: MetricValue) -> None:
         v = float(value)
@@ -103,6 +156,9 @@ class Histogram:
         self.total += v
         self.min_value = v if self.min_value is None else min(self.min_value, v)
         self.max_value = v if self.max_value is None else max(self.max_value, v)
+        # Prometheus buckets are upper-bound inclusive (v <= le); the
+        # final slot is the implicit +Inf overflow bucket.
+        self._bucket_counts[bisect_left(self.bucket_bounds, v)] += 1
         self._pending += 1
         if self._pending >= self._stride:
             self._pending = 0
@@ -125,6 +181,19 @@ class Histogram:
         rank = max(0, min(len(ordered) - 1, round(q / 100.0 * (len(ordered) - 1))))
         return ordered[rank]
 
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, finite bounds only.
+
+        The implicit ``+Inf`` bucket equals :attr:`count`; the
+        Prometheus renderer appends it at exposition time.
+        """
+        pairs: List[Tuple[float, int]] = []
+        running = 0
+        for bound, in_bucket in zip(self.bucket_bounds, self._bucket_counts):
+            running += in_bucket
+            pairs.append((bound, running))
+        return pairs
+
     def reset(self) -> None:
         self.count = 0
         self.total = 0.0
@@ -133,6 +202,7 @@ class Histogram:
         self._samples = []
         self._stride = 1
         self._pending = 0
+        self._bucket_counts = [0] * (len(self.bucket_bounds) + 1)
 
     def snapshot(self) -> dict:
         record = {
@@ -143,7 +213,13 @@ class Histogram:
             "mean": self.mean,
             "min": self.min_value if self.min_value is not None else 0.0,
             "max": self.max_value if self.max_value is not None else 0.0,
+            "buckets": [
+                [bound, cumulative]
+                for bound, cumulative in self.cumulative_buckets()
+            ],
         }
+        if self.labels:
+            record["labels"] = dict(self.labels)
         record.update(
             {f"p{q:g}": self.percentile(q) for q in HISTOGRAM_PERCENTILES}
         )
@@ -154,47 +230,86 @@ Metric = Union[Counter, Gauge, Histogram]
 
 
 class MetricsRegistry:
-    """Thread-safe get-or-create home for every named metric.
+    """Thread-safe get-or-create home for every named metric series.
 
-    A metric name belongs to exactly one kind; asking for an existing
-    name with a different kind is a programming error and raises
-    immediately rather than silently splitting the series.
+    A metric name belongs to exactly one kind across all of its label
+    sets; asking for an existing name with a different kind is a
+    programming error and raises immediately rather than silently
+    splitting the series.  The number of label sets per name is capped
+    at :data:`MAX_SERIES_PER_NAME` so instrumentation bugs (labelling
+    by an unbounded value such as an EPC) fail loudly instead of
+    leaking memory on a long-running monitor.
     """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._metrics: Dict[str, Metric] = {}
+        self._metrics: Dict[Tuple[str, LabelItems], Metric] = {}
+        self._kinds: Dict[str, type] = {}
+        self._series_per_name: Dict[str, int] = {}
 
-    def counter(self, name: str) -> Counter:
-        return self._get_or_create(name, Counter)
+    def counter(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Counter:
+        return self._get_or_create(name, Counter, labels)
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get_or_create(name, Gauge)
+    def gauge(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Gauge:
+        return self._get_or_create(name, Gauge, labels)
 
-    def histogram(self, name: str) -> Histogram:
-        return self._get_or_create(name, Histogram)
+    def histogram(
+        self, name: str, labels: Optional[Mapping[str, str]] = None
+    ) -> Histogram:
+        return self._get_or_create(name, Histogram, labels)
 
-    def _get_or_create(self, name: str, kind) -> Metric:
+    def _get_or_create(
+        self, name: str, kind, labels: Optional[Mapping[str, str]] = None
+    ) -> Metric:
+        key = (name, label_items(labels))
         with self._lock:
-            metric = self._metrics.get(name)
-            if metric is None:
-                metric = kind(name=name)
-                self._metrics[name] = metric
-            elif not isinstance(metric, kind):
+            metric = self._metrics.get(key)
+            if metric is not None:
+                if not isinstance(metric, kind):
+                    raise ConfigurationError(
+                        f"metric {name!r} is a {type(metric).__name__}, "
+                        f"not a {kind.__name__}"
+                    )
+                return metric
+            registered = self._kinds.get(name)
+            if registered is not None and registered is not kind:
                 raise ConfigurationError(
-                    f"metric {name!r} is a {type(metric).__name__}, "
+                    f"metric {name!r} is a {registered.__name__}, "
                     f"not a {kind.__name__}"
                 )
+            series = self._series_per_name.get(name, 0)
+            if series >= MAX_SERIES_PER_NAME:
+                raise ConfigurationError(
+                    f"metric {name!r} exceeds {MAX_SERIES_PER_NAME} label "
+                    "sets; label values must come from a bounded vocabulary"
+                )
+            metric = kind(name=name, labels=key[1])
+            self._metrics[key] = metric
+            self._kinds[name] = kind
+            self._series_per_name[name] = series + 1
             return metric
 
     def names(self) -> List[str]:
+        """Distinct metric names (label sets collapse), sorted."""
         with self._lock:
-            return sorted(self._metrics)
+            return sorted(self._kinds)
+
+    def series_count(self) -> int:
+        """Total number of live (name, label-set) series."""
+        with self._lock:
+            return len(self._metrics)
 
     def snapshot(self) -> List[dict]:
-        """One record per metric, sorted by name."""
+        """One record per series, sorted by (name, labels)."""
         with self._lock:
-            return [self._metrics[name].snapshot() for name in sorted(self._metrics)]
+            return [
+                self._metrics[key].snapshot()
+                for key in sorted(self._metrics)
+            ]
 
     def reset(self) -> None:
         """Zero every metric while keeping registrations."""
@@ -206,6 +321,8 @@ class MetricsRegistry:
         """Forget every metric."""
         with self._lock:
             self._metrics.clear()
+            self._kinds.clear()
+            self._series_per_name.clear()
 
     def write_jsonl(self, path: str) -> int:
         """Write the snapshot as JSON lines; returns the record count."""
@@ -258,6 +375,16 @@ def latency_stage_stats(
     return stages
 
 
+def series_name(record: Mapping[str, object]) -> str:
+    """Display name of one snapshot record: ``name{k=v,...}`` if labelled."""
+    name = str(record.get("name", ""))
+    labels = record.get("labels")
+    if not isinstance(labels, dict) or not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
 def render_snapshot(
     records: Iterable[dict], prefix: Optional[str] = None
 ) -> List[str]:
@@ -274,16 +401,16 @@ def render_snapshot(
     histograms = [r for r in rows if r.get("type") == "histogram"]
     lines: List[str] = []
     if counters or gauges:
-        width = max(len(r["name"]) for r in counters + gauges)
+        width = max(len(series_name(r)) for r in counters + gauges)
         lines.append("-- counters & gauges --")
         for record in counters + gauges:
             value = record.get("value", 0.0)
             rendered = f"{value:g}" if isinstance(value, float) else str(value)
-            lines.append(f"{record['name']:<{width}}  {rendered}")
+            lines.append(f"{series_name(record):<{width}}  {rendered}")
     if histograms:
         if lines:
             lines.append("")
-        width = max(len(r["name"]) for r in histograms)
+        width = max(len(series_name(r)) for r in histograms)
         lines.append("-- histograms --")
         header = (
             f"{'name':<{width}}  {'count':>7} {'mean':>10} {'p50':>10} "
@@ -291,7 +418,7 @@ def render_snapshot(
         )
         lines.append(header)
         lines.extend(
-            f"{record['name']:<{width}}  "
+            f"{series_name(record):<{width}}  "
             f"{record.get('count', 0):>7} "
             f"{record.get('mean', 0.0):>10.3f} "
             f"{record.get('p50', 0.0):>10.3f} "

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import contextlib
 from dataclasses import dataclass, field
-from typing import Any, Iterator, List, Optional, Union
+from typing import Any, Iterator, List, Mapping, Optional, Union
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import (
@@ -141,25 +141,37 @@ def span(name: str, **attrs: Any) -> Union[ActiveSpan, NullSpan]:
     return state.tracer.start(name, attrs)
 
 
-def count(name: str, amount: float = 1) -> None:
-    """Bump a counter; a no-op when disabled."""
+def count(
+    name: str,
+    amount: float = 1,
+    labels: Optional[Mapping[str, str]] = None,
+) -> None:
+    """Bump a counter (optionally labelled); a no-op when disabled."""
     state = _state
     if state.enabled:
-        state.registry.counter(name).inc(amount)
+        state.registry.counter(name, labels).inc(amount)
 
 
-def observe(name: str, value: float) -> None:
+def observe(
+    name: str,
+    value: float,
+    labels: Optional[Mapping[str, str]] = None,
+) -> None:
     """Record one histogram observation; a no-op when disabled."""
     state = _state
     if state.enabled:
-        state.registry.histogram(name).observe(value)
+        state.registry.histogram(name, labels).observe(value)
 
 
-def gauge(name: str, value: float) -> None:
-    """Write a gauge; a no-op when disabled."""
+def gauge(
+    name: str,
+    value: float,
+    labels: Optional[Mapping[str, str]] = None,
+) -> None:
+    """Write a gauge (optionally labelled); a no-op when disabled."""
     state = _state
     if state.enabled:
-        state.registry.gauge(name).set(value)
+        state.registry.gauge(name, labels).set(value)
 
 
 def snapshot() -> List[dict]:

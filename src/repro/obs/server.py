@@ -1,0 +1,245 @@
+"""The live ops surface: a stdlib-only HTTP endpoint for a running stream.
+
+``repro stream --serve-metrics PORT`` starts this next to the
+streaming loop.  Three routes, no dependencies beyond the standard
+library:
+
+``GET /metrics``
+    The live registry in Prometheus text exposition format 0.0.4
+    (rendered by :func:`repro.obs.export.render_prometheus`), ready
+    for any Prometheus-compatible scraper.
+``GET /healthz``
+    A JSON summary of the reader fleet's health ladder — overall
+    status (``ok`` while no reader is quarantined, ``degraded``
+    otherwise), per-reader states, and the run counters — suitable as
+    a liveness/readiness probe.
+``GET /provenance/recent``
+    The most recent fixes' provenance records (JSON), served from the
+    bounded :class:`~repro.stream.provenance.ProvenanceRing`; a
+    ``?limit=N`` query caps the count.
+
+The server runs daemon-threaded (:class:`ThreadingHTTPServer`) so it
+never blocks the streaming loop and dies with the process; handlers
+only ever *read* shared state through snapshots (the registry snapshot
+and the ring's locked copy), so serving a scrape cannot perturb a fix.
+Port ``0`` binds an ephemeral port; :attr:`OpsServer.port` reports the
+actual one.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro.errors import ConfigurationError
+from repro.obs import runtime
+from repro.obs.export import render_prometheus
+
+if TYPE_CHECKING:  # the ring is stream-side; importing it here would cycle
+    from repro.stream.provenance import ProvenanceRing
+
+#: The content type Prometheus scrapers expect from /metrics.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Callable returning the /healthz JSON document.
+HealthProvider = Callable[[], Dict[str, Any]]
+
+
+def registry_snapshot() -> List[Dict[str, Any]]:
+    """The globally active registry's snapshot (the default source)."""
+    return runtime.get_registry().snapshot()
+
+
+class _OpsHandler(BaseHTTPRequestHandler):
+    """Routes one request; all state lives on ``server``."""
+
+    server: "_OpsHTTPServer"
+
+    # Quieten the default stderr-per-request logging; the CLI already
+    # reports where the endpoint listens.
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        return None
+
+    def do_GET(self) -> None:
+        parts = urlsplit(self.path)
+        if parts.path == "/metrics":
+            self._send_metrics()
+        elif parts.path == "/healthz":
+            self._send_json(200, self.server.ops.health_document())
+        elif parts.path == "/provenance/recent":
+            self._send_json(
+                200, self.server.ops.provenance_document(parts.query)
+            )
+        else:
+            self._send_json(
+                404,
+                {
+                    "error": "not found",
+                    "routes": ["/metrics", "/healthz", "/provenance/recent"],
+                },
+            )
+
+    def _send_metrics(self) -> None:
+        body = self.server.ops.metrics_text().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_json(self, status: int, document: Dict[str, Any]) -> None:
+        body = (json.dumps(document, sort_keys=True) + "\n").encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class _OpsHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying a back-reference to the OpsServer."""
+
+    daemon_threads = True
+    ops: "OpsServer"
+
+
+class OpsServer:
+    """The ops endpoint: bind, serve in a daemon thread, stop cleanly.
+
+    Parameters
+    ----------
+    port:
+        TCP port to bind on ``host``; ``0`` picks an ephemeral port
+        (read :attr:`port` after :meth:`start`).
+    host:
+        Bind address; loopback by default — exposing wider is an
+        explicit operator decision.
+    snapshot_source:
+        Zero-argument callable returning a metrics snapshot (defaults
+        to the globally active registry).
+    health_provider:
+        Zero-argument callable returning the ``/healthz`` payload;
+        when absent the route reports ``{"status": "unknown"}``.
+    ring:
+        The recent-provenance buffer behind ``/provenance/recent``;
+        when absent the route serves an empty list.
+    """
+
+    def __init__(
+        self,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        snapshot_source: Optional[Callable[[], List[Dict[str, Any]]]] = None,
+        health_provider: Optional[HealthProvider] = None,
+        ring: Optional["ProvenanceRing"] = None,
+    ) -> None:
+        if not 0 <= port <= 65535:
+            raise ConfigurationError(
+                f"ops server port must be in [0, 65535], got {port}"
+            )
+        self.host = host
+        self.requested_port = port
+        self.snapshot_source = snapshot_source or registry_snapshot
+        self.health_provider = health_provider
+        self.ring = ring
+        self._server: Optional[_OpsHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (resolves a requested port of 0)."""
+        if self._server is None:
+            return self.requested_port
+        return int(self._server.server_address[1])
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running endpoint."""
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "OpsServer":
+        """Bind and begin serving from a daemon thread; returns self."""
+        if self._server is not None:
+            raise ConfigurationError("ops server is already running")
+        try:
+            server = _OpsHTTPServer((self.host, self.requested_port), _OpsHandler)
+        except OSError as exc:
+            raise ConfigurationError(
+                f"cannot bind ops server on {self.host}:{self.requested_port}: {exc}"
+            ) from exc
+        server.ops = self
+        self._server = server
+        self._thread = threading.Thread(
+            target=server.serve_forever,
+            name="repro-ops-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Shut the endpoint down and join the serving thread."""
+        if self._server is None:
+            return
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+        self._server = None
+        self._thread = None
+
+    def __enter__(self) -> "OpsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # -- route payloads (also the testable seam) --------------------------
+
+    def metrics_text(self) -> str:
+        """The /metrics body: the current snapshot, Prometheus-rendered."""
+        return render_prometheus(self.snapshot_source())
+
+    def health_document(self) -> Dict[str, Any]:
+        """The /healthz body."""
+        if self.health_provider is None:
+            return {"status": "unknown"}
+        return self.health_provider()
+
+    def provenance_document(self, query: str = "") -> Dict[str, Any]:
+        """The /provenance/recent body; honours a ``limit=N`` query."""
+        limit: Optional[int] = None
+        raw = parse_qs(query).get("limit")
+        if raw:
+            try:
+                limit = max(0, int(raw[0]))
+            except ValueError:
+                limit = None
+        if self.ring is None:
+            return {"fixes": [], "retained": 0}
+        return {"fixes": self.ring.recent(limit), "retained": len(self.ring)}
+
+
+def health_document_for(runner: Any) -> Dict[str, Any]:
+    """The /healthz payload of a live :class:`StreamRunner`.
+
+    Accepts the runner duck-typed (``Any``) to keep this module free of
+    a stream import cycle; it only touches the health tracker and the
+    run counters.
+    """
+    report = runner.health.report()
+    quarantined = sorted(r.name for r in report if r.quarantined)
+    return {
+        "status": "degraded" if quarantined else "ok",
+        "readers": {r.name: r.state for r in report},
+        "quarantined": quarantined,
+        "healthy": runner.health.healthy_count,
+        "total": runner.health.total,
+        "fixes_emitted": runner.fixes_emitted,
+        "rejected_reads": runner.rejected_reads,
+        "queue_depth": len(runner.queue),
+        "lineage": list(runner.lineage),
+    }

@@ -31,6 +31,13 @@ that online service:
   bit-identical across a crash-resume.
 * :mod:`repro.stream.replay` — versioned JSONL recording and replay of
   read streams.
+* :mod:`repro.stream.provenance` — the per-fix audit record (readers,
+  faults, spectral path, checkpoint lineage), the versioned fix-log
+  JSONL format behind ``repro stream --fix-log`` / ``repro
+  provenance``, and the bounded recent-fix ring the ops endpoint
+  serves.
+* :mod:`repro.stream.retention` — TTL/size/count retention policies
+  over recording and checkpoint directories (``repro retain``).
 * :mod:`repro.stream.synthetic` — a synthetic read-stream driver over
   :mod:`repro.sim.measurement` for offline runs and benchmarks.
 * :mod:`repro.stream.runner` — :class:`StreamRunner`, the pull-based
@@ -45,6 +52,7 @@ Fault injection lives in its own package, :mod:`repro.faults`.  See
 from repro.stream.checkpoint import (
     CHECKPOINT_KIND,
     CHECKPOINT_SCHEMA,
+    checkpoint_id,
     checkpoint_state,
     load_checkpoint,
     restore_state,
@@ -59,7 +67,33 @@ from repro.stream.health import (
     HealthTracker,
     ReaderHealth,
 )
+from repro.stream.provenance import (
+    FIXLOG_KIND,
+    FIXLOG_SCHEMA,
+    READER_ROLES,
+    SPECTRAL_PATHS,
+    FixLogHeader,
+    FixLogWriter,
+    FixProvenance,
+    LoggedFix,
+    ProvenanceRing,
+    ReaderProvenance,
+    read_fix_log,
+    read_fix_log_header,
+    write_fix_log,
+)
 from repro.stream.queue import DROP_POLICIES, BoundedReadQueue
+from repro.stream.retention import (
+    RETAINABLE_KINDS,
+    Artefact,
+    PlannedDeletion,
+    RetentionPlan,
+    RetentionPolicy,
+    apply_retention,
+    plan_retention,
+    scan_artefacts,
+    sniff_kind,
+)
 from repro.stream.replay import (
     RecordingHeader,
     read_header,
@@ -77,6 +111,7 @@ from repro.stream.window import (
 )
 
 __all__ = [
+    "Artefact",
     "BaselineDriftTracker",
     "BoundedReadQueue",
     "CHECKPOINT_KIND",
@@ -84,14 +119,28 @@ __all__ = [
     "CovarianceBank",
     "DROP_POLICIES",
     "EwCovariance",
+    "FIXLOG_KIND",
+    "FIXLOG_SCHEMA",
+    "FixLogHeader",
+    "FixLogWriter",
+    "FixProvenance",
     "FixQuality",
     "HEALTH_STATES",
     "HealthConfig",
     "HealthTracker",
+    "LoggedFix",
+    "PlannedDeletion",
+    "ProvenanceRing",
     "QUALITY_LEVELS",
+    "READER_ROLES",
+    "RETAINABLE_KINDS",
     "ReaderHealth",
+    "ReaderProvenance",
     "RecordingHeader",
+    "RetentionPlan",
+    "RetentionPolicy",
     "RetryPolicy",
+    "SPECTRAL_PATHS",
     "SnapshotWindow",
     "StreamConfig",
     "StreamRunner",
@@ -100,14 +149,22 @@ __all__ = [
     "TrackFix",
     "WindowAssembler",
     "WindowConfig",
+    "apply_retention",
+    "checkpoint_id",
     "checkpoint_state",
     "load_checkpoint",
+    "plan_retention",
+    "read_fix_log",
+    "read_fix_log_header",
     "read_header",
     "read_recording",
     "restore_state",
     "save_checkpoint",
+    "scan_artefacts",
+    "sniff_kind",
     "supervised_reads",
     "sweep_slot",
     "synthetic_reads",
+    "write_fix_log",
     "write_recording",
 ]

@@ -31,6 +31,7 @@ dictionary keys as decimal strings (JSON objects only key on strings).
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Union
@@ -96,7 +97,21 @@ def checkpoint_state(runner: "StreamRunner") -> Dict[str, Any]:
         "health": runner.health.export_state(),
         "fixes_emitted": runner.fixes_emitted,
         "rejected_reads": runner.rejected_reads,
+        "lineage": list(runner.lineage),
     }
+
+
+def checkpoint_id(state: Mapping[str, Any]) -> str:
+    """Content identity of a checkpoint document (12 hex chars).
+
+    The SHA-256 of the sorted-key JSON serialization — the same bytes
+    :func:`save_checkpoint` writes — so the id is stable across
+    load/save round trips and across processes.  Restoring appends this
+    id to the runner's lineage, giving every later fix's provenance an
+    auditable chain back through each crash-resume.
+    """
+    serialized = json.dumps(dict(state), sort_keys=True)
+    return hashlib.sha256(serialized.encode("utf-8")).hexdigest()[:12]
 
 
 def restore_state(runner: "StreamRunner", state: Mapping[str, Any]) -> None:
@@ -126,6 +141,12 @@ def restore_state(runner: "StreamRunner", state: Mapping[str, Any]) -> None:
         runner.health.import_state(state["health"])
         runner.fixes_emitted = int(state["fixes_emitted"])
         runner.rejected_reads = int(state["rejected_reads"])
+        # The restored runner's lineage is the checkpoint's own chain
+        # plus the checkpoint it just resumed from (documents written
+        # before lineage existed count as an empty chain).
+        runner.lineage = [
+            str(entry) for entry in state.get("lineage", [])
+        ] + [checkpoint_id(state)]
     except (KeyError, TypeError, ValueError, IndexError) as exc:
         raise CheckpointError(f"malformed checkpoint: {exc}") from exc
 

@@ -17,11 +17,14 @@ or not tracing is enabled.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Tuple
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Tuple
 
 from repro.core.likelihood import LocationEstimate
 from repro.geometry.point import Point
+
+if TYPE_CHECKING:  # avoid the provenance -> events import cycle
+    from repro.stream.provenance import FixProvenance
 
 
 @dataclass(frozen=True)
@@ -119,6 +122,12 @@ class TrackFix:
         Health-aware trust stamp (see :class:`FixQuality`); defaults to
         a full-quality stamp so replays of healthy streams stay
         unchanged.
+    provenance:
+        Optional audit record of what produced this fix (contributing
+        readers, active faults, spectral path, checkpoint lineage; see
+        :class:`repro.stream.provenance.FixProvenance`).  Metadata
+        only: excluded from equality and repr so fixes compare by
+        their observable output alone.
     """
 
     index: int
@@ -129,6 +138,9 @@ class TrackFix:
     sweeps: int = 0
     reads: int = 0
     quality: FixQuality = FixQuality()
+    provenance: Optional["FixProvenance"] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def located(self) -> bool:

@@ -1,0 +1,260 @@
+"""Retention policies over stream artefact directories.
+
+A continuous deployment accretes files: read recordings
+(``dwatch-reads``), checkpoints (``dwatch-checkpoint``) and fix logs
+(``dwatch-fixes``) all grow without bound unless something ages them
+out.  This module is that something — ``repro retain DIR`` applies a
+:class:`RetentionPolicy` combining three independent bounds:
+
+* **age** — artefacts older than ``max_age_s`` expire;
+* **total size** — newest-first, artefacts are kept until the running
+  total would exceed ``max_total_bytes``;
+* **count** — at most ``max_count`` artefacts survive, newest first.
+
+Two safety properties are deliberate:
+
+1. **Only our own files.**  The scanner identifies artefacts by the
+   ``kind`` tag every repro JSONL/JSON format writes in its header; a
+   foreign file in the directory — whatever its extension — is never
+   a deletion candidate.
+2. **Dry-run by default.**  Planning (:func:`plan_retention`) is pure:
+   it returns what *would* be deleted and why.  Only
+   :func:`apply_retention` (the CLI's ``--apply``) touches the disk.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import ConfigurationError, RetentionError
+
+#: Header ``kind`` tags retention recognises as its own artefacts.
+RETAINABLE_KINDS: Tuple[str, ...] = (
+    "dwatch-reads",
+    "dwatch-checkpoint",
+    "dwatch-fixes",
+)
+
+#: How much of a file the kind sniffer reads.  Every repro format puts
+#: its header on line 1, well inside this.
+_SNIFF_BYTES = 4096
+
+#: Reasons a planned deletion can carry.
+DELETE_REASONS: Tuple[str, ...] = ("expired", "over-size", "over-count")
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class RetentionPolicy:
+    """Bounds on what an artefact directory may hold.
+
+    Every field is optional; an unset bound never deletes anything.
+    At least one must be set for the policy to be :attr:`bounded`.
+    """
+
+    max_age_s: Optional[float] = None
+    max_total_bytes: Optional[int] = None
+    max_count: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_age_s is not None and self.max_age_s < 0:
+            raise ConfigurationError("max_age_s cannot be negative")
+        if self.max_total_bytes is not None and self.max_total_bytes < 0:
+            raise ConfigurationError("max_total_bytes cannot be negative")
+        if self.max_count is not None and self.max_count < 0:
+            raise ConfigurationError("max_count cannot be negative")
+
+    @property
+    def bounded(self) -> bool:
+        """Whether this policy can ever delete anything."""
+        return (
+            self.max_age_s is not None
+            or self.max_total_bytes is not None
+            or self.max_count is not None
+        )
+
+
+@dataclass(frozen=True)
+class Artefact:
+    """One recognised file in an artefact directory."""
+
+    path: Path
+    kind: str
+    size_bytes: int
+    modified_s: float
+
+
+@dataclass(frozen=True)
+class PlannedDeletion:
+    """One artefact the policy would remove, and why."""
+
+    artefact: Artefact
+    reason: str
+
+
+@dataclass(frozen=True)
+class RetentionPlan:
+    """The pure outcome of evaluating a policy against a directory."""
+
+    keep: Tuple[Artefact, ...]
+    delete: Tuple[PlannedDeletion, ...]
+
+    @property
+    def bytes_kept(self) -> int:
+        """Total size of the surviving artefacts."""
+        return sum(a.size_bytes for a in self.keep)
+
+    @property
+    def bytes_freed(self) -> int:
+        """Total size the deletions would reclaim."""
+        return sum(d.artefact.size_bytes for d in self.delete)
+
+
+def sniff_kind(path: PathLike) -> Optional[str]:
+    """The artefact ``kind`` of a file, or ``None`` for foreign files.
+
+    Reads the first few KiB, takes the first line, and accepts only a
+    JSON object whose ``kind`` is one of :data:`RETAINABLE_KINDS`.
+    Checkpoints are one JSON document on a single line that routinely
+    exceeds the sniff window, so when the window holds the truncated
+    start of a JSON object the whole document is parsed instead.
+    Anything else — binary data, foreign JSON, a truncated header —
+    classifies as foreign and is therefore retained forever.
+    """
+    try:
+        with open(path, "rb") as handle:
+            head = handle.read(_SNIFF_BYTES)
+    except OSError:
+        return None
+    first_line = head.split(b"\n", 1)[0]
+    if not first_line.strip():
+        return None
+    try:
+        header = json.loads(first_line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError):
+        if b"\n" in head or not first_line.lstrip().startswith(b"{"):
+            return None
+        header = _load_single_document(path)
+        if header is None:
+            return None
+    if not isinstance(header, dict):
+        return None
+    kind = header.get("kind")
+    if kind in RETAINABLE_KINDS:
+        return str(kind)
+    return None
+
+
+def _load_single_document(path: PathLike) -> Optional[object]:
+    """Parse a whole single-line JSON document, or ``None`` if foreign."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, ValueError, UnicodeDecodeError):
+        return None
+
+
+def scan_artefacts(directory: PathLike) -> List[Artefact]:
+    """Every recognised artefact directly inside ``directory``.
+
+    Sorted newest-first (path name breaks mtime ties, so the scan is
+    deterministic on filesystems with coarse timestamps).  Raises
+    :class:`~repro.errors.RetentionError` when the directory cannot be
+    listed; unreadable or foreign *files* are silently skipped.
+    """
+    root = Path(directory)
+    if not root.is_dir():
+        raise RetentionError(f"not a directory: {str(root)!r}")
+    artefacts: List[Artefact] = []
+    try:
+        entries = sorted(root.iterdir())
+    except OSError as exc:
+        raise RetentionError(
+            f"cannot list artefact directory {str(root)!r}: {exc}"
+        ) from exc
+    for entry in entries:
+        if not entry.is_file():
+            continue
+        kind = sniff_kind(entry)
+        if kind is None:
+            continue
+        try:
+            stat = entry.stat()
+        except OSError:
+            continue
+        artefacts.append(
+            Artefact(
+                path=entry,
+                kind=kind,
+                size_bytes=int(stat.st_size),
+                modified_s=float(stat.st_mtime),
+            )
+        )
+    artefacts.sort(key=lambda a: (-a.modified_s, str(a.path)))
+    return artefacts
+
+
+def plan_retention(
+    artefacts: List[Artefact],
+    policy: RetentionPolicy,
+    now_s: float,
+) -> RetentionPlan:
+    """Evaluate a policy: pure, no filesystem access.
+
+    Age expiry applies first; the size and count caps then walk the
+    survivors newest-first, so the most recent artefacts always win a
+    budget conflict.
+    """
+    ordered = sorted(artefacts, key=lambda a: (-a.modified_s, str(a.path)))
+    keep: List[Artefact] = []
+    delete: List[PlannedDeletion] = []
+    survivors: List[Artefact] = []
+    for artefact in ordered:
+        if (
+            policy.max_age_s is not None
+            and now_s - artefact.modified_s > policy.max_age_s
+        ):
+            delete.append(PlannedDeletion(artefact, "expired"))
+        else:
+            survivors.append(artefact)
+    total_bytes = 0
+    for position, artefact in enumerate(survivors):
+        if policy.max_count is not None and position >= policy.max_count:
+            delete.append(PlannedDeletion(artefact, "over-count"))
+            continue
+        if (
+            policy.max_total_bytes is not None
+            and total_bytes + artefact.size_bytes > policy.max_total_bytes
+        ):
+            delete.append(PlannedDeletion(artefact, "over-size"))
+            continue
+        total_bytes += artefact.size_bytes
+        keep.append(artefact)
+    return RetentionPlan(keep=tuple(keep), delete=tuple(delete))
+
+
+def apply_retention(plan: RetentionPlan) -> List[Path]:
+    """Delete every planned artefact; returns the removed paths.
+
+    A file that vanished since planning is fine (the goal state is
+    reached either way); a delete the filesystem refuses raises
+    :class:`~repro.errors.RetentionError` after removing what it could.
+    """
+    removed: List[Path] = []
+    errors: List[str] = []
+    for planned in plan.delete:
+        try:
+            planned.artefact.path.unlink(missing_ok=True)
+        except OSError as exc:
+            errors.append(f"{planned.artefact.path}: {exc}")
+            continue
+        removed.append(planned.artefact.path)
+    if errors:
+        raise RetentionError(
+            "could not delete " + "; ".join(errors)
+        )
+    return removed

@@ -24,7 +24,17 @@ results are bit-identical with or without tracing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+)
 
 import numpy as np
 
@@ -54,6 +64,7 @@ from repro.stream.covariance import (
 from repro.stream.drift import BaselineDriftTracker
 from repro.stream.events import FixQuality, TagRead, TrackFix
 from repro.stream.health import HealthConfig, HealthTracker
+from repro.stream.provenance import FixProvenance, ReaderProvenance
 from repro.stream.queue import BoundedReadQueue
 from repro.stream.window import SnapshotWindow, WindowAssembler, WindowConfig
 from repro.utils.arrays import ComplexArray
@@ -154,6 +165,17 @@ class StreamRunner:
         )
         self.fixes_emitted = 0
         self.rejected_reads = 0
+        #: Identities of the checkpoints this run restored from, oldest
+        #: first.  Appended to by :meth:`restore`, carried forward into
+        #: the next checkpoint, and stamped onto every fix's provenance.
+        self.lineage: List[str] = []
+        #: Optional callback ``(window_start_s, window_end_s) ->
+        #: fault kinds`` set by chaos harnesses so fix provenance can
+        #: name the faults active over each window.  ``None`` (the
+        #: default) records no faults.
+        self.fault_probe: Optional[
+            Callable[[float, float], Tuple[str, ...]]
+        ] = None
 
     def ingest(self, read: TagRead) -> bool:
         """Offer one read to the bounded queue; returns acceptance.
@@ -256,7 +278,7 @@ class StreamRunner:
         with obs.span(
             "stream.window", index=window.index, sweeps=window.sweeps
         ) as sp:
-            online, failed = self._window_spectra(window)
+            online, failed, fallbacks = self._window_spectra(window)
             for reader_name, error in failed:
                 self.health.note_violation(reader_name, error)
             self.health.observe_window(online.spectra.keys())
@@ -301,8 +323,12 @@ class StreamRunner:
             )
             if quality.degraded:
                 obs.count("stream.fixes.degraded")
+            provenance = self._fix_provenance(
+                window, online, included, failed, fallbacks
+            )
             self.fixes_emitted += 1
             obs.count("stream.fixes")
+            obs.count("stream.fixes.by_quality", labels={"level": quality.level})
             sp.set(located=position is not None, quality=quality.level)
         return TrackFix(
             index=window.index,
@@ -313,6 +339,64 @@ class StreamRunner:
             sweeps=window.sweeps,
             reads=window.reads,
             quality=quality,
+            provenance=provenance,
+        )
+
+    def _fix_provenance(
+        self,
+        window: SnapshotWindow,
+        online: SpectrumSet,
+        included: SpectrumSet,
+        failed: List[Tuple[str, ReproError]],
+        fallbacks: List[str],
+    ) -> FixProvenance:
+        """The audit record of one window: who and what made the fix.
+
+        Every field is read off state the runner already holds, so the
+        stamp costs no numerics — fixes stay bit-identical with or
+        without anyone ever looking at provenance.
+        """
+        contributed = set(included.spectra)
+        produced = set(online.spectra)
+        failed_names = {name for name, _ in failed}
+        readers: List[ReaderProvenance] = []
+        for name in sorted(self.dwatch.readers):
+            if name in contributed:
+                role = "contributed"
+            elif name in produced:
+                role = "excluded"
+            elif name in failed_names:
+                role = "failed"
+            else:
+                role = "silent"
+            readers.append(
+                ReaderProvenance(
+                    name=name, health=self.health.state_of(name), role=role
+                )
+            )
+            obs.count(
+                "stream.reader.windows", labels={"reader": name, "role": role}
+            )
+        if not fallbacks:
+            spectral_path = "batch"
+        elif produced and produced <= set(fallbacks):
+            spectral_path = "scalar"
+        else:
+            spectral_path = "mixed"
+        active_faults: Tuple[str, ...] = ()
+        if self.fault_probe is not None:
+            active_faults = tuple(
+                self.fault_probe(window.start_s, window.end_s)
+            )
+        return FixProvenance(
+            window_index=window.index,
+            readers=tuple(readers),
+            active_faults=active_faults,
+            watermark_s=self.assembler.watermark,
+            lateness_s=self.assembler.lateness_s,
+            spectral_path=spectral_path,
+            scalar_fallbacks=tuple(sorted(fallbacks)),
+            checkpoint_lineage=tuple(self.lineage),
         )
 
     def _fix_quality(
@@ -371,7 +455,7 @@ class StreamRunner:
 
     def _window_spectra(
         self, window: SnapshotWindow
-    ) -> Tuple[SpectrumSet, List[Tuple[str, ReproError]]]:
+    ) -> Tuple[SpectrumSet, List[Tuple[str, ReproError]], List[str]]:
         """Fold the window into the covariance bank; spectra from ``R``.
 
         The calibration correction is a per-antenna diagonal multiply,
@@ -394,20 +478,34 @@ class StreamRunner:
         partial spectra withheld — instead of killing the whole
         window.  The health tracker turns repeated failures into a
         quarantine.
+
+        The third return value names the readers whose batched pass
+        failed and fell back to the scalar reference chain — provenance
+        and the ``stream.spectra.scalar_fallback`` counter both feed
+        off it.
         """
         online = SpectrumSet()
         failed: List[Tuple[str, ReproError]] = []
+        fallbacks: List[str] = []
         measurement = window.measurement
         for reader_name in measurement.readers():
             reader = self.dwatch.readers[reader_name]
             offsets = self.dwatch.calibration.get(reader_name)
             try:
-                per_tag = self._reader_spectra(reader_name, reader, measurement, offsets)
+                per_tag, used_scalar = self._reader_spectra(
+                    reader_name, reader, measurement, offsets
+                )
             except ReproError as exc:
                 failed.append((reader_name, exc))
                 continue
+            if used_scalar:
+                fallbacks.append(reader_name)
+                obs.count(
+                    "stream.spectra.scalar_fallback",
+                    labels={"reader": reader_name},
+                )
             online.spectra[reader_name] = per_tag
-        return online, failed
+        return online, failed, fallbacks
 
     def _reader_spectra(
         self,
@@ -415,8 +513,12 @@ class StreamRunner:
         reader: Reader,
         measurement: Measurement,
         offsets: Optional[PhaseOffsets],
-    ) -> Dict[str, AngularSpectrum]:
-        """One reader's per-tag spectra for a window, batched when possible."""
+    ) -> Tuple[Dict[str, AngularSpectrum], bool]:
+        """One reader's per-tag spectra, batched when possible.
+
+        The flag reports whether the scalar reference chain produced
+        the spectra (``True`` only after a batched-pass rollback).
+        """
         saved: List[Tuple[EwCovariance, Tuple[ComplexArray, float, int]]] = []
         try:
             epcs: List[str] = []
@@ -432,7 +534,7 @@ class StreamRunner:
                 estimator.update_matrix(snapshots)
                 epcs.append(epc)
                 covariances.append(estimator.covariance())
-            return self._batched_tag_spectra(reader, epcs, covariances)
+            return self._batched_tag_spectra(reader, epcs, covariances), False
         except (ReproError, ValueError, ArithmeticError):
             # Everything the spectral chain can raise: the repro
             # taxonomy, shape/eigensolver failures (LinAlgError is a
@@ -441,7 +543,10 @@ class StreamRunner:
             # point (or success) defines the semantics.
             for estimator, state in saved:
                 estimator.state_restore(state)
-            return self._scalar_reader_spectra(reader_name, reader, measurement, offsets)
+            scalar = self._scalar_reader_spectra(
+                reader_name, reader, measurement, offsets
+            )
+            return scalar, True
 
     def _batched_tag_spectra(
         self, reader: Reader, epcs: List[str], covariances: List[ComplexArray]

@@ -148,3 +148,122 @@ class TestObservabilityFlags:
         assert main(["stats", str(tmp_path / "nope.jsonl")]) == EXIT_ERROR
         err = capsys.readouterr().err
         assert "no metrics file" in err
+
+    def test_stats_prefix_filters(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.jsonl"
+        registry = obs.MetricsRegistry()
+        registry.counter("pipeline.fixes").inc(4)
+        registry.counter("stream.fixes").inc(2)
+        registry.write_jsonl(str(metrics))
+        assert main(["stats", str(metrics), "--prefix", "stream."]) == 0
+        out = capsys.readouterr().out
+        assert "stream.fixes" in out
+        assert "pipeline.fixes" not in out
+
+    def test_stats_unmatched_prefix_is_usage_error(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.jsonl"
+        registry = obs.MetricsRegistry()
+        registry.counter("pipeline.fixes").inc(1)
+        registry.write_jsonl(str(metrics))
+        assert main(["stats", str(metrics), "--prefix", "strm."]) == EXIT_ERROR
+        err = capsys.readouterr().err
+        assert "no metrics" in err and "strm." in err
+        # The error names what IS there, so the typo is obvious.
+        assert "pipeline.fixes" in err
+
+
+def run_stream(tmp_path, capsys, *extra):
+    """One tiny CLI stream run; returns (exit_code, stdout)."""
+    code = main(
+        [
+            "--quiet",
+            "stream",
+            "--environment",
+            "table",
+            "--seed",
+            "5",
+            "--fixes",
+            "2",
+            *extra,
+        ]
+    )
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestStreamTelemetryFlags:
+    def test_stdout_is_byte_identical_with_telemetry_on(self, tmp_path, capsys):
+        # The acceptance bar for "provenance is metadata": the default
+        # human-readable output must not change when the fix log and the
+        # ops endpoint are enabled.
+        code_plain, out_plain = run_stream(tmp_path, capsys)
+        assert code_plain == 0
+        code_flagged, out_flagged = run_stream(
+            tmp_path,
+            capsys,
+            "--fix-log",
+            str(tmp_path / "fixes.jsonl"),
+            "--serve-metrics",
+            "0",
+        )
+        assert code_flagged == 0
+        assert out_flagged == out_plain
+
+    def test_fix_log_feeds_provenance_command(self, tmp_path, capsys):
+        fix_log = tmp_path / "fixes.jsonl"
+        code, _ = run_stream(tmp_path, capsys, "--fix-log", str(fix_log))
+        assert code == 0
+        assert main(["provenance", str(fix_log)]) == 0
+        out = capsys.readouterr().out
+        assert "fix log:" in out
+        assert "environment table" in out
+        assert "spectral paths:" in out
+
+    def test_provenance_json_mode_is_machine_readable(self, tmp_path, capsys):
+        fix_log = tmp_path / "fixes.jsonl"
+        run_stream(tmp_path, capsys, "--fix-log", str(fix_log))
+        assert main(["provenance", str(fix_log), "--json"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines
+        for line in lines:
+            record = json.loads(line)
+            assert record["provenance"]["spectral_path"] in (
+                "batch",
+                "scalar",
+                "mixed",
+            )
+
+    def test_provenance_missing_file_is_an_error(self, tmp_path, capsys):
+        assert main(["provenance", str(tmp_path / "gone.jsonl")]) == EXIT_ERROR
+        assert "error:" in capsys.readouterr().err
+
+
+class TestRetainCommand:
+    @staticmethod
+    def _fill(directory):
+        for i in range(3):
+            (directory / f"rec{i}.jsonl").write_text(
+                json.dumps({"kind": "dwatch-reads", "schema": 1}) + "\n"
+            )
+        (directory / "foreign.txt").write_text("not ours\n")
+
+    def test_dry_run_by_default(self, tmp_path, capsys):
+        self._fill(tmp_path)
+        assert main(["retain", str(tmp_path), "--max-count", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "dry run" in out
+        assert "delete 2" in out
+        assert len(list(tmp_path.glob("rec*.jsonl"))) == 3  # nothing touched
+
+    def test_apply_deletes_only_recognised_artefacts(self, tmp_path, capsys):
+        self._fill(tmp_path)
+        assert (
+            main(["retain", str(tmp_path), "--max-count", "1", "--apply"]) == 0
+        )
+        capsys.readouterr()
+        assert len(list(tmp_path.glob("rec*.jsonl"))) == 1
+        assert (tmp_path / "foreign.txt").exists()
+
+    def test_unbounded_policy_is_usage_error(self, tmp_path, capsys):
+        assert main(["retain", str(tmp_path)]) == EXIT_ERROR
+        assert "at least one bound" in capsys.readouterr().err

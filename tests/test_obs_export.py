@@ -1,0 +1,190 @@
+"""Prometheus exposition: rendering, the validator, and name mapping."""
+
+import pytest
+
+from repro import obs
+from repro.core.pipeline import DWatch
+from repro.errors import ExpositionError
+from repro.obs.export import (
+    LABEL_NAME_RE,
+    METRIC_NAME_RE,
+    escape_label_value,
+    prometheus_label_name,
+    prometheus_metric_name,
+    render_prometheus,
+    validate_exposition,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.environments import hall_scene
+from repro.sim.measurement import MeasurementSession
+from repro.stream import StreamRunner, SyntheticStreamConfig, synthetic_reads
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    """Every test starts and ends with observability disabled."""
+    obs.shutdown()
+    yield
+    obs.shutdown()
+
+
+def populated_registry():
+    registry = MetricsRegistry()
+    registry.counter("stream.fixes").inc(3)
+    registry.counter("faults.injected", labels={"kind": "outage"}).inc(2)
+    registry.counter("faults.injected", labels={"kind": "overload"}).inc(5)
+    registry.gauge("stream.queue.depth").set(7)
+    hist = registry.histogram("latency.stream.window")
+    for v in (0.2, 1.5, 40.0):
+        hist.observe(v)
+    return registry
+
+
+class TestNameMapping:
+    def test_dots_become_underscores_with_namespace(self):
+        assert (
+            prometheus_metric_name("stream.fixes", "counter")
+            == "repro_stream_fixes_total"
+        )
+        assert (
+            prometheus_metric_name("latency.stream.window", "histogram")
+            == "repro_latency_stream_window"
+        )
+
+    def test_counter_total_suffix_not_doubled(self):
+        assert prometheus_metric_name("x.total", "counter").endswith("_total")
+        assert not prometheus_metric_name("x.total", "counter").endswith(
+            "_total_total"
+        )
+
+    def test_hostile_characters_map_into_grammar(self):
+        name = prometheus_metric_name("weird-name.with spaces", "gauge")
+        assert METRIC_NAME_RE.match(name)
+        label = prometheus_label_name("9starts-with.digit")
+        assert LABEL_NAME_RE.match(label)
+        assert not label.startswith("__")
+
+    def test_label_value_escaping_round_trips(self):
+        raw = 'quote " slash \\ newline \n end'
+        registry = MetricsRegistry()
+        registry.counter("c", labels={"k": raw}).inc()
+        families = validate_exposition(render_prometheus(registry.snapshot()))
+        ((_, labels, _),) = families["repro_c_total"].samples
+        assert dict(labels)["k"] == raw
+        assert escape_label_value(raw) != raw
+
+
+class TestRenderAndValidate:
+    def test_rendered_snapshot_validates(self):
+        text = render_prometheus(populated_registry().snapshot())
+        families = validate_exposition(text)
+        assert set(families) == {
+            "repro_stream_fixes_total",
+            "repro_faults_injected_total",
+            "repro_stream_queue_depth",
+            "repro_latency_stream_window",
+        }
+        assert families["repro_latency_stream_window"].type == "histogram"
+
+    def test_labelled_series_stay_distinct(self):
+        text = render_prometheus(populated_registry().snapshot())
+        family = validate_exposition(text)["repro_faults_injected_total"]
+        values = {dict(labels)["kind"]: v for _, labels, v in family.samples}
+        assert values == {"outage": 2.0, "overload": 5.0}
+
+    def test_histogram_children_are_consistent(self):
+        text = render_prometheus(populated_registry().snapshot())
+        family = validate_exposition(text)["repro_latency_stream_window"]
+        buckets = [s for s in family.samples if s[0].endswith("_bucket")]
+        counts = [v for _, _, v in buckets]
+        assert counts == sorted(counts)  # cumulative
+        assert counts[-1] == 3  # the +Inf bucket equals _count
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus([]) == ""
+        assert validate_exposition("") == {}
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(ExpositionError, match="unknown type"):
+            render_prometheus([{"name": "x", "type": "summary"}])
+
+    def test_kind_conflict_raises(self):
+        with pytest.raises(ExpositionError, match="both"):
+            render_prometheus(
+                [
+                    {"name": "x", "type": "counter", "value": 1.0},
+                    {"name": "x", "type": "gauge", "value": 2.0},
+                ]
+            )
+
+
+class TestValidatorRejections:
+    def test_sample_without_type_header(self):
+        with pytest.raises(ExpositionError, match="no\\s+preceding # TYPE"):
+            validate_exposition("repro_x 1.0\n")
+
+    def test_duplicate_series(self):
+        text = (
+            "# TYPE repro_x counter\n"
+            "repro_x 1.0\n"
+            "repro_x 2.0\n"
+        )
+        with pytest.raises(ExpositionError, match="duplicate series"):
+            validate_exposition(text)
+
+    def test_reserved_label_name(self):
+        text = '# TYPE repro_x counter\nrepro_x{__name__="x"} 1.0\n'
+        with pytest.raises(ExpositionError, match="reserved label"):
+            validate_exposition(text)
+
+    def test_noncumulative_histogram(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1.0"} 5\n'
+            'repro_h_bucket{le="+Inf"} 3\n'
+            "repro_h_sum 2.0\n"
+            "repro_h_count 3\n"
+        )
+        with pytest.raises(ExpositionError, match="not\\s+cumulative"):
+            validate_exposition(text)
+
+    def test_histogram_missing_inf_bucket(self):
+        text = (
+            "# TYPE repro_h histogram\n"
+            'repro_h_bucket{le="1.0"} 3\n'
+            "repro_h_sum 2.0\n"
+            "repro_h_count 3\n"
+        )
+        with pytest.raises(ExpositionError, match=r"\+Inf"):
+            validate_exposition(text)
+
+
+class TestLiveStreamExposition:
+    """Every metric an instrumented stream emits is Prometheus-valid."""
+
+    def test_instrumented_stream_metrics_expose_cleanly(self):
+        scene = hall_scene(rng=5, num_tags=4, num_antennas=4)
+        dwatch = DWatch(scene, cell_size=0.1)
+        dwatch.calibrate(rng=6)
+        session = MeasurementSession(scene, rng=7)
+        dwatch.collect_baseline([session.capture() for _ in range(2)])
+        reads = synthetic_reads(
+            scene, SyntheticStreamConfig(fixes=2), rng=8
+        )
+        with obs.observed() as state:
+            runner = StreamRunner(dwatch)
+            list(runner.run(iter(reads)))
+            records = state.registry.snapshot()
+        assert records  # the stream actually instrumented something
+        # The acceptance check: names, labels, types, histogram shape.
+        families = validate_exposition(render_prometheus(records))
+        for family in families.values():
+            assert METRIC_NAME_RE.match(family.name)
+            for _, labels, _ in family.samples:
+                for label_name, _ in labels:
+                    assert LABEL_NAME_RE.match(label_name)
+                    assert not label_name.startswith("__")
+        # The labelled per-reader/per-quality series made it through.
+        exposed = set(families)
+        assert "repro_stream_fixes_by_quality_total" in exposed
+        assert "repro_stream_reader_windows_total" in exposed

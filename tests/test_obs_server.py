@@ -1,0 +1,158 @@
+"""The ops endpoint: routes, payloads, lifecycle, and thread safety."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.core.pipeline import DWatch
+from repro.errors import ConfigurationError
+from repro.obs import OpsServer, PROMETHEUS_CONTENT_TYPE, health_document_for
+from repro.obs.export import validate_exposition
+from repro.sim.environments import hall_scene
+from repro.sim.measurement import MeasurementSession
+from repro.stream import (
+    FixQuality,
+    ProvenanceRing,
+    StreamRunner,
+    SyntheticStreamConfig,
+    TrackFix,
+    synthetic_reads,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    obs.shutdown()
+    yield
+    obs.shutdown()
+
+
+def fetch(url):
+    """GET a URL; returns (status, content_type, body bytes)."""
+    with urllib.request.urlopen(url, timeout=5.0) as response:
+        return response.status, response.headers["Content-Type"], response.read()
+
+
+def fetch_error(url):
+    """GET a URL expected to fail; returns (status, body json)."""
+    try:
+        with urllib.request.urlopen(url, timeout=5.0) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def some_fixes(n=3):
+    return [
+        TrackFix(
+            index=i,
+            time_s=float(i),
+            position=None,
+            quality=FixQuality(level="insufficient", confidence=0.0),
+            predicted_only=True,
+        )
+        for i in range(n)
+    ]
+
+
+def snapshot_source():
+    return [{"name": "stream.fixes", "type": "counter", "value": 4.0}]
+
+
+class TestRoutes:
+    def test_metrics_route_serves_valid_exposition(self):
+        with OpsServer(port=0, snapshot_source=snapshot_source) as server:
+            status, content_type, body = fetch(f"{server.url}/metrics")
+        assert status == 200
+        assert content_type == PROMETHEUS_CONTENT_TYPE
+        families = validate_exposition(body.decode("utf-8"))
+        assert families["repro_stream_fixes_total"].samples[0][2] == 4.0
+
+    def test_healthz_without_provider_is_unknown(self):
+        with OpsServer(port=0, snapshot_source=snapshot_source) as server:
+            status, _, body = fetch(f"{server.url}/healthz")
+        assert status == 200
+        assert json.loads(body) == {"status": "unknown"}
+
+    def test_provenance_route_serves_ring_with_limit(self):
+        ring = ProvenanceRing(capacity=8)
+        for fix in some_fixes(5):
+            ring.push(fix)
+        with OpsServer(
+            port=0, snapshot_source=snapshot_source, ring=ring
+        ) as server:
+            _, _, body = fetch(f"{server.url}/provenance/recent?limit=2")
+        document = json.loads(body)
+        assert document["retained"] == 5
+        assert [f["index"] for f in document["fixes"]] == [3, 4]
+
+    def test_provenance_route_without_ring_is_empty(self):
+        with OpsServer(port=0, snapshot_source=snapshot_source) as server:
+            _, _, body = fetch(f"{server.url}/provenance/recent")
+        assert json.loads(body) == {"fixes": [], "retained": 0}
+
+    def test_unknown_route_404_lists_routes(self):
+        with OpsServer(port=0, snapshot_source=snapshot_source) as server:
+            status, document = fetch_error(f"{server.url}/nope")
+        assert status == 404
+        assert "/metrics" in document["routes"]
+
+    def test_bad_limit_query_is_ignored(self):
+        ring = ProvenanceRing(capacity=4)
+        ring.push(some_fixes(1)[0])
+        server = OpsServer(snapshot_source=snapshot_source, ring=ring)
+        assert server.provenance_document("limit=bogus")["retained"] == 1
+
+
+class TestLifecycle:
+    def test_ephemeral_port_resolves_and_stop_releases(self):
+        server = OpsServer(port=0, snapshot_source=snapshot_source)
+        server.start()
+        try:
+            assert server.port != 0
+            assert server.url.endswith(str(server.port))
+        finally:
+            server.stop()
+        # The port is released: a fresh server can bind it again.
+        rebound = OpsServer(port=server.port, snapshot_source=snapshot_source)
+        with rebound:
+            assert rebound.port != 0
+
+    def test_double_start_raises(self):
+        with OpsServer(port=0, snapshot_source=snapshot_source) as server:
+            with pytest.raises(ConfigurationError, match="already running"):
+                server.start()
+
+    def test_stop_is_idempotent(self):
+        server = OpsServer(port=0, snapshot_source=snapshot_source)
+        server.start()
+        server.stop()
+        server.stop()
+
+    def test_invalid_port_rejected(self):
+        with pytest.raises(ConfigurationError, match="port"):
+            OpsServer(port=70000)
+
+
+class TestHealthDocument:
+    def test_live_runner_health_payload(self):
+        scene = hall_scene(rng=15, num_tags=4, num_antennas=4)
+        dwatch = DWatch(scene, cell_size=0.1)
+        dwatch.calibrate(rng=16)
+        session = MeasurementSession(scene, rng=17)
+        dwatch.collect_baseline([session.capture() for _ in range(2)])
+        runner = StreamRunner(dwatch)
+        reads = synthetic_reads(scene, SyntheticStreamConfig(fixes=2), rng=18)
+        fixes = list(runner.run(iter(reads)))
+        document = health_document_for(runner)
+        assert document["status"] == "ok"
+        assert document["quarantined"] == []
+        assert set(document["readers"]) == {r.name for r in scene.readers}
+        assert document["fixes_emitted"] == len(fixes)
+        assert document["queue_depth"] == 0
+        assert document["lineage"] == []
+        # And the payload is JSON-serializable as /healthz must send it.
+        json.dumps(document, sort_keys=True)

@@ -1,0 +1,130 @@
+"""Property-based tests (hypothesis) for the metrics layer.
+
+Two contracts back the telemetry numbers operators read off dashboards:
+
+* :class:`Histogram` aggregates agree with NumPy computed over the
+  same values — exact for count/sum/min/max/mean, bracketed between
+  the adjacent order statistics for the nearest-rank percentiles, and
+  exact for the cumulative exposition buckets.
+* A snapshot written through ``write_jsonl`` and re-loaded through
+  ``load_snapshot_jsonl`` is the identical list of records, whatever
+  metric mix and label sets the run produced.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    load_snapshot_jsonl,
+)
+
+# Finite, moderate magnitudes: the contract under test is rank/aggregate
+# arithmetic, not float overflow behaviour.
+values = st.lists(
+    st.floats(
+        min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+    ),
+    min_size=1,
+    max_size=300,
+)
+percentiles = st.floats(min_value=0.0, max_value=100.0)
+
+label_keys = st.text(
+    alphabet="abcdefghij_", min_size=1, max_size=6
+)
+label_sets = st.dictionaries(
+    label_keys, st.text(min_size=0, max_size=8), max_size=3
+)
+
+
+class TestHistogramAgainstNumpy:
+    @given(values=values)
+    @settings(max_examples=60, deadline=None)
+    def test_exact_aggregates(self, values):
+        histogram = Histogram("h")
+        for v in values:
+            histogram.observe(v)
+        array = np.asarray(values)
+        assert histogram.count == len(values)
+        # Exact against the same left-to-right accumulation; NumPy's
+        # pairwise summation may differ in the last ulps, so approx.
+        assert histogram.total == sum(values)
+        assert histogram.total == pytest.approx(float(np.sum(array)), rel=1e-9)
+        assert histogram.min_value == float(np.min(array))
+        assert histogram.max_value == float(np.max(array))
+        assert histogram.mean == pytest.approx(float(np.mean(array)), rel=1e-9)
+
+    @given(values=values, q=percentiles)
+    @settings(max_examples=60, deadline=None)
+    def test_percentile_is_bracketed_by_numpy_order_statistics(
+        self, values, q
+    ):
+        # Nearest-rank must land on an actual sample, between NumPy's
+        # floor ("lower") and ceiling ("higher") order statistics —
+        # the tightest assertion that doesn't pin tie-rounding rules.
+        histogram = Histogram("h")
+        for v in values:
+            histogram.observe(v)
+        result = histogram.percentile(q)
+        array = np.asarray(values)
+        assert result in values
+        assert (
+            float(np.percentile(array, q, method="lower"))
+            <= result
+            <= float(np.percentile(array, q, method="higher"))
+        )
+
+    @given(values=values)
+    @settings(max_examples=60, deadline=None)
+    def test_median_matches_numpy_nearest(self, values):
+        histogram = Histogram("h")
+        for v in values:
+            histogram.observe(v)
+        expected = float(np.percentile(np.asarray(values), 50.0, method="nearest"))
+        assert histogram.percentile(50.0) == expected
+
+    @given(values=values)
+    @settings(max_examples=60, deadline=None)
+    def test_cumulative_buckets_match_numpy_counting(self, values):
+        histogram = Histogram("h")
+        for v in values:
+            histogram.observe(v)
+        array = np.asarray(values)
+        for bound, cumulative in histogram.cumulative_buckets():
+            assert cumulative == int(np.count_nonzero(array <= bound))
+        # The implicit +Inf bucket the renderer appends equals count.
+        assert histogram.count == len(values)
+
+
+class TestSnapshotRoundTrip:
+    @given(
+        counter_values=st.lists(
+            st.floats(min_value=0.0, max_value=1e9, allow_nan=False),
+            max_size=4,
+        ),
+        gauge_value=st.floats(
+            min_value=-1e9, max_value=1e9, allow_nan=False
+        ),
+        labels=label_sets,
+        samples=values,
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_write_then_load_is_identity(
+        self, tmp_path_factory, counter_values, gauge_value, labels, samples
+    ):
+        path = tmp_path_factory.mktemp("obs") / "metrics.jsonl"
+        registry = MetricsRegistry()
+        for i, amount in enumerate(counter_values):
+            registry.counter("events", labels={"idx": str(i)}).inc(amount)
+        registry.gauge("level", labels=labels).set(gauge_value)
+        histogram = registry.histogram("dist")
+        for v in samples:
+            histogram.observe(v)
+        written = registry.write_jsonl(str(path))
+        snapshot = registry.snapshot()
+        assert written == len(snapshot)
+        assert load_snapshot_jsonl(str(path)) == snapshot

@@ -12,6 +12,7 @@ from repro.stream import (
     CHECKPOINT_KIND,
     CHECKPOINT_SCHEMA,
     StreamRunner,
+    checkpoint_id,
     checkpoint_state,
     load_checkpoint,
     restore_state,
@@ -116,14 +117,41 @@ class TestRestore:
             assert a.quality == b.quality
 
     def test_checkpoint_of_restored_runner_is_bit_identical(self, tracking):
+        # Bit-identical except for lineage, which deliberately grows by
+        # exactly the restored checkpoint's id — the audit trail of the
+        # resume itself.
         scene, dwatch = tracking
         _, state, _, _ = mid_run_state(scene, dwatch)
         resumed = StreamRunner(dwatch)
         restore_state(resumed, state)
         again = checkpoint_state(resumed)
-        assert json.dumps(again, sort_keys=True) == json.dumps(
-            state, sort_keys=True
+        assert again["lineage"] == state["lineage"] + [checkpoint_id(state)]
+        stripped = {k: v for k, v in again.items() if k != "lineage"}
+        original = {k: v for k, v in state.items() if k != "lineage"}
+        assert json.dumps(stripped, sort_keys=True) == json.dumps(
+            original, sort_keys=True
         )
+
+    def test_lineage_chains_across_repeated_restores(self, tracking):
+        scene, dwatch = tracking
+        _, state, _, _ = mid_run_state(scene, dwatch)
+        first = StreamRunner(dwatch)
+        restore_state(first, state)
+        second_state = checkpoint_state(first)
+        second = StreamRunner(dwatch)
+        restore_state(second, second_state)
+        assert second.lineage == [
+            checkpoint_id(state),
+            checkpoint_id(second_state),
+        ]
+
+    def test_pre_lineage_checkpoints_still_restore(self, tracking):
+        scene, dwatch = tracking
+        _, state, _, _ = mid_run_state(scene, dwatch)
+        legacy = {k: v for k, v in state.items() if k != "lineage"}
+        resumed = StreamRunner(dwatch)
+        restore_state(resumed, legacy)
+        assert resumed.lineage == [checkpoint_id(legacy)]
 
 
 class TestFiles:

@@ -1,0 +1,169 @@
+"""Retention: kind sniffing, pure planning, and careful application."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import ConfigurationError, RetentionError
+from repro.stream import (
+    RETAINABLE_KINDS,
+    RetentionPolicy,
+    apply_retention,
+    plan_retention,
+    scan_artefacts,
+    sniff_kind,
+)
+from repro.stream.retention import _SNIFF_BYTES
+
+NOW = 1_000_000.0
+
+
+def make_artefact(directory, name, kind, size=64, age_s=0.0):
+    """One recognisable artefact file with a controlled size and mtime."""
+    path = directory / name
+    header = json.dumps({"kind": kind, "schema": 1})
+    body = header + "\n" + "x" * max(0, size - len(header) - 1)
+    path.write_text(body[:size] if size >= len(header) + 1 else body)
+    os.utime(path, (NOW - age_s, NOW - age_s))
+    return path
+
+
+class TestSniff:
+    def test_recognises_every_retainable_kind(self, tmp_path):
+        for kind in RETAINABLE_KINDS:
+            path = make_artefact(tmp_path, f"{kind}.jsonl", kind)
+            assert sniff_kind(path) == kind
+
+    def test_foreign_files_are_none(self, tmp_path):
+        text = tmp_path / "notes.txt"
+        text.write_text("just some notes\n")
+        foreign_json = tmp_path / "foreign.jsonl"
+        foreign_json.write_text('{"kind": "other-format"}\n')
+        binary = tmp_path / "blob.bin"
+        binary.write_bytes(b"\x00\x01\x02\x03")
+        empty = tmp_path / "empty"
+        empty.write_text("")
+        for path in (text, foreign_json, binary, empty):
+            assert sniff_kind(path) is None
+
+    def test_large_single_line_checkpoint_is_recognised(self, tmp_path):
+        # Checkpoints are one sorted-key JSON document on a single line;
+        # "kind" routinely lands beyond the sniff window.  Regression:
+        # these classified as foreign and retention never deleted them.
+        path = tmp_path / "big.checkpoint.json"
+        document = {"aaa_bulk": "x" * (4 * _SNIFF_BYTES), "kind": "dwatch-checkpoint"}
+        path.write_text(json.dumps(document, sort_keys=True) + "\n")
+        assert sniff_kind(path) == "dwatch-checkpoint"
+
+    def test_large_single_line_foreign_json_stays_foreign(self, tmp_path):
+        path = tmp_path / "big-foreign.json"
+        document = {"aaa_bulk": "x" * (4 * _SNIFF_BYTES), "kind": "theirs"}
+        path.write_text(json.dumps(document, sort_keys=True) + "\n")
+        assert sniff_kind(path) is None
+
+    def test_truncated_large_document_is_foreign(self, tmp_path):
+        path = tmp_path / "cut.json"
+        path.write_text('{"aaa": "' + "x" * (2 * _SNIFF_BYTES))
+        assert sniff_kind(path) is None
+
+
+class TestPolicy:
+    def test_unbounded_policy_is_flagged(self):
+        assert not RetentionPolicy().bounded
+        assert RetentionPolicy(max_count=3).bounded
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RetentionPolicy(max_age_s=-1.0)
+        with pytest.raises(ConfigurationError):
+            RetentionPolicy(max_count=-1)
+        RetentionPolicy(max_count=0)  # "keep nothing" is a valid bound
+
+
+class TestScanAndPlan:
+    def test_scan_is_newest_first_and_skips_foreign(self, tmp_path):
+        make_artefact(tmp_path, "old.jsonl", "dwatch-reads", age_s=300.0)
+        make_artefact(tmp_path, "new.jsonl", "dwatch-fixes", age_s=10.0)
+        (tmp_path / "README.md").write_text("docs\n")
+        artefacts = scan_artefacts(tmp_path)
+        assert [a.path.name for a in artefacts] == ["new.jsonl", "old.jsonl"]
+
+    def test_scan_missing_directory_raises(self, tmp_path):
+        with pytest.raises(RetentionError, match="directory"):
+            scan_artefacts(tmp_path / "absent")
+
+    def test_age_expiry(self, tmp_path):
+        make_artefact(tmp_path, "stale.jsonl", "dwatch-reads", age_s=7200.0)
+        keep = make_artefact(tmp_path, "fresh.jsonl", "dwatch-reads", age_s=60.0)
+        plan = plan_retention(
+            scan_artefacts(tmp_path), RetentionPolicy(max_age_s=3600.0), now_s=NOW
+        )
+        assert [a.path for a in plan.keep] == [keep]
+        assert [(d.artefact.path.name, d.reason) for d in plan.delete] == [
+            ("stale.jsonl", "expired")
+        ]
+
+    def test_count_cap_keeps_newest(self, tmp_path):
+        for i in range(4):
+            make_artefact(
+                tmp_path, f"log{i}.jsonl", "dwatch-fixes", age_s=100.0 * i
+            )
+        plan = plan_retention(
+            scan_artefacts(tmp_path), RetentionPolicy(max_count=2), now_s=NOW
+        )
+        assert [a.path.name for a in plan.keep] == ["log0.jsonl", "log1.jsonl"]
+        assert {d.reason for d in plan.delete} == {"over-count"}
+
+    def test_byte_budget_keeps_newest(self, tmp_path):
+        for i in range(3):
+            make_artefact(
+                tmp_path,
+                f"log{i}.jsonl",
+                "dwatch-reads",
+                size=100,
+                age_s=100.0 * i,
+            )
+        plan = plan_retention(
+            scan_artefacts(tmp_path),
+            RetentionPolicy(max_total_bytes=250),
+            now_s=NOW,
+        )
+        assert [a.path.name for a in plan.keep] == ["log0.jsonl", "log1.jsonl"]
+        assert plan.bytes_kept == 200
+        assert plan.bytes_freed == 100
+
+    def test_planning_is_pure(self, tmp_path):
+        paths = [
+            make_artefact(tmp_path, f"l{i}.jsonl", "dwatch-reads", age_s=10.0 * i)
+            for i in range(3)
+        ]
+        plan_retention(
+            scan_artefacts(tmp_path), RetentionPolicy(max_count=1), now_s=NOW
+        )
+        assert all(p.exists() for p in paths)
+
+
+class TestApply:
+    def test_apply_deletes_only_the_plan(self, tmp_path):
+        make_artefact(tmp_path, "goes.jsonl", "dwatch-reads", age_s=500.0)
+        stays = make_artefact(tmp_path, "stays.jsonl", "dwatch-reads", age_s=1.0)
+        foreign = tmp_path / "keep.txt"
+        foreign.write_text("mine\n")
+        plan = plan_retention(
+            scan_artefacts(tmp_path), RetentionPolicy(max_count=1), now_s=NOW
+        )
+        deleted = apply_retention(plan)
+        assert [p.name for p in deleted] == ["goes.jsonl"]
+        assert stays.exists() and foreign.exists()
+        assert not (tmp_path / "goes.jsonl").exists()
+
+    def test_already_gone_files_are_tolerated(self, tmp_path):
+        make_artefact(tmp_path, "a.jsonl", "dwatch-reads", age_s=500.0)
+        make_artefact(tmp_path, "b.jsonl", "dwatch-reads", age_s=1.0)
+        plan = plan_retention(
+            scan_artefacts(tmp_path), RetentionPolicy(max_count=1), now_s=NOW
+        )
+        (tmp_path / "a.jsonl").unlink()
+        # The goal state is reached either way: no error, path reported.
+        assert [p.name for p in apply_retention(plan)] == ["a.jsonl"]

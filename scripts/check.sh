@@ -5,24 +5,31 @@
 # Run from the repository root.
 #
 # Gates, in order:
-#   1. reprolint  — the repo's own AST linter (stdlib-only, always runs)
+#   1. reprolint  — the repo's own AST linter, domain rules RL001-RL006
+#                   plus the two-pass concurrency rules RL007-RL010
+#                   (stdlib-only, always runs; JSON report kept as a CI
+#                   artifact in REPROLINT_report.json)
 #   2. ruff       — general lint (skipped when not installed)
 #   3. mypy       — strict typing of the signal core (skipped when not
 #                   installed; the allowlist lives in pyproject.toml)
 #   4. smoke      — `repro stream` record -> replay round trip
-#   5. chaos      — single-reader-loss run must still emit fixes
-#   6. ops        — live /metrics scrape must pass the exposition validator
-#   7. bench      — scripts/bench.py --smoke writes BENCH_pipeline.json
-#   8. obs bench  — scripts/bench.py --obs --smoke writes BENCH_obs.json
-#   9. soak       — scripts/soak.py --smoke (bounded RSS/cardinality/queues)
-#  10. pytest     — the tier-1 suite
+#   5. sanitizer  — REPRO_DEBUG=1 stream run; the lock-sanitizer report
+#                   must show no inversions and no unguarded accesses
+#   6. chaos      — single-reader-loss run must still emit fixes
+#   7. ops        — live /metrics scrape must pass the exposition validator
+#   8. bench      — scripts/bench.py --smoke writes BENCH_pipeline.json
+#   9. obs bench  — scripts/bench.py --obs --smoke writes BENCH_obs.json
+#  10. soak       — scripts/soak.py --smoke (bounded RSS/cardinality/queues)
+#  11. pytest     — the tier-1 suite
 
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "== reprolint (domain rules RL001-RL006) =="
-python -m tools.reprolint src/
+echo "== reprolint (domain rules RL001-RL006, concurrency rules RL007-RL010) =="
+python -m tools.reprolint src/ --format json --statistics > REPROLINT_report.json \
+    || { echo "reprolint findings (full report in REPROLINT_report.json):"; \
+         python -m tools.reprolint src/ --statistics || true; exit 1; }
 
 if command -v ruff >/dev/null 2>&1; then
     echo "== ruff check =="
@@ -44,6 +51,25 @@ trap 'rm -rf "$SMOKE_DIR"' EXIT
 PYTHONPATH=src python -m repro --quiet stream --environment hall --seed 7 \
     --fixes 1 --record "$SMOKE_DIR/smoke.jsonl"
 PYTHONPATH=src python -m repro --quiet stream --replay "$SMOKE_DIR/smoke.jsonl"
+
+echo "== lock sanitizer smoke (REPRO_DEBUG=1 stream; no inversions/witnesses) =="
+timeout 300 env PYTHONPATH=src REPRO_DEBUG=1 python - <<'SANITIZER_SMOKE'
+from repro.analysis import sanitizer
+from repro.cli import main
+
+code = main([
+    "--quiet", "stream", "--environment", "hall", "--seed", "7",
+    "--fixes", "2",
+])
+assert code == 0, f"sanitized stream exited {code}"
+document = sanitizer.write_report("SANITIZER_report.json")
+assert document["enabled"], "REPRO_DEBUG gate did not engage"
+assert document["locks"], "sanitizer observed no lock activity"
+assert document["inversions"] == [], document["inversions"]
+assert document["witnesses"] == [], document["witnesses"]
+print(f"sanitizer smoke ok: {len(document['locks'])} locks watched, "
+      "no inversions, no unguarded accesses")
+SANITIZER_SMOKE
 
 echo "== chaos smoke (reader loss must not stop the fix stream) =="
 # Hard timeout: a hung degraded pipeline is exactly the regression this

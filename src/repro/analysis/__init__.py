@@ -1,10 +1,17 @@
-"""Debug-mode runtime analysis: array shape/dtype/finiteness contracts.
+"""Debug-mode runtime analysis: array contracts and the lock sanitizer.
 
 The decorators in :mod:`repro.analysis.contracts` validate the arrays
 flowing through the signal core when ``REPRO_DEBUG=1`` and are exact
 no-ops otherwise — disabled runs execute the original, undecorated
 function objects, so the production path stays bit-identical (the same
 guarantee :mod:`repro.obs` makes for instrumentation).
+
+:mod:`repro.analysis.sanitizer` extends the same gate to concurrency:
+:func:`sanitized_lock` hands the threaded runtime components plain
+``threading.Lock`` objects in production and monitor-reporting wrappers
+under ``REPRO_DEBUG=1``, recording the lock acquisition graph,
+lock-order inversions, hold-time outliers and unguarded-access
+witnesses.
 """
 
 from repro.analysis.contracts import (
@@ -12,5 +19,21 @@ from repro.analysis.contracts import (
     contracts_enabled,
     ensure_finite,
 )
+from repro.analysis.sanitizer import (
+    LockMonitor,
+    SanitizedLock,
+    probe_unguarded,
+    sanitized_lock,
+    sanitizer_enabled,
+)
 
-__all__ = ["check_shapes", "contracts_enabled", "ensure_finite"]
+__all__ = [
+    "LockMonitor",
+    "SanitizedLock",
+    "check_shapes",
+    "contracts_enabled",
+    "ensure_finite",
+    "probe_unguarded",
+    "sanitized_lock",
+    "sanitizer_enabled",
+]

@@ -1,0 +1,429 @@
+"""Runtime lock sanitizer: instrumented locks for the threaded layers.
+
+The static concurrency rules (RL007-RL010 in ``tools/reprolint``) prove
+lock *discipline* lexically; this module witnesses it *dynamically*.  A
+:func:`sanitized_lock` is a drop-in ``threading.Lock`` replacement used
+by every threaded runtime component (the bounded read queue, the
+provenance ring, the metrics registry, the tracer, the ops server).
+With the ``REPRO_DEBUG`` gate off — the default — the factory returns a
+plain ``threading.Lock`` object, so production runs carry **zero**
+instrumentation and are bit-identical to an unsanitized build: the same
+contract :mod:`repro.analysis.contracts` makes.
+
+With ``REPRO_DEBUG=1`` the factory returns a :class:`SanitizedLock`
+that reports every acquisition to the process-wide
+:class:`LockMonitor`, which maintains:
+
+* the **acquisition graph** — a directed edge ``A -> B`` whenever a
+  thread acquires ``B`` while holding ``A``.  A cycle in that graph is
+  a lock-order inversion (two code paths disagree about ordering, the
+  precondition of every deadlock) and is recorded the moment the
+  closing edge appears — no actual deadlock needs to occur.
+* **hold-time outliers** — acquisitions held longer than
+  :attr:`LockMonitor.hold_warn_s` (a lock held across blocking work is
+  the runtime twin of static rule RL009).
+* **unguarded-access witnesses** — fed by :func:`probe_unguarded`, a
+  lightweight attribute-access probe tests wrap around a shared object
+  to catch reads/writes of guarded attributes while the guarding lock
+  is *not* held by the accessing thread (the runtime twin of RL007).
+
+:func:`report` renders everything as a deterministically-sorted
+JSON-ready document; ``scripts/check.sh`` runs a stream under the
+sanitizer and asserts the report is free of inversions and witnesses.
+
+The wrapper implements the lock protocol ``threading.Condition``
+expects (``acquire``/``release``/``locked`` plus ``_is_owned``), so
+``Condition(sanitized_lock(...))`` works unchanged — ``wait()`` routes
+its release/re-acquire pairs through the wrapper, which keeps hold-time
+accounting honest across condition waits.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Dict, List, Optional, Set, Tuple, cast
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+#: Default hold-time threshold (seconds) above which an acquisition is
+#: recorded as an outlier.  Override per-process with
+#: ``REPRO_SANITIZER_HOLD_MS``.
+DEFAULT_HOLD_WARN_S = 0.05
+
+#: Bound on every per-category record list so a long sanitized soak
+#: cannot grow the monitor without limit.
+MAX_RECORDS = 256
+
+
+def sanitizer_enabled() -> bool:
+    """Whether ``REPRO_DEBUG`` currently enables lock sanitizing."""
+    return os.environ.get("REPRO_DEBUG", "").strip().lower() in _TRUTHY
+
+
+def _hold_warn_s() -> float:
+    raw = os.environ.get("REPRO_SANITIZER_HOLD_MS", "").strip()
+    if not raw:
+        return DEFAULT_HOLD_WARN_S
+    try:
+        return max(0.0, float(raw)) / 1e3
+    except ValueError:
+        return DEFAULT_HOLD_WARN_S
+
+
+class LockMonitor:
+    """Process-wide sink for every sanitized lock event.
+
+    Thread-safety note: the monitor's own bookkeeping is guarded by a
+    private plain ``threading.Lock`` (never a sanitized one — the
+    monitor must not observe itself), and per-thread held-lock stacks
+    live in a ``threading.local`` so the hot path never contends.
+    """
+
+    def __init__(self, hold_warn_s: Optional[float] = None) -> None:
+        self.hold_warn_s = (
+            _hold_warn_s() if hold_warn_s is None else hold_warn_s
+        )
+        self._lock = threading.Lock()
+        self._held = threading.local()
+        self._acquisitions: Dict[str, int] = {}
+        self._hold_max_s: Dict[str, float] = {}
+        self._hold_total_s: Dict[str, float] = {}
+        self._edges: Dict[str, Set[str]] = {}
+        self._inversions: List[Dict[str, str]] = []
+        self._outliers: List[Dict[str, object]] = []
+        self._witnesses: List[Dict[str, str]] = []
+
+    # -- per-thread held stack ---------------------------------------
+
+    def _stack(self) -> List[str]:
+        stack = getattr(self._held, "stack", None)
+        if stack is None:
+            stack = []
+            self._held.stack = stack
+        return cast(List[str], stack)
+
+    def held_names(self) -> Tuple[str, ...]:
+        """Sanitized-lock names the *current thread* holds, outermost first."""
+        return tuple(self._stack())
+
+    # -- lock events ---------------------------------------------------
+
+    def note_acquired(self, name: str) -> None:
+        """Record one successful acquisition by the current thread."""
+        stack = self._stack()
+        held = list(stack)
+        stack.append(name)
+        with self._lock:
+            self._acquisitions[name] = self._acquisitions.get(name, 0) + 1
+            for outer in held:
+                if outer == name:
+                    continue
+                targets = self._edges.setdefault(outer, set())
+                if name not in targets:
+                    targets.add(name)
+                    self._check_inversion_locked(outer, name)
+
+    def note_released(self, name: str, hold_s: float) -> None:
+        """Record one release (with the measured hold time)."""
+        stack = self._stack()
+        if name in stack:
+            # Remove the innermost matching entry; out-of-order release
+            # of distinct locks is legal (``with a, b`` unwinds b, a).
+            for index in range(len(stack) - 1, -1, -1):
+                if stack[index] == name:
+                    del stack[index]
+                    break
+        with self._lock:
+            self._hold_total_s[name] = (
+                self._hold_total_s.get(name, 0.0) + hold_s
+            )
+            if hold_s > self._hold_max_s.get(name, 0.0):
+                self._hold_max_s[name] = hold_s
+            if (
+                hold_s > self.hold_warn_s
+                and len(self._outliers) < MAX_RECORDS
+            ):
+                self._outliers.append(
+                    {
+                        "lock": name,
+                        "hold_ms": round(hold_s * 1e3, 3),
+                        "thread": threading.current_thread().name,
+                    }
+                )
+
+    def note_witness(self, owner: str, attribute: str, lock: str) -> None:
+        """Record one unguarded access seen by :func:`probe_unguarded`."""
+        with self._lock:
+            if len(self._witnesses) < MAX_RECORDS:
+                self._witnesses.append(
+                    {
+                        "owner": owner,
+                        "attribute": attribute,
+                        "lock": lock,
+                        "thread": threading.current_thread().name,
+                    }
+                )
+
+    def _check_inversion_locked(self, outer: str, inner: str) -> None:
+        """Adding ``outer -> inner``: does a path ``inner => outer`` exist?
+
+        Caller holds ``self._lock``.  The graph is tiny (one node per
+        lock *name*), so a plain DFS is plenty.
+        """
+        seen: Set[str] = set()
+        frontier = [inner]
+        while frontier:
+            node = frontier.pop()
+            if node == outer:
+                if len(self._inversions) < MAX_RECORDS:
+                    self._inversions.append(
+                        {
+                            "first": f"{inner} -> {outer}",
+                            "second": f"{outer} -> {inner}",
+                            "thread": threading.current_thread().name,
+                        }
+                    )
+                return
+            if node in seen:
+                continue
+            seen.add(node)
+            frontier.extend(self._edges.get(node, ()))
+
+    # -- reporting -----------------------------------------------------
+
+    def report(self) -> Dict[str, Any]:
+        """The JSON-ready sanitizer report, deterministically sorted."""
+        with self._lock:
+            locks = {
+                name: {
+                    "acquisitions": self._acquisitions[name],
+                    "hold_max_ms": round(
+                        self._hold_max_s.get(name, 0.0) * 1e3, 3
+                    ),
+                    "hold_mean_ms": round(
+                        self._hold_total_s.get(name, 0.0)
+                        / self._acquisitions[name]
+                        * 1e3,
+                        3,
+                    ),
+                }
+                for name in sorted(self._acquisitions)
+            }
+            edges = sorted(
+                f"{source} -> {target}"
+                for source, targets in self._edges.items()
+                for target in targets
+            )
+            inversions = sorted(
+                self._inversions, key=lambda r: (r["first"], r["second"])
+            )
+            outliers = sorted(
+                self._outliers,
+                key=lambda r: (str(r["lock"]), -float(cast(float, r["hold_ms"]))),
+            )
+            witnesses = sorted(
+                self._witnesses,
+                key=lambda r: (r["owner"], r["attribute"], r["thread"]),
+            )
+        return {
+            "enabled": sanitizer_enabled(),
+            "hold_warn_ms": round(self.hold_warn_s * 1e3, 3),
+            "locks": locks,
+            "edges": edges,
+            "inversions": inversions,
+            "hold_outliers": outliers,
+            "witnesses": witnesses,
+        }
+
+    def reset(self) -> None:
+        """Forget everything recorded so far (held stacks included)."""
+        with self._lock:
+            self._acquisitions.clear()
+            self._hold_max_s.clear()
+            self._hold_total_s.clear()
+            self._edges.clear()
+            self._inversions.clear()
+            self._outliers.clear()
+            self._witnesses.clear()
+        # Thread-confined by construction (threading.local).
+        self._held = threading.local()  # reprolint: lockfree
+
+
+#: The process-wide monitor every sanitized lock reports to.
+MONITOR = LockMonitor()
+
+
+class SanitizedLock:
+    """A ``threading.Lock`` wrapper that reports to a :class:`LockMonitor`.
+
+    Non-reentrant, like the lock it wraps.  Implements the protocol
+    ``threading.Condition`` relies on (``acquire``/``release`` plus
+    ``_is_owned``), so it is a drop-in replacement wherever the library
+    builds a condition around its lock.
+    """
+
+    __slots__ = ("name", "monitor", "_inner", "_owner", "_acquired_at")
+
+    def __init__(
+        self, name: str, monitor: Optional[LockMonitor] = None
+    ) -> None:
+        self.name = name
+        self.monitor = monitor if monitor is not None else MONITOR
+        self._inner = threading.Lock()
+        # Guarded by _inner *semantically*: only the thread that holds
+        # the inner lock ever writes these, which no lexical with-block
+        # can express — hence the explicit exemptions.
+        self._owner: Optional[int] = None  # reprolint: lockfree
+        self._acquired_at = 0.0  # reprolint: lockfree
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        ok = self._inner.acquire(blocking, timeout)
+        if ok:
+            self._owner = threading.get_ident()
+            self._acquired_at = time.perf_counter()
+            self.monitor.note_acquired(self.name)
+        return ok
+
+    def release(self) -> None:
+        hold_s = time.perf_counter() - self._acquired_at
+        self._owner = None
+        self._inner.release()
+        self.monitor.note_released(self.name, hold_s)
+
+    def locked(self) -> bool:
+        return self._inner.locked()
+
+    def _is_owned(self) -> bool:
+        """``threading.Condition`` protocol hook (also used by the probe)."""
+        return self._owner == threading.get_ident()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        state = "locked" if self._inner.locked() else "unlocked"
+        return f"<SanitizedLock {self.name!r} {state}>"
+
+
+def sanitized_lock(name: str, *, force: bool = False) -> threading.Lock:
+    """A lock for a threaded component: instrumented only in debug mode.
+
+    With ``REPRO_DEBUG`` unset this returns a plain ``threading.Lock``
+    — the production path allocates nothing extra and observes nothing.
+    With the gate on (or ``force=True``, used by tests) it returns a
+    :class:`SanitizedLock` reporting to the process-wide monitor.  The
+    return type is declared ``threading.Lock`` because the wrapper is a
+    faithful duck-type of it (including the ``Condition`` protocol);
+    callers never need to know which they got.
+    """
+    if force or sanitizer_enabled():
+        return cast(threading.Lock, SanitizedLock(name))
+    return threading.Lock()
+
+
+class _ProbeExit:
+    """Restores the probed object's original class on exit."""
+
+    __slots__ = ("_target", "_original")
+
+    def __init__(self, target: Any, original: type) -> None:
+        self._target = target
+        self._original = original
+
+    def __enter__(self) -> Any:
+        return self._target
+
+    def __exit__(self, *exc_info: object) -> None:
+        object.__setattr__(self._target, "__class__", self._original)
+
+
+def probe_unguarded(
+    target: Any,
+    attributes: Tuple[str, ...],
+    lock: Any,
+    monitor: Optional[LockMonitor] = None,
+) -> _ProbeExit:
+    """Watch ``target`` for accesses to ``attributes`` without ``lock`` held.
+
+    A test-side probe: wraps the object's class with one whose
+    ``__getattribute__``/``__setattr__`` report a witness to the
+    monitor whenever a watched attribute is touched while the guarding
+    lock is not held *by the accessing thread*.  Requires ``lock`` to
+    be a :class:`SanitizedLock` (only it knows its owner); a plain lock
+    raises ``TypeError`` so a misconfigured test fails loudly instead
+    of silently probing nothing.
+
+    Use as a context manager::
+
+        with probe_unguarded(queue, ("_items",), queue._lock):
+            ... exercise the queue from several threads ...
+
+    The probe itself is intentionally heavyweight (every attribute
+    access takes a Python-level detour) and exists for tests only — it
+    is never wired into production objects.
+    """
+    if not isinstance(lock, SanitizedLock):
+        raise TypeError(
+            "probe_unguarded needs a SanitizedLock (create the object "
+            "under REPRO_DEBUG=1 or with force=True)"
+        )
+    sink = monitor if monitor is not None else MONITOR
+    watched = frozenset(attributes)
+    original = type(target)
+    owner = original.__name__
+    guard = lock
+
+    def _note(name: str) -> None:
+        if name in watched and not guard._is_owned():
+            sink.note_witness(owner, name, guard.name)
+
+    class _Probed(original):  # type: ignore
+        def __getattribute__(self, name: str) -> Any:
+            _note(name)
+            return object.__getattribute__(self, name)
+
+        def __setattr__(self, name: str, value: Any) -> None:
+            _note(name)
+            object.__setattr__(self, name, value)
+
+    _Probed.__name__ = f"Probed{owner}"
+    object.__setattr__(target, "__class__", _Probed)
+    return _ProbeExit(target, original)
+
+
+def report() -> Dict[str, Any]:
+    """The process-wide monitor's report (see :meth:`LockMonitor.report`)."""
+    return MONITOR.report()
+
+
+def write_report(path: str) -> Dict[str, Any]:
+    """Write the report as pretty JSON; returns the report dict."""
+    document = report()
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return document
+
+
+def reset() -> None:
+    """Reset the process-wide monitor (between tests)."""
+    MONITOR.reset()
+
+
+__all__ = [
+    "DEFAULT_HOLD_WARN_S",
+    "LockMonitor",
+    "MONITOR",
+    "SanitizedLock",
+    "probe_unguarded",
+    "report",
+    "reset",
+    "sanitized_lock",
+    "sanitizer_enabled",
+    "write_report",
+]

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.errors import ExpositionError
 
@@ -177,7 +177,8 @@ def _render_histogram(
     lines: List[str] = []
     count = int(record.get("count", 0))  # type: ignore[arg-type]
     total = float(record.get("sum", 0.0))  # type: ignore[arg-type]
-    buckets = record.get("buckets") or []
+    raw_buckets = record.get("buckets")
+    buckets = raw_buckets if isinstance(raw_buckets, list) else []
     for entry in buckets:
         bound, cumulative = float(entry[0]), int(entry[1])
         bucket_pairs = pairs + [("le", _format_value(bound))]
@@ -278,7 +279,7 @@ def validate_exposition(text: str) -> Dict[str, ExpositionFamily]:
     error in someone's production Prometheus.
     """
     families: Dict[str, ExpositionFamily] = {}
-    seen_series: set = set()
+    seen_series: Set[Tuple[str, Tuple[Tuple[str, str], ...]]] = set()
     for line_number, line in enumerate(text.splitlines(), start=1):
         if not line.strip():
             continue

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import logging
 import sys
-from typing import Any, Dict, Optional
+from typing import IO, Any, Dict, Optional
 
 ROOT_LOGGER_NAME = "repro"
 
@@ -53,7 +53,9 @@ def get_logger(name: Optional[str] = None) -> logging.Logger:
     return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
 
 
-def configure_logging(quiet: bool = False, stream=None) -> logging.Logger:
+def configure_logging(
+    quiet: bool = False, stream: Optional[IO[str]] = None
+) -> logging.Logger:
     """Install the structured handler on the ``repro`` logger.
 
     Parameters

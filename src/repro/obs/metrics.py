@@ -18,8 +18,15 @@ never explode cardinality unbounded (the cap is asserted by the soak
 harness).  A metric *name* still belongs to exactly one kind across
 all of its label sets.
 
-Everything is plain stdlib + a lock, so the layer adds no dependency
-and is safe to use from the threaded measurement hub.  Histograms keep
+Everything is plain stdlib + locks, so the layer adds no dependency
+and is safe to use from the threaded measurement hub: the registry
+guards its series maps, and **every metric object guards its own
+running state** — the registry hands metric objects to arbitrary
+threads (``obs.count`` bumps them outside any registry call), so a
+scrape snapshotting a counter mid-``inc`` must never read a
+half-applied update.  The locks come from
+:func:`repro.analysis.sanitizer.sanitized_lock`, so ``REPRO_DEBUG=1``
+runs witness the whole acquisition graph.  Histograms keep
 a deterministically decimated sample reservoir: when the buffer fills,
 every second sample is dropped and the keep stride doubles, so memory
 stays bounded without introducing randomness (randomness here would
@@ -30,11 +37,22 @@ reproducible run to run).
 from __future__ import annotations
 
 import json
-import threading
 from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Type,
+    Union,
+    cast,
+)
 
+from repro.analysis.sanitizer import sanitized_lock
 from repro.errors import ConfigurationError
 
 MetricValue = Union[int, float]
@@ -75,19 +93,31 @@ class Counter:
     value: float = 0.0
     labels: LabelItems = ()
 
+    def __post_init__(self) -> None:
+        # The registry hands this object to arbitrary threads; the lock
+        # keeps increments atomic against concurrent scrapes.
+        self._lock = sanitized_lock("obs.metric")
+
     def inc(self, amount: MetricValue = 1) -> None:
         """Add ``amount`` (must be non-negative) to the total."""
         if amount < 0:
             raise ConfigurationError(
                 f"counter {self.name!r} cannot decrease (got {amount})"
             )
-        self.value += float(amount)
+        with self._lock:
+            self.value += float(amount)
 
     def reset(self) -> None:
-        self.value = 0.0
+        with self._lock:
+            self.value = 0.0
 
-    def snapshot(self) -> dict:
-        record = {"name": self.name, "type": "counter", "value": self.value}
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            record: Dict[str, Any] = {
+                "name": self.name,
+                "type": "counter",
+                "value": self.value,
+            }
         if self.labels:
             record["labels"] = dict(self.labels)
         return record
@@ -102,16 +132,26 @@ class Gauge:
     labels: LabelItems = ()
     _written: bool = False
 
+    def __post_init__(self) -> None:
+        self._lock = sanitized_lock("obs.metric")
+
     def set(self, value: MetricValue) -> None:
-        self.value = float(value)
-        self._written = True
+        with self._lock:
+            self.value = float(value)
+            self._written = True
 
     def reset(self) -> None:
-        self.value = 0.0
-        self._written = False
+        with self._lock:
+            self.value = 0.0
+            self._written = False
 
-    def snapshot(self) -> dict:
-        record = {"name": self.name, "type": "gauge", "value": self.value}
+    def snapshot(self) -> Dict[str, Any]:
+        with self._lock:
+            record: Dict[str, Any] = {
+                "name": self.name,
+                "type": "gauge",
+                "value": self.value,
+            }
         if self.labels:
             record["labels"] = dict(self.labels)
         return record
@@ -149,32 +189,46 @@ class Histogram:
             )
         if not self._bucket_counts:
             self._bucket_counts = [0] * (len(self.bucket_bounds) + 1)
+        self._lock = sanitized_lock("obs.metric")
 
     def observe(self, value: MetricValue) -> None:
         v = float(value)
-        self.count += 1
-        self.total += v
-        self.min_value = v if self.min_value is None else min(self.min_value, v)
-        self.max_value = v if self.max_value is None else max(self.max_value, v)
-        # Prometheus buckets are upper-bound inclusive (v <= le); the
-        # final slot is the implicit +Inf overflow bucket.
-        self._bucket_counts[bisect_left(self.bucket_bounds, v)] += 1
-        self._pending += 1
-        if self._pending >= self._stride:
-            self._pending = 0
-            self._samples.append(v)
-            if len(self._samples) >= self.max_samples:
-                self._samples = self._samples[::2]
-                self._stride *= 2
+        with self._lock:
+            self.count += 1
+            self.total += v
+            self.min_value = (
+                v if self.min_value is None else min(self.min_value, v)
+            )
+            self.max_value = (
+                v if self.max_value is None else max(self.max_value, v)
+            )
+            # Prometheus buckets are upper-bound inclusive (v <= le); the
+            # final slot is the implicit +Inf overflow bucket.
+            self._bucket_counts[bisect_left(self.bucket_bounds, v)] += 1
+            self._pending += 1
+            if self._pending >= self._stride:
+                self._pending = 0
+                self._samples.append(v)
+                if len(self._samples) >= self.max_samples:
+                    self._samples = self._samples[::2]
+                    self._stride *= 2
 
     @property
     def mean(self) -> float:
+        with self._lock:
+            return self._mean_locked()
+
+    def _mean_locked(self) -> float:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
         """Nearest-rank percentile over the retained samples."""
         if not 0.0 <= q <= 100.0:
             raise ConfigurationError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            return self._percentile_locked(q)
+
+    def _percentile_locked(self, q: float) -> float:
         if not self._samples:
             return 0.0
         ordered = sorted(self._samples)
@@ -187,6 +241,10 @@ class Histogram:
         The implicit ``+Inf`` bucket equals :attr:`count`; the
         Prometheus renderer appends it at exposition time.
         """
+        with self._lock:
+            return self._cumulative_buckets_locked()
+
+    def _cumulative_buckets_locked(self) -> List[Tuple[float, int]]:
         pairs: List[Tuple[float, int]] = []
         running = 0
         for bound, in_bucket in zip(self.bucket_bounds, self._bucket_counts):
@@ -195,34 +253,40 @@ class Histogram:
         return pairs
 
     def reset(self) -> None:
-        self.count = 0
-        self.total = 0.0
-        self.min_value = None
-        self.max_value = None
-        self._samples = []
-        self._stride = 1
-        self._pending = 0
-        self._bucket_counts = [0] * (len(self.bucket_bounds) + 1)
+        with self._lock:
+            self.count = 0
+            self.total = 0.0
+            self.min_value = None
+            self.max_value = None
+            self._samples = []
+            self._stride = 1
+            self._pending = 0
+            self._bucket_counts = [0] * (len(self.bucket_bounds) + 1)
 
-    def snapshot(self) -> dict:
-        record = {
-            "name": self.name,
-            "type": "histogram",
-            "count": self.count,
-            "sum": self.total,
-            "mean": self.mean,
-            "min": self.min_value if self.min_value is not None else 0.0,
-            "max": self.max_value if self.max_value is not None else 0.0,
-            "buckets": [
-                [bound, cumulative]
-                for bound, cumulative in self.cumulative_buckets()
-            ],
-        }
+    def snapshot(self) -> Dict[str, Any]:
+        # One acquisition covers every field read, so the record is a
+        # consistent point-in-time view even under concurrent observe().
+        with self._lock:
+            record: Dict[str, Any] = {
+                "name": self.name,
+                "type": "histogram",
+                "count": self.count,
+                "sum": self.total,
+                "mean": self._mean_locked(),
+                "min": self.min_value if self.min_value is not None else 0.0,
+                "max": self.max_value if self.max_value is not None else 0.0,
+                "buckets": [
+                    [bound, cumulative]
+                    for bound, cumulative in self._cumulative_buckets_locked()
+                ],
+            }
+            percentiles = {
+                f"p{q:g}": self._percentile_locked(q)
+                for q in HISTOGRAM_PERCENTILES
+            }
         if self.labels:
             record["labels"] = dict(self.labels)
-        record.update(
-            {f"p{q:g}": self.percentile(q) for q in HISTOGRAM_PERCENTILES}
-        )
+        record.update(percentiles)
         return record
 
 
@@ -242,28 +306,31 @@ class MetricsRegistry:
     """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        self._lock = sanitized_lock("obs.metrics.registry")
         self._metrics: Dict[Tuple[str, LabelItems], Metric] = {}
-        self._kinds: Dict[str, type] = {}
+        self._kinds: Dict[str, Type[Metric]] = {}
         self._series_per_name: Dict[str, int] = {}
 
     def counter(
         self, name: str, labels: Optional[Mapping[str, str]] = None
     ) -> Counter:
-        return self._get_or_create(name, Counter, labels)
+        return cast(Counter, self._get_or_create(name, Counter, labels))
 
     def gauge(
         self, name: str, labels: Optional[Mapping[str, str]] = None
     ) -> Gauge:
-        return self._get_or_create(name, Gauge, labels)
+        return cast(Gauge, self._get_or_create(name, Gauge, labels))
 
     def histogram(
         self, name: str, labels: Optional[Mapping[str, str]] = None
     ) -> Histogram:
-        return self._get_or_create(name, Histogram, labels)
+        return cast(Histogram, self._get_or_create(name, Histogram, labels))
 
     def _get_or_create(
-        self, name: str, kind, labels: Optional[Mapping[str, str]] = None
+        self,
+        name: str,
+        kind: Type[Metric],
+        labels: Optional[Mapping[str, str]] = None,
     ) -> Metric:
         key = (name, label_items(labels))
         with self._lock:
@@ -303,19 +370,25 @@ class MetricsRegistry:
         with self._lock:
             return len(self._metrics)
 
-    def snapshot(self) -> List[dict]:
-        """One record per series, sorted by (name, labels)."""
+    def snapshot(self) -> List[Dict[str, Any]]:
+        """One record per series, sorted by (name, labels).
+
+        The registry lock covers only the copy of the series map; each
+        metric is then snapshotted under its *own* lock.  Nesting the
+        per-metric locks inside the registry lock would put an edge in
+        the acquisition graph for no benefit — a scrape is a sequence
+        of per-series point reads, not a global atomic view.
+        """
         with self._lock:
-            return [
-                self._metrics[key].snapshot()
-                for key in sorted(self._metrics)
-            ]
+            ordered = [self._metrics[key] for key in sorted(self._metrics)]
+        return [metric.snapshot() for metric in ordered]
 
     def reset(self) -> None:
         """Zero every metric while keeping registrations."""
         with self._lock:
-            for metric in self._metrics.values():
-                metric.reset()
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            metric.reset()
 
     def clear(self) -> None:
         """Forget every metric."""
@@ -333,9 +406,9 @@ class MetricsRegistry:
         return len(records)
 
 
-def load_snapshot_jsonl(path: str) -> List[dict]:
+def load_snapshot_jsonl(path: str) -> List[Dict[str, Any]]:
     """Read a metrics snapshot previously written by :meth:`write_jsonl`."""
-    records: List[dict] = []
+    records: List[Dict[str, Any]] = []
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()
@@ -349,7 +422,7 @@ LATENCY_PREFIX = "latency."
 
 
 def latency_stage_stats(
-    records: Iterable[dict],
+    records: Iterable[Mapping[str, Any]],
 ) -> Dict[str, Dict[str, float]]:
     """Per-stage latency statistics from a metrics snapshot.
 
@@ -386,7 +459,7 @@ def series_name(record: Mapping[str, object]) -> str:
 
 
 def render_snapshot(
-    records: Iterable[dict], prefix: Optional[str] = None
+    records: Iterable[Mapping[str, Any]], prefix: Optional[str] = None
 ) -> List[str]:
     """Human-readable table of a metrics snapshot (for ``repro stats``).
 

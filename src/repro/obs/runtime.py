@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import contextlib
 from dataclasses import dataclass, field
-from typing import Any, Iterator, List, Mapping, Optional, Union
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Union
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import (
@@ -174,6 +174,6 @@ def gauge(
         state.registry.gauge(name, labels).set(value)
 
 
-def snapshot() -> List[dict]:
+def snapshot() -> List[Dict[str, Any]]:
     """Snapshot of the currently active registry."""
     return _state.registry.snapshot()

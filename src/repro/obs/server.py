@@ -34,6 +34,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 from urllib.parse import parse_qs, urlsplit
 
+from repro.analysis.sanitizer import sanitized_lock
 from repro.errors import ConfigurationError
 from repro.obs import runtime
 from repro.obs.export import render_prometheus
@@ -145,15 +146,22 @@ class OpsServer:
         self.snapshot_source = snapshot_source or registry_snapshot
         self.health_provider = health_provider
         self.ring = ring
+        # Guards the server/thread handles against concurrent
+        # start()/stop()/port reads; _starting claims an in-flight
+        # start so the (blocking) bind can happen outside the lock.
+        self._state_lock = sanitized_lock("obs.server.state")
+        self._starting = False
         self._server: Optional[_OpsHTTPServer] = None
         self._thread: Optional[threading.Thread] = None
 
     @property
     def port(self) -> int:
         """The actually bound port (resolves a requested port of 0)."""
-        if self._server is None:
+        with self._state_lock:
+            server = self._server
+        if server is None:
             return self.requested_port
-        return int(self._server.server_address[1])
+        return int(server.server_address[1])
 
     @property
     def url(self) -> str:
@@ -161,35 +169,58 @@ class OpsServer:
         return f"http://{self.host}:{self.port}"
 
     def start(self) -> "OpsServer":
-        """Bind and begin serving from a daemon thread; returns self."""
-        if self._server is not None:
-            raise ConfigurationError("ops server is already running")
+        """Bind and begin serving from a daemon thread; returns self.
+
+        Two concurrent ``start()`` calls used to race the
+        check-then-act on ``_server`` and could both bind; the claim
+        flag makes exactly one of them win.  The bind itself happens
+        *outside* the lock — it touches the network stack and may
+        block, and nothing should block while holding the state lock.
+        """
+        with self._state_lock:
+            if self._server is not None or self._starting:
+                raise ConfigurationError("ops server is already running")
+            self._starting = True
         try:
             server = _OpsHTTPServer((self.host, self.requested_port), _OpsHandler)
         except OSError as exc:
+            with self._state_lock:
+                self._starting = False
             raise ConfigurationError(
                 f"cannot bind ops server on {self.host}:{self.requested_port}: {exc}"
             ) from exc
         server.ops = self
-        self._server = server
-        self._thread = threading.Thread(
+        thread = threading.Thread(
             target=server.serve_forever,
             name="repro-ops-server",
             daemon=True,
         )
-        self._thread.start()
+        with self._state_lock:
+            self._server = server
+            self._thread = thread
+            self._starting = False
+        thread.start()
         return self
 
     def stop(self) -> None:
-        """Shut the endpoint down and join the serving thread."""
-        if self._server is None:
+        """Shut the endpoint down and join the serving thread.
+
+        Takes the handles and clears them under the lock, then shuts
+        down and joins outside it — ``shutdown()``/``join()`` block on
+        the serving thread, and holding the state lock across them
+        would stall a concurrent ``port`` read for the full timeout.
+        """
+        with self._state_lock:
+            server = self._server
+            thread = self._thread
+            self._server = None
+            self._thread = None
+        if server is None:
             return
-        self._server.shutdown()
-        self._server.server_close()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-        self._server = None
-        self._thread = None
+        server.shutdown()
+        server.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
 
     def __enter__(self) -> "OpsServer":
         return self.start()

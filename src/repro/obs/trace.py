@@ -17,7 +17,10 @@ import json
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Protocol
+from types import TracebackType
+from typing import Any, Dict, List, Optional, Protocol, TextIO, Type
+
+from repro.analysis.sanitizer import sanitized_lock
 
 
 @dataclass
@@ -35,7 +38,7 @@ class SpanRecord:
     thread: str = ""
 
     def to_json_line(self) -> str:
-        record = {
+        record: Dict[str, Any] = {
             "type": "span",
             "name": self.name,
             "span_id": self.span_id,
@@ -68,19 +71,24 @@ class JsonlTraceWriter:
 
     def __init__(self, path: str) -> None:
         self.path = path
-        self._lock = threading.Lock()
-        self._handle = None
+        self._lock = sanitized_lock("obs.trace.writer")
+        self._handle: Optional[TextIO] = None
 
     def on_span(self, record: SpanRecord) -> None:
+        # Writing under the lock is this lock's whole purpose: it
+        # serializes appends from concurrent spans so JSON lines never
+        # interleave.  Nothing else ever nests inside it.
         with self._lock:
             if self._handle is None:
-                self._handle = open(self.path, "w", encoding="utf-8")
-            self._handle.write(record.to_json_line() + "\n")
+                self._handle = open(  # reprolint: disable=RL009
+                    self.path, "w", encoding="utf-8"
+                )
+            self._handle.write(record.to_json_line() + "\n")  # reprolint: disable=RL009
 
     def close(self) -> None:
         with self._lock:
             if self._handle is not None:
-                self._handle.close()
+                self._handle.close()  # reprolint: disable=RL009
                 self._handle = None
 
 
@@ -95,16 +103,20 @@ class Tracer:
     def __init__(self) -> None:
         self._ids = itertools.count(1)
         self._traces = itertools.count(1)
-        self._id_lock = threading.Lock()
+        self._id_lock = sanitized_lock("obs.trace.ids")
         self._local = threading.local()
         self._observers: List[SpanObserver] = []
 
     def add_observer(self, observer: SpanObserver) -> None:
-        self._observers.append(observer)
+        # The observer list is mutated by configure()/shutdown() while
+        # worker threads finish spans, so it shares the id lock.
+        with self._id_lock:
+            self._observers.append(observer)
 
     def remove_observer(self, observer: SpanObserver) -> None:
-        if observer in self._observers:
-            self._observers.remove(observer)
+        with self._id_lock:
+            if observer in self._observers:
+                self._observers.remove(observer)
 
     def _stack(self) -> List["ActiveSpan"]:
         stack = getattr(self._local, "stack", None)
@@ -159,7 +171,12 @@ class Tracer:
             attrs=span.attrs,
             thread=threading.current_thread().name,
         )
-        for observer in self._observers:
+        # Copy the observer list under the lock, notify outside it:
+        # on_span may do slow work (the trace writer does file I/O) and
+        # must not run while holding a Tracer lock.
+        with self._id_lock:
+            observers = list(self._observers)
+        for observer in observers:
             observer.on_span(record)
         return record
 
@@ -204,7 +221,12 @@ class ActiveSpan:
     def __enter__(self) -> "ActiveSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         self.tracer.finish(self, "error" if exc_type is not None else "ok")
         return False
 
@@ -225,16 +247,21 @@ class NullSpan:
     def __enter__(self) -> "NullSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> bool:
         return False
 
 
 NULL_SPAN = NullSpan()
 
 
-def load_trace_jsonl(path: str) -> List[dict]:
+def load_trace_jsonl(path: str) -> List[Dict[str, Any]]:
     """Read a span trace file back into dict records."""
-    records: List[dict] = []
+    records: List[Dict[str, Any]] = []
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
             line = line.strip()

@@ -27,7 +27,6 @@ that record:
 from __future__ import annotations
 
 import json
-import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
@@ -42,6 +41,7 @@ from typing import (
     Union,
 )
 
+from repro.analysis.sanitizer import sanitized_lock
 from repro.errors import RecordingError
 from repro.stream.events import FixQuality, TrackFix
 
@@ -400,7 +400,7 @@ class ProvenanceRing:
         if capacity < 1:
             raise RecordingError("provenance ring capacity must be >= 1")
         self.capacity = capacity
-        self._lock = threading.Lock()
+        self._lock = sanitized_lock("stream.provenance.ring")
         self._entries: List[Dict[str, Any]] = []
 
     def push(self, fix: TrackFix) -> None:

@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from typing import Deque, Iterable, List, Optional, Tuple
 
 from repro import obs
+from repro.analysis.sanitizer import sanitized_lock
 from repro.errors import BackpressureError, ConfigurationError, QueueClosedError
 from repro.stream.events import TagRead
 
@@ -94,7 +95,7 @@ class BoundedReadQueue:
         self.policy = policy
         self.block_timeout_s = block_timeout_s
         self._items: Deque[TagRead] = deque()
-        self._lock = threading.Lock()
+        self._lock = sanitized_lock("stream.queue")
         self._not_full = threading.Condition(self._lock)
         self._offered = 0
         self._accepted = 0

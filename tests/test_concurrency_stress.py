@@ -1,0 +1,319 @@
+"""Threaded stress tests for the shared runtime components.
+
+Every test forces the lock sanitizer on (``REPRO_DEBUG=1`` before the
+objects under test are constructed, so their locks are instrumented),
+hammers the component from barrier-started threads, and then asserts
+two things: the component's own invariants held (conservation of
+counts, bounded capacity) *and* the sanitizer witnessed no lock-order
+inversions and no unguarded accesses while it was watching.
+"""
+
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.analysis import sanitizer
+from repro.core.pipeline import DWatch
+from repro.obs.export import validate_exposition
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.server import OpsServer, registry_snapshot
+from repro.sim.environments import hall_scene
+from repro.sim.measurement import MeasurementSession
+from repro.stream import (
+    BoundedReadQueue,
+    FixQuality,
+    ProvenanceRing,
+    StreamRunner,
+    SyntheticStreamConfig,
+    TagRead,
+    TrackFix,
+    synthetic_reads,
+)
+
+
+@pytest.fixture(autouse=True)
+def _sanitized_world(monkeypatch):
+    monkeypatch.setenv("REPRO_DEBUG", "1")
+    sanitizer.reset()
+    yield
+    sanitizer.reset()
+
+
+def assert_sanitizer_clean():
+    report = sanitizer.report()
+    assert report["enabled"] is True
+    assert report["inversions"] == [], report["inversions"]
+    assert report["witnesses"] == [], report["witnesses"]
+
+
+def a_read(index):
+    return TagRead(
+        reader_name="R1", epc="EPC-1", time_s=float(index), iq=1 + 1j
+    )
+
+
+def a_fix(index):
+    return TrackFix(
+        index=index,
+        time_s=float(index),
+        position=None,
+        quality=FixQuality(level="insufficient", confidence=0.0),
+        predicted_only=True,
+    )
+
+
+class TestQueueStress:
+    PRODUCERS = 4
+    CONSUMERS = 2
+    PER_PRODUCER = 200
+
+    def test_producers_and_consumers_conserve_reads(self):
+        queue = BoundedReadQueue(capacity=64, policy="drop-newest")
+        assert isinstance(queue._lock, sanitizer.SanitizedLock)
+        barrier = threading.Barrier(self.PRODUCERS + self.CONSUMERS)
+        produced_done = threading.Event()
+        drained = [[] for _ in range(self.CONSUMERS)]
+
+        def produce(worker):
+            barrier.wait(timeout=10.0)
+            for i in range(self.PER_PRODUCER):
+                queue.put(a_read(worker * self.PER_PRODUCER + i))
+
+        def consume(slot):
+            barrier.wait(timeout=10.0)
+            while True:
+                read = queue.get()
+                if read is not None:
+                    drained[slot].append(read)
+                elif produced_done.is_set():
+                    return
+
+        threads = [
+            threading.Thread(target=produce, args=(w,), daemon=True)
+            for w in range(self.PRODUCERS)
+        ] + [
+            threading.Thread(target=consume, args=(s,), daemon=True)
+            for s in range(self.CONSUMERS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads[: self.PRODUCERS]:
+            thread.join(timeout=30.0)
+        produced_done.set()
+        for thread in threads[self.PRODUCERS :]:
+            thread.join(timeout=30.0)
+        assert not any(t.is_alive() for t in threads)
+
+        stats = queue.stats
+        total_drained = sum(len(chunk) for chunk in drained)
+        assert stats.offered == self.PRODUCERS * self.PER_PRODUCER
+        # Conservation: every offered read was either accepted or
+        # counted as dropped, and every accepted read was drained or is
+        # still queued.
+        assert stats.accepted + stats.dropped_newest == stats.offered
+        assert stats.accepted == total_drained + len(queue)
+        assert_sanitizer_clean()
+
+    def test_put_many_against_concurrent_drain(self):
+        queue = BoundedReadQueue(capacity=32, policy="drop-oldest")
+        barrier = threading.Barrier(2)
+
+        def produce():
+            barrier.wait(timeout=10.0)
+            for batch in range(20):
+                queue.put_many(a_read(batch * 10 + i) for i in range(10))
+
+        def consume():
+            barrier.wait(timeout=10.0)
+            for _ in range(200):
+                queue.drain(limit=7)
+
+        producer = threading.Thread(target=produce, daemon=True)
+        consumer = threading.Thread(target=consume, daemon=True)
+        producer.start()
+        consumer.start()
+        producer.join(timeout=30.0)
+        consumer.join(timeout=30.0)
+        assert not producer.is_alive() and not consumer.is_alive()
+        stats = queue.stats
+        assert stats.offered == 200
+        assert stats.accepted + stats.dropped_newest == stats.offered
+        assert_sanitizer_clean()
+
+
+class TestProvenanceRingStress:
+    WRITERS = 4
+    READERS = 2
+    PER_WRITER = 100
+    CAPACITY = 32
+
+    def test_concurrent_push_and_recent(self):
+        ring = ProvenanceRing(capacity=self.CAPACITY)
+        barrier = threading.Barrier(self.WRITERS + self.READERS)
+        stop = threading.Event()
+        seen_lengths = []
+
+        def write(worker):
+            barrier.wait(timeout=10.0)
+            for i in range(self.PER_WRITER):
+                ring.push(a_fix(worker * self.PER_WRITER + i))
+
+        def read():
+            barrier.wait(timeout=10.0)
+            while not stop.is_set():
+                recent = ring.recent(limit=8)
+                assert len(recent) <= 8
+                seen_lengths.append(len(ring))
+
+        threads = [
+            threading.Thread(target=write, args=(w,), daemon=True)
+            for w in range(self.WRITERS)
+        ] + [threading.Thread(target=read, daemon=True) for _ in range(self.READERS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads[: self.WRITERS]:
+            thread.join(timeout=30.0)
+        stop.set()
+        for thread in threads[self.WRITERS :]:
+            thread.join(timeout=30.0)
+        assert not any(t.is_alive() for t in threads)
+
+        # The ring is full (more fixes pushed than capacity) and every
+        # observed length respected the bound.
+        assert len(ring) == self.CAPACITY
+        assert all(n <= self.CAPACITY for n in seen_lengths)
+        records = ring.recent()
+        assert len(records) == self.CAPACITY
+        assert all("index" in record for record in records)
+        assert_sanitizer_clean()
+
+
+class TestMetricsRegistryStress:
+    THREADS = 8
+    PER_THREAD = 250
+
+    def test_labeled_counters_and_histograms_under_contention(self):
+        registry = MetricsRegistry()
+        barrier = threading.Barrier(self.THREADS + 1)
+        stop = threading.Event()
+
+        def work(worker):
+            barrier.wait(timeout=10.0)
+            labels = {"worker": str(worker % 4)}
+            for i in range(self.PER_THREAD):
+                registry.counter("stress.hits", labels=labels).inc()
+                registry.histogram("stress.latency").observe(i % 10)
+
+        def scrape():
+            barrier.wait(timeout=10.0)
+            while not stop.is_set():
+                for record in registry.snapshot():
+                    assert record["name"].startswith("stress.")
+
+        workers = [
+            threading.Thread(target=work, args=(w,), daemon=True)
+            for w in range(self.THREADS)
+        ]
+        scraper = threading.Thread(target=scrape, daemon=True)
+        for thread in workers:
+            thread.start()
+        scraper.start()
+        for thread in workers:
+            thread.join(timeout=30.0)
+        stop.set()
+        scraper.join(timeout=30.0)
+        assert not scraper.is_alive()
+        assert not any(t.is_alive() for t in workers)
+
+        records = registry.snapshot()
+        hit_total = sum(
+            record["value"]
+            for record in records
+            if record["name"] == "stress.hits"
+        )
+        assert hit_total == self.THREADS * self.PER_THREAD
+        histogram = next(
+            record for record in records if record["name"] == "stress.latency"
+        )
+        assert histogram["count"] == self.THREADS * self.PER_THREAD
+        assert_sanitizer_clean()
+
+
+class TestConcurrentScrape:
+    """Live stream run with the ops endpoint scraped from other threads."""
+
+    SCRAPERS = 3
+
+    def test_metrics_and_provenance_survive_a_live_run(self):
+        scene = hall_scene(rng=15, num_tags=4, num_antennas=4)
+        dwatch = DWatch(scene, cell_size=0.1)
+        dwatch.calibrate(rng=16)
+        session = MeasurementSession(scene, rng=17)
+        dwatch.collect_baseline([session.capture() for _ in range(2)])
+        runner = StreamRunner(dwatch)
+        reads = synthetic_reads(scene, SyntheticStreamConfig(fixes=3), rng=18)
+        ring = ProvenanceRing(capacity=16)
+
+        done = threading.Event()
+        statuses = []
+        statuses_lock = threading.Lock()
+        fixes = []
+
+        def stream():
+            try:
+                for fix in runner.run(iter(reads)):
+                    ring.push(fix)
+                    fixes.append(fix)
+            finally:
+                done.set()
+
+        def scrape(base_url):
+            while not done.is_set():
+                for route in ("/metrics", "/provenance/recent?limit=4"):
+                    with urllib.request.urlopen(
+                        base_url + route, timeout=5.0
+                    ) as response:
+                        body = response.read()
+                        with statuses_lock:
+                            statuses.append((route, response.status, body))
+
+        with OpsServer(
+            port=0, snapshot_source=registry_snapshot, ring=ring
+        ) as server:
+            streamer = threading.Thread(target=stream, daemon=True)
+            scrapers = [
+                threading.Thread(
+                    target=scrape, args=(server.url,), daemon=True
+                )
+                for _ in range(self.SCRAPERS)
+            ]
+            streamer.start()
+            for thread in scrapers:
+                thread.start()
+            streamer.join(timeout=120.0)
+            for thread in scrapers:
+                thread.join(timeout=30.0)
+            assert not streamer.is_alive()
+            assert not any(t.is_alive() for t in scrapers)
+
+            # One final scrape of each route after the run completes,
+            # so both are exercised at least once regardless of timing.
+            with urllib.request.urlopen(
+                server.url + "/metrics", timeout=5.0
+            ) as response:
+                final_metrics = response.read().decode("utf-8")
+            with urllib.request.urlopen(
+                server.url + "/provenance/recent", timeout=5.0
+            ) as response:
+                final_provenance = json.loads(response.read())
+
+        assert fixes, "the stream should have produced fixes"
+        assert all(status == 200 for _, status, _ in statuses)
+        validate_exposition(final_metrics)
+        assert final_provenance["retained"] == len(ring.recent())
+        assert [f["index"] for f in final_provenance["fixes"]] == [
+            fix.index for fix in fixes
+        ][-len(final_provenance["fixes"]) :]
+        assert_sanitizer_clean()

@@ -356,6 +356,7 @@ class TestEngine:
     def test_every_rule_has_code_and_message(self):
         assert set(RULES) == {
             "RL001", "RL002", "RL003", "RL004", "RL005", "RL006",
+            "RL007", "RL008", "RL009", "RL010",
         }
         for code, message in RULES.items():
             assert code.startswith("RL")
@@ -378,6 +379,28 @@ class TestCli:
         target = tmp_path / "clean.py"
         target.write_text("def f(x: int) -> int:\n    return x\n")
         assert reprolint_main([str(target), "--select", "RL999"]) == 2
+
+    def test_exit_two_on_nonexistent_path(self, tmp_path, capsys):
+        missing = tmp_path / "no_such_dir"
+        assert reprolint_main([str(missing)]) == 2
+        err = capsys.readouterr().err
+        assert "path does not exist" in err
+        assert str(missing) in err
+
+    def test_json_statistics_document_is_deterministic(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "dirty.py"
+        target.write_text("def f(x, items=[]):\n    return x\n")
+        assert reprolint_main([str(target), "--format", "json", "--statistics"]) == 1
+        first = capsys.readouterr().out
+        assert reprolint_main([str(target), "--format", "json", "--statistics"]) == 1
+        second = capsys.readouterr().out
+        assert first == second
+        document = json.loads(first)
+        assert set(document) == {"findings", "statistics"}
+        assert document["statistics"] == {"RL005": 1}
+        assert [f["code"] for f in document["findings"]] == ["RL005"]
 
 
 class TestShippedTreeIsViolationFree:

@@ -1,0 +1,433 @@
+"""The concurrency rule family (RL007-RL010) of the repo's own linter.
+
+One violating/clean/suppressed fixture per rule, plus the two analyses
+the single-file rules cannot do alone: the cross-module RL008
+lock-order cycle (which needs the project-wide second pass of
+``lint_paths``) and the seeded lock-order-inversion fixture, which must
+be caught **twice** — statically by RL008 and dynamically by the
+runtime sanitizer executing the very same source.
+"""
+
+import textwrap
+
+from repro.analysis import sanitizer
+from tools.reprolint import lint_paths, lint_source
+
+FAKE_PATH = "src/repro/stream/example.py"
+
+#: One source, two detectors.  ``test_static_rule_flags_it`` lints this
+#: string; ``test_runtime_sanitizer_flags_it`` executes it.  The locks
+#: are forced-sanitized so the runtime path works without REPRO_DEBUG.
+SEEDED_INVERSION = textwrap.dedent(
+    """\
+    from repro.analysis.sanitizer import sanitized_lock
+
+
+    class Inverted:
+        def __init__(self) -> None:
+            self._a = sanitized_lock("fixture.a", force=True)
+            self._b = sanitized_lock("fixture.b", force=True)
+            self._log = []
+
+        def forward(self) -> None:
+            with self._a:
+                with self._b:
+                    self._log.append("f")
+
+        def backward(self) -> None:
+            with self._b:
+                with self._a:
+                    self._log.append("b")
+    """
+)
+
+
+def codes_of(source, path=FAKE_PATH):
+    return [f.code for f in lint_source(textwrap.dedent(source), path)]
+
+
+def findings_of(source, path=FAKE_PATH):
+    return lint_source(textwrap.dedent(source), path)
+
+
+class TestRL007UnguardedSharedState:
+    def test_flags_unguarded_mutation(self):
+        assert "RL007" in codes_of(
+            """
+            import threading
+
+            class Box:
+                def __init__(self) -> None:
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def add(self, value) -> None:
+                    self._items.append(value)
+            """
+        )
+
+    def test_clean_when_guarded(self):
+        assert codes_of(
+            """
+            import threading
+
+            class Box:
+                def __init__(self) -> None:
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def add(self, value) -> None:
+                    with self._lock:
+                        self._items.append(value)
+            """
+        ) == []
+
+    def test_condition_alias_counts_as_the_lock(self):
+        assert codes_of(
+            """
+            import threading
+
+            class Box:
+                def __init__(self) -> None:
+                    self._lock = threading.Lock()
+                    self._ready = threading.Condition(self._lock)
+                    self._items = []
+
+                def add(self, value) -> None:
+                    with self._ready:
+                        self._items.append(value)
+            """
+        ) == []
+
+    def test_locked_suffix_methods_are_exempt(self):
+        # ``*_locked`` is the repo's "caller holds the lock" convention.
+        assert codes_of(
+            """
+            import threading
+
+            class Box:
+                def __init__(self) -> None:
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def add(self, value) -> None:
+                    with self._lock:
+                        self._add_locked(value)
+
+                def _add_locked(self, value) -> None:
+                    self._items.append(value)
+            """
+        ) == []
+
+    def test_lockfree_annotation_exempts_the_attribute(self):
+        assert codes_of(
+            """
+            import threading
+
+            class Box:
+                def __init__(self) -> None:
+                    self._lock = threading.Lock()
+                    self._hits = 0  # reprolint: lockfree
+                    self._items = []
+
+                def bump(self) -> None:
+                    self._hits += 1
+
+                def add(self, value) -> None:
+                    with self._lock:
+                        self._items.append(value)
+            """
+        ) == []
+
+    def test_lockless_class_is_out_of_scope(self):
+        # RL007 applies only to classes that actually declare a lock.
+        assert codes_of(
+            """
+            class Bag:
+                def __init__(self) -> None:
+                    self._items = []
+
+                def add(self, value) -> None:
+                    self._items.append(value)
+            """
+        ) == []
+
+    def test_suppressed_with_disable_comment(self):
+        assert codes_of(
+            """
+            import threading
+
+            class Box:
+                def __init__(self) -> None:
+                    self._lock = threading.Lock()
+                    self._items = []
+
+                def add(self, value) -> None:
+                    self._items.append(value)  # reprolint: disable=RL007
+            """
+        ) == []
+
+
+class TestRL008LockOrder:
+    def test_same_lock_nested_acquisition_flagged(self):
+        assert "RL008" in codes_of(
+            """
+            import threading
+
+            class Box:
+                def __init__(self) -> None:
+                    self._lock = threading.Lock()
+
+                def deadlock(self) -> None:
+                    with self._lock:
+                        with self._lock:
+                            pass
+            """
+        )
+
+    def test_consistent_nesting_is_clean(self):
+        assert codes_of(
+            """
+            import threading
+
+            class Box:
+                def __init__(self) -> None:
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def one(self) -> None:
+                    with self._a:
+                        with self._b:
+                            pass
+
+                def two(self) -> None:
+                    with self._a:
+                        with self._b:
+                            pass
+            """
+        ) == []
+
+    def test_single_file_inversion_flagged_in_both_directions(self):
+        findings = [
+            f for f in findings_of(SEEDED_INVERSION) if f.code == "RL008"
+        ]
+        assert len(findings) >= 2
+        lines = {f.line for f in findings}
+        assert len(lines) >= 2, "each conflicting site should be reported"
+
+    def test_cross_module_inversion_needs_the_second_pass(self, tmp_path):
+        forward = textwrap.dedent(
+            """
+            import threading
+
+            class Pipeline:
+                def __init__(self) -> None:
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def forward(self) -> None:
+                    with self._a:
+                        with self._b:
+                            pass
+            """
+        )
+        backward = textwrap.dedent(
+            """
+            import threading
+
+            class Pipeline:
+                def __init__(self) -> None:
+                    self._a = threading.Lock()
+                    self._b = threading.Lock()
+
+                def backward(self) -> None:
+                    with self._b:
+                        with self._a:
+                            pass
+            """
+        )
+        (tmp_path / "forward.py").write_text(forward)
+        (tmp_path / "backward.py").write_text(backward)
+        # Each module alone is order-consistent...
+        assert "RL008" not in codes_of(forward)
+        assert "RL008" not in codes_of(backward)
+        # ...the cycle only exists across the whole project.
+        findings = lint_paths([str(tmp_path)])
+        codes = [f.code for f in findings]
+        assert "RL008" in codes
+        assert {f.path for f in findings if f.code == "RL008"} == {
+            str(tmp_path / "forward.py"),
+            str(tmp_path / "backward.py"),
+        }
+
+
+class TestRL009BlockingUnderLock:
+    def test_flags_sleep_while_holding(self):
+        assert "RL009" in codes_of(
+            """
+            import threading
+            import time
+
+            class Box:
+                def __init__(self) -> None:
+                    self._lock = threading.Lock()
+
+                def nap(self) -> None:
+                    with self._lock:
+                        time.sleep(0.1)
+            """
+        )
+
+    def test_flags_file_io_while_holding(self):
+        assert "RL009" in codes_of(
+            """
+            import threading
+
+            class Box:
+                def __init__(self) -> None:
+                    self._lock = threading.Lock()
+
+                def dump(self) -> None:
+                    with self._lock:
+                        handle = open("state.json")
+                        handle.close()
+            """
+        )
+
+    def test_flags_subprocess_while_holding(self):
+        assert "RL009" in codes_of(
+            """
+            import subprocess
+            import threading
+
+            class Box:
+                def __init__(self) -> None:
+                    self._lock = threading.Lock()
+
+                def shell(self) -> None:
+                    with self._lock:
+                        subprocess.run(["ls"])
+            """
+        )
+
+    def test_clean_when_blocking_work_is_outside(self):
+        assert codes_of(
+            """
+            import threading
+            import time
+
+            class Box:
+                def __init__(self) -> None:
+                    self._lock = threading.Lock()
+                    self._stamp = 0.0
+
+                def nap(self) -> None:
+                    time.sleep(0.1)
+                    with self._lock:
+                        self._stamp = 1.0
+            """
+        ) == []
+
+    def test_suppressed_with_disable_comment(self):
+        assert codes_of(
+            """
+            import threading
+            import time
+
+            class Box:
+                def __init__(self) -> None:
+                    self._lock = threading.Lock()
+
+                def nap(self) -> None:
+                    with self._lock:
+                        time.sleep(0.1)  # reprolint: disable=RL009
+            """
+        ) == []
+
+
+class TestRL010ThreadHygiene:
+    def test_flags_thread_without_explicit_daemon(self):
+        assert "RL010" in codes_of(
+            """
+            import threading
+
+            def start() -> None:
+                worker = threading.Thread(target=print)
+                worker.start()
+                worker.join()
+            """
+        )
+
+    def test_flags_daemon_thread_never_joined_or_registered(self):
+        assert "RL010" in codes_of(
+            """
+            import threading
+
+            def fire() -> None:
+                runaway = threading.Thread(target=print, daemon=True)
+                runaway.start()
+            """
+        )
+
+    def test_clean_with_daemon_and_join(self):
+        assert codes_of(
+            """
+            import threading
+
+            def start() -> None:
+                worker = threading.Thread(target=print, daemon=True)
+                worker.start()
+                worker.join()
+            """
+        ) == []
+
+    def test_clean_when_registered_instead_of_joined(self):
+        assert codes_of(
+            """
+            import threading
+
+            def launch(pool) -> None:
+                helper = threading.Thread(target=print, daemon=True)
+                pool.register_thread(helper)
+                helper.start()
+            """
+        ) == []
+
+    def test_suppressed_with_disable_comment(self):
+        assert codes_of(
+            """
+            import threading
+
+            def fire() -> None:
+                runaway = threading.Thread(target=print)  # reprolint: disable=RL010
+                runaway.start()
+            """
+        ) == []
+
+
+class TestSeededInversionCaughtByBothDetectors:
+    def test_static_rule_flags_it(self):
+        assert "RL008" in codes_of(SEEDED_INVERSION)
+
+    def test_runtime_sanitizer_flags_it(self):
+        sanitizer.reset()
+        try:
+            namespace = {}
+            exec(  # noqa: S102 - executing our own fixture source
+                compile(SEEDED_INVERSION, "seeded_inversion_fixture.py", "exec"),
+                namespace,
+            )
+            box = namespace["Inverted"]()
+            box.forward()
+            box.backward()
+            report = sanitizer.report()
+            assert len(report["inversions"]) == 1
+            inversion = report["inversions"][0]
+            assert "fixture.a" in inversion["first"]
+            assert "fixture.b" in inversion["first"]
+            assert sorted(report["edges"]) == [
+                "fixture.a -> fixture.b",
+                "fixture.b -> fixture.a",
+            ]
+        finally:
+            sanitizer.reset()

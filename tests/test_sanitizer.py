@@ -1,0 +1,290 @@
+"""The runtime lock sanitizer: gating, monitoring, probing, reporting.
+
+The production contract is tested first: with ``REPRO_DEBUG`` off the
+factory hands back a plain ``threading.Lock`` and the monitor records
+nothing, so a release build carries zero instrumentation.  Everything
+else runs against private :class:`LockMonitor` instances so tests do
+not interfere through the process-wide monitor.
+"""
+
+import hashlib
+import json
+import threading
+import time
+
+import pytest
+
+from repro.analysis import sanitizer
+from repro.analysis.sanitizer import (
+    DEFAULT_HOLD_WARN_S,
+    LockMonitor,
+    SanitizedLock,
+    probe_unguarded,
+    sanitized_lock,
+    sanitizer_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_global_monitor():
+    sanitizer.reset()
+    yield
+    sanitizer.reset()
+
+
+class TestGate:
+    def test_disabled_returns_a_plain_lock(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DEBUG", raising=False)
+        lock = sanitized_lock("plain")
+        assert not isinstance(lock, SanitizedLock)
+        assert type(lock) is type(threading.Lock())
+
+    def test_enabled_returns_the_wrapper(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DEBUG", "1")
+        assert isinstance(sanitized_lock("wrapped"), SanitizedLock)
+
+    def test_force_overrides_the_gate(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DEBUG", raising=False)
+        assert isinstance(sanitized_lock("forced", force=True), SanitizedLock)
+
+    def test_truthy_spellings(self, monkeypatch):
+        for raw in ("1", "true", "YES", " on "):
+            monkeypatch.setenv("REPRO_DEBUG", raw)
+            assert sanitizer_enabled()
+        for raw in ("0", "off", "", "no"):
+            monkeypatch.setenv("REPRO_DEBUG", raw)
+            assert not sanitizer_enabled()
+
+    def test_disabled_lock_records_nothing(self, monkeypatch):
+        monkeypatch.delenv("REPRO_DEBUG", raising=False)
+        lock = sanitized_lock("silent")
+        with lock:
+            pass
+        report = sanitizer.report()
+        assert report["enabled"] is False
+        assert report["locks"] == {}
+
+
+class TestLockMonitor:
+    def test_acquisitions_and_hold_times_accounted(self):
+        monitor = LockMonitor(hold_warn_s=10.0)
+        lock = SanitizedLock("q", monitor)
+        for _ in range(3):
+            with lock:
+                pass
+        entry = monitor.report()["locks"]["q"]
+        assert entry["acquisitions"] == 3
+        assert entry["hold_max_ms"] >= 0.0
+        assert entry["hold_mean_ms"] >= 0.0
+
+    def test_inversion_detected_without_an_actual_deadlock(self):
+        monitor = LockMonitor(hold_warn_s=10.0)
+        a = SanitizedLock("a", monitor)
+        b = SanitizedLock("b", monitor)
+        with a:
+            with b:
+                pass
+        with b:
+            with a:
+                pass
+        report = monitor.report()
+        assert report["edges"] == ["a -> b", "b -> a"]
+        assert len(report["inversions"]) == 1
+        inversion = report["inversions"][0]
+        assert "a" in inversion["first"] and "b" in inversion["first"]
+
+    def test_consistent_order_has_no_inversion(self):
+        monitor = LockMonitor(hold_warn_s=10.0)
+        a = SanitizedLock("a", monitor)
+        b = SanitizedLock("b", monitor)
+        for _ in range(2):
+            with a:
+                with b:
+                    pass
+        report = monitor.report()
+        assert report["edges"] == ["a -> b"]
+        assert report["inversions"] == []
+
+    def test_held_names_tracks_the_current_thread_stack(self):
+        monitor = LockMonitor(hold_warn_s=10.0)
+        outer = SanitizedLock("outer", monitor)
+        inner = SanitizedLock("inner", monitor)
+        assert monitor.held_names() == ()
+        with outer:
+            with inner:
+                assert monitor.held_names() == ("outer", "inner")
+        assert monitor.held_names() == ()
+
+    def test_hold_time_outlier_recorded(self):
+        monitor = LockMonitor(hold_warn_s=0.0)
+        lock = SanitizedLock("slow", monitor)
+        with lock:
+            time.sleep(0.002)
+        outliers = monitor.report()["hold_outliers"]
+        assert outliers and outliers[0]["lock"] == "slow"
+        assert outliers[0]["hold_ms"] > 0.0
+
+    def test_hold_threshold_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZER_HOLD_MS", "250")
+        assert LockMonitor().hold_warn_s == pytest.approx(0.25)
+        monkeypatch.setenv("REPRO_SANITIZER_HOLD_MS", "bogus")
+        assert LockMonitor().hold_warn_s == DEFAULT_HOLD_WARN_S
+
+    def test_reset_clears_everything(self):
+        monitor = LockMonitor(hold_warn_s=0.0)
+        lock = SanitizedLock("x", monitor)
+        with lock:
+            pass
+        monitor.reset()
+        report = monitor.report()
+        assert report["locks"] == {}
+        assert report["edges"] == []
+        assert report["inversions"] == []
+        assert report["hold_outliers"] == []
+        assert report["witnesses"] == []
+
+    def test_report_is_deterministic_and_json_ready(self):
+        monitor = LockMonitor(hold_warn_s=10.0)
+        b = SanitizedLock("b", monitor)
+        a = SanitizedLock("a", monitor)
+        with b:
+            with a:
+                pass
+        first = json.dumps(monitor.report(), sort_keys=True)
+        second = json.dumps(monitor.report(), sort_keys=True)
+        assert first == second
+        assert list(monitor.report()["locks"]) == ["a", "b"]
+
+
+class TestConditionIntegration:
+    def test_condition_over_a_sanitized_lock(self):
+        monitor = LockMonitor(hold_warn_s=10.0)
+        lock = SanitizedLock("cv", monitor)
+        ready = threading.Condition(lock)
+        results = []
+
+        def consumer():
+            with ready:
+                while not results:
+                    ready.wait(timeout=5.0)
+
+        worker = threading.Thread(target=consumer, daemon=True)
+        worker.start()
+        with ready:
+            results.append(1)
+            ready.notify_all()
+        worker.join(timeout=5.0)
+        assert not worker.is_alive()
+        report = monitor.report()
+        assert report["locks"]["cv"]["acquisitions"] >= 2
+        assert report["inversions"] == []
+
+
+class TestProbe:
+    def test_plain_lock_is_rejected_loudly(self):
+        class Box:
+            pass
+
+        with pytest.raises(TypeError, match="SanitizedLock"):
+            probe_unguarded(Box(), ("_items",), threading.Lock())
+
+    def test_witnesses_only_unguarded_watched_accesses(self):
+        monitor = LockMonitor(hold_warn_s=10.0)
+        lock = SanitizedLock("box", monitor)
+
+        class Box:
+            def __init__(self):
+                self._items = []
+                self._other = 0
+
+        box = Box()
+        with probe_unguarded(box, ("_items",), lock, monitor=monitor):
+            with lock:
+                box._items.append(1)  # guarded: no witness
+            box._other = 5  # unwatched: no witness
+            box._items.append(2)  # unguarded: one witness
+        witnesses = monitor.report()["witnesses"]
+        assert len(witnesses) == 1
+        assert witnesses[0]["owner"] == "Box"
+        assert witnesses[0]["attribute"] == "_items"
+        assert witnesses[0]["lock"] == "box"
+
+    def test_probe_restores_the_class_on_exit(self):
+        monitor = LockMonitor(hold_warn_s=10.0)
+        lock = SanitizedLock("box", monitor)
+
+        class Box:
+            def __init__(self):
+                self._items = []
+
+        box = Box()
+        with probe_unguarded(box, ("_items",), lock, monitor=monitor):
+            pass
+        assert type(box) is Box
+        box._items.append(1)  # post-exit access is no longer watched
+        assert monitor.report()["witnesses"] == []
+
+    def test_cross_thread_unguarded_access_is_witnessed(self):
+        # The probe checks ownership per accessing thread: main holding
+        # the lock does not excuse a worker touching the attribute.
+        monitor = LockMonitor(hold_warn_s=10.0)
+        lock = SanitizedLock("box", monitor)
+
+        class Box:
+            def __init__(self):
+                self._items = []
+
+        box = Box()
+
+        def worker_touch():
+            box._items.append("worker")
+
+        with probe_unguarded(box, ("_items",), lock, monitor=monitor):
+            with lock:
+                worker = threading.Thread(target=worker_touch, daemon=True)
+                worker.start()
+                worker.join(timeout=5.0)
+        witnesses = monitor.report()["witnesses"]
+        assert len(witnesses) == 1
+        assert witnesses[0]["attribute"] == "_items"
+
+
+class TestBitIdenticalOutput:
+    def stream_stdout_hash(self, capsys):
+        from repro.cli import main
+
+        capsys.readouterr()  # discard anything pending
+        code = main(
+            ["--quiet", "stream", "--environment", "hall", "--seed", "7",
+             "--fixes", "2"]
+        )
+        assert code == 0
+        return hashlib.sha256(capsys.readouterr().out.encode()).hexdigest()
+
+    def test_stream_output_identical_with_sanitizer_on_and_off(
+        self, capsys, monkeypatch
+    ):
+        # The load-bearing contract: the sanitizer observes, it never
+        # participates.  The exact bytes on stdout must not depend on
+        # whether the locks were instrumented.
+        monkeypatch.delenv("REPRO_DEBUG", raising=False)
+        plain = self.stream_stdout_hash(capsys)
+        monkeypatch.setenv("REPRO_DEBUG", "1")
+        sanitized = self.stream_stdout_hash(capsys)
+        assert plain == sanitized
+        # And the instrumented run actually watched something.
+        report = sanitizer.report()
+        assert "stream.queue" in report["locks"]
+        assert report["inversions"] == []
+        assert report["witnesses"] == []
+
+
+class TestModuleLevelReport:
+    def test_write_report_round_trips(self, tmp_path):
+        lock = sanitized_lock("roundtrip", force=True)
+        with lock:
+            pass
+        path = tmp_path / "sanitizer_report.json"
+        document = sanitizer.write_report(str(path))
+        assert json.loads(path.read_text(encoding="utf-8")) == document
+        assert "roundtrip" in document["locks"]

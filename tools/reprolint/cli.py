@@ -1,7 +1,11 @@
 """Command-line entry point: ``python -m tools.reprolint src/``.
 
 Exit codes follow the usual linter convention: 0 clean, 1 findings,
-2 usage error.
+2 usage error (unknown rule codes, nonexistent paths).  Output is
+deterministic: findings sort globally by (path, line, col, code), the
+``--statistics`` table sorts by code, and ``--format json`` emits a
+stable object (``{"findings": [...], "statistics": {...}}``) suitable
+for CI artifact diffing.
 """
 
 from __future__ import annotations
@@ -12,7 +16,7 @@ import sys
 from collections import Counter
 from typing import List, Optional, Set
 
-from tools.reprolint.engine import lint_paths
+from tools.reprolint.engine import UsageError, lint_paths
 from tools.reprolint.rules import RULES
 
 
@@ -22,7 +26,9 @@ def _parse_codes(raw: Optional[str]) -> Optional[Set[str]]:
     codes = {code.strip().upper() for code in raw.split(",") if code.strip()}
     unknown = codes - set(RULES)
     if unknown:
-        raise SystemExit(f"reprolint: unknown rule code(s): {', '.join(sorted(unknown))}")
+        raise UsageError(
+            f"unknown rule code(s): {', '.join(sorted(unknown))}"
+        )
     return codes
 
 
@@ -58,23 +64,30 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         select = _parse_codes(args.select)
         ignore = _parse_codes(args.ignore)
-    except SystemExit as exc:
-        print(exc, file=sys.stderr)
+        paths = args.paths or ["src"]
+        findings = lint_paths(paths, select=select, ignore=ignore)
+    except UsageError as exc:
+        print(f"reprolint: {exc}", file=sys.stderr)
         return 2
 
-    paths = args.paths or ["src"]
-    findings = lint_paths(paths, select=select, ignore=ignore)
+    counts = Counter(f.code for f in findings)
+    statistics = {code: counts[code] for code in sorted(counts)}
 
     if args.format == "json":
-        print(json.dumps([f.as_dict() for f in findings], indent=2))
+        if args.statistics:
+            document = {
+                "findings": [f.as_dict() for f in findings],
+                "statistics": statistics,
+            }
+            print(json.dumps(document, indent=2, sort_keys=True))
+        else:
+            print(json.dumps([f.as_dict() for f in findings], indent=2))
     else:
         for finding in findings:
             print(finding.format())
-
-    if args.statistics:
-        counts = Counter(f.code for f in findings)
-        for code in sorted(counts):
-            print(f"{code}: {counts[code]}")
+        if args.statistics:
+            for code, count in statistics.items():
+                print(f"{code}: {count}")
 
     if findings:
         if args.format == "text":

@@ -1,0 +1,625 @@
+"""The concurrency rule family (RL007-RL010): model pass + checks.
+
+Unlike RL001-RL006, which judge one expression at a time, the
+concurrency rules need context that spans methods, classes and modules:
+*which attributes are locks*, *which attributes are shared mutable
+state*, and *in which order the codebase as a whole acquires its
+locks*.  The analyzer therefore runs in two passes:
+
+**Pass 1 — model building** (:func:`build_project_model`).  Every
+module is scanned for classes that declare locks::
+
+    self._lock = threading.Lock()          # or RLock()
+    self._lock = sanitized_lock("name")    # the debug-gated factory
+    self._not_full = threading.Condition(self._lock)   # aliases _lock
+
+For each lock-owning class the pass also derives the **shared mutable
+attribute set**: attributes assigned in any non-``__init__`` method,
+plus attributes initialized to a mutable container (list/dict/set/
+deque/``field(default_factory=list)`` ...).  An attribute can opt out
+with a ``# reprolint: lockfree`` comment on its assignment line (for
+state that is provably confined to one thread).  Attributes assigned
+from ``open(...)`` or ``socket.*`` calls are remembered as *blocking
+handles* for RL009.
+
+**Pass 2 — enforcement**, with the model in hand:
+
+========  ==============================================================
+RL007     In a lock-owning class, every read/write of a shared mutable
+          attribute must sit lexically inside a ``with self._lock:``
+          block (or the attribute is declared lock-free).  ``__init__``/
+          ``__post_init__`` are exempt (the object is not yet
+          published), as are methods named ``*_locked`` (the documented
+          "caller holds the lock" convention).
+RL008     The project-wide lock acquisition graph (lock identity =
+          ``ClassName.attr``, conditions resolved to their lock) must
+          be cycle-free: acquiring B while holding A on one path and A
+          while holding B on another is a deadlock waiting for the
+          right interleaving.  Nesting the *same* non-reentrant lock is
+          reported immediately.
+RL009     No blocking call while holding a lock: ``open()``,
+          ``time.sleep``, ``subprocess.*``, ``socket.*``,
+          ``os.system``/``os.popen``, method calls on a blocking handle
+          attribute, or joining a shared thread attribute.
+RL010     ``threading.Thread(...)`` must pass ``daemon=`` explicitly,
+          and the created thread must be joined somewhere in the module
+          or handed to a ``*register*`` call for shutdown.
+========  ==============================================================
+
+The runtime twin of this file is :mod:`repro.analysis.sanitizer`, which
+witnesses the same invariants dynamically under ``REPRO_DEBUG=1``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from tools.reprolint.engine import Finding
+
+#: Opt-out comment for RL007 on an attribute's assignment line.
+_LOCKFREE_RE = re.compile(r"#\s*reprolint:\s*lockfree\b")
+
+#: Call names that create a lock object (pass 1).
+_LOCK_FACTORIES = frozenset({"Lock", "RLock", "sanitized_lock"})
+
+#: Init-like methods: assignments here are initialization, and the
+#: object is not yet visible to other threads.
+_INIT_METHODS = frozenset({"__init__", "__post_init__", "__new__"})
+
+#: Mutable container constructors (pass 1 shared-state inference).
+_MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "deque", "defaultdict", "bytearray", "OrderedDict"}
+)
+
+#: Module roots whose calls block (RL009).
+_BLOCKING_ROOTS = frozenset({"subprocess", "socket", "requests"})
+
+#: Exact dotted calls that block (RL009).
+_BLOCKING_CHAINS = frozenset(
+    {("time", "sleep"), ("os", "system"), ("os", "popen")}
+)
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _attr_chain(node: ast.AST) -> Optional[List[str]]:
+    parts: List[str] = []
+    current = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if isinstance(current, ast.Name):
+        parts.append(current.id)
+        return list(reversed(parts))
+    return None
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``self.X`` -> ``"X"``; anything else -> ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+@dataclass
+class ClassModel:
+    """What pass 1 knows about one lock-owning (or plain) class."""
+
+    name: str
+    path: str
+    #: lock attribute -> how it was created ("Lock", "RLock", ...).
+    locks: Dict[str, str] = field(default_factory=dict)
+    #: condition attribute -> the lock attribute it wraps.
+    aliases: Dict[str, str] = field(default_factory=dict)
+    #: attributes assigned outside __init__ or initialized to a
+    #: mutable container — the state RL007 wants guarded.
+    shared: Set[str] = field(default_factory=set)
+    #: attributes exempted via ``# reprolint: lockfree``.
+    lockfree: Set[str] = field(default_factory=set)
+    #: attributes assigned from open()/socket.* — blocking handles.
+    handles: Set[str] = field(default_factory=set)
+
+    @property
+    def concurrent(self) -> bool:
+        """RL007 applies only to classes that declare locks."""
+        return bool(self.locks) or bool(self.aliases)
+
+    def lock_id(self, attr: str) -> str:
+        """Project-wide lock identity, conditions resolved to locks."""
+        return f"{self.name}.{self.aliases.get(attr, attr)}"
+
+    def guard_attrs(self) -> Set[str]:
+        """Attributes whose ``with self.X:`` acquires a known lock."""
+        return set(self.locks) | set(self.aliases)
+
+
+@dataclass
+class ProjectModel:
+    """Everything pass 2 needs, accumulated across all modules."""
+
+    #: (path, class name) -> model.
+    classes: Dict[Tuple[str, str], ClassModel] = field(default_factory=dict)
+    #: (outer lock id, inner lock id) -> acquisition sites.
+    edges: Dict[Tuple[str, str], List[Tuple[str, int, int]]] = field(
+        default_factory=dict
+    )
+
+    def lookup(self, path: str, class_name: str) -> Optional[ClassModel]:
+        return self.classes.get((path, class_name))
+
+    def add_edge(
+        self, outer: str, inner: str, path: str, line: int, col: int
+    ) -> None:
+        self.edges.setdefault((outer, inner), []).append((path, line, col))
+
+
+def _is_lock_call(value: ast.AST) -> Optional[str]:
+    """``threading.Lock()`` / ``RLock()`` / ``sanitized_lock(...)`` kind."""
+    if isinstance(value, ast.Call):
+        name = _terminal_name(value.func)
+        if name in _LOCK_FACTORIES:
+            return name
+    return None
+
+
+def _condition_lock(value: ast.AST) -> Optional[Tuple[bool, Optional[str]]]:
+    """``threading.Condition(...)``: (is_condition, wrapped self attr)."""
+    if isinstance(value, ast.Call) and _terminal_name(value.func) == "Condition":
+        if value.args:
+            return True, _self_attr(value.args[0])
+        return True, None
+    return None
+
+
+def _is_mutable_init(value: ast.AST) -> bool:
+    """A value that makes the attribute shared mutable state."""
+    if isinstance(
+        value,
+        (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+    ):
+        return True
+    if isinstance(value, ast.Call):
+        name = _terminal_name(value.func)
+        if name in _MUTABLE_FACTORIES:
+            return True
+        if name == "field":  # dataclasses.field(default_factory=list)
+            for keyword in value.keywords:
+                if keyword.arg == "default_factory":
+                    factory = _terminal_name(keyword.value)
+                    if factory in _MUTABLE_FACTORIES:
+                        return True
+    return False
+
+
+def _is_handle_call(value: ast.AST) -> bool:
+    """``open(...)`` or ``socket.*(...)`` — a blocking-I/O handle."""
+    if not isinstance(value, ast.Call):
+        return False
+    if isinstance(value.func, ast.Name) and value.func.id == "open":
+        return True
+    chain = _attr_chain(value.func)
+    return bool(chain) and chain[0] == "socket"
+
+
+def _assign_targets(node: ast.AST) -> List[ast.AST]:
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        return [node.target]
+    return []
+
+
+def _assigned_value(node: ast.AST) -> Optional[ast.AST]:
+    if isinstance(node, (ast.Assign, ast.AnnAssign)):
+        return node.value
+    if isinstance(node, ast.AugAssign):
+        return node.value
+    return None
+
+
+def _build_class_model(
+    node: ast.ClassDef, path: str, source_lines: Sequence[str]
+) -> ClassModel:
+    model = ClassModel(name=node.name, path=path)
+    mutable_inits: Set[str] = set()
+
+    def lockfree_here(lineno: int) -> bool:
+        if 1 <= lineno <= len(source_lines):
+            return bool(_LOCKFREE_RE.search(source_lines[lineno - 1]))
+        return False
+
+    # Class-level dataclass fields: ``x: List[int] = field(...)``.
+    for stmt in node.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(
+            stmt.target, ast.Name
+        ):
+            if stmt.value is not None and _is_mutable_init(stmt.value):
+                if lockfree_here(stmt.lineno):
+                    model.lockfree.add(stmt.target.id)
+                else:
+                    mutable_inits.add(stmt.target.id)
+
+    for method in [n for n in node.body if isinstance(n, ast.FunctionDef)]:
+        init_like = method.name in _INIT_METHODS
+        for sub in ast.walk(method):
+            value = _assigned_value(sub)
+            if value is None:
+                continue
+            for target in _assign_targets(sub):
+                attr = _self_attr(target)
+                if attr is None:
+                    continue
+                lock_kind = _is_lock_call(value)
+                condition = _condition_lock(value)
+                if lock_kind is not None:
+                    model.locks[attr] = lock_kind
+                    continue
+                if condition is not None:
+                    _, wrapped = condition
+                    # A bare Condition() owns its internal lock; model
+                    # it as a lock in its own right.
+                    if wrapped is None:
+                        model.locks[attr] = "Condition"
+                    else:
+                        model.aliases[attr] = wrapped
+                    continue
+                if _is_handle_call(value):
+                    model.handles.add(attr)
+                if lockfree_here(sub.lineno):
+                    model.lockfree.add(attr)
+                    continue
+                if init_like:
+                    if _is_mutable_init(value):
+                        mutable_inits.add(attr)
+                else:
+                    model.shared.add(attr)
+
+    model.shared |= mutable_inits
+    model.shared -= model.guard_attrs()
+    model.shared -= model.lockfree
+    return model
+
+
+def build_project_model(
+    modules: Sequence[Tuple[str, ast.AST, str]],
+) -> ProjectModel:
+    """Pass 1 over every parsed module: ``(path, tree, source)`` triples."""
+    project = ProjectModel()
+    for path, tree, source in modules:
+        source_lines = source.splitlines()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                project.classes[(path, node.name)] = _build_class_model(
+                    node, path, source_lines
+                )
+    return project
+
+
+class ConcurrencyChecker(ast.NodeVisitor):
+    """Pass 2 over one module, armed with the project model.
+
+    Emits RL007/RL009/RL010 findings directly and feeds the lock
+    acquisition graph for the deferred RL008 cycle check
+    (:func:`order_findings`).
+    """
+
+    def __init__(self, path: str, model: ProjectModel) -> None:
+        self.path = path
+        self.model = model
+        self.findings: List[Finding] = []
+        self._class: Optional[ClassModel] = None
+        self._method: Optional[str] = None
+        self._held: List[str] = []
+        self._sleep_aliases: Set[str] = set()
+        self._thread_callees: Set[str] = set()
+        # Module-wide prepass results (RL010): names that get .join()ed
+        # and names handed to a *register* call.
+        self._join_receivers: Set[str] = set()
+        self._registered: Set[str] = set()
+        self._handled_threads: Set[int] = set()
+
+    # -- module prepass -------------------------------------------------
+
+    def check(self, tree: ast.AST) -> List[Finding]:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            callee = node.func
+            if isinstance(callee, ast.Attribute) and callee.attr == "join":
+                receiver = _terminal_name(callee.value)
+                if receiver is not None:
+                    self._join_receivers.add(receiver)
+            name = _terminal_name(callee)
+            if name is not None and "register" in name.lower():
+                for arg in node.args:
+                    arg_name = _terminal_name(arg)
+                    if arg_name is not None:
+                        self._registered.add(arg_name)
+        self.visit(tree)
+        return self.findings
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def _report(self, node: ast.AST, code: str, message: str) -> None:
+        self.findings.append(
+            Finding(
+                self.path,
+                getattr(node, "lineno", 1),
+                getattr(node, "col_offset", 0),
+                code,
+                message,
+            )
+        )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name
+            if node.module == "time" and alias.name == "sleep":
+                self._sleep_aliases.add(bound)
+            if node.module == "threading" and alias.name == "Thread":
+                self._thread_callees.add(bound)
+        self.generic_visit(node)
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        previous_class = self._class
+        previous_held = self._held
+        self._class = self.model.lookup(self.path, node.name)
+        self._held = []
+        try:
+            self.generic_visit(node)
+        finally:
+            self._class = previous_class
+            self._held = previous_held
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_method(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_method(node)
+
+    def _visit_method(self, node: ast.AST) -> None:
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        previous = self._method
+        # Only the class's direct methods reset the context; nested
+        # defs inherit it (they close over self and the held stack).
+        if self._method is None:
+            self._method = node.name
+            held = self._held
+            self._held = []
+        else:
+            held = None
+        try:
+            self.generic_visit(node)
+        finally:
+            self._method = previous
+            if held is not None:
+                self._held = held
+
+    # -- with-lock tracking (RL007 context, RL008 edges) ---------------
+
+    def _lock_of(self, expr: ast.AST) -> Optional[str]:
+        if self._class is None:
+            return None
+        attr = _self_attr(expr)
+        if attr is not None and attr in self._class.guard_attrs():
+            return self._class.lock_id(attr)
+        return None
+
+    def visit_With(self, node: ast.With) -> None:
+        self._visit_with(node)
+
+    def visit_AsyncWith(self, node: ast.AsyncWith) -> None:
+        self._visit_with(node)
+
+    def _visit_with(self, node: ast.AST) -> None:
+        assert isinstance(node, (ast.With, ast.AsyncWith))
+        pushed = 0
+        for item in node.items:
+            lock_id = self._lock_of(item.context_expr)
+            if lock_id is None:
+                continue
+            if lock_id in self._held:
+                self._report(
+                    item.context_expr,
+                    "RL008",
+                    f"nested acquisition of non-reentrant lock '{lock_id}' "
+                    "(guaranteed self-deadlock)",
+                )
+            else:
+                for outer in self._held:
+                    self.model.add_edge(
+                        outer,
+                        lock_id,
+                        self.path,
+                        getattr(item.context_expr, "lineno", 1),
+                        getattr(item.context_expr, "col_offset", 0),
+                    )
+            self._held.append(lock_id)
+            pushed += 1
+        try:
+            self.generic_visit(node)
+        finally:
+            for _ in range(pushed):
+                self._held.pop()
+
+    # -- RL007: guarded shared state -----------------------------------
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        cls = self._class
+        method = self._method
+        if (
+            cls is not None
+            and cls.concurrent
+            and method is not None
+            and method not in _INIT_METHODS
+            and not method.endswith("_locked")
+            and not self._held
+        ):
+            attr = _self_attr(node)
+            if (
+                attr is not None
+                and attr in cls.shared
+                and attr not in cls.lockfree
+            ):
+                self._report(
+                    node,
+                    "RL007",
+                    f"'{cls.name}.{attr}' is shared mutable state accessed "
+                    "outside any 'with self.<lock>:' block; guard it, or "
+                    "declare it '# reprolint: lockfree'",
+                )
+        self.generic_visit(node)
+
+    # -- RL009 / RL010: calls ------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if isinstance(node.value, ast.Call) and self._is_thread_call(
+            node.value
+        ):
+            names = []
+            for target in node.targets:
+                target_name = _terminal_name(target)
+                if target_name is not None:
+                    names.append(target_name)
+            self._check_thread(node.value, names)
+            self._handled_threads.add(id(node.value))
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._is_thread_call(node) and id(node) not in self._handled_threads:
+            self._check_thread(node, [])
+        if self._held:
+            self._check_blocking(node)
+        self.generic_visit(node)
+
+    def _is_thread_call(self, node: ast.Call) -> bool:
+        chain = _attr_chain(node.func)
+        if chain is not None and chain[-2:] == ["threading", "Thread"]:
+            return True
+        name = _terminal_name(node.func)
+        return isinstance(node.func, ast.Name) and name in self._thread_callees
+
+    def _check_thread(self, node: ast.Call, target_names: List[str]) -> None:
+        keywords = {kw.arg for kw in node.keywords if kw.arg is not None}
+        if "daemon" not in keywords:
+            self._report(
+                node,
+                "RL010",
+                "threading.Thread(...) without an explicit daemon= choice; "
+                "decide (and declare) whether it may outlive the process",
+            )
+        joined = any(
+            name in self._join_receivers or name in self._registered
+            for name in target_names
+        )
+        if not joined:
+            self._report(
+                node,
+                "RL010",
+                "thread is neither joined nor registered for shutdown in "
+                "this module; a fix must account for its lifetime",
+            )
+
+    def _check_blocking(self, node: ast.Call) -> None:
+        func = node.func
+        how: Optional[str] = None
+        if isinstance(func, ast.Name):
+            if func.id == "open":
+                how = "open()"
+            elif func.id in self._sleep_aliases:
+                how = "time.sleep()"
+        chain = _attr_chain(func)
+        if how is None and chain is not None:
+            if tuple(chain[-2:]) in _BLOCKING_CHAINS:
+                how = ".".join(chain[-2:]) + "()"
+            elif chain[0] in _BLOCKING_ROOTS:
+                how = ".".join(chain) + "()"
+        if how is None and isinstance(func, ast.Attribute):
+            receiver = _self_attr(func.value)
+            if (
+                receiver is not None
+                and self._class is not None
+                and receiver in self._class.handles
+            ):
+                how = f"I/O on handle 'self.{receiver}'"
+            elif (
+                func.attr == "join"
+                and receiver is not None
+                and self._class is not None
+                and receiver in self._class.shared
+            ):
+                how = f"'self.{receiver}.join()'"
+        if how is not None:
+            self._report(
+                node,
+                "RL009",
+                f"blocking call {how} while holding lock "
+                f"'{self._held[-1]}'; move it outside the with-block",
+            )
+
+
+def run_concurrency_rules(
+    tree: ast.AST, path: str, model: ProjectModel
+) -> List[Finding]:
+    """Pass 2 (RL007/RL009/RL010 + RL008 edge collection) for one module."""
+    return ConcurrencyChecker(path, model).check(tree)
+
+
+def order_findings(model: ProjectModel) -> List[Finding]:
+    """The deferred RL008 check: flag every acquisition edge on a cycle.
+
+    Run once after every module has fed :attr:`ProjectModel.edges`.
+    An edge ``A -> B`` is inconsistent when the rest of the graph can
+    get from ``B`` back to ``A``; both directions of a two-lock
+    inversion are reported, each at its own acquisition site.
+    """
+    adjacency: Dict[str, Set[str]] = {}
+    for outer, inner in model.edges:
+        adjacency.setdefault(outer, set()).add(inner)
+
+    def reachable(start: str, goal: str) -> bool:
+        seen: Set[str] = set()
+        frontier = [start]
+        while frontier:
+            current = frontier.pop()
+            if current == goal:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(sorted(adjacency.get(current, ())))
+        return False
+
+    findings: List[Finding] = []
+    for (outer, inner) in sorted(model.edges):
+        if not reachable(inner, outer):
+            continue
+        for path, line, col in sorted(model.edges[(outer, inner)]):
+            findings.append(
+                Finding(
+                    path,
+                    line,
+                    col,
+                    "RL008",
+                    f"lock-order inversion: '{inner}' acquired while "
+                    f"holding '{outer}' here, but the opposite order "
+                    "exists elsewhere in the project (deadlock risk)",
+                )
+            )
+    return findings

@@ -1,9 +1,17 @@
 """Core machinery of reprolint: findings, suppressions, file walking.
 
-The engine is rule-agnostic.  It parses a source file once, collects the
+The engine is rule-agnostic.  It parses every source file, collects the
 ``# reprolint: disable=...`` escape hatches from the token stream, runs
-the AST checker from :mod:`tools.reprolint.rules`, and filters the raw
+the AST checkers from :mod:`tools.reprolint.rules`, and filters the raw
 findings through the suppressions.
+
+Since the concurrency rule family (RL007-RL010) the engine is
+**two-pass**: :func:`lint_paths` first parses every file and builds the
+cross-module :class:`~tools.reprolint.concurrency.ProjectModel` (lock
+registries, shared-state sets, the lock acquisition graph), then lints
+each file against that model, and finally runs the deferred
+project-wide checks (the RL008 lock-order cycle detection) whose
+findings only exist once every module has been seen.
 """
 
 from __future__ import annotations
@@ -29,6 +37,17 @@ _SUPPRESS_RE = re.compile(
 )
 
 ALL_CODES = "all"
+
+
+class UsageError(Exception):
+    """A command-line usage failure (exit code 2).
+
+    Mirrors the semantics of ``repro.errors.UsageError`` without
+    importing it: the linter must run without ``src`` on the path
+    (``python -m tools.reprolint src/``), so it carries its own copy of
+    the contract — bad invocations fail with a typed error and exit 2,
+    never with a silent empty run.
+    """
 
 
 @dataclass(frozen=True)
@@ -87,7 +106,7 @@ def collect_suppressions(source: str) -> Dict[int, Set[str]]:
             if match.group("kind") == "disable-next-line":
                 line += 1
             suppressed.setdefault(line, set()).update(codes)
-    except tokenize.TokenError:
+    except tokenize.TokenError:  # reprolint: disable=RL006
         # A tokenization failure will surface as a parse failure anyway.
         pass
     return suppressed
@@ -102,24 +121,12 @@ def is_suppressed(
     return finding.code in codes or ALL_CODES in codes
 
 
-def lint_source(
-    source: str,
-    path: str,
-    select: Optional[Set[str]] = None,
-    ignore: Optional[Set[str]] = None,
+def _filter(
+    findings: Iterable[Finding],
+    suppressions: Dict[int, Set[str]],
+    select: Optional[Set[str]],
+    ignore: Optional[Set[str]],
 ) -> List[Finding]:
-    """Lint one source string; ``path`` is used for reporting and for the
-    per-module whitelists some rules carry (e.g. RL001 ignores
-    ``utils/rng.py``)."""
-    from tools.reprolint.rules import run_rules
-
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        line = exc.lineno if exc.lineno is not None else 1
-        return [ParseFailure(path, line, f"syntax error: {exc.msg}").to_finding()]
-    findings = run_rules(tree, source, path)
-    suppressions = collect_suppressions(source)
     kept = []
     for finding in findings:
         if select is not None and finding.code not in select:
@@ -129,13 +136,60 @@ def lint_source(
         if is_suppressed(finding, suppressions):
             continue
         kept.append(finding)
-    return sorted(kept, key=lambda f: (f.path, f.line, f.col, f.code))
+    return kept
+
+
+def _sorted(findings: Iterable[Finding]) -> List[Finding]:
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))
+
+
+def lint_source(
+    source: str,
+    path: str,
+    select: Optional[Set[str]] = None,
+    ignore: Optional[Set[str]] = None,
+    model: Optional[object] = None,
+) -> List[Finding]:
+    """Lint one source string; ``path`` is used for reporting and for the
+    per-module whitelists some rules carry (e.g. RL001 ignores
+    ``utils/rng.py``).
+
+    ``model`` is the cross-module :class:`ProjectModel` when called
+    from :func:`lint_paths`.  Standalone (``model=None``) the file is
+    its own project: a single-file model is built and the deferred
+    lock-order check runs over just this module, so single-file
+    fixtures still exercise RL008.
+    """
+    from tools.reprolint import concurrency
+    from tools.reprolint.rules import run_rules
+
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        line = exc.lineno if exc.lineno is not None else 1
+        return [ParseFailure(path, line, f"syntax error: {exc.msg}").to_finding()]
+    standalone = model is None
+    if standalone:
+        model = concurrency.build_project_model([(path, tree, source)])
+    assert isinstance(model, concurrency.ProjectModel)
+    findings = list(run_rules(tree, source, path, model))
+    if standalone:
+        findings.extend(concurrency.order_findings(model))
+    suppressions = collect_suppressions(source)
+    return _sorted(_filter(findings, suppressions, select, ignore))
 
 
 def iter_python_files(paths: Sequence[str]) -> Iterable[Path]:
-    """Yield every ``.py`` file under the given files/directories."""
+    """Yield every ``.py`` file under the given files/directories.
+
+    A path that does not exist raises :class:`UsageError`: a typo'd
+    invocation must fail loudly (exit 2) rather than "pass" by linting
+    nothing.
+    """
     for raw in paths:
         path = Path(raw)
+        if not path.exists():
+            raise UsageError(f"path does not exist: {raw}")
         if path.is_dir():
             for child in sorted(path.rglob("*.py")):
                 if "__pycache__" in child.parts:
@@ -150,8 +204,18 @@ def lint_paths(
     select: Optional[Set[str]] = None,
     ignore: Optional[Set[str]] = None,
 ) -> List[Finding]:
-    """Lint every Python file reachable from ``paths``."""
+    """Lint every Python file reachable from ``paths`` (two passes).
+
+    Pass 1 parses everything and builds the project model; pass 2
+    lints each file against it; finally the deferred project-wide
+    checks (RL008 lock-order cycles) run over the accumulated
+    acquisition graph, their findings filtered through each file's own
+    suppression comments.
+    """
+    from tools.reprolint import concurrency
+
     findings: List[Finding] = []
+    parsed: List[tuple] = []  # (path, tree, source)
     for path in iter_python_files(paths):
         try:
             source = path.read_text(encoding="utf-8")
@@ -160,5 +224,39 @@ def lint_paths(
                 ParseFailure(str(path), 1, f"unreadable file: {exc}").to_finding()
             )
             continue
-        findings.extend(lint_source(source, str(path), select, ignore))
-    return findings
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            line = exc.lineno if exc.lineno is not None else 1
+            findings.append(
+                ParseFailure(
+                    str(path), line, f"syntax error: {exc.msg}"
+                ).to_finding()
+            )
+            continue
+        parsed.append((str(path), tree, source))
+
+    model = concurrency.build_project_model(parsed)
+    suppressions_by_path: Dict[str, Dict[int, Set[str]]] = {}
+    for path_str, tree, source in parsed:
+        from tools.reprolint.rules import run_rules
+
+        suppressions = collect_suppressions(source)
+        suppressions_by_path[path_str] = suppressions
+        findings.extend(
+            _filter(
+                run_rules(tree, source, path_str, model),
+                suppressions,
+                select,
+                ignore,
+            )
+        )
+    for finding in concurrency.order_findings(model):
+        kept = _filter(
+            [finding],
+            suppressions_by_path.get(finding.path, {}),
+            select,
+            ignore,
+        )
+        findings.extend(kept)
+    return _sorted(findings)

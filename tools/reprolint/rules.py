@@ -21,7 +21,21 @@ RL006     No silently swallowed exceptions: an ``except`` body that is
           only ``pass``/``...`` hides failures the health layer should
           count — handle, log or re-raise (or justify with a
           ``# reprolint: disable=RL006`` comment).
+RL007     Shared mutable attributes of lock-owning classes are only
+          touched inside ``with self.<lock>:`` blocks (or carry a
+          ``# reprolint: lockfree`` exemption).
+RL008     The project-wide lock acquisition graph is cycle-free (no
+          lock-order inversions), and no non-reentrant lock is
+          acquired while already held.
+RL009     No blocking call (file/socket I/O, ``time.sleep``,
+          ``subprocess``, joining a thread) while holding a lock.
+RL010     ``threading.Thread`` construction is daemon-explicit and the
+          thread is joined or registered for shutdown.
 ========  ==============================================================
+
+RL007-RL010 are cross-module: they consume the two-pass project model
+built by :mod:`tools.reprolint.concurrency`, where the family is
+implemented and documented in detail.
 
 Each rule reports a code and message; every report can be silenced on
 its line with ``# reprolint: disable=RLxxx`` (see
@@ -32,9 +46,12 @@ from __future__ import annotations
 
 import ast
 from pathlib import PurePosixPath
-from typing import Dict, List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set
 
 from tools.reprolint.engine import Finding
+
+if TYPE_CHECKING:
+    from tools.reprolint import concurrency
 
 RULES: Dict[str, str] = {
     "RL001": "legacy/global NumPy randomness (route through repro.utils.rng)",
@@ -43,6 +60,10 @@ RULES: Dict[str, str] = {
     "RL004": "public API function missing a return annotation",
     "RL005": "mutable default argument or bare/broad except",
     "RL006": "exception swallowed by an empty except body",
+    "RL007": "shared mutable attribute accessed outside its lock",
+    "RL008": "lock-order inversion / nested acquisition of the same lock",
+    "RL009": "blocking call while holding a lock",
+    "RL010": "thread without explicit daemon= or without join/registration",
 }
 
 #: numpy.random attributes that talk to the legacy global-state API (or
@@ -522,9 +543,23 @@ class _Checker(ast.NodeVisitor):
 
 
 def run_rules(
-    tree: ast.AST, source: str, path: str
+    tree: ast.AST,
+    source: str,
+    path: str,
+    model: Optional["concurrency.ProjectModel"] = None,
 ) -> Sequence[Finding]:
-    """Run every rule over one parsed module."""
+    """Run every rule over one parsed module.
+
+    ``model`` carries the cross-module state the concurrency family
+    needs; when absent a single-file model is built on the spot so the
+    per-file rules of the family still run.
+    """
+    from tools.reprolint import concurrency
+
     checker = _Checker(path)
     checker.visit(tree)
-    return checker.findings
+    findings = list(checker.findings)
+    if model is None:
+        model = concurrency.build_project_model([(path, tree, source)])
+    findings.extend(concurrency.run_concurrency_rules(tree, path, model))
+    return findings

@@ -20,7 +20,10 @@
 #   8. bench      — scripts/bench.py --smoke writes BENCH_pipeline.json
 #   9. obs bench  — scripts/bench.py --obs --smoke writes BENCH_obs.json
 #  10. soak       — scripts/soak.py --smoke (bounded RSS/cardinality/queues)
-#  11. pytest     — the tier-1 suite
+#  11. serve      — scripts/loadgen.py --smoke drives a shard fleet over
+#                   real TCP (kill/restore drill, zero-leakage sweep)
+#                   and writes BENCH_serve.json
+#  12. pytest     — the tier-1 suite
 
 set -euo pipefail
 
@@ -122,6 +125,14 @@ PYTHONPATH=src python scripts/bench.py --obs --smoke --output BENCH_obs.json
 echo "== chaos soak smoke (bounded RSS, flat cardinality, drained queues) =="
 timeout 600 env PYTHONPATH=src python scripts/soak.py --smoke \
     --report SOAK_report.json
+
+echo "== serve smoke (TCP fleet: fixes emitted, drill passes, clean shutdown) =="
+# The load generator self-hosts a supervisor + ingest server on
+# ephemeral ports, publishes over real TCP, runs the kill/restore
+# drill and the cross-shard leakage sweep, and exits non-zero unless
+# every gate in BENCH_serve.json passed.
+timeout 600 env PYTHONPATH=src python scripts/loadgen.py --smoke \
+    --output BENCH_serve.json
 
 echo "== tier-1 tests =="
 PYTHONPATH=src python -m pytest -x -q

@@ -1,0 +1,406 @@
+"""Serving-scale harness: drive a shard fleet over TCP, write BENCH_serve.json.
+
+Measures the numbers the serving layer's scale claim rests on:
+
+* **Deployments sustained** — N synthetic deployments (differing
+  reader rosters and seeds) each fed by its own publisher thread over
+  real TCP ingest, every shard live and emitting fixes.
+* **Aggregate fixes/s** — fleet-wide fix throughput over the wall
+  clock of the load phase (publish + drain).
+* **Ingest p99** — per-batch publish round-trip latency across every
+  publisher.
+* **Kill/restore drill** — mid-load, one deployment is checkpointed,
+  its shard killed, and the remaining reads published over the same
+  TCP path; the supervisor must auto-restart the shard from the
+  checkpoint and the resumed fixes must carry the chained lineage.
+* **Zero cross-shard leakage** — every fix's provenance may name only
+  readers from its own deployment's roster (rosters deliberately
+  differ in size, so leakage cannot hide).
+
+Run:  PYTHONPATH=src python scripts/loadgen.py [--smoke]
+          [--deployments N] [--fixes N] [--workers thread|process]
+          [--output BENCH_serve.json]
+
+``--smoke`` shrinks to 2 deployments x 2 fixes for CI gating; the full
+run defaults to 8 deployments, the floor the serving layer commits to.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import platform
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+from pathlib import Path
+from typing import Any, Dict, List, Sequence
+
+import numpy as np
+
+from repro import obs
+from repro.obs.server import OpsServer
+from repro.serve import (
+    DeploymentRegistry,
+    DeploymentSpec,
+    IngestServer,
+    ReadPublisher,
+    ShardSupervisor,
+    default_fleet,
+)
+from repro.sim.environments import hall_scene, laboratory_scene, library_scene
+from repro.stream.events import TagRead
+from repro.stream.synthetic import SyntheticStreamConfig, synthetic_reads
+
+_SCENES = {
+    "library": library_scene,
+    "laboratory": laboratory_scene,
+    "hall": hall_scene,
+}
+
+#: The deployment the kill/restore drill runs against.
+DRILL_DEPLOYMENT = "dep-00"
+
+
+def deployment_reads(spec: DeploymentSpec, fixes: int) -> List[TagRead]:
+    """The synthetic read stream one deployment's readers would emit."""
+    scene = _SCENES[spec.environment](
+        rng=spec.seed,
+        num_tags=spec.num_tags,
+        num_antennas=spec.num_antennas,
+        num_readers=spec.num_readers,
+    )
+    return list(
+        synthetic_reads(
+            scene, SyntheticStreamConfig(fixes=fixes), rng=spec.seed + 3
+        )
+    )
+
+
+def percentile_ms(samples: Sequence[float], fraction: float) -> float:
+    """The ``fraction`` percentile of ``samples`` (nearest-rank)."""
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[rank - 1]
+
+
+def publish_plain(
+    host: str,
+    port: int,
+    spec: DeploymentSpec,
+    reads: Sequence[TagRead],
+    batch_size: int,
+    out: Dict[str, Any],
+) -> None:
+    """One ordinary deployment's publisher: ship everything, record RTTs."""
+    with ReadPublisher(
+        host, port, spec.deployment_id, spec.reader_names
+    ) as publisher:
+        accepted, dropped = publisher.publish(reads, batch_size=batch_size)
+    out["accepted"] = accepted
+    out["dropped"] = dropped
+    out["rtts_ms"] = publisher.rtts_ms
+
+
+def publish_with_drill(
+    host: str,
+    port: int,
+    spec: DeploymentSpec,
+    reads: Sequence[TagRead],
+    batch_size: int,
+    supervisor: ShardSupervisor,
+    out: Dict[str, Any],
+) -> None:
+    """The drill deployment: half the load, checkpoint, kill, resume.
+
+    The second half rides the same TCP path as everything else; the
+    ingest server's routing must notice the dead shard and restart it
+    from the checkpoint while the rest of the fleet keeps streaming.
+    """
+    half = len(reads) // 2
+    with ReadPublisher(
+        host, port, spec.deployment_id, spec.reader_names
+    ) as publisher:
+        a1, d1 = publisher.publish(reads[:half], batch_size=batch_size)
+        checkpoint_id = supervisor.checkpoint(spec.deployment_id)
+        supervisor.kill(spec.deployment_id)
+        a2, d2 = publisher.publish(reads[half:], batch_size=batch_size)
+    out["accepted"] = a1 + a2
+    out["dropped"] = d1 + d2
+    out["rtts_ms"] = publisher.rtts_ms
+    out["checkpoint_id"] = checkpoint_id
+
+
+def check_leakage(
+    supervisor: ShardSupervisor, registry: DeploymentRegistry
+) -> Dict[str, Any]:
+    """Every fix's provenance must stay inside its deployment's roster."""
+    checked = 0
+    violations: List[str] = []
+    for deployment_id in registry.deployment_ids():
+        roster = set(registry.spec(deployment_id).reader_names)
+        for record in supervisor.shard(deployment_id).fix_records():
+            checked += 1
+            named = {
+                reader["name"]
+                for reader in record.get("provenance", {}).get("readers", [])
+            }
+            foreign = named - roster
+            if foreign:
+                violations.append(
+                    f"{deployment_id} fix {record['index']} names "
+                    f"foreign readers {sorted(foreign)}"
+                )
+    return {"checked_fixes": checked, "violations": violations}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny workload for CI gating (2 deployments x 2 fixes)",
+    )
+    parser.add_argument("--deployments", type=int, default=8)
+    parser.add_argument("--fixes", type=int, default=3)
+    parser.add_argument(
+        "--workers", default="thread", choices=("thread", "process")
+    )
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--batch-size", dest="batch_size", type=int, default=128)
+    parser.add_argument("--output", default="BENCH_serve.json")
+    args = parser.parse_args()
+
+    deployments = 2 if args.smoke else args.deployments
+    fixes = 2 if args.smoke else args.fixes
+    if deployments < 1:
+        raise SystemExit("need at least one deployment")
+
+    registry = DeploymentRegistry()
+    specs = default_fleet(
+        deployments, seed=args.seed, num_tags=3, num_antennas=3
+    )
+    for spec in specs:
+        registry.register(spec)
+
+    obs.configure()  # live registry behind the fleet /metrics route
+    print(f"generating reads for {deployments} deployments x {fixes} fixes...")
+    reads_by_dep = {
+        spec.deployment_id: deployment_reads(spec, fixes) for spec in specs
+    }
+    total_reads = sum(len(r) for r in reads_by_dep.values())
+    print(f"  {total_reads} reads total")
+
+    started = time.perf_counter()
+    results: Dict[str, Dict[str, Any]] = {
+        spec.deployment_id: {} for spec in specs
+    }
+    with tempfile.TemporaryDirectory(prefix="repro-loadgen-") as tmp:
+        supervisor = ShardSupervisor(
+            registry,
+            checkpoint_dir=Path(tmp) / "checkpoints",
+            workers=args.workers,
+        )
+        supervisor.start()
+        ingest = IngestServer(supervisor)
+        ops = OpsServer(
+            health_provider=supervisor.health_document,
+            rings=supervisor.rings(),
+        )
+        load_started = time.perf_counter()
+        try:
+            ingest.start()
+            ops.start()
+            print(
+                f"fleet up ({args.workers} workers); ingest on "
+                f"{ingest.host}:{ingest.port}, ops on {ops.url}"
+            )
+            threads = []
+            for spec in specs:
+                out = results[spec.deployment_id]
+                if spec.deployment_id == DRILL_DEPLOYMENT:
+                    target: Any = publish_with_drill
+                    extra = (supervisor, out)
+                else:
+                    target = publish_plain
+                    extra = (out,)
+                thread = threading.Thread(
+                    target=target,
+                    args=(
+                        ingest.host,
+                        ingest.port,
+                        spec,
+                        reads_by_dep[spec.deployment_id],
+                        args.batch_size,
+                    )
+                    + extra,
+                    name=f"loadgen-{spec.deployment_id}",
+                    daemon=True,
+                )
+                threads.append(thread)
+                thread.start()
+            for thread in threads:
+                thread.join()
+
+            # Admission (the publisher ack) precedes processing: wait
+            # until every shard has chewed through to at least one fix
+            # before scraping, so the snapshot shows a working fleet.
+            settle_deadline = time.time() + 120
+            while time.time() < settle_deadline and any(
+                supervisor.fixes_emitted(spec.deployment_id) < 1
+                for spec in specs
+            ):
+                time.sleep(0.1)
+
+            with urllib.request.urlopen(f"{ops.url}/healthz", timeout=10) as rsp:
+                health_mid_load = json.loads(rsp.read())
+            with urllib.request.urlopen(f"{ops.url}/metrics", timeout=10) as rsp:
+                metrics_text = rsp.read().decode("utf-8")
+        finally:
+            ops.stop()
+            ingest.stop()
+            supervisor.stop(drain=True)
+        load_elapsed = time.perf_counter() - load_started
+
+        health = supervisor.health_document()
+        leakage = check_leakage(supervisor, registry)
+        total_fixes = supervisor.fixes_emitted()
+        sustained = sum(
+            1
+            for entry in health["deployments"].values()
+            if entry["fixes_emitted"] > 0
+        )
+        all_rtts = [
+            rtt
+            for out in results.values()
+            for rtt in out.get("rtts_ms", [])
+        ]
+        drops = {
+            spec.deployment_id: supervisor.shard(
+                spec.deployment_id
+            ).queue_stats()["dropped"]
+            for spec in specs
+        }
+
+        drill_out = results[DRILL_DEPLOYMENT]
+        drill_records = supervisor.shard(DRILL_DEPLOYMENT).fix_records()
+        drill_lineages = [
+            record.get("provenance", {}).get("checkpoint_lineage", [])
+            for record in drill_records
+        ]
+        lineage_chained = any(
+            drill_out.get("checkpoint_id") in lineage
+            for lineage in drill_lineages
+        )
+        drill = {
+            "deployment": DRILL_DEPLOYMENT,
+            "checkpoint_id": drill_out.get("checkpoint_id"),
+            "restarts": health["deployments"][DRILL_DEPLOYMENT]["restarts"],
+            "lineage_chained": lineage_chained,
+            "fixes_after_restore": sum(
+                1 for lineage in drill_lineages if lineage
+            ),
+        }
+
+    failures: List[str] = []
+    if sustained < deployments:
+        failures.append(
+            f"only {sustained}/{deployments} deployments emitted fixes"
+        )
+    if leakage["violations"]:
+        failures.extend(leakage["violations"])
+    if not drill["lineage_chained"]:
+        failures.append(
+            "kill/restore drill: resumed fixes do not chain the checkpoint"
+        )
+    if drill["restarts"] < 1:
+        failures.append("kill/restore drill: shard was never restarted")
+    if "repro_serve_fixes_total" not in metrics_text:
+        failures.append("/metrics does not expose serve.* counters")
+    if "repro_stream_queue_dropped" in metrics_text and (
+        'deployment="' not in metrics_text
+    ):
+        failures.append("queue drop counters are missing deployment labels")
+    obs.shutdown()
+    if health_mid_load.get("schema") != 2:
+        failures.append("/healthz is not a schema-2 fleet document")
+
+    record = {
+        "schema": "repro.bench.serve.v1",
+        "smoke": args.smoke,
+        "elapsed_s": time.perf_counter() - started,
+        "meta": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "workers": args.workers,
+        "deployments": deployments,
+        "deployments_sustained": sustained,
+        "fixes_per_deployment": fixes,
+        "total_reads": total_reads,
+        "total_fixes": total_fixes,
+        "aggregate_fixes_per_s": (
+            total_fixes / load_elapsed if load_elapsed > 0 else 0.0
+        ),
+        "load_elapsed_s": load_elapsed,
+        "ingest_batches": len(all_rtts),
+        "ingest_p50_ms": percentile_ms(all_rtts, 0.50),
+        "ingest_p99_ms": percentile_ms(all_rtts, 0.99),
+        "drops": drops,
+        "per_deployment": {
+            spec.deployment_id: {
+                "readers": len(spec.reader_names),
+                "reads": len(reads_by_dep[spec.deployment_id]),
+                "accepted": results[spec.deployment_id].get("accepted", 0),
+                "dropped": results[spec.deployment_id].get("dropped", 0),
+                "fixes": health["deployments"][spec.deployment_id][
+                    "fixes_emitted"
+                ],
+                "rtt_p99_ms": percentile_ms(
+                    results[spec.deployment_id].get("rtts_ms", []), 0.99
+                ),
+            }
+            for spec in specs
+        },
+        "kill_restore": drill,
+        "leakage": {
+            "checked_fixes": leakage["checked_fixes"],
+            "violations": len(leakage["violations"]),
+        },
+        "passed": not failures,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(
+        f"sustained {sustained}/{deployments} deployments, "
+        f"{total_fixes} fixes at "
+        f"{record['aggregate_fixes_per_s']:.1f} fixes/s, "
+        f"ingest p99 {record['ingest_p99_ms']:.2f} ms"
+    )
+    print(
+        f"kill/restore on {DRILL_DEPLOYMENT}: checkpoint "
+        f"{drill['checkpoint_id']}, restarts {drill['restarts']}, "
+        f"lineage chained: {drill['lineage_chained']}"
+    )
+    print(
+        f"leakage: {leakage['checked_fixes']} fixes checked, "
+        f"{len(leakage['violations'])} violations"
+    )
+    print(f"wrote {args.output}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,9 @@ The subcommands cover the tasks a user reaches for first:
   produced each fix (readers, faults, spectral path, lineage).
 * ``retain``    — age out old recordings/checkpoints under a
   TTL/size/count policy (dry-run unless ``--apply``).
+* ``serve``     — run a sharded fleet of tracking deployments behind
+  the TCP ingest endpoint (``docs/SERVING.md``); ``--serve-metrics``
+  adds the fleet-wide ops endpoint.
 
 Results go to stdout; progress goes through structured logging on
 stderr (suppressed by ``--quiet``).  ``--trace FILE`` / ``--metrics
@@ -30,6 +33,7 @@ metric snapshots — see ``docs/OBSERVABILITY.md`` for the schema and
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import Callable, Dict, List, Optional
@@ -596,6 +600,82 @@ def cmd_retain(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a fleet of tracking deployments behind network ingest."""
+    import time
+
+    from repro.obs.server import OpsServer
+    from repro.serve import (
+        DeploymentRegistry,
+        IngestServer,
+        ShardSupervisor,
+        default_fleet,
+    )
+
+    if args.registry is not None:
+        registry = DeploymentRegistry.load(args.registry)
+    else:
+        registry = DeploymentRegistry()
+        for spec in default_fleet(
+            args.deployments, environment=args.environment, seed=args.seed
+        ):
+            registry.register(spec)
+    if len(registry) == 0:
+        raise UsageError("the registry has no deployments to serve")
+
+    supervisor = ShardSupervisor(
+        registry,
+        checkpoint_dir=args.checkpoint_dir,
+        workers=args.workers,
+        checkpoint_every=args.checkpoint_every,
+    )
+    supervisor.start()
+    ingest = IngestServer(supervisor, port=args.port)
+    ops = None
+    try:
+        ingest.start()
+        if args.serve_metrics is not None:
+            ops = OpsServer(
+                port=args.serve_metrics,
+                health_provider=supervisor.health_document,
+                rings=supervisor.rings(),
+            ).start()
+            log.info("ops endpoint listening", extra=fields(url=ops.url))
+        if args.port_file:
+            ports = {"ingest": ingest.port}
+            if ops is not None:
+                ports["ops"] = ops.port
+            with open(args.port_file, "w", encoding="utf-8") as handle:
+                json.dump(ports, handle)
+        print(
+            f"serving {len(registry)} deployments "
+            f"({args.workers} workers) on "
+            f"{ingest.host}:{ingest.port}"
+        )
+        deadline = (
+            None if args.duration is None else time.time() + args.duration
+        )
+        try:
+            while deadline is None or time.time() < deadline:
+                time.sleep(0.2)
+        except KeyboardInterrupt:
+            log.info("interrupted; draining shards")
+    finally:
+        if ops is not None:
+            ops.stop()
+        ingest.stop()
+        supervisor.stop(drain=True)
+    health = supervisor.health_document()
+    for deployment_id in registry.deployment_ids():
+        entry = health["deployments"][deployment_id]
+        print(
+            f"  {deployment_id}: state {entry['state']}  "
+            f"fixes {entry['fixes_emitted']}  restarts {entry['restarts']}"
+        )
+    print(f"total fixes {supervisor.fixes_emitted()}")
+    return 0
+
+
 def _chaos_option(parser: argparse.ArgumentParser) -> None:
     """The shared ``--chaos`` scenario flag (stream + health)."""
     from repro.faults import CHAOS_SCENARIOS
@@ -803,6 +883,85 @@ def build_parser() -> argparse.ArgumentParser:
         help="actually delete; default is a dry run that only reports",
     )
     retain.set_defaults(handler=cmd_retain)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve a sharded fleet of deployments behind TCP ingest",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="ingest TCP port (default: 0 = ephemeral)",
+    )
+    serve.add_argument(
+        "--serve-metrics",
+        dest="serve_metrics",
+        metavar="PORT",
+        type=int,
+        default=None,
+        help="also serve the fleet ops endpoint "
+        "(/metrics, /healthz, /provenance/recent) on PORT",
+    )
+    serve.add_argument(
+        "--registry",
+        metavar="FILE",
+        default=None,
+        help="load the deployment registry from a dwatch-registry JSON "
+        "file instead of generating a default fleet",
+    )
+    serve.add_argument(
+        "--deployments",
+        type=int,
+        default=4,
+        help="size of the generated default fleet (ignored with "
+        "--registry; default: 4)",
+    )
+    serve.add_argument(
+        "--environment",
+        default="hall",
+        choices=("library", "laboratory", "hall"),
+        help="environment of the generated default fleet (default: hall)",
+    )
+    serve.add_argument("--seed", type=int, default=11)
+    serve.add_argument(
+        "--workers",
+        default="thread",
+        choices=("thread", "process"),
+        help="shard isolation: in-process worker threads or one "
+        "subprocess per deployment (default: thread)",
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        dest="checkpoint_dir",
+        metavar="DIR",
+        default=None,
+        help="persist per-deployment checkpoints here (enables "
+        "crash-restart resume)",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        dest="checkpoint_every",
+        type=int,
+        default=0,
+        help="checkpoint automatically every N emitted fixes "
+        "(default: 0 = only explicit/drain checkpoints)",
+    )
+    serve.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="serve for this many seconds then drain and exit "
+        "(default: until interrupted)",
+    )
+    serve.add_argument(
+        "--port-file",
+        dest="port_file",
+        metavar="FILE",
+        default=None,
+        help="write the bound ports as JSON to FILE once listening",
+    )
+    serve.set_defaults(handler=cmd_serve)
     return parser
 
 

@@ -161,6 +161,57 @@ class ExpositionError(ConfigurationError):
     """
 
 
+class IngestProtocolError(ProtocolError):
+    """The ``dwatch-ingest`` wire protocol was violated.
+
+    Raised by :mod:`repro.serve.protocol` for every way a network peer
+    can speak the protocol wrongly: a version mismatch, a handshake for
+    an unknown deployment id, a frame whose length prefix and payload
+    disagree (the classic truncated-write artefact), an oversized
+    frame, or JSON that does not parse.  Carries structured context —
+    the offending deployment and a stable machine-readable ``code`` —
+    so servers can answer with a typed diagnostic instead of hanging up
+    silently, and clients can decide retry-vs-abort without parsing
+    message strings.  A subclass of :class:`ProtocolError` because it
+    is the network twin of the LLRP exchange errors.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        code: str = "malformed",
+        deployment: Optional[str] = None,
+    ) -> None:
+        self.code = code
+        self.deployment = deployment
+        context: List[str] = [f"code={code}"]
+        if deployment is not None:
+            context.append(f"deployment={deployment!r}")
+        super().__init__(f"{message} [{' '.join(context)}]")
+
+
+class RegistryError(StreamError):
+    """A deployment registry document is missing, malformed or stale.
+
+    The registry is persisted as versioned JSON exactly like streaming
+    checkpoints; an unknown ``kind``/``schema``, a duplicate
+    deployment id, or a lookup of a deployment that was never
+    registered all raise this instead of silently serving the wrong
+    fleet.
+    """
+
+
+class ShardError(StreamError):
+    """A deployment shard failed or was asked for an impossible action.
+
+    Raised when a shard worker dies (and carried into the supervisor's
+    crash/restart bookkeeping), when a restart budget is exhausted, or
+    when an operation (route, drain, checkpoint) is attempted against a
+    shard in a state that cannot honour it.
+    """
+
+
 class UsageError(ReproError):
     """A command-line invocation asked for something that does not exist.
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Mapping, Optional
 from urllib.parse import parse_qs, urlsplit
 
 from repro.analysis.sanitizer import sanitized_lock
@@ -47,6 +47,11 @@ PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Callable returning the /healthz JSON document.
 HealthProvider = Callable[[], Dict[str, Any]]
+
+#: /healthz document schema version.  Version 2 added the explicit
+#: ``schema`` field and the per-deployment ``deployments`` nesting so a
+#: single runner reads as a one-deployment fleet.
+HEALTH_SCHEMA = 2
 
 
 def registry_snapshot() -> List[Dict[str, Any]]:
@@ -127,6 +132,11 @@ class OpsServer:
     ring:
         The recent-provenance buffer behind ``/provenance/recent``;
         when absent the route serves an empty list.
+    rings:
+        Per-deployment provenance buffers for fleet use; the route
+        merges them (each fix annotated with its deployment) and
+        honours a ``?deployment=ID`` filter.  Mutually additive with
+        ``ring`` — a fleet normally passes only ``rings``.
     """
 
     def __init__(
@@ -136,6 +146,7 @@ class OpsServer:
         snapshot_source: Optional[Callable[[], List[Dict[str, Any]]]] = None,
         health_provider: Optional[HealthProvider] = None,
         ring: Optional["ProvenanceRing"] = None,
+        rings: Optional[Mapping[str, "ProvenanceRing"]] = None,
     ) -> None:
         if not 0 <= port <= 65535:
             raise ConfigurationError(
@@ -146,6 +157,7 @@ class OpsServer:
         self.snapshot_source = snapshot_source or registry_snapshot
         self.health_provider = health_provider
         self.ring = ring
+        self.rings = rings
         # Guards the server/thread handles against concurrent
         # start()/stop()/port reads; _starting claims an in-flight
         # start so the (blocking) bind can happen outside the lock.
@@ -241,17 +253,60 @@ class OpsServer:
         return self.health_provider()
 
     def provenance_document(self, query: str = "") -> Dict[str, Any]:
-        """The /provenance/recent body; honours a ``limit=N`` query."""
+        """The /provenance/recent body.
+
+        Honours ``limit=N`` and, when per-deployment ``rings`` are
+        configured, a ``deployment=ID`` filter; fixes served from a
+        fleet ring carry a ``deployment`` annotation so a merged feed
+        stays attributable.
+        """
+        params = parse_qs(query)
         limit: Optional[int] = None
-        raw = parse_qs(query).get("limit")
+        raw = params.get("limit")
         if raw:
             try:
                 limit = max(0, int(raw[0]))
             except ValueError:
                 limit = None
+        if self.rings is not None:
+            return self._fleet_provenance(params, limit)
         if self.ring is None:
             return {"fixes": [], "retained": 0}
         return {"fixes": self.ring.recent(limit), "retained": len(self.ring)}
+
+    def _fleet_provenance(
+        self, params: Dict[str, List[str]], limit: Optional[int]
+    ) -> Dict[str, Any]:
+        rings = self.rings or {}
+        wanted = params.get("deployment")
+        if wanted:
+            deployment = wanted[0]
+            ring = rings.get(deployment)
+            if ring is None:
+                return {
+                    "error": f"unknown deployment {deployment!r}",
+                    "deployments": sorted(rings),
+                    "fixes": [],
+                    "retained": 0,
+                }
+            fixes = [
+                dict(record, deployment=deployment)
+                for record in ring.recent(limit)
+            ]
+            return {"fixes": fixes, "retained": len(ring)}
+        merged: List[Dict[str, Any]] = []
+        retained = 0
+        for deployment in sorted(rings):
+            ring = rings[deployment]
+            retained += len(ring)
+            merged.extend(
+                dict(record, deployment=deployment)
+                for record in ring.recent(None)
+            )
+        merged.sort(key=lambda record: record.get("t", 0.0))
+        if limit is not None:
+            merged = merged[len(merged) - limit :] if limit else []
+        return {"fixes": merged, "retained": retained}
 
 
 def health_document_for(runner: Any) -> Dict[str, Any]:
@@ -260,11 +315,20 @@ def health_document_for(runner: Any) -> Dict[str, Any]:
     Accepts the runner duck-typed (``Any``) to keep this module free of
     a stream import cycle; it only touches the health tracker and the
     run counters.
+
+    Schema 2: the legacy top-level keys stay put (existing probes keep
+    working), and the same detail is additionally nested under
+    ``deployments`` — keyed by the runner's deployment id, or
+    ``"default"`` for an unlabeled runner — so one runner reads as a
+    one-deployment fleet with the same shape
+    :meth:`repro.serve.supervisor.ShardSupervisor.health_document`
+    serves for many.
     """
     report = runner.health.report()
     quarantined = sorted(r.name for r in report if r.quarantined)
-    return {
-        "status": "degraded" if quarantined else "ok",
+    status = "degraded" if quarantined else "ok"
+    detail = {
+        "status": status,
         "readers": {r.name: r.state for r in report},
         "quarantined": quarantined,
         "healthy": runner.health.healthy_count,
@@ -274,3 +338,8 @@ def health_document_for(runner: Any) -> Dict[str, Any]:
         "queue_depth": len(runner.queue),
         "lineage": list(runner.lineage),
     }
+    deployment = getattr(runner.config, "deployment_id", None) or "default"
+    document = dict(detail)
+    document["schema"] = HEALTH_SCHEMA
+    document["deployments"] = {deployment: dict(detail, state="live")}
+    return document

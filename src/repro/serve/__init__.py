@@ -1,0 +1,59 @@
+"""repro.serve — sharded multi-deployment tracking with network ingest.
+
+The serving layer runs one D-Watch streaming pipeline per *deployment*
+(a scene + reader roster + pipeline config registered in a
+:class:`~repro.serve.registry.DeploymentRegistry`), supervised as a
+fleet of shards by :class:`~repro.serve.supervisor.ShardSupervisor`,
+fed over TCP by :class:`~repro.serve.server.IngestServer` /
+:class:`~repro.serve.publisher.ReadPublisher`, and observed through
+the existing ops endpoint.  See ``docs/SERVING.md`` for the protocol
+spec and failover semantics.
+"""
+
+from repro.serve.protocol import (
+    ACK_KIND,
+    ERROR_CODES,
+    MAX_FRAME_BYTES,
+    PROTOCOL_KIND,
+    PROTOCOL_SCHEMA,
+    IngestHello,
+    encode_frame,
+    read_frame,
+    write_frame,
+)
+from repro.serve.publisher import ReadPublisher
+from repro.serve.registry import (
+    REGISTRY_KIND,
+    REGISTRY_SCHEMA,
+    SHARD_STATES,
+    DeploymentRegistry,
+    DeploymentSpec,
+    default_fleet,
+)
+from repro.serve.server import IngestServer
+from repro.serve.shard import DeploymentShard, ProcessShard, build_runner
+from repro.serve.supervisor import ShardSupervisor
+
+__all__ = [
+    "ACK_KIND",
+    "ERROR_CODES",
+    "MAX_FRAME_BYTES",
+    "PROTOCOL_KIND",
+    "PROTOCOL_SCHEMA",
+    "REGISTRY_KIND",
+    "REGISTRY_SCHEMA",
+    "SHARD_STATES",
+    "DeploymentRegistry",
+    "DeploymentShard",
+    "DeploymentSpec",
+    "IngestHello",
+    "IngestServer",
+    "ProcessShard",
+    "ReadPublisher",
+    "ShardSupervisor",
+    "build_runner",
+    "default_fleet",
+    "encode_frame",
+    "read_frame",
+    "write_frame",
+]

@@ -1,0 +1,334 @@
+"""The versioned ``dwatch-ingest`` wire protocol: framing + handshake.
+
+Deployments feed their :class:`~repro.stream.events.TagRead` streams to
+a central :class:`~repro.serve.server.IngestServer` over TCP.  The wire
+format is **length-delimited JSONL**: every message is one JSON object
+on one line, prefixed by the decimal byte length of the JSON payload::
+
+    <length> <json>\\n
+
+The explicit length makes truncation *detectable* — a crashed writer
+leaves a prefix whose length promise the bytes cannot keep, which
+raises a typed :class:`~repro.errors.IngestProtocolError` instead of a
+hang or a bare ``JSONDecodeError`` (the same crash-artefact discipline
+the record/replay format follows, upgraded for a network transport
+where "wait for more bytes" and "the sender died" are otherwise
+indistinguishable).
+
+The conversation, modeled on the record/replay header:
+
+* **Hello** (client -> server, first frame) — ``{"kind":
+  "dwatch-ingest", "schema": 1, "deployment": <id>, "readers":
+  [<names>]}``.  Protocol version, deployment id and the deployment's
+  reader roster; the server validates all three against its registry
+  before any read is accepted.
+* **Ack** (server -> client) — ``{"kind": "dwatch-ingest-ack",
+  "schema": 1, "status": "ok" | "error", "code": ..., "error": ...}``.
+  Error codes are stable strings (:data:`ERROR_CODES`) so clients can
+  branch without parsing prose.
+* **Reads** (client -> server) — ``{"op": "reads", "seq": n, "reads":
+  [[t, reader, epc, re, im], ...]}``, answered by an ``{"op": "ack",
+  "seq": n, "accepted": a, "dropped": d}`` frame that carries the
+  shard queue's admission verdict back to the producer.
+* **Bye** (client -> server) — ``{"op": "bye"}``, answered with
+  ``{"op": "done"}`` before the server closes the connection.
+
+Every parse failure raises :class:`IngestProtocolError` with a stable
+``code``; nothing in this module blocks without the caller-provided
+socket timeout, so a malformed or malicious peer costs a timeout, never
+a hang.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, BinaryIO, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import IngestProtocolError
+from repro.stream.events import TagRead
+
+#: Protocol revision; a mismatch is refused at handshake, never guessed.
+PROTOCOL_SCHEMA = 1
+
+#: The ``kind`` tag of the client hello (same discipline as recordings).
+PROTOCOL_KIND = "dwatch-ingest"
+
+#: The ``kind`` tag of the server's handshake reply.
+ACK_KIND = "dwatch-ingest-ack"
+
+#: Stable machine-readable diagnostic codes carried by error acks and
+#: :class:`~repro.errors.IngestProtocolError`.
+ERROR_CODES: Tuple[str, ...] = (
+    "malformed",
+    "oversized",
+    "truncated",
+    "version-mismatch",
+    "unknown-deployment",
+    "reader-mismatch",
+    "not-accepting",
+)
+
+#: Upper bound on one frame's JSON payload.  A single TDM sweep batch
+#: is a few KiB; anything near this bound is a protocol violation (or
+#: an attack), not a workload.
+MAX_FRAME_BYTES = 4 * 1024 * 1024
+
+#: Longest run of digits a length prefix may be (covers MAX_FRAME_BYTES).
+_MAX_PREFIX_DIGITS = 9
+
+
+# -- framing ---------------------------------------------------------------
+
+
+def encode_frame(message: Mapping[str, Any]) -> bytes:
+    """One length-delimited wire frame for ``message``."""
+    payload = json.dumps(dict(message), sort_keys=True).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise IngestProtocolError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte bound",
+            code="oversized",
+        )
+    return str(len(payload)).encode("ascii") + b" " + payload + b"\n"
+
+
+def read_frame(stream: BinaryIO) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    Raises
+    ------
+    IngestProtocolError
+        With code ``truncated`` when the stream ends mid-frame (length
+        prefix promised more bytes than arrived), ``oversized`` when
+        the prefix exceeds :data:`MAX_FRAME_BYTES`, and ``malformed``
+        for a non-numeric prefix or a payload that is not a JSON
+        object.
+    """
+    prefix = bytearray()
+    while True:
+        byte = stream.read(1)
+        if not byte:
+            if not prefix:
+                return None
+            raise IngestProtocolError(
+                "stream ended inside a frame length prefix",
+                code="truncated",
+            )
+        if byte == b" ":
+            break
+        if not byte.isdigit() or len(prefix) >= _MAX_PREFIX_DIGITS:
+            raise IngestProtocolError(
+                f"invalid frame length prefix {bytes(prefix + byte)!r}",
+                code="malformed",
+            )
+        prefix += byte
+    if not prefix:
+        raise IngestProtocolError("empty frame length prefix", code="malformed")
+    length = int(prefix.decode("ascii"))
+    if length > MAX_FRAME_BYTES:
+        raise IngestProtocolError(
+            f"frame length {length} exceeds the {MAX_FRAME_BYTES}-byte bound",
+            code="oversized",
+        )
+    payload = bytearray()
+    while len(payload) < length:
+        chunk = stream.read(length - len(payload))
+        if not chunk:
+            raise IngestProtocolError(
+                f"frame truncated: length prefix promised {length} bytes, "
+                f"got {len(payload)}",
+                code="truncated",
+            )
+        payload += chunk
+    newline = stream.read(1)
+    if newline not in (b"\n", b""):
+        raise IngestProtocolError(
+            f"frame not newline-terminated (found {newline!r})",
+            code="malformed",
+        )
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise IngestProtocolError(
+            f"frame payload is not valid JSON: {exc}", code="malformed"
+        ) from exc
+    if not isinstance(message, dict):
+        raise IngestProtocolError(
+            "frame payload is not a JSON object", code="malformed"
+        )
+    return message
+
+
+def write_frame(stream: BinaryIO, message: Mapping[str, Any]) -> None:
+    """Encode and write one frame, flushing so the peer can react."""
+    stream.write(encode_frame(message))
+    stream.flush()
+
+
+# -- handshake -------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class IngestHello:
+    """The client's opening frame: who is publishing, speaking what."""
+
+    deployment: str
+    readers: Tuple[str, ...] = ()
+    schema: int = PROTOCOL_SCHEMA
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The JSON object sent as the first frame."""
+        return {
+            "kind": PROTOCOL_KIND,
+            "schema": self.schema,
+            "deployment": self.deployment,
+            "readers": list(self.readers),
+        }
+
+
+def parse_hello(message: Mapping[str, Any]) -> IngestHello:
+    """Validate a hello frame; typed diagnostics for every failure mode."""
+    if message.get("kind") != PROTOCOL_KIND:
+        raise IngestProtocolError(
+            f"handshake is not a {PROTOCOL_KIND!r} hello "
+            f"(kind={message.get('kind')!r})",
+            code="malformed",
+        )
+    schema = message.get("schema")
+    if schema != PROTOCOL_SCHEMA:
+        raise IngestProtocolError(
+            f"unsupported ingest protocol schema {schema!r} "
+            f"(this build speaks schema {PROTOCOL_SCHEMA})",
+            code="version-mismatch",
+        )
+    deployment = message.get("deployment")
+    if not isinstance(deployment, str) or not deployment:
+        raise IngestProtocolError(
+            "hello carries no deployment id", code="malformed"
+        )
+    raw_readers = message.get("readers", [])
+    if not isinstance(raw_readers, list):
+        raise IngestProtocolError(
+            "hello 'readers' must be a list of reader names",
+            code="malformed",
+            deployment=deployment,
+        )
+    return IngestHello(
+        deployment=deployment,
+        readers=tuple(str(name) for name in raw_readers),
+        schema=int(schema),
+    )
+
+
+def ack_frame(
+    status: str = "ok",
+    *,
+    deployment: Optional[str] = None,
+    code: Optional[str] = None,
+    error: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The server's handshake reply frame."""
+    message: Dict[str, Any] = {
+        "kind": ACK_KIND,
+        "schema": PROTOCOL_SCHEMA,
+        "status": status,
+    }
+    if deployment is not None:
+        message["deployment"] = deployment
+    if code is not None:
+        message["code"] = code
+    if error is not None:
+        message["error"] = error
+    return message
+
+
+def parse_ack(message: Mapping[str, Any]) -> Dict[str, Any]:
+    """Validate a handshake ack; raise the server's diagnostic as typed.
+
+    An error ack re-raises as :class:`IngestProtocolError` carrying the
+    server's stable ``code``, so the client sees the same typed
+    exception whether the violation was detected locally or remotely.
+    """
+    if message.get("kind") != ACK_KIND:
+        raise IngestProtocolError(
+            f"expected a {ACK_KIND!r} handshake reply, got "
+            f"kind={message.get('kind')!r}",
+            code="malformed",
+        )
+    if message.get("status") != "ok":
+        raise IngestProtocolError(
+            f"server refused the handshake: {message.get('error', 'unknown')}",
+            code=str(message.get("code", "malformed")),
+            deployment=(
+                str(message["deployment"])
+                if message.get("deployment") is not None
+                else None
+            ),
+        )
+    return dict(message)
+
+
+# -- read batches ----------------------------------------------------------
+
+
+def encode_read(read: TagRead) -> List[Any]:
+    """One read as its compact wire tuple ``[t, reader, epc, re, im]``."""
+    value = complex(read.iq)
+    return [read.time_s, read.reader_name, read.epc, value.real, value.imag]
+
+
+def decode_read(record: Sequence[Any]) -> TagRead:
+    """Inverse of :func:`encode_read`."""
+    try:
+        return TagRead(
+            time_s=float(record[0]),
+            reader_name=str(record[1]),
+            epc=str(record[2]),
+            iq=complex(float(record[3]), float(record[4])),
+        )
+    except (IndexError, TypeError, ValueError) as exc:
+        raise IngestProtocolError(
+            f"malformed wire read {record!r}: {exc}", code="malformed"
+        ) from exc
+
+
+def reads_frame(seq: int, reads: Sequence[TagRead]) -> Dict[str, Any]:
+    """A batch frame carrying ``reads`` with sequence number ``seq``."""
+    return {
+        "op": "reads",
+        "seq": seq,
+        "reads": [encode_read(read) for read in reads],
+    }
+
+
+def parse_reads(message: Mapping[str, Any]) -> Tuple[int, List[TagRead]]:
+    """Decode a batch frame into ``(seq, reads)``."""
+    raw = message.get("reads")
+    if not isinstance(raw, list):
+        raise IngestProtocolError(
+            "reads frame carries no 'reads' list", code="malformed"
+        )
+    try:
+        seq = int(message.get("seq", -1))
+    except (TypeError, ValueError) as exc:
+        raise IngestProtocolError(
+            f"reads frame seq is not an integer: {message.get('seq')!r}",
+            code="malformed",
+        ) from exc
+    return seq, [decode_read(record) for record in raw]
+
+
+def batch_ack_frame(seq: int, accepted: int, dropped: int) -> Dict[str, Any]:
+    """Per-batch admission verdict returned to the publisher."""
+    return {"op": "ack", "seq": seq, "accepted": accepted, "dropped": dropped}
+
+
+def bye_frame() -> Dict[str, Any]:
+    """The clean end-of-stream frame."""
+    return {"op": "bye"}
+
+
+def done_frame() -> Dict[str, Any]:
+    """The server's reply to ``bye`` before closing the connection."""
+    return {"op": "done"}

@@ -1,0 +1,247 @@
+"""Client side of the ingest protocol: :class:`ReadPublisher`.
+
+A publisher owns one TCP connection to an :class:`IngestServer`, dials
+the handshake for its deployment, and ships :class:`TagRead` batches
+as ``reads`` frames, awaiting the per-batch ack.  Transport faults
+(reset, timeout, truncated ack) are retried with the same
+:class:`~repro.stream.supervise.RetryPolicy` backoff the stream layer
+uses for flaky readers — the attempt budget resets after every acked
+batch, and on reconnect the *unacked* batch is resent (the shard
+queue's event-time windows make the occasional duplicate harmless,
+exactly as for replayed reader sources).  Protocol refusals from the
+server (``unknown-deployment``, ``reader-mismatch``, ...) are not
+retried: they are configuration bugs and re-raise as
+:class:`~repro.errors.IngestProtocolError` with the server's code.
+
+Per-batch round-trip times land in :attr:`ReadPublisher.rtts_ms` so
+load generators can report an ingest latency distribution.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.errors import (
+    ConfigurationError,
+    IngestProtocolError,
+    SourceUnavailableError,
+)
+from repro.serve import protocol
+from repro.stream.events import TagRead
+from repro.stream.supervise import RetryPolicy
+
+#: Transport-level failures worth a reconnect (vs. protocol refusals).
+_RETRYABLE_CODES = ("truncated", "malformed")
+
+
+class ReadPublisher:
+    """Publish ``TagRead`` batches for one deployment over TCP.
+
+    Parameters
+    ----------
+    host, port:
+        The ingest server to dial.
+    deployment:
+        Deployment id announced in the handshake.
+    readers:
+        Reader roster announced in the handshake; must be a subset of
+        the deployment's registered roster or the server refuses with
+        ``reader-mismatch``.
+    policy:
+        Reconnect backoff schedule; attempts reset after each ack.
+    timeout_s:
+        Socket timeout for connect and every frame exchange.
+    sleep:
+        Injectable sleep (tests pass a no-op).
+
+    The publisher is single-threaded by contract — share nothing, or
+    give each worker thread its own instance.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        deployment: str,
+        readers: Sequence[str],
+        policy: RetryPolicy = RetryPolicy(),
+        timeout_s: float = 10.0,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if not deployment:
+            raise ConfigurationError("deployment id must be non-empty")
+        self.host = host
+        self.port = port
+        self.deployment = deployment
+        self.readers = tuple(readers)
+        self.policy = policy
+        self.timeout_s = timeout_s
+        self._sleep = sleep
+        self._sock: Optional[socket.socket] = None
+        self._rfile: Optional[Any] = None
+        self._wfile: Optional[Any] = None
+        self._seq = 0
+        self.batches_acked = 0
+        self.reads_accepted = 0
+        self.reads_dropped = 0
+        #: Round-trip time of every acked batch, milliseconds.
+        self.rtts_ms: List[float] = []
+
+    # -- connection management -------------------------------------------
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    def connect(self) -> "ReadPublisher":
+        """Dial the server and complete the handshake; returns self."""
+        if self._sock is not None:
+            return self
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout_s
+        )
+        try:
+            rfile = sock.makefile("rb")
+            wfile = sock.makefile("wb")
+            hello = protocol.IngestHello(
+                deployment=self.deployment, readers=self.readers
+            )
+            protocol.write_frame(wfile, hello.to_dict())
+            reply = protocol.read_frame(rfile)
+            if reply is None:
+                raise IngestProtocolError(
+                    "server closed the connection during handshake",
+                    code="truncated",
+                    deployment=self.deployment,
+                )
+            protocol.parse_ack(reply)
+        except (OSError, ValueError, IngestProtocolError):
+            sock.close()
+            raise
+        self._sock = sock
+        self._rfile = rfile
+        self._wfile = wfile
+        return self
+
+    def close(self, *, polite: bool = True) -> None:
+        """Close the connection, optionally saying ``bye`` first."""
+        sock = self._sock
+        rfile, wfile = self._rfile, self._wfile
+        self._sock = None
+        self._rfile = None
+        self._wfile = None
+        if sock is None:
+            return
+        try:
+            if polite and wfile is not None and rfile is not None:
+                protocol.write_frame(wfile, protocol.bye_frame())
+                protocol.read_frame(rfile)  # the done frame, best effort
+        except (OSError, ValueError, IngestProtocolError):
+            # A peer that is already gone cannot take a goodbye; the
+            # close below still releases the socket either way.
+            obs.count(
+                "serve.publisher.close_errors",
+                labels={"deployment": self.deployment},
+            )
+        finally:
+            sock.close()
+
+    def _reconnect(self, attempt: int) -> None:
+        self.close(polite=False)
+        self._sleep(self.policy.delay_for(attempt))
+        obs.count(
+            "serve.publisher.reconnects", labels={"deployment": self.deployment}
+        )
+        self.connect()
+
+    # -- publishing ------------------------------------------------------
+
+    def publish(
+        self, reads: Sequence[TagRead], batch_size: int = 256
+    ) -> Tuple[int, int]:
+        """Ship ``reads`` in batches; returns ``(accepted, dropped)``.
+
+        Transport failures reconnect with backoff and resend the
+        unacked batch; after ``policy.max_retries`` consecutive
+        failures the last error re-raises as
+        :class:`~repro.errors.SourceUnavailableError`, mirroring
+        :func:`~repro.stream.supervise.supervised_reads`.
+        """
+        if batch_size < 1:
+            raise ConfigurationError("batch_size must be at least 1")
+        self.connect()
+        accepted = 0
+        dropped = 0
+        for start in range(0, len(reads), batch_size):
+            batch = reads[start : start + batch_size]
+            got_a, got_d = self._publish_batch(batch)
+            accepted += got_a
+            dropped += got_d
+        return accepted, dropped
+
+    def _publish_batch(self, batch: Sequence[TagRead]) -> Tuple[int, int]:
+        attempt = 0
+        while True:
+            self._seq += 1
+            try:
+                return self._exchange(self._seq, batch)
+            except IngestProtocolError as exc:
+                if exc.code not in _RETRYABLE_CODES:
+                    raise  # a server refusal, not a transport blip
+                last_error: Exception = exc
+            except (OSError, ValueError) as exc:
+                last_error = exc
+            if attempt >= self.policy.max_retries:
+                raise SourceUnavailableError(
+                    f"publisher for {self.deployment!r} gave up after "
+                    f"{attempt + 1} attempts: {last_error}"
+                ) from last_error
+            self._reconnect(attempt)
+            attempt += 1
+
+    def _exchange(
+        self, seq: int, batch: Sequence[TagRead]
+    ) -> Tuple[int, int]:
+        if self._rfile is None or self._wfile is None:
+            raise OSError("publisher is not connected")
+        started = time.perf_counter()
+        protocol.write_frame(self._wfile, protocol.reads_frame(seq, batch))
+        reply = protocol.read_frame(self._rfile)
+        if reply is None:
+            raise IngestProtocolError(
+                "server closed the connection before acking",
+                code="truncated",
+                deployment=self.deployment,
+            )
+        if reply.get("status") == "error":
+            protocol.parse_ack(reply)  # raises with the server's code
+        if reply.get("op") != "ack" or reply.get("seq") != seq:
+            raise IngestProtocolError(
+                f"expected ack for seq {seq}, got {reply!r}",
+                code="malformed",
+                deployment=self.deployment,
+            )
+        rtt_ms = (time.perf_counter() - started) * 1000.0
+        self.rtts_ms.append(rtt_ms)
+        obs.observe(
+            "serve.publisher.rtt_ms",
+            rtt_ms,
+            labels={"deployment": self.deployment},
+        )
+        accepted = int(reply.get("accepted", 0))
+        dropped = int(reply.get("dropped", 0))
+        self.batches_acked += 1
+        self.reads_accepted += accepted
+        self.reads_dropped += dropped
+        return accepted, dropped
+
+    # -- context manager -------------------------------------------------
+
+    def __enter__(self) -> "ReadPublisher":
+        return self.connect()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

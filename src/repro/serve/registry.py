@@ -1,0 +1,416 @@
+"""The deployment registry: which fleets exist and what state they're in.
+
+A serving process hosts many *deployments* — independent monitored
+areas, each with its own scene, reader roster, calibration seeds and
+streaming knobs.  :class:`DeploymentSpec` pins everything needed to
+rebuild one deployment's pipeline deterministically (the same
+seed-offset conventions the CLI uses: ``seed + 1`` calibrates,
+``seed + 2`` baselines, ``seed + 3`` drives the synthetic stream), and
+:class:`DeploymentRegistry` maps deployment ids to specs plus their
+live shard state.
+
+The registry persists as one versioned JSON document (``kind``
+``dwatch-registry``, schema 1) with exactly the header discipline of
+streaming checkpoints: an unknown kind or schema, a duplicate id or a
+malformed spec raises :class:`~repro.errors.RegistryError` instead of
+silently serving the wrong fleet.
+
+Shard states form a small lifecycle::
+
+    starting --> live --> draining --> stopped
+        \\          \\
+         +-> failed  +-> failed --> starting   (restart from checkpoint)
+
+Transitions outside :data:`_TRANSITIONS` raise — a supervisor bug
+surfaces as a typed error, not a quietly inconsistent fleet.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.analysis.sanitizer import sanitized_lock
+from repro.errors import ConfigurationError, RegistryError
+
+#: Format marker so future revisions can migrate old registries.
+REGISTRY_SCHEMA = 1
+
+#: The ``kind`` tag distinguishing registries from other JSON files.
+REGISTRY_KIND = "dwatch-registry"
+
+#: The shard lifecycle states, in documentation order.
+SHARD_STATES: Tuple[str, ...] = (
+    "starting",
+    "live",
+    "draining",
+    "stopped",
+    "failed",
+)
+
+#: Environments a deployment spec may name (the TDM scenes whose
+#: builders accept tag/antenna/reader overrides).
+SERVE_ENVIRONMENTS: Tuple[str, ...] = ("library", "laboratory", "hall")
+
+#: Legal state transitions (see the module docstring's lifecycle).
+_TRANSITIONS: Dict[str, Tuple[str, ...]] = {
+    "starting": ("live", "failed", "stopped"),
+    "live": ("draining", "failed", "stopped"),
+    "draining": ("stopped", "failed"),
+    "stopped": ("starting",),
+    "failed": ("starting", "stopped"),
+}
+
+PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class DeploymentSpec:
+    """Everything needed to rebuild one deployment deterministically.
+
+    Parameters
+    ----------
+    deployment_id:
+        The fleet-unique id clients handshake with.
+    environment:
+        Scene family (one of :data:`SERVE_ENVIRONMENTS`).
+    seed:
+        Base RNG seed; calibration, baseline and synthetic streams
+        derive from it with the repo-wide ``+1/+2/+3`` offsets.
+    num_tags, num_antennas, num_readers:
+        Scene-size overrides (the defaults are serving-sized, much
+        smaller than the paper-scale scene defaults).
+    cell_size:
+        Likelihood grid cell; coarse by default — a serving fleet
+        trades per-fix resolution for per-shard cost.
+    decay, max_targets:
+        Streaming knobs forwarded into the shard's ``StreamConfig``.
+    description:
+        Free-form operator note, persisted with the registry.
+    """
+
+    deployment_id: str
+    environment: str = "hall"
+    seed: int = 11
+    num_tags: int = 6
+    num_antennas: int = 4
+    num_readers: int = 3
+    cell_size: float = 0.25
+    decay: float = 0.8
+    max_targets: int = 1
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.deployment_id:
+            raise ConfigurationError("deployment_id must be non-empty")
+        if self.environment not in SERVE_ENVIRONMENTS:
+            raise ConfigurationError(
+                f"unknown serve environment {self.environment!r}; "
+                f"pick from {SERVE_ENVIRONMENTS}"
+            )
+        if not 1 <= self.num_readers <= 4:
+            raise ConfigurationError(
+                "num_readers must be in [1, 4] (wall-mounted rosters)"
+            )
+
+    @property
+    def reader_names(self) -> Tuple[str, ...]:
+        """The reader roster this deployment's scene will carry.
+
+        Wall-mounted scenes name readers ``reader-0`` … ``reader-N-1``;
+        pinning the roster here lets the ingest server validate a
+        client's handshake without building the scene.
+        """
+        return tuple(f"reader-{i}" for i in range(self.num_readers))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation."""
+        return {
+            "deployment_id": self.deployment_id,
+            "environment": self.environment,
+            "seed": self.seed,
+            "num_tags": self.num_tags,
+            "num_antennas": self.num_antennas,
+            "num_readers": self.num_readers,
+            "cell_size": self.cell_size,
+            "decay": self.decay,
+            "max_targets": self.max_targets,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, Any]) -> "DeploymentSpec":
+        """Inverse of :meth:`to_dict`."""
+        try:
+            return cls(
+                deployment_id=str(record["deployment_id"]),
+                environment=str(record.get("environment", "hall")),
+                seed=int(record.get("seed", 11)),
+                num_tags=int(record.get("num_tags", 6)),
+                num_antennas=int(record.get("num_antennas", 4)),
+                num_readers=int(record.get("num_readers", 3)),
+                cell_size=float(record.get("cell_size", 0.25)),
+                decay=float(record.get("decay", 0.8)),
+                max_targets=int(record.get("max_targets", 1)),
+                description=str(record.get("description", "")),
+            )
+        except (KeyError, TypeError, ValueError, ConfigurationError) as exc:
+            raise RegistryError(f"malformed deployment spec: {exc}") from exc
+
+
+@dataclass
+class _Entry:
+    """One registered deployment (internal)."""
+
+    spec: DeploymentSpec
+    state: str = "stopped"
+    restarts: int = 0
+    last_error: Optional[str] = None
+    checkpoint_id: Optional[str] = None
+
+
+class DeploymentRegistry:
+    """Thread-safe map of deployment ids to specs and shard state.
+
+    The supervisor mutates states through :meth:`set_state`; the ingest
+    server and ops routes only ever read snapshots, so serving a
+    handshake can never wedge a state transition.
+    """
+
+    def __init__(self) -> None:
+        self._lock = sanitized_lock("serve.registry")
+        self._entries: Dict[str, _Entry] = {}
+
+    def register(self, spec: DeploymentSpec) -> None:
+        """Add one deployment; duplicates are a configuration bug."""
+        with self._lock:
+            if spec.deployment_id in self._entries:
+                raise RegistryError(
+                    f"deployment {spec.deployment_id!r} is already registered"
+                )
+            self._entries[spec.deployment_id] = _Entry(spec=spec)
+
+    def spec(self, deployment_id: str) -> DeploymentSpec:
+        """The spec of one deployment; unknown ids raise."""
+        with self._lock:
+            entry = self._entries.get(deployment_id)
+        if entry is None:
+            raise RegistryError(f"unknown deployment {deployment_id!r}")
+        return entry.spec
+
+    def __contains__(self, deployment_id: str) -> bool:
+        with self._lock:
+            return deployment_id in self._entries
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def deployment_ids(self) -> List[str]:
+        """All registered ids, sorted."""
+        with self._lock:
+            return sorted(self._entries)
+
+    def state_of(self, deployment_id: str) -> str:
+        """The current shard state of one deployment."""
+        with self._lock:
+            entry = self._entries.get(deployment_id)
+        if entry is None:
+            raise RegistryError(f"unknown deployment {deployment_id!r}")
+        return entry.state
+
+    def set_state(
+        self,
+        deployment_id: str,
+        state: str,
+        *,
+        error: Optional[str] = None,
+        checkpoint_id: Optional[str] = None,
+    ) -> None:
+        """Transition one deployment's shard state (validated).
+
+        ``error`` records the failure reason on a ``failed``
+        transition; ``checkpoint_id`` records which checkpoint a
+        restart resumed from.  A ``failed -> starting`` transition
+        counts as a restart.
+        """
+        if state not in SHARD_STATES:
+            raise RegistryError(
+                f"unknown shard state {state!r}; pick from {SHARD_STATES}"
+            )
+        with self._lock:
+            entry = self._entries.get(deployment_id)
+            if entry is None:
+                raise RegistryError(f"unknown deployment {deployment_id!r}")
+            if state not in _TRANSITIONS[entry.state]:
+                raise RegistryError(
+                    f"illegal shard transition {entry.state!r} -> {state!r} "
+                    f"for deployment {deployment_id!r}"
+                )
+            if entry.state == "failed" and state == "starting":
+                entry.restarts += 1
+            entry.state = state
+            if error is not None:
+                entry.last_error = error
+            if checkpoint_id is not None:
+                entry.checkpoint_id = checkpoint_id
+
+    def note_checkpoint(self, deployment_id: str, checkpoint_id: str) -> None:
+        """Record the latest durable checkpoint of one deployment.
+
+        Not a state transition — checkpoints land while a shard stays
+        ``live`` — so this bypasses the transition table on purpose.
+        """
+        with self._lock:
+            entry = self._entries.get(deployment_id)
+            if entry is None:
+                raise RegistryError(f"unknown deployment {deployment_id!r}")
+            entry.checkpoint_id = checkpoint_id
+
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """A consistent per-deployment view (for health documents)."""
+        with self._lock:
+            return {
+                deployment_id: {
+                    "state": entry.state,
+                    "restarts": entry.restarts,
+                    "last_error": entry.last_error,
+                    "checkpoint_id": entry.checkpoint_id,
+                    "readers": list(entry.spec.reader_names),
+                    "environment": entry.spec.environment,
+                }
+                for deployment_id, entry in self._entries.items()
+            }
+
+    # -- persistence -------------------------------------------------------
+
+    def to_document(self) -> Dict[str, Any]:
+        """The registry as one versioned JSON document."""
+        with self._lock:
+            deployments = [
+                {
+                    "spec": entry.spec.to_dict(),
+                    "state": entry.state,
+                    "restarts": entry.restarts,
+                    "last_error": entry.last_error,
+                    "checkpoint_id": entry.checkpoint_id,
+                }
+                for _, entry in sorted(self._entries.items())
+            ]
+        return {
+            "schema": REGISTRY_SCHEMA,
+            "kind": REGISTRY_KIND,
+            "deployments": deployments,
+        }
+
+    def save(self, path: PathLike) -> None:
+        """Persist the registry document (states included)."""
+        document = self.to_document()
+        try:
+            with open(path, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, sort_keys=True)
+                handle.write("\n")
+        except OSError as exc:
+            raise RegistryError(
+                f"cannot write registry {str(path)!r}: {exc}"
+            ) from exc
+
+    @classmethod
+    def load(cls, path: PathLike) -> "DeploymentRegistry":
+        """Rebuild a registry from a saved document.
+
+        Persisted states collapse to the restart-safe ones: anything
+        that was running when the document was written comes back as
+        ``stopped`` (a fresh supervisor must explicitly start it), but
+        ``failed`` survives so the restart counter's history stays
+        meaningful.
+        """
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                data = json.load(handle)
+        except OSError as exc:
+            raise RegistryError(
+                f"cannot open registry {str(path)!r}: {exc}"
+            ) from exc
+        except ValueError as exc:
+            raise RegistryError(
+                f"registry {str(path)!r} is not valid JSON "
+                "(truncated or foreign file?)"
+            ) from exc
+        return cls.from_document(data, source=str(path))
+
+    @classmethod
+    def from_document(
+        cls, data: Any, source: str = "<document>"
+    ) -> "DeploymentRegistry":
+        """Rebuild a registry from an already-parsed document."""
+        if not isinstance(data, dict) or data.get("kind") != REGISTRY_KIND:
+            raise RegistryError(
+                f"registry {source!r}: not a {REGISTRY_KIND!r} document"
+            )
+        if data.get("schema") != REGISTRY_SCHEMA:
+            raise RegistryError(
+                f"registry {source!r}: unsupported schema "
+                f"{data.get('schema')!r} (this build reads schema "
+                f"{REGISTRY_SCHEMA})"
+            )
+        registry = cls()
+        for record in data.get("deployments", []):
+            if not isinstance(record, dict) or "spec" not in record:
+                raise RegistryError(
+                    f"registry {source!r}: malformed deployment record"
+                )
+            spec = DeploymentSpec.from_dict(record["spec"])
+            registry.register(spec)
+            state = str(record.get("state", "stopped"))
+            if state not in SHARD_STATES:
+                raise RegistryError(
+                    f"registry {source!r}: unknown shard state {state!r}"
+                )
+            with registry._lock:
+                entry = registry._entries[spec.deployment_id]
+                entry.state = state if state == "failed" else "stopped"
+                entry.restarts = int(record.get("restarts", 0))
+                raw_error = record.get("last_error")
+                entry.last_error = (
+                    None if raw_error is None else str(raw_error)
+                )
+                raw_ckpt = record.get("checkpoint_id")
+                entry.checkpoint_id = (
+                    None if raw_ckpt is None else str(raw_ckpt)
+                )
+        return registry
+
+
+def default_fleet(
+    count: int,
+    environment: str = "hall",
+    seed: int = 11,
+    num_tags: int = 6,
+    num_antennas: int = 4,
+) -> List[DeploymentSpec]:
+    """A deterministic fleet of ``count`` small deployments.
+
+    Shared by ``repro serve`` and ``scripts/loadgen.py`` so both build
+    byte-identical fleets from the same arguments.  Deployments cycle
+    their reader counts through 2..4 (so rosters differ between
+    neighbouring shards — cross-shard leakage of a fix's provenance is
+    detectable, not vacuously absent) and derive distinct seeds (hence
+    distinct EPC populations) from the base seed.
+    """
+    if count < 1:
+        raise ConfigurationError("a fleet needs at least one deployment")
+    return [
+        DeploymentSpec(
+            deployment_id=f"dep-{index:02d}",
+            environment=environment,
+            seed=seed + 97 * index,
+            num_tags=num_tags,
+            num_antennas=num_antennas,
+            num_readers=2 + index % 3,
+            description=f"default fleet member {index}",
+        )
+        for index in range(count)
+    ]

@@ -1,0 +1,254 @@
+"""The network ingest endpoint: ``dwatch-ingest`` frames over TCP.
+
+:class:`IngestServer` accepts publisher connections, validates their
+handshake against the deployment registry (protocol version, known
+deployment id, reader roster ⊆ the deployment's roster) and then
+routes every reads batch through the supervisor to the right shard,
+acking each batch with the shard queue's admission verdict.
+
+Failure discipline, per the protocol contract:
+
+* Every violation gets a **typed error ack** before the connection
+  closes — ``version-mismatch``, ``unknown-deployment``,
+  ``reader-mismatch``, ``malformed``, ``truncated``, ``oversized``,
+  ``not-accepting`` — so a misconfigured publisher learns *why* in a
+  machine-readable code instead of staring at a reset.
+* Every socket carries a hard timeout; a stalled or malicious peer
+  costs one handler thread for ``timeout_s``, never a hang.
+* A crashed handler never takes the server down
+  (:class:`ThreadingTCPServer` with daemon handler threads), and the
+  ``serve.ingest.errors{code}`` counter makes refused handshakes
+  visible on ``/metrics``.
+
+Start/stop mirrors :class:`~repro.obs.server.OpsServer`: the bind
+happens outside the state lock, serving runs on a named daemon thread,
+and ``stop()`` joins it.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import threading
+from typing import Optional, Tuple
+
+from repro import obs
+from repro.analysis.sanitizer import sanitized_lock
+from repro.errors import (
+    ConfigurationError,
+    IngestProtocolError,
+    RegistryError,
+    ShardError,
+)
+from repro.serve import protocol
+from repro.serve.supervisor import ShardSupervisor
+
+#: Default per-socket timeout; every blocking read obeys it.
+DEFAULT_TIMEOUT_S = 10.0
+
+
+class _IngestHandler(socketserver.StreamRequestHandler):
+    """One publisher connection; all shared state lives on ``server``."""
+
+    server: "_IngestTCPServer"
+
+    def handle(self) -> None:
+        self.connection.settimeout(self.server.ingest.timeout_s)
+        deployment: Optional[str] = None
+        try:
+            deployment = self._handshake()
+            if deployment is None:
+                return
+            self._pump(deployment)
+        except IngestProtocolError as exc:
+            self._refuse(exc.code, str(exc), deployment)
+        except (OSError, ValueError):
+            # Timeout, reset or a peer that vanished mid-frame: the
+            # connection is beyond acking — just account for it.
+            obs.count("serve.ingest.errors", labels={"code": "connection"})
+
+    def _handshake(self) -> Optional[str]:
+        frame = protocol.read_frame(self.rfile)
+        if frame is None:  # connected and left without a word
+            return None
+        hello = protocol.parse_hello(frame)
+        supervisor = self.server.ingest.supervisor
+        try:
+            spec = supervisor.registry.spec(hello.deployment)
+        except RegistryError as exc:
+            raise IngestProtocolError(
+                str(exc), code="unknown-deployment", deployment=hello.deployment
+            ) from exc
+        roster = set(spec.reader_names)
+        foreign = sorted(set(hello.readers) - roster)
+        if foreign:
+            raise IngestProtocolError(
+                f"readers {foreign} are not part of deployment "
+                f"{hello.deployment!r} (roster: {sorted(roster)})",
+                code="reader-mismatch",
+                deployment=hello.deployment,
+            )
+        protocol.write_frame(
+            self.wfile, protocol.ack_frame(deployment=hello.deployment)
+        )
+        obs.count(
+            "serve.ingest.sessions", labels={"deployment": hello.deployment}
+        )
+        return hello.deployment
+
+    def _pump(self, deployment: str) -> None:
+        supervisor = self.server.ingest.supervisor
+        while True:
+            frame = protocol.read_frame(self.rfile)
+            if frame is None:  # clean EOF at a frame boundary
+                return
+            op = frame.get("op")
+            if op == "reads":
+                seq, reads = protocol.parse_reads(frame)
+                try:
+                    accepted, dropped = supervisor.route(deployment, reads)
+                except (ShardError, RegistryError) as exc:
+                    raise IngestProtocolError(
+                        f"deployment is not accepting reads: {exc}",
+                        code="not-accepting",
+                        deployment=deployment,
+                    ) from exc
+                obs.count(
+                    "serve.ingest.reads",
+                    float(len(reads)),
+                    labels={"deployment": deployment},
+                )
+                protocol.write_frame(
+                    self.wfile,
+                    protocol.batch_ack_frame(seq, accepted, dropped),
+                )
+            elif op == "bye":
+                protocol.write_frame(self.wfile, protocol.done_frame())
+                return
+            else:
+                raise IngestProtocolError(
+                    f"unknown op {op!r}", code="malformed", deployment=deployment
+                )
+
+    def _refuse(
+        self, code: str, error: str, deployment: Optional[str]
+    ) -> None:
+        obs.count("serve.ingest.errors", labels={"code": code})
+        try:
+            protocol.write_frame(
+                self.wfile,
+                protocol.ack_frame(
+                    "error", deployment=deployment, code=code, error=error
+                ),
+            )
+        except (OSError, ValueError):
+            return  # peer is gone; the counter already recorded the refusal
+
+
+class _IngestTCPServer(socketserver.ThreadingTCPServer):
+    """ThreadingTCPServer carrying a back-reference to the IngestServer."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    ingest: "IngestServer"
+
+
+class IngestServer:
+    """Bind, accept publishers, route their reads to shards.
+
+    Parameters
+    ----------
+    supervisor:
+        The shard fleet handshakes are validated against and reads are
+        routed through.
+    port:
+        TCP port; ``0`` picks an ephemeral one (read :attr:`port`
+        after :meth:`start`).
+    host:
+        Bind address; loopback by default.
+    timeout_s:
+        Per-socket timeout applied to every publisher connection.
+    """
+
+    def __init__(
+        self,
+        supervisor: ShardSupervisor,
+        port: int = 0,
+        host: str = "127.0.0.1",
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+    ) -> None:
+        if not 0 <= port <= 65535:
+            raise ConfigurationError(
+                f"ingest server port must be in [0, 65535], got {port}"
+            )
+        self.supervisor = supervisor
+        self.host = host
+        self.requested_port = port
+        self.timeout_s = timeout_s
+        self._state_lock = sanitized_lock("serve.ingest.state")
+        self._starting = False
+        self._server: Optional[_IngestTCPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> int:
+        """The actually bound port (resolves a requested port of 0)."""
+        with self._state_lock:
+            server = self._server
+        if server is None:
+            return self.requested_port
+        return int(server.server_address[1])
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` publishers should dial."""
+        return self.host, self.port
+
+    def start(self) -> "IngestServer":
+        """Bind and accept from a daemon thread; returns self."""
+        with self._state_lock:
+            if self._server is not None or self._starting:
+                raise ConfigurationError("ingest server is already running")
+            self._starting = True
+        try:
+            server = _IngestTCPServer(
+                (self.host, self.requested_port), _IngestHandler
+            )
+        except OSError as exc:
+            with self._state_lock:
+                self._starting = False
+            raise ConfigurationError(
+                f"cannot bind ingest server on "
+                f"{self.host}:{self.requested_port}: {exc}"
+            ) from exc
+        server.ingest = self
+        thread = threading.Thread(
+            target=server.serve_forever,
+            name="repro-ingest-server",
+            daemon=True,
+        )
+        with self._state_lock:
+            self._server = server
+            self._thread = thread
+            self._starting = False
+        thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop accepting and join the accept thread."""
+        with self._state_lock:
+            server = self._server
+            thread = self._thread
+            self._server = None
+            self._thread = None
+        if server is None:
+            return
+        server.shutdown()
+        server.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "IngestServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,380 @@
+"""The shard supervisor: one process hosting a fleet of deployments.
+
+:class:`ShardSupervisor` owns a :class:`~repro.serve.registry.DeploymentRegistry`
+and runs one shard (thread- or process-mode worker, per config) for
+every registered deployment.  Its jobs:
+
+* **Routing** — :meth:`route` delivers an ingested batch to the right
+  shard's bounded queue and reports the admission verdict the ingest
+  protocol acks back.  Per-deployment routing is serialized (a
+  process-mode shard's pipe conversation must never interleave), but
+  different deployments route concurrently.
+* **Failover** — a crashed shard (worker exception, killed process) is
+  restarted from its latest durable checkpoint, up to
+  ``restart_limit`` times per deployment.  The restored runner's
+  lineage chains through the checkpoint id, so every post-restart fix
+  carries an auditable proof of the resume in its provenance.
+* **Fleet health** — :meth:`health_document` renders the schema-2
+  ``/healthz`` document (per-deployment nesting) and
+  :meth:`rings` exposes the per-deployment provenance feeds, both
+  served through the existing :class:`~repro.obs.server.OpsServer`.
+
+Lock discipline: the supervisor's own lock only guards its shard maps
+(lookups copy references out); shard I/O — queue admission, pipe
+frames, checkpoint files — always happens outside it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Sequence, Set, Tuple, Union
+
+from repro import obs
+from repro.analysis.sanitizer import sanitized_lock
+from repro.errors import CheckpointError, RegistryError, ShardError
+from repro.serve.registry import DeploymentRegistry
+from repro.serve.shard import DeploymentShard, ProcessShard
+from repro.stream.checkpoint import checkpoint_id, load_checkpoint
+from repro.stream.events import TagRead
+from repro.stream.provenance import ProvenanceRing
+
+#: The worker isolation modes a supervisor can run shards in.
+WORKER_MODES: Tuple[str, ...] = ("thread", "process")
+
+ShardLike = Union[DeploymentShard, ProcessShard]
+
+PathLike = Union[str, Path]
+
+
+class ShardSupervisor:
+    """Run, route to, checkpoint and restart one shard per deployment.
+
+    Parameters
+    ----------
+    registry:
+        The deployment fleet; every registered spec gets a shard on
+        :meth:`start`.
+    checkpoint_dir:
+        Directory for per-deployment checkpoints
+        (``<deployment_id>.ckpt.json``); ``None`` disables durability
+        and therefore restarts resume from scratch.
+    workers:
+        ``thread`` (default) or ``process`` — see
+        :mod:`repro.serve.shard`.
+    checkpoint_every:
+        Shards checkpoint after this many fresh fixes (``0`` = only on
+        demand and at drain).
+    restart_limit:
+        Crash-restarts tolerated per deployment before :meth:`route`
+        gives up with :class:`~repro.errors.ShardError`.
+    """
+
+    def __init__(
+        self,
+        registry: DeploymentRegistry,
+        checkpoint_dir: Optional[PathLike] = None,
+        workers: str = "thread",
+        checkpoint_every: int = 0,
+        restart_limit: int = 2,
+        ingress_capacity: int = 8192,
+    ) -> None:
+        if workers not in WORKER_MODES:
+            raise ShardError(
+                f"unknown worker mode {workers!r}; pick from {WORKER_MODES}"
+            )
+        self.registry = registry
+        self.checkpoint_dir = (
+            None if checkpoint_dir is None else Path(checkpoint_dir)
+        )
+        if self.checkpoint_dir is not None:
+            try:
+                self.checkpoint_dir.mkdir(parents=True, exist_ok=True)
+            except OSError as exc:
+                raise ShardError(
+                    f"cannot create checkpoint directory "
+                    f"{str(self.checkpoint_dir)!r}: {exc}"
+                ) from exc
+        self.workers = workers
+        self.checkpoint_every = checkpoint_every
+        self.restart_limit = restart_limit
+        self.ingress_capacity = ingress_capacity
+        self._lock = sanitized_lock("serve.supervisor")
+        self._shards: Dict[str, ShardLike] = {}
+        self._route_locks: Dict[str, Any] = {}
+        self._restarting: Set[str] = set()
+        self._restarts: Dict[str, int] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ShardSupervisor":
+        """Start one shard per registered deployment; returns self."""
+        for deployment_id in self.registry.deployment_ids():
+            self.start_deployment(deployment_id)
+        return self
+
+    def start_deployment(
+        self, deployment_id: str, restore_latest: bool = False
+    ) -> ShardLike:
+        """Start (or restart) one deployment's shard.
+
+        ``restore_latest=True`` loads the deployment's newest durable
+        checkpoint and resumes from it; a missing checkpoint file then
+        raises :class:`~repro.errors.CheckpointError` rather than
+        silently starting cold.
+        """
+        spec = self.registry.spec(deployment_id)
+        with self._lock:
+            existing = self._shards.get(deployment_id)
+        if existing is not None and existing.state in ("starting", "live"):
+            raise ShardError(
+                f"deployment {deployment_id!r} already has a running shard"
+            )
+        restore: Optional[Mapping[str, Any]] = None
+        if restore_latest:
+            path = self.checkpoint_path(deployment_id)
+            if path is None:
+                raise CheckpointError(
+                    f"no checkpoint directory configured; cannot restore "
+                    f"{deployment_id!r}"
+                )
+            restore = load_checkpoint(path)
+            self.registry.note_checkpoint(deployment_id, checkpoint_id(restore))
+        shard = self._build_shard(spec.deployment_id, restore)
+        with self._lock:
+            self._shards[deployment_id] = shard
+            if deployment_id not in self._route_locks:
+                self._route_locks[deployment_id] = sanitized_lock(
+                    "serve.supervisor.route"
+                )
+        shard.start()
+        return shard
+
+    def _build_shard(
+        self, deployment_id: str, restore: Optional[Mapping[str, Any]]
+    ) -> ShardLike:
+        spec = self.registry.spec(deployment_id)
+
+        def on_state(state: str, error: Optional[str] = None) -> None:
+            try:
+                self.registry.set_state(deployment_id, state, error=error)
+            except RegistryError:
+                # A lost race on teardown (e.g. stop() after a crash
+                # already recorded failed) must not kill the worker.
+                obs.count(
+                    "serve.registry.transition_conflicts",
+                    labels={"deployment": deployment_id},
+                )
+
+        def on_checkpoint(identity: str) -> None:
+            self.registry.note_checkpoint(deployment_id, identity)
+
+        kwargs: Dict[str, Any] = {
+            "spec": spec,
+            "checkpoint_path": self.checkpoint_path(deployment_id),
+            "checkpoint_every": self.checkpoint_every,
+            "restore": restore,
+            "on_state": on_state,
+            "on_checkpoint": on_checkpoint,
+        }
+        if self.workers == "process":
+            return ProcessShard(**kwargs)
+        kwargs["ingress_capacity"] = self.ingress_capacity
+        return DeploymentShard(**kwargs)
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop every shard (draining by default)."""
+        with self._lock:
+            shards = dict(self._shards)
+        for shard in shards.values():
+            if shard.state in ("starting", "live"):
+                shard.stop(drain=drain)
+
+    # -- routing -----------------------------------------------------------
+
+    def route(
+        self, deployment_id: str, reads: Sequence[TagRead]
+    ) -> Tuple[int, int]:
+        """Deliver one batch to its deployment's shard.
+
+        Returns the ``(accepted, dropped)`` admission verdict.  A
+        failed shard is transparently restarted from its latest
+        checkpoint first (within ``restart_limit``); an unknown
+        deployment raises :class:`~repro.errors.RegistryError` so the
+        ingest server can answer with a typed protocol error.
+        """
+        # Unknown ids fail here, before any shard lookup.
+        self.registry.spec(deployment_id)
+        shard = self._healthy_shard(deployment_id)
+        with self._lock:
+            route_lock = self._route_locks[deployment_id]
+        with route_lock:
+            return shard.route(reads)
+
+    def _healthy_shard(self, deployment_id: str) -> ShardLike:
+        with self._lock:
+            shard = self._shards.get(deployment_id)
+        if shard is None:
+            raise ShardError(
+                f"deployment {deployment_id!r} has no shard; "
+                "supervisor not started?"
+            )
+        if shard.state != "failed":
+            return shard
+        return self.restart(deployment_id)
+
+    # -- failover ----------------------------------------------------------
+
+    def restart(self, deployment_id: str) -> ShardLike:
+        """Restart a failed shard from its latest durable checkpoint.
+
+        Exactly one caller performs the restart (a claim set arbitrates
+        concurrent routes); the rest wait on the winner's result by
+        retrying the lookup.
+        """
+        with self._lock:
+            shard = self._shards.get(deployment_id)
+            claimed = deployment_id not in self._restarting
+            if claimed:
+                self._restarting.add(deployment_id)
+        if not claimed:
+            # Another thread is restarting; the route lock downstream
+            # serializes against the winner swapping the shard in.
+            with self._lock:
+                current = self._shards.get(deployment_id)
+            if current is None:
+                raise ShardError(
+                    f"deployment {deployment_id!r} lost its shard mid-restart"
+                )
+            return current
+        try:
+            if shard is not None and shard.state != "failed":
+                return shard
+            with self._lock:
+                used = self._restarts.get(deployment_id, 0)
+            if used >= self.restart_limit:
+                raise ShardError(
+                    f"deployment {deployment_id!r} exhausted its "
+                    f"{self.restart_limit} restarts "
+                    f"(last failure: {None if shard is None else shard.failure})"
+                )
+            path = self.checkpoint_path(deployment_id)
+            has_checkpoint = path is not None and path.exists()
+            replacement = self.start_deployment(
+                deployment_id, restore_latest=has_checkpoint
+            )
+            with self._lock:
+                self._restarts[deployment_id] = used + 1
+            obs.count(
+                "serve.shard.restarts", labels={"deployment": deployment_id}
+            )
+            return replacement
+        finally:
+            with self._lock:
+                self._restarting.discard(deployment_id)
+
+    def kill(self, deployment_id: str) -> None:
+        """Crash one shard (chaos path: thread fault or real SIGKILL)."""
+        shard = self.shard(deployment_id)
+        shard.kill()
+        shard.join()
+
+    # -- checkpoints -------------------------------------------------------
+
+    def checkpoint_path(self, deployment_id: str) -> Optional[Path]:
+        """Where one deployment's checkpoint lives (``None`` = disabled)."""
+        if self.checkpoint_dir is None:
+            return None
+        return self.checkpoint_dir / f"{deployment_id}.ckpt.json"
+
+    def checkpoint(self, deployment_id: str) -> Optional[str]:
+        """Force one shard's checkpoint now; returns its identity."""
+        return self.shard(deployment_id).checkpoint_sync()
+
+    def checkpoint_all(self) -> Dict[str, Optional[str]]:
+        """Checkpoint every live shard; deployment id -> identity."""
+        results: Dict[str, Optional[str]] = {}
+        with self._lock:
+            shards = dict(self._shards)
+        for deployment_id, shard in sorted(shards.items()):
+            if shard.state == "live":
+                results[deployment_id] = shard.checkpoint_sync()
+        return results
+
+    # -- introspection -----------------------------------------------------
+
+    def shard(self, deployment_id: str) -> ShardLike:
+        """The current shard of one deployment."""
+        with self._lock:
+            shard = self._shards.get(deployment_id)
+        if shard is None:
+            raise ShardError(f"deployment {deployment_id!r} has no shard")
+        return shard
+
+    def rings(self) -> Dict[str, ProvenanceRing]:
+        """Per-deployment provenance feeds (for the ops endpoint)."""
+        with self._lock:
+            return {
+                deployment_id: shard.ring
+                for deployment_id, shard in self._shards.items()
+            }
+
+    def fixes_emitted(self, deployment_id: Optional[str] = None) -> int:
+        """Fix count of one deployment, or the whole fleet."""
+        with self._lock:
+            shards = dict(self._shards)
+        if deployment_id is not None:
+            shard = shards.get(deployment_id)
+            return 0 if shard is None else shard.fixes_emitted
+        return sum(shard.fixes_emitted for shard in shards.values())
+
+    def health_document(self) -> Dict[str, Any]:
+        """The fleet ``/healthz`` document (schema 2).
+
+        Per-deployment nesting under ``deployments``; the fleet is
+        ``ok`` only while every shard is live, ``degraded`` while any
+        is starting/draining/restarting, and ``failed`` once any shard
+        is failed or stopped unexpectedly.
+        """
+        registry_view = self.registry.snapshot()
+        with self._lock:
+            shards = dict(self._shards)
+        deployments: Dict[str, Any] = {}
+        worst = "ok"
+        for deployment_id, entry in sorted(registry_view.items()):
+            shard = shards.get(deployment_id)
+            state = entry["state"]
+            deployments[deployment_id] = {
+                "state": state,
+                "restarts": entry["restarts"],
+                "last_error": entry["last_error"],
+                "checkpoint_id": entry["checkpoint_id"],
+                "readers": entry["readers"],
+                "environment": entry["environment"],
+                "fixes_emitted": (
+                    0 if shard is None else shard.fixes_emitted
+                ),
+                "queue": (
+                    {"offered": 0, "accepted": 0, "dropped": 0}
+                    if shard is None
+                    else shard.queue_stats()
+                ),
+            }
+            if state == "failed":
+                worst = "failed"
+            elif state != "live" and worst != "failed":
+                worst = "degraded"
+        live = sum(1 for d in deployments.values() if d["state"] == "live")
+        return {
+            "schema": 2,
+            "status": worst if deployments else "unknown",
+            "deployments": deployments,
+            "total": len(deployments),
+            "live": live,
+            "workers": self.workers,
+        }
+
+    def __enter__(self) -> "ShardSupervisor":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

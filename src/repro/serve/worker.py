@@ -1,0 +1,125 @@
+"""The process-mode shard worker: ``python -m repro.serve.worker``.
+
+A :class:`~repro.serve.shard.ProcessShard` parent speaks to this child
+over stdin/stdout using the same length-delimited frames as the
+network ingest protocol (:mod:`repro.serve.protocol`).  The
+conversation:
+
+* ``{"op": "job", "spec": ..., "checkpoint_path": ..., "checkpoint_every":
+  n, "restore": ...}`` — build the deployment's pipeline (restoring the
+  given checkpoint document when present); answered with ``{"op":
+  "ready"}`` or a terminal ``{"op": "fatal", "error": ...}``.
+* ``{"op": "reads", "seq": n, "reads": [...]}`` — ingest one batch,
+  poll the runner, answer ``{"op": "ack", "seq": n, "accepted": a,
+  "dropped": d, "fixes": [fix records]}``.
+* ``{"op": "checkpoint"}`` — persist a checkpoint atomically, answer
+  ``{"op": "checkpointed", "checkpoint_id": ...}``.
+* ``{"op": "bye", "drain": bool}`` — optionally flush pending windows
+  and write a final checkpoint, answer ``{"op": "done", "fixes":
+  [...]}`` and exit 0.
+
+stdout carries frames *only* — anything else would corrupt the stream,
+which is why the pipeline build happens after the job frame arrives and
+all diagnostics ride the ``fatal`` frame instead of prints.  Killing
+this process with SIGKILL mid-stream is the supported crash case: the
+parent restores the last checkpoint into a fresh worker and the fix
+stream continues bit-identically (pinned by the hand-off tests).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Dict, List, Optional
+
+from repro.errors import ReproError
+from repro.serve import protocol
+from repro.serve.registry import DeploymentSpec
+from repro.serve.shard import build_runner, write_checkpoint_file
+from repro.stream.provenance import fix_record
+from repro.stream.runner import StreamRunner
+
+
+def _serve(stdin: Any, stdout: Any) -> int:
+    job = protocol.read_frame(stdin)
+    if job is None or job.get("op") != "job":
+        protocol.write_frame(
+            stdout, {"op": "fatal", "error": f"expected a job frame, got {job!r}"}
+        )
+        return 2
+    try:
+        spec = DeploymentSpec.from_dict(job["spec"])
+        runner: StreamRunner = build_runner(spec, restore=job.get("restore"))
+    except (ReproError, KeyError, TypeError, ValueError) as exc:
+        protocol.write_frame(stdout, {"op": "fatal", "error": str(exc)})
+        return 2
+    checkpoint_path: Optional[str] = job.get("checkpoint_path")
+    checkpoint_every = int(job.get("checkpoint_every", 0))
+    unflushed = 0
+    protocol.write_frame(
+        stdout, {"op": "ready", "deployment": spec.deployment_id}
+    )
+    while True:
+        frame = protocol.read_frame(stdin)
+        if frame is None:
+            # Parent vanished without a bye; nothing to flush safely.
+            return 1
+        op = frame.get("op")
+        if op == "reads":
+            _, reads = protocol.parse_reads(frame)
+            accepted = runner.queue.put_many(reads)
+            fixes = runner.poll()
+            records = [fix_record(fix) for fix in fixes]
+            unflushed += len(records)
+            if (
+                checkpoint_path is not None
+                and checkpoint_every > 0
+                and unflushed >= checkpoint_every
+            ):
+                write_checkpoint_file(checkpoint_path, runner.checkpoint())
+                unflushed = 0
+            protocol.write_frame(
+                stdout,
+                {
+                    "op": "ack",
+                    "seq": frame.get("seq"),
+                    "accepted": accepted,
+                    "dropped": len(reads) - accepted,
+                    "fixes": records,
+                },
+            )
+        elif op == "checkpoint":
+            if checkpoint_path is None:
+                protocol.write_frame(
+                    stdout,
+                    {"op": "fatal", "error": "no checkpoint path configured"},
+                )
+                return 2
+            identity = write_checkpoint_file(
+                checkpoint_path, runner.checkpoint()
+            )
+            unflushed = 0
+            protocol.write_frame(
+                stdout, {"op": "checkpointed", "checkpoint_id": identity}
+            )
+        elif op == "bye":
+            records: List[Dict[str, Any]] = []
+            if frame.get("drain", True):
+                records = [fix_record(fix) for fix in runner.finish()]
+                if checkpoint_path is not None:
+                    write_checkpoint_file(checkpoint_path, runner.checkpoint())
+            protocol.write_frame(stdout, {"op": "done", "fixes": records})
+            return 0
+        else:
+            protocol.write_frame(
+                stdout, {"op": "fatal", "error": f"unknown op {op!r}"}
+            )
+            return 2
+
+
+def main() -> int:
+    """Child entry point: frames in on stdin, frames out on stdout."""
+    return _serve(sys.stdin.buffer, sys.stdout.buffer)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via ProcessShard
+    sys.exit(main())

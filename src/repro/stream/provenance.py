@@ -405,7 +405,15 @@ class ProvenanceRing:
 
     def push(self, fix: TrackFix) -> None:
         """Retain one fix (evicting the oldest beyond capacity)."""
-        record = fix_record(fix)
+        self.push_record(fix_record(fix))
+
+    def push_record(self, record: Dict[str, Any]) -> None:
+        """Retain an already-serialized fix record.
+
+        The seam for feeds that only ever see the wire form — a
+        process-mode shard receives its child's fixes as records, not
+        as :class:`TrackFix` objects.
+        """
         with self._lock:
             self._entries.append(record)
             if len(self._entries) > self.capacity:

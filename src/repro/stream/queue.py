@@ -75,6 +75,13 @@ class BoundedReadQueue:
     block_timeout_s:
         How long a ``block``-policy :meth:`put` waits for space before
         raising :class:`~repro.errors.BackpressureError`.
+    deployment:
+        Optional deployment id this queue serves.  When set, every
+        drop additionally feeds the labeled
+        ``stream.queue.dropped{deployment,policy}`` counter so
+        per-shard backpressure is visible on ``/metrics``; when
+        ``None`` (the single-runner default) only the legacy unlabeled
+        counters fire and the metric surface is unchanged.
     """
 
     def __init__(
@@ -82,6 +89,7 @@ class BoundedReadQueue:
         capacity: int,
         policy: str = "drop-oldest",
         block_timeout_s: float = 1.0,
+        deployment: Optional[str] = None,
     ) -> None:
         if capacity < 1:
             raise ConfigurationError("queue capacity must be positive")
@@ -94,6 +102,7 @@ class BoundedReadQueue:
         self.capacity = capacity
         self.policy = policy
         self.block_timeout_s = block_timeout_s
+        self.deployment = deployment
         self._items: Deque[TagRead] = deque()
         self._lock = sanitized_lock("stream.queue")
         self._not_full = threading.Condition(self._lock)
@@ -123,6 +132,14 @@ class BoundedReadQueue:
         with self._not_full:
             self._closed = True
             self._not_full.notify_all()
+
+    def _count_drop(self, policy: str) -> None:
+        """Feed the labeled per-deployment drop counter (when labeled)."""
+        if self.deployment is not None:
+            obs.count(
+                "stream.queue.dropped",
+                labels={"deployment": self.deployment, "policy": policy},
+            )
 
     @property
     def stats(self) -> QueueStats:
@@ -165,11 +182,13 @@ class BoundedReadQueue:
             if self.policy == "drop-newest":
                 self._dropped_newest += 1
                 obs.count("stream.queue.dropped_newest")
+                self._count_drop("drop-newest")
                 return False
             if self.policy == "drop-oldest":
                 self._items.popleft()
                 self._dropped_oldest += 1
                 obs.count("stream.queue.dropped_oldest")
+                self._count_drop("drop-oldest")
                 self._items.append(read)
                 self._accepted += 1
                 return True
@@ -190,6 +209,7 @@ class BoundedReadQueue:
             if not deadline_ok:
                 self._block_timeouts += 1
                 obs.count("stream.queue.block_timeouts")
+                self._count_drop("block")
                 raise BackpressureError(
                     f"queue full ({self.capacity} reads) for "
                     f"{self.block_timeout_s:g}s under the 'block' policy"
@@ -228,10 +248,12 @@ class BoundedReadQueue:
                 elif self.policy == "drop-newest":
                     self._dropped_newest += 1
                     obs.count("stream.queue.dropped_newest")
+                    self._count_drop("drop-newest")
                 else:  # drop-oldest
                     self._items.popleft()
                     self._dropped_oldest += 1
                     obs.count("stream.queue.dropped_oldest")
+                    self._count_drop("drop-oldest")
                     self._items.append(read)
                     self._accepted += 1
                     accepted += 1

@@ -101,6 +101,12 @@ class StreamConfig:
         position is attempted.  The default ``1`` preserves the original
         behaviour (any detection localizes); raising it trades coverage
         for ghost suppression when parts of the fleet are unhealthy.
+    deployment_id:
+        Optional fleet deployment id this runner serves.  Purely a
+        label: it flows into the ingest queue's per-deployment drop
+        metrics and the fleet health document, never into the numerics
+        or the checkpoint fingerprint (so a checkpoint hands off
+        between labeled and unlabeled runners of the same deployment).
     """
 
     window: WindowConfig = field(default_factory=WindowConfig)
@@ -113,6 +119,7 @@ class StreamConfig:
     smoothing: bool = True
     health: HealthConfig = field(default_factory=HealthConfig)
     min_evidence_readers: int = 1
+    deployment_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_targets < 1:
@@ -151,6 +158,7 @@ class StreamRunner:
             capacity=self.config.queue_capacity,
             policy=self.config.drop_policy,
             block_timeout_s=self.config.block_timeout_s,
+            deployment=self.config.deployment_id,
         )
         self.assembler = WindowAssembler.for_readers(
             dwatch.readers, self.config.window

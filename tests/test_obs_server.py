@@ -154,5 +154,50 @@ class TestHealthDocument:
         assert document["fixes_emitted"] == len(fixes)
         assert document["queue_depth"] == 0
         assert document["lineage"] == []
+        # Schema 2: the same detail nests as a one-deployment fleet
+        # (an unlabeled runner files under "default").
+        assert document["schema"] == 2
+        entry = document["deployments"]["default"]
+        assert entry["state"] == "live"
+        assert entry["fixes_emitted"] == len(fixes)
         # And the payload is JSON-serializable as /healthz must send it.
         json.dumps(document, sort_keys=True)
+
+
+class TestFleetProvenance:
+    def rings(self):
+        ring_a = ProvenanceRing(capacity=8)
+        ring_b = ProvenanceRing(capacity=8)
+        for fix in some_fixes(3):
+            ring_a.push(fix)
+        for fix in some_fixes(2):
+            ring_b.push(fix)
+        return {"dep-a": ring_a, "dep-b": ring_b}
+
+    def test_merged_feed_annotates_deployments(self):
+        server = OpsServer(snapshot_source=snapshot_source, rings=self.rings())
+        document = server.provenance_document("")
+        assert document["retained"] == 5
+        assert {fix["deployment"] for fix in document["fixes"]} == {
+            "dep-a",
+            "dep-b",
+        }
+
+    def test_deployment_filter(self):
+        server = OpsServer(snapshot_source=snapshot_source, rings=self.rings())
+        document = server.provenance_document("deployment=dep-b")
+        assert document["retained"] == 2
+        assert all(f["deployment"] == "dep-b" for f in document["fixes"])
+
+    def test_unknown_deployment_names_the_fleet(self):
+        server = OpsServer(snapshot_source=snapshot_source, rings=self.rings())
+        document = server.provenance_document("deployment=ghost")
+        assert document["fixes"] == []
+        assert document["deployments"] == ["dep-a", "dep-b"]
+        assert "unknown deployment" in document["error"]
+
+    def test_limit_applies_after_merge(self):
+        server = OpsServer(snapshot_source=snapshot_source, rings=self.rings())
+        document = server.provenance_document("limit=2")
+        assert len(document["fixes"]) == 2
+        assert document["retained"] == 5

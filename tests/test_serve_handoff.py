@@ -1,0 +1,117 @@
+"""Cross-process checkpoint hand-off: SIGKILL a shard, resume bit-identically.
+
+The serving layer's crash-safety claim, pinned end to end: a
+process-mode shard is killed with SIGKILL mid-stream, a *fresh*
+supervisor restores the deployment from the on-disk checkpoint, and
+the concatenated fix stream is bit-identical to an uninterrupted run —
+with the resumed fixes' provenance chaining the checkpoint identity.
+
+Module-scoped: the reference run and the interrupted run share one
+scenario build.
+"""
+
+import pytest
+
+from repro.serve.registry import DeploymentRegistry, DeploymentSpec
+from repro.serve.supervisor import ShardSupervisor
+from repro.sim.environments import hall_scene
+from repro.stream.synthetic import SyntheticStreamConfig, synthetic_reads
+
+FIXES = 4
+
+SPEC = DeploymentSpec(
+    deployment_id="dep-00",
+    seed=11,
+    num_tags=3,
+    num_antennas=3,
+    num_readers=2,
+)
+
+
+def fresh_supervisor(checkpoint_dir):
+    registry = DeploymentRegistry()
+    registry.register(SPEC)
+    return ShardSupervisor(
+        registry, checkpoint_dir=checkpoint_dir, workers="process"
+    )
+
+
+def strip_provenance(records):
+    """Fix payloads minus provenance (lineage differs by construction)."""
+    return [
+        {key: value for key, value in record.items() if key != "provenance"}
+        for record in records
+    ]
+
+
+@pytest.fixture(scope="module")
+def handoff(tmp_path_factory):
+    scene = hall_scene(
+        rng=SPEC.seed,
+        num_tags=SPEC.num_tags,
+        num_antennas=SPEC.num_antennas,
+        num_readers=SPEC.num_readers,
+    )
+    reads = list(
+        synthetic_reads(
+            scene, SyntheticStreamConfig(fixes=FIXES), rng=SPEC.seed + 3
+        )
+    )
+    half = len(reads) // 2
+
+    # Uninterrupted reference run.
+    reference = fresh_supervisor(tmp_path_factory.mktemp("reference"))
+    reference.start()
+    reference.route(SPEC.deployment_id, reads)
+    reference.stop(drain=True)
+    reference_records = reference.shard(SPEC.deployment_id).fix_records()
+
+    # Interrupted run: half the stream, checkpoint, SIGKILL.
+    checkpoint_dir = tmp_path_factory.mktemp("crash")
+    first = fresh_supervisor(checkpoint_dir)
+    first.start()
+    first.route(SPEC.deployment_id, reads[:half])
+    checkpoint_id = first.checkpoint(SPEC.deployment_id)
+    before_records = first.shard(SPEC.deployment_id).fix_records()
+    first.kill(SPEC.deployment_id)
+    state_after_kill = first.shard(SPEC.deployment_id).state
+
+    # A fresh supervisor — a different OS process tree — restores the
+    # deployment from disk and finishes the stream.
+    second = fresh_supervisor(checkpoint_dir)
+    second.start_deployment(SPEC.deployment_id, restore_latest=True)
+    second.route(SPEC.deployment_id, reads[half:])
+    second.stop(drain=True)
+    after_records = second.shard(SPEC.deployment_id).fix_records()
+
+    return {
+        "reference": reference_records,
+        "before": before_records,
+        "after": after_records,
+        "checkpoint_id": checkpoint_id,
+        "state_after_kill": state_after_kill,
+    }
+
+
+class TestCrossProcessHandoff:
+    def test_reference_run_completes(self, handoff):
+        assert len(handoff["reference"]) == FIXES
+
+    def test_sigkill_marks_shard_failed(self, handoff):
+        assert handoff["state_after_kill"] == "failed"
+
+    def test_fix_stream_bit_identical_across_handoff(self, handoff):
+        combined = handoff["before"] + handoff["after"]
+        assert strip_provenance(combined) == strip_provenance(
+            handoff["reference"]
+        )
+
+    def test_resumed_fixes_chain_the_checkpoint(self, handoff):
+        assert handoff["after"], "no fixes after restore"
+        for record in handoff["after"]:
+            lineage = record["provenance"]["checkpoint_lineage"]
+            assert handoff["checkpoint_id"] in lineage
+
+    def test_pre_kill_fixes_have_no_lineage(self, handoff):
+        for record in handoff["before"]:
+            assert record["provenance"]["checkpoint_lineage"] == []

@@ -1,0 +1,156 @@
+"""Ingest wire protocol: framing, handshake, and typed failure paths.
+
+Everything here runs against in-memory byte streams — a protocol
+violation must be diagnosable without a socket in sight, and none of
+these paths may ever hang.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import IngestProtocolError
+from repro.serve import protocol
+from repro.stream.events import TagRead
+
+
+def roundtrip(message):
+    return protocol.read_frame(io.BytesIO(protocol.encode_frame(message)))
+
+
+class TestFraming:
+    def test_frame_roundtrip(self):
+        message = {"op": "ack", "seq": 3, "nested": {"a": [1, 2]}}
+        assert roundtrip(message) == message
+
+    def test_clean_eof_returns_none(self):
+        assert protocol.read_frame(io.BytesIO(b"")) is None
+
+    def test_multiple_frames_in_sequence(self):
+        stream = io.BytesIO(
+            protocol.encode_frame({"seq": 1}) + protocol.encode_frame({"seq": 2})
+        )
+        assert protocol.read_frame(stream) == {"seq": 1}
+        assert protocol.read_frame(stream) == {"seq": 2}
+        assert protocol.read_frame(stream) is None
+
+    def test_eof_mid_prefix_is_truncated(self):
+        with pytest.raises(IngestProtocolError) as excinfo:
+            protocol.read_frame(io.BytesIO(b"12"))
+        assert excinfo.value.code == "truncated"
+
+    def test_eof_mid_payload_is_truncated(self):
+        frame = protocol.encode_frame({"op": "reads", "seq": 1})
+        with pytest.raises(IngestProtocolError) as excinfo:
+            protocol.read_frame(io.BytesIO(frame[: len(frame) - 4]))
+        assert excinfo.value.code == "truncated"
+
+    def test_non_numeric_prefix_is_malformed(self):
+        with pytest.raises(IngestProtocolError) as excinfo:
+            protocol.read_frame(io.BytesIO(b"nope {}\n"))
+        assert excinfo.value.code == "malformed"
+
+    def test_non_json_payload_is_malformed(self):
+        with pytest.raises(IngestProtocolError) as excinfo:
+            protocol.read_frame(io.BytesIO(b"3 {{{\n"))
+        assert excinfo.value.code == "malformed"
+
+    def test_non_object_payload_is_malformed(self):
+        body = json.dumps([1, 2, 3]).encode()
+        frame = b"%d %s\n" % (len(body), body)
+        with pytest.raises(IngestProtocolError) as excinfo:
+            protocol.read_frame(io.BytesIO(frame))
+        assert excinfo.value.code == "malformed"
+
+    def test_oversized_incoming_frame_rejected(self):
+        huge = b"999999999 "
+        with pytest.raises(IngestProtocolError) as excinfo:
+            protocol.read_frame(io.BytesIO(huge))
+        assert excinfo.value.code == "oversized"
+
+    def test_oversized_outgoing_frame_rejected(self):
+        message = {"blob": "x" * (protocol.MAX_FRAME_BYTES + 1)}
+        with pytest.raises(IngestProtocolError) as excinfo:
+            protocol.encode_frame(message)
+        assert excinfo.value.code == "oversized"
+
+
+class TestHandshake:
+    def test_hello_roundtrip(self):
+        hello = protocol.IngestHello(
+            deployment="dep-00", readers=("reader-0", "reader-1")
+        )
+        parsed = protocol.parse_hello(roundtrip(hello.to_dict()))
+        assert parsed.deployment == "dep-00"
+        assert parsed.readers == ("reader-0", "reader-1")
+        assert parsed.schema == protocol.PROTOCOL_SCHEMA
+
+    def test_wrong_kind_is_malformed(self):
+        with pytest.raises(IngestProtocolError) as excinfo:
+            protocol.parse_hello({"kind": "dwatch-reads", "schema": 1})
+        assert excinfo.value.code == "malformed"
+
+    def test_schema_mismatch_is_version_mismatch(self):
+        hello = protocol.IngestHello(deployment="dep-00", readers=())
+        message = dict(hello.to_dict(), schema=99)
+        with pytest.raises(IngestProtocolError) as excinfo:
+            protocol.parse_hello(message)
+        assert excinfo.value.code == "version-mismatch"
+
+    def test_missing_deployment_is_malformed(self):
+        message = {
+            "kind": protocol.PROTOCOL_KIND,
+            "schema": protocol.PROTOCOL_SCHEMA,
+            "readers": [],
+        }
+        with pytest.raises(IngestProtocolError) as excinfo:
+            protocol.parse_hello(message)
+        assert excinfo.value.code == "malformed"
+
+
+class TestAcks:
+    def test_ok_ack_roundtrip(self):
+        ack = protocol.parse_ack(roundtrip(protocol.ack_frame(deployment="d")))
+        assert ack["status"] == "ok"
+
+    def test_error_ack_reraises_server_code(self):
+        frame = protocol.ack_frame(
+            "error",
+            deployment="dep-77",
+            code="unknown-deployment",
+            error="no such deployment",
+        )
+        with pytest.raises(IngestProtocolError) as excinfo:
+            protocol.parse_ack(roundtrip(frame))
+        assert excinfo.value.code == "unknown-deployment"
+        assert excinfo.value.deployment == "dep-77"
+
+
+class TestReads:
+    def test_read_roundtrip(self):
+        read = TagRead(
+            reader_name="reader-1",
+            epc="epc-0005",
+            time_s=12.25,
+            iq=complex(0.5, -1.5),
+        )
+        decoded = protocol.decode_read(protocol.encode_read(read))
+        assert decoded == read
+
+    def test_reads_frame_roundtrip(self):
+        reads = [
+            TagRead("reader-0", "epc-0001", 0.5, complex(1.0, 2.0)),
+            TagRead("reader-1", "epc-0002", 0.75, complex(-0.25, 0.0)),
+        ]
+        seq, decoded = protocol.parse_reads(
+            roundtrip(protocol.reads_frame(9, reads))
+        )
+        assert seq == 9
+        assert decoded == reads
+
+    def test_batch_ack_carries_counts(self):
+        frame = roundtrip(protocol.batch_ack_frame(4, 120, 8))
+        assert frame["seq"] == 4
+        assert frame["accepted"] == 120
+        assert frame["dropped"] == 8

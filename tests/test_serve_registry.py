@@ -1,0 +1,143 @@
+"""Deployment registry: specs, shard-state transitions, persistence."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, RegistryError
+from repro.serve.registry import (
+    REGISTRY_KIND,
+    REGISTRY_SCHEMA,
+    DeploymentRegistry,
+    DeploymentSpec,
+    default_fleet,
+)
+
+
+def spec(deployment_id="dep-00", **overrides):
+    return DeploymentSpec(deployment_id=deployment_id, **overrides)
+
+
+class TestDeploymentSpec:
+    def test_roundtrip(self):
+        original = spec(num_readers=3, seed=42, description="east wing")
+        assert DeploymentSpec.from_dict(original.to_dict()) == original
+
+    def test_reader_names_follow_scene_convention(self):
+        assert spec(num_readers=3).reader_names == (
+            "reader-0",
+            "reader-1",
+            "reader-2",
+        )
+
+    def test_invalid_reader_count_rejected(self):
+        with pytest.raises(ConfigurationError, match="num_readers"):
+            spec(num_readers=9)
+
+    def test_unknown_environment_rejected(self):
+        with pytest.raises(ConfigurationError, match="environment"):
+            spec(environment="submarine")
+
+    def test_from_dict_rejects_garbage(self):
+        with pytest.raises(RegistryError):
+            DeploymentSpec.from_dict({"deployment_id": "x", "seed": "yes"})
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        registry = DeploymentRegistry()
+        registry.register(spec("dep-a"))
+        registry.register(spec("dep-b", num_readers=2))
+        assert registry.deployment_ids() == ["dep-a", "dep-b"]
+        assert "dep-a" in registry
+        assert len(registry) == 2
+        assert registry.spec("dep-b").num_readers == 2
+
+    def test_duplicate_registration_rejected(self):
+        registry = DeploymentRegistry()
+        registry.register(spec("dep-a"))
+        with pytest.raises(RegistryError, match="already registered"):
+            registry.register(spec("dep-a"))
+
+    def test_unknown_deployment_rejected(self):
+        with pytest.raises(RegistryError, match="unknown deployment"):
+            DeploymentRegistry().spec("ghost")
+
+    def test_legal_lifecycle_transitions(self):
+        registry = DeploymentRegistry()
+        registry.register(spec("dep-a"))
+        for state in ("starting", "live", "draining", "stopped"):
+            registry.set_state("dep-a", state)
+        assert registry.state_of("dep-a") == "stopped"
+
+    def test_illegal_transition_rejected(self):
+        registry = DeploymentRegistry()
+        registry.register(spec("dep-a"))
+        with pytest.raises(RegistryError, match="illegal shard transition"):
+            registry.set_state("dep-a", "draining")
+
+    def test_failed_to_starting_counts_a_restart(self):
+        registry = DeploymentRegistry()
+        registry.register(spec("dep-a"))
+        registry.set_state("dep-a", "starting")
+        registry.set_state("dep-a", "failed", error="boom")
+        snapshot = registry.snapshot()["dep-a"]
+        assert snapshot["state"] == "failed"
+        assert snapshot["last_error"] == "boom"
+        registry.set_state("dep-a", "starting")
+        assert registry.snapshot()["dep-a"]["restarts"] == 1
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        registry = DeploymentRegistry()
+        registry.register(spec("dep-a", num_readers=2))
+        registry.register(spec("dep-b", num_readers=4, seed=99))
+        registry.set_state("dep-a", "starting")
+        registry.set_state("dep-a", "live")
+        registry.set_state("dep-b", "starting")
+        registry.set_state("dep-b", "failed", error="crashed")
+        path = tmp_path / "registry.json"
+        registry.save(path)
+
+        loaded = DeploymentRegistry.load(path)
+        assert loaded.deployment_ids() == ["dep-a", "dep-b"]
+        assert loaded.spec("dep-b").seed == 99
+        # Runtime states do not survive a restart -- except failed,
+        # which an operator must explicitly clear.
+        assert loaded.state_of("dep-a") == "stopped"
+        assert loaded.state_of("dep-b") == "failed"
+
+    def test_document_is_versioned(self, tmp_path):
+        registry = DeploymentRegistry()
+        registry.register(spec("dep-a"))
+        document = registry.to_document()
+        assert document["kind"] == REGISTRY_KIND
+        assert document["schema"] == REGISTRY_SCHEMA
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        path = tmp_path / "bogus.json"
+        path.write_text(json.dumps({"kind": "dwatch-reads", "schema": 1}))
+        with pytest.raises(RegistryError, match="kind"):
+            DeploymentRegistry.load(path)
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(
+            json.dumps(
+                {"kind": REGISTRY_KIND, "schema": 99, "deployments": []}
+            )
+        )
+        with pytest.raises(RegistryError, match="schema"):
+            DeploymentRegistry.load(path)
+
+
+class TestDefaultFleet:
+    def test_fleet_shape(self):
+        fleet = default_fleet(8)
+        assert len(fleet) == 8
+        assert len({spec.deployment_id for spec in fleet}) == 8
+        # Rosters differ in size so cross-shard leakage cannot hide
+        # behind identical reader names.
+        assert len({spec.num_readers for spec in fleet}) > 1
+        assert len({spec.seed for spec in fleet}) == 8

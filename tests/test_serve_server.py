@@ -1,0 +1,143 @@
+"""TCP ingest: handshake enforcement, typed refusals, and survival.
+
+A one-deployment thread-mode fleet sits behind a real
+:class:`IngestServer`; well-behaved publishers stream reads end to
+end, and every flavour of bad client gets a typed error ack — after
+which the server must still accept the next good connection.
+"""
+
+import socket
+import time
+
+import pytest
+
+from repro.errors import IngestProtocolError
+from repro.serve import protocol
+from repro.serve.publisher import ReadPublisher
+from repro.serve.registry import DeploymentRegistry, DeploymentSpec
+from repro.serve.server import IngestServer
+from repro.serve.supervisor import ShardSupervisor
+from repro.sim.environments import hall_scene
+from repro.stream.synthetic import SyntheticStreamConfig, synthetic_reads
+
+SPEC = DeploymentSpec(
+    deployment_id="dep-00",
+    seed=11,
+    num_tags=3,
+    num_antennas=3,
+    num_readers=2,
+)
+
+
+@pytest.fixture(scope="module")
+def served():
+    registry = DeploymentRegistry()
+    registry.register(SPEC)
+    supervisor = ShardSupervisor(registry, workers="thread")
+    supervisor.start()
+    server = IngestServer(supervisor, timeout_s=5.0)
+    server.start()
+    yield server
+    server.stop()
+    supervisor.stop(drain=True)
+
+
+def raw_exchange(server, *frames):
+    """Send raw frames, return the first reply frame (or the error)."""
+    with socket.create_connection(server.address, timeout=5.0) as sock:
+        wfile = sock.makefile("wb")
+        rfile = sock.makefile("rb")
+        for frame in frames:
+            wfile.write(frame)
+        wfile.flush()
+        return protocol.read_frame(rfile)
+
+
+class TestHappyPath:
+    def test_publish_and_track_over_tcp(self, served):
+        scene = hall_scene(
+            rng=SPEC.seed,
+            num_tags=SPEC.num_tags,
+            num_antennas=SPEC.num_antennas,
+            num_readers=SPEC.num_readers,
+        )
+        reads = list(
+            synthetic_reads(
+                scene, SyntheticStreamConfig(fixes=2), rng=SPEC.seed + 3
+            )
+        )
+        host, port = served.address
+        with ReadPublisher(
+            host, port, SPEC.deployment_id, SPEC.reader_names
+        ) as publisher:
+            accepted, dropped = publisher.publish(reads, batch_size=128)
+        assert accepted == len(reads)
+        assert dropped == 0
+        assert publisher.rtts_ms  # every acked batch left a latency sample
+        deadline = time.time() + 60
+        supervisor = served.supervisor
+        while time.time() < deadline and supervisor.fixes_emitted("dep-00") < 1:
+            time.sleep(0.1)
+        assert supervisor.fixes_emitted("dep-00") >= 1
+
+
+class TestTypedRefusals:
+    def test_unknown_deployment(self, served):
+        host, port = served.address
+        publisher = ReadPublisher(host, port, "ghost", ("reader-0",))
+        with pytest.raises(IngestProtocolError) as excinfo:
+            publisher.connect()
+        assert excinfo.value.code == "unknown-deployment"
+
+    def test_reader_mismatch(self, served):
+        host, port = served.address
+        publisher = ReadPublisher(
+            host, port, SPEC.deployment_id, ("reader-0", "reader-9")
+        )
+        with pytest.raises(IngestProtocolError) as excinfo:
+            publisher.connect()
+        assert excinfo.value.code == "reader-mismatch"
+
+    def test_version_mismatch(self, served):
+        hello = protocol.IngestHello(
+            deployment=SPEC.deployment_id, readers=SPEC.reader_names
+        )
+        stale = dict(hello.to_dict(), schema=99)
+        reply = raw_exchange(served, protocol.encode_frame(stale))
+        assert reply["status"] == "error"
+        assert reply["code"] == "version-mismatch"
+
+    def test_malformed_frame(self, served):
+        reply = raw_exchange(served, b"banana {}\n")
+        assert reply["status"] == "error"
+        assert reply["code"] == "malformed"
+
+    def test_truncated_frame_never_hangs(self, served):
+        # A client that dies mid-frame: the server times the read out
+        # or sees EOF, refuses with "truncated", and moves on.
+        with socket.create_connection(served.address, timeout=5.0) as sock:
+            sock.sendall(b"100 {\"kind\":")
+        # The refusal has no reader left to reach; survival is the
+        # contract, checked below.
+
+    def test_unknown_op_refused_after_handshake(self, served):
+        hello = protocol.IngestHello(
+            deployment=SPEC.deployment_id, readers=SPEC.reader_names
+        )
+        with socket.create_connection(served.address, timeout=5.0) as sock:
+            wfile = sock.makefile("wb")
+            rfile = sock.makefile("rb")
+            protocol.write_frame(wfile, hello.to_dict())
+            assert protocol.read_frame(rfile)["status"] == "ok"
+            protocol.write_frame(wfile, {"op": "self-destruct"})
+            reply = protocol.read_frame(rfile)
+        assert reply["status"] == "error"
+        assert reply["code"] == "malformed"
+
+    def test_server_survives_all_of_the_above(self, served):
+        # After every refusal the next good handshake must still work.
+        host, port = served.address
+        with ReadPublisher(
+            host, port, SPEC.deployment_id, SPEC.reader_names
+        ) as publisher:
+            assert publisher.connected

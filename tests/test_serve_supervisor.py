@@ -1,0 +1,145 @@
+"""Shard supervisor: routing isolation, fleet health, crash auto-restart.
+
+One module-scoped scenario pays the pipeline-build cost once: a
+two-deployment thread-mode fleet with differing reader rosters is fed
+directly through ``route()``, one shard is checkpointed and killed
+mid-load, further routing must auto-restart it from the checkpoint,
+and the drained fleet's fixes/health/lineage are asserted from the
+collected result.
+"""
+
+import pytest
+
+from repro.errors import RegistryError, ShardError
+from repro.serve.registry import DeploymentRegistry, DeploymentSpec
+from repro.serve.supervisor import ShardSupervisor
+from repro.sim.environments import hall_scene
+from repro.stream.synthetic import SyntheticStreamConfig, synthetic_reads
+
+FIXES = 3
+
+SPECS = (
+    DeploymentSpec(
+        deployment_id="dep-a",
+        seed=11,
+        num_tags=3,
+        num_antennas=3,
+        num_readers=2,
+    ),
+    DeploymentSpec(
+        deployment_id="dep-b",
+        seed=31,
+        num_tags=3,
+        num_antennas=3,
+        num_readers=3,
+    ),
+)
+
+
+def reads_for(spec):
+    scene = hall_scene(
+        rng=spec.seed,
+        num_tags=spec.num_tags,
+        num_antennas=spec.num_antennas,
+        num_readers=spec.num_readers,
+    )
+    return list(
+        synthetic_reads(
+            scene, SyntheticStreamConfig(fixes=FIXES), rng=spec.seed + 3
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def fleet(tmp_path_factory):
+    """Run the whole scenario once; tests assert on the outcome."""
+    registry = DeploymentRegistry()
+    for spec in SPECS:
+        registry.register(spec)
+    supervisor = ShardSupervisor(
+        registry,
+        checkpoint_dir=tmp_path_factory.mktemp("checkpoints"),
+        workers="thread",
+    )
+    supervisor.start()
+    result = {"registry": registry, "supervisor": supervisor}
+    try:
+        reads = {spec.deployment_id: reads_for(spec) for spec in SPECS}
+        # dep-b streams straight through; dep-a is killed halfway.
+        supervisor.route("dep-b", reads["dep-b"])
+        half = len(reads["dep-a"]) // 2
+        supervisor.route("dep-a", reads["dep-a"][:half])
+        result["checkpoint_id"] = supervisor.checkpoint("dep-a")
+        supervisor.kill("dep-a")
+        result["state_after_kill"] = supervisor.shard("dep-a").state
+        # Routing to the dead shard must transparently restart it.
+        supervisor.route("dep-a", reads["dep-a"][half:])
+    finally:
+        supervisor.stop(drain=True)
+    result["health"] = supervisor.health_document()
+    result["records"] = {
+        spec.deployment_id: supervisor.shard(spec.deployment_id).fix_records()
+        for spec in SPECS
+    }
+    return result
+
+
+class TestFleetRouting:
+    def test_both_deployments_emit_fixes(self, fleet):
+        # dep-b never crashed: it must deliver every window.  dep-a's
+        # pre-kill fix lives on the replaced shard; the restored shard
+        # still owns the rest of the stream.
+        assert len(fleet["records"]["dep-b"]) == FIXES
+        assert len(fleet["records"]["dep-a"]) >= FIXES - 1
+
+    def test_zero_cross_shard_leakage(self, fleet):
+        for spec in SPECS:
+            roster = set(spec.reader_names)
+            for record in fleet["records"][spec.deployment_id]:
+                named = {
+                    reader["name"]
+                    for reader in record["provenance"]["readers"]
+                }
+                assert named <= roster, (
+                    f"{spec.deployment_id} fix {record['index']} names "
+                    f"foreign readers {sorted(named - roster)}"
+                )
+
+    def test_unknown_deployment_raises_registry_error(self, fleet):
+        with pytest.raises(RegistryError, match="unknown deployment"):
+            fleet["supervisor"].route("ghost", [])
+
+
+class TestCrashRestart:
+    def test_kill_marks_shard_failed(self, fleet):
+        assert fleet["state_after_kill"] == "failed"
+
+    def test_restart_restores_from_checkpoint_with_lineage(self, fleet):
+        lineages = [
+            record["provenance"]["checkpoint_lineage"]
+            for record in fleet["records"]["dep-a"]
+        ]
+        assert any(fleet["checkpoint_id"] in lineage for lineage in lineages)
+
+    def test_restart_recorded_in_registry(self, fleet):
+        assert fleet["registry"].snapshot()["dep-a"]["restarts"] >= 1
+
+
+class TestFleetHealth:
+    def test_schema_two_fleet_document(self, fleet):
+        health = fleet["health"]
+        assert health["schema"] == 2
+        assert set(health["deployments"]) == {"dep-a", "dep-b"}
+        assert health["total"] == 2
+
+    def test_per_deployment_entries(self, fleet):
+        entry = fleet["health"]["deployments"]["dep-b"]
+        assert entry["fixes_emitted"] == FIXES
+        assert entry["readers"] == list(SPECS[1].reader_names)
+        assert entry["environment"] == "hall"
+
+
+class TestSupervisorGuards:
+    def test_unknown_worker_mode_rejected(self):
+        with pytest.raises(ShardError, match="worker mode"):
+            ShardSupervisor(DeploymentRegistry(), workers="fiber")

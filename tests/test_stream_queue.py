@@ -164,3 +164,39 @@ class TestClose:
         other.import_state(items, stats)
         assert other.stats == stats
         assert [r.epc for r in other.drain()] == [r.epc for r in items]
+
+
+class TestLabeledDropCounters:
+    def _dropped_samples(self, state):
+        return [
+            metric
+            for metric in state.registry.snapshot()
+            if metric["name"] == "stream.queue.dropped"
+        ]
+
+    def test_labeled_queue_counts_drops_per_deployment(self):
+        from repro import obs
+
+        with obs.observed() as state:
+            queue = BoundedReadQueue(
+                2, policy="drop-oldest", deployment="dep-07"
+            )
+            for n in range(4):
+                queue.put(read(n))
+            samples = self._dropped_samples(state)
+        assert len(samples) == 1
+        assert samples[0]["labels"] == {
+            "deployment": "dep-07",
+            "policy": "drop-oldest",
+        }
+        assert samples[0]["value"] == 2.0
+
+    def test_unlabeled_queue_emits_no_labeled_series(self):
+        from repro import obs
+
+        with obs.observed() as state:
+            queue = BoundedReadQueue(2, policy="drop-newest")
+            for n in range(4):
+                queue.put(read(n))
+            samples = self._dropped_samples(state)
+        assert samples == []

@@ -1,0 +1,153 @@
+"""Fleet chaos harness: run the fault-family drills, write BENCH_chaos.json.
+
+Six fault families, each injected into a real fleet (registry +
+supervisor + TCP ingest) through :mod:`repro.faults.net` and the
+supervisor's chaos hooks, each gated on the same invariants:
+
+* **Recovered within deadline** — the family's MTTR (fault injection
+  or heal to verified recovery) stays under the drill deadline.
+* **Zero fix loss** — every read the publisher shipped was accepted;
+  nothing was dropped on the floor by a queue, a shed, or a restart.
+* **Lineage chained** — post-restart fixes carry the pre-fault
+  checkpoint id in their provenance (restart drills).
+* **Zero cross-deployment leakage** — no fix's provenance names a
+  reader outside its own deployment's roster.
+
+Families: partition, slow_loris, frame_corruption,
+checkpoint_corruption, shard_hang, overload — see
+``repro.faults.drill`` for what each injects and asserts.
+
+Run:  PYTHONPATH=src python scripts/chaos_fleet.py [--smoke]
+          [--families a,b,...] [--seed N] [--workers thread|process]
+          [--output BENCH_chaos.json]
+
+``--smoke`` shrinks the per-family workload for CI gating; the full
+run is what the committed ``BENCH_chaos.json`` scorecard comes from.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from typing import List
+
+import numpy as np
+
+from repro import obs
+from repro.faults.drill import DRILL_FAMILIES, DrillConfig, run_drills
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="smaller per-family workload for CI gating",
+    )
+    parser.add_argument(
+        "--families",
+        default=None,
+        help=(
+            "comma-separated subset to run "
+            f"(default: all of {', '.join(DRILL_FAMILIES)})"
+        ),
+    )
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--fixes", type=int, default=3)
+    parser.add_argument(
+        "--workers", default="thread", choices=("thread", "process")
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=30.0, dest="deadline",
+        help="per-family recovery deadline, seconds",
+    )
+    parser.add_argument("--output", default="BENCH_chaos.json")
+    args = parser.parse_args()
+
+    families = (
+        None
+        if args.families is None
+        else [name.strip() for name in args.families.split(",") if name.strip()]
+    )
+    config = DrillConfig(
+        seed=args.seed,
+        fixes=2 if args.smoke else args.fixes,
+        workers=args.workers,
+        recovery_deadline_s=args.deadline,
+    )
+
+    obs.configure()
+    started = time.perf_counter()
+    chosen = list(DRILL_FAMILIES) if families is None else families
+    print(f"running {len(chosen)} drill families: {', '.join(chosen)}")
+    results = []
+    for name in chosen:
+        print(f"[{name}] injecting...")
+        result = run_drills(config, [name])[0]
+        results.append(result)
+        verdict = "PASS" if result.passed else "FAIL"
+        print(
+            f"[{name}] {verdict}: recovered={result.recovered} "
+            f"mttr={result.mttr_s:.2f}s"
+        )
+        for failure in result.failures:
+            print(f"[{name}]   failure: {failure}", file=sys.stderr)
+    obs.shutdown()
+
+    leakage_checked = sum(
+        result.details.get("leakage", {}).get("checked_fixes", 0)
+        for result in results
+    )
+    leakage_violations = sum(
+        result.details.get("leakage", {}).get("violations", 0)
+        for result in results
+    )
+    failures: List[str] = [
+        f"{result.family}: {failure}"
+        for result in results
+        for failure in result.failures
+    ]
+    record = {
+        "schema": "repro.bench.chaos.v1",
+        "smoke": args.smoke,
+        "seed": args.seed,
+        "workers": args.workers,
+        "elapsed_s": time.perf_counter() - started,
+        "meta": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+        },
+        "families": {
+            result.family: result.to_dict() for result in results
+        },
+        "families_recovered": sum(1 for r in results if r.recovered),
+        "families_total": len(results),
+        "leakage": {
+            "checked_fixes": leakage_checked,
+            "violations": leakage_violations,
+        },
+        "passed": not failures,
+    }
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    print(
+        f"{record['families_recovered']}/{record['families_total']} "
+        f"families recovered; leakage: {leakage_checked} fixes checked, "
+        f"{leakage_violations} violations"
+    )
+    print(f"wrote {args.output}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,7 +23,11 @@
 #  11. serve      — scripts/loadgen.py --smoke drives a shard fleet over
 #                   real TCP (kill/restore drill, zero-leakage sweep)
 #                   and writes BENCH_serve.json
-#  12. pytest     — the tier-1 suite
+#  12. chaos fleet — scripts/chaos_fleet.py --smoke injects all six
+#                   fault families (partition, slow-loris, corruption,
+#                   checkpoint rot, hang, overload) and writes
+#                   BENCH_chaos.json
+#  13. pytest     — the tier-1 suite
 
 set -euo pipefail
 
@@ -133,6 +137,13 @@ echo "== serve smoke (TCP fleet: fixes emitted, drill passes, clean shutdown) ==
 # every gate in BENCH_serve.json passed.
 timeout 600 env PYTHONPATH=src python scripts/loadgen.py --smoke \
     --output BENCH_serve.json
+
+echo "== chaos fleet smoke (six fault families, recovery + zero-loss gates) =="
+# Every family must recover within its deadline with zero read loss,
+# chained lineage and zero cross-deployment leakage; the script exits
+# non-zero if any gate fails.
+timeout 600 env PYTHONPATH=src python scripts/chaos_fleet.py --smoke \
+    --output BENCH_chaos.json
 
 echo "== tier-1 tests =="
 PYTHONPATH=src python -m pytest -x -q

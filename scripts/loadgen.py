@@ -42,6 +42,7 @@ from typing import Any, Dict, List, Sequence
 import numpy as np
 
 from repro import obs
+from repro.faults.drill import check_leakage, deployment_reads
 from repro.obs.server import OpsServer
 from repro.serve import (
     DeploymentRegistry,
@@ -51,33 +52,10 @@ from repro.serve import (
     ShardSupervisor,
     default_fleet,
 )
-from repro.sim.environments import hall_scene, laboratory_scene, library_scene
 from repro.stream.events import TagRead
-from repro.stream.synthetic import SyntheticStreamConfig, synthetic_reads
-
-_SCENES = {
-    "library": library_scene,
-    "laboratory": laboratory_scene,
-    "hall": hall_scene,
-}
 
 #: The deployment the kill/restore drill runs against.
 DRILL_DEPLOYMENT = "dep-00"
-
-
-def deployment_reads(spec: DeploymentSpec, fixes: int) -> List[TagRead]:
-    """The synthetic read stream one deployment's readers would emit."""
-    scene = _SCENES[spec.environment](
-        rng=spec.seed,
-        num_tags=spec.num_tags,
-        num_antennas=spec.num_antennas,
-        num_readers=spec.num_readers,
-    )
-    return list(
-        synthetic_reads(
-            scene, SyntheticStreamConfig(fixes=fixes), rng=spec.seed + 3
-        )
-    )
 
 
 def percentile_ms(samples: Sequence[float], fraction: float) -> float:
@@ -134,29 +112,6 @@ def publish_with_drill(
     out["dropped"] = d1 + d2
     out["rtts_ms"] = publisher.rtts_ms
     out["checkpoint_id"] = checkpoint_id
-
-
-def check_leakage(
-    supervisor: ShardSupervisor, registry: DeploymentRegistry
-) -> Dict[str, Any]:
-    """Every fix's provenance must stay inside its deployment's roster."""
-    checked = 0
-    violations: List[str] = []
-    for deployment_id in registry.deployment_ids():
-        roster = set(registry.spec(deployment_id).reader_names)
-        for record in supervisor.shard(deployment_id).fix_records():
-            checked += 1
-            named = {
-                reader["name"]
-                for reader in record.get("provenance", {}).get("readers", [])
-            }
-            foreign = named - roster
-            if foreign:
-                violations.append(
-                    f"{deployment_id} fix {record['index']} names "
-                    f"foreign readers {sorted(foreign)}"
-                )
-    return {"checked_fixes": checked, "violations": violations}
 
 
 def main() -> int:

@@ -628,6 +628,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         workers=args.workers,
         checkpoint_every=args.checkpoint_every,
+        hang_after_s=args.hang_after,
     )
     supervisor.start()
     ingest = IngestServer(supervisor, port=args.port)
@@ -946,6 +947,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="checkpoint automatically every N emitted fixes "
         "(default: 0 = only explicit/drain checkpoints)",
+    )
+    serve.add_argument(
+        "--hang-after",
+        dest="hang_after",
+        metavar="SECONDS",
+        type=float,
+        default=None,
+        help="run a shard watchdog with this liveness deadline: a "
+        "shard that stops making progress for SECONDS without dying "
+        "is declared hung and recycled through the restart budget "
+        "(default: no watchdog)",
     )
     serve.add_argument(
         "--duration",

@@ -11,10 +11,24 @@ is reproducible read for read.
 
 See ``docs/ROBUSTNESS.md`` for the fault model and how the runner's
 health tracking, quarantine and checkpointing respond to each fault.
+
+:mod:`repro.faults.net` extends the same discipline *below* the read
+stream: a :class:`ChaosProxy` injects resets, partitions, slow-loris
+trickling and wire corruption into the serving TCP path, and
+:func:`corrupt_file` damages checkpoint files on disk — the fault
+families the serve stack's self-healing (watchdog, lineage walk-back,
+backpressure) is drilled against (``scripts/chaos_fleet.py``).
 """
 
 from repro.faults.chaos import CHAOS_SCENARIOS, chaos_plan, fix_window_s
 from repro.faults.injector import FaultInjector, scene_schedules
+from repro.faults.net import (
+    FILE_FAULT_MODES,
+    NET_FAULT_KINDS,
+    ChaosProxy,
+    WirePlan,
+    corrupt_file,
+)
 from repro.faults.model import (
     FAULT_KIND_NAMES,
     DeadAntenna,
@@ -31,17 +45,22 @@ from repro.faults.model import (
 
 __all__ = [
     "CHAOS_SCENARIOS",
+    "ChaosProxy",
     "DeadAntenna",
     "EpcMisread",
     "FAULT_KIND_NAMES",
+    "FILE_FAULT_MODES",
     "Fault",
     "FaultInjector",
     "FaultPlan",
+    "NET_FAULT_KINDS",
+    "WirePlan",
     "LateBurst",
     "OverloadBurst",
     "PhaseGlitch",
     "ReaderOutage",
     "chaos_plan",
+    "corrupt_file",
     "fault_active",
     "fault_kind",
     "fix_window_s",

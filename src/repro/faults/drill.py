@@ -1,0 +1,759 @@
+"""Fleet chaos drills: six fault families vs. the serve self-healing.
+
+Each drill builds a real fleet — registry, supervisor, TCP ingest —
+injects exactly one fault family through :mod:`repro.faults.net` (or
+the supervisor's own chaos hooks), and measures the stack's recovery:
+
+``partition``
+    A :class:`~repro.faults.net.ChaosProxy` between publisher and
+    server is partitioned mid-session and healed; the publisher's
+    reconnect/backoff loop must carry every read across, while a
+    bystander deployment on a direct connection streams undisturbed.
+``slow_loris``
+    A trickled connection stalls byte delivery past the server's
+    socket timeout; the server must shed the slow peer (typed error or
+    reset, never a stuck handler), and the publisher's retry must
+    complete on a clean connection.
+``frame_corruption``
+    Wire bytes are flipped en route; every damaged frame must come
+    back as a typed protocol error and the resend must succeed once
+    the corruption budget self-clears.
+``checkpoint_corruption``
+    The newest on-disk checkpoint is bit-flipped and the shard killed;
+    the restart must quarantine the corrupt file (``.corrupt``
+    sibling, never deleted) and restore from the lineage ancestor.
+``shard_hang``
+    A shard is wedged (live thread, frozen heartbeat); the
+    :class:`~repro.serve.watchdog.ShardWatchdog` must declare the hang
+    and recycle the shard through the restart budget.
+``overload``
+    A briefly-stalled worker backs the ingress queue up past the shed
+    watermark; admission control must answer ``backpressure`` acks and
+    the publisher must wait-and-resend with **zero** dropped reads.
+
+Every drill gates on the same invariants: recovery within
+``DrillConfig.recovery_deadline_s`` (the MTTR it reports), zero read
+loss on the publisher path, fixes flowing after the fault, and zero
+cross-deployment provenance leakage.  ``scripts/chaos_fleet.py`` runs
+the families and writes the ``BENCH_chaos.json`` scorecard; see
+``docs/RUNBOOK.md`` for the operator view of each failure.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import SourceUnavailableError
+from repro.faults.net import ChaosProxy, WirePlan, corrupt_file
+from repro.serve.publisher import ReadPublisher
+from repro.serve.registry import DeploymentRegistry, DeploymentSpec, default_fleet
+from repro.serve.server import IngestServer
+from repro.serve.shard import checkpoint_history_paths
+from repro.serve.supervisor import ShardSupervisor
+from repro.sim.environments import hall_scene, laboratory_scene, library_scene
+from repro.stream.checkpoint import QUARANTINE_SUFFIX
+from repro.stream.events import TagRead
+from repro.stream.supervise import RetryPolicy
+from repro.stream.synthetic import SyntheticStreamConfig, synthetic_reads
+
+_SCENES = {
+    "library": library_scene,
+    "laboratory": laboratory_scene,
+    "hall": hall_scene,
+}
+
+#: Retry schedule the drills give their publishers: tight, jittered,
+#: and deep enough to ride out every injected outage window.
+DRILL_POLICY = RetryPolicy(
+    max_retries=60,
+    base_delay_s=0.05,
+    multiplier=1.3,
+    max_delay_s=0.4,
+    jitter=0.25,
+)
+
+
+def deployment_reads(spec: DeploymentSpec, fixes: int) -> List[TagRead]:
+    """The synthetic read stream one deployment's readers would emit."""
+    scene = _SCENES[spec.environment](
+        rng=spec.seed,
+        num_tags=spec.num_tags,
+        num_antennas=spec.num_antennas,
+        num_readers=spec.num_readers,
+    )
+    return list(
+        synthetic_reads(
+            scene, SyntheticStreamConfig(fixes=fixes), rng=spec.seed + 3
+        )
+    )
+
+
+def check_leakage(
+    supervisor: ShardSupervisor, registry: DeploymentRegistry
+) -> Dict[str, Any]:
+    """Every fix's provenance must stay inside its deployment's roster."""
+    checked = 0
+    violations: List[str] = []
+    for deployment_id in registry.deployment_ids():
+        roster = set(registry.spec(deployment_id).reader_names)
+        for record in supervisor.shard(deployment_id).fix_records():
+            checked += 1
+            named = {
+                reader["name"]
+                for reader in record.get("provenance", {}).get("readers", [])
+            }
+            foreign = named - roster
+            if foreign:
+                violations.append(
+                    f"{deployment_id} fix {record['index']} names "
+                    f"foreign readers {sorted(foreign)}"
+                )
+    return {"checked_fixes": checked, "violations": violations}
+
+
+def wait_until(
+    predicate: Callable[[], bool], deadline_s: float, poll_s: float = 0.05
+) -> bool:
+    """Poll ``predicate`` until true or ``deadline_s`` elapses."""
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(poll_s)
+    return predicate()
+
+
+@dataclass(frozen=True)
+class DrillConfig:
+    """Knobs shared by every drill family.
+
+    ``fixes`` scales the per-deployment workload; the deadlines bound
+    how long a family may take to detect + recover before the drill
+    fails.  Everything downstream (wire plans, stall windows, shed
+    watermarks) derives from ``seed`` so a drill replays.
+    """
+
+    seed: int = 11
+    fixes: int = 3
+    workers: str = "thread"
+    batch_size: int = 64
+    recovery_deadline_s: float = 30.0
+    hang_after_s: float = 1.0
+    publisher_timeout_s: float = 15.0
+
+
+@dataclass
+class DrillResult:
+    """One family's scorecard, as it lands in ``BENCH_chaos.json``."""
+
+    family: str
+    passed: bool
+    recovered: bool
+    mttr_s: float
+    failures: List[str] = field(default_factory=list)
+    details: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "family": self.family,
+            "passed": self.passed,
+            "recovered": self.recovered,
+            "mttr_s": self.mttr_s,
+            "failures": list(self.failures),
+            "details": dict(self.details),
+        }
+
+
+@dataclass
+class Fleet:
+    """One drill's live stack; :meth:`shutdown` is idempotent."""
+
+    registry: DeploymentRegistry
+    specs: List[DeploymentSpec]
+    supervisor: ShardSupervisor
+    ingest: IngestServer
+    checkpoint_dir: Path
+    _closed: bool = False
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.ingest.host, self.ingest.port
+
+    def shutdown(self) -> None:
+        """Stop ingest then drain every shard (safe to call twice)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.ingest.stop()
+        self.supervisor.stop(drain=True)
+
+
+@contextmanager
+def drill_fleet(
+    config: DrillConfig,
+    deployments: int = 1,
+    ingest_timeout_s: float = 10.0,
+    **supervisor_kwargs: Any,
+) -> Iterator[Fleet]:
+    """A started fleet with TCP ingest, torn down (drained) on exit."""
+    registry = DeploymentRegistry()
+    specs = default_fleet(
+        deployments, seed=config.seed, num_tags=3, num_antennas=3
+    )
+    for spec in specs:
+        registry.register(spec)
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as tmp:
+        supervisor = ShardSupervisor(
+            registry,
+            checkpoint_dir=Path(tmp) / "checkpoints",
+            workers=config.workers,
+            **supervisor_kwargs,
+        )
+        supervisor.start()
+        ingest = IngestServer(supervisor, timeout_s=ingest_timeout_s)
+        ingest.start()
+        fleet = Fleet(
+            registry=registry,
+            specs=specs,
+            supervisor=supervisor,
+            ingest=ingest,
+            checkpoint_dir=Path(tmp) / "checkpoints",
+        )
+        try:
+            yield fleet
+        finally:
+            fleet.shutdown()
+
+
+def _publisher(
+    address: Tuple[str, int],
+    spec: DeploymentSpec,
+    config: DrillConfig,
+    **kwargs: Any,
+) -> ReadPublisher:
+    return ReadPublisher(
+        address[0],
+        address[1],
+        spec.deployment_id,
+        spec.reader_names,
+        policy=DRILL_POLICY,
+        timeout_s=config.publisher_timeout_s,
+        **kwargs,
+    )
+
+
+def _publish_all(
+    address: Tuple[str, int],
+    spec: DeploymentSpec,
+    reads: Sequence[TagRead],
+    config: DrillConfig,
+    out: Dict[str, Any],
+) -> None:
+    """Thread target: ship one deployment's reads, record the verdicts."""
+    publisher = _publisher(address, spec, config)
+    try:
+        # publish() dials (and redials) itself, so a fault that lands
+        # on the very first handshake still goes through the retries.
+        accepted, dropped = publisher.publish(
+            reads, batch_size=config.batch_size
+        )
+        out["accepted"] = accepted
+        out["dropped"] = dropped
+    except (SourceUnavailableError, OSError, ValueError) as exc:
+        out["error"] = f"{type(exc).__name__}: {exc}"
+    finally:
+        publisher.close()
+
+
+def _settle_and_audit(
+    fleet: Fleet,
+    result: DrillResult,
+    expected_reads: Dict[str, int],
+    per_deployment: Dict[str, Dict[str, Any]],
+) -> None:
+    """The shared gates: zero loss, fixes flowing, zero leakage."""
+    wait_until(
+        lambda: all(
+            fleet.supervisor.fixes_emitted(deployment_id) >= 1
+            for deployment_id in expected_reads
+        ),
+        60.0,
+    )
+    fleet.shutdown()
+    for deployment_id, total in sorted(expected_reads.items()):
+        out = per_deployment.get(deployment_id, {})
+        if "error" in out:
+            result.failures.append(
+                f"{deployment_id}: publisher failed: {out['error']}"
+            )
+            continue
+        if out.get("accepted", 0) != total:
+            result.failures.append(
+                f"{deployment_id}: accepted {out.get('accepted', 0)} of "
+                f"{total} reads"
+            )
+        if out.get("dropped", 0) != 0:
+            result.failures.append(
+                f"{deployment_id}: dropped {out.get('dropped')} reads"
+            )
+        if fleet.supervisor.fixes_emitted(deployment_id) < 1:
+            result.failures.append(f"{deployment_id}: no fixes after drain")
+    leakage = check_leakage(fleet.supervisor, fleet.registry)
+    result.failures.extend(leakage["violations"])
+    result.details["leakage"] = {
+        "checked_fixes": leakage["checked_fixes"],
+        "violations": len(leakage["violations"]),
+    }
+    result.details["per_deployment"] = {
+        deployment_id: dict(per_deployment.get(deployment_id, {}))
+        for deployment_id in sorted(expected_reads)
+    }
+
+
+# -- the families ----------------------------------------------------------
+
+
+def drill_partition(config: DrillConfig) -> DrillResult:
+    """Partition mid-session, heal, and require a zero-loss resume."""
+    result = DrillResult("partition", False, False, 0.0)
+    heal_after_s = 0.5
+    with drill_fleet(config, deployments=2) as fleet:
+        victim, bystander = fleet.specs[0], fleet.specs[1]
+        reads = {
+            spec.deployment_id: deployment_reads(spec, config.fixes)
+            for spec in fleet.specs
+        }
+        outs: Dict[str, Dict[str, Any]] = {
+            spec.deployment_id: {} for spec in fleet.specs
+        }
+        with ChaosProxy(fleet.address, WirePlan(seed=config.seed)) as proxy:
+            healed_at = {"t": 0.0}
+
+            def _heal() -> None:
+                time.sleep(heal_after_s)
+                proxy.heal()
+                healed_at["t"] = time.monotonic()
+
+            # The victim connects while healthy; the partition then
+            # cuts a *live* session, the worst case for the publisher.
+            victim_pub = _publisher(proxy.address, victim, config)
+            victim_pub.connect()
+            proxy.partition()
+            healer = threading.Thread(
+                target=_heal, name="drill-healer", daemon=True
+            )
+            bystander_thread = threading.Thread(
+                target=_publish_all,
+                args=(
+                    fleet.address,
+                    bystander,
+                    reads[bystander.deployment_id],
+                    config,
+                    outs[bystander.deployment_id],
+                ),
+                name="drill-bystander",
+                daemon=True,
+            )
+            healer.start()
+            bystander_thread.start()
+            victim_out = outs[victim.deployment_id]
+            try:
+                accepted, dropped = victim_pub.publish(
+                    reads[victim.deployment_id], batch_size=config.batch_size
+                )
+                victim_out["accepted"] = accepted
+                victim_out["dropped"] = dropped
+            except (SourceUnavailableError, OSError, ValueError) as exc:
+                victim_out["error"] = f"{type(exc).__name__}: {exc}"
+            finally:
+                victim_pub.close()
+            finished = time.monotonic()
+            healer.join()
+            bystander_thread.join()
+            result.details["proxy"] = proxy.stats()
+        result.mttr_s = max(0.0, finished - healed_at["t"])
+        result.recovered = (
+            "error" not in victim_out
+            and result.mttr_s <= config.recovery_deadline_s
+        )
+        if not result.recovered:
+            result.failures.append(
+                f"victim did not recover within "
+                f"{config.recovery_deadline_s}s of the heal"
+            )
+        expected = {
+            deployment_id: len(batch) for deployment_id, batch in reads.items()
+        }
+        _settle_and_audit(fleet, result, expected, outs)
+    result.passed = not result.failures
+    return result
+
+
+def drill_slow_loris(config: DrillConfig) -> DrillResult:
+    """Trickle bytes past the server timeout; a bystander must not care."""
+    result = DrillResult("slow_loris", False, False, 0.0)
+    server_timeout_s = 0.3
+    plan = WirePlan(
+        seed=config.seed,
+        trickle_chunk_bytes=512,
+        trickle_delay_s=2 * server_timeout_s,
+        trickle_limit=1,
+    )
+    with drill_fleet(
+        config, deployments=2, ingest_timeout_s=server_timeout_s
+    ) as fleet:
+        victim, bystander = fleet.specs[0], fleet.specs[1]
+        reads = {
+            spec.deployment_id: deployment_reads(spec, config.fixes)
+            for spec in fleet.specs
+        }
+        outs: Dict[str, Dict[str, Any]] = {
+            spec.deployment_id: {} for spec in fleet.specs
+        }
+        with ChaosProxy(fleet.address, plan) as proxy:
+            started = time.monotonic()
+            threads = []
+            for address, spec in (
+                (proxy.address, victim),
+                (fleet.address, bystander),
+            ):
+                thread = threading.Thread(
+                    target=_publish_all,
+                    args=(
+                        address,
+                        spec,
+                        reads[spec.deployment_id],
+                        config,
+                        outs[spec.deployment_id],
+                    ),
+                    name=f"drill-loris-{spec.deployment_id}",
+                    daemon=True,
+                )
+                threads.append(thread)
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            result.mttr_s = time.monotonic() - started
+            result.details["proxy"] = proxy.stats()
+        if proxy.stats()["trickled_connections"] < 1:
+            result.failures.append("the slow-loris was never injected")
+        result.recovered = (
+            "error" not in outs[victim.deployment_id]
+            and result.mttr_s <= config.recovery_deadline_s
+        )
+        if not result.recovered:
+            result.failures.append(
+                "trickled publisher did not complete within "
+                f"{config.recovery_deadline_s}s"
+            )
+        expected = {
+            deployment_id: len(batch) for deployment_id, batch in reads.items()
+        }
+        _settle_and_audit(fleet, result, expected, outs)
+    result.passed = not result.failures
+    return result
+
+
+def drill_frame_corruption(config: DrillConfig) -> DrillResult:
+    """Flip wire bytes; typed errors + resends must carry every read."""
+    result = DrillResult("frame_corruption", False, False, 0.0)
+    plan = WirePlan(seed=config.seed, corrupt_probability=1.0, corrupt_limit=2)
+    with drill_fleet(config, deployments=1, ingest_timeout_s=2.0) as fleet:
+        spec = fleet.specs[0]
+        reads = deployment_reads(spec, config.fixes)
+        out: Dict[str, Any] = {}
+        with ChaosProxy(fleet.address, plan) as proxy:
+            started = time.monotonic()
+            _publish_all(proxy.address, spec, reads, config, out)
+            result.mttr_s = time.monotonic() - started
+            result.details["proxy"] = proxy.stats()
+        if result.details["proxy"]["corruptions"] < 1:
+            result.failures.append("no corruption was ever injected")
+        result.recovered = (
+            "error" not in out and result.mttr_s <= config.recovery_deadline_s
+        )
+        if not result.recovered:
+            result.failures.append(
+                "publisher did not survive wire corruption within "
+                f"{config.recovery_deadline_s}s"
+            )
+        _settle_and_audit(
+            fleet,
+            result,
+            {spec.deployment_id: len(reads)},
+            {spec.deployment_id: out},
+        )
+    result.passed = not result.failures
+    return result
+
+
+def drill_checkpoint_corruption(config: DrillConfig) -> DrillResult:
+    """Corrupt the newest checkpoint; restart must walk the lineage."""
+    result = DrillResult("checkpoint_corruption", False, False, 0.0)
+    with drill_fleet(config, deployments=1, history_keep=3) as fleet:
+        spec = fleet.specs[0]
+        deployment_id = spec.deployment_id
+        reads = deployment_reads(spec, config.fixes)
+        third = max(1, len(reads) // 3)
+        out: Dict[str, Any] = {"accepted": 0, "dropped": 0}
+        ancestor_id: Optional[str] = None
+        latest_id: Optional[str] = None
+
+        def _ship(batch: Sequence[TagRead], publisher: ReadPublisher) -> None:
+            accepted, dropped = publisher.publish(
+                batch, batch_size=config.batch_size
+            )
+            out["accepted"] += accepted
+            out["dropped"] += dropped
+
+        publisher = _publisher(fleet.address, spec, config)
+        try:
+            _ship(reads[:third], publisher)
+            ancestor_id = fleet.supervisor.checkpoint(deployment_id)
+            _ship(reads[third : 2 * third], publisher)
+            latest_id = fleet.supervisor.checkpoint(deployment_id)
+            latest_path = fleet.supervisor.checkpoint_path(deployment_id)
+            assert latest_path is not None
+            corrupt_file(latest_path, mode="flip", seed=config.seed)
+            fault_at = time.monotonic()
+            fleet.supervisor.kill(deployment_id)
+            # The next routed batch restarts the shard inline; the
+            # restore must quarantine the flipped file and chain
+            # through the ancestor.
+            _ship(reads[2 * third :], publisher)
+            recovered_at = time.monotonic()
+        except (SourceUnavailableError, OSError, ValueError) as exc:
+            out["error"] = f"{type(exc).__name__}: {exc}"
+            fault_at = recovered_at = time.monotonic()
+        finally:
+            publisher.close()
+        result.mttr_s = recovered_at - fault_at
+        specimens = sorted(
+            str(path.name)
+            for path in fleet.checkpoint_dir.glob(f"*{QUARANTINE_SUFFIX}*")
+        )
+        result.details["quarantined"] = specimens
+        result.details["ancestor_checkpoint"] = ancestor_id
+        result.details["corrupted_checkpoint"] = latest_id
+        if not specimens:
+            result.failures.append(
+                "the corrupt checkpoint was not quarantined"
+            )
+        latest_path = fleet.supervisor.checkpoint_path(deployment_id)
+        if latest_path is not None and not checkpoint_history_paths(
+            latest_path
+        ):
+            result.failures.append("no checkpoint survived the recovery")
+        result.recovered = (
+            "error" not in out and result.mttr_s <= config.recovery_deadline_s
+        )
+        if not result.recovered:
+            result.failures.append(
+                "shard did not restore from the lineage within "
+                f"{config.recovery_deadline_s}s"
+            )
+        _settle_and_audit(
+            fleet,
+            result,
+            {deployment_id: len(reads)},
+            {deployment_id: out},
+        )
+        records = fleet.supervisor.shard(deployment_id).fix_records()
+        lineages = [
+            record.get("provenance", {}).get("checkpoint_lineage", [])
+            for record in records
+        ]
+        if not any(ancestor_id in lineage for lineage in lineages):
+            result.failures.append(
+                "restored fixes do not chain the ancestor checkpoint "
+                f"{ancestor_id}"
+            )
+        restarts = fleet.supervisor.health_document()["deployments"][
+            deployment_id
+        ]["restarts"]
+        result.details["restarts"] = restarts
+        if restarts < 1:
+            result.failures.append("shard was never restarted")
+    result.passed = not result.failures
+    return result
+
+
+def drill_shard_hang(config: DrillConfig) -> DrillResult:
+    """Wedge a live shard; the watchdog must declare and recycle it."""
+    result = DrillResult("shard_hang", False, False, 0.0)
+    with drill_fleet(
+        config, deployments=1, hang_after_s=config.hang_after_s
+    ) as fleet:
+        spec = fleet.specs[0]
+        deployment_id = spec.deployment_id
+        reads = deployment_reads(spec, config.fixes)
+        half = len(reads) // 2
+        out: Dict[str, Any] = {"accepted": 0, "dropped": 0}
+        publisher = _publisher(fleet.address, spec, config)
+        try:
+            accepted, dropped = publisher.publish(
+                reads[:half], batch_size=config.batch_size
+            )
+            out["accepted"] += accepted
+            out["dropped"] += dropped
+            checkpoint_id = fleet.supervisor.checkpoint(deployment_id)
+            result.details["checkpoint_id"] = checkpoint_id
+            # Wedge far past the liveness deadline: only the watchdog
+            # can end this, not the stall expiring on its own.
+            fleet.supervisor.stall(deployment_id, 60.0)
+            fault_at = time.monotonic()
+            time.sleep(min(2 * config.hang_after_s, 2.0))
+            shard = fleet.supervisor.shard(deployment_id)
+            result.details["state_during_stall"] = shard.state
+            result.details["failure_during_stall"] = shard.failure
+            if shard.state == "failed":
+                result.failures.append(
+                    "stalled shard crashed instead of hanging; the drill "
+                    "did not exercise hang detection"
+                )
+            watchdog = fleet.supervisor.watchdog
+            assert watchdog is not None
+            recycled = wait_until(
+                lambda: watchdog.restarts_triggered >= 1
+                and fleet.supervisor.shard(deployment_id).state == "live",
+                config.recovery_deadline_s,
+            )
+            recovered_at = time.monotonic()
+            result.details["hangs_declared"] = watchdog.hangs_declared
+            result.details["watchdog_restarts"] = watchdog.restarts_triggered
+            if not recycled:
+                result.failures.append(
+                    "watchdog did not recycle the hung shard within "
+                    f"{config.recovery_deadline_s}s"
+                )
+            accepted, dropped = publisher.publish(
+                reads[half:], batch_size=config.batch_size
+            )
+            out["accepted"] += accepted
+            out["dropped"] += dropped
+            result.recovered = recycled
+            result.mttr_s = recovered_at - fault_at
+        except (SourceUnavailableError, OSError, ValueError) as exc:
+            out["error"] = f"{type(exc).__name__}: {exc}"
+            result.mttr_s = config.recovery_deadline_s
+        finally:
+            publisher.close()
+        _settle_and_audit(
+            fleet,
+            result,
+            {deployment_id: len(reads)},
+            {deployment_id: out},
+        )
+        records = fleet.supervisor.shard(deployment_id).fix_records()
+        lineages = [
+            record.get("provenance", {}).get("checkpoint_lineage", [])
+            for record in records
+        ]
+        if not any(
+            result.details.get("checkpoint_id") in lineage
+            for lineage in lineages
+        ):
+            result.failures.append(
+                "post-recycle fixes do not chain the pre-hang checkpoint"
+            )
+    result.passed = not result.failures
+    return result
+
+
+def drill_overload(config: DrillConfig) -> DrillResult:
+    """Back the queue up past the watermark; demand zero-loss shedding."""
+    result = DrillResult("overload", False, False, 0.0)
+    stall_s = 0.8
+    overload = DrillConfig(
+        seed=config.seed,
+        fixes=config.fixes,
+        # Admission control is a thread-shard feature; a process
+        # shard's synchronous pipe *is* its backpressure.
+        workers="thread",
+        batch_size=16,
+        recovery_deadline_s=config.recovery_deadline_s,
+        publisher_timeout_s=config.publisher_timeout_s,
+    )
+    with drill_fleet(
+        overload,
+        deployments=1,
+        ingress_capacity=96,
+        shed_watermark=0.4,
+        shed_retry_after_s=0.05,
+    ) as fleet:
+        spec = fleet.specs[0]
+        deployment_id = spec.deployment_id
+        reads = deployment_reads(spec, overload.fixes)
+        out: Dict[str, Any] = {}
+        publisher = _publisher(
+            fleet.address, spec, overload, max_backpressure_waits=1000
+        )
+        try:
+            publisher.connect()
+            fleet.supervisor.stall(deployment_id, stall_s)
+            fault_at = time.monotonic()
+            accepted, dropped = publisher.publish(
+                reads, batch_size=overload.batch_size
+            )
+            out["accepted"] = accepted
+            out["dropped"] = dropped
+            result.mttr_s = time.monotonic() - fault_at
+        except (SourceUnavailableError, OSError, ValueError) as exc:
+            out["error"] = f"{type(exc).__name__}: {exc}"
+            result.mttr_s = overload.recovery_deadline_s
+        finally:
+            publisher.close()
+        result.details["backpressure_waits"] = publisher.backpressure_waits
+        if publisher.backpressure_waits < 1:
+            result.failures.append(
+                "the queue never shed; the overload was not induced"
+            )
+        result.recovered = (
+            "error" not in out
+            and result.mttr_s <= overload.recovery_deadline_s
+        )
+        if not result.recovered:
+            result.failures.append(
+                "publisher did not drain the overload within "
+                f"{overload.recovery_deadline_s}s"
+            )
+        _settle_and_audit(
+            fleet,
+            result,
+            {deployment_id: len(reads)},
+            {deployment_id: out},
+        )
+    result.passed = not result.failures
+    return result
+
+
+#: The drill families ``scripts/chaos_fleet.py`` runs, in order.
+DRILL_FAMILIES: Dict[str, Callable[[DrillConfig], DrillResult]] = {
+    "partition": drill_partition,
+    "slow_loris": drill_slow_loris,
+    "frame_corruption": drill_frame_corruption,
+    "checkpoint_corruption": drill_checkpoint_corruption,
+    "shard_hang": drill_shard_hang,
+    "overload": drill_overload,
+}
+
+
+def run_drills(
+    config: DrillConfig, families: Optional[Sequence[str]] = None
+) -> List[DrillResult]:
+    """Run the requested families (all of them by default), in order."""
+    chosen = list(DRILL_FAMILIES) if families is None else list(families)
+    unknown = [name for name in chosen if name not in DRILL_FAMILIES]
+    if unknown:
+        raise KeyError(
+            f"unknown drill families {unknown}; "
+            f"pick from {sorted(DRILL_FAMILIES)}"
+        )
+    return [DRILL_FAMILIES[name](config) for name in chosen]

@@ -1,0 +1,520 @@
+"""Network and disk fault injection for the serving stack.
+
+:mod:`repro.faults` so far injects faults *inside* the read stream —
+outages, glitches, misreads.  This module injects them *under* it, at
+the two places a deployed fleet actually breaks: the TCP path between
+:class:`~repro.serve.publisher.ReadPublisher` and
+:class:`~repro.serve.server.IngestServer`, and the checkpoint files on
+disk.
+
+* :class:`ChaosProxy` — a toxiproxy-style TCP man-in-the-middle.
+  Publishers dial the proxy instead of the server; the proxy forwards
+  byte streams while injecting the :class:`WirePlan`'s faults on the
+  client→server direction: connection resets after N frames, full
+  partitions (every connection refused and killed until healed),
+  slow-loris byte trickling, and frame corruption/truncation on the
+  wire.  Every fault is deterministic for a fixed plan: randomness
+  comes from the plan's seed via per-connection derived streams, and
+  budgets (``corrupt_limit``, ``trickle_limit``) make a plan
+  *self-clearing* so drills can measure recovery, not just damage.
+* :func:`corrupt_file` — seedable on-disk corruption (bit flips,
+  truncation, garbage) for checkpoint-lineage drills.
+
+The proxy is intentionally byte-oriented, not frame-oriented: it
+counts frames only by newline terminators and corrupts raw chunks, so
+the *server's* typed-error discipline is what is under test, not a
+replica of the parser inside the proxy.
+
+Determinism caveat: fault *decisions* are seeded per connection, but
+chunk boundaries depend on TCP timing, so which byte of which frame a
+flip lands on varies run to run.  What is pinned is the contract the
+drills assert — every corruption yields a typed protocol error and a
+publisher retry, never a hang or a silent mis-ingest.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro import obs
+from repro.analysis.sanitizer import sanitized_lock
+from repro.errors import ConfigurationError
+from repro.utils.rng import derive_stream, ensure_rng
+
+PathLike = Union[str, Path]
+
+#: The wire-level fault kinds a :class:`ChaosProxy` can inject, as they
+#: appear in the ``faults.injected{kind}`` metric and in proxy stats.
+NET_FAULT_KINDS: Tuple[str, ...] = (
+    "reset",
+    "partition",
+    "trickle",
+    "corrupt",
+    "truncate",
+)
+
+#: The on-disk corruption modes :func:`corrupt_file` implements.
+FILE_FAULT_MODES: Tuple[str, ...] = ("flip", "truncate", "garbage")
+
+
+@dataclass(frozen=True)
+class WirePlan:
+    """Declarative wire faults for one :class:`ChaosProxy`.
+
+    Parameters
+    ----------
+    seed:
+        Root of every random draw; per-connection streams derive from
+        it so plans replay deterministically.
+    reset_after_frames:
+        RST each connection after forwarding this many client frames
+        (``None`` disables).  Models the flaky switch that drops
+        sessions mid-stream.
+    corrupt_probability:
+        Per-chunk probability of flipping one byte on the way to the
+        server.
+    truncate_probability:
+        Per-chunk probability of forwarding only a prefix of the chunk
+        and then resetting the connection — the wire version of a
+        crashed writer.
+    corrupt_limit:
+        Shared budget for corruption *and* truncation events; once
+        spent the plan stops damaging bytes (``None`` = unlimited).
+        A finite budget is what lets a drill measure time-to-recovery.
+    trickle_chunk_bytes:
+        When set, client bytes are forwarded in chunks of this size
+        with ``trickle_delay_s`` pauses — the slow-loris.  The
+        receiving server's socket timeout is the defense under test.
+    trickle_delay_s:
+        Pause between trickled chunks.
+    trickle_limit:
+        How many connections get the slow-loris treatment before the
+        plan self-clears (``None`` = all of them).
+    """
+
+    seed: int = 0
+    reset_after_frames: Optional[int] = None
+    corrupt_probability: float = 0.0
+    truncate_probability: float = 0.0
+    corrupt_limit: Optional[int] = None
+    trickle_chunk_bytes: Optional[int] = None
+    trickle_delay_s: float = 0.01
+    trickle_limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.reset_after_frames is not None and self.reset_after_frames < 1:
+            raise ConfigurationError(
+                "reset_after_frames must be at least 1 when set"
+            )
+        for name in ("corrupt_probability", "truncate_probability"):
+            value = float(getattr(self, name))
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be within [0, 1], got {value!r}"
+                )
+        if self.corrupt_limit is not None and self.corrupt_limit < 0:
+            raise ConfigurationError("corrupt_limit must be non-negative")
+        if (
+            self.trickle_chunk_bytes is not None
+            and self.trickle_chunk_bytes < 1
+        ):
+            raise ConfigurationError(
+                "trickle_chunk_bytes must be at least 1 when set"
+            )
+        if self.trickle_delay_s < 0.0:
+            raise ConfigurationError("trickle_delay_s must be non-negative")
+        if self.trickle_limit is not None and self.trickle_limit < 0:
+            raise ConfigurationError("trickle_limit must be non-negative")
+
+
+def _rst_close(sock: socket.socket) -> None:
+    """Close a socket with an RST instead of a graceful FIN.
+
+    ``SO_LINGER`` with a zero timeout makes the close abortive — the
+    peer sees ``ECONNRESET``, exactly what a yanked cable or a rebooted
+    middlebox produces.
+    """
+    try:
+        sock.setsockopt(
+            socket.SOL_SOCKET,
+            socket.SO_LINGER,
+            struct.pack("ii", 1, 0),
+        )
+    except OSError:  # reprolint: disable=RL006
+        # Already dead; the close below is then a no-op anyway.
+        pass
+    try:
+        sock.close()
+    except OSError:  # reprolint: disable=RL006
+        pass
+
+
+class ChaosProxy:
+    """A fault-injecting TCP relay in front of an ingest server.
+
+    Parameters
+    ----------
+    upstream:
+        ``(host, port)`` of the real server.
+    plan:
+        The wire faults to inject (an empty plan is a pure relay).
+    host, port:
+        Where to listen; port ``0`` picks an ephemeral one (read
+        :attr:`port` after :meth:`start`).
+
+    Beyond the plan's static faults, :meth:`partition` /
+    :meth:`heal` toggle a full network partition at runtime: existing
+    connections are reset and new ones refused until healed.
+    """
+
+    def __init__(
+        self,
+        upstream: Tuple[str, int],
+        plan: WirePlan = WirePlan(),
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.upstream = upstream
+        self.plan = plan
+        self.host = host
+        self.requested_port = port
+        self._root_rng = ensure_rng(plan.seed)
+        self._lock = sanitized_lock("faults.net.proxy")
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._threads: List[threading.Thread] = []
+        self._conns: List[socket.socket] = []
+        self._stopping = False
+        self._partitioned = False
+        self._conn_index = 0
+        self._corrupt_budget = plan.corrupt_limit
+        self._trickle_budget = plan.trickle_limit
+        self._stats: Dict[str, int] = {
+            "connections": 0,
+            "frames_forwarded": 0,
+            "bytes_forwarded": 0,
+            "resets": 0,
+            "corruptions": 0,
+            "truncations": 0,
+            "trickled_connections": 0,
+            "partition_refusals": 0,
+        }
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        """The actually bound listen port."""
+        with self._lock:
+            listener = self._listener
+        if listener is None:
+            return self.requested_port
+        return int(listener.getsockname()[1])
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """``(host, port)`` publishers should dial instead of the server."""
+        return self.host, self.port
+
+    def start(self) -> "ChaosProxy":
+        """Bind and start relaying; returns self."""
+        with self._lock:
+            if self._listener is not None:
+                raise ConfigurationError("chaos proxy is already running")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self.host, self.requested_port))
+        listener.listen(16)
+        listener.settimeout(0.2)
+        thread = threading.Thread(
+            target=self._accept_loop,
+            name="repro-chaos-proxy",
+            daemon=True,
+        )
+        with self._lock:
+            self._listener = listener
+            self._accept_thread = thread
+            self._stopping = False
+        thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Reset every connection, close the listener, join all threads."""
+        with self._lock:
+            self._stopping = True
+            listener = self._listener
+            self._listener = None
+            accept_thread = self._accept_thread
+            self._accept_thread = None
+            conns = list(self._conns)
+            self._conns.clear()
+            threads = list(self._threads)
+            self._threads.clear()
+        for conn in conns:
+            _rst_close(conn)
+        if listener is not None:
+            try:
+                listener.close()
+            except OSError:  # reprolint: disable=RL006
+                pass
+        if accept_thread is not None:
+            accept_thread.join(timeout=5.0)
+        for thread in threads:
+            thread.join(timeout=5.0)
+
+    # -- runtime faults ----------------------------------------------------
+
+    def partition(self) -> None:
+        """Cut the network: reset live connections, refuse new ones."""
+        with self._lock:
+            self._partitioned = True
+            conns = list(self._conns)
+            self._conns.clear()
+        for conn in conns:
+            _rst_close(conn)
+        self._note("partition")
+
+    def heal(self) -> None:
+        """End the partition; new connections relay normally again."""
+        with self._lock:
+            self._partitioned = False
+
+    @property
+    def partitioned(self) -> bool:
+        with self._lock:
+            return self._partitioned
+
+    def stats(self) -> Dict[str, int]:
+        """A snapshot of the proxy's fault and forwarding counters."""
+        with self._lock:
+            return dict(self._stats)
+
+    # -- relay machinery ---------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while True:
+            with self._lock:
+                listener = self._listener
+                if self._stopping or listener is None:
+                    return
+            try:
+                client, _ = listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed under us: stop() is running
+            if self.partitioned:
+                with self._lock:
+                    self._stats["partition_refusals"] += 1
+                self._note("partition")
+                _rst_close(client)
+                continue
+            self._start_relay(client)
+
+    def _start_relay(self, client: socket.socket) -> None:
+        try:
+            upstream = socket.create_connection(self.upstream, timeout=10.0)
+        except OSError:
+            _rst_close(client)
+            return
+        with self._lock:
+            self._conn_index += 1
+            conn_index = self._conn_index
+            self._stats["connections"] += 1
+            trickle = False
+            if self.plan.trickle_chunk_bytes is not None:
+                if self._trickle_budget is None:
+                    trickle = True
+                elif self._trickle_budget > 0:
+                    self._trickle_budget -= 1
+                    trickle = True
+            if trickle:
+                self._stats["trickled_connections"] += 1
+            self._conns.extend([client, upstream])
+        rng = derive_stream(self._root_rng, conn_index)
+        forward = threading.Thread(
+            target=self._pump_faulty,
+            args=(client, upstream, rng, trickle),
+            name=f"repro-chaos-fwd-{conn_index}",
+            daemon=True,
+        )
+        backward = threading.Thread(
+            target=self._pump_clean,
+            args=(upstream, client),
+            name=f"repro-chaos-bwd-{conn_index}",
+            daemon=True,
+        )
+        self._register_pump(forward)
+        self._register_pump(backward)
+        if trickle:
+            self._note("trickle")
+        forward.start()
+        backward.start()
+
+    def _register_pump(self, pump: threading.Thread) -> None:
+        """Track a pump thread so ``stop()`` can join it."""
+        with self._lock:
+            self._threads.append(pump)
+
+    def _pump_faulty(
+        self,
+        client: socket.socket,
+        upstream: socket.socket,
+        rng: np.random.Generator,
+        trickle: bool,
+    ) -> None:
+        """client → server direction; where the plan's faults land."""
+        frames = 0
+        try:
+            while True:
+                chunk = client.recv(4096)
+                if not chunk:
+                    break
+                plan = self.plan
+                if (
+                    plan.reset_after_frames is not None
+                    and frames >= plan.reset_after_frames
+                ):
+                    with self._lock:
+                        self._stats["resets"] += 1
+                    self._note("reset")
+                    _rst_close(client)
+                    _rst_close(upstream)
+                    return
+                if self._spend_corruption(rng, plan.truncate_probability):
+                    with self._lock:
+                        self._stats["truncations"] += 1
+                    self._note("truncate")
+                    upstream.sendall(chunk[: max(1, len(chunk) // 2)])
+                    _rst_close(client)
+                    _rst_close(upstream)
+                    return
+                if self._spend_corruption(rng, plan.corrupt_probability):
+                    with self._lock:
+                        self._stats["corruptions"] += 1
+                    self._note("corrupt")
+                    damaged = bytearray(chunk)
+                    position = int(rng.integers(0, len(damaged)))
+                    damaged[position] ^= 0xFF
+                    chunk = bytes(damaged)
+                frames += chunk.count(b"\n")
+                if trickle and plan.trickle_chunk_bytes is not None:
+                    step = plan.trickle_chunk_bytes
+                    for start in range(0, len(chunk), step):
+                        upstream.sendall(chunk[start : start + step])
+                        time.sleep(plan.trickle_delay_s)
+                else:
+                    upstream.sendall(chunk)
+                with self._lock:
+                    self._stats["frames_forwarded"] = (
+                        self._stats["frames_forwarded"]
+                        + chunk.count(b"\n")
+                    )
+                    self._stats["bytes_forwarded"] += len(chunk)
+        except OSError:  # reprolint: disable=RL006
+            # Reset/partition/timeout on either side ends the relay;
+            # the finally below releases both sockets.
+            pass
+        finally:
+            self._shutdown_pair(client, upstream)
+
+    def _pump_clean(
+        self, upstream: socket.socket, client: socket.socket
+    ) -> None:
+        """server → client direction; always a faithful relay."""
+        try:
+            while True:
+                chunk = upstream.recv(4096)
+                if not chunk:
+                    break
+                client.sendall(chunk)
+        except OSError:  # reprolint: disable=RL006
+            pass
+        finally:
+            self._shutdown_pair(client, upstream)
+
+    def _spend_corruption(
+        self, rng: np.random.Generator, probability: float
+    ) -> bool:
+        """One corruption/truncation draw against the shared budget."""
+        if probability <= 0.0:
+            return False
+        if float(rng.random()) >= probability:
+            return False
+        with self._lock:
+            if self._corrupt_budget is not None:
+                if self._corrupt_budget <= 0:
+                    return False
+                self._corrupt_budget -= 1
+        return True
+
+    def _shutdown_pair(
+        self, client: socket.socket, upstream: socket.socket
+    ) -> None:
+        for sock in (client, upstream):
+            try:
+                sock.close()
+            except OSError:  # reprolint: disable=RL006
+                pass
+        with self._lock:
+            for sock in (client, upstream):
+                if sock in self._conns:
+                    self._conns.remove(sock)
+
+    @staticmethod
+    def _note(kind: str) -> None:
+        obs.count("faults.injected", labels={"kind": kind})
+
+    # -- context manager ---------------------------------------------------
+
+    def __enter__(self) -> "ChaosProxy":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+
+def corrupt_file(
+    path: PathLike,
+    mode: str = "flip",
+    seed: int = 0,
+    flips: int = 8,
+) -> None:
+    """Deterministically damage a file on disk (checkpoint drills).
+
+    Modes, all seeded so a drill replays byte-identically:
+
+    * ``flip`` — XOR ``flips`` random bytes (the bit-rot case the
+      integrity digest exists to catch);
+    * ``truncate`` — keep only the first half (the torn-write case the
+      length/JSON parse catches);
+    * ``garbage`` — replace the content with random bytes (the foreign
+      file / bad-sector case).
+    """
+    if mode not in FILE_FAULT_MODES:
+        raise ConfigurationError(
+            f"unknown file fault mode {mode!r}; pick from {FILE_FAULT_MODES}"
+        )
+    target = Path(path)
+    data = bytearray(target.read_bytes())
+    rng = ensure_rng(seed)
+    if mode == "truncate":
+        data = data[: len(data) // 2]
+    elif mode == "garbage":
+        data = bytearray(rng.integers(0, 256, size=max(1, len(data))).astype(
+            np.uint8
+        ).tobytes())
+    else:
+        for _ in range(max(1, flips)):
+            position = int(rng.integers(0, max(1, len(data))))
+            data[position % max(1, len(data))] ^= 0xFF
+    target.write_bytes(bytes(data))
+    obs.count("faults.injected", labels={"kind": f"file-{mode}"})

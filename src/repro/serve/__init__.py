@@ -21,7 +21,7 @@ from repro.serve.protocol import (
     read_frame,
     write_frame,
 )
-from repro.serve.publisher import ReadPublisher
+from repro.serve.publisher import DEFAULT_PUBLISHER_POLICY, ReadPublisher
 from repro.serve.registry import (
     REGISTRY_KIND,
     REGISTRY_SCHEMA,
@@ -31,11 +31,21 @@ from repro.serve.registry import (
     default_fleet,
 )
 from repro.serve.server import IngestServer
-from repro.serve.shard import DeploymentShard, ProcessShard, build_runner
+from repro.serve.shard import (
+    Admission,
+    DeploymentShard,
+    ProcessShard,
+    build_runner,
+    checkpoint_history_paths,
+    rotate_checkpoint_history,
+    write_checkpoint_file,
+)
 from repro.serve.supervisor import ShardSupervisor
+from repro.serve.watchdog import ShardWatchdog
 
 __all__ = [
     "ACK_KIND",
+    "DEFAULT_PUBLISHER_POLICY",
     "ERROR_CODES",
     "MAX_FRAME_BYTES",
     "PROTOCOL_KIND",
@@ -43,6 +53,7 @@ __all__ = [
     "REGISTRY_KIND",
     "REGISTRY_SCHEMA",
     "SHARD_STATES",
+    "Admission",
     "DeploymentRegistry",
     "DeploymentShard",
     "DeploymentSpec",
@@ -51,9 +62,13 @@ __all__ = [
     "ProcessShard",
     "ReadPublisher",
     "ShardSupervisor",
+    "ShardWatchdog",
     "build_runner",
+    "checkpoint_history_paths",
     "default_fleet",
     "encode_frame",
     "read_frame",
+    "rotate_checkpoint_history",
+    "write_checkpoint_file",
     "write_frame",
 ]

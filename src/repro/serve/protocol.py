@@ -319,9 +319,35 @@ def parse_reads(message: Mapping[str, Any]) -> Tuple[int, List[TagRead]]:
     return seq, [decode_read(record) for record in raw]
 
 
-def batch_ack_frame(seq: int, accepted: int, dropped: int) -> Dict[str, Any]:
-    """Per-batch admission verdict returned to the publisher."""
-    return {"op": "ack", "seq": seq, "accepted": accepted, "dropped": dropped}
+def batch_ack_frame(
+    seq: int,
+    accepted: int,
+    dropped: int,
+    *,
+    status: str = "ok",
+    retry_after_s: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Per-batch admission verdict returned to the publisher.
+
+    ``status="backpressure"`` marks a batch refused by admission
+    control (the shard's ingress backlog crossed its shed watermark);
+    ``retry_after_s`` then advises how long to pause before resending
+    the *same* batch.  Backward compatible by construction: an ``ok``
+    ack is byte-identical to the schema-1 ack, and an old client that
+    ignores the extra keys still accounts the batch correctly because a
+    backpressure ack reports ``accepted=0``.
+    """
+    message: Dict[str, Any] = {
+        "op": "ack",
+        "seq": seq,
+        "accepted": accepted,
+        "dropped": dropped,
+    }
+    if status != "ok":
+        message["status"] = status
+        if retry_after_s is not None:
+            message["retry_after_s"] = retry_after_s
+    return message
 
 
 def bye_frame() -> Dict[str, Any]:

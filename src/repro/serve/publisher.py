@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import socket
 import time
+import zlib
 from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro import obs
@@ -32,9 +33,27 @@ from repro.errors import (
 from repro.serve import protocol
 from repro.stream.events import TagRead
 from repro.stream.supervise import RetryPolicy
+from repro.utils.rng import ensure_rng
 
 #: Transport-level failures worth a reconnect (vs. protocol refusals).
-_RETRYABLE_CODES = ("truncated", "malformed")
+#: ``not-accepting`` is included because it is what a publisher sees
+#: while the server restarts a crashed/hung shard — transient by
+#: design, permanent only once the restart budget is spent (at which
+#: point the retries exhaust too and surface the server's message).
+_RETRYABLE_CODES = ("truncated", "malformed", "not-accepting")
+
+#: Publishers jitter their reconnect backoff by default: after a server
+#: restart every publisher redials at once, and identical schedules
+#: would re-synchronize those spikes forever (the thundering herd).
+DEFAULT_PUBLISHER_POLICY = RetryPolicy(jitter=0.25)
+
+
+class _BackpressureSignal(Exception):
+    """Internal: the server shed the batch; pause and resend."""
+
+    def __init__(self, retry_after_s: float) -> None:
+        super().__init__(f"backpressure, retry after {retry_after_s:g}s")
+        self.retry_after_s = retry_after_s
 
 
 class ReadPublisher:
@@ -52,10 +71,24 @@ class ReadPublisher:
         ``reader-mismatch``.
     policy:
         Reconnect backoff schedule; attempts reset after each ack.
+        The default carries 25 % jitter, seeded per deployment, so a
+        fleet of publishers desynchronizes its redials after a server
+        restart instead of stampeding in lockstep.
     timeout_s:
         Socket timeout for connect and every frame exchange.
     sleep:
         Injectable sleep (tests pass a no-op).
+    max_backpressure_waits:
+        How many consecutive ``backpressure`` acks the publisher will
+        honor for one batch (sleeping the advertised ``retry_after_s``
+        each time) before giving up with
+        :class:`~repro.errors.SourceUnavailableError`.  Backpressure
+        waits do not consume the reconnect budget — the connection is
+        healthy, the shard is merely busy.
+    jitter_seed:
+        Override for the jitter stream's seed (defaults to a CRC of
+        the deployment id, so each deployment draws a distinct but
+        reproducible schedule).
 
     The publisher is single-threaded by contract — share nothing, or
     give each worker thread its own instance.
@@ -67,9 +100,11 @@ class ReadPublisher:
         port: int,
         deployment: str,
         readers: Sequence[str],
-        policy: RetryPolicy = RetryPolicy(),
+        policy: RetryPolicy = DEFAULT_PUBLISHER_POLICY,
         timeout_s: float = 10.0,
         sleep: Callable[[float], None] = time.sleep,
+        max_backpressure_waits: int = 100,
+        jitter_seed: Optional[int] = None,
     ) -> None:
         if not deployment:
             raise ConfigurationError("deployment id must be non-empty")
@@ -79,7 +114,13 @@ class ReadPublisher:
         self.readers = tuple(readers)
         self.policy = policy
         self.timeout_s = timeout_s
+        self.max_backpressure_waits = max_backpressure_waits
         self._sleep = sleep
+        self._rng = ensure_rng(
+            zlib.crc32(deployment.encode("utf-8"))
+            if jitter_seed is None
+            else jitter_seed
+        )
         self._sock: Optional[socket.socket] = None
         self._rfile: Optional[Any] = None
         self._wfile: Optional[Any] = None
@@ -87,6 +128,7 @@ class ReadPublisher:
         self.batches_acked = 0
         self.reads_accepted = 0
         self.reads_dropped = 0
+        self.backpressure_waits = 0
         #: Round-trip time of every acked batch, milliseconds.
         self.rtts_ms: List[float] = []
 
@@ -151,7 +193,7 @@ class ReadPublisher:
 
     def _reconnect(self, attempt: int) -> None:
         self.close(polite=False)
-        self._sleep(self.policy.delay_for(attempt))
+        self._sleep(self.policy.delay_for(attempt, rng=self._rng))
         obs.count(
             "serve.publisher.reconnects", labels={"deployment": self.deployment}
         )
@@ -172,7 +214,21 @@ class ReadPublisher:
         """
         if batch_size < 1:
             raise ConfigurationError("batch_size must be at least 1")
-        self.connect()
+        try:
+            self.connect()
+        except IngestProtocolError as exc:
+            # A transient refusal of the *first* dial (wire corruption
+            # mangling the hello, a mid-restart shard) goes through the
+            # same retry budget as a mid-stream failure; a permanent
+            # refusal (reader-mismatch, unknown deployment) re-raises.
+            if exc.code not in _RETRYABLE_CODES:
+                raise
+        except (OSError, ValueError):
+            # The first batch's retry loop redials with backoff.
+            obs.count(
+                "serve.publisher.dial_failures",
+                labels={"deployment": self.deployment},
+            )
         accepted = 0
         dropped = 0
         for start in range(0, len(reads), batch_size):
@@ -184,10 +240,28 @@ class ReadPublisher:
 
     def _publish_batch(self, batch: Sequence[TagRead]) -> Tuple[int, int]:
         attempt = 0
+        waits = 0
         while True:
             self._seq += 1
             try:
                 return self._exchange(self._seq, batch)
+            except _BackpressureSignal as signal:
+                # The shard shed the batch: the connection is healthy,
+                # so honor the advertised pause and resend the same
+                # batch without burning a reconnect attempt.
+                waits += 1
+                if waits > self.max_backpressure_waits:
+                    raise SourceUnavailableError(
+                        f"publisher for {self.deployment!r} still shed "
+                        f"after {waits - 1} backpressure waits"
+                    ) from signal
+                self.backpressure_waits += 1
+                obs.count(
+                    "serve.publisher.backpressure_waits",
+                    labels={"deployment": self.deployment},
+                )
+                self._sleep(signal.retry_after_s)
+                continue
             except IngestProtocolError as exc:
                 if exc.code not in _RETRYABLE_CODES:
                     raise  # a server refusal, not a transport blip
@@ -199,7 +273,22 @@ class ReadPublisher:
                     f"publisher for {self.deployment!r} gave up after "
                     f"{attempt + 1} attempts: {last_error}"
                 ) from last_error
-            self._reconnect(attempt)
+            try:
+                self._reconnect(attempt)
+            except IngestProtocolError as exc:
+                # A partitioned or mid-restart server can refuse the
+                # redial itself; a retryable refusal burns this attempt
+                # (the next loop iteration fails fast on the missing
+                # connection and backs off again), a permanent one
+                # (e.g. reader-mismatch) re-raises.
+                if exc.code not in _RETRYABLE_CODES:
+                    raise
+            except (OSError, ValueError):
+                # Connect failed; the next iteration retries.
+                obs.count(
+                    "serve.publisher.dial_failures",
+                    labels={"deployment": self.deployment},
+                )
             attempt += 1
 
     def _exchange(
@@ -223,6 +312,10 @@ class ReadPublisher:
                 f"expected ack for seq {seq}, got {reply!r}",
                 code="malformed",
                 deployment=self.deployment,
+            )
+        if reply.get("status") == "backpressure":
+            raise _BackpressureSignal(
+                max(0.0, float(reply.get("retry_after_s", 0.05)))
             )
         rtt_ms = (time.perf_counter() - started) * 1000.0
         self.rtts_ms.append(rtt_ms)

@@ -32,8 +32,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
 
+from repro import obs
 from repro.analysis.sanitizer import sanitized_lock
 from repro.errors import ConfigurationError, RegistryError
+from repro.obs import get_logger
 
 #: Format marker so future revisions can migrate old registries.
 REGISTRY_SCHEMA = 1
@@ -365,18 +367,41 @@ class DeploymentRegistry:
             spec = DeploymentSpec.from_dict(record["spec"])
             registry.register(spec)
             state = str(record.get("state", "stopped"))
+            unknown_state: Optional[str] = None
             if state not in SHARD_STATES:
-                raise RegistryError(
-                    f"registry {source!r}: unknown shard state {state!r}"
+                # Forward compatibility: a newer binary may have
+                # persisted a state this build does not know.  Refusing
+                # the whole registry would brick a rollback, so map it
+                # to ``failed`` (the conservative "needs an operator"
+                # bucket), warn, and keep the original string in
+                # ``last_error`` for the autopsy.
+                unknown_state = state
+                get_logger(__name__).warning(
+                    "registry %r: unknown shard state %r for %r; "
+                    "treating as failed",
+                    source,
+                    state,
+                    spec.deployment_id,
                 )
+                obs.count(
+                    "serve.registry.unknown_states",
+                    labels={"deployment": spec.deployment_id},
+                )
+                state = "failed"
             with registry._lock:
                 entry = registry._entries[spec.deployment_id]
                 entry.state = state if state == "failed" else "stopped"
                 entry.restarts = int(record.get("restarts", 0))
                 raw_error = record.get("last_error")
-                entry.last_error = (
-                    None if raw_error is None else str(raw_error)
-                )
+                if unknown_state is not None:
+                    entry.last_error = (
+                        f"loaded unknown shard state {unknown_state!r} "
+                        f"(from a newer registry schema?)"
+                    )
+                else:
+                    entry.last_error = (
+                        None if raw_error is None else str(raw_error)
+                    )
                 raw_ckpt = record.get("checkpoint_id")
                 entry.checkpoint_id = (
                     None if raw_ckpt is None else str(raw_ckpt)

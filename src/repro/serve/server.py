@@ -105,7 +105,7 @@ class _IngestHandler(socketserver.StreamRequestHandler):
             if op == "reads":
                 seq, reads = protocol.parse_reads(frame)
                 try:
-                    accepted, dropped = supervisor.route(deployment, reads)
+                    verdict = supervisor.route(deployment, reads)
                 except (ShardError, RegistryError) as exc:
                     raise IngestProtocolError(
                         f"deployment is not accepting reads: {exc}",
@@ -117,10 +117,23 @@ class _IngestHandler(socketserver.StreamRequestHandler):
                     float(len(reads)),
                     labels={"deployment": deployment},
                 )
-                protocol.write_frame(
-                    self.wfile,
-                    protocol.batch_ack_frame(seq, accepted, dropped),
-                )
+                if verdict.shed:
+                    obs.count(
+                        "serve.ingest.backpressure",
+                        labels={"deployment": deployment},
+                    )
+                    ack = protocol.batch_ack_frame(
+                        seq,
+                        verdict.accepted,
+                        verdict.dropped,
+                        status="backpressure",
+                        retry_after_s=verdict.retry_after_s,
+                    )
+                else:
+                    ack = protocol.batch_ack_frame(
+                        seq, verdict.accepted, verdict.dropped
+                    )
+                protocol.write_frame(self.wfile, ack)
             elif op == "bye":
                 protocol.write_frame(self.wfile, protocol.done_frame())
                 return

@@ -37,20 +37,27 @@ counted on the ``serve.fixes{deployment}`` metric.
 
 from __future__ import annotations
 
-import json
 import os
+import signal
 import subprocess
 import sys
 import threading
+import time
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Union
 
 from repro import obs
 from repro.analysis.sanitizer import sanitized_lock
-from repro.errors import IngestProtocolError, ShardError
+from repro.errors import CheckpointError, IngestProtocolError, ShardError
 from repro.serve import protocol
 from repro.serve.registry import DeploymentSpec
-from repro.stream.checkpoint import checkpoint_id
+from repro.stream.checkpoint import (
+    checkpoint_history_dir,
+    checkpoint_id,
+    durable_write_json,
+    seal_state,
+)
 from repro.stream.events import TagRead
 from repro.stream.provenance import ProvenanceRing, fix_record
 from repro.stream.queue import BoundedReadQueue
@@ -60,6 +67,29 @@ from repro.stream.runner import StreamConfig, StreamRunner
 StateCallback = Callable[..., None]
 
 PathLike = Union[str, Path]
+
+
+@dataclass(frozen=True)
+class Admission:
+    """A shard's verdict on one routed batch.
+
+    Unpacks as the historical ``(accepted, dropped)`` pair, so every
+    existing ``accepted, dropped = shard.route(...)`` caller keeps
+    working; the new fields carry the load-shedding story the ingest
+    protocol acks back to publishers.
+    """
+
+    accepted: int
+    dropped: int
+    #: True when the batch was refused wholesale by admission control
+    #: (ingress backlog over the shed watermark) rather than admitted.
+    shed: bool = False
+    #: Advisory publisher pause, seconds, when ``shed`` is set.
+    retry_after_s: Optional[float] = None
+
+    def __iter__(self) -> Iterator[int]:
+        yield self.accepted
+        yield self.dropped
 
 
 def build_runner(
@@ -106,21 +136,84 @@ def build_runner(
     return runner
 
 
-def write_checkpoint_file(path: PathLike, state: Mapping[str, Any]) -> str:
-    """Atomically persist a checkpoint document; returns its identity.
+def rotate_checkpoint_history(path: PathLike, history_keep: int) -> None:
+    """Move the current "latest" checkpoint into its lineage history.
 
-    Written to a temp sibling then ``os.replace``d so a crash mid-write
-    leaves either the previous checkpoint or the new one, never a
-    truncated hybrid a restart would choke on.
+    Ancestors live under ``<path>.history/<seq>.json`` with the highest
+    sequence number the most recent; the supervisor walks them
+    newest-first when the latest file fails verification.  At most
+    ``history_keep`` ancestors are retained — quarantined ``.corrupt``
+    specimens are never pruned.
     """
     target = Path(path)
-    temporary = target.with_name(target.name + ".tmp")
+    if history_keep <= 0 or not target.exists():
+        return
+    history = checkpoint_history_dir(target)
     try:
-        with open(temporary, "w", encoding="utf-8") as handle:
-            json.dump(dict(state), handle, sort_keys=True)
-            handle.write("\n")
-        os.replace(temporary, target)
+        history.mkdir(parents=True, exist_ok=True)
+        known = sorted(
+            entry
+            for entry in history.glob("*.json")
+            if entry.stem.isdigit()
+        )
+        next_seq = int(known[-1].stem) + 1 if known else 0
+        os.replace(target, history / f"{next_seq:08d}.json")
+        known = sorted(
+            entry
+            for entry in history.glob("*.json")
+            if entry.stem.isdigit()
+        )
+        for stale in known[: max(0, len(known) - history_keep)]:
+            stale.unlink()
     except OSError as exc:
+        raise ShardError(
+            f"cannot rotate checkpoint history for {str(target)!r}: {exc}"
+        ) from exc
+
+
+def checkpoint_history_paths(path: PathLike) -> List[Path]:
+    """Restore candidates for a deployment, newest first.
+
+    The "latest" file leads, followed by the rotated ancestors in
+    reverse sequence order.  Missing entries are simply absent — the
+    caller tries each in turn and quarantines the ones that fail.
+    """
+    target = Path(path)
+    candidates: List[Path] = []
+    if target.exists():
+        candidates.append(target)
+    history = checkpoint_history_dir(target)
+    if history.is_dir():
+        candidates.extend(
+            sorted(
+                (
+                    entry
+                    for entry in history.glob("*.json")
+                    if entry.stem.isdigit()
+                ),
+                reverse=True,
+            )
+        )
+    return candidates
+
+
+def write_checkpoint_file(
+    path: PathLike, state: Mapping[str, Any], history_keep: int = 0
+) -> str:
+    """Durably persist a sealed checkpoint document; returns its identity.
+
+    Delegates to :func:`~repro.stream.checkpoint.durable_write_json`
+    (temp sibling, data fsync, atomic rename, directory fsync) and
+    seals the document with an integrity digest so restore can detect
+    disk corruption.  With ``history_keep > 0`` the previous "latest"
+    is rotated into the lineage history first instead of being
+    overwritten.
+    """
+    target = Path(path)
+    rotate_checkpoint_history(target, history_keep)
+    try:
+        durable_write_json(target, seal_state(state))
+    except CheckpointError as exc:
         raise ShardError(
             f"cannot write shard checkpoint {str(target)!r}: {exc}"
         ) from exc
@@ -148,6 +241,18 @@ class DeploymentShard:
     ingress_capacity, ingress_policy:
         The routing queue's bound and overload behaviour; its drops are
         what the per-batch ingest acks report.
+    shed_watermark:
+        Admission-control threshold as a fraction of
+        ``ingress_capacity``: a batch arriving while the ingress
+        backlog is at or above it is *shed* — refused wholesale with a
+        ``retry_after_s`` hint instead of silently dropping reads.
+        ``0`` disables shedding (the pre-backpressure behaviour).
+    shed_retry_after_s:
+        Base publisher pause advertised on a shed batch; scaled up to
+        2 s as the backlog climbs past the watermark.
+    history_keep:
+        How many rotated checkpoint ancestors to retain next to the
+        "latest" file (the lineage walk-back depth); ``0`` keeps none.
     """
 
     def __init__(
@@ -162,13 +267,24 @@ class DeploymentShard:
         ingress_policy: str = "drop-oldest",
         ring_capacity: int = 256,
         poll_interval_s: float = 0.05,
+        shed_watermark: float = 0.9,
+        shed_retry_after_s: float = 0.2,
+        history_keep: int = 3,
     ) -> None:
+        if not 0.0 <= shed_watermark <= 1.0:
+            raise ShardError(
+                f"shed_watermark must be within [0, 1], got {shed_watermark!r}"
+            )
         self.spec = spec
         self.checkpoint_path = (
             None if checkpoint_path is None else Path(checkpoint_path)
         )
         self.checkpoint_every = checkpoint_every
         self.poll_interval_s = poll_interval_s
+        self.shed_watermark = shed_watermark
+        self.shed_retry_after_s = shed_retry_after_s
+        self.history_keep = history_keep
+        self._ingress_capacity = ingress_capacity
         self.ring = ProvenanceRing(capacity=ring_capacity)
         self._restore = None if restore is None else dict(restore)
         self._on_state = on_state
@@ -193,6 +309,8 @@ class DeploymentShard:
         self._failure: Optional[str] = None
         self._fix_records: List[Dict[str, Any]] = []
         self._last_checkpoint_id: Optional[str] = None
+        self._heartbeat = time.monotonic()
+        self._stall_until = 0.0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -249,11 +367,46 @@ class DeploymentShard:
 
     # -- data paths --------------------------------------------------------
 
-    def route(self, reads: Sequence[TagRead]) -> Tuple[int, int]:
-        """Admit a batch into the ingress queue; ``(accepted, dropped)``."""
+    def route(self, reads: Sequence[TagRead]) -> Admission:
+        """Admit a batch into the ingress queue; an :class:`Admission`.
+
+        When the ingress backlog sits at or above the shed watermark
+        the whole batch is refused (``shed=True``) with a
+        ``retry_after_s`` hint — the publisher resends the *same* batch
+        after the pause, so shedding never loses reads the way a
+        silent queue-full drop would.
+        """
+        if self.shed_watermark > 0.0:
+            backlog = len(self._ingress)
+            threshold = self.shed_watermark * self._ingress_capacity
+            if backlog >= threshold:
+                # The deeper past the watermark, the longer the hint:
+                # full backlog advertises 2 s, the watermark itself the
+                # base pause.  Publishers treat it as advisory.
+                overfill = backlog / max(1.0, float(self._ingress_capacity))
+                hint = min(2.0, self.shed_retry_after_s * (1.0 + overfill))
+                self._wake.set()
+                obs.count(
+                    "serve.shed.batches",
+                    labels={"deployment": self.spec.deployment_id},
+                )
+                obs.count(
+                    "serve.shed.reads",
+                    float(len(reads)),
+                    labels={"deployment": self.spec.deployment_id},
+                )
+                # dropped=0 on purpose: a shed batch is refused and
+                # resent, not lost — a legacy client that ignores the
+                # status key must not account these reads as dropped.
+                return Admission(
+                    accepted=0,
+                    dropped=0,
+                    shed=True,
+                    retry_after_s=hint,
+                )
         accepted = self._ingress.put_many(reads)
         self._wake.set()
-        return accepted, len(reads) - accepted
+        return Admission(accepted=accepted, dropped=len(reads) - accepted)
 
     def checkpoint_sync(self, timeout_s: float = 30.0) -> Optional[str]:
         """Checkpoint now; block until durable.  Returns the identity."""
@@ -311,13 +464,54 @@ class DeploymentShard:
             "dropped": stats.dropped,
         }
 
+    # -- liveness ----------------------------------------------------------
+
+    def liveness_age(self) -> float:
+        """Seconds since the worker last completed a loop pass.
+
+        The heartbeat is stamped *after* the stall gate, so a hung
+        worker — stalled, deadlocked, wedged in a long poll — shows a
+        growing age while its thread stays alive and its state stays
+        ``live``.  That gap is exactly what the watchdog's hang
+        deadline measures; a crashed shard is caught by ``state``
+        instead.
+        """
+        with self._lock:
+            return time.monotonic() - self._heartbeat
+
+    def stall(self, duration_s: float) -> None:
+        """Chaos hook: wedge the worker for ``duration_s`` seconds.
+
+        The worker keeps its thread (state stays ``live``, no failure
+        recorded) but stops draining, polling and heartbeating — a
+        faithful stand-in for a deadlock or a runaway computation.
+        ``kill()`` still interrupts a stalled worker within ~10 ms.
+        """
+        with self._lock:
+            self._stall_until = time.monotonic() + duration_s
+        obs.count(
+            "serve.shard.stalls",
+            labels={"deployment": self.spec.deployment_id},
+        )
+
     # -- worker body -------------------------------------------------------
+
+    def _hold_if_stalled(self) -> None:
+        while True:
+            with self._lock:
+                remaining = self._stall_until - time.monotonic()
+            if remaining <= 0.0:
+                return
+            if self._fail.is_set():
+                raise ShardError("injected crash (kill())")
+            time.sleep(min(remaining, 0.01))
 
     def _work(self) -> None:
         try:
             runner = build_runner(self.spec, restore=self._restore)
             with self._lock:
                 self._runner = runner
+                self._heartbeat = time.monotonic()
             self._notify("live")
             unflushed = 0
             while True:
@@ -325,6 +519,9 @@ class DeploymentShard:
                 self._wake.clear()
                 if self._fail.is_set():
                     raise ShardError("injected crash (kill())")
+                self._hold_if_stalled()
+                with self._lock:
+                    self._heartbeat = time.monotonic()
                 drained = self._ingress.drain()
                 if drained:
                     runner.queue.put_many(drained)
@@ -381,7 +578,9 @@ class DeploymentShard:
         if self.checkpoint_path is None:
             return
         state = runner.checkpoint()
-        identity = write_checkpoint_file(self.checkpoint_path, state)
+        identity = write_checkpoint_file(
+            self.checkpoint_path, state, history_keep=self.history_keep
+        )
         with self._lock:
             self._last_checkpoint_id = identity
         obs.count(
@@ -425,6 +624,7 @@ class ProcessShard:
         on_checkpoint: Optional[Callable[[str], None]] = None,
         ring_capacity: int = 256,
         io_timeout_s: float = 120.0,
+        history_keep: int = 3,
     ) -> None:
         self.spec = spec
         self.checkpoint_path = (
@@ -432,6 +632,7 @@ class ProcessShard:
         )
         self.checkpoint_every = checkpoint_every
         self.io_timeout_s = io_timeout_s
+        self.history_keep = history_keep
         self.ring = ProvenanceRing(capacity=ring_capacity)
         self._restore = None if restore is None else dict(restore)
         self._on_state = on_state
@@ -442,6 +643,10 @@ class ProcessShard:
         self._fix_records: List[Dict[str, Any]] = []
         self._last_checkpoint_id: Optional[str] = None
         self._dropped = 0
+        # Written around each synchronous pipe exchange on the single
+        # supervisor thread; the watchdog thread only ever *reads* the
+        # float, which CPython makes tear-free.
+        self._inflight_since: Optional[float] = None  # reprolint: lockfree
 
     def start(self) -> "ProcessShard":
         """Spawn the worker process and wait for its ready frame."""
@@ -473,6 +678,7 @@ class ProcessShard:
                 else str(self.checkpoint_path)
             ),
             "checkpoint_every": self.checkpoint_every,
+            "history_keep": self.history_keep,
             "restore": self._restore,
         }
         self._send(job)
@@ -484,8 +690,13 @@ class ProcessShard:
         self._notify("live")
         return self
 
-    def route(self, reads: Sequence[TagRead]) -> Tuple[int, int]:
-        """Ship a batch to the child; blocks for its admission verdict."""
+    def route(self, reads: Sequence[TagRead]) -> Admission:
+        """Ship a batch to the child; blocks for its admission verdict.
+
+        Process shards never shed: the pipe exchange is synchronous, so
+        the caller *is* the backpressure — there is no ingress backlog
+        to watermark.
+        """
         self._seq += 1
         self._send(protocol.reads_frame(self._seq, reads))
         reply = self._receive()
@@ -495,7 +706,7 @@ class ProcessShard:
         accepted = int(reply.get("accepted", 0))
         dropped = int(reply.get("dropped", 0))
         self._dropped += dropped
-        return accepted, dropped
+        return Admission(accepted=accepted, dropped=dropped)
 
     def checkpoint_sync(self, timeout_s: float = 30.0) -> Optional[str]:
         """Ask the child to checkpoint; returns the identity."""
@@ -589,6 +800,54 @@ class ProcessShard:
             "dropped": self._dropped,
         }
 
+    # -- liveness ----------------------------------------------------------
+
+    def liveness_age(self) -> float:
+        """Seconds the oldest in-flight pipe exchange has been pending.
+
+        ``0.0`` while idle: an idle child cannot be distinguished from
+        a wedged one without sending it work, so hang detection for
+        process shards measures how long the current request has gone
+        unanswered.
+        """
+        since = self._inflight_since
+        if since is None:
+            return 0.0
+        return time.monotonic() - since
+
+    def stall(self, duration_s: float) -> None:
+        """Chaos hook: ``SIGSTOP`` the child for ``duration_s`` seconds.
+
+        A stopped process is the canonical hung-not-crashed shard: the
+        pid survives, the pipes stay open, nothing is answered.  A
+        daemon timer sends ``SIGCONT`` afterwards; a ``kill()`` in the
+        meantime still lands (``SIGKILL`` terminates stopped
+        processes).
+        """
+        proc = self._proc
+        if proc is None:
+            raise ShardError(
+                f"shard {self.spec.deployment_id!r} worker is not running"
+            )
+        proc.send_signal(signal.SIGSTOP)
+        obs.count(
+            "serve.shard.stalls",
+            labels={"deployment": self.spec.deployment_id},
+        )
+        timer = threading.Timer(duration_s, self._resume)
+        timer.daemon = True
+        timer.start()
+
+    def _resume(self) -> None:
+        proc = self._proc
+        if proc is None or proc.poll() is not None:
+            return
+        try:
+            proc.send_signal(signal.SIGCONT)
+        except (OSError, ProcessLookupError):  # reprolint: disable=RL006
+            # The child died (or was killed) mid-stall; nothing to wake.
+            pass
+
     # -- plumbing ----------------------------------------------------------
 
     def _absorb_fixes(self, records: Sequence[Mapping[str, Any]]) -> None:
@@ -609,6 +868,8 @@ class ProcessShard:
             raise ShardError(
                 f"shard {self.spec.deployment_id!r} worker is not running"
             )
+        if self._inflight_since is None:
+            self._inflight_since = time.monotonic()  # reprolint: lockfree
         try:
             protocol.write_frame(proc.stdin, message)
         except (OSError, ValueError) as exc:
@@ -624,6 +885,7 @@ class ProcessShard:
             frame = protocol.read_frame(proc.stdout)
         except (IngestProtocolError, OSError, ValueError) as exc:
             raise self._fail_with(f"worker pipe read failed: {exc}") from exc
+        self._inflight_since = None  # reprolint: lockfree
         if frame is None:
             raise self._fail_with("worker closed its pipe (crashed?)")
         if frame.get("op") == "fatal":

@@ -33,8 +33,18 @@ from repro import obs
 from repro.analysis.sanitizer import sanitized_lock
 from repro.errors import CheckpointError, RegistryError, ShardError
 from repro.serve.registry import DeploymentRegistry
-from repro.serve.shard import DeploymentShard, ProcessShard
-from repro.stream.checkpoint import checkpoint_id, load_checkpoint
+from repro.serve.shard import (
+    Admission,
+    DeploymentShard,
+    ProcessShard,
+    checkpoint_history_paths,
+)
+from repro.serve.watchdog import ShardWatchdog
+from repro.stream.checkpoint import (
+    checkpoint_id,
+    load_checkpoint,
+    quarantine_checkpoint,
+)
 from repro.stream.events import TagRead
 from repro.stream.provenance import ProvenanceRing
 
@@ -67,6 +77,16 @@ class ShardSupervisor:
     restart_limit:
         Crash-restarts tolerated per deployment before :meth:`route`
         gives up with :class:`~repro.errors.ShardError`.
+    hang_after_s:
+        When set, :meth:`start` also runs a :class:`ShardWatchdog`
+        with this liveness deadline, recycling shards that hang (stop
+        making progress without dying); ``None`` disables it.
+    shed_watermark, shed_retry_after_s:
+        Thread-shard admission control — see
+        :class:`~repro.serve.shard.DeploymentShard`.
+    history_keep:
+        Checkpoint lineage depth retained per deployment for the
+        corrupt-checkpoint walk-back (:meth:`recover_checkpoint`).
     """
 
     def __init__(
@@ -77,6 +97,10 @@ class ShardSupervisor:
         checkpoint_every: int = 0,
         restart_limit: int = 2,
         ingress_capacity: int = 8192,
+        hang_after_s: Optional[float] = None,
+        shed_watermark: float = 0.9,
+        shed_retry_after_s: float = 0.2,
+        history_keep: int = 3,
     ) -> None:
         if workers not in WORKER_MODES:
             raise ShardError(
@@ -98,6 +122,13 @@ class ShardSupervisor:
         self.checkpoint_every = checkpoint_every
         self.restart_limit = restart_limit
         self.ingress_capacity = ingress_capacity
+        self.hang_after_s = hang_after_s
+        self.shed_watermark = shed_watermark
+        self.shed_retry_after_s = shed_retry_after_s
+        self.history_keep = history_keep
+        # Only the lifecycle methods (start/stop, caller-serialized by
+        # contract) write this; the watchdog thread never does.
+        self.watchdog: Optional[ShardWatchdog] = None  # reprolint: lockfree
         self._lock = sanitized_lock("serve.supervisor")
         self._shards: Dict[str, ShardLike] = {}
         self._route_locks: Dict[str, Any] = {}
@@ -110,6 +141,10 @@ class ShardSupervisor:
         """Start one shard per registered deployment; returns self."""
         for deployment_id in self.registry.deployment_ids():
             self.start_deployment(deployment_id)
+        if self.hang_after_s is not None and self.watchdog is None:
+            self.watchdog = ShardWatchdog(
+                self, hang_after_s=self.hang_after_s
+            ).start()
         return self
 
     def start_deployment(
@@ -131,13 +166,7 @@ class ShardSupervisor:
             )
         restore: Optional[Mapping[str, Any]] = None
         if restore_latest:
-            path = self.checkpoint_path(deployment_id)
-            if path is None:
-                raise CheckpointError(
-                    f"no checkpoint directory configured; cannot restore "
-                    f"{deployment_id!r}"
-                )
-            restore = load_checkpoint(path)
+            restore = self.recover_checkpoint(deployment_id)
             self.registry.note_checkpoint(deployment_id, checkpoint_id(restore))
         shard = self._build_shard(spec.deployment_id, restore)
         with self._lock:
@@ -176,13 +205,20 @@ class ShardSupervisor:
             "on_state": on_state,
             "on_checkpoint": on_checkpoint,
         }
+        kwargs["history_keep"] = self.history_keep
         if self.workers == "process":
             return ProcessShard(**kwargs)
         kwargs["ingress_capacity"] = self.ingress_capacity
+        kwargs["shed_watermark"] = self.shed_watermark
+        kwargs["shed_retry_after_s"] = self.shed_retry_after_s
         return DeploymentShard(**kwargs)
 
     def stop(self, drain: bool = True) -> None:
         """Stop every shard (draining by default)."""
+        watchdog = self.watchdog
+        if watchdog is not None:
+            self.watchdog = None
+            watchdog.stop()
         with self._lock:
             shards = dict(self._shards)
         for shard in shards.values():
@@ -193,11 +229,13 @@ class ShardSupervisor:
 
     def route(
         self, deployment_id: str, reads: Sequence[TagRead]
-    ) -> Tuple[int, int]:
+    ) -> Admission:
         """Deliver one batch to its deployment's shard.
 
-        Returns the ``(accepted, dropped)`` admission verdict.  A
-        failed shard is transparently restarted from its latest
+        Returns the :class:`~repro.serve.shard.Admission` verdict
+        (unpacks as the historical ``(accepted, dropped)`` pair; carries
+        the load-shedding fields the ingest acks relay).  A failed
+        shard is transparently restarted from its latest verifiable
         checkpoint first (within ``restart_limit``); an unknown
         deployment raises :class:`~repro.errors.RegistryError` so the
         ingest server can answer with a typed protocol error.
@@ -258,10 +296,25 @@ class ShardSupervisor:
                     f"(last failure: {None if shard is None else shard.failure})"
                 )
             path = self.checkpoint_path(deployment_id)
-            has_checkpoint = path is not None and path.exists()
-            replacement = self.start_deployment(
-                deployment_id, restore_latest=has_checkpoint
+            has_checkpoint = path is not None and bool(
+                checkpoint_history_paths(path)
             )
+            try:
+                replacement = self.start_deployment(
+                    deployment_id, restore_latest=has_checkpoint
+                )
+            except CheckpointError:
+                # Every on-disk candidate failed verification (each is
+                # quarantined by now).  Losing the stream state is
+                # strictly better than losing the deployment: restart
+                # cold and let the operator autopsy the specimens.
+                obs.count(
+                    "serve.checkpoint.recovery_failures",
+                    labels={"deployment": deployment_id},
+                )
+                replacement = self.start_deployment(
+                    deployment_id, restore_latest=False
+                )
             with self._lock:
                 self._restarts[deployment_id] = used + 1
             obs.count(
@@ -278,6 +331,14 @@ class ShardSupervisor:
         shard.kill()
         shard.join()
 
+    def stall(self, deployment_id: str, duration_s: float) -> None:
+        """Hang one shard for ``duration_s`` (chaos path: wedge, not die).
+
+        The shard stays ``live`` but stops making progress — exactly
+        the failure the watchdog's liveness deadline exists to catch.
+        """
+        self.shard(deployment_id).stall(duration_s)
+
     # -- checkpoints -------------------------------------------------------
 
     def checkpoint_path(self, deployment_id: str) -> Optional[Path]:
@@ -285,6 +346,47 @@ class ShardSupervisor:
         if self.checkpoint_dir is None:
             return None
         return self.checkpoint_dir / f"{deployment_id}.ckpt.json"
+
+    def recover_checkpoint(self, deployment_id: str) -> Dict[str, Any]:
+        """The newest *verifiable* checkpoint of one deployment.
+
+        Walks the restore candidates newest-first — the "latest" file,
+        then the rotated lineage ancestors — verifying each integrity
+        digest.  A candidate that fails (truncated, bit-flipped, not
+        JSON) is quarantined to a ``.corrupt`` sibling, never deleted,
+        and the walk continues to its ancestor.  Raises
+        :class:`~repro.errors.CheckpointError` when no candidate
+        verifies (including the no-candidates case).
+        """
+        path = self.checkpoint_path(deployment_id)
+        if path is None:
+            raise CheckpointError(
+                f"no checkpoint directory configured; cannot restore "
+                f"{deployment_id!r}"
+            )
+        candidates = checkpoint_history_paths(path)
+        failures = 0
+        for candidate in candidates:
+            try:
+                state = load_checkpoint(candidate, verify=True)
+            except CheckpointError:
+                quarantine_checkpoint(candidate)
+                failures += 1
+                obs.count(
+                    "serve.checkpoint.quarantined",
+                    labels={"deployment": deployment_id},
+                )
+                continue
+            if failures:
+                obs.count(
+                    "serve.checkpoint.lineage_recoveries",
+                    labels={"deployment": deployment_id},
+                )
+            return state
+        raise CheckpointError(
+            f"no verifiable checkpoint for {deployment_id!r}: "
+            f"{len(candidates)} candidate(s), {failures} quarantined"
+        )
 
     def checkpoint(self, deployment_id: str) -> Optional[str]:
         """Force one shard's checkpoint now; returns its identity."""

@@ -1,0 +1,170 @@
+"""Hang detection for the serving fleet: :class:`ShardWatchdog`.
+
+Crash detection is easy — a dead thread or a reaped pid flips the
+shard's ``state`` to ``failed`` and the next :meth:`route` restarts
+it.  The failure mode Nuzzer-scale deployments actually report is the
+*hung* node: the thread is alive, the state says ``live``, and nothing
+has moved in seconds.  The watchdog closes that gap by measuring each
+shard's ``liveness_age()`` — seconds since the worker last completed a
+loop pass (thread shards) or seconds the current pipe exchange has
+gone unanswered (process shards) — against a hang deadline.
+
+A shard past the deadline is *declared hung*: the watchdog counts
+``serve.watchdog.hangs{deployment}``, kills the worker (the same
+injected-crash path chaos drills use) and restarts it through the
+supervisor's existing claim-set/restart-budget machinery, so a hang
+consumes exactly one unit of the same ``restart_limit`` a crash would
+and the restored runner's lineage chains through the checkpoint it
+resumed from.  Crashed (``failed``) shards found during a scan are
+restarted too — the watchdog makes recovery proactive instead of
+waiting for the next routed batch to trip over the corpse.
+
+The scan loop is a daemon thread owned by the supervisor
+(:meth:`ShardSupervisor.start` / ``stop`` manage it); :meth:`scan_once`
+is the deterministic seam the tests and drills drive directly.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import TYPE_CHECKING, List, Optional
+
+from repro import obs
+from repro.errors import ShardError
+
+if TYPE_CHECKING:
+    from repro.serve.supervisor import ShardSupervisor
+
+
+class ShardWatchdog:
+    """Declare hung shards dead and restart them within budget.
+
+    Parameters
+    ----------
+    supervisor:
+        The fleet to watch; restarts go through its claim set.
+    hang_after_s:
+        Liveness deadline: a live shard whose ``liveness_age()``
+        exceeds this is declared hung and recycled.
+    poll_interval_s:
+        How often the background loop scans the fleet.
+    restart_crashed:
+        Also restart shards already in ``failed`` state (proactive
+        recovery instead of waiting for the next routed batch).
+    """
+
+    def __init__(
+        self,
+        supervisor: "ShardSupervisor",
+        hang_after_s: float = 5.0,
+        poll_interval_s: float = 0.25,
+        restart_crashed: bool = True,
+    ) -> None:
+        if hang_after_s <= 0.0:
+            raise ShardError(
+                f"hang_after_s must be positive, got {hang_after_s!r}"
+            )
+        self.supervisor = supervisor
+        self.hang_after_s = hang_after_s
+        self.poll_interval_s = poll_interval_s
+        self.restart_crashed = restart_crashed
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.scans = 0
+        self.hangs_declared = 0
+        self.restarts_triggered = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ShardWatchdog":
+        """Spawn the background scan loop; returns self."""
+        if self._thread is not None:
+            raise ShardError("watchdog is already started")
+        self._stop.clear()
+        thread = threading.Thread(
+            target=self._run,
+            name="repro-shard-watchdog",
+            daemon=True,
+        )
+        self._thread = thread
+        thread.start()
+        return self
+
+    def stop(self, timeout_s: float = 10.0) -> None:
+        """Stop and join the scan loop."""
+        thread = self._thread
+        if thread is None:
+            return
+        self._stop.set()
+        thread.join(timeout=timeout_s)
+        self._thread = None
+        if thread.is_alive():
+            raise ShardError(
+                f"watchdog thread did not stop within {timeout_s:g}s"
+            )
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            self.scan_once()
+            self._stop.wait(timeout=self.poll_interval_s)
+
+    # -- scanning ----------------------------------------------------------
+
+    def scan_once(self) -> List[str]:
+        """One fleet pass; returns the deployments it recycled.
+
+        Deterministic seam for tests and drills: hung live shards are
+        killed and restarted, already-failed shards are restarted when
+        ``restart_crashed`` is set.  Restart refusals (budget
+        exhausted, races) are counted, never raised — the watchdog must
+        outlive any single shard's misfortune.
+        """
+        self.scans += 1
+        obs.count("serve.watchdog.scans")
+        recycled: List[str] = []
+        for deployment_id in self.supervisor.registry.deployment_ids():
+            try:
+                shard = self.supervisor.shard(deployment_id)
+            except ShardError:
+                continue  # not started yet; nothing to watch
+            state = shard.state
+            if state == "live":
+                age = shard.liveness_age()
+                if age <= self.hang_after_s:
+                    continue
+                self.hangs_declared += 1
+                obs.count(
+                    "serve.watchdog.hangs",
+                    labels={"deployment": deployment_id},
+                )
+                shard.kill()
+                shard.join()
+            elif not (self.restart_crashed and state == "failed"):
+                continue
+            if self._restart(deployment_id):
+                recycled.append(deployment_id)
+        return recycled
+
+    def _restart(self, deployment_id: str) -> bool:
+        try:
+            self.supervisor.restart(deployment_id)
+        except ShardError:
+            obs.count(
+                "serve.watchdog.restart_failures",
+                labels={"deployment": deployment_id},
+            )
+            return False
+        self.restarts_triggered += 1
+        obs.count(
+            "serve.watchdog.restarts",
+            labels={"deployment": deployment_id},
+        )
+        return True
+
+    # -- context manager ---------------------------------------------------
+
+    def __enter__(self) -> "ShardWatchdog":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

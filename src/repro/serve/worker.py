@@ -54,6 +54,7 @@ def _serve(stdin: Any, stdout: Any) -> int:
         return 2
     checkpoint_path: Optional[str] = job.get("checkpoint_path")
     checkpoint_every = int(job.get("checkpoint_every", 0))
+    history_keep = int(job.get("history_keep", 0))
     unflushed = 0
     protocol.write_frame(
         stdout, {"op": "ready", "deployment": spec.deployment_id}
@@ -75,7 +76,11 @@ def _serve(stdin: Any, stdout: Any) -> int:
                 and checkpoint_every > 0
                 and unflushed >= checkpoint_every
             ):
-                write_checkpoint_file(checkpoint_path, runner.checkpoint())
+                write_checkpoint_file(
+                    checkpoint_path,
+                    runner.checkpoint(),
+                    history_keep=history_keep,
+                )
                 unflushed = 0
             protocol.write_frame(
                 stdout,
@@ -95,7 +100,9 @@ def _serve(stdin: Any, stdout: Any) -> int:
                 )
                 return 2
             identity = write_checkpoint_file(
-                checkpoint_path, runner.checkpoint()
+                checkpoint_path,
+                runner.checkpoint(),
+                history_keep=history_keep,
             )
             unflushed = 0
             protocol.write_frame(
@@ -106,7 +113,11 @@ def _serve(stdin: Any, stdout: Any) -> int:
             if frame.get("drain", True):
                 records = [fix_record(fix) for fix in runner.finish()]
                 if checkpoint_path is not None:
-                    write_checkpoint_file(checkpoint_path, runner.checkpoint())
+                    write_checkpoint_file(
+                        checkpoint_path,
+                        runner.checkpoint(),
+                        history_keep=history_keep,
+                    )
             protocol.write_frame(stdout, {"op": "done", "fixes": records})
             return 0
         else:

@@ -52,11 +52,17 @@ Fault injection lives in its own package, :mod:`repro.faults`.  See
 from repro.stream.checkpoint import (
     CHECKPOINT_KIND,
     CHECKPOINT_SCHEMA,
+    INTEGRITY_KEY,
+    QUARANTINE_SUFFIX,
+    checkpoint_history_dir,
     checkpoint_id,
     checkpoint_state,
+    durable_write_json,
     load_checkpoint,
+    quarantine_checkpoint,
     restore_state,
     save_checkpoint,
+    seal_state,
 )
 from repro.stream.covariance import CovarianceBank, EwCovariance
 from repro.stream.drift import BaselineDriftTracker
@@ -117,6 +123,8 @@ __all__ = [
     "CHECKPOINT_KIND",
     "CHECKPOINT_SCHEMA",
     "CovarianceBank",
+    "INTEGRITY_KEY",
+    "QUARANTINE_SUFFIX",
     "DROP_POLICIES",
     "EwCovariance",
     "FIXLOG_KIND",
@@ -150,10 +158,13 @@ __all__ = [
     "WindowAssembler",
     "WindowConfig",
     "apply_retention",
+    "checkpoint_history_dir",
     "checkpoint_id",
     "checkpoint_state",
+    "durable_write_json",
     "load_checkpoint",
     "plan_retention",
+    "quarantine_checkpoint",
     "read_fix_log",
     "read_fix_log_header",
     "read_header",
@@ -161,6 +172,7 @@ __all__ = [
     "restore_state",
     "save_checkpoint",
     "scan_artefacts",
+    "seal_state",
     "sniff_kind",
     "supervised_reads",
     "sweep_slot",

@@ -27,17 +27,37 @@ Format (``schema`` 1, ``kind`` ``dwatch-checkpoint``):
 
 Complex numbers are stored as two-element ``[re, im]`` lists; integer
 dictionary keys as decimal strings (JSON objects only key on strings).
+
+Durability and corruption discipline (added for the serving fleet's
+chaos drills):
+
+* Files are written via :func:`durable_write_json` — temp sibling,
+  ``fsync`` of the data, atomic ``os.replace``, then ``fsync`` of the
+  directory — so a host crash can never leave a zero-length or
+  half-written "latest" checkpoint.
+* Written documents carry an ``integrity`` digest (the
+  :func:`checkpoint_id` of the rest of the document).  A bit-flip that
+  still parses as JSON is caught on load instead of silently
+  corrupting every later fix; documents from before the digest existed
+  load unverified (legacy).
+* A corrupt file is never deleted: :func:`quarantine_checkpoint`
+  renames it to a ``.corrupt`` sibling so an operator can autopsy it,
+  and the serving supervisor walks the on-disk lineage (see
+  :func:`checkpoint_history_dir`) back to the newest verifiable
+  ancestor.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Union
 
 import numpy as np
 
+from repro import obs
 from repro.core.baseline import SpectrumSet
 from repro.dsp.spectrum import AngularSpectrum
 from repro.errors import CheckpointError
@@ -55,6 +75,14 @@ CHECKPOINT_SCHEMA = 1
 
 #: The ``kind`` tag distinguishing checkpoints from other JSON files.
 CHECKPOINT_KIND = "dwatch-checkpoint"
+
+#: Key carrying the content digest in *persisted* checkpoint files.
+#: Never part of the in-memory state document: :func:`checkpoint_id`
+#: ignores it and :func:`load_checkpoint` strips it after verifying.
+INTEGRITY_KEY = "integrity"
+
+#: Suffix a corrupt checkpoint is renamed to (never deleted).
+QUARANTINE_SUFFIX = ".corrupt"
 
 PathLike = Union[str, Path]
 
@@ -110,8 +138,21 @@ def checkpoint_id(state: Mapping[str, Any]) -> str:
     id to the runner's lineage, giving every later fix's provenance an
     auditable chain back through each crash-resume.
     """
-    serialized = json.dumps(dict(state), sort_keys=True)
+    document = {k: v for k, v in state.items() if k != INTEGRITY_KEY}
+    serialized = json.dumps(document, sort_keys=True)
     return hashlib.sha256(serialized.encode("utf-8")).hexdigest()[:12]
+
+
+def seal_state(state: Mapping[str, Any]) -> Dict[str, Any]:
+    """A copy of ``state`` carrying its own :func:`checkpoint_id` digest.
+
+    The digest travels *inside* the persisted file so a restore can
+    verify the bytes it read are the bytes that were written — the
+    disk-corruption twin of the wire protocol's length prefix.
+    """
+    sealed = dict(state)
+    sealed[INTEGRITY_KEY] = checkpoint_id(state)
+    return sealed
 
 
 def restore_state(runner: "StreamRunner", state: Mapping[str, Any]) -> None:
@@ -151,21 +192,93 @@ def restore_state(runner: "StreamRunner", state: Mapping[str, Any]) -> None:
         raise CheckpointError(f"malformed checkpoint: {exc}") from exc
 
 
-def save_checkpoint(path: PathLike, runner: "StreamRunner") -> None:
-    """Write a runner's checkpoint as one JSON document."""
-    state = checkpoint_state(runner)
+def durable_write_json(path: PathLike, document: Mapping[str, Any]) -> None:
+    """Crash-durably write ``document`` as sorted-key JSON at ``path``.
+
+    The write goes to a temp sibling which is fsynced *before* the
+    atomic ``os.replace`` and the parent directory is fsynced *after*,
+    so a host crash at any instant leaves either the old file or the
+    new one — never a zero-length or half-written "latest".
+    """
+    target = Path(path)
+    temp = target.with_name(target.name + ".tmp")
     try:
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(state, handle, sort_keys=True)
+        with open(temp, "w", encoding="utf-8") as handle:
+            json.dump(dict(document), handle, sort_keys=True)
             handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp, target)
     except OSError as exc:
         raise CheckpointError(
-            f"cannot write checkpoint {str(path)!r}: {exc}"
+            f"cannot write checkpoint {str(target)!r}: {exc}"
         ) from exc
+    try:
+        # Directory fsync makes the rename itself durable.  Some
+        # filesystems refuse to open a directory for writing; the data
+        # is still safe past the rename on those, so count and move on.
+        dir_fd = os.open(str(target.parent), os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:
+        obs.count("stream.checkpoint.dir_fsync_skipped")
 
 
-def load_checkpoint(path: PathLike) -> Dict[str, Any]:
-    """Read a checkpoint document (validated on :func:`restore_state`)."""
+def quarantine_checkpoint(path: PathLike) -> Path:
+    """Rename a corrupt checkpoint to a ``.corrupt`` sibling.
+
+    The file is never deleted — an operator can autopsy the bytes to
+    distinguish a torn write from bad RAM or a disk fault.  Returns the
+    quarantine path; collisions gain a numeric suffix so repeated
+    corruption of the same deployment keeps every specimen.
+    """
+    source = Path(path)
+    destination = source.with_name(source.name + QUARANTINE_SUFFIX)
+    index = 1
+    while destination.exists():
+        destination = source.with_name(
+            f"{source.name}{QUARANTINE_SUFFIX}.{index}"
+        )
+        index += 1
+    try:
+        os.replace(source, destination)
+    except OSError as exc:
+        raise CheckpointError(
+            f"cannot quarantine checkpoint {str(source)!r}: {exc}"
+        ) from exc
+    obs.count("stream.checkpoint.quarantined")
+    return destination
+
+
+def checkpoint_history_dir(path: PathLike) -> Path:
+    """The lineage-history directory paired with a "latest" checkpoint.
+
+    ``dep-00.ckpt.json`` keeps its rotated ancestors under
+    ``dep-00.ckpt.json.history/<seq>.json`` — newest sequence number is
+    the most recent ancestor, which the serving supervisor walks when
+    the latest file fails verification.
+    """
+    return Path(str(path) + ".history")
+
+
+def save_checkpoint(path: PathLike, runner: "StreamRunner") -> None:
+    """Durably write a runner's checkpoint as one sealed JSON document."""
+    durable_write_json(path, seal_state(checkpoint_state(runner)))
+
+
+def load_checkpoint(path: PathLike, *, verify: bool = True) -> Dict[str, Any]:
+    """Read a checkpoint document (validated on :func:`restore_state`).
+
+    With ``verify`` (the default) a present ``integrity`` digest is
+    checked against the document's :func:`checkpoint_id`; a mismatch —
+    bit-flips, partial overwrites, any bytes-read != bytes-written —
+    raises :class:`~repro.errors.CheckpointError`.  Documents written
+    before the digest existed carry no ``integrity`` key and load
+    unverified.  The digest is stripped before returning, so loaded
+    state round-trips exactly with :func:`checkpoint_state`.
+    """
     try:
         with open(path, "r", encoding="utf-8") as handle:
             data = json.load(handle)
@@ -182,6 +295,14 @@ def load_checkpoint(path: PathLike) -> Dict[str, Any]:
         raise CheckpointError(
             f"checkpoint {str(path)!r} is not a JSON object"
         )
+    digest = data.pop(INTEGRITY_KEY, None)
+    if verify and digest is not None:
+        expected = checkpoint_id(data)
+        if digest != expected:
+            raise CheckpointError(
+                f"checkpoint {str(path)!r} is corrupt: integrity digest "
+                f"{digest!r} does not match content {expected!r}"
+            )
     return data
 
 

@@ -16,7 +16,9 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator
+from typing import Callable, Iterable, Iterator, Optional
+
+import numpy as np
 
 from repro import obs
 from repro.errors import ConfigurationError, SourceUnavailableError
@@ -38,12 +40,22 @@ class RetryPolicy:
         Factor applied per further attempt.
     max_delay_s:
         Backoff ceiling.
+    jitter:
+        Fractional randomization of each delay: with jitter ``j`` and
+        an ``rng`` supplied to :meth:`delay_for`, the delay is scaled
+        by a uniform factor in ``[1 - j, 1 + j]``.  ``0`` (the
+        default) keeps the schedule exact.  Jitter is what breaks the
+        thundering herd after a server restart — without it, every
+        publisher that lost its connection at the same instant redials
+        on the identical schedule, and the reconnect spikes themselves
+        re-overload the server.
     """
 
     max_retries: int = 3
     base_delay_s: float = 0.05
     multiplier: float = 2.0
     max_delay_s: float = 2.0
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -54,20 +66,34 @@ class RetryPolicy:
             raise ConfigurationError("multiplier must be at least 1")
         if self.max_delay_s < self.base_delay_s:
             raise ConfigurationError("max_delay_s must be >= base_delay_s")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ConfigurationError("jitter must be within [0, 1)")
 
-    def delay_for(self, attempt: int) -> float:
-        """Backoff before retry ``attempt`` (0-based), capped."""
+    def delay_for(
+        self, attempt: int, rng: Optional[np.random.Generator] = None
+    ) -> float:
+        """Backoff before retry ``attempt`` (0-based), capped.
+
+        With both ``jitter`` and ``rng`` set, the capped delay is
+        scaled by a deterministic (seeded) uniform factor — different
+        streams (per-deployment publishers) draw different schedules
+        while each stream stays reproducible.
+        """
         if attempt < 0:
             raise ConfigurationError("attempt must be non-negative")
-        return min(
+        delay = min(
             self.base_delay_s * self.multiplier**attempt, self.max_delay_s
         )
+        if self.jitter > 0.0 and rng is not None:
+            delay *= 1.0 + self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return delay
 
 
 def supervised_reads(
     factory: Callable[[], Iterable[TagRead]],
     policy: RetryPolicy = RetryPolicy(),
     sleep: Callable[[float], None] = time.sleep,
+    rng: Optional[np.random.Generator] = None,
 ) -> Iterator[TagRead]:
     """Yield reads from ``factory()``, rebuilding it on transient failure.
 
@@ -80,7 +106,8 @@ def supervised_reads(
     ``policy.max_retries`` consecutive attempts fail, the last error is
     re-raised as :class:`~repro.errors.SourceUnavailableError`.
 
-    ``sleep`` is injectable so tests (and simulated time) need not wait.
+    ``sleep`` is injectable so tests (and simulated time) need not wait;
+    ``rng`` feeds the policy's jitter (see :class:`RetryPolicy.jitter`).
     """
     attempt = 0
     while True:
@@ -95,7 +122,7 @@ def supervised_reads(
                     f"source still failing after {policy.max_retries} "
                     f"retries: {exc}"
                 ) from exc
-            delay = policy.delay_for(attempt)
+            delay = policy.delay_for(attempt, rng=rng)
             attempt += 1
             obs.count("stream.source.retries")
             sleep(delay)

@@ -1,0 +1,193 @@
+"""Wire/disk fault injection: ChaosProxy relay semantics + corrupt_file."""
+
+import json
+import socket
+import socketserver
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import ChaosProxy, WirePlan, corrupt_file
+
+
+class _EchoHandler(socketserver.StreamRequestHandler):
+    """Echoes every newline-terminated line back to the sender."""
+
+    def handle(self):
+        self.connection.settimeout(2.0)
+        try:
+            while True:
+                line = self.rfile.readline()
+                if not line:
+                    return
+                self.wfile.write(line)
+                self.wfile.flush()
+        except OSError:
+            return
+
+
+class _EchoServer(socketserver.ThreadingTCPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+@pytest.fixture()
+def echo_server():
+    server = _EchoServer(("127.0.0.1", 0), _EchoHandler)
+    thread = threading.Thread(
+        target=server.serve_forever, name="test-echo", daemon=True
+    )
+    thread.start()
+    try:
+        yield server.server_address
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+
+
+def _dial(address, timeout=5.0):
+    sock = socket.create_connection(address, timeout=timeout)
+    return sock, sock.makefile("rb"), sock.makefile("wb")
+
+
+def _exchange(rfile, wfile, payload: bytes) -> bytes:
+    wfile.write(payload + b"\n")
+    wfile.flush()
+    return rfile.readline()
+
+
+class TestRelay:
+    def test_empty_plan_is_a_pure_relay(self, echo_server):
+        with ChaosProxy(echo_server) as proxy:
+            sock, rfile, wfile = _dial(proxy.address)
+            try:
+                for index in range(5):
+                    payload = f"frame-{index}".encode()
+                    assert _exchange(rfile, wfile, payload) == payload + b"\n"
+            finally:
+                sock.close()
+            stats = proxy.stats()
+        assert stats["connections"] == 1
+        assert stats["frames_forwarded"] == 5
+        assert stats["corruptions"] == 0
+
+    def test_reset_after_frames_drops_the_connection(self, echo_server):
+        plan = WirePlan(reset_after_frames=2)
+        with ChaosProxy(echo_server, plan) as proxy:
+            sock, rfile, wfile = _dial(proxy.address)
+            try:
+                assert _exchange(rfile, wfile, b"one") == b"one\n"
+                assert _exchange(rfile, wfile, b"two") == b"two\n"
+                with pytest.raises(OSError):
+                    for _ in range(3):
+                        reply = _exchange(rfile, wfile, b"three")
+                        if reply == b"":
+                            raise ConnectionResetError("relay gone")
+            finally:
+                sock.close()
+            assert proxy.stats()["resets"] >= 1
+
+    def test_partition_refuses_and_heal_restores(self, echo_server):
+        with ChaosProxy(echo_server) as proxy:
+            proxy.partition()
+            # Depending on timing the RST lands during connect or on
+            # the first exchange; either way the client sees an OSError.
+            with pytest.raises(OSError):
+                sock = socket.create_connection(proxy.address, timeout=5.0)
+                try:
+                    sock.settimeout(2.0)
+                    for _ in range(20):
+                        sock.sendall(b"knock\n")
+                        if sock.recv(64) == b"":
+                            raise ConnectionResetError("refused")
+                finally:
+                    sock.close()
+            proxy.heal()
+            sock, rfile, wfile = _dial(proxy.address)
+            try:
+                assert _exchange(rfile, wfile, b"back") == b"back\n"
+            finally:
+                sock.close()
+            assert proxy.stats()["partition_refusals"] >= 1
+
+    def test_corruption_budget_self_clears(self, echo_server):
+        plan = WirePlan(seed=3, corrupt_probability=1.0, corrupt_limit=2)
+        with ChaosProxy(echo_server, plan) as proxy:
+            sock, rfile, wfile = _dial(proxy.address)
+            try:
+                replies = [
+                    _exchange(rfile, wfile, b"abcdefgh") for _ in range(6)
+                ]
+            finally:
+                sock.close()
+            stats = proxy.stats()
+        assert stats["corruptions"] == 2
+        # Once the budget is spent the relay is faithful again.
+        assert replies[-1] == b"abcdefgh\n"
+
+    def test_trickle_limit_bounds_slow_connections(self, echo_server):
+        plan = WirePlan(
+            trickle_chunk_bytes=2, trickle_delay_s=0.001, trickle_limit=1
+        )
+        with ChaosProxy(echo_server, plan) as proxy:
+            for _ in range(2):
+                sock, rfile, wfile = _dial(proxy.address)
+                try:
+                    assert _exchange(rfile, wfile, b"slow") == b"slow\n"
+                finally:
+                    sock.close()
+            assert proxy.stats()["trickled_connections"] == 1
+
+
+class TestWirePlanValidation:
+    def test_bad_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WirePlan(corrupt_probability=1.5)
+
+    def test_bad_reset_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WirePlan(reset_after_frames=0)
+
+    def test_bad_trickle_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WirePlan(trickle_chunk_bytes=0)
+
+
+class TestCorruptFile:
+    def test_flip_changes_bytes_preserving_length(self, tmp_path):
+        path = tmp_path / "doc.json"
+        original = json.dumps({"k": list(range(40))}).encode()
+        path.write_bytes(original)
+        corrupt_file(path, mode="flip", seed=9)
+        damaged = path.read_bytes()
+        assert damaged != original
+        assert len(damaged) == len(original)
+
+    def test_flip_is_deterministic_per_seed(self, tmp_path):
+        original = json.dumps({"k": list(range(40))}).encode()
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        a.write_bytes(original)
+        b.write_bytes(original)
+        corrupt_file(a, mode="flip", seed=9)
+        corrupt_file(b, mode="flip", seed=9)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_truncate_halves_the_file(self, tmp_path):
+        path = tmp_path / "doc.json"
+        path.write_bytes(b"x" * 100)
+        corrupt_file(path, mode="truncate")
+        assert len(path.read_bytes()) == 50
+
+    def test_garbage_replaces_content(self, tmp_path):
+        path = tmp_path / "doc.json"
+        path.write_bytes(b"hello world")
+        corrupt_file(path, mode="garbage", seed=4)
+        assert path.read_bytes() != b"hello world"
+
+    def test_unknown_mode_rejected(self, tmp_path):
+        path = tmp_path / "doc.json"
+        path.write_bytes(b"x")
+        with pytest.raises(ConfigurationError):
+            corrupt_file(path, mode="shred")

@@ -1,0 +1,198 @@
+"""Fuzz the ``dwatch-ingest`` wire protocol (hypothesis).
+
+The protocol's whole contract under hostile input is: every byte
+sequence yields a JSON object, a clean EOF, or a *typed*
+:class:`~repro.errors.IngestProtocolError` — never a hang, never a
+bare ``JSONDecodeError``/``UnicodeDecodeError``, never an unbounded
+read.  Three layers of attack:
+
+* raw random bytes against :func:`~repro.serve.protocol.read_frame`;
+* structured mutations (truncation, corruption, oversize prefixes) of
+  *valid* frames, the shapes a crashed writer or flaky wire produces;
+* the same garbage thrown at a **live** :class:`IngestServer` socket,
+  which must answer with a typed error ack or close, within its
+  timeout, and keep serving the next connection.
+"""
+
+import io
+import socket
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import IngestProtocolError
+from repro.serve import protocol
+from repro.serve.registry import DeploymentRegistry, DeploymentSpec
+from repro.serve.server import IngestServer
+from repro.serve.supervisor import ShardSupervisor
+
+# -- offline framing fuzz --------------------------------------------------
+
+
+def drain_frames(data: bytes, limit: int = 64) -> None:
+    """Read frames off ``data`` until EOF or the first typed error."""
+    stream = io.BytesIO(data)
+    for _ in range(limit):
+        frame = protocol.read_frame(stream)
+        if frame is None:
+            return
+        assert isinstance(frame, dict)
+
+
+class TestReadFrameFuzz:
+    @settings(max_examples=200, deadline=None)
+    @given(st.binary(max_size=512))
+    def test_random_bytes_yield_dict_eof_or_typed_error(self, data):
+        try:
+            drain_frames(data)
+        except IngestProtocolError as exc:
+            assert exc.code in protocol.ERROR_CODES
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        payload=st.dictionaries(
+            st.text(max_size=8), st.integers(), max_size=4
+        ),
+        cut=st.integers(min_value=0, max_value=200),
+    )
+    def test_truncated_valid_frames_are_typed(self, payload, cut):
+        wire = protocol.encode_frame(payload)
+        if cut >= len(wire):
+            assert protocol.read_frame(io.BytesIO(wire)) == payload
+            return
+        try:
+            drain_frames(wire[:cut])
+        except IngestProtocolError as exc:
+            assert exc.code in ("truncated", "malformed")
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        payload=st.dictionaries(
+            st.text(max_size=8), st.integers(), max_size=4
+        ),
+        position=st.integers(min_value=0, max_value=10_000),
+        flip=st.integers(min_value=1, max_value=255),
+    )
+    def test_corrupted_valid_frames_never_escape_untyped(
+        self, payload, position, flip
+    ):
+        wire = bytearray(protocol.encode_frame(payload))
+        wire[position % len(wire)] ^= flip
+        try:
+            drain_frames(bytes(wire))
+        except IngestProtocolError as exc:
+            assert exc.code in protocol.ERROR_CODES
+
+    def test_oversized_length_prefix_is_refused_without_reading_it(self):
+        wire = (
+            str(protocol.MAX_FRAME_BYTES + 1).encode() + b" " + b"{}" + b"\n"
+        )
+        with pytest.raises(IngestProtocolError) as excinfo:
+            protocol.read_frame(io.BytesIO(wire))
+        assert excinfo.value.code == "oversized"
+
+    def test_absurd_prefix_digits_are_malformed_not_oom(self):
+        wire = b"9" * 40 + b" {}\n"
+        with pytest.raises(IngestProtocolError) as excinfo:
+            protocol.read_frame(io.BytesIO(wire))
+        assert excinfo.value.code == "malformed"
+
+
+# -- live-socket fuzz ------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def live_ingest():
+    """A real ingest server over an *unstarted* supervisor.
+
+    Handshakes validate against the registry and reads hit the
+    supervisor, which answers ``not-accepting`` for the missing shard —
+    the full network path without paying for a pipeline build.
+    """
+    registry = DeploymentRegistry()
+    registry.register(
+        DeploymentSpec(
+            deployment_id="dep-fuzz",
+            seed=5,
+            num_tags=2,
+            num_antennas=2,
+            num_readers=2,
+        )
+    )
+    supervisor = ShardSupervisor(registry)
+    server = IngestServer(supervisor, timeout_s=2.0)
+    server.start()
+    try:
+        yield server
+    finally:
+        server.stop()
+
+
+def poke_server(server: IngestServer, data: bytes) -> None:
+    """Throw ``data`` at the server; demand an answer or a close, fast."""
+    with socket.create_connection(
+        (server.host, server.port), timeout=5.0
+    ) as sock:
+        sock.settimeout(5.0)
+        try:
+            sock.sendall(data)
+            sock.shutdown(socket.SHUT_WR)
+            while True:
+                # Bounded by the socket timeout: a hang fails the test.
+                if sock.recv(4096) == b"":
+                    return
+        except OSError:
+            return  # reset mid-conversation is an acceptable refusal
+
+
+class TestLiveServerFuzz:
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=1, max_size=256))
+    def test_garbage_never_hangs_the_server(self, live_ingest, data):
+        poke_server(live_ingest, data)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        position=st.integers(min_value=0, max_value=10_000),
+        flip=st.integers(min_value=1, max_value=255),
+    )
+    def test_corrupted_hello_gets_a_typed_refusal(
+        self, live_ingest, position, flip
+    ):
+        hello = protocol.IngestHello(
+            deployment="dep-fuzz", readers=("reader-0",)
+        )
+        wire = bytearray(protocol.encode_frame(hello.to_dict()))
+        wire[position % len(wire)] ^= flip
+        poke_server(live_ingest, bytes(wire))
+
+    def test_valid_hello_then_reads_gets_not_accepting(self, live_ingest):
+        hello = protocol.IngestHello(
+            deployment="dep-fuzz", readers=("reader-0",)
+        )
+        with socket.create_connection(
+            (live_ingest.host, live_ingest.port), timeout=5.0
+        ) as sock:
+            sock.settimeout(5.0)
+            rfile = sock.makefile("rb")
+            wfile = sock.makefile("wb")
+            protocol.write_frame(wfile, hello.to_dict())
+            ack = protocol.read_frame(rfile)
+            assert ack is not None and ack["status"] == "ok"
+            protocol.write_frame(wfile, protocol.reads_frame(1, []))
+            reply = protocol.read_frame(rfile)
+            assert reply is not None
+            assert reply.get("code") == "not-accepting"
+
+    def test_server_survives_the_fuzz_and_still_handshakes(self, live_ingest):
+        hello = protocol.IngestHello(deployment="dep-fuzz")
+        with socket.create_connection(
+            (live_ingest.host, live_ingest.port), timeout=5.0
+        ) as sock:
+            sock.settimeout(5.0)
+            rfile = sock.makefile("rb")
+            wfile = sock.makefile("wb")
+            protocol.write_frame(wfile, hello.to_dict())
+            ack = protocol.read_frame(rfile)
+            assert ack is not None and ack["status"] == "ok"

@@ -1,0 +1,135 @@
+"""Checkpoint lineage: rotation, walk-back recovery, quarantine.
+
+These run against the supervisor's disk machinery alone — no shards,
+no pipeline builds — so every corruption scenario is cheap to stage
+byte-for-byte with :func:`repro.faults.net.corrupt_file`.
+"""
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.faults.net import corrupt_file
+from repro.serve.registry import DeploymentRegistry, DeploymentSpec
+from repro.serve.shard import (
+    checkpoint_history_paths,
+    rotate_checkpoint_history,
+    write_checkpoint_file,
+)
+from repro.serve.supervisor import ShardSupervisor
+from repro.stream.checkpoint import (
+    QUARANTINE_SUFFIX,
+    checkpoint_history_dir,
+    checkpoint_id,
+    load_checkpoint,
+)
+
+DEPLOYMENT = "dep-a"
+
+
+@pytest.fixture()
+def supervisor(tmp_path):
+    registry = DeploymentRegistry()
+    registry.register(
+        DeploymentSpec(deployment_id=DEPLOYMENT, seed=3, num_readers=2)
+    )
+    return ShardSupervisor(registry, checkpoint_dir=tmp_path / "ckpt")
+
+
+def save(supervisor, state, keep=3):
+    path = supervisor.checkpoint_path(DEPLOYMENT)
+    write_checkpoint_file(path, state, history_keep=keep)
+    return path
+
+
+class TestHistoryRotation:
+    def test_first_write_has_no_history(self, supervisor):
+        path = save(supervisor, {"generation": 0})
+        assert not checkpoint_history_dir(path).exists()
+        assert checkpoint_history_paths(path) == [path]
+
+    def test_rotation_preserves_the_ancestor(self, supervisor):
+        path = save(supervisor, {"generation": 0})
+        save(supervisor, {"generation": 1})
+        candidates = checkpoint_history_paths(path)
+        assert len(candidates) == 2
+        assert load_checkpoint(candidates[0]) == {"generation": 1}
+        assert load_checkpoint(candidates[1]) == {"generation": 0}
+
+    def test_depth_is_bounded_by_history_keep(self, supervisor):
+        path = supervisor.checkpoint_path(DEPLOYMENT)
+        for generation in range(7):
+            save(supervisor, {"generation": generation}, keep=3)
+        candidates = checkpoint_history_paths(path)
+        assert len(candidates) == 4  # latest + 3 ancestors
+        generations = [
+            load_checkpoint(candidate)["generation"]
+            for candidate in candidates
+        ]
+        assert generations == [6, 5, 4, 3]  # newest first, oldest pruned
+
+    def test_zero_keep_rotates_nothing(self, supervisor):
+        path = supervisor.checkpoint_path(DEPLOYMENT)
+        save(supervisor, {"generation": 0}, keep=0)
+        save(supervisor, {"generation": 1}, keep=0)
+        assert checkpoint_history_paths(path) == [path]
+
+    def test_rotate_is_a_noop_without_a_latest_file(self, supervisor):
+        path = supervisor.checkpoint_path(DEPLOYMENT)
+        rotate_checkpoint_history(path, 3)
+        assert checkpoint_history_paths(path) == []
+
+
+class TestWalkBackRecovery:
+    def test_healthy_latest_wins(self, supervisor):
+        save(supervisor, {"generation": 0})
+        save(supervisor, {"generation": 1})
+        assert supervisor.recover_checkpoint(DEPLOYMENT) == {"generation": 1}
+
+    def test_corrupt_latest_falls_back_to_ancestor(self, supervisor):
+        path = save(supervisor, {"generation": 0})
+        save(supervisor, {"generation": 1})
+        corrupt_file(path, mode="flip", seed=5)
+        state = supervisor.recover_checkpoint(DEPLOYMENT)
+        assert state == {"generation": 0}
+
+    def test_corrupt_candidates_are_quarantined_not_deleted(self, supervisor):
+        path = save(supervisor, {"generation": 0})
+        save(supervisor, {"generation": 1})
+        healthy = path.read_bytes()
+        corrupt_file(path, mode="flip", seed=5)
+        damaged = path.read_bytes()
+        supervisor.recover_checkpoint(DEPLOYMENT)
+        specimens = list(path.parent.glob(f"*{QUARANTINE_SUFFIX}*"))
+        assert len(specimens) == 1
+        # The quarantined specimen is the damaged file, byte for byte.
+        assert specimens[0].read_bytes() == damaged
+        assert specimens[0].read_bytes() != healthy
+
+    def test_walks_multiple_corrupt_generations(self, supervisor):
+        path = supervisor.checkpoint_path(DEPLOYMENT)
+        for generation in range(4):
+            save(supervisor, {"generation": generation})
+        corrupt_file(path, mode="truncate")
+        history = checkpoint_history_paths(path)
+        corrupt_file(history[1], mode="garbage", seed=2)
+        assert supervisor.recover_checkpoint(DEPLOYMENT) == {"generation": 1}
+
+    def test_no_verifiable_candidate_raises(self, supervisor):
+        path = save(supervisor, {"generation": 0})
+        corrupt_file(path, mode="garbage", seed=1)
+        with pytest.raises(CheckpointError, match="no verifiable checkpoint"):
+            supervisor.recover_checkpoint(DEPLOYMENT)
+        # The sole candidate is now a specimen, not silently gone.
+        assert list(path.parent.glob(f"*{QUARANTINE_SUFFIX}*"))
+
+    def test_no_candidates_at_all_raises(self, supervisor):
+        with pytest.raises(CheckpointError, match="0 candidate"):
+            supervisor.recover_checkpoint(DEPLOYMENT)
+
+    def test_recovered_state_keeps_its_identity(self, supervisor):
+        state = {"generation": 0, "nested": {"k": [1, 2, 3]}}
+        path = save(supervisor, state)
+        save(supervisor, {"generation": 1})
+        corrupt_file(path, mode="flip", seed=9)
+        recovered = supervisor.recover_checkpoint(DEPLOYMENT)
+        assert checkpoint_id(recovered) == checkpoint_id(state)

@@ -141,3 +141,40 @@ class TestDefaultFleet:
         # behind identical reader names.
         assert len({spec.num_readers for spec in fleet}) > 1
         assert len({spec.seed for spec in fleet}) == 8
+
+
+class TestForwardCompat:
+    """Registry files written by newer builds must load, not crash."""
+
+    def _document_with_state(self, state):
+        registry = DeploymentRegistry()
+        registry.register(spec("dep-a"))
+        document = registry.to_document()
+        document["deployments"][0]["state"] = state
+        return document
+
+    def test_unknown_shard_state_maps_to_failed(self):
+        loaded = DeploymentRegistry.from_document(
+            self._document_with_state("hibernating")
+        )
+        assert loaded.state_of("dep-a") == "failed"
+        note = loaded.snapshot()["dep-a"]["last_error"]
+        assert "hibernating" in note
+
+    def test_known_states_still_load_exactly(self):
+        loaded = DeploymentRegistry.from_document(
+            self._document_with_state("failed")
+        )
+        assert loaded.state_of("dep-a") == "failed"
+
+    def test_unknown_state_does_not_poison_the_fleet(self):
+        document = self._document_with_state("hibernating")
+        document["deployments"].append(
+            {"spec": spec("dep-b").to_dict(), "state": "stopped"}
+        )
+        loaded = DeploymentRegistry.from_document(document)
+        assert loaded.state_of("dep-b") == "stopped"
+        # And the quarantined deployment can be recovered like any
+        # failed one: an operator restart walks failed -> starting.
+        loaded.set_state("dep-a", "starting")
+        assert loaded.state_of("dep-a") == "starting"

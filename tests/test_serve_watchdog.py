@@ -1,0 +1,145 @@
+"""Watchdog: hung-shard detection, kill+restart, lineage and budgets.
+
+One module-scoped scenario pays the pipeline-build cost once: a
+single-deployment thread fleet is fed halfway, checkpointed, then
+*stalled* (the worker wedges but neither its thread nor its state
+dies) — the watchdog's scan must declare the hang, recycle the shard
+through the supervisor's restart budget, and the resumed shard must
+finish the stream with its lineage chained through the checkpoint.
+"""
+
+import time
+
+import pytest
+
+from repro.errors import ShardError
+from repro.serve.registry import DeploymentRegistry, DeploymentSpec
+from repro.serve.supervisor import ShardSupervisor
+from repro.serve.watchdog import ShardWatchdog
+from repro.sim.environments import hall_scene
+from repro.stream.synthetic import SyntheticStreamConfig, synthetic_reads
+
+SPEC = DeploymentSpec(
+    deployment_id="dep-w",
+    seed=17,
+    num_tags=3,
+    num_antennas=3,
+    num_readers=2,
+)
+
+
+def _reads():
+    scene = hall_scene(
+        rng=SPEC.seed,
+        num_tags=SPEC.num_tags,
+        num_antennas=SPEC.num_antennas,
+        num_readers=SPEC.num_readers,
+    )
+    return list(
+        synthetic_reads(scene, SyntheticStreamConfig(fixes=3), rng=SPEC.seed + 3)
+    )
+
+
+@pytest.fixture(scope="module")
+def hang_drill(tmp_path_factory):
+    registry = DeploymentRegistry()
+    registry.register(SPEC)
+    supervisor = ShardSupervisor(
+        registry,
+        checkpoint_dir=tmp_path_factory.mktemp("ckpt"),
+        workers="thread",
+    )
+    watchdog = ShardWatchdog(supervisor, hang_after_s=0.3)
+    supervisor.start()
+    result = {"supervisor": supervisor, "watchdog": watchdog}
+    try:
+        reads = _reads()
+        half = len(reads) // 2
+        supervisor.route(SPEC.deployment_id, reads[:half])
+        result["checkpoint_id"] = supervisor.checkpoint(SPEC.deployment_id)
+        shard = supervisor.shard(SPEC.deployment_id)
+        shard.stall(30.0)
+        # Give the stalled worker a beat to freeze its heartbeat, and
+        # capture the hallmark of a *hang*: live state, no failure.
+        time.sleep(0.6)
+        result["state_during_stall"] = shard.state
+        result["failure_during_stall"] = shard.failure
+        result["age_during_stall"] = shard.liveness_age()
+        # Deterministic scan instead of the background loop.
+        recycled = []
+        deadline = time.monotonic() + 15.0
+        while not recycled and time.monotonic() < deadline:
+            recycled = watchdog.scan_once()
+            time.sleep(0.05)
+        result["recycled"] = recycled
+        # The replacement must finish the stream.
+        deadline = time.monotonic() + 15.0
+        while (
+            supervisor.shard(SPEC.deployment_id).state != "live"
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.05)
+        supervisor.route(SPEC.deployment_id, reads[half:])
+    finally:
+        supervisor.stop(drain=True)
+    result["records"] = supervisor.shard(SPEC.deployment_id).fix_records()
+    result["health"] = supervisor.health_document()
+    return result
+
+
+class TestHangDetection:
+    def test_stalled_shard_reads_as_live_not_failed(self, hang_drill):
+        assert hang_drill["state_during_stall"] == "live"
+        assert hang_drill["failure_during_stall"] is None
+
+    def test_liveness_age_grows_past_deadline(self, hang_drill):
+        assert hang_drill["age_during_stall"] > 0.3
+
+    def test_watchdog_recycles_the_hung_shard(self, hang_drill):
+        assert hang_drill["recycled"] == [SPEC.deployment_id]
+        assert hang_drill["watchdog"].hangs_declared >= 1
+        assert hang_drill["watchdog"].restarts_triggered >= 1
+
+    def test_fixes_resume_after_recycle(self, hang_drill):
+        # The pre-stall fix lives on the recycled shard; the restored
+        # shard still owns the rest of the stream.
+        assert len(hang_drill["records"]) >= 2
+
+    def test_lineage_chains_through_the_checkpoint(self, hang_drill):
+        lineages = [
+            record["provenance"]["checkpoint_lineage"]
+            for record in hang_drill["records"]
+        ]
+        assert any(
+            hang_drill["checkpoint_id"] in lineage for lineage in lineages
+        )
+
+    def test_restart_is_accounted_in_health(self, hang_drill):
+        deployment = hang_drill["health"]["deployments"][SPEC.deployment_id]
+        assert deployment["restarts"] >= 1
+
+
+class TestWatchdogLoop:
+    def test_background_loop_starts_and_stops(self):
+        registry = DeploymentRegistry()
+        supervisor = ShardSupervisor(registry)
+        watchdog = ShardWatchdog(supervisor, hang_after_s=1.0)
+        with watchdog:
+            time.sleep(0.05)
+        assert watchdog.scans >= 1
+
+    def test_supervisor_owns_a_watchdog_when_configured(self):
+        registry = DeploymentRegistry()
+        supervisor = ShardSupervisor(registry, hang_after_s=1.0)
+        supervisor.start()
+        try:
+            assert supervisor.watchdog is not None
+        finally:
+            supervisor.stop()
+        assert supervisor.watchdog is None
+
+    def test_invalid_deadline_rejected(self):
+        registry = DeploymentRegistry()
+        supervisor = ShardSupervisor(registry)
+        with pytest.raises(ShardError):
+            ShardWatchdog(supervisor, hang_after_s=0.0)

@@ -11,12 +11,18 @@ from repro.sim.measurement import MeasurementSession
 from repro.stream import (
     CHECKPOINT_KIND,
     CHECKPOINT_SCHEMA,
+    INTEGRITY_KEY,
+    QUARANTINE_SUFFIX,
     StreamRunner,
+    checkpoint_history_dir,
     checkpoint_id,
     checkpoint_state,
+    durable_write_json,
     load_checkpoint,
+    quarantine_checkpoint,
     restore_state,
     save_checkpoint,
+    seal_state,
 )
 from repro.stream.synthetic import SyntheticStreamConfig, synthetic_reads
 
@@ -177,3 +183,93 @@ class TestFiles:
         path.write_text("[1, 2, 3]")
         with pytest.raises(CheckpointError, match="object"):
             load_checkpoint(path)
+
+
+class TestIntegrity:
+    def test_saved_files_carry_an_integrity_digest(
+        self, tracking, tmp_path
+    ):
+        scene, dwatch = tracking
+        runner, state, _, _ = mid_run_state(scene, dwatch)
+        path = tmp_path / "run.ckpt.json"
+        save_checkpoint(path, runner)
+        raw = json.loads(path.read_text())
+        assert raw[INTEGRITY_KEY] == checkpoint_id(state)
+
+    def test_digest_excluded_from_checkpoint_id(self, tracking):
+        scene, dwatch = tracking
+        _, state, _, _ = mid_run_state(scene, dwatch)
+        assert checkpoint_id(seal_state(state)) == checkpoint_id(state)
+
+    def test_bit_flip_is_caught_on_load(self, tracking, tmp_path):
+        scene, dwatch = tracking
+        runner, _, _, _ = mid_run_state(scene, dwatch)
+        path = tmp_path / "run.ckpt.json"
+        save_checkpoint(path, runner)
+        raw = json.loads(path.read_text())
+        raw["fixes_emitted"] = int(raw["fixes_emitted"]) + 1
+        path.write_text(json.dumps(raw, sort_keys=True))
+        with pytest.raises(CheckpointError, match="corrupt"):
+            load_checkpoint(path)
+
+    def test_verify_false_loads_a_tampered_file(self, tracking, tmp_path):
+        scene, dwatch = tracking
+        runner, _, _, _ = mid_run_state(scene, dwatch)
+        path = tmp_path / "run.ckpt.json"
+        save_checkpoint(path, runner)
+        raw = json.loads(path.read_text())
+        raw["fixes_emitted"] = int(raw["fixes_emitted"]) + 1
+        path.write_text(json.dumps(raw, sort_keys=True))
+        loaded = load_checkpoint(path, verify=False)
+        assert INTEGRITY_KEY not in loaded
+
+    def test_legacy_files_without_digest_load(self, tracking, tmp_path):
+        scene, dwatch = tracking
+        _, state, _, _ = mid_run_state(scene, dwatch)
+        path = tmp_path / "legacy.ckpt.json"
+        path.write_text(json.dumps(state, sort_keys=True))
+        assert load_checkpoint(path) == state
+
+
+class TestQuarantine:
+    def test_quarantine_renames_never_deletes(self, tmp_path):
+        path = tmp_path / "dep.ckpt.json"
+        path.write_text("broken {")
+        moved = quarantine_checkpoint(path)
+        assert not path.exists()
+        assert moved == tmp_path / ("dep.ckpt.json" + QUARANTINE_SUFFIX)
+        assert moved.read_text() == "broken {"
+
+    def test_repeat_quarantine_keeps_every_specimen(self, tmp_path):
+        path = tmp_path / "dep.ckpt.json"
+        path.write_text("first")
+        first = quarantine_checkpoint(path)
+        path.write_text("second")
+        second = quarantine_checkpoint(path)
+        assert first != second
+        assert first.read_text() == "first"
+        assert second.read_text() == "second"
+
+    def test_quarantining_a_missing_file_raises(self, tmp_path):
+        with pytest.raises(CheckpointError, match="quarantine"):
+            quarantine_checkpoint(tmp_path / "absent.json")
+
+
+class TestDurableWrite:
+    def test_no_temp_sibling_left_behind(self, tmp_path):
+        path = tmp_path / "doc.json"
+        durable_write_json(path, {"a": 1})
+        assert json.loads(path.read_text()) == {"a": 1}
+        assert list(tmp_path.iterdir()) == [path]
+
+    def test_replaces_existing_file_atomically(self, tmp_path):
+        path = tmp_path / "doc.json"
+        durable_write_json(path, {"v": 1})
+        durable_write_json(path, {"v": 2})
+        assert json.loads(path.read_text()) == {"v": 2}
+
+    def test_history_dir_is_a_sibling(self, tmp_path):
+        path = tmp_path / "dep-00.ckpt.json"
+        assert checkpoint_history_dir(path) == tmp_path / (
+            "dep-00.ckpt.json.history"
+        )

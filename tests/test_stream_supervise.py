@@ -99,3 +99,49 @@ class TestSupervisedReads:
         out = list(supervised_reads(source, policy, sleep=lambda _: None))
         assert source.opens == 4
         assert out[-1].epc == "tag-1"
+
+
+class TestBackoffJitter:
+    """Seeded jitter: the anti-thundering-herd satellite."""
+
+    def test_jitter_bounds_are_validated(self):
+        with pytest.raises(ConfigurationError, match="jitter"):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(ConfigurationError, match="jitter"):
+            RetryPolicy(jitter=1.0)
+
+    def test_no_rng_keeps_the_schedule_exact(self):
+        policy = RetryPolicy(base_delay_s=0.1, jitter=0.5)
+        assert policy.delay_for(0) == pytest.approx(0.1)
+
+    def test_jittered_delays_stay_within_the_band(self):
+        from repro.utils.rng import ensure_rng
+
+        policy = RetryPolicy(
+            base_delay_s=0.1, multiplier=2.0, max_delay_s=0.8, jitter=0.25
+        )
+        rng = ensure_rng(7)
+        for attempt in range(8):
+            exact = policy.delay_for(attempt)
+            jittered = policy.delay_for(attempt, rng=rng)
+            assert 0.75 * exact <= jittered <= 1.25 * exact
+
+    def test_same_seed_replays_the_same_schedule(self):
+        from repro.utils.rng import ensure_rng
+
+        policy = RetryPolicy(base_delay_s=0.1, jitter=0.25)
+        first = [
+            policy.delay_for(i, rng=ensure_rng(13)) for i in range(1)
+        ] + [policy.delay_for(i, rng=ensure_rng(13)) for i in range(1)]
+        assert first[0] == first[1]
+
+    def test_distinct_seeds_desynchronize_the_herd(self):
+        from repro.utils.rng import ensure_rng
+
+        policy = RetryPolicy(base_delay_s=0.1, jitter=0.25)
+        delays = {
+            round(policy.delay_for(0, rng=ensure_rng(seed)), 12)
+            for seed in range(16)
+        }
+        # Sixteen publishers, (almost surely) sixteen schedules.
+        assert len(delays) > 1

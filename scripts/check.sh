@@ -120,8 +120,18 @@ OPS_SMOKE
 echo "== bench smoke (perf harness writes BENCH_pipeline.json) =="
 # Validates the perf-trajectory harness end to end; the smoke workload
 # is sized for gating, not for recording speedups (run bench.py without
-# --smoke for those).
-PYTHONPATH=src python scripts/bench.py --smoke --output BENCH_pipeline.json
+# --smoke for those).  When a committed record already exists it is
+# diffed report-only: smoke workloads on a loaded runner jitter past
+# the 15% gate routinely, so regressions print here but do not fail
+# the check (a CI perf job can drop the `|| true` to make it a gate).
+if [ -f BENCH_pipeline.json ]; then
+    cp BENCH_pipeline.json "$SMOKE_DIR/bench_baseline.json"
+    PYTHONPATH=src python scripts/bench.py --smoke --output BENCH_pipeline.json \
+        --compare "$SMOKE_DIR/bench_baseline.json" \
+        || echo "bench compare: regression reported (report-only in check.sh)"
+else
+    PYTHONPATH=src python scripts/bench.py --smoke --output BENCH_pipeline.json
+fi
 
 echo "== obs bench smoke (overhead harness writes BENCH_obs.json) =="
 PYTHONPATH=src python scripts/bench.py --obs --smoke --output BENCH_obs.json

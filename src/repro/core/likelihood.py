@@ -49,10 +49,11 @@ class _InterpTable:
 
     xp: np.ndarray  #: the angle axis the table was built against
     j: np.ndarray  #: left bin index per cell, clipped to [0, G - 2]
+    j1: np.ndarray  #: ``j + 1``, precomputed for the right-edge gather
     dx: np.ndarray  #: ``theta - xp[j]`` per cell
     dxp: np.ndarray  #: ``xp[j + 1] - xp[j]`` per cell
-    lo: np.ndarray  #: cells with ``theta < xp[0]``
-    hi: np.ndarray  #: cells with ``theta >= xp[-1]``
+    lo: np.ndarray  #: indices of cells with ``theta < xp[0]``
+    hi: np.ndarray  #: indices of cells with ``theta >= xp[-1]``
 
 
 @dataclass(frozen=True)
@@ -118,7 +119,6 @@ class LikelihoodMap:
         # "one interp per active reader" instead of recomputing
         # trigonometry over tens of thousands of cells.
         self._grid_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
-        self._mesh_cache: Optional[Tuple[np.ndarray, np.ndarray]] = None
         self._angle_cache: Dict[str, np.ndarray] = {}
         self._interp_cache: Dict[str, _InterpTable] = {}
         # Single-entry point-evaluator context cache.  One fix probes
@@ -176,10 +176,14 @@ class LikelihoodMap:
         entry = _InterpTable(
             xp=axis,
             j=j,
+            j1=j + 1,
             dx=theta - axis[j],
             dxp=axis[j + 1] - axis[j],
-            lo=theta < axis[0],
-            hi=theta >= axis[-1],
+            # Index arrays, not boolean masks: the boundary cells are a
+            # handful, and flat-index assignment skips the full-grid
+            # mask scan every fix would otherwise pay.
+            lo=np.flatnonzero(theta < axis[0]),
+            hi=np.flatnonzero(theta >= axis[-1]),
         )
         self._interp_cache[reader_name] = entry
         return entry
@@ -211,10 +215,13 @@ class LikelihoodMap:
                 table = self._table_for(item.reader_name, item.drop.angles)
                 fp = item.drop.values
                 left = fp[table.j]
-                factor = (fp[table.j + 1] - left) / table.dxp * table.dx + left
+                factor = (fp[table.j1] - left) / table.dxp * table.dx + left
                 factor[table.hi] = fp[-1]
                 factor[table.lo] = fp[0]
-                likelihood *= self.floor + factor.reshape(theta.shape)
+                # In-place floor add: same values as `floor + factor`,
+                # one fewer full-grid temporary.
+                factor += self.floor
+                likelihood *= factor.reshape(theta.shape)
             obs.count("grid.cells_evaluated", likelihood.size * len(active))
         return xs, ys, likelihood
 
@@ -279,10 +286,13 @@ class LikelihoodMap:
     ) -> List[LocationEstimate]:
         xs, ys, likelihood = self.evaluate(evidence)
         working = likelihood.copy()
-        if self._mesh_cache is None:
-            grid_x, grid_y = np.meshgrid(xs, ys)
-            self._mesh_cache = (grid_x, grid_y)
-        grid_x, grid_y = self._mesh_cache
+        # Suppression only ever zeroes cells within min_separation of a
+        # mode, so the distance test runs on the bounding-box window of
+        # each candidate instead of the whole grid.  One cell of
+        # padding absorbs the subtraction round-off at the rim, keeping
+        # the selected cells identical to the full-grid mask.
+        radius = min_separation + self.cell_size
+        threshold = min_separation**2
         modes: List[LocationEstimate] = []
         for _ in range(max_modes):
             flat_index = int(np.argmax(working))
@@ -304,10 +314,14 @@ class LikelihoodMap:
                     position=candidate, likelihood=value, per_reader_angles=angles
                 )
             )
-            suppress = (
-                (grid_x - candidate.x) ** 2 + (grid_y - candidate.y) ** 2
-            ) < min_separation**2
-            working[suppress] = 0.0
+            ix0 = int(np.searchsorted(xs, candidate.x - radius, side="left"))
+            ix1 = int(np.searchsorted(xs, candidate.x + radius, side="right"))
+            iy0 = int(np.searchsorted(ys, candidate.y - radius, side="left"))
+            iy1 = int(np.searchsorted(ys, candidate.y + radius, side="right"))
+            suppress = (xs[ix0:ix1] - candidate.x) ** 2 + (
+                ys[iy0:iy1, None] - candidate.y
+            ) ** 2 < threshold
+            working[iy0:iy1, ix0:ix1][suppress] = 0.0
         return modes
 
     def estimate_at(

@@ -1,0 +1,331 @@
+"""Array-API dispatch for the batched spectral kernels (ROADMAP item 2).
+
+The batched P-MUSIC chain is a handful of dense primitives — GEMM,
+Hermitian eigendecomposition, and contraction — applied to ``(N, M, M)``
+stacks.  This module gives those primitives one dispatch point so the
+same kernels can run on NumPy (the default and the only *exact*
+backend), PyTorch, or CuPy without `repro.dsp.batch` knowing which
+library is underneath.
+
+Design rules, in order of precedence:
+
+1. **NumPy is the ground truth.**  :class:`NumpyBackend` is a pure
+   passthrough — same functions, same call shapes — so the batched ≡
+   scalar bit-exactness contract of :mod:`repro.dsp.batch` is untouched
+   when it is active (which it is by default).
+2. **Optional backends are probed, never trusted.**  Like the verified
+   fast-peak path in :mod:`repro.dsp.peaks`, a non-NumPy backend must
+   first reproduce a reference workload (GEMM + ``eigh`` + Bartlett
+   contraction) within tolerance on this machine.  An import failure or
+   a probe mismatch permanently demotes the request to NumPy and bumps
+   the ``dsp.backend.fallbacks`` counter — callers always get *a*
+   working backend.
+3. **ndarray in, ndarray out.**  Conversions live inside the backend;
+   callers keep NumPy semantics and dtypes at the boundary, so spectra,
+   peaks and the downstream detector never see foreign tensor types.
+
+Resolution order for the default backend: explicit ``set_backend`` /
+``use_backend`` call, else the ``REPRO_BACKEND`` environment variable,
+else NumPy.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.analysis.sanitizer import sanitized_lock
+from repro.utils.arrays import ComplexArray, FloatArray
+
+__all__ = [
+    "ArrayBackend",
+    "BackendError",
+    "NumpyBackend",
+    "TorchBackend",
+    "active_backend",
+    "available_backends",
+    "get_backend",
+    "set_backend",
+    "use_backend",
+]
+
+
+class BackendError(ValueError):
+    """An unknown backend name was requested."""
+
+
+class ArrayBackend:
+    """The primitive kernels :mod:`repro.dsp.batch` dispatches through.
+
+    The base class *is* the NumPy implementation; optional backends
+    override the primitives and set ``exact = False`` (their results
+    match NumPy only within floating-point tolerance, so the
+    bit-exactness property tests pin the NumPy backend explicitly).
+    """
+
+    #: Dispatch name, as accepted by :func:`get_backend`.
+    name: str = "numpy"
+    #: Whether results are bit-identical to the scalar NumPy reference.
+    exact: bool = True
+
+    def matmul(self, a: ComplexArray, b: ComplexArray) -> ComplexArray:
+        """Stacked matrix product with NumPy broadcasting semantics."""
+        return np.matmul(a, b)
+
+    def eigh(self, stack: ComplexArray) -> Tuple[FloatArray, ComplexArray]:
+        """Ascending eigenvalues and eigenvectors of a Hermitian stack."""
+        eigenvalues, eigenvectors = np.linalg.eigh(stack)
+        return eigenvalues, eigenvectors
+
+    def eigvalsh(self, stack: ComplexArray) -> FloatArray:
+        """Ascending eigenvalues of a Hermitian stack."""
+        return np.asarray(np.linalg.eigvalsh(stack))
+
+    def einsum(self, subscripts: str, *operands: Any) -> Any:
+        """``np.einsum`` with the backend's contraction kernels."""
+        return np.einsum(subscripts, *operands)
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r} exact={self.exact}>"
+
+
+class NumpyBackend(ArrayBackend):
+    """The default (and only bit-exact) backend."""
+
+
+class TorchBackend(ArrayBackend):
+    """PyTorch CPU/GPU execution of the same primitives.
+
+    Tensors are converted at the boundary: every primitive accepts and
+    returns ``np.ndarray``.  Results agree with NumPy to floating-point
+    tolerance, not bit-exactly — the import-time probe enforces the
+    former and the ``exact`` flag declares the latter.
+    """
+
+    name = "torch"
+    exact = False
+
+    def __init__(self) -> None:
+        import torch  # raises ImportError when absent; handled by get_backend
+
+        self._torch = torch
+
+    def _to(self, array: Any) -> Any:
+        return self._torch.from_numpy(np.ascontiguousarray(array))
+
+    def matmul(self, a: ComplexArray, b: ComplexArray) -> ComplexArray:
+        result = self._torch.matmul(self._to(a), self._to(b))
+        return np.asarray(result.numpy())
+
+    def eigh(self, stack: ComplexArray) -> Tuple[FloatArray, ComplexArray]:
+        eigenvalues, eigenvectors = self._torch.linalg.eigh(self._to(stack))
+        return np.asarray(eigenvalues.numpy()), np.asarray(eigenvectors.numpy())
+
+    def eigvalsh(self, stack: ComplexArray) -> FloatArray:
+        values = self._torch.linalg.eigvalsh(self._to(stack))
+        return np.asarray(values.numpy())
+
+    def einsum(self, subscripts: str, *operands: Any) -> Any:
+        tensors = [self._to(op) for op in operands]
+        return np.asarray(self._torch.einsum(subscripts, *tensors).numpy())
+
+
+class CupyBackend(ArrayBackend):
+    """CuPy (GPU) execution of the same primitives."""
+
+    name = "cupy"
+    exact = False
+
+    def __init__(self) -> None:
+        import cupy  # raises ImportError when absent; handled by get_backend
+
+        self._cupy = cupy
+
+    def matmul(self, a: ComplexArray, b: ComplexArray) -> ComplexArray:
+        cp = self._cupy
+        return np.asarray(cp.asnumpy(cp.matmul(cp.asarray(a), cp.asarray(b))))
+
+    def eigh(self, stack: ComplexArray) -> Tuple[FloatArray, ComplexArray]:
+        cp = self._cupy
+        eigenvalues, eigenvectors = cp.linalg.eigh(cp.asarray(stack))
+        return (
+            np.asarray(cp.asnumpy(eigenvalues)),
+            np.asarray(cp.asnumpy(eigenvectors)),
+        )
+
+    def eigvalsh(self, stack: ComplexArray) -> FloatArray:
+        cp = self._cupy
+        return np.asarray(cp.asnumpy(cp.linalg.eigvalsh(cp.asarray(stack))))
+
+    def einsum(self, subscripts: str, *operands: Any) -> Any:
+        cp = self._cupy
+        tensors = [cp.asarray(op) for op in operands]
+        return np.asarray(cp.asnumpy(cp.einsum(subscripts, *tensors)))
+
+
+_FACTORIES = {
+    "numpy": NumpyBackend,
+    "torch": TorchBackend,
+    "cupy": CupyBackend,
+}
+
+_lock = sanitized_lock("dsp.backend")
+_numpy_backend = NumpyBackend()
+#: Probed-and-verified backends by name; a name mapped to ``None``
+#: failed its probe (or its import) and permanently resolves to NumPy.
+_verified: Dict[str, Optional[ArrayBackend]] = {"numpy": _numpy_backend}
+#: The explicitly selected backend, if any (``set_backend`` /
+#: ``use_backend``); ``None`` defers to ``REPRO_BACKEND`` or NumPy.
+_selected: Optional[ArrayBackend] = None
+
+
+def _probe(backend: ArrayBackend) -> bool:
+    """Whether ``backend`` reproduces the NumPy reference workload.
+
+    One deterministic Hermitian stack through the three primitives the
+    batched chain uses.  Tolerances are loose enough for any sane BLAS
+    (the *bit*-level contract only ever applies to NumPy) but tight
+    enough that a broken conversion or a wrong-layout bug cannot pass.
+    """
+    # Fixed-seed construction, deliberately NOT an RngLike: the probe is
+    # a deterministic self-test, not simulation randomness, and must not
+    # consume entropy from (or depend on) any caller-supplied stream.
+    rng = np.random.default_rng(20160915)  # reprolint: disable=RL001
+    x = rng.normal(size=(3, 4, 16)) + 1j * rng.normal(size=(3, 4, 16))
+    r = np.matmul(x, x.conj().transpose(0, 2, 1)) / 16.0
+    r = 0.5 * (r + r.conj().transpose(0, 2, 1))
+    a = rng.normal(size=(4, 7)) + 1j * rng.normal(size=(4, 7))
+    try:
+        product = backend.matmul(r, a)
+        eigenvalues, eigenvectors = backend.eigh(r)
+        plain_values = backend.eigvalsh(r)
+        power = backend.einsum("mg,nmg->ng", a.conj(), np.matmul(r, a))
+    # Deliberately broad: a third-party backend can raise anything here
+    # (driver faults, dtype errors, missing device), and every failure
+    # mode means the same thing — demote to NumPy.
+    except Exception:  # noqa: BLE001  # reprolint: disable=RL005
+        return False
+    reference_w, reference_v = np.linalg.eigh(r)
+    if not np.allclose(product, np.matmul(r, a), rtol=1e-9, atol=1e-12):
+        return False
+    if not np.allclose(eigenvalues, reference_w, rtol=1e-7, atol=1e-10):
+        return False
+    if not np.allclose(plain_values, reference_w, rtol=1e-7, atol=1e-10):
+        return False
+    # Eigenvectors are phase-ambiguous; compare the projectors instead.
+    reconstructed = np.matmul(
+        eigenvectors * eigenvalues[:, None, :],
+        eigenvectors.conj().transpose(0, 2, 1),
+    )
+    if not np.allclose(reconstructed, r, rtol=1e-7, atol=1e-9):
+        return False
+    reference_power = np.einsum("mg,nmg->ng", a.conj(), np.matmul(r, a))
+    return bool(
+        np.allclose(power, reference_power, rtol=1e-9, atol=1e-12)
+    )
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Backend names :func:`get_backend` accepts on this machine.
+
+    ``numpy`` is always present; optional names appear when their
+    library imports *and* passes the verification probe.
+    """
+    names: List[str] = []
+    for name in _FACTORIES:
+        if _resolve(name, count_fallback=False).name == name:
+            names.append(name)
+    return tuple(names)
+
+
+def _resolve(name: str, count_fallback: bool = True) -> ArrayBackend:
+    """The verified backend for ``name``, demoting to NumPy on failure."""
+    with _lock:
+        if name in _verified:
+            cached = _verified[name]
+            if cached is not None:
+                return cached
+            demoted = True
+        else:
+            demoted = False
+    if demoted:
+        # A remembered demotion still counts: the metric tracks every
+        # request that degraded, not just the probe that discovered it.
+        if count_fallback:
+            obs.count("dsp.backend.fallbacks", labels={"requested": name})
+        return _numpy_backend
+    try:
+        backend: Optional[ArrayBackend] = _FACTORIES[name]()
+    except ImportError:
+        backend = None
+    if backend is not None and not _probe(backend):
+        backend = None
+    with _lock:
+        _verified[name] = backend
+    if backend is None:
+        if count_fallback:
+            obs.count("dsp.backend.fallbacks", labels={"requested": name})
+        return _numpy_backend
+    return backend
+
+
+def get_backend(name: Optional[str] = None) -> ArrayBackend:
+    """The backend for ``name``, or the session default when ``None``.
+
+    Unknown names raise :class:`BackendError`.  Known-but-unavailable
+    backends (library missing, probe failed) demote to NumPy and bump
+    ``dsp.backend.fallbacks`` — requesting ``torch`` on a NumPy-only
+    machine degrades, it never crashes.
+    """
+    if name is None:
+        with _lock:
+            if _selected is not None:
+                return _selected
+        name = os.environ.get("REPRO_BACKEND", "numpy").strip().lower()
+        if name not in _FACTORIES:
+            obs.count("dsp.backend.fallbacks", labels={"requested": name})
+            return _numpy_backend
+        return _resolve(name)
+    name = name.strip().lower()
+    if name not in _FACTORIES:
+        raise BackendError(
+            f"unknown dsp backend {name!r}; "
+            f"known backends: {', '.join(sorted(_FACTORIES))}"
+        )
+    return _resolve(name)
+
+
+def active_backend() -> ArrayBackend:
+    """The backend batched kernels dispatch through right now."""
+    return get_backend(None)
+
+
+def set_backend(name: Optional[str]) -> ArrayBackend:
+    """Select the session default backend (``None`` reverts to implicit).
+
+    Returns the backend that is actually active after selection, which
+    is NumPy when the requested one is unavailable on this machine.
+    """
+    global _selected
+    backend = None if name is None else get_backend(name)
+    with _lock:
+        _selected = backend
+    return active_backend()
+
+
+@contextmanager
+def use_backend(name: Optional[str]) -> Iterator[ArrayBackend]:
+    """Scoped :func:`set_backend`, restoring the previous selection."""
+    global _selected
+    with _lock:
+        previous = _selected
+    backend = set_backend(name)
+    try:
+        yield backend
+    finally:
+        with _lock:
+            _selected = previous

@@ -41,9 +41,14 @@ def bartlett_spectrum_from_covariance(
     m = r.shape[0]
     grid = default_angle_grid() if angle_grid is None else np.asarray(angle_grid)
     a = cached_steering_matrix(grid, m, spacing_m, wavelength_m)  # (M, G)
+    # GEMM for R a, then one contraction for sum_m conj(a) * (R a) —
+    # the exact two-step form the batched kernel
+    # (:func:`repro.dsp.batch.batched_bartlett_spectra`) stacks, so the
+    # scalar/batched bit-equality contract holds per construction.
     # The quadratic form a^H R a of a Hermitian R is mathematically real;
     # np.real only strips round-off in the imaginary storage.
-    values = np.real(np.einsum("mg,mk,kg->g", a.conj(), r, a)) / (m * m)  # reprolint: disable=RL003
+    product = r @ a  # (M, G)
+    values = np.real(np.einsum("mg,mg->g", a.conj(), product)) / (m * m)  # reprolint: disable=RL003,RL011
     return AngularSpectrum(grid, np.clip(values, 0.0, None))
 
 

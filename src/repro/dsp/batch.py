@@ -8,11 +8,19 @@ path's cost is dominated by Python/NumPy dispatch, not arithmetic.
 
 This module restates every stage over an ``(N, M, S)`` snapshot stack
 (or an ``(N, M, M)`` covariance stack for the streaming engine): one
-stacked matmul for the covariances, one batched ``np.linalg.eigh``,
-one masked projection for all noise subspaces, and one ``einsum`` for
-all Bartlett powers.  Peak detection stays per-item (scipy), but the
-per-lobe ``Nor(·)`` division is applied as a single fused ``(N, G)``
-operation.
+stacked matmul for the covariances, one batched Hermitian ``eigh``,
+one masked projection for all noise subspaces, and one stacked
+GEMM-plus-contraction for all Bartlett powers.  Peak detection stays
+per-item (scipy), but the per-lobe ``Nor(·)`` division is applied as a
+single fused ``(N, G)`` operation.
+
+Every dense primitive (GEMM, ``eigh``/``eigvalsh``, contraction)
+dispatches through :mod:`repro.dsp.backend`: NumPy — the default — is
+an exact passthrough, while ``torch``/``cupy`` run the same call
+shapes on their own kernels (tolerance-level agreement, enforced by
+the backend's verification probe).  The ``batch.*`` spans carry the
+dispatching backend's name so a profile always says which library
+produced it.
 
 **Equivalence contract.** Every kernel reproduces the scalar reference
 (:class:`repro.dsp.pmusic.PMusicEstimator`,
@@ -34,6 +42,8 @@ import numpy as np
 
 from repro import obs
 from repro.constants import MAX_DOMINANT_PATHS
+from repro.dsp.backend import ArrayBackend, active_backend
+from repro.dsp.music import sorted_eigh
 from repro.dsp.peaks import candidate_peak_indices, region_starts_from_indices
 from repro.dsp.pmusic import PMusicEstimator
 from repro.dsp.smoothing import default_subarray_size
@@ -103,30 +113,37 @@ def _as_stack(arrays: ArrayLike, kind: str) -> ComplexArray:
     return stack
 
 
-def batched_sample_covariance(snapshots: ArrayLike) -> ComplexArray:
+def batched_sample_covariance(
+    snapshots: ArrayLike, xp: Optional[ArrayBackend] = None
+) -> ComplexArray:
     """Stacked ``R_i = X_i X_i^H / N`` over an ``(N, M, S)`` snapshot stack.
 
     Bit-identical to mapping :func:`repro.dsp.covariance.sample_covariance`
     over the stack: the stacked matmul runs the same GEMM per item, and
     the Hermitian symmetrization is the same elementwise expression.
     """
+    xp = active_backend() if xp is None else xp
     x = _as_stack(snapshots, "snapshot")
     if x.shape[2] < 1:
         raise EstimationError("need at least one snapshot")
-    r = np.matmul(x, x.conj().transpose(0, 2, 1)) / x.shape[2]
+    r = xp.matmul(x, x.conj().transpose(0, 2, 1)) / x.shape[2]
     return (r + r.conj().transpose(0, 2, 1)) / 2.0
 
 
-def _batched_forward_backward(covariances: ComplexArray) -> ComplexArray:
+def _batched_forward_backward(
+    covariances: ComplexArray, xp: Optional[ArrayBackend] = None
+) -> ComplexArray:
+    xp = active_backend() if xp is None else xp
     length = covariances.shape[1]
     j = np.fliplr(np.eye(length))
-    return (covariances + np.matmul(np.matmul(j, covariances.conj()), j)) / 2.0
+    return (covariances + xp.matmul(xp.matmul(j, covariances.conj()), j)) / 2.0
 
 
 def batched_smoothed_covariance(
     snapshots: ArrayLike,
     subarray_size: int,
     forward_backward: bool = True,
+    xp: Optional[ArrayBackend] = None,
 ) -> ComplexArray:
     """Stacked spatial smoothing over an ``(N, M, S)`` snapshot stack.
 
@@ -134,6 +151,7 @@ def batched_smoothed_covariance(
     order so the floating-point sum matches
     :func:`repro.dsp.smoothing.spatially_smoothed_covariance` exactly.
     """
+    xp = active_backend() if xp is None else xp
     x = _as_stack(snapshots, "snapshot")
     m = x.shape[1]
     if not 2 <= subarray_size <= m:
@@ -145,10 +163,12 @@ def batched_smoothed_covariance(
         (x.shape[0], subarray_size, subarray_size), dtype=np.complex128
     )
     for start in range(num_subarrays):
-        accum += batched_sample_covariance(x[:, start : start + subarray_size, :])
+        accum += batched_sample_covariance(
+            x[:, start : start + subarray_size, :], xp=xp
+        )
     smoothed = accum / num_subarrays
     if forward_backward:
-        smoothed = _batched_forward_backward(smoothed)
+        smoothed = _batched_forward_backward(smoothed, xp=xp)
     return smoothed
 
 
@@ -156,6 +176,7 @@ def batched_smoothed_from_full(
     covariances: ArrayLike,
     subarray_size: int,
     forward_backward: bool = True,
+    xp: Optional[ArrayBackend] = None,
 ) -> ComplexArray:
     """Stacked covariance-domain smoothing over an ``(N, M, M)`` stack.
 
@@ -164,6 +185,7 @@ def batched_smoothed_from_full(
     averages the Hermitian-symmetrized ``(L, L)`` diagonal blocks in the
     same order.
     """
+    xp = active_backend() if xp is None else xp
     r = _as_stack(covariances, "covariance")
     m = r.shape[1]
     if r.shape[2] != m:
@@ -181,29 +203,25 @@ def batched_smoothed_from_full(
         accum += (block + block.conj().transpose(0, 2, 1)) / 2.0
     smoothed = accum / num_subarrays
     if forward_backward:
-        smoothed = _batched_forward_backward(smoothed)
+        smoothed = _batched_forward_backward(smoothed, xp=xp)
     return smoothed
 
 
 def batched_eigendecompose(
-    covariances: ArrayLike,
+    covariances: ArrayLike, xp: Optional[ArrayBackend] = None
 ) -> Tuple[FloatArray, ComplexArray]:
     """Descending eigenvalues/vectors of an ``(N, L, L)`` Hermitian stack.
 
     One LAPACK call per item either way — batching removes only the
-    Python dispatch — and the descending reorder uses the same stable
-    ``argsort`` indices as :func:`repro.dsp.music.eigendecompose`.
+    Python dispatch.  The eigh-then-sort sequence itself is
+    :func:`repro.dsp.music.sorted_eigh`, shared with the scalar
+    reference so the two orderings cannot drift.
     """
+    xp = active_backend() if xp is None else xp
     r = _as_stack(covariances, "covariance")
     if r.shape[1] != r.shape[2]:
         raise EstimationError("covariances must be square (N, L, L)")
-    eigenvalues, eigenvectors = np.linalg.eigh(r)
-    order = np.argsort(eigenvalues, axis=1)[:, ::-1]
-    values = np.take_along_axis(eigenvalues, order, axis=1)
-    vectors = np.take_along_axis(eigenvectors, order[:, None, :], axis=2)
-    # eigh of a Hermitian stack returns mathematically real eigenvalues;
-    # .real only strips the zero imaginary storage.
-    return values.real, vectors  # reprolint: disable=RL003
+    return sorted_eigh(r, xp=xp)
 
 
 def batched_estimate_num_sources(
@@ -239,6 +257,7 @@ def batched_music_spectra(
     spacing_m: float,
     wavelength_m: float,
     angle_grid: FloatArray,
+    xp: Optional[ArrayBackend] = None,
 ) -> FloatArray:
     """All N MUSIC pseudo-spectra from a descending eigenvector stack.
 
@@ -252,6 +271,7 @@ def batched_music_spectra(
     faster still, but small-row GEMMs can take a different BLAS path
     than the full square product, which breaks bit-equality.)
     """
+    xp = active_backend() if xp is None else xp
     vectors = _as_stack(eigenvectors, "eigenvector")
     length = vectors.shape[1]
     p = np.asarray(num_sources, dtype=np.int64)
@@ -266,7 +286,7 @@ def batched_music_spectra(
     for count in np.unique(p):
         idx = np.nonzero(p == count)[0]
         un_t = vectors[idx][:, :, count:].conj().transpose(0, 2, 1)
-        projected = np.matmul(un_t, a)  # (K, L - P, G)
+        projected = xp.matmul(un_t, a)  # (K, L - P, G)
         denom = np.sum(np.abs(projected) ** 2, axis=1)
         result[idx] = 1.0 / np.clip(denom, 1e-15, None)
     return result
@@ -277,22 +297,32 @@ def batched_bartlett_spectra(
     spacing_m: float,
     wavelength_m: float,
     angle_grid: FloatArray,
+    xp: Optional[ArrayBackend] = None,
 ) -> FloatArray:
     """All N Bartlett power spectra ``a^H R_i a / M^2`` (Eq. 13).
 
-    The ``"mg,nmk,kg->ng"`` einsum performs the scalar
-    ``"mg,mk,kg->g"`` contraction per item with the same summation
-    order, so each row is bit-identical to
-    :func:`repro.dsp.bartlett.bartlett_spectrum_from_covariance`.
+    Split into a stacked GEMM (``R_i a``, the flops) and one
+    two-operand contraction (``sum_m conj(a) * (R_i a)``): the GEMM's
+    per-item shape ``(M, M) @ (M, G)`` matches the scalar ``r @ a``
+    call exactly, and the contraction sums the same ``M`` products in
+    the same order as the scalar ``"mg,mg->g"`` einsum — so each row
+    is bit-identical to
+    :func:`repro.dsp.bartlett.bartlett_spectrum_from_covariance`,
+    which is written as the same two steps.  (The historical
+    three-operand ``"mg,nmk,kg->ng"`` einsum computed identical values
+    through einsum's own loop nest at roughly 3x the cost of letting
+    BLAS do the inner product.)
     """
+    xp = active_backend() if xp is None else xp
     r = _as_stack(covariances, "covariance")
     m = r.shape[1]
     if r.shape[2] != m:
         raise EstimationError("covariances must be square (N, M, M)")
     a = cached_steering_matrix(angle_grid, m, spacing_m, wavelength_m)
+    product = xp.matmul(r, a)  # (N, M, G)
     # The quadratic form a^H R a of a Hermitian R is mathematically real;
     # np.real only strips round-off in the imaginary storage.
-    values = np.real(np.einsum("mg,nmk,kg->ng", a.conj(), r, a)) / (m * m)  # reprolint: disable=RL003
+    values = np.real(xp.einsum("mg,nmg->ng", a.conj(), product)) / (m * m)  # reprolint: disable=RL003
     return np.clip(values, 0.0, None)
 
 
@@ -339,10 +369,14 @@ def _batched_nor_divisors(
     divisors = np.empty_like(music_values)
     grid_step = float(np.mean(np.diff(angle_grid)))
     distance = max(1, int(round(min_separation / grid_step)))
+    size = music_values.shape[1]
+    # One vectorized pass for the per-row peak heights: max is exact
+    # (no rounding), so each entry equals the scalar row.max().
+    peak_values = music_values.max(axis=1)
     total_peaks = 0
     for i in range(music_values.shape[0]):
         row = music_values[i]
-        peak_value = float(row.max())
+        peak_value = peak_values[i]
         indices = (
             candidate_peak_indices(
                 row, min_relative_height * peak_value, distance
@@ -358,7 +392,10 @@ def _batched_nor_divisors(
         # reduceat fill matches the scalar per-slice loop bit for bit);
         # a non-positive lobe maximum keeps the scalar guard's 1.0.
         region_max = np.maximum.reduceat(row, starts)
-        lengths = np.diff(np.append(starts, row.size))
+        if region_max.size == 1:
+            divisors[i] = region_max[0] if region_max[0] > 0.0 else 1.0
+            continue
+        lengths = np.diff(np.append(starts, size))
         divisors[i] = np.repeat(
             np.where(region_max > 0.0, region_max, 1.0), lengths
         )
@@ -386,20 +423,21 @@ def batched_pmusic_spectra(
     if n == 0:
         return []
     grid = config.grid()
-    with obs.span("batch.pmusic", batch=n, size=m):
-        with obs.span("batch.covariance"):
-            full = batched_sample_covariance(x)
+    xp = active_backend()
+    with obs.span("batch.pmusic", batch=n, size=m, backend=xp.name):
+        with obs.span("batch.covariance", backend=xp.name):
+            full = batched_sample_covariance(x, xp=xp)
             sub_len = config.resolve_subarray(m)
             if sub_len >= m:
                 smoothed = full
             else:
                 smoothed = batched_smoothed_covariance(
-                    x, sub_len, config.forward_backward
+                    x, sub_len, config.forward_backward, xp=xp
                 )
-        music_values = _batched_music_values(smoothed, config, grid)
-        with obs.span("batch.bartlett"):
+        music_values = _batched_music_values(smoothed, config, grid, xp)
+        with obs.span("batch.bartlett", backend=xp.name):
             power = batched_bartlett_spectra(
-                full, config.spacing_m, config.wavelength_m, grid
+                full, config.spacing_m, config.wavelength_m, grid, xp=xp
             )
         return _finish_pmusic(music_values, power, grid, config)
 
@@ -423,21 +461,24 @@ def batched_pmusic_from_covariances(
     if n == 0:
         return []
     grid = config.grid()
-    with obs.span("batch.pmusic", batch=n, size=m, domain="covariance"):
-        with obs.span("batch.covariance"):
+    xp = active_backend()
+    with obs.span(
+        "batch.pmusic", batch=n, size=m, domain="covariance", backend=xp.name
+    ):
+        with obs.span("batch.covariance", backend=xp.name):
             sub_len = config.resolve_subarray(m)
             if sub_len >= m:
                 smoothed = (r + r.conj().transpose(0, 2, 1)) / 2.0
             else:
                 smoothed = batched_smoothed_from_full(
-                    r, sub_len, config.forward_backward
+                    r, sub_len, config.forward_backward, xp=xp
                 )
         music_values = _batched_music_values_covariance_domain(
-            smoothed, config, grid
+            smoothed, config, grid, xp
         )
-        with obs.span("batch.bartlett"):
+        with obs.span("batch.bartlett", backend=xp.name):
             power = batched_bartlett_spectra(
-                r, config.spacing_m, config.wavelength_m, grid
+                r, config.spacing_m, config.wavelength_m, grid, xp=xp
             )
         return _finish_pmusic(music_values, power, grid, config)
 
@@ -446,6 +487,7 @@ def _batched_music_values(
     smoothed: ComplexArray,
     config: BatchPMusicConfig,
     grid: FloatArray,
+    xp: ArrayBackend,
 ) -> FloatArray:
     """MUSIC spectra of a smoothed stack, snapshot-domain call sequence.
 
@@ -453,13 +495,15 @@ def _batched_music_values(
     ``eigh`` provides both the source-count eigenvalues and the
     subspace eigenvectors.
     """
-    with obs.span("batch.eigendecomposition", size=smoothed.shape[1]):
-        eigenvalues, eigenvectors = batched_eigendecompose(smoothed)
+    with obs.span(
+        "batch.eigendecomposition", size=smoothed.shape[1], backend=xp.name
+    ):
+        eigenvalues, eigenvectors = batched_eigendecompose(smoothed, xp=xp)
         p = _resolve_num_sources(eigenvalues, config, smoothed.shape[1])
         obs.count("music.sources_detected", int(p.sum()))
-    with obs.span("batch.spectrum"):
+    with obs.span("batch.spectrum", backend=xp.name):
         return batched_music_spectra(
-            eigenvectors, p, config.spacing_m, config.wavelength_m, grid
+            eigenvectors, p, config.spacing_m, config.wavelength_m, grid, xp=xp
         )
 
 
@@ -467,6 +511,7 @@ def _batched_music_values_covariance_domain(
     smoothed: ComplexArray,
     config: BatchPMusicConfig,
     grid: FloatArray,
+    xp: ArrayBackend,
 ) -> FloatArray:
     """MUSIC spectra of a smoothed stack, covariance-domain call sequence.
 
@@ -475,13 +520,15 @@ def _batched_music_values_covariance_domain(
     separate ``eigh`` inside ``noise_subspace``; the two can disagree
     in the last bits, so both are reproduced here.
     """
-    with obs.span("batch.eigendecomposition", size=smoothed.shape[1]):
-        count_values = np.asarray(np.linalg.eigvalsh(smoothed))[:, ::-1]
+    with obs.span(
+        "batch.eigendecomposition", size=smoothed.shape[1], backend=xp.name
+    ):
+        count_values = xp.eigvalsh(smoothed)[:, ::-1]
         p = _resolve_num_sources(count_values, config, smoothed.shape[1])
-        _, eigenvectors = batched_eigendecompose(smoothed)
-    with obs.span("batch.spectrum"):
+        _, eigenvectors = batched_eigendecompose(smoothed, xp=xp)
+    with obs.span("batch.spectrum", backend=xp.name):
         return batched_music_spectra(
-            eigenvectors, p, config.spacing_m, config.wavelength_m, grid
+            eigenvectors, p, config.spacing_m, config.wavelength_m, grid, xp=xp
         )
 
 
@@ -512,8 +559,16 @@ def _finish_pmusic(
     # The shared scan grid is already validated (strictly increasing
     # float64), so the per-item constructor can skip re-validation —
     # at hall-scene batch sizes that check is a measurable slice of
-    # the whole normalize stage.
+    # the whole normalize stage.  Every spectrum of the batch shares
+    # ONE read-only axis object (the memoized default grid when the
+    # config has none): baseline and online spectra then satisfy the
+    # detector's ``angles is grid`` identity fast path instead of an
+    # elementwise comparison per pair, and nothing can mutate the axis
+    # under a sibling spectrum.
+    if grid.flags.writeable:
+        grid = grid.copy()
+        grid.setflags(write=False)
     return [
-        spectrum_from_validated(grid.copy(), omega[i])
+        spectrum_from_validated(grid, omega[i])
         for i in range(omega.shape[0])
     ]

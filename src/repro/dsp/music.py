@@ -17,6 +17,7 @@ import numpy as np
 from repro import obs
 from repro.analysis.contracts import check_shapes, ensure_finite
 from repro.constants import DEFAULT_WAVELENGTH_M, MAX_DOMINANT_PATHS
+from repro.dsp.backend import ArrayBackend, get_backend
 from repro.dsp.covariance import sample_covariance
 from repro.dsp.peaks import find_spectrum_peaks
 from repro.dsp.smoothing import default_subarray_size, spatially_smoothed_covariance
@@ -26,6 +27,32 @@ from repro.rf.array import cached_steering_matrix
 from repro.utils.arrays import ArrayLike, ComplexArray, FloatArray
 
 
+def sorted_eigh(
+    matrices: ComplexArray, xp: Optional[ArrayBackend] = None
+) -> Tuple[FloatArray, ComplexArray]:
+    """Descending eigendecomposition of Hermitian matrices (stacked ok).
+
+    The one place the eigh-then-sort sequence lives: the scalar
+    reference (:func:`eigendecompose`) and the batched kernel
+    (:func:`repro.dsp.batch.batched_eigendecompose`) both call it, so
+    the two orderings cannot drift.  Accepts a single ``(L, L)`` matrix
+    or an ``(N, L, L)`` stack; the reorder is a pure gather along the
+    trailing axes, so per-item results are identical either way.
+
+    ``xp`` picks the dispatch backend for the ``eigh`` itself; ``None``
+    pins NumPy, which keeps every scalar caller on the bit-exact
+    reference path regardless of the session's active backend.
+    """
+    backend = get_backend("numpy") if xp is None else xp
+    eigenvalues, eigenvectors = backend.eigh(matrices)
+    order = np.argsort(eigenvalues, axis=-1)[..., ::-1]
+    values = np.take_along_axis(eigenvalues, order, axis=-1)
+    vectors = np.take_along_axis(eigenvectors, order[..., None, :], axis=-1)
+    # eigh of a Hermitian matrix returns mathematically real eigenvalues;
+    # .real only strips the zero imaginary storage.
+    return values.real, vectors  # reprolint: disable=RL003
+
+
 @check_shapes(covariance="M,M")
 @ensure_finite
 def eigendecompose(covariance: ArrayLike) -> Tuple[FloatArray, ComplexArray]:
@@ -33,11 +60,7 @@ def eigendecompose(covariance: ArrayLike) -> Tuple[FloatArray, ComplexArray]:
     r = np.asarray(covariance, dtype=np.complex128)
     if r.ndim != 2 or r.shape[0] != r.shape[1]:
         raise EstimationError("covariance must be a square matrix")
-    eigenvalues, eigenvectors = np.linalg.eigh(r)
-    order = np.argsort(eigenvalues)[::-1]
-    # eigh of a Hermitian matrix returns mathematically real eigenvalues;
-    # .real only strips the zero imaginary storage.
-    return eigenvalues[order].real, eigenvectors[:, order]  # reprolint: disable=RL003
+    return sorted_eigh(r)
 
 
 def estimate_num_sources(

@@ -1,0 +1,207 @@
+"""Incremental spectral machinery: fingerprints, rank-1 eigh, the gate."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.batch import BatchPMusicConfig
+from repro.dsp.incremental import (
+    DEFAULT_DRIFT_TOLERANCE,
+    CacheEntry,
+    EigenState,
+    SpectraCache,
+    config_fingerprint,
+    eigen_state_from_covariance,
+    pmusic_spectrum_from_eigh,
+    rank_one_eligible,
+    reconstruction_drift,
+    scaled_rank_one_eigh,
+)
+from repro.dsp.spectrum import AngularSpectrum
+from repro.stream.covariance import pmusic_spectrum_from_covariance
+
+SPACING = 0.163
+WAVELENGTH = 2.0 * SPACING
+
+
+def config(**overrides):
+    return BatchPMusicConfig(
+        spacing_m=SPACING, wavelength_m=WAVELENGTH, **overrides
+    )
+
+
+def random_covariance(rng, m, snapshots=32):
+    x = rng.normal(size=(m, snapshots)) + 1j * rng.normal(size=(m, snapshots))
+    r = (x @ x.conj().T) / snapshots
+    return (r + r.conj().T) / 2.0
+
+
+class TestConfigFingerprint:
+    def test_equal_configs_share_a_fingerprint(self):
+        assert config_fingerprint(config()) == config_fingerprint(config())
+
+    def test_every_scalar_knob_changes_the_fingerprint(self):
+        base = config_fingerprint(config())
+        assert config_fingerprint(config(subarray_size=3)) != base
+        assert config_fingerprint(config(forward_backward=False)) != base
+        assert config_fingerprint(config(peak_min_separation=0.1)) != base
+
+    def test_angle_grid_bytes_enter_the_fingerprint(self):
+        grid_a = np.linspace(0.0, np.pi, 181)
+        grid_b = np.linspace(0.0, np.pi, 181)
+        grid_c = np.linspace(0.0, np.pi, 91)
+        assert config_fingerprint(
+            config(angle_grid=grid_a)
+        ) == config_fingerprint(config(angle_grid=grid_b))
+        assert config_fingerprint(
+            config(angle_grid=grid_a)
+        ) != config_fingerprint(config(angle_grid=grid_c))
+        assert config_fingerprint(config(angle_grid=grid_a)) != (
+            config_fingerprint(config())
+        )
+
+    def test_fingerprint_is_hashable(self):
+        assert hash(config_fingerprint(config())) == hash(
+            config_fingerprint(config())
+        )
+
+
+class TestRankOneEligibility:
+    def test_three_antennas_keep_full_aperture(self):
+        # default_subarray_size(3) == 3: smoothing is the identity.
+        assert rank_one_eligible(config(), 3) is True
+
+    def test_eight_antennas_smooth_and_are_ineligible(self):
+        # default_subarray_size(8) == 6 < 8: smoothing breaks rank-1.
+        assert rank_one_eligible(config(), 8) is False
+
+    def test_explicit_full_subarray_is_eligible(self):
+        assert rank_one_eligible(config(subarray_size=8), 8) is True
+
+    def test_undecomposable_config_is_ineligible(self):
+        # Fewer than 3 antennas cannot be smoothed at all.
+        assert rank_one_eligible(config(), 2) is False
+
+
+class TestScaledRankOneEigh:
+    @pytest.mark.parametrize("m", [3, 4, 8])
+    def test_matches_full_eigh_through_the_gate(self, rng, m):
+        r = random_covariance(rng, m)
+        state = eigen_state_from_covariance(r, revision=0)
+        column = rng.normal(size=m) + 1j * rng.normal(size=m)
+        scale, gain = 0.9, 0.1
+        updated = scale * r + gain * np.outer(column, column.conj())
+        updated = (updated + updated.conj().T) / 2.0
+        result = scaled_rank_one_eigh(
+            state.values, state.vectors, scale, gain, column
+        )
+        assert result is not None
+        values, vectors = result
+        assert np.all(np.diff(values) >= 0.0), "eigenvalues stay ascending"
+        assert reconstruction_drift(values, vectors, updated) < (
+            DEFAULT_DRIFT_TOLERANCE
+        )
+        np.testing.assert_allclose(
+            values, np.linalg.eigvalsh(updated), rtol=1e-9, atol=1e-12
+        )
+
+    def test_chained_updates_stay_inside_the_tolerance(self, rng):
+        m = 3
+        r = random_covariance(rng, m)
+        state = eigen_state_from_covariance(r, revision=0)
+        values, vectors = state.values, state.vectors
+        current = r
+        for _ in range(100):
+            column = rng.normal(size=m) + 1j * rng.normal(size=m)
+            current = 0.9 * current + 0.1 * np.outer(column, column.conj())
+            current = (current + current.conj().T) / 2.0
+            result = scaled_rank_one_eigh(values, vectors, 0.9, 0.1, column)
+            assert result is not None
+            values, vectors = result
+            assert reconstruction_drift(values, vectors, current) < (
+                DEFAULT_DRIFT_TOLERANCE
+            )
+
+    def test_degenerate_spectrum_deflates_to_none(self, rng):
+        # Identical eigenvalues: the gap guard must reject the update.
+        values = np.array([1.0, 1.0, 1.0])
+        vectors = np.eye(3, dtype=np.complex128)
+        column = rng.normal(size=3) + 1j * rng.normal(size=3)
+        assert scaled_rank_one_eigh(values, vectors, 0.9, 0.1, column) is None
+
+    def test_vanishing_component_deflates_to_none(self):
+        # A column orthogonal to an eigenvector zeroes one zeta entry.
+        values = np.array([1.0, 2.0, 4.0])
+        vectors = np.eye(3, dtype=np.complex128)
+        column = np.array([1.0, 1.0, 0.0], dtype=np.complex128)
+        assert scaled_rank_one_eigh(values, vectors, 0.9, 0.1, column) is None
+
+    def test_non_positive_coefficients_are_rejected(self, rng):
+        r = random_covariance(rng, 3)
+        state = eigen_state_from_covariance(r, revision=0)
+        column = rng.normal(size=3) + 1j * rng.normal(size=3)
+        assert scaled_rank_one_eigh(
+            state.values, state.vectors, 0.0, 0.1, column
+        ) is None
+        assert scaled_rank_one_eigh(
+            state.values, state.vectors, 0.9, -0.1, column
+        ) is None
+
+
+class TestSpectrumFromEigh:
+    def test_matches_the_covariance_domain_chain(self, rng):
+        # m=3 keeps smoothing the identity, the eligible configuration.
+        r = random_covariance(rng, 3)
+        cfg = config()
+        assert rank_one_eligible(cfg, 3)
+        state = eigen_state_from_covariance(r, revision=0)
+        spectrum = pmusic_spectrum_from_eigh(
+            r, state.values[::-1], state.vectors[:, ::-1], cfg
+        )
+        reference = pmusic_spectrum_from_covariance(
+            r, spacing_m=SPACING, wavelength_m=WAVELENGTH
+        )
+        np.testing.assert_allclose(
+            spectrum.values, reference.values, rtol=1e-9, atol=1e-12
+        )
+
+
+class TestSpectraCache:
+    def entry(self, revision, fingerprint):
+        spectrum = AngularSpectrum(
+            np.linspace(0.0, np.pi, 5), np.ones(5, dtype=np.float64)
+        )
+        return CacheEntry(
+            revision=revision, fingerprint=fingerprint, spectrum=spectrum
+        )
+
+    def test_lookup_requires_matching_revision_and_fingerprint(self):
+        cache = SpectraCache()
+        fp = config_fingerprint(config())
+        cache.store(("r1", "epc-1"), self.entry(3, fp))
+        assert cache.lookup(("r1", "epc-1"), 3, fp) is not None
+        assert cache.lookup(("r1", "epc-1"), 4, fp) is None
+        other = config_fingerprint(config(subarray_size=3))
+        assert cache.lookup(("r1", "epc-1"), 3, other) is None
+        assert cache.lookup(("r2", "epc-1"), 3, fp) is None
+
+    def test_store_replaces_and_len_counts_pairs(self):
+        cache = SpectraCache()
+        fp = config_fingerprint(config())
+        cache.store(("r1", "t"), self.entry(1, fp))
+        cache.store(("r1", "t"), self.entry(2, fp))
+        cache.store(("r2", "t"), self.entry(1, fp))
+        assert len(cache) == 2
+        entry = cache.get(("r1", "t"))
+        assert entry is not None and entry.revision == 2
+
+    def test_eigen_state_rides_along(self, rng):
+        cache = SpectraCache()
+        fp = config_fingerprint(config())
+        r = random_covariance(rng, 3)
+        state = eigen_state_from_covariance(r, revision=5)
+        entry = self.entry(5, fp)
+        entry.eigen = state
+        cache.store(("r1", "t"), entry)
+        hit = cache.lookup(("r1", "t"), 5, fp)
+        assert hit is not None and isinstance(hit.eigen, EigenState)
+        assert hit.eigen.revision == 5
